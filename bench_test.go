@@ -1,0 +1,359 @@
+// Benchmarks reproducing the paper's quantitative claims — one benchmark
+// family per experiment of EXPERIMENTS.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// E1 — key-based workloads: baseline (prefs in Postgres, carts in MongoDB)
+// vs the key-value migration (the scenario's ~20 % gain).
+// E2 — personalized item search: on-the-fly cross-store join vs the
+// materialized, indexed purchase-history fragment (~40 % extra gain).
+// E3 — PACB vs naive Chase & Backchase rewriting time (1–2 orders of
+// magnitude, growing with the number of views).
+// E4 — vanilla single-store vs hybrid multi-store execution (demo step 3).
+// E5 — storage-advisor recommendations applied (demo step 4).
+// E6 — binding-pattern (BindJoin) dependent access overhead and safety.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/scenario"
+	"repro/internal/value"
+)
+
+// benchCfg is the dataset scale shared by the workload benchmarks.
+func benchCfg() datagen.MarketplaceConfig {
+	return datagen.MarketplaceConfig{
+		Seed: 42, Users: 2000, Products: 400, OrdersPerUser: 4,
+		VisitsPerUser: 8, PrefsPerUser: 3, CartItemsPerUser: 2, ZipfS: 1.3,
+	}
+}
+
+var (
+	benchOnce sync.Once
+	benchMkts map[scenario.Variant]*scenario.Marketplace
+	benchWls  map[scenario.Variant]*scenario.Workload
+	benchKeys []string
+	benchPrms [][2]string
+)
+
+func setupMarketplaces(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchMkts = map[scenario.Variant]*scenario.Marketplace{}
+		benchWls = map[scenario.Variant]*scenario.Workload{}
+		for _, variant := range []scenario.Variant{scenario.Baseline, scenario.KV, scenario.Materialized} {
+			m, err := scenario.New(benchCfg(), variant)
+			if err != nil {
+				panic(err)
+			}
+			w, err := m.Prepare()
+			if err != nil {
+				panic(err)
+			}
+			benchMkts[variant] = m
+			benchWls[variant] = w
+		}
+		benchKeys = benchMkts[scenario.Baseline].Data.ZipfUserKeys(500, 99)
+		benchPrms = benchMkts[scenario.Baseline].Data.PersonalizedSearchParams(100, 98)
+	})
+}
+
+// --- E1: key-value migration --------------------------------------------
+
+func benchmarkE1(b *testing.B, variant scenario.Variant) {
+	setupMarketplaces(b)
+	w := benchWls[variant]
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		n, err := w.RunMixed(benchKeys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		b.Fatal("workload returned no rows")
+	}
+}
+
+func BenchmarkE1KeyValueMigrationBaseline(b *testing.B) { benchmarkE1(b, scenario.Baseline) }
+func BenchmarkE1KeyValueMigrationKV(b *testing.B)       { benchmarkE1(b, scenario.KV) }
+
+// --- E2: materialized purchase-history join ------------------------------
+
+func benchmarkE2(b *testing.B, variant scenario.Variant) {
+	setupMarketplaces(b)
+	w := benchWls[variant]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.RunSearch(benchPrms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2PersonalizedSearchOnTheFly(b *testing.B)     { benchmarkE2(b, scenario.KV) }
+func BenchmarkE2PersonalizedSearchMaterialized(b *testing.B) { benchmarkE2(b, scenario.Materialized) }
+
+// --- E3: PACB vs naive C&B ------------------------------------------------
+
+// e3Instance builds a chain query of length k over relations R0..R(k-1)
+// and v identity views per relation (duplicated views inflate the
+// universal plan, the regime where naive C&B degenerates).
+func e3Instance(k, vPerRel int) (pivot.CQ, []rewrite.View) {
+	var body []pivot.Atom
+	for i := 0; i < k; i++ {
+		body = append(body, pivot.NewAtom(fmt.Sprintf("R%d", i),
+			pivot.Var(fmt.Sprintf("x%d", i)), pivot.Var(fmt.Sprintf("x%d", i+1))))
+	}
+	q := pivot.NewCQ(pivot.NewAtom("Q",
+		pivot.Var("x0"), pivot.Var(fmt.Sprintf("x%d", k))), body...)
+	var views []rewrite.View
+	for i := 0; i < k; i++ {
+		for j := 0; j < vPerRel; j++ {
+			name := fmt.Sprintf("V%d_%d", i, j)
+			views = append(views, rewrite.NewView(name, pivot.NewCQ(
+				pivot.NewAtom(name, pivot.Var("a"), pivot.Var("b")),
+				pivot.NewAtom(fmt.Sprintf("R%d", i), pivot.Var("a"), pivot.Var("b")))))
+		}
+	}
+	return q, views
+}
+
+func benchmarkE3(b *testing.B, alg rewrite.Algorithm, k, vPerRel int) {
+	q, views := e3Instance(k, vPerRel)
+	b.ResetTimer()
+	var chases int
+	for i := 0; i < b.N; i++ {
+		res, err := rewrite.Rewrite(q, views, rewrite.Options{Algorithm: alg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rewritings) == 0 {
+			b.Fatal("no rewriting")
+		}
+		chases = res.Stats.VerificationChases
+	}
+	b.ReportMetric(float64(chases), "verif-chases")
+}
+
+func BenchmarkE3RewritePACB_k3v1(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 3, 1) }
+func BenchmarkE3RewriteNaive_k3v1(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 3, 1) }
+func BenchmarkE3RewritePACB_k3v2(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 3, 2) }
+func BenchmarkE3RewriteNaive_k3v2(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 3, 2) }
+func BenchmarkE3RewritePACB_k4v2(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 4, 2) }
+func BenchmarkE3RewriteNaive_k4v2(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 4, 2) }
+func BenchmarkE3RewritePACB_k4v3(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 4, 3) }
+func BenchmarkE3RewriteNaive_k4v3(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 4, 3) }
+func BenchmarkE3RewritePACB_k5v3(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 5, 3) }
+func BenchmarkE3RewriteNaive_k5v3(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 5, 3) }
+
+// --- E4: vanilla single-store vs hybrid multi-store (BDB) ----------------
+
+var (
+	e4Once    sync.Once
+	e4Vanilla *core.Prepared
+	e4Hybrid  *core.Prepared
+)
+
+func setupBDB(b *testing.B) {
+	b.Helper()
+	e4Once.Do(func() {
+		cfg := datagen.BDBConfig{Seed: 7, Rankings: 2000, UserVisits: 10000}
+		van, err := scenario.NewBDB(cfg, false)
+		if err != nil {
+			panic(err)
+		}
+		hyb, err := scenario.NewBDB(cfg, true)
+		if err != nil {
+			panic(err)
+		}
+		e4Vanilla, err = van.Sys.Prepare(scenario.JoinByWordQuery(), "word")
+		if err != nil {
+			panic(err)
+		}
+		e4Hybrid, err = hyb.Sys.Prepare(scenario.JoinByWordQuery(), "word")
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+var e4Words = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+
+func benchmarkE4(b *testing.B, p *core.Prepared) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := p.Exec(value.Str(e4Words[i%len(e4Words)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkE4BDBJoinVanilla(b *testing.B) {
+	setupBDB(b)
+	benchmarkE4(b, e4Vanilla)
+}
+
+func BenchmarkE4BDBJoinHybrid(b *testing.B) {
+	setupBDB(b)
+	benchmarkE4(b, e4Hybrid)
+}
+
+// --- E5: storage advisor ---------------------------------------------------
+
+var (
+	e5Once   sync.Once
+	e5Before *core.Prepared
+	e5After  *core.Prepared
+	e5Keys   []string
+)
+
+func setupAdvisor(b *testing.B) {
+	b.Helper()
+	e5Once.Do(func() {
+		// A system whose prefs live only in a relational store, and an
+		// advisor that recommends the KV fragment.
+		build := func() *core.System {
+			s := core.New(core.Options{})
+			s.AddRelStore("pg")
+			s.AddKVStore("redis")
+			s.AddParStore("spark", 4)
+			f := &catalog.Fragment{
+				Name: "FPrefs", Dataset: "mkt",
+				View: rewrite.NewView("FPrefs", pivot.NewCQ(
+					pivot.NewAtom("FPrefs", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")),
+					pivot.NewAtom("Prefs", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")))),
+				Store: "pg",
+				Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "prefs",
+					Columns: []string{"uid", "k", "val"}},
+			}
+			if err := s.RegisterFragment(f); err != nil {
+				panic(err)
+			}
+			m := datagen.NewMarketplace(benchCfg())
+			if err := s.Materialize("FPrefs", m.Prefs); err != nil {
+				panic(err)
+			}
+			return s
+		}
+		q := pivot.NewCQ(
+			pivot.NewAtom("Q", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")),
+			pivot.NewAtom("Prefs", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")))
+
+		sysBefore := build()
+		var err error
+		e5Before, err = sysBefore.Prepare(q, "u")
+		if err != nil {
+			panic(err)
+		}
+
+		sysAfter := build()
+		adv := &advisor.Advisor{Sys: sysAfter, KVStore: "redis", ParStore: "spark"}
+		recs, err := adv.Recommend([]advisor.QueryFreq{
+			{Q: q, BoundHeadPositions: []int{0}, Freq: 10000},
+		})
+		if err != nil {
+			panic(err)
+		}
+		applied := false
+		for _, r := range recs {
+			if r.Action == advisor.ActionAdd {
+				if err := adv.Apply(r); err != nil {
+					panic(err)
+				}
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			panic("advisor produced no add recommendation")
+		}
+		e5After, err = sysAfter.Prepare(q, "u")
+		if err != nil {
+			panic(err)
+		}
+		e5Keys = datagen.NewMarketplace(benchCfg()).ZipfUserKeys(500, 55)
+	})
+}
+
+func benchmarkE5(b *testing.B, p *core.Prepared) {
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, k := range e5Keys {
+			rows, err := p.Exec(value.Str(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(rows)
+		}
+	}
+	if total == 0 {
+		b.Fatal("no rows")
+	}
+}
+
+func BenchmarkE5AdvisorBefore(b *testing.B) {
+	setupAdvisor(b)
+	benchmarkE5(b, e5Before)
+}
+
+func BenchmarkE5AdvisorAfter(b *testing.B) {
+	setupAdvisor(b)
+	benchmarkE5(b, e5After)
+}
+
+// --- E6: binding patterns / BindJoin ---------------------------------------
+
+func BenchmarkE6BindJoinDependentAccess(b *testing.B) {
+	setupMarketplaces(b)
+	// Cross-store dependent join: relational users drive KV preference
+	// gets through BindJoin (the KV fragment cannot be scanned).
+	m := benchMkts[scenario.KV]
+	q := pivot.NewCQ(
+		pivot.NewAtom("Q", pivot.Var("uid"), pivot.Var("key"), pivot.Var("val")),
+		pivot.NewAtom("Users", pivot.Var("uid"), pivot.Var("name"), pivot.CStr("paris")),
+		pivot.NewAtom("Prefs", pivot.Var("uid"), pivot.Var("key"), pivot.Var("val")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Sys.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty bindjoin result")
+		}
+	}
+}
+
+func BenchmarkE6FeasibilityCheck(b *testing.B) {
+	// The pure feasibility filter: rejecting an unbound KV scan must be
+	// cheap and absolute.
+	setupMarketplaces(b)
+	m := benchMkts[scenario.KV]
+	q := pivot.NewCQ(
+		pivot.NewAtom("Q", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")),
+		pivot.NewAtom("Prefs", pivot.Var("u"), pivot.Var("k"), pivot.Var("val")))
+	sys := m.Sys
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(q); err == nil {
+			b.Fatal("infeasible query answered")
+		}
+	}
+}

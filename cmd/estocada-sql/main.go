@@ -1,0 +1,105 @@
+// estocada-sql runs ad-hoc queries in the native surface languages against
+// a generated marketplace deployment — the "pick a workload query and
+// trigger its rewriting" interaction of the demo, scriptable.
+//
+// Usage:
+//
+//	estocada-sql -q "SELECT u.name FROM Users u WHERE u.city = 'paris'"
+//	estocada-sql -lang flwor -q "for c in Carts where c.uid = \"u00003\" return c.pid, c.qty"
+//	estocada-sql -explain -q "..."
+//
+// Flags: -variant baseline|kv|materialized (default materialized),
+// -users N, -limit N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/lang"
+	"repro/internal/pivot"
+	"repro/internal/scenario"
+)
+
+func main() {
+	queryText := flag.String("q", "", "query text (required)")
+	language := flag.String("lang", "sql", "surface language: sql or flwor")
+	variantFlag := flag.String("variant", "materialized", "storage variant: baseline, kv, materialized")
+	users := flag.Int("users", 500, "users in the generated dataset")
+	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
+	explain := flag.Bool("explain", false, "print the rewriting and plan")
+	flag.Parse()
+
+	if *queryText == "" {
+		fmt.Fprintln(os.Stderr, "missing -q; try:\n  estocada-sql -q \"SELECT u.name FROM Users u WHERE u.city = 'paris'\"")
+		os.Exit(2)
+	}
+	var variant scenario.Variant
+	switch *variantFlag {
+	case "baseline":
+		variant = scenario.Baseline
+	case "kv":
+		variant = scenario.KV
+	case "materialized":
+		variant = scenario.Materialized
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variantFlag)
+		os.Exit(2)
+	}
+
+	var q pivot.CQ
+	var err error
+	switch *language {
+	case "sql":
+		q, err = lang.ParseSQL(*queryText, scenario.LogicalSchema)
+	case "flwor":
+		q, err = lang.ParseFLWOR(*queryText, scenario.LogicalSchema)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown language %q (sql|flwor)\n", *language)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("parse error: %v", err)
+	}
+
+	cfg := datagen.DefaultMarketplace()
+	cfg.Users = *users
+	m, err := scenario.New(cfg, variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Sys.Query(q)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+
+	if *explain {
+		fmt.Println("pivot:    ", q)
+		fmt.Println("rewriting:", res.Report.Rewriting)
+		fmt.Println("plan:")
+		fmt.Print(res.Report.PlanExplain)
+		fmt.Println()
+	}
+	n := len(res.Rows)
+	shown := n
+	if *limit > 0 && shown > *limit {
+		shown = *limit
+	}
+	for _, row := range res.Rows[:shown] {
+		fmt.Println(row)
+	}
+	if shown < n {
+		fmt.Printf("… (%d more rows)\n", n-shown)
+	}
+	fmt.Printf("-- %d rows, planned in %s, executed in %s\n",
+		n, res.Report.PlanningTime.Round(time.Microsecond), res.Report.ExecTime.Round(time.Microsecond))
+	for store, c := range res.Report.PerStore {
+		if c.Requests > 0 {
+			fmt.Printf("-- %s: %s\n", store, c)
+		}
+	}
+}

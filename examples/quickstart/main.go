@@ -1,0 +1,98 @@
+// Quickstart: the smallest end-to-end ESTOCADA program.
+//
+// One logical relation (Movies) is stored as two overlapping fragments — a
+// relational fragment and a key-value fragment keyed by movie id. The same
+// logical query is answered from whichever fragment the optimizer prefers,
+// and a key lookup transparently routes to the key-value store.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+func main() {
+	sys := core.New(core.Options{})
+	sys.AddRelStore("pg")
+	sys.AddKVStore("redis")
+
+	// Logical schema: Movies(id, title, year).
+	movieVars := []pivot.Term{pivot.Var("id"), pivot.Var("title"), pivot.Var("year")}
+	identity := func(name string) rewrite.View {
+		return rewrite.NewView(name, pivot.NewCQ(
+			pivot.NewAtom(name, movieVars...),
+			pivot.NewAtom("Movies", movieVars...)))
+	}
+
+	// Fragment 1: full relation in the relational store.
+	if err := sys.RegisterFragment(&catalog.Fragment{
+		Name: "FMoviesRel", Dataset: "films", View: identity("FMoviesRel"),
+		Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "movies",
+			Columns: []string{"id", "title", "year"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Fragment 2: the same relation in the key-value store, keyed by id —
+	// only reachable when the id is bound (access pattern "bff").
+	if err := sys.RegisterFragment(&catalog.Fragment{
+		Name: "FMoviesKV", Dataset: "films", View: identity("FMoviesKV"),
+		Store:  "redis",
+		Layout: catalog.Layout{Kind: catalog.LayoutKV, Collection: "movies", KeyCol: 0},
+		Access: "bff",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	rows := []value.Tuple{
+		value.TupleOf("m1", "Alphaville", 1965),
+		value.TupleOf("m2", "Playtime", 1967),
+		value.TupleOf("m3", "Stalker", 1979),
+	}
+	for _, frag := range []string{"FMoviesRel", "FMoviesKV"} {
+		if err := sys.Materialize(frag, rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A scan query: only the relational fragment can answer it.
+	scan := pivot.NewCQ(
+		pivot.NewAtom("Q", pivot.Var("t"), pivot.Var("y")),
+		pivot.NewAtom("Movies", pivot.Var("i"), pivot.Var("t"), pivot.Var("y")))
+	res, err := sys.Query(scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("All movies (rewritten to", res.Report.Rewriting.Body[0].Pred, "):")
+	for _, r := range res.Rows {
+		fmt.Println("  ", r)
+	}
+
+	// A prepared key lookup: the optimizer prefers the key-value fragment.
+	lookup := pivot.NewCQ(
+		pivot.NewAtom("Q", pivot.Var("i"), pivot.Var("t"), pivot.Var("y")),
+		pivot.NewAtom("Movies", pivot.Var("i"), pivot.Var("t"), pivot.Var("y")))
+	prep, err := sys.Prepare(lookup, "i")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nKey lookup rewritten to:", prep.Rewriting().Body[0].Pred)
+	got, err := prep.Exec(value.Str("m3"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range got {
+		fmt.Println("  ", r)
+	}
+
+	fmt.Println("\nPlan for the scan query:")
+	fmt.Println(res.Report.PlanExplain)
+}

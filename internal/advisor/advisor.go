@@ -1,0 +1,374 @@
+// Package advisor implements ESTOCADA's Storage Advisor (paper §III and
+// demo step 4): given a workload of queries with frequencies, it
+// recommends adding fragments that fit recently heavy-hitting queries —
+// key-value fragments for hot key-based lookups (the scenario's Voldemort
+// episode) and materialized join fragments for hot cross-store joins (the
+// scenario's Spark episode) — and dropping fragments no workload query
+// uses. Recommendations are scored by the cost model: estimated workload
+// cost before vs. after the hypothetical fragment.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/stats"
+	"repro/internal/translate"
+)
+
+// QueryFreq is one workload entry: a query shape, the head positions bound
+// at run time (parameters), and how often it runs.
+type QueryFreq struct {
+	Q pivot.CQ
+	// BoundHeadPositions marks parameterized head positions (see
+	// core.Prepare); nil for fully-constant queries.
+	BoundHeadPositions []int
+	Freq               int
+}
+
+// Action discriminates recommendations.
+type Action int
+
+const (
+	// ActionAdd proposes materializing a new fragment.
+	ActionAdd Action = iota
+	// ActionDrop proposes dropping an unused fragment.
+	ActionDrop
+)
+
+func (a Action) String() string {
+	if a == ActionDrop {
+		return "drop"
+	}
+	return "add"
+}
+
+// Recommendation is one advisor proposal.
+type Recommendation struct {
+	Action Action
+	// Fragment is the fragment to add (ActionAdd) or its name to drop.
+	Fragment *catalog.Fragment
+	// Benefit is the estimated workload cost saving (work units × freq).
+	Benefit float64
+	Reason  string
+}
+
+func (r Recommendation) String() string {
+	return fmt.Sprintf("%s %s (benefit %.1f): %s", r.Action, r.Fragment.Name, r.Benefit, r.Reason)
+}
+
+// Advisor recommends fragments for a running system.
+type Advisor struct {
+	Sys *core.System
+	// KVStore and ParStore name the stores that receive recommended
+	// key-value and materialized-join fragments.
+	KVStore  string
+	ParStore string
+	// MinBenefit filters out marginal recommendations (default 1).
+	MinBenefit float64
+}
+
+// Recommend analyses the workload and returns recommendations sorted by
+// descending benefit.
+func (a *Advisor) Recommend(workload []QueryFreq) ([]Recommendation, error) {
+	if a.Sys == nil {
+		return nil, fmt.Errorf("advisor: no system")
+	}
+	minBenefit := a.MinBenefit
+	if minBenefit <= 0 {
+		minBenefit = 1
+	}
+	baseCosts, usedFrags, err := a.workloadCosts(a.Sys.Catalog, workload)
+	if err != nil {
+		return nil, err
+	}
+
+	var recs []Recommendation
+	seen := map[string]bool{}
+	for qi, wq := range workload {
+		for _, cand := range a.candidatesFor(wq) {
+			if seen[cand.Name] {
+				continue
+			}
+			if _, exists := a.Sys.Catalog.Get(cand.Name); exists {
+				continue
+			}
+			seen[cand.Name] = true
+			hyp := cloneCatalog(a.Sys.Catalog)
+			if err := hyp.Register(cand); err != nil {
+				continue
+			}
+			newCosts, _, err := a.workloadCosts(hyp, workload)
+			if err != nil {
+				continue
+			}
+			benefit := 0.0
+			for i := range workload {
+				benefit += (baseCosts[i] - newCosts[i]) * float64(workload[i].Freq)
+			}
+			if benefit >= minBenefit {
+				recs = append(recs, Recommendation{
+					Action:   ActionAdd,
+					Fragment: cand,
+					Benefit:  benefit,
+					Reason: fmt.Sprintf("fits workload query #%d (freq %d); est. workload cost %.1f → %.1f",
+						qi, wq.Freq, weighted(baseCosts, workload), weighted(newCosts, workload)),
+				})
+			}
+		}
+	}
+
+	// Drop fragments no best plan uses.
+	for _, f := range a.Sys.Catalog.All() {
+		if !usedFrags[f.Name] {
+			recs = append(recs, Recommendation{
+				Action:   ActionDrop,
+				Fragment: f,
+				Benefit:  0,
+				Reason:   "no workload query's best plan uses this fragment",
+			})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Benefit > recs[j].Benefit })
+	return recs, nil
+}
+
+// workloadCosts returns the best-plan cost of each workload query under the
+// given catalog (∞-like large cost when unanswerable) and the set of
+// fragments used by the best plans.
+func (a *Advisor) workloadCosts(cat *catalog.Catalog, workload []QueryFreq) ([]float64, map[string]bool, error) {
+	const unanswerable = 1e12
+	planner := &translate.Planner{Catalog: cat, Stores: a.Sys.Stores}
+	costs := make([]float64, len(workload))
+	used := map[string]bool{}
+	for i, wq := range workload {
+		res, err := rewrite.Rewrite(wq.Q, cat.Views(""), rewrite.Options{
+			Schema:             a.Sys.SchemaConstraints(),
+			AccessPatterns:     cat.AccessPatterns(),
+			BoundHeadPositions: wq.BoundHeadPositions,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(res.Rewritings) == 0 {
+			costs[i] = unanswerable
+			continue
+		}
+		// Substitute placeholder constants for parameters so plans build.
+		rewritings := make([]pivot.CQ, 0, len(res.Rewritings))
+		for _, r := range res.Rewritings {
+			rewritings = append(rewritings, bindPlaceholders(r, wq.BoundHeadPositions))
+		}
+		best, _, err := planner.ChooseBest(rewritings)
+		if err != nil {
+			costs[i] = unanswerable
+			continue
+		}
+		costs[i] = best.Cost
+		for _, atom := range best.Rewriting.Body {
+			used[atom.Pred] = true
+		}
+	}
+	return costs, used, nil
+}
+
+func bindPlaceholders(r pivot.CQ, boundPos []int) pivot.CQ {
+	if len(boundPos) == 0 {
+		return r
+	}
+	sub := pivot.NewSubst()
+	for _, pos := range boundPos {
+		if pos >= 0 && pos < len(r.Head.Args) {
+			if v, ok := r.Head.Args[pos].(pivot.Var); ok {
+				sub[v] = pivot.CStr("\x00adv")
+			}
+		}
+	}
+	return r.Apply(sub)
+}
+
+func weighted(costs []float64, workload []QueryFreq) float64 {
+	total := 0.0
+	for i, c := range costs {
+		total += c * float64(workload[i].Freq)
+	}
+	return total
+}
+
+// candidatesFor proposes fragments fitting one workload query.
+func (a *Advisor) candidatesFor(wq QueryFreq) []*catalog.Fragment {
+	var out []*catalog.Fragment
+	q := pivot.Minimize(wq.Q)
+	boundHeadVars := map[pivot.Var]bool{}
+	for _, pos := range wq.BoundHeadPositions {
+		if pos >= 0 && pos < len(q.Head.Args) {
+			if v, ok := q.Head.Args[pos].(pivot.Var); ok {
+				boundHeadVars[v] = true
+			}
+		}
+	}
+
+	// Heuristic 1 — key-value fragment for single-relation key access: one
+	// atom whose some variable position is bound (constant or parameter).
+	if len(q.Body) == 1 && a.KVStore != "" {
+		atom := q.Body[0]
+		keyCol := -1
+		for pos, t := range atom.Args {
+			switch tt := t.(type) {
+			case pivot.Const:
+				keyCol = pos
+			case pivot.Var:
+				if boundHeadVars[tt] {
+					keyCol = pos
+				}
+			}
+			if keyCol >= 0 {
+				break
+			}
+		}
+		if keyCol >= 0 {
+			if f := a.kvCandidate(atom.Pred, atom.Arity(), keyCol); f != nil {
+				out = append(out, f)
+			}
+		}
+	}
+
+	// Heuristic 2 — materialized join fragment for multi-relation queries:
+	// store the full join (all variables of the minimized body), indexed on
+	// the bound positions, in the parallel store.
+	if len(q.Body) >= 2 && a.ParStore != "" {
+		if f := a.joinCandidate(q, boundHeadVars); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// kvCandidate proposes RecKV_<pred>_k<col>: the identity view over pred,
+// keyed by col, in the advisor's KV store.
+func (a *Advisor) kvCandidate(pred string, arity, keyCol int) *catalog.Fragment {
+	name := fmt.Sprintf("RecKV_%s_k%d", pred, keyCol)
+	args := make([]pivot.Term, arity)
+	for i := range args {
+		args[i] = pivot.Var(fmt.Sprintf("c%d", i))
+	}
+	view := rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), pivot.NewAtom(pred, args...)))
+	pattern := make([]byte, arity)
+	for i := range pattern {
+		pattern[i] = 'f'
+	}
+	pattern[keyCol] = 'b'
+	return &catalog.Fragment{
+		Name:    name,
+		Dataset: "advisor",
+		View:    view,
+		Store:   a.KVStore,
+		Layout: catalog.Layout{
+			Kind:       catalog.LayoutKV,
+			Collection: strings.ToLower(name),
+			KeyCol:     keyCol,
+		},
+		Access: rewrite.AccessPattern(pattern),
+		Stats:  a.estimateViewStats(view),
+	}
+}
+
+// joinCandidate proposes RecJoin_<preds>: the join of the query body with
+// every body variable exposed, indexed on the bound variables' columns.
+func (a *Advisor) joinCandidate(q pivot.CQ, boundHeadVars map[pivot.Var]bool) *catalog.Fragment {
+	vars := q.BodyVars()
+	if len(vars) == 0 {
+		return nil
+	}
+	preds := pivot.AtomsPreds(q.Body)
+	name := "RecJoin_" + strings.Join(preds, "_")
+	args := make([]pivot.Term, len(vars))
+	cols := make([]string, len(vars))
+	var indexCols []int
+	for i, vv := range vars {
+		args[i] = vv
+		cols[i] = string(vv)
+		if boundHeadVars[vv] {
+			indexCols = append(indexCols, i)
+		}
+	}
+	view := rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), q.Body...))
+	return &catalog.Fragment{
+		Name:    name,
+		Dataset: "advisor",
+		View:    view,
+		Store:   a.ParStore,
+		Layout: catalog.Layout{
+			Kind:         catalog.LayoutPar,
+			Collection:   strings.ToLower(name),
+			Columns:      cols,
+			PartitionCol: 0,
+			IndexCols:    indexCols,
+		},
+		Stats: a.estimateViewStats(view),
+	}
+}
+
+// estimateViewStats predicts the cardinality of a candidate view from the
+// statistics of the fragments answering its definition.
+func (a *Advisor) estimateViewStats(view rewrite.View) stats.FragmentStats {
+	base := baseStatsProvider{cat: a.Sys.Catalog}
+	rows := stats.EstimateCQ(view.Def, base, 1000)
+	n := int64(rows)
+	if n < 1 {
+		n = 1
+	}
+	return stats.FragmentStats{Rows: n}
+}
+
+// baseStatsProvider resolves statistics for *base* predicates by finding an
+// identity fragment over them.
+type baseStatsProvider struct {
+	cat *catalog.Catalog
+}
+
+// StatsFor implements stats.Provider.
+func (p baseStatsProvider) StatsFor(pred string) (stats.FragmentStats, bool) {
+	for _, f := range p.cat.All() {
+		def := f.View.Def
+		if len(def.Body) == 1 && def.Body[0].Pred == pred &&
+			def.Head.Arity() == def.Body[0].Arity() {
+			return f.Stats, true
+		}
+	}
+	return stats.FragmentStats{}, false
+}
+
+func cloneCatalog(c *catalog.Catalog) *catalog.Catalog {
+	out := catalog.New()
+	for _, f := range c.All() {
+		cp := *f
+		// Ignore the error: source fragments are valid by construction.
+		_ = out.Register(&cp)
+	}
+	return out
+}
+
+// Apply materializes an ActionAdd recommendation: it computes the view's
+// extent by querying the system itself, registers the fragment, and loads
+// it. Drop recommendations are applied with core.System.DropFragment.
+func (a *Advisor) Apply(rec Recommendation) error {
+	if rec.Action == ActionDrop {
+		return a.Sys.DropFragment(rec.Fragment.Name)
+	}
+	res, err := a.Sys.Query(rec.Fragment.View.Def)
+	if err != nil {
+		return fmt.Errorf("advisor: cannot compute extent of %s: %w", rec.Fragment.Name, err)
+	}
+	if err := a.Sys.RegisterFragment(rec.Fragment); err != nil {
+		return err
+	}
+	return a.Sys.Materialize(rec.Fragment.Name, res.Rows)
+}

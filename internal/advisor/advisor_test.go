@@ -1,0 +1,233 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+func atom(pred string, args ...pivot.Term) pivot.Atom { return pivot.NewAtom(pred, args...) }
+func v(name string) pivot.Var                         { return pivot.Var(name) }
+
+func idView(name, over string, arity int) rewrite.View {
+	args := make([]pivot.Term, arity)
+	for i := range args {
+		args[i] = v(string(rune('a' + i)))
+	}
+	return rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), pivot.NewAtom(over, args...)))
+}
+
+// system with Prefs and Orders in a relational store, plus empty KV and
+// parallel stores for the advisor to target.
+func advisorSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.New(core.Options{})
+	s.AddRelStore("pg")
+	s.AddKVStore("redis")
+	s.AddParStore("spark", 4)
+
+	frags := []*catalog.Fragment{
+		{
+			Name: "FPrefs", Dataset: "mkt", View: idView("FPrefs", "Prefs", 3), Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "prefs", Columns: []string{"uid", "k", "val"}},
+		},
+		{
+			Name: "FOrders", Dataset: "mkt", View: idView("FOrders", "Orders", 3), Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "orders", Columns: []string{"oid", "uid", "pid"}},
+		},
+		{
+			Name: "FVisits", Dataset: "mkt", View: idView("FVisits", "Visits", 3), Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "visits", Columns: []string{"uid", "pid", "dur"}},
+		},
+	}
+	for _, f := range frags {
+		if err := s.RegisterFragment(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prefs, orders, visits []value.Tuple
+	for i := 0; i < 200; i++ {
+		uid := value.Str(string(rune('a'+i%26)) + "u")
+		prefs = append(prefs, value.Tuple{uid, value.Str("theme"), value.Str("dark")})
+		orders = append(orders, value.Tuple{value.Int(i), uid, value.Str("p1")})
+		visits = append(visits, value.Tuple{uid, value.Str("p1"), value.Int(i)})
+	}
+	for name, rows := range map[string][]value.Tuple{"FPrefs": prefs, "FOrders": orders, "FVisits": visits} {
+		if err := s.Materialize(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func keyLookupWorkload() []QueryFreq {
+	q := pivot.NewCQ(atom("Q", v("u"), v("k"), v("val")),
+		atom("Prefs", v("u"), v("k"), v("val")))
+	return []QueryFreq{{Q: q, BoundHeadPositions: []int{0}, Freq: 1000}}
+}
+
+func TestRecommendKVFragmentForKeyLookups(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	recs, err := a.Recommend(keyLookupWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kvRec *Recommendation
+	for i := range recs {
+		if recs[i].Action == ActionAdd && strings.HasPrefix(recs[i].Fragment.Name, "RecKV_Prefs") {
+			kvRec = &recs[i]
+			break
+		}
+	}
+	if kvRec == nil {
+		t.Fatalf("no KV recommendation in %v", recs)
+	}
+	if kvRec.Fragment.Layout.Kind != catalog.LayoutKV || kvRec.Fragment.Layout.KeyCol != 0 {
+		t.Errorf("layout = %+v", kvRec.Fragment.Layout)
+	}
+	if kvRec.Benefit <= 0 {
+		t.Errorf("benefit = %v", kvRec.Benefit)
+	}
+}
+
+func TestRecommendJoinFragment(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	q := pivot.NewCQ(atom("Q", v("u"), v("p"), v("d")),
+		atom("Orders", v("o"), v("u"), v("p")),
+		atom("Visits", v("u"), v("p"), v("d")))
+	recs, err := a.Recommend([]QueryFreq{{Q: q, BoundHeadPositions: []int{0}, Freq: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinRec *Recommendation
+	for i := range recs {
+		if recs[i].Action == ActionAdd && strings.HasPrefix(recs[i].Fragment.Name, "RecJoin_") {
+			joinRec = &recs[i]
+			break
+		}
+	}
+	if joinRec == nil {
+		t.Fatalf("no join recommendation in %v", recs)
+	}
+	if joinRec.Fragment.Layout.Kind != catalog.LayoutPar {
+		t.Errorf("layout = %+v", joinRec.Fragment.Layout)
+	}
+	if len(joinRec.Fragment.Layout.IndexCols) == 0 {
+		t.Error("join fragment not indexed on the bound variable")
+	}
+}
+
+func TestRecommendDropUnused(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	// Workload touches only Prefs: FOrders and FVisits are unused.
+	recs, err := a.Recommend(keyLookupWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := map[string]bool{}
+	for _, r := range recs {
+		if r.Action == ActionDrop {
+			drops[r.Fragment.Name] = true
+		}
+	}
+	if !drops["FOrders"] || !drops["FVisits"] {
+		t.Errorf("missing drop recommendations: %v", drops)
+	}
+	if drops["FPrefs"] {
+		t.Error("used fragment recommended for drop")
+	}
+}
+
+func TestApplyAddRecommendation(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	recs, err := a.Recommend(keyLookupWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var add *Recommendation
+	for i := range recs {
+		if recs[i].Action == ActionAdd && recs[i].Fragment.Layout.Kind == catalog.LayoutKV {
+			add = &recs[i]
+			break
+		}
+	}
+	if add == nil {
+		t.Fatal("no add recommendation")
+	}
+	if err := a.Apply(*add); err != nil {
+		t.Fatal(err)
+	}
+	// The fragment is now materialized; a prepared lookup must use it.
+	q := keyLookupWorkload()[0].Q
+	p, err := s.Prepare(q, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(p.Rewriting().Body[0].Pred, "RecKV_Prefs") {
+		t.Errorf("prepared rewriting uses %v, want the new KV fragment", p.Rewriting())
+	}
+	rows, err := p.Exec(value.Str("au"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("no rows through the recommended fragment")
+	}
+}
+
+func TestApplyDropRecommendation(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	rec := Recommendation{Action: ActionDrop, Fragment: mustGet(t, s, "FVisits")}
+	if err := a.Apply(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Catalog.Get("FVisits"); ok {
+		t.Error("fragment still registered after drop")
+	}
+}
+
+func mustGet(t *testing.T, s *core.System, name string) *catalog.Fragment {
+	t.Helper()
+	f, ok := s.Catalog.Get(name)
+	if !ok {
+		t.Fatalf("no fragment %s", name)
+	}
+	return f
+}
+
+func TestRecommendationsSortedByBenefit(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	q2 := pivot.NewCQ(atom("Q", v("u"), v("p"), v("d")),
+		atom("Orders", v("o"), v("u"), v("p")),
+		atom("Visits", v("u"), v("p"), v("d")))
+	workload := append(keyLookupWorkload(),
+		QueryFreq{Q: q2, BoundHeadPositions: []int{0}, Freq: 10})
+	recs, err := a.Recommend(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Benefit > recs[i-1].Benefit {
+			t.Errorf("recommendations not sorted: %v", recs)
+		}
+	}
+}
+
+func TestAdvisorNoSystem(t *testing.T) {
+	a := &Advisor{}
+	if _, err := a.Recommend(nil); err == nil {
+		t.Error("nil system accepted")
+	}
+}

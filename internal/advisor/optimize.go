@@ -1,0 +1,141 @@
+package advisor
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// The paper closes with "our work is ongoing toward a cost-based
+// recommendation of optimal fragmentation". OptimizeLayout implements that
+// extension: given the workload and a storage budget (total rows of newly
+// materialized fragments), it greedily selects the candidate set with the
+// best marginal benefit per storage unit, re-costing the workload after
+// every acceptance so that interactions between fragments (one candidate
+// subsuming another's benefit) are accounted for.
+
+// LayoutPlan is the outcome of an optimization run.
+type LayoutPlan struct {
+	// Add lists the fragments to materialize, in acceptance order.
+	Add []*catalog.Fragment
+	// Drop lists fragments no workload query would use once Add is applied.
+	Drop []string
+	// CostBefore and CostAfter are the estimated workload costs.
+	CostBefore float64
+	CostAfter  float64
+	// StorageUsed is the estimated total rows of the added fragments.
+	StorageUsed int64
+}
+
+func (p *LayoutPlan) String() string {
+	s := fmt.Sprintf("layout plan: est. workload cost %.1f → %.1f, storage %d rows\n",
+		p.CostBefore, p.CostAfter, p.StorageUsed)
+	for _, f := range p.Add {
+		s += fmt.Sprintf("  + %s (%s, ~%d rows)\n", f.Name, f.Layout.Kind, f.Stats.Rows)
+	}
+	for _, n := range p.Drop {
+		s += fmt.Sprintf("  - %s (unused)\n", n)
+	}
+	return s
+}
+
+// OptimizeLayout selects, within storageBudget estimated rows, the set of
+// candidate fragments that minimizes the estimated workload cost. A
+// non-positive budget means unlimited.
+func (a *Advisor) OptimizeLayout(workload []QueryFreq, storageBudget int64) (*LayoutPlan, error) {
+	if a.Sys == nil {
+		return nil, fmt.Errorf("advisor: no system")
+	}
+	baseCosts, _, err := a.workloadCosts(a.Sys.Catalog, workload)
+	if err != nil {
+		return nil, err
+	}
+	plan := &LayoutPlan{CostBefore: weighted(baseCosts, workload)}
+	plan.CostAfter = plan.CostBefore
+
+	// Candidate pool: every heuristic candidate for every workload query.
+	pool := map[string]*catalog.Fragment{}
+	for _, wq := range workload {
+		for _, cand := range a.candidatesFor(wq) {
+			if _, exists := a.Sys.Catalog.Get(cand.Name); exists {
+				continue
+			}
+			pool[cand.Name] = cand
+		}
+	}
+
+	// Greedy: repeatedly accept the candidate with the best marginal
+	// benefit per storage row, re-costing against the hypothetical catalog.
+	hyp := cloneCatalog(a.Sys.Catalog)
+	curCosts := baseCosts
+	for len(pool) > 0 {
+		var bestName string
+		var bestScore float64
+		var bestCosts []float64
+		for name, cand := range pool {
+			if storageBudget > 0 && plan.StorageUsed+cand.Stats.Rows > storageBudget {
+				continue
+			}
+			trial := cloneCatalog(hyp)
+			if err := trial.Register(cand); err != nil {
+				delete(pool, name)
+				continue
+			}
+			costs, _, err := a.workloadCosts(trial, workload)
+			if err != nil {
+				delete(pool, name)
+				continue
+			}
+			benefit := 0.0
+			for i := range workload {
+				benefit += (curCosts[i] - costs[i]) * float64(workload[i].Freq)
+			}
+			rows := cand.Stats.Rows
+			if rows < 1 {
+				rows = 1
+			}
+			score := benefit / float64(rows)
+			if benefit <= 0 {
+				continue
+			}
+			if bestName == "" || score > bestScore {
+				bestName, bestScore, bestCosts = name, score, costs
+			}
+		}
+		if bestName == "" {
+			break
+		}
+		cand := pool[bestName]
+		delete(pool, bestName)
+		if err := hyp.Register(cand); err != nil {
+			continue
+		}
+		plan.Add = append(plan.Add, cand)
+		plan.StorageUsed += cand.Stats.Rows
+		curCosts = bestCosts
+		plan.CostAfter = weighted(curCosts, workload)
+	}
+
+	// Drop recommendations against the final hypothetical layout.
+	_, used, err := a.workloadCosts(hyp, workload)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range a.Sys.Catalog.All() {
+		if !used[f.Name] {
+			plan.Drop = append(plan.Drop, f.Name)
+		}
+	}
+	return plan, nil
+}
+
+// ApplyLayout materializes every addition of the plan (drops are left to
+// the operator: dropping data is not reversible).
+func (a *Advisor) ApplyLayout(plan *LayoutPlan) error {
+	for _, f := range plan.Add {
+		if err := a.Apply(Recommendation{Action: ActionAdd, Fragment: f}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

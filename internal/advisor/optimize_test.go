@@ -1,0 +1,122 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+func optimizerWorkload() []QueryFreq {
+	prefsQ := pivot.NewCQ(atom("QP", v("u"), v("k"), v("val")),
+		atom("Prefs", v("u"), v("k"), v("val")))
+	joinQ := pivot.NewCQ(atom("QJ", v("u"), v("p"), v("d")),
+		atom("Orders", v("o"), v("u"), v("p")),
+		atom("Visits", v("u"), v("p"), v("d")))
+	return []QueryFreq{
+		{Q: prefsQ, BoundHeadPositions: []int{0}, Freq: 10000},
+		{Q: joinQ, BoundHeadPositions: []int{0}, Freq: 500},
+	}
+}
+
+func TestOptimizeLayoutUnlimitedBudget(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	plan, err := a.OptimizeLayout(optimizerWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Add) < 2 {
+		t.Fatalf("plan additions = %v, want both the KV and the join fragment", plan.Add)
+	}
+	if plan.CostAfter >= plan.CostBefore {
+		t.Errorf("cost did not improve: %.1f → %.1f", plan.CostBefore, plan.CostAfter)
+	}
+	names := map[string]bool{}
+	for _, f := range plan.Add {
+		names[f.Name] = true
+	}
+	if !names["RecKV_Prefs_k0"] {
+		t.Errorf("missing KV candidate: %v", names)
+	}
+	joinFound := false
+	for n := range names {
+		if strings.HasPrefix(n, "RecJoin_") {
+			joinFound = true
+		}
+	}
+	if !joinFound {
+		t.Errorf("missing join candidate: %v", names)
+	}
+	if plan.String() == "" {
+		t.Error("empty plan rendering")
+	}
+}
+
+func TestOptimizeLayoutRespectsBudget(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	// Budget large enough for the prefs KV fragment (200 rows estimated
+	// from the identity-view stats) but not for the join fragment on top.
+	plan, err := a.OptimizeLayout(optimizerWorkload(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.StorageUsed > 250 {
+		t.Errorf("budget exceeded: %d", plan.StorageUsed)
+	}
+	if len(plan.Add) == 0 {
+		t.Fatal("nothing selected within budget")
+	}
+	// The greedy must pick the highest benefit-per-row first: the hot KV
+	// lookup fragment.
+	if plan.Add[0].Name != "RecKV_Prefs_k0" {
+		t.Errorf("first pick = %s", plan.Add[0].Name)
+	}
+}
+
+func TestOptimizeLayoutAppliesEndToEnd(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	plan, err := a.OptimizeLayout(optimizerWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplyLayout(plan); err != nil {
+		t.Fatal(err)
+	}
+	// The workload now routes to the new fragments with identical answers.
+	prefsQ := optimizerWorkload()[0].Q
+	p, err := s.Prepare(prefsQ, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(p.Rewriting().Body[0].Pred, "RecKV_") {
+		t.Errorf("prepared rewriting = %v", p.Rewriting())
+	}
+	rows, err := p.Exec(value.Str("au"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("no rows through optimized layout")
+	}
+}
+
+func TestOptimizeLayoutReportsUnusedDrops(t *testing.T) {
+	s := advisorSystem(t)
+	a := &Advisor{Sys: s, KVStore: "redis", ParStore: "spark"}
+	// Workload touching only Prefs: FOrders/FVisits become droppable.
+	plan, err := a.OptimizeLayout(optimizerWorkload()[:1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := map[string]bool{}
+	for _, n := range plan.Drop {
+		drops[n] = true
+	}
+	if !drops["FOrders"] || !drops["FVisits"] {
+		t.Errorf("drops = %v", plan.Drop)
+	}
+}

@@ -1,0 +1,107 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/pivot"
+)
+
+func TestWeaklyAcyclicFullTGDs(t *testing.T) {
+	// Full TGDs (no existentials) are always weakly acyclic, even when
+	// recursive (transitivity).
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1}),
+		pivot.NewTGD("trans",
+			[]pivot.Atom{
+				atom("Desc", pivot.Var("a"), pivot.Var("b")),
+				atom("Desc", pivot.Var("b"), pivot.Var("c")),
+			},
+			[]pivot.Atom{atom("Desc", pivot.Var("a"), pivot.Var("c"))}),
+	}}
+	ok, why := WeaklyAcyclic(cs)
+	if !ok {
+		t.Errorf("full TGDs flagged: %s", why)
+	}
+}
+
+func TestWeaklyAcyclicExistentialNoCycle(t *testing.T) {
+	// Emp(e) → ∃d Dept(e,d): a special edge into Dept[1] with no way back.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("emp",
+			[]pivot.Atom{atom("Emp", pivot.Var("e"))},
+			[]pivot.Atom{atom("Dept", pivot.Var("e"), pivot.Var("d"))}),
+	}}
+	if ok, why := WeaklyAcyclic(cs); !ok {
+		t.Errorf("acyclic existential flagged: %s", why)
+	}
+}
+
+func TestNotWeaklyAcyclicSelfFeeding(t *testing.T) {
+	// Person(x) → ∃y Person(y): the classic non-terminating dependency.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("grow",
+			[]pivot.Atom{atom("Person", pivot.Var("x"))},
+			[]pivot.Atom{atom("Person", pivot.Var("y"))}),
+	}}
+	ok, why := WeaklyAcyclic(cs)
+	if ok {
+		t.Error("self-feeding existential not flagged")
+	}
+	if why == "" {
+		t.Error("no explanation returned")
+	}
+}
+
+func TestNotWeaklyAcyclicTwoStepCycle(t *testing.T) {
+	// A(x) → ∃y B(x,y);  B(x,y) → A(y): y flows back into A[0].
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("a2b",
+			[]pivot.Atom{atom("A", pivot.Var("x"))},
+			[]pivot.Atom{atom("B", pivot.Var("x"), pivot.Var("y"))}),
+		pivot.NewTGD("b2a",
+			[]pivot.Atom{atom("B", pivot.Var("x"), pivot.Var("y"))},
+			[]pivot.Atom{atom("A", pivot.Var("y"))}),
+	}}
+	if ok, _ := WeaklyAcyclic(cs); ok {
+		t.Error("two-step existential cycle not flagged")
+	}
+}
+
+func TestModelEncodingsAreWeaklyAcyclic(t *testing.T) {
+	// The encodings the system ships must pass the check (that is the
+	// termination argument of DESIGN.md §5).
+	cases := map[string]pivot.Constraints{
+		"doc child/desc": {TGDs: []pivot.TGD{
+			pivot.InclusionTGD("c⊆d", "C_Child", 2, []int{0, 1}, "C_Desc", 2, []int{0, 1}),
+			pivot.NewTGD("t",
+				[]pivot.Atom{
+					atom("C_Desc", pivot.Var("a"), pivot.Var("b")),
+					atom("C_Desc", pivot.Var("b"), pivot.Var("c")),
+				},
+				[]pivot.Atom{atom("C_Desc", pivot.Var("a"), pivot.Var("c"))}),
+		}},
+	}
+	for name, cs := range cases {
+		if ok, why := WeaklyAcyclic(cs); !ok {
+			t.Errorf("%s: %s", name, why)
+		}
+	}
+}
+
+func TestViewConstraintsWeaklyAcyclic(t *testing.T) {
+	// Forward + backward constraints of a join view: weakly acyclic (the
+	// backward direction invents nulls only in base positions that never
+	// flow back into the view).
+	body := []pivot.Atom{
+		atom("R", pivot.Var("x"), pivot.Var("y")),
+		atom("S", pivot.Var("y"), pivot.Var("z")),
+	}
+	head := atom("V", pivot.Var("x"), pivot.Var("z"))
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("fwd", body, []pivot.Atom{head}),
+		pivot.NewTGD("bwd", []pivot.Atom{head}, body),
+	}}
+	if ok, why := WeaklyAcyclic(cs); !ok {
+		t.Errorf("view constraints flagged: %s", why)
+	}
+}

@@ -1,0 +1,190 @@
+// Package chase implements the chase procedure over pivot-model instances:
+// the standard (restricted) chase with tuple-generating and
+// equality-generating dependencies, plus the provenance tracking that powers
+// the provenance-aware Chase & Backchase (PACB) rewriting algorithm of
+// Ileana, Cautis, Deutsch and Katsis (SIGMOD 2014) used by ESTOCADA.
+//
+// The chase repeatedly finds constraint triggers (homomorphisms from a
+// dependency's premise into the instance) whose conclusion is not yet
+// satisfied, and repairs them: TGDs add facts (inventing fresh labeled nulls
+// for existential variables), EGDs unify terms (failing if two distinct
+// constants are equated). On the weakly-acyclic constraint sets produced by
+// ESTOCADA's model encodings the chase terminates; a configurable budget
+// guards against pathological inputs.
+package chase
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Bitset is a fixed-capacity bitset used to track which seed facts support a
+// derived fact (provenance). The zero value is an empty bitset of capacity 0;
+// use NewBitset to size it.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset able to hold bits [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i. It grows the bitset if needed.
+func (b *Bitset) Set(i int) {
+	w := i / 64
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) % 64)
+}
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool {
+	w := i / 64
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Clone returns an independent copy.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// UnionWith sets b to b ∪ o.
+func (b *Bitset) UnionWith(o Bitset) {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for i, w := range o {
+		(*b)[i] |= w
+	}
+}
+
+// Union returns b ∪ o as a new bitset.
+func (b Bitset) Union(o Bitset) Bitset {
+	out := b.Clone()
+	out.UnionWith(o)
+	return out
+}
+
+// SubsetOf reports whether b ⊆ o.
+func (b Bitset) SubsetOf(o Bitset) bool {
+	for i, w := range b {
+		var ow uint64
+		if i < len(o) {
+			ow = o[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o contain the same bits.
+func (b Bitset) Equal(o Bitset) bool {
+	return b.SubsetOf(o) && o.SubsetOf(b)
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bits are set.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach invokes fn for every set bit in ascending order.
+func (b Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			fn(wi*64 + i)
+			w &^= 1 << uint(i)
+		}
+	}
+}
+
+// Bits returns the indices of the set bits in ascending order.
+func (b Bitset) Bits() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the bitset as {i,j,...}.
+func (b Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(i))
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Provenance records, for one fact, the alternative support sets under which
+// it can be derived from the seed facts. A fact derived two different ways
+// keeps both alternatives (up to a cap), which lets the backchase prefer the
+// cheapest cover. The seed facts themselves have a single singleton support.
+type Provenance struct {
+	Alts []Bitset
+}
+
+// maxProvenanceAlts bounds how many alternative derivations are retained per
+// fact. Beyond that, further derivations are dropped; this only makes the
+// backchase slightly less informed, never incorrect, because every retained
+// alternative is a genuine derivation.
+const maxProvenanceAlts = 8
+
+// AddAlt records an alternative support set, skipping duplicates and
+// supersets of existing alternatives (which can never be preferable), and
+// dropping alternatives that are supersets of the new one.
+func (p *Provenance) AddAlt(b Bitset) {
+	keep := p.Alts[:0]
+	for _, a := range p.Alts {
+		if a.SubsetOf(b) {
+			// Existing alternative is at least as good; drop the new one.
+			return
+		}
+		if !b.SubsetOf(a) {
+			keep = append(keep, a)
+		}
+	}
+	p.Alts = keep
+	if len(p.Alts) < maxProvenanceAlts {
+		p.Alts = append(p.Alts, b.Clone())
+	}
+}
+
+// Best returns the smallest-cardinality support set, or nil if none.
+func (p *Provenance) Best() Bitset {
+	var best Bitset
+	bestN := -1
+	for _, a := range p.Alts {
+		if n := a.Count(); bestN < 0 || n < bestN {
+			best, bestN = a, n
+		}
+	}
+	return best
+}

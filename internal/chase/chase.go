@@ -1,0 +1,399 @@
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pivot"
+)
+
+// Options configures a chase run. The zero value selects sane defaults.
+type Options struct {
+	// MaxSteps bounds the number of trigger applications (default 50_000).
+	MaxSteps int
+	// MaxFacts bounds the instance size (default 200_000).
+	MaxFacts int
+	// TrackProvenance enables per-fact provenance (required by PACB).
+	TrackProvenance bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 50_000
+	}
+	if o.MaxFacts <= 0 {
+		o.MaxFacts = 200_000
+	}
+	return o
+}
+
+// ErrBudget is returned when the chase exceeds its step or fact budget
+// without reaching a fixpoint (e.g. on non-terminating constraint sets).
+var ErrBudget = errors.New("chase: step/fact budget exceeded")
+
+// ErrInconsistent is returned when an EGD equates two distinct constants:
+// the instance cannot satisfy the constraints.
+var ErrInconsistent = errors.New("chase: constraints inconsistent with instance (EGD equated distinct constants)")
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the chased instance (a fresh instance; the input is not
+	// mutated).
+	Instance *pivot.Instance
+	// Prov maps fact keys to provenance (only when TrackProvenance).
+	Prov map[string]*Provenance
+	// Steps is the number of trigger applications performed.
+	Steps  int
+	rename map[pivot.Null]pivot.Term
+}
+
+// Resolve maps a term through the null unifications performed by EGD steps:
+// if a labeled null was merged into another term, Resolve returns the final
+// representative. Terms unaffected by unification are returned unchanged.
+func (r *Result) Resolve(t pivot.Term) pivot.Term {
+	for i := 0; i < len(r.rename)+1; i++ {
+		n, ok := t.(pivot.Null)
+		if !ok {
+			return t
+		}
+		next, ok := r.rename[n]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// ProvOf returns the provenance of a fact (by value), or nil.
+func (r *Result) ProvOf(fact pivot.Atom) *Provenance {
+	if r.Prov == nil {
+		return nil
+	}
+	return r.Prov[fact.Key()]
+}
+
+// Chase runs the restricted chase of inst under cs. The input instance is
+// cloned, never mutated. Seed facts receive singleton provenance {i} keyed
+// by their index in the input instance (0 ≤ i < inst.Size()).
+func Chase(inst *pivot.Instance, cs pivot.Constraints, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cs.Validate(); err != nil {
+		return nil, fmt.Errorf("chase: invalid constraints: %w", err)
+	}
+	res := &Result{
+		Instance: inst.Clone(),
+		rename:   map[pivot.Null]pivot.Term{},
+	}
+	if opts.TrackProvenance {
+		res.Prov = make(map[string]*Provenance, inst.Size())
+		for i := 0; i < inst.Size(); i++ {
+			f, live := inst.Fact(i)
+			if !live {
+				continue
+			}
+			b := NewBitset(inst.Size())
+			b.Set(i)
+			p := &Provenance{}
+			p.AddAlt(b)
+			res.Prov[f.Key()] = p
+		}
+	}
+
+	for {
+		changed, err := chasePass(res, cs, opts)
+		if err != nil {
+			return res, err
+		}
+		if !changed {
+			return res, nil
+		}
+	}
+}
+
+// chasePass applies every unsatisfied trigger found at the start of the
+// pass. It reports whether anything changed.
+func chasePass(res *Result, cs pivot.Constraints, opts Options) (bool, error) {
+	changed := false
+	for _, d := range cs.TGDs {
+		c, err := applyTGD(res, d, opts)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || c
+	}
+	for _, d := range cs.EGDs {
+		c, err := applyEGD(res, d, opts)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+type tgdTrigger struct {
+	subst   pivot.Subst
+	support Bitset
+}
+
+// applyTGD fires every currently-unsatisfied trigger of d once.
+func applyTGD(res *Result, d pivot.TGD, opts Options) (bool, error) {
+	inst := res.Instance
+	// Collect triggers first: the instance must not change mid-enumeration.
+	var triggers []tgdTrigger
+	pivot.ForEachHom(d.Body, inst, nil, func(h pivot.HomResult) bool {
+		var sup Bitset
+		if res.Prov != nil {
+			for _, fi := range h.FactIdx {
+				f, _ := inst.Fact(fi)
+				if p := res.Prov[f.Key()]; p != nil {
+					if b := p.Best(); b != nil {
+						sup.UnionWith(b)
+					}
+				}
+			}
+		}
+		if tgdSatisfied(inst, d, h.Subst) {
+			// Already satisfied: no chase step, but the trigger is still an
+			// alternative derivation of the satisfying facts — PACB needs it.
+			recordSatisfiedProv(res, d, h.Subst, sup)
+			return true
+		}
+		triggers = append(triggers, tgdTrigger{subst: h.Subst, support: sup})
+		return true
+	})
+	changed := false
+	for _, tr := range triggers {
+		// Re-check: an earlier trigger in this batch may have satisfied it.
+		if tgdSatisfied(inst, d, tr.subst) {
+			recordSatisfiedProv(res, d, tr.subst, tr.support)
+			continue
+		}
+		res.Steps++
+		if res.Steps > opts.MaxSteps || inst.Size() > opts.MaxFacts {
+			return changed, ErrBudget
+		}
+		s := tr.subst.Clone()
+		for _, v := range d.ExistentialVars() {
+			s[v] = inst.FreshNull()
+		}
+		for _, h := range d.Head {
+			fact := s.ApplyAtom(h)
+			inst.Add(fact)
+			if res.Prov != nil {
+				p := res.Prov[fact.Key()]
+				if p == nil {
+					p = &Provenance{}
+					res.Prov[fact.Key()] = p
+				}
+				p.AddAlt(tr.support)
+			}
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+// recordSatisfiedProv attributes an alternative derivation (support) to the
+// facts that satisfy d's conclusion under the body binding s. AddAlt
+// deduplicates, so repeated passes are idempotent.
+func recordSatisfiedProv(res *Result, d pivot.TGD, s pivot.Subst, support Bitset) {
+	if res.Prov == nil {
+		return
+	}
+	fixed := fixedHeadBinding(d, s)
+	h, ok := pivot.FindHom(d.Head, res.Instance, fixed)
+	if !ok {
+		return
+	}
+	for _, fi := range h.FactIdx {
+		f, _ := res.Instance.Fact(fi)
+		p := res.Prov[f.Key()]
+		if p == nil {
+			p = &Provenance{}
+			res.Prov[f.Key()] = p
+		}
+		p.AddAlt(support)
+	}
+}
+
+// fixedHeadBinding restricts s to the universally-quantified variables of
+// d's head (existentials stay free).
+func fixedHeadBinding(d pivot.TGD, s pivot.Subst) pivot.Subst {
+	fixed := pivot.NewSubst()
+	ex := map[pivot.Var]bool{}
+	for _, v := range d.ExistentialVars() {
+		ex[v] = true
+	}
+	for _, h := range d.Head {
+		for _, v := range h.Vars() {
+			if ex[v] {
+				continue
+			}
+			if img, ok := s[v]; ok {
+				fixed[v] = img
+			}
+		}
+	}
+	return fixed
+}
+
+// tgdSatisfied reports whether d's conclusion already holds under the body
+// binding s.
+func tgdSatisfied(inst *pivot.Instance, d pivot.TGD, s pivot.Subst) bool {
+	return pivot.HomExists(d.Head, inst, fixedHeadBinding(d, s))
+}
+
+// applyEGD fires EGD triggers, unifying terms. Unification rebuilds the
+// instance with the merged terms, remapping provenance by fact key.
+func applyEGD(res *Result, d pivot.EGD, opts Options) (bool, error) {
+	changed := false
+	for {
+		inst := res.Instance
+		var l, r pivot.Term
+		found := false
+		pivot.ForEachHom(d.Body, inst, nil, func(h pivot.HomResult) bool {
+			li := h.Subst.ApplyTerm(d.Left)
+			ri := h.Subst.ApplyTerm(d.Right)
+			if pivot.SameTerm(li, ri) {
+				return true
+			}
+			l, r, found = li, ri, true
+			return false
+		})
+		if !found {
+			return changed, nil
+		}
+		res.Steps++
+		if res.Steps > opts.MaxSteps {
+			return changed, ErrBudget
+		}
+		if err := unify(res, l, r); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+}
+
+// unify merges term l into term r (or vice versa), rewriting the instance.
+// Nulls are merged into constants; between two nulls the younger (larger
+// label) is merged into the older, keeping representatives stable.
+func unify(res *Result, l, r pivot.Term) error {
+	ln, lIsNull := l.(pivot.Null)
+	rn, rIsNull := r.(pivot.Null)
+	var from pivot.Null
+	var to pivot.Term
+	switch {
+	case lIsNull && rIsNull:
+		if ln > rn {
+			from, to = ln, rn
+		} else {
+			from, to = rn, ln
+		}
+	case lIsNull:
+		from, to = ln, r
+	case rIsNull:
+		from, to = rn, l
+	default:
+		return fmt.Errorf("%w: %v = %v", ErrInconsistent, l, r)
+	}
+	res.rename[from] = to
+
+	old := res.Instance
+	fresh := pivot.NewInstance()
+	fresh.ReserveNulls(maxNullLabel(old))
+	newProv := map[string]*Provenance{}
+	for i := 0; i < old.Size(); i++ {
+		f, live := old.Fact(i)
+		if !live {
+			continue
+		}
+		args := make([]pivot.Term, len(f.Args))
+		for j, t := range f.Args {
+			if n, ok := t.(pivot.Null); ok && n == from {
+				args[j] = to
+			} else {
+				args[j] = t
+			}
+		}
+		nf := pivot.Atom{Pred: f.Pred, Args: args}
+		fresh.Add(nf)
+		if res.Prov != nil {
+			if p := res.Prov[f.Key()]; p != nil {
+				np := newProv[nf.Key()]
+				if np == nil {
+					np = &Provenance{}
+					newProv[nf.Key()] = np
+				}
+				for _, a := range p.Alts {
+					np.AddAlt(a)
+				}
+			}
+		}
+	}
+	res.Instance = fresh
+	if res.Prov != nil {
+		res.Prov = newProv
+	}
+	return nil
+}
+
+func maxNullLabel(inst *pivot.Instance) int64 {
+	var maxN int64
+	for i := 0; i < inst.Size(); i++ {
+		f, live := inst.Fact(i)
+		if !live {
+			continue
+		}
+		for _, t := range f.Args {
+			if n, ok := t.(pivot.Null); ok && int64(n) > maxN {
+				maxN = int64(n)
+			}
+		}
+	}
+	return maxN
+}
+
+// ContainedInUnder reports whether q1 ⊑ q2 holds on all instances satisfying
+// cs: it chases the canonical database of q1 with cs and searches a
+// head-preserving homomorphism from q2 into the result. An inconsistent
+// chase (ErrInconsistent) means q1 can have no answers on consistent
+// instances, so containment holds vacuously.
+func ContainedInUnder(q1, q2 pivot.CQ, cs pivot.Constraints, opts Options) (bool, error) {
+	if q1.Head.Arity() != q2.Head.Arity() {
+		return false, nil
+	}
+	inst, frozen := pivot.Freeze(q1)
+	res, err := Chase(inst, cs, opts)
+	if err != nil {
+		if errors.Is(err, ErrInconsistent) {
+			return true, nil
+		}
+		return false, err
+	}
+	fixed := pivot.NewSubst()
+	for i, t2 := range q2.Head.Args {
+		img1 := res.Resolve(frozen.ApplyTerm(q1.Head.Args[i]))
+		switch tt := t2.(type) {
+		case pivot.Var:
+			if !fixed.Bind(tt, img1) {
+				return false, nil
+			}
+		default:
+			if !pivot.SameTerm(t2, img1) {
+				return false, nil
+			}
+		}
+	}
+	return pivot.HomExists(q2.Body, res.Instance, fixed), nil
+}
+
+// EquivalentUnder reports mutual containment under cs.
+func EquivalentUnder(q1, q2 pivot.CQ, cs pivot.Constraints, opts Options) (bool, error) {
+	c1, err := ContainedInUnder(q1, q2, cs, opts)
+	if err != nil || !c1 {
+		return false, err
+	}
+	return ContainedInUnder(q2, q1, cs, opts)
+}

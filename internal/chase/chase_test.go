@@ -1,0 +1,454 @@
+package chase
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pivot"
+)
+
+func atom(pred string, args ...pivot.Term) pivot.Atom { return pivot.NewAtom(pred, args...) }
+
+func TestChaseFullTGD(t *testing.T) {
+	// Child ⊆ Desc.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("Child", pivot.CInt(1), pivot.CInt(2)))
+	inst.Add(atom("Child", pivot.CInt(2), pivot.CInt(3)))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Has(atom("Desc", pivot.CInt(1), pivot.CInt(2))) ||
+		!res.Instance.Has(atom("Desc", pivot.CInt(2), pivot.CInt(3))) {
+		t.Errorf("Desc facts missing:\n%s", res.Instance)
+	}
+	if res.Instance.Len() != 4 {
+		t.Errorf("instance size = %d, want 4", res.Instance.Len())
+	}
+}
+
+func TestChaseTransitivity(t *testing.T) {
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("trans",
+			[]pivot.Atom{atom("Desc", pivot.Var("a"), pivot.Var("b")), atom("Desc", pivot.Var("b"), pivot.Var("c"))},
+			[]pivot.Atom{atom("Desc", pivot.Var("a"), pivot.Var("c"))}),
+	}}
+	inst := pivot.NewInstance()
+	for i := int64(0); i < 4; i++ {
+		inst.Add(atom("Desc", pivot.CInt(i), pivot.CInt(i+1)))
+	}
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transitive closure of a 5-node path: 4+3+2+1 = 10 pairs.
+	if res.Instance.Len() != 10 {
+		t.Errorf("closure size = %d, want 10:\n%s", res.Instance.Len(), res.Instance)
+	}
+	if !res.Instance.Has(atom("Desc", pivot.CInt(0), pivot.CInt(4))) {
+		t.Error("missing Desc(0,4)")
+	}
+}
+
+func TestChaseExistentialTGD(t *testing.T) {
+	// Every person has a parent: Person(x) → ∃y Parent(x,y) ∧ Person(y)
+	// would not terminate; the budget must kick in.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("par",
+			[]pivot.Atom{atom("Person", pivot.Var("x"))},
+			[]pivot.Atom{atom("Parent", pivot.Var("x"), pivot.Var("y")), atom("Person", pivot.Var("y"))}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("Person", pivot.CStr("ada")))
+	_, err := Chase(inst, cs, Options{MaxSteps: 25})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestChaseExistentialSatisfied(t *testing.T) {
+	// Same constraint, but the conclusion is already satisfied: no step.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("par",
+			[]pivot.Atom{atom("Person", pivot.Var("x"))},
+			[]pivot.Atom{atom("Parent", pivot.Var("x"), pivot.Var("y"))}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("Person", pivot.CStr("ada")))
+	inst.Add(atom("Parent", pivot.CStr("ada"), pivot.CStr("byron")))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Errorf("steps = %d, want 0 (restricted chase)", res.Steps)
+	}
+}
+
+func TestChaseExistentialCreatesNull(t *testing.T) {
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("emp",
+			[]pivot.Atom{atom("Emp", pivot.Var("e"))},
+			[]pivot.Atom{atom("Dept", pivot.Var("e"), pivot.Var("d"))}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("Emp", pivot.CStr("bob")))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depts := res.Instance.FactsFor("Dept")
+	if len(depts) != 1 {
+		t.Fatalf("Dept count = %d", len(depts))
+	}
+	f, _ := res.Instance.Fact(depts[0])
+	if f.Args[1].Kind() != pivot.KindNull {
+		t.Errorf("existential position = %v, want a labeled null", f.Args[1])
+	}
+}
+
+func TestChaseEGDUnifiesNullWithConst(t *testing.T) {
+	// Key on R's first position: R(k,a) ∧ R(k,b) → a=b.
+	cs := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	inst := pivot.NewInstance()
+	n := inst.FreshNull()
+	inst.Add(atom("R", pivot.CInt(1), n))
+	inst.Add(atom("R", pivot.CInt(1), pivot.CStr("v")))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance.Len() != 1 {
+		t.Errorf("after unification size = %d, want 1:\n%s", res.Instance.Len(), res.Instance)
+	}
+	if !res.Instance.Has(atom("R", pivot.CInt(1), pivot.CStr("v"))) {
+		t.Error("surviving fact must carry the constant")
+	}
+	if got := res.Resolve(n); !pivot.SameTerm(got, pivot.CStr("v")) {
+		t.Errorf("Resolve(null) = %v, want \"v\"", got)
+	}
+}
+
+func TestChaseEGDNullNull(t *testing.T) {
+	cs := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	inst := pivot.NewInstance()
+	n1 := inst.FreshNull()
+	n2 := inst.FreshNull()
+	inst.Add(atom("R", pivot.CInt(1), n1))
+	inst.Add(atom("R", pivot.CInt(1), n2))
+	inst.Add(atom("S", n2))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n2 (younger) merges into n1: S(n2) must now be S(n1).
+	if !res.Instance.Has(atom("S", n1)) {
+		t.Errorf("null-null merge did not rewrite S:\n%s", res.Instance)
+	}
+	if !pivot.SameTerm(res.Resolve(n2), n1) {
+		t.Errorf("Resolve(n2) = %v, want %v", res.Resolve(n2), n1)
+	}
+}
+
+func TestChaseEGDConstClashFails(t *testing.T) {
+	cs := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	inst := pivot.NewInstance()
+	inst.Add(atom("R", pivot.CInt(1), pivot.CStr("a")))
+	inst.Add(atom("R", pivot.CInt(1), pivot.CStr("b")))
+	_, err := Chase(inst, cs, Options{})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestChaseEGDCascadesIntoTGD(t *testing.T) {
+	// After unifying, a TGD trigger appears.
+	cs := pivot.Constraints{
+		EGDs: pivot.KeyEGDs("R", 2, 0),
+		TGDs: []pivot.TGD{pivot.NewTGD("t",
+			[]pivot.Atom{atom("R", pivot.Var("k"), pivot.CStr("gold"))},
+			[]pivot.Atom{atom("Gold", pivot.Var("k"))})},
+	}
+	inst := pivot.NewInstance()
+	n := inst.FreshNull()
+	inst.Add(atom("R", pivot.CInt(7), n))
+	inst.Add(atom("R", pivot.CInt(7), pivot.CStr("gold")))
+	res, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Has(atom("Gold", pivot.CInt(7))) {
+		t.Errorf("TGD after EGD not fired:\n%s", res.Instance)
+	}
+}
+
+func TestChaseDoesNotMutateInput(t *testing.T) {
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "C", 1, []int{0}, "D", 1, []int{0}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("C", pivot.CInt(1)))
+	if _, err := Chase(inst, cs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() != 1 {
+		t.Error("input instance was mutated")
+	}
+}
+
+func TestChaseIdempotentOnSatisfied(t *testing.T) {
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "C", 1, []int{0}, "D", 1, []int{0}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("C", pivot.CInt(1)))
+	res1, err := Chase(inst, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Chase(res1.Instance, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps != 0 {
+		t.Errorf("second chase performed %d steps, want 0", res2.Steps)
+	}
+	if res2.Instance.Len() != res1.Instance.Len() {
+		t.Error("second chase changed the instance")
+	}
+}
+
+func TestChaseProvenanceSeeds(t *testing.T) {
+	inst := pivot.NewInstance()
+	f0 := atom("A", pivot.CInt(0))
+	f1 := atom("B", pivot.CInt(1))
+	inst.Add(f0)
+	inst.Add(f1)
+	res, err := Chase(inst, pivot.Constraints{}, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := res.ProvOf(f0)
+	if p0 == nil || len(p0.Alts) != 1 || !p0.Alts[0].Has(0) || p0.Alts[0].Count() != 1 {
+		t.Errorf("seed provenance of %v = %+v", f0, p0)
+	}
+}
+
+func TestChaseProvenancePropagates(t *testing.T) {
+	// A(x) ∧ B(x) → C(x): prov(C) = {idx(A), idx(B)}.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("t",
+			[]pivot.Atom{atom("A", pivot.Var("x")), atom("B", pivot.Var("x"))},
+			[]pivot.Atom{atom("C", pivot.Var("x"))}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("A", pivot.CInt(1))) // seed 0
+	inst.Add(atom("B", pivot.CInt(1))) // seed 1
+	res, err := Chase(inst, cs, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.ProvOf(atom("C", pivot.CInt(1)))
+	if p == nil {
+		t.Fatal("no provenance for derived fact")
+	}
+	best := p.Best()
+	if !(best.Has(0) && best.Has(1) && best.Count() == 2) {
+		t.Errorf("prov(C(1)) = %v, want {0,1}", best)
+	}
+}
+
+func TestChaseProvenanceAlternatives(t *testing.T) {
+	// C derivable from A alone or from B alone: two alternatives.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("fromA", []pivot.Atom{atom("A", pivot.Var("x"))}, []pivot.Atom{atom("C", pivot.Var("x"))}),
+		pivot.NewTGD("fromB", []pivot.Atom{atom("B", pivot.Var("x"))}, []pivot.Atom{atom("C", pivot.Var("x"))}),
+	}}
+	inst := pivot.NewInstance()
+	inst.Add(atom("A", pivot.CInt(1)))
+	inst.Add(atom("B", pivot.CInt(1)))
+	res, err := Chase(inst, cs, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.ProvOf(atom("C", pivot.CInt(1)))
+	if p == nil || len(p.Alts) != 2 {
+		t.Fatalf("alternatives = %+v, want 2", p)
+	}
+}
+
+func TestContainedInUnderConstraints(t *testing.T) {
+	// Under Child ⊆ Desc, q1 over Child is contained in q2 over Desc.
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1}),
+	}}
+	q1 := pivot.NewCQ(atom("Q", pivot.Var("x"), pivot.Var("y")),
+		atom("Child", pivot.Var("x"), pivot.Var("y")))
+	q2 := pivot.NewCQ(atom("Q", pivot.Var("a"), pivot.Var("b")),
+		atom("Desc", pivot.Var("a"), pivot.Var("b")))
+	ok, err := ContainedInUnder(q1, q2, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Child-query must be contained in Desc-query under Child⊆Desc")
+	}
+	// Without constraints, containment fails.
+	if pivot.ContainedIn(q1, q2) {
+		t.Error("containment must not hold without constraints")
+	}
+	// Converse never holds.
+	ok, err = ContainedInUnder(q2, q1, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Desc-query must not be contained in Child-query")
+	}
+}
+
+func TestEquivalentUnderKeyConstraint(t *testing.T) {
+	// With a key on R[0], R(x,y) ∧ R(x,z) collapses: the two queries are
+	// equivalent under the key but not without it.
+	cs := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	q1 := pivot.NewCQ(atom("Q", pivot.Var("x"), pivot.Var("y"), pivot.Var("z")),
+		atom("R", pivot.Var("x"), pivot.Var("y")),
+		atom("R", pivot.Var("x"), pivot.Var("z")))
+	q2 := pivot.NewCQ(atom("Q", pivot.Var("x"), pivot.Var("y"), pivot.Var("y")),
+		atom("R", pivot.Var("x"), pivot.Var("y")))
+	ok, err := EquivalentUnder(q1, q2, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("queries must be equivalent under the key constraint")
+	}
+	if pivot.Equivalent(q1, q2) {
+		t.Error("queries must differ without the key constraint")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	var b Bitset
+	b.Set(3)
+	b.Set(70)
+	if !b.Has(3) || !b.Has(70) || b.Has(4) {
+		t.Error("Set/Has broken")
+	}
+	if b.Count() != 2 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	var o Bitset
+	o.Set(3)
+	if !o.SubsetOf(b) || b.SubsetOf(o) {
+		t.Error("SubsetOf broken")
+	}
+	u := o.Union(b)
+	if !u.Equal(b) {
+		t.Error("Union broken")
+	}
+	if got := b.Bits(); len(got) != 2 || got[0] != 3 || got[1] != 70 {
+		t.Errorf("Bits = %v", got)
+	}
+	if b.String() != "{3,70}" {
+		t.Errorf("String = %q", b.String())
+	}
+	if (Bitset{}).Empty() != true || b.Empty() {
+		t.Error("Empty broken")
+	}
+}
+
+func TestProvenanceAddAlt(t *testing.T) {
+	p := &Provenance{}
+	var a, sup Bitset
+	a.Set(1)
+	sup.Set(1)
+	sup.Set(2)
+	p.AddAlt(sup)
+	p.AddAlt(a) // smaller: should displace the superset
+	if len(p.Alts) != 1 || !p.Alts[0].Equal(a) {
+		t.Errorf("Alts = %v", p.Alts)
+	}
+	p.AddAlt(sup) // superset of existing: ignored
+	if len(p.Alts) != 1 {
+		t.Errorf("superset was added: %v", p.Alts)
+	}
+	var other Bitset
+	other.Set(5)
+	p.AddAlt(other)
+	if len(p.Alts) != 2 {
+		t.Errorf("incomparable alternative rejected: %v", p.Alts)
+	}
+	if best := p.Best(); best.Count() != 1 {
+		t.Errorf("Best = %v", best)
+	}
+}
+
+// Property: on random ground edge sets, the chase of the transitivity
+// constraint computes exactly the transitive closure, and re-chasing its
+// output is a no-op (idempotence).
+func TestChaseTransitiveClosureQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(12))}
+	cs := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("trans",
+			[]pivot.Atom{
+				atom("E", pivot.Var("a"), pivot.Var("b")),
+				atom("E", pivot.Var("b"), pivot.Var("c")),
+			},
+			[]pivot.Atom{atom("E", pivot.Var("a"), pivot.Var("c"))}),
+	}}
+	f := func(edges [6][2]uint8) bool {
+		inst := pivot.NewInstance()
+		adj := map[int64]map[int64]bool{}
+		for _, e := range edges {
+			a, b := int64(e[0]%5), int64(e[1]%5)
+			inst.Add(atom("E", pivot.CInt(a), pivot.CInt(b)))
+			if adj[a] == nil {
+				adj[a] = map[int64]bool{}
+			}
+			adj[a][b] = true
+		}
+		res, err := Chase(inst, cs, Options{})
+		if err != nil {
+			return false
+		}
+		// Floyd–Warshall reference closure.
+		for k := int64(0); k < 5; k++ {
+			for i := int64(0); i < 5; i++ {
+				for j := int64(0); j < 5; j++ {
+					if adj[i][k] && adj[k][j] {
+						if adj[i] == nil {
+							adj[i] = map[int64]bool{}
+						}
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		want := 0
+		for i := int64(0); i < 5; i++ {
+			for j := int64(0); j < 5; j++ {
+				if adj[i][j] {
+					want++
+					if !res.Instance.Has(atom("E", pivot.CInt(i), pivot.CInt(j))) {
+						return false
+					}
+				}
+			}
+		}
+		if res.Instance.Len() != want {
+			return false
+		}
+		// Idempotence.
+		again, err := Chase(res.Instance, cs, Options{})
+		return err == nil && again.Steps == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// The optional global-as-view integration layer (paper §III, "Query
+// Evaluator"): when a query spans multiple datasets with different data
+// models, it is "specified by combining algebraic operations (such as
+// filter, join, union, etc.) on top of individual queries carrying over
+// each dataset". Leaf expressions are conjunctive queries answered through
+// the local-as-view machinery; combinators evaluate in the runtime engine.
+
+// Expr is one node of a GAV algebra expression.
+type Expr interface {
+	// columns reports the output width (for validation).
+	columns(s *System) (int, error)
+	// node compiles the expression to an executable plan node.
+	node(s *System) (exec.Node, error)
+}
+
+// Leaf wraps one conjunctive query over a single dataset's logical schema,
+// answered through the local-as-view machinery.
+type Leaf struct {
+	Q pivot.CQ
+}
+
+func (l Leaf) columns(*System) (int, error) {
+	if err := l.Q.Validate(); err != nil {
+		return 0, err
+	}
+	return l.Q.Head.Arity(), nil
+}
+
+func (l Leaf) node(s *System) (exec.Node, error) {
+	res, err := s.Query(l.Q)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Values{Out: positional(l.Q.Head.Arity()), Rows: res.Rows}, nil
+}
+
+// QueryAlgebra evaluates a GAV algebra expression: each leaf CQ is answered
+// via rewriting over the fragments, combinators run in the runtime engine,
+// and duplicates are removed at the root (set semantics).
+func (s *System) QueryAlgebra(e Expr) ([]value.Tuple, error) {
+	if _, err := e.columns(s); err != nil {
+		return nil, err
+	}
+	n, err := e.node(s)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(&exec.Distinct{In: n})
+}
+
+// Filter keeps tuples whose column Col equals Val.
+type Filter struct {
+	In  Expr
+	Col int
+	Val value.Value
+}
+
+// Join equi-joins two inputs on LCol = RCol, concatenating tuples.
+type Join struct {
+	L, R       Expr
+	LCol, RCol int
+}
+
+// Union concatenates inputs with equal widths (set semantics: duplicates
+// are removed at the root).
+type Union struct {
+	Inputs []Expr
+}
+
+// Project keeps the listed columns, in order.
+type Project struct {
+	In   Expr
+	Cols []int
+}
+
+func (f Filter) columns(s *System) (int, error) {
+	n, err := f.In.columns(s)
+	if err != nil {
+		return 0, err
+	}
+	if f.Col < 0 || f.Col >= n {
+		return 0, fmt.Errorf("estocada: filter column %d out of range (width %d)", f.Col, n)
+	}
+	return n, nil
+}
+
+func (f Filter) node(s *System) (exec.Node, error) {
+	in, err := f.In.node(s)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Select{In: in, EqConst: []engine.EqFilter{{Col: f.Col, Val: f.Val}}}, nil
+}
+
+func (j Join) columns(s *System) (int, error) {
+	ln, err := j.L.columns(s)
+	if err != nil {
+		return 0, err
+	}
+	rn, err := j.R.columns(s)
+	if err != nil {
+		return 0, err
+	}
+	if j.LCol < 0 || j.LCol >= ln || j.RCol < 0 || j.RCol >= rn {
+		return 0, fmt.Errorf("estocada: join columns (%d,%d) out of range (%d,%d)", j.LCol, j.RCol, ln, rn)
+	}
+	// Natural-join output: the matched right column is merged into the
+	// left one, so it is not repeated.
+	return ln + rn - 1, nil
+}
+
+func (j Join) node(s *System) (exec.Node, error) {
+	ln, err := j.L.node(s)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := j.R.node(s)
+	if err != nil {
+		return nil, err
+	}
+	// Rename schemas positionally so exactly the join columns collide.
+	lw, _ := j.L.columns(s)
+	rw, _ := j.R.columns(s)
+	ls := make(exec.Schema, lw)
+	for i := range ls {
+		ls[i] = fmt.Sprintf("l%d", i)
+	}
+	rs := make(exec.Schema, rw)
+	for i := range rs {
+		rs[i] = fmt.Sprintf("r%d", i)
+	}
+	rs[j.RCol] = ls[j.LCol]
+	left := &renameNode{in: ln, out: ls}
+	right := &renameNode{in: rn, out: rs}
+	return exec.NewHashJoin(left, right)
+}
+
+func (u Union) columns(s *System) (int, error) {
+	if len(u.Inputs) == 0 {
+		return 0, fmt.Errorf("estocada: empty union")
+	}
+	w, err := u.Inputs[0].columns(s)
+	if err != nil {
+		return 0, err
+	}
+	for _, in := range u.Inputs[1:] {
+		wi, err := in.columns(s)
+		if err != nil {
+			return 0, err
+		}
+		if wi != w {
+			return 0, fmt.Errorf("estocada: union width mismatch (%d vs %d)", w, wi)
+		}
+	}
+	return w, nil
+}
+
+func (u Union) node(s *System) (exec.Node, error) {
+	w, err := u.columns(s)
+	if err != nil {
+		return nil, err
+	}
+	schema := positional(w)
+	var nodes []exec.Node
+	for _, in := range u.Inputs {
+		n, err := in.node(s)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, &renameNode{in: n, out: schema})
+	}
+	return &exec.Union{Inputs: nodes}, nil
+}
+
+func (p Project) columns(s *System) (int, error) {
+	n, err := p.In.columns(s)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range p.Cols {
+		if c < 0 || c >= n {
+			return 0, fmt.Errorf("estocada: projection column %d out of range (width %d)", c, n)
+		}
+	}
+	return len(p.Cols), nil
+}
+
+func (p Project) node(s *System) (exec.Node, error) {
+	in, err := p.In.node(s)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(p.Cols))
+	inSchema := in.Schema()
+	for i, c := range p.Cols {
+		names[i] = inSchema[c]
+	}
+	return exec.NewProject(in, names)
+}
+
+// renameNode re-labels a node's columns positionally (widths must match).
+type renameNode struct {
+	in  exec.Node
+	out exec.Schema
+}
+
+func (r *renameNode) Schema() exec.Schema            { return r.out }
+func (r *renameNode) Label() string                  { return "Rename" + r.out.String() }
+func (r *renameNode) Children() []exec.Node          { return []exec.Node{r.in} }
+func (r *renameNode) Open() (engine.Iterator, error) { return r.in.Open() }
+
+func positional(w int) exec.Schema {
+	out := make(exec.Schema, w)
+	for i := range out {
+		out[i] = fmt.Sprintf("c%d", i)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// usersLeaf and ordersLeaf query the testSystem fixture's logical schema.
+func usersLeaf() Leaf {
+	return Leaf{Q: pivot.NewCQ(atom("QU", v("u"), v("n"), v("c")),
+		atom("Users", v("u"), v("n"), v("c")))}
+}
+
+func ordersLeaf() Leaf {
+	return Leaf{Q: pivot.NewCQ(atom("QO", v("o"), v("u"), v("p")),
+		atom("Orders", v("o"), v("u"), v("p")))}
+}
+
+func TestAlgebraLeaf(t *testing.T) {
+	s := testSystem(t)
+	rows, err := s.QueryAlgebra(usersLeaf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestAlgebraFilter(t *testing.T) {
+	s := testSystem(t)
+	rows, err := s.QueryAlgebra(Filter{In: usersLeaf(), Col: 2, Val: value.Str("paris")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+	if _, err := s.QueryAlgebra(Filter{In: usersLeaf(), Col: 9, Val: value.Str("x")}); err == nil {
+		t.Error("out-of-range filter accepted")
+	}
+}
+
+func TestAlgebraJoin(t *testing.T) {
+	s := testSystem(t)
+	// users ⋈ orders on uid: users col 0, orders col 1.
+	rows, err := s.QueryAlgebra(Join{L: usersLeaf(), R: ordersLeaf(), LCol: 0, RCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 has two orders, u2 one; u3 none → 3 joined rows. The matched
+	// right column merges into the left one: width 3 + 3 - 1 = 5.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if len(rows[0]) != 5 {
+		t.Errorf("width = %d, want 5", len(rows[0]))
+	}
+	if _, err := s.QueryAlgebra(Join{L: usersLeaf(), R: ordersLeaf(), LCol: 5, RCol: 1}); err == nil {
+		t.Error("out-of-range join column accepted")
+	}
+}
+
+func TestAlgebraUnionAndProject(t *testing.T) {
+	s := testSystem(t)
+	parisians := Filter{In: usersLeaf(), Col: 2, Val: value.Str("paris")}
+	lyonnais := Filter{In: usersLeaf(), Col: 2, Val: value.Str("lyon")}
+	names := Project{In: Union{Inputs: []Expr{parisians, lyonnais}}, Cols: []int{1}}
+	rows, err := s.QueryAlgebra(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+	if len(rows[0]) != 1 {
+		t.Errorf("projection width = %d", len(rows[0]))
+	}
+}
+
+func TestAlgebraUnionWidthMismatch(t *testing.T) {
+	s := testSystem(t)
+	two := Project{In: usersLeaf(), Cols: []int{0, 1}}
+	if _, err := s.QueryAlgebra(Union{Inputs: []Expr{usersLeaf(), two}}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := s.QueryAlgebra(Union{}); err == nil {
+		t.Error("empty union accepted")
+	}
+}
+
+func TestAlgebraDeduplicates(t *testing.T) {
+	s := testSystem(t)
+	cities := Project{In: usersLeaf(), Cols: []int{2}}
+	rows, err := s.QueryAlgebra(cities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three users, two distinct cities.
+	if len(rows) != 2 {
+		t.Errorf("rows = %v (set semantics expected)", rows)
+	}
+}
+
+func TestAlgebraCrossModelJoin(t *testing.T) {
+	s := testSystem(t)
+	// GAV combination across models: the relational users leaf joined with
+	// a KV preferences leaf. The Prefs leaf binds its key to a constant
+	// (so it is feasible on its own) and echoes the key in its head.
+	prefs := Leaf{Q: pivot.NewCQ(
+		atom("QP", pivot.CStr("u1"), v("k"), v("val")),
+		atom("Prefs", pivot.CStr("u1"), v("k"), v("val")))}
+	joined, err := s.QueryAlgebra(Join{
+		L:    usersLeaf(),
+		R:    prefs,
+		LCol: 0, RCol: 0, // users.uid = prefs.uid
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 has one theme pref in the fixture plus one lang pref → 2 rows.
+	if len(joined) != 2 {
+		t.Fatalf("joined = %v", joined)
+	}
+	for _, r := range joined {
+		if !value.Equal(r[1], value.Str("ada")) {
+			t.Errorf("wrong user joined: %v", r)
+		}
+	}
+}
+
+func TestAlgebraLeafValidation(t *testing.T) {
+	s := testSystem(t)
+	bad := Leaf{Q: pivot.CQ{Head: atom("Q", v("x"))}} // empty body
+	if _, err := s.QueryAlgebra(bad); err == nil {
+		t.Error("invalid leaf accepted")
+	}
+}
+
+func TestQueryDocsConstruction(t *testing.T) {
+	s := testSystem(t)
+	q := pivot.NewCQ(atom("Q", v("u"), v("n")),
+		atom("Users", v("u"), v("n"), pivot.CStr("paris")))
+	docs, err := s.QueryDocs(q, map[string]string{"user": "u", "name": "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("docs = %v", docs)
+	}
+	found := false
+	for _, d := range docs {
+		if nm, ok := d.ScalarAt("name"); ok && value.Equal(nm, value.Str("ada")) {
+			found = true
+			if u, _ := d.ScalarAt("user"); !value.Equal(u, value.Str("u1")) {
+				t.Errorf("doc = %v", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("ada document missing: %v", docs)
+	}
+	// Unknown field mapping.
+	if _, err := s.QueryDocs(q, map[string]string{"x": "ghost"}); err == nil {
+		t.Error("unknown head variable accepted")
+	}
+}
+
+func TestQueryNested(t *testing.T) {
+	s := testSystem(t)
+	q := pivot.NewCQ(atom("Q", v("n"), v("p")),
+		atom("Users", v("u"), v("n"), v("c")),
+		atom("Orders", v("o"), v("u"), v("p")))
+	rows, err := s.QueryNested(q, []string{"n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ada has two orders, bob one → two groups.
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+	for _, r := range rows {
+		l, ok := r[1].(value.List)
+		if !ok {
+			t.Fatalf("not nested: %v", r)
+		}
+		if value.Equal(r[0], value.Str("ada")) && len(l) != 2 {
+			t.Errorf("ada group = %v", l)
+		}
+	}
+	if _, err := s.QueryNested(q, []string{"ghost"}); err == nil {
+		t.Error("unknown group variable accepted")
+	}
+}

@@ -1,0 +1,490 @@
+// Package core assembles ESTOCADA (paper Fig. 1): the Storage Descriptor
+// Manager (catalog), the Query Evaluator (PACB rewriting + cost-based plan
+// choice), and the Runtime Execution Engine, over a set of registered
+// storage substrates. Applications register datasets' schema constraints
+// and fragments (materialized views placed in specific stores), then pose
+// conjunctive queries against the logical schema; ESTOCADA answers them
+// from the fragments alone, reporting the rewriting, the plan, and the
+// per-store performance split.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/docstore"
+	"repro/internal/engines/engine"
+	"repro/internal/engines/kvstore"
+	"repro/internal/engines/parstore"
+	"repro/internal/engines/relstore"
+	"repro/internal/engines/textstore"
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// ErrNoPlan is returned when no equivalent feasible rewriting exists over
+// the registered fragments.
+var ErrNoPlan = errors.New("estocada: no equivalent feasible rewriting over the registered fragments")
+
+// Options tunes the system.
+type Options struct {
+	// Algorithm selects the rewriting engine (default PACB).
+	Algorithm rewrite.Algorithm
+	// MaxRewritings bounds the rewriting search (0 = all minimal).
+	MaxRewritings int
+	// DisablePlanCache turns off the per-query plan cache.
+	DisablePlanCache bool
+	// DisableDelegation forces all joins into the mediator (ablation).
+	DisableDelegation bool
+}
+
+// System is one ESTOCADA instance.
+type System struct {
+	opts    Options
+	Catalog *catalog.Catalog
+	Stores  *translate.Stores
+	planner *translate.Planner
+
+	mu     sync.Mutex
+	schema pivot.Constraints
+	cache  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	plan *translate.Plan
+}
+
+// New creates an empty system.
+func New(opts Options) *System {
+	cat := catalog.New()
+	stores := translate.NewStores()
+	return &System{
+		opts:    opts,
+		Catalog: cat,
+		Stores:  stores,
+		planner: &translate.Planner{Catalog: cat, Stores: stores, DisableDelegation: opts.DisableDelegation},
+		cache:   map[string]*cacheEntry{},
+	}
+}
+
+// AddRelStore creates and registers a relational store.
+func (s *System) AddRelStore(name string) *relstore.Store {
+	st := relstore.New(name)
+	s.Stores.AddRel(st)
+	return st
+}
+
+// AddKVStore creates and registers a key-value store.
+func (s *System) AddKVStore(name string) *kvstore.Store {
+	st := kvstore.New(name)
+	s.Stores.AddKV(st)
+	return st
+}
+
+// AddDocStore creates and registers a document store.
+func (s *System) AddDocStore(name string) *docstore.Store {
+	st := docstore.New(name)
+	s.Stores.AddDoc(st)
+	return st
+}
+
+// AddTextStore creates and registers a full-text store.
+func (s *System) AddTextStore(name string) *textstore.Store {
+	st := textstore.New(name)
+	s.Stores.AddText(st)
+	return st
+}
+
+// AddParStore creates and registers a parallel store with the given
+// partition count.
+func (s *System) AddParStore(name string, partitions int) *parstore.Store {
+	st := parstore.New(name, partitions)
+	s.Stores.AddPar(st)
+	return st
+}
+
+// AddConstraints registers source-schema constraints (data-model encodings,
+// keys, inclusions) used during rewriting.
+func (s *System) AddConstraints(cs pivot.Constraints) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schema = s.schema.Merge(cs)
+	s.cache = map[string]*cacheEntry{}
+}
+
+// SchemaConstraints returns the registered constraints.
+func (s *System) SchemaConstraints() pivot.Constraints {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schema
+}
+
+// RegisterFragment validates the fragment against its target store and
+// records its storage descriptor.
+func (s *System) RegisterFragment(f *catalog.Fragment) error {
+	if _, ok := s.Stores.Engine(f.Store); !ok {
+		return fmt.Errorf("estocada: fragment %q targets unknown store %q", f.Name, f.Store)
+	}
+	if err := s.Catalog.Register(f); err != nil {
+		return err
+	}
+	s.invalidateCache()
+	return nil
+}
+
+// DropFragment removes a fragment's descriptor and its physical container.
+func (s *System) DropFragment(name string) error {
+	f, ok := s.Catalog.Get(name)
+	if !ok {
+		return fmt.Errorf("estocada: no fragment %q", name)
+	}
+	if err := s.Catalog.Drop(name); err != nil {
+		return err
+	}
+	s.invalidateCache()
+	switch f.Layout.Kind {
+	case catalog.LayoutRel:
+		if st, ok := s.Stores.Rel[f.Store]; ok {
+			return st.DropTable(f.Layout.Collection)
+		}
+	case catalog.LayoutKV:
+		if st, ok := s.Stores.KV[f.Store]; ok {
+			return st.DropCollection(f.Layout.Collection)
+		}
+	case catalog.LayoutDoc:
+		if st, ok := s.Stores.Doc[f.Store]; ok {
+			return st.DropCollection(f.Layout.Collection)
+		}
+	case catalog.LayoutText:
+		if st, ok := s.Stores.Text[f.Store]; ok {
+			return st.DropCollection(f.Layout.Collection)
+		}
+	case catalog.LayoutPar:
+		if st, ok := s.Stores.Par[f.Store]; ok {
+			return st.DropTable(f.Layout.Collection)
+		}
+	}
+	return nil
+}
+
+func (s *System) invalidateCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = map[string]*cacheEntry{}
+}
+
+// Materialize creates the fragment's physical container in its store (if
+// needed) and loads the given view tuples, then records fresh statistics.
+// The rows must match the fragment view's head arity.
+func (s *System) Materialize(name string, rows []value.Tuple) error {
+	f, ok := s.Catalog.Get(name)
+	if !ok {
+		return fmt.Errorf("estocada: no fragment %q", name)
+	}
+	arity := f.View.Def.Head.Arity()
+	for _, r := range rows {
+		if len(r) != arity {
+			return fmt.Errorf("estocada: fragment %q expects arity %d, got row of %d", name, arity, len(r))
+		}
+	}
+	if err := s.load(f, rows); err != nil {
+		return err
+	}
+	if err := s.Catalog.SetStats(name, stats.Collect(rows)); err != nil {
+		return err
+	}
+	// Fresh statistics can change the cost-based plan choice.
+	s.invalidateCache()
+	return nil
+}
+
+func (s *System) load(f *catalog.Fragment, rows []value.Tuple) error {
+	switch f.Layout.Kind {
+	case catalog.LayoutRel:
+		st, ok := s.Stores.Rel[f.Store]
+		if !ok {
+			return fmt.Errorf("estocada: no relational store %q", f.Store)
+		}
+		if _, err := st.Table(f.Layout.Collection); err != nil {
+			if _, err := st.CreateTable(f.Layout.Collection, f.Layout.Columns...); err != nil {
+				return err
+			}
+		}
+		if err := st.InsertMany(f.Layout.Collection, rows); err != nil {
+			return err
+		}
+		for _, c := range f.Layout.IndexCols {
+			if err := st.CreateIndex(f.Layout.Collection, f.Layout.Columns[c]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case catalog.LayoutPar:
+		st, ok := s.Stores.Par[f.Store]
+		if !ok {
+			return fmt.Errorf("estocada: no parallel store %q", f.Store)
+		}
+		if _, err := st.Table(f.Layout.Collection); err != nil {
+			pcol := f.Layout.Columns[f.Layout.PartitionCol]
+			if _, err := st.CreateTable(f.Layout.Collection, pcol, f.Layout.Columns...); err != nil {
+				return err
+			}
+		}
+		if err := st.InsertMany(f.Layout.Collection, rows); err != nil {
+			return err
+		}
+		for _, c := range f.Layout.IndexCols {
+			if err := st.CreateIndex(f.Layout.Collection, f.Layout.Columns[c]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case catalog.LayoutKV:
+		st, ok := s.Stores.KV[f.Store]
+		if !ok {
+			return fmt.Errorf("estocada: no key-value store %q", f.Store)
+		}
+		if err := st.CreateCollection(f.Layout.Collection); err != nil {
+			// Idempotent: collection may already exist.
+			if _, lerr := st.Len(f.Layout.Collection); lerr != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			if err := st.Append(f.Layout.Collection, translate.KVKey(r[f.Layout.KeyCol]), r); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case catalog.LayoutDoc:
+		st, ok := s.Stores.Doc[f.Store]
+		if !ok {
+			return fmt.Errorf("estocada: no document store %q", f.Store)
+		}
+		if err := st.CreateCollection(f.Layout.Collection); err != nil {
+			if _, lerr := st.Len(f.Layout.Collection); lerr != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			d, err := docFromPaths(f.Layout.DocPaths, r)
+			if err != nil {
+				return err
+			}
+			if err := st.Insert(f.Layout.Collection, d); err != nil {
+				return err
+			}
+		}
+		for _, c := range f.Layout.IndexCols {
+			if err := st.CreateIndex(f.Layout.Collection, f.Layout.DocPaths[c]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case catalog.LayoutText:
+		st, ok := s.Stores.Text[f.Store]
+		if !ok {
+			return fmt.Errorf("estocada: no full-text store %q", f.Store)
+		}
+		if err := st.CreateCollection(f.Layout.Collection, f.Layout.TextField); err != nil {
+			if _, lerr := st.Len(f.Layout.Collection); lerr != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			doc := map[string]value.Value{}
+			for i, col := range f.Layout.Columns {
+				doc[col] = r[i]
+			}
+			if err := st.Index(f.Layout.Collection, doc); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("estocada: unsupported layout %v", f.Layout.Kind)
+	}
+}
+
+// docFromPaths builds one document with each dotted path set to the
+// corresponding tuple value.
+func docFromPaths(paths []string, row value.Tuple) (*value.Doc, error) {
+	root := &value.Doc{DKind: value.DocObject}
+	for i, p := range paths {
+		if p == "" {
+			return nil, fmt.Errorf("estocada: empty document path at column %d", i)
+		}
+		if err := setPath(root, p, row[i]); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+func setPath(d *value.Doc, path string, v value.Value) error {
+	segs := splitDots(path)
+	cur := d
+	for i, seg := range segs {
+		if cur.DKind != value.DocObject {
+			return fmt.Errorf("estocada: path %q collides with scalar", path)
+		}
+		if i == len(segs)-1 {
+			insertField(cur, seg, value.DScalar(v))
+			return nil
+		}
+		next, ok := cur.Get(seg)
+		if !ok {
+			next = &value.Doc{DKind: value.DocObject}
+			insertField(cur, seg, next)
+		}
+		cur = next
+	}
+	return nil
+}
+
+func insertField(d *value.Doc, name string, v *value.Doc) {
+	for i := range d.Fields {
+		if d.Fields[i].Name == name {
+			d.Fields[i].Val = v
+			return
+		}
+	}
+	d.Fields = append(d.Fields, value.Field{Name: name, Val: v})
+	// Keep fields sorted (value.Doc invariant for Get's binary search).
+	for i := len(d.Fields) - 1; i > 0 && d.Fields[i-1].Name > d.Fields[i].Name; i-- {
+		d.Fields[i-1], d.Fields[i] = d.Fields[i], d.Fields[i-1]
+	}
+}
+
+func splitDots(p string) []string {
+	var segs []string
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '.' {
+			segs = append(segs, p[start:i])
+			start = i + 1
+		}
+	}
+	return segs
+}
+
+// Report describes how a query was answered — what the demo shows in steps
+// 2 and 3 (paper §IV).
+type Report struct {
+	// Rewriting is the chosen view-level rewriting.
+	Rewriting pivot.CQ
+	// PlanExplain is the executed physical plan, rendered.
+	PlanExplain string
+	// RewriteStats reports the PACB search effort.
+	RewriteStats rewrite.Stats
+	// Alternatives is the number of rewritings considered.
+	Alternatives int
+	// PlanningTime and ExecTime split the latency.
+	PlanningTime time.Duration
+	ExecTime     time.Duration
+	// PerStore is the work each store performed for this query.
+	PerStore map[string]engine.CounterSnapshot
+	// CacheHit reports whether the plan came from the cache.
+	CacheHit bool
+}
+
+// Result is a query answer plus its report.
+type Result struct {
+	Rows   []value.Tuple
+	Report Report
+}
+
+// Query answers a conjunctive query over the logical schema from the
+// registered fragments: rewrite (PACB under the schema constraints +
+// access patterns), choose the cheapest executable plan, run it.
+func (s *System) Query(q pivot.CQ) (*Result, error) {
+	return s.query(q, nil)
+}
+
+func (s *System) query(q pivot.CQ, boundHead []int) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var rep Report
+
+	key := q.Key()
+	var plan *translate.Plan
+	if !s.opts.DisablePlanCache {
+		s.mu.Lock()
+		if e, ok := s.cache[key]; ok {
+			plan = e.plan
+			rep.CacheHit = true
+		}
+		s.mu.Unlock()
+	}
+	if plan == nil {
+		res, err := rewrite.Rewrite(q, s.Catalog.Views(""), rewrite.Options{
+			Algorithm:          s.opts.Algorithm,
+			Schema:             s.SchemaConstraints(),
+			AccessPatterns:     s.Catalog.AccessPatterns(),
+			MaxRewritings:      s.opts.MaxRewritings,
+			BoundHeadPositions: boundHead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.RewriteStats = res.Stats
+		rep.Alternatives = len(res.Rewritings)
+		if len(res.Rewritings) == 0 {
+			return nil, ErrNoPlan
+		}
+		best, _, err := s.planner.ChooseBest(res.Rewritings)
+		if err != nil {
+			return nil, err
+		}
+		plan = best
+		if !s.opts.DisablePlanCache {
+			s.mu.Lock()
+			s.cache[key] = &cacheEntry{plan: plan}
+			s.mu.Unlock()
+		}
+	}
+	rep.Rewriting = plan.Rewriting
+	rep.PlanExplain = plan.Explain()
+	rep.PlanningTime = time.Since(start)
+
+	before := s.snapshotCounters()
+	execStart := time.Now()
+	rows, err := exec.Run(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	rep.ExecTime = time.Since(execStart)
+	rep.PerStore = s.diffCounters(before)
+
+	return &Result{Rows: rows, Report: rep}, nil
+}
+
+func (s *System) snapshotCounters() map[string]engine.CounterSnapshot {
+	out := map[string]engine.CounterSnapshot{}
+	for _, e := range s.Stores.All() {
+		out[e.Name()] = e.Counters().Snapshot()
+	}
+	return out
+}
+
+func (s *System) diffCounters(before map[string]engine.CounterSnapshot) map[string]engine.CounterSnapshot {
+	out := map[string]engine.CounterSnapshot{}
+	for _, e := range s.Stores.All() {
+		out[e.Name()] = e.Counters().Snapshot().Sub(before[e.Name()])
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// QueryDocs answers a conjunctive query and constructs one JSON-like
+// document per result tuple, mapping document fields to head variables —
+// the nested result construction that must run in ESTOCADA's own engine
+// when no underlying store supports it natively (paper §III: "if a query
+// on structured data requests the construction of new nested results
+// (such as JSON or XML documents ...) it will have to be executed outside
+// of the underlying DMSs").
+func (s *System) QueryDocs(q pivot.CQ, fields map[string]string) ([]*value.Doc, error) {
+	res, err := s.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve field → head position.
+	headPos := map[string]int{}
+	for i, t := range q.Head.Args {
+		if v, ok := t.(pivot.Var); ok {
+			headPos[string(v)] = i
+		}
+	}
+	schema := make(exec.Schema, q.Head.Arity())
+	for i := range schema {
+		schema[i] = fmt.Sprintf("h%d", i)
+	}
+	mapping := map[string]string{}
+	for field, varName := range fields {
+		pos, ok := headPos[varName]
+		if !ok {
+			return nil, fmt.Errorf("estocada: document field %q references %q, not a head variable of %s",
+				field, varName, q.Head)
+		}
+		mapping[field] = schema[pos]
+	}
+	node, err := exec.NewConstructDoc(&exec.Values{Out: schema, Rows: res.Rows}, mapping, "doc")
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Run(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*value.Doc, 0, len(rows))
+	for _, r := range rows {
+		d, ok := r[0].(*value.Doc)
+		if !ok {
+			return nil, fmt.Errorf("estocada: construction produced %T", r[0])
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// QueryNested answers a conjunctive query and nests the result by the
+// given head variables: one output tuple per distinct group, with the
+// remaining head columns gathered into a value.List — the nested-relation
+// construction of the runtime engine.
+func (s *System) QueryNested(q pivot.CQ, groupBy []string) ([]value.Tuple, error) {
+	res, err := s.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(exec.Schema, q.Head.Arity())
+	for i, t := range q.Head.Args {
+		if v, ok := t.(pivot.Var); ok {
+			schema[i] = string(v)
+		} else {
+			schema[i] = fmt.Sprintf("h%d", i)
+		}
+	}
+	n, err := exec.NewNest(&exec.Values{Out: schema, Rows: res.Rows}, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(n)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// Prepared is a parameterized query: the expensive rewriting runs once at
+// Prepare time (treating the parameter positions as bound, so key-value
+// fragments are reachable); each Exec substitutes the parameter values and
+// builds + runs the (cheap) physical plan. This mirrors how the scenario's
+// application issues millions of key lookups against one query shape.
+type Prepared struct {
+	sys    *System
+	query  pivot.CQ
+	params []pivot.Var // parameter variables, in declaration order
+	// chosen rewriting with parameter variables still symbolic.
+	rewriting pivot.CQ
+	// paramInRewriting maps each parameter to its variable name inside the
+	// rewriting (head positions are preserved by the rewriter).
+	paramInRewriting []pivot.Var
+
+	mu        sync.Mutex
+	planCache map[string]*translate.Plan
+}
+
+// Prepare rewrites a parameterized query. Parameters must be head
+// variables of q (their runtime values are also returned, which loses
+// nothing); params lists their names.
+func (s *System) Prepare(q pivot.CQ, params ...pivot.Var) (*Prepared, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var boundPos []int
+	paramPos := make([]int, len(params))
+	for i, p := range params {
+		pos := -1
+		for hi, t := range q.Head.Args {
+			if v, ok := t.(pivot.Var); ok && v == p {
+				pos = hi
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("estocada: parameter %s must appear in the query head", p)
+		}
+		paramPos[i] = pos
+		boundPos = append(boundPos, pos)
+	}
+	res, err := rewrite.Rewrite(q, s.Catalog.Views(""), rewrite.Options{
+		Algorithm:          s.opts.Algorithm,
+		Schema:             s.SchemaConstraints(),
+		AccessPatterns:     s.Catalog.AccessPatterns(),
+		MaxRewritings:      s.opts.MaxRewritings,
+		BoundHeadPositions: boundPos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rewritings) == 0 {
+		return nil, ErrNoPlan
+	}
+	// Pick the rewriting whose plan (with placeholder parameter values) is
+	// cheapest; parameters are substituted by a representative constant for
+	// costing only.
+	placeholder := pivot.CStr("\x00param")
+	var best pivot.CQ
+	bestCost := -1.0
+	for _, r := range res.Rewritings {
+		sub := pivot.NewSubst()
+		for i, pos := range paramPos {
+			if v, ok := r.Head.Args[pos].(pivot.Var); ok {
+				sub[v] = placeholder
+			} else {
+				_ = i
+			}
+		}
+		pl, err := s.planner.Build(r.Apply(sub))
+		if err != nil {
+			continue
+		}
+		if bestCost < 0 || pl.Cost < bestCost {
+			best, bestCost = r, pl.Cost
+		}
+	}
+	if bestCost < 0 {
+		return nil, ErrNoPlan
+	}
+	p := &Prepared{
+		sys:       s,
+		query:     q,
+		params:    params,
+		rewriting: best,
+		planCache: map[string]*translate.Plan{},
+	}
+	for _, pos := range paramPos {
+		v, ok := best.Head.Args[pos].(pivot.Var)
+		if !ok {
+			return nil, fmt.Errorf("estocada: rewriting lost parameter at head position %d", pos)
+		}
+		p.paramInRewriting = append(p.paramInRewriting, v)
+	}
+	return p, nil
+}
+
+// Rewriting returns the chosen symbolic rewriting.
+func (p *Prepared) Rewriting() pivot.CQ { return p.rewriting }
+
+// Exec runs the prepared query with the given parameter values (one per
+// declared parameter, in order).
+func (p *Prepared) Exec(args ...value.Value) ([]value.Tuple, error) {
+	if len(args) != len(p.params) {
+		return nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
+	}
+	sub := pivot.NewSubst()
+	key := ""
+	for i, v := range p.paramInRewriting {
+		c := valueToConst(args[i])
+		sub[v] = c
+		key += "|" + c.Key()
+	}
+	p.mu.Lock()
+	plan, ok := p.planCache[key]
+	p.mu.Unlock()
+	if !ok {
+		bound := p.rewriting.Apply(sub)
+		var err error
+		plan, err = p.sys.planner.Build(bound)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		if len(p.planCache) < 4096 {
+			p.planCache[key] = plan
+		}
+		p.mu.Unlock()
+	}
+	return exec.Run(plan.Root)
+}
+
+// ExecTimed is Exec plus the execution latency, for workload reports.
+func (p *Prepared) ExecTimed(args ...value.Value) ([]value.Tuple, time.Duration, error) {
+	start := time.Now()
+	rows, err := p.Exec(args...)
+	return rows, time.Since(start), err
+}
+
+func valueToConst(v value.Value) pivot.Const {
+	switch x := v.(type) {
+	case value.Str:
+		return pivot.CStr(string(x))
+	case value.Int:
+		return pivot.CInt(int64(x))
+	case value.Float:
+		return pivot.CFloat(float64(x))
+	case value.Bool:
+		return pivot.CBool(bool(x))
+	default:
+		return pivot.Const{V: v.Key()}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// End-to-end soundness/completeness property: for random data spread across
+// heterogeneous stores and random conjunctive queries over the logical
+// schema, the system's answers must equal the answers computed directly on
+// the logical instance by homomorphism evaluation — the semantics the
+// rewriting is supposed to preserve.
+
+// logicalRelations of the random world: R(a,b), S(b,c), T(c,d).
+var propArity = map[string]int{"R": 2, "S": 2, "T": 2}
+
+func randomWorld(t *testing.T, rng *rand.Rand) (*System, *pivot.Instance) {
+	t.Helper()
+	s := New(Options{})
+	s.AddRelStore("pg")
+	s.AddDocStore("mongo")
+	s.AddParStore("spark", 3)
+
+	logical := pivot.NewInstance()
+	domain := func() pivot.Const { return pivot.CInt(int64(rng.Intn(6))) }
+
+	rows := map[string][]value.Tuple{}
+	for rel, ar := range propArity {
+		count := 3 + rng.Intn(8)
+		seen := map[string]bool{}
+		for i := 0; i < count; i++ {
+			args := make([]pivot.Term, ar)
+			tup := make(value.Tuple, ar)
+			for j := 0; j < ar; j++ {
+				c := domain()
+				args[j] = c
+				tup[j] = value.Of(c.V)
+			}
+			fact := pivot.Atom{Pred: rel, Args: args}
+			if seen[fact.Key()] {
+				continue
+			}
+			seen[fact.Key()] = true
+			logical.Add(fact)
+			rows[rel] = append(rows[rel], tup)
+		}
+	}
+
+	// Spread fragments across stores/layouts.
+	layouts := []struct {
+		rel    string
+		store  string
+		layout catalog.Layout
+	}{
+		{"R", "pg", catalog.Layout{Kind: catalog.LayoutRel, Collection: "r", Columns: []string{"a", "b"}, IndexCols: []int{0}}},
+		{"S", "mongo", catalog.Layout{Kind: catalog.LayoutDoc, Collection: "s", DocPaths: []string{"b", "c"}}},
+		{"T", "spark", catalog.Layout{Kind: catalog.LayoutPar, Collection: "t", Columns: []string{"c", "d"}, PartitionCol: 0}},
+	}
+	for _, l := range layouts {
+		f := &catalog.Fragment{
+			Name: "F" + l.rel, Dataset: "w", View: identityView("F"+l.rel, l.rel, propArity[l.rel]),
+			Store: l.store, Layout: l.layout,
+		}
+		if err := s.RegisterFragment(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Materialize("F"+l.rel, rows[l.rel]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, logical
+}
+
+// randomQuery builds a random safe CQ over the logical relations.
+func randomQuery(rng *rand.Rand) pivot.CQ {
+	rels := []string{"R", "S", "T"}
+	nAtoms := 1 + rng.Intn(3)
+	varPool := []pivot.Var{"v0", "v1", "v2", "v3"}
+	var body []pivot.Atom
+	for i := 0; i < nAtoms; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		args := make([]pivot.Term, propArity[rel])
+		for j := range args {
+			if rng.Intn(5) == 0 {
+				args[j] = pivot.CInt(int64(rng.Intn(6)))
+			} else {
+				args[j] = varPool[rng.Intn(len(varPool))]
+			}
+		}
+		body = append(body, pivot.Atom{Pred: rel, Args: args})
+	}
+	// Head: all body variables (keeps the query safe and the comparison
+	// maximal).
+	vars := pivot.AtomsVars(body)
+	if len(vars) == 0 {
+		// All-constant query: head is a single marker variable bound by a
+		// dummy projection — instead, retry with a forced variable.
+		body[0].Args[0] = pivot.Var("v0")
+		vars = pivot.AtomsVars(body)
+	}
+	head := make([]pivot.Term, len(vars))
+	for i, vv := range vars {
+		head[i] = vv
+	}
+	return pivot.CQ{Head: pivot.NewAtom("Q", head...), Body: body}
+}
+
+// referenceAnswers evaluates q directly on the logical instance.
+func referenceAnswers(q pivot.CQ, inst *pivot.Instance) map[string]bool {
+	out := map[string]bool{}
+	pivot.ForEachHom(q.Body, inst, nil, func(h pivot.HomResult) bool {
+		img := h.Subst.ApplyAtom(q.Head)
+		out[img.Key()] = true
+		return true
+	})
+	return out
+}
+
+// systemAnswers runs q through the full stack and renders rows as head
+// atoms for comparison.
+func systemAnswers(t *testing.T, s *System, q pivot.CQ) map[string]bool {
+	t.Helper()
+	res, err := s.Query(q)
+	if err != nil {
+		if errors.Is(err, ErrNoPlan) {
+			t.Fatalf("no plan for %v", q)
+		}
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, row := range res.Rows {
+		args := make([]pivot.Term, len(row))
+		for i, cell := range row {
+			args[i] = valueToConst(cell)
+		}
+		out[pivot.Atom{Pred: q.Head.Pred, Args: args}.Key()] = true
+	}
+	return out
+}
+
+func TestRandomQueriesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for world := 0; world < 5; world++ {
+		s, logical := randomWorld(t, rng)
+		for qi := 0; qi < 30; qi++ {
+			q := randomQuery(rng)
+			want := referenceAnswers(q, logical)
+			got := systemAnswers(t, s, q)
+			if len(want) != len(got) {
+				t.Fatalf("world %d query %v:\n got %d answers, want %d\n got:  %v\n want: %v\n data:\n%s",
+					world, q, len(got), len(want), keys(got), keys(want), logical)
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("world %d query %v: missing answer %s", world, q, k)
+				}
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

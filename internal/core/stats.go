@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/engine"
+	"repro/internal/engines/textstore"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// RefreshStats re-collects a fragment's statistics by reading its extent
+// from its store (an administrative operation — key-value scans are
+// temporarily enabled for it, the way a production system would run
+// ANALYZE during quiet hours). The plan cache is invalidated so subsequent
+// queries re-cost.
+func (s *System) RefreshStats(name string) error {
+	f, ok := s.Catalog.Get(name)
+	if !ok {
+		return fmt.Errorf("estocada: no fragment %q", name)
+	}
+	rows, err := s.fragmentExtent(f)
+	if err != nil {
+		return err
+	}
+	if err := s.Catalog.SetStats(name, stats.Collect(rows)); err != nil {
+		return err
+	}
+	s.invalidateCache()
+	return nil
+}
+
+// RefreshAllStats refreshes every registered fragment.
+func (s *System) RefreshAllStats() error {
+	for _, f := range s.Catalog.All() {
+		if err := s.RefreshStats(f.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fragmentExtent reads every tuple of a fragment from its store.
+func (s *System) fragmentExtent(f *catalog.Fragment) ([]value.Tuple, error) {
+	switch f.Layout.Kind {
+	case catalog.LayoutRel:
+		st, ok := s.Stores.Rel[f.Store]
+		if !ok {
+			return nil, fmt.Errorf("estocada: no relational store %q", f.Store)
+		}
+		it, err := st.Scan(f.Layout.Collection)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Drain(it)
+
+	case catalog.LayoutPar:
+		st, ok := s.Stores.Par[f.Store]
+		if !ok {
+			return nil, fmt.Errorf("estocada: no parallel store %q", f.Store)
+		}
+		it, err := st.Select(f.Layout.Collection, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Drain(it)
+
+	case catalog.LayoutKV:
+		st, ok := s.Stores.KV[f.Store]
+		if !ok {
+			return nil, fmt.Errorf("estocada: no key-value store %q", f.Store)
+		}
+		st.AllowScan(true)
+		defer st.AllowScan(false)
+		it, err := st.Scan(f.Layout.Collection)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Drain(it)
+
+	case catalog.LayoutDoc:
+		st, ok := s.Stores.Doc[f.Store]
+		if !ok {
+			return nil, fmt.Errorf("estocada: no document store %q", f.Store)
+		}
+		it, err := st.FindTuples(f.Layout.Collection, nil, f.Layout.DocPaths)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Drain(it)
+
+	case catalog.LayoutText:
+		st, ok := s.Stores.Text[f.Store]
+		if !ok {
+			return nil, fmt.Errorf("estocada: no full-text store %q", f.Store)
+		}
+		it, err := st.Search(f.Layout.Collection, textstore.Query{Project: f.Layout.Columns})
+		if err != nil {
+			return nil, err
+		}
+		return engine.Drain(it)
+
+	default:
+		return nil, fmt.Errorf("estocada: unsupported layout %v", f.Layout.Kind)
+	}
+}

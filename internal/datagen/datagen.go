@@ -1,0 +1,266 @@
+// Package datagen produces the deterministic synthetic datasets used by the
+// examples, tests and benchmarks: the marketplace scenario of the paper's
+// §II (users, preferences, product catalog, orders, shopping carts, web
+// logs — standing in for the Datalyse e-commerce data) and the AMPLab Big
+// Data Benchmark schemas (Rankings, UserVisits) the demo (§IV) draws on.
+// All generation is seeded: the same configuration always yields the same
+// data.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// MarketplaceConfig sizes the marketplace dataset.
+type MarketplaceConfig struct {
+	Seed     int64
+	Users    int
+	Products int
+	// OrdersPerUser is the mean number of orders per user.
+	OrdersPerUser int
+	// VisitsPerUser is the mean number of web-log events per user.
+	VisitsPerUser int
+	// PrefsPerUser is the number of preference entries per user.
+	PrefsPerUser int
+	// CartItemsPerUser is the mean cart size.
+	CartItemsPerUser int
+	// ZipfS is the skew of user/product popularity (>1; 1.2 mild, 2 heavy).
+	ZipfS float64
+}
+
+// DefaultMarketplace returns a laptop-scale configuration.
+func DefaultMarketplace() MarketplaceConfig {
+	return MarketplaceConfig{
+		Seed:             42,
+		Users:            2000,
+		Products:         500,
+		OrdersPerUser:    4,
+		VisitsPerUser:    10,
+		PrefsPerUser:     3,
+		CartItemsPerUser: 2,
+		ZipfS:            1.3,
+	}
+}
+
+// Marketplace is the generated dataset; every relation is a tuple slice in
+// the logical-schema column order documented per field.
+type Marketplace struct {
+	Cfg MarketplaceConfig
+	// Users: (uid, name, city)
+	Users []value.Tuple
+	// Prefs: (uid, prefKey, prefVal)
+	Prefs []value.Tuple
+	// Products: (pid, category, description)
+	Products []value.Tuple
+	// Orders: (oid, uid, pid, amount)
+	Orders []value.Tuple
+	// Carts: (uid, pid, qty)
+	Carts []value.Tuple
+	// Visits: (uid, pid, duration) — web-log events distilled to the
+	// product page visited and the dwell time.
+	Visits []value.Tuple
+}
+
+var cities = []string{"paris", "lyon", "lille", "nice", "nantes", "grenoble"}
+var categories = []string{"audio", "video", "books", "games", "garden", "kitchen", "sports", "toys"}
+var prefKeys = []string{"theme", "lang", "currency"}
+var prefVals = map[string][]string{
+	"theme":    {"dark", "light", "auto"},
+	"lang":     {"fr", "en", "de", "es"},
+	"currency": {"eur", "usd", "gbp"},
+}
+var descWords = []string{
+	"wireless", "compact", "silent", "portable", "ergonomic", "waterproof",
+	"premium", "classic", "smart", "digital", "vintage", "modular",
+	"headphones", "speaker", "projector", "novel", "controller", "blender",
+	"racket", "puzzle", "lamp", "tent", "camera", "keyboard",
+}
+
+// UID renders the i-th user key.
+func UID(i int) string { return fmt.Sprintf("u%05d", i) }
+
+// PID renders the i-th product key.
+func PID(i int) string { return fmt.Sprintf("p%04d", i) }
+
+// NewMarketplace generates the dataset.
+func NewMarketplace(cfg MarketplaceConfig) *Marketplace {
+	if cfg.Users <= 0 || cfg.Products <= 0 {
+		panic("datagen: marketplace needs at least one user and product")
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Marketplace{Cfg: cfg}
+
+	for i := 0; i < cfg.Users; i++ {
+		m.Users = append(m.Users, value.TupleOf(
+			UID(i),
+			fmt.Sprintf("user-%d", i),
+			cities[rng.Intn(len(cities))],
+		))
+		for _, k := range prefKeys[:min(cfg.PrefsPerUser, len(prefKeys))] {
+			vals := prefVals[k]
+			m.Prefs = append(m.Prefs, value.TupleOf(UID(i), k, vals[rng.Intn(len(vals))]))
+		}
+	}
+	for i := 0; i < cfg.Products; i++ {
+		m.Products = append(m.Products, value.TupleOf(
+			PID(i),
+			categories[i%len(categories)],
+			descWords[rng.Intn(len(descWords))]+" "+descWords[rng.Intn(len(descWords))]+" "+descWords[rng.Intn(len(descWords))],
+		))
+	}
+
+	productZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Products-1))
+	oid := 0
+	for i := 0; i < cfg.Users; i++ {
+		n := poissonish(rng, cfg.OrdersPerUser)
+		for j := 0; j < n; j++ {
+			m.Orders = append(m.Orders, value.TupleOf(
+				fmt.Sprintf("o%07d", oid),
+				UID(i),
+				PID(int(productZipf.Uint64())),
+				float64(5+rng.Intn(200)),
+			))
+			oid++
+		}
+		for j := 0; j < poissonish(rng, cfg.CartItemsPerUser); j++ {
+			m.Carts = append(m.Carts, value.TupleOf(
+				UID(i), PID(int(productZipf.Uint64())), int64(1+rng.Intn(4))))
+		}
+		for j := 0; j < poissonish(rng, cfg.VisitsPerUser); j++ {
+			m.Visits = append(m.Visits, value.TupleOf(
+				UID(i), PID(int(productZipf.Uint64())), int64(1+rng.Intn(300))))
+		}
+	}
+	return m
+}
+
+// poissonish draws a small non-negative count with the given mean (a
+// binomial-style approximation; exact distribution is irrelevant here).
+func poissonish(rng *rand.Rand, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < 2*mean; i++ {
+		if rng.Intn(2) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ZipfUserKeys draws n user keys with Zipf-skewed popularity — the
+// key-lookup workload of experiment E1 (hot users are hit often).
+func (m *Marketplace) ZipfUserKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, m.Cfg.ZipfS, 1, uint64(m.Cfg.Users-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = UID(int(z.Uint64()))
+	}
+	return out
+}
+
+// PersonalizedSearchParams draws (user, category) pairs for experiment E2's
+// personalized item search query.
+func (m *Marketplace) PersonalizedSearchParams(n int, seed int64) [][2]string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, m.Cfg.ZipfS, 1, uint64(m.Cfg.Users-1))
+	out := make([][2]string, n)
+	for i := range out {
+		out[i] = [2]string{UID(int(z.Uint64())), categories[rng.Intn(len(categories))]}
+	}
+	return out
+}
+
+// PurchaseHistory computes the materialized join of past purchases with
+// browsing history, keyed by (uid, category): the fragment the scenario
+// stores in Spark. Rows: (uid, category, pid, score) where score is the
+// total dwell time the user spent on that purchased product's page.
+func (m *Marketplace) PurchaseHistory() []value.Tuple {
+	cat := map[string]string{}
+	for _, p := range m.Products {
+		cat[string(p[0].(value.Str))] = string(p[1].(value.Str))
+	}
+	dwell := map[[2]string]int64{}
+	for _, v := range m.Visits {
+		k := [2]string{string(v[0].(value.Str)), string(v[1].(value.Str))}
+		dwell[k] += int64(v[2].(value.Int))
+	}
+	seen := map[[2]string]bool{}
+	var out []value.Tuple
+	for _, o := range m.Orders {
+		uid := string(o[1].(value.Str))
+		pid := string(o[2].(value.Str))
+		k := [2]string{uid, pid}
+		d, visited := dwell[k]
+		if !visited || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, value.TupleOf(uid, cat[pid], pid, d))
+	}
+	return out
+}
+
+// BDBConfig sizes the Big Data Benchmark dataset.
+type BDBConfig struct {
+	Seed       int64
+	Rankings   int
+	UserVisits int
+}
+
+// DefaultBDB returns a laptop-scale configuration.
+func DefaultBDB() BDBConfig {
+	return BDBConfig{Seed: 7, Rankings: 5000, UserVisits: 20000}
+}
+
+// BDB is the generated Big Data Benchmark dataset.
+type BDB struct {
+	Cfg BDBConfig
+	// Rankings: (pageURL, pageRank, avgDuration)
+	Rankings []value.Tuple
+	// UserVisits: (sourceIP, destURL, visitDate, adRevenue, countryCode, searchWord)
+	UserVisits []value.Tuple
+}
+
+var countries = []string{"FR", "US", "DE", "JP", "BR", "IN"}
+var searchWords = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+
+// URL renders the i-th page URL.
+func URL(i int) string { return fmt.Sprintf("url%06d", i) }
+
+// NewBDB generates the dataset.
+func NewBDB(cfg BDBConfig) *BDB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &BDB{Cfg: cfg}
+	for i := 0; i < cfg.Rankings; i++ {
+		b.Rankings = append(b.Rankings, value.TupleOf(
+			URL(i), int64(1+rng.Intn(1000)), int64(1+rng.Intn(60))))
+	}
+	urlZipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Rankings-1))
+	for i := 0; i < cfg.UserVisits; i++ {
+		b.UserVisits = append(b.UserVisits, value.TupleOf(
+			fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(254), rng.Intn(255), rng.Intn(255), 1+rng.Intn(254)),
+			URL(int(urlZipf.Uint64())),
+			fmt.Sprintf("1980-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+			float64(rng.Intn(10000))/100,
+			countries[rng.Intn(len(countries))],
+			searchWords[rng.Intn(len(searchWords))],
+		))
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func smallCfg() MarketplaceConfig {
+	return MarketplaceConfig{
+		Seed: 1, Users: 50, Products: 20, OrdersPerUser: 3,
+		VisitsPerUser: 5, PrefsPerUser: 3, CartItemsPerUser: 2, ZipfS: 1.3,
+	}
+}
+
+func TestMarketplaceDeterministic(t *testing.T) {
+	a := NewMarketplace(smallCfg())
+	b := NewMarketplace(smallCfg())
+	if len(a.Orders) != len(b.Orders) || len(a.Visits) != len(b.Visits) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Orders {
+		if !value.Equal(a.Orders[i], b.Orders[i]) {
+			t.Fatalf("order %d differs", i)
+		}
+	}
+	c := smallCfg()
+	c.Seed = 2
+	if d := NewMarketplace(c); len(d.Orders) == len(a.Orders) {
+		// Same size is possible; compare contents of the first row too.
+		same := len(d.Orders) > 0 && value.Equal(d.Orders[0], a.Orders[0])
+		if same {
+			t.Error("different seeds produced identical data")
+		}
+	}
+}
+
+func TestMarketplaceShape(t *testing.T) {
+	m := NewMarketplace(smallCfg())
+	if len(m.Users) != 50 || len(m.Products) != 20 {
+		t.Fatalf("users=%d products=%d", len(m.Users), len(m.Products))
+	}
+	if len(m.Prefs) != 50*3 {
+		t.Errorf("prefs = %d", len(m.Prefs))
+	}
+	if len(m.Orders) == 0 || len(m.Visits) == 0 || len(m.Carts) == 0 {
+		t.Error("empty generated relations")
+	}
+	// Column arities.
+	if len(m.Users[0]) != 3 || len(m.Prefs[0]) != 3 || len(m.Products[0]) != 3 ||
+		len(m.Orders[0]) != 4 || len(m.Carts[0]) != 3 || len(m.Visits[0]) != 3 {
+		t.Error("arity broken")
+	}
+	// Referential integrity of orders: uid and pid exist.
+	users := map[string]bool{}
+	for _, u := range m.Users {
+		users[string(u[0].(value.Str))] = true
+	}
+	prods := map[string]bool{}
+	for _, p := range m.Products {
+		prods[string(p[0].(value.Str))] = true
+	}
+	for _, o := range m.Orders {
+		if !users[string(o[1].(value.Str))] || !prods[string(o[2].(value.Str))] {
+			t.Fatalf("dangling order %v", o)
+		}
+	}
+}
+
+func TestZipfUserKeysSkewed(t *testing.T) {
+	m := NewMarketplace(smallCfg())
+	keys := m.ZipfUserKeys(2000, 9)
+	if len(keys) != 2000 {
+		t.Fatal("wrong count")
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	// The hottest key must be much hotter than the median: skew sanity.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2000/10 {
+		t.Errorf("hottest key only %d/2000 — not skewed?", max)
+	}
+	// Determinism.
+	again := m.ZipfUserKeys(2000, 9)
+	for i := range keys {
+		if keys[i] != again[i] {
+			t.Fatal("ZipfUserKeys not deterministic")
+		}
+	}
+}
+
+func TestPurchaseHistoryJoinSemantics(t *testing.T) {
+	m := NewMarketplace(smallCfg())
+	ph := m.PurchaseHistory()
+	if len(ph) == 0 {
+		t.Fatal("empty purchase history")
+	}
+	// Every row must correspond to a real purchase and a real visit.
+	bought := map[[2]string]bool{}
+	for _, o := range m.Orders {
+		bought[[2]string{string(o[1].(value.Str)), string(o[2].(value.Str))}] = true
+	}
+	visited := map[[2]string]int64{}
+	for _, v := range m.Visits {
+		visited[[2]string{string(v[0].(value.Str)), string(v[1].(value.Str))}] += int64(v[2].(value.Int))
+	}
+	seen := map[[2]string]bool{}
+	for _, r := range ph {
+		uid := string(r[0].(value.Str))
+		pid := string(r[2].(value.Str))
+		k := [2]string{uid, pid}
+		if !bought[k] {
+			t.Fatalf("PH row %v without purchase", r)
+		}
+		d, ok := visited[k]
+		if !ok {
+			t.Fatalf("PH row %v without visit", r)
+		}
+		if int64(r[3].(value.Int)) != d {
+			t.Fatalf("PH score %v != total dwell %d", r[3], d)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate PH row for %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPersonalizedSearchParams(t *testing.T) {
+	m := NewMarketplace(smallCfg())
+	ps := m.PersonalizedSearchParams(100, 3)
+	if len(ps) != 100 {
+		t.Fatal("wrong count")
+	}
+	for _, p := range ps {
+		if p[0] == "" || p[1] == "" {
+			t.Fatal("empty param")
+		}
+	}
+}
+
+func TestBDBShape(t *testing.T) {
+	b := NewBDB(BDBConfig{Seed: 3, Rankings: 100, UserVisits: 400})
+	if len(b.Rankings) != 100 || len(b.UserVisits) != 400 {
+		t.Fatalf("sizes: %d, %d", len(b.Rankings), len(b.UserVisits))
+	}
+	if len(b.Rankings[0]) != 3 || len(b.UserVisits[0]) != 6 {
+		t.Error("arities broken")
+	}
+	// Every visit's destURL exists in rankings.
+	urls := map[string]bool{}
+	for _, r := range b.Rankings {
+		urls[string(r[0].(value.Str))] = true
+	}
+	for _, v := range b.UserVisits {
+		if !urls[string(v[1].(value.Str))] {
+			t.Fatalf("dangling visit %v", v)
+		}
+	}
+	// Determinism.
+	b2 := NewBDB(BDBConfig{Seed: 3, Rankings: 100, UserVisits: 400})
+	if !value.Equal(b.UserVisits[13], b2.UserVisits[13]) {
+		t.Error("BDB not deterministic")
+	}
+}
+
+func TestPoissonishMeanIsh(t *testing.T) {
+	m := NewMarketplace(MarketplaceConfig{
+		Seed: 5, Users: 1000, Products: 10, OrdersPerUser: 4,
+		VisitsPerUser: 1, PrefsPerUser: 1, CartItemsPerUser: 1, ZipfS: 1.3,
+	})
+	mean := float64(len(m.Orders)) / 1000
+	if mean < 3 || mean > 5 {
+		t.Errorf("orders per user mean = %v, want ≈4", mean)
+	}
+}

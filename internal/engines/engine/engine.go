@@ -1,0 +1,283 @@
+// Package engine defines the service-provider interface shared by
+// ESTOCADA's storage substrates (the stand-ins for Postgres, Redis,
+// MongoDB, SOLR and Spark): tuple iterators, access-path abstractions,
+// capability flags, and per-store operation counters used to report the
+// per-DMS performance split of the demo (paper §IV, step 3).
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Capability is a bit mask describing what a store can evaluate natively.
+// The rewriting translation step (paper §III, "Making rewritings
+// executable") uses these to decide how much of a query each store can be
+// delegated; the rest runs in ESTOCADA's own execution engine.
+type Capability uint32
+
+const (
+	// CapScan: the store can enumerate a whole collection.
+	CapScan Capability = 1 << iota
+	// CapKeyLookup: the store can fetch by exact key (hash access).
+	CapKeyLookup
+	// CapFilter: the store applies equality filters natively.
+	CapFilter
+	// CapProject: the store projects columns/paths natively.
+	CapProject
+	// CapJoin: the store evaluates joins natively (relational, parallel).
+	CapJoin
+	// CapFullText: the store answers keyword containment queries.
+	CapFullText
+	// CapNested: the store materializes nested relations natively.
+	CapNested
+	// CapParallel: the store evaluates delegated work over partitions in
+	// parallel.
+	CapParallel
+)
+
+// Has reports whether all bits of want are present.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// Engine is the minimal surface every substrate exposes to the mediator.
+type Engine interface {
+	// Name is the deployment-unique instance name (e.g. "pg-main").
+	Name() string
+	// Kind is the data-model family: "relational", "keyvalue", "document",
+	// "fulltext", "parallel".
+	Kind() string
+	// Capabilities reports what the store evaluates natively.
+	Capabilities() Capability
+	// Counters exposes the store's operation counters.
+	Counters() *Counters
+}
+
+// Counters tallies the work a store performed; the demo reports these split
+// per DMS and for the ESTOCADA runtime. All methods are safe for concurrent
+// use.
+type Counters struct {
+	requests int64
+	scans    int64
+	lookups  int64
+	tuples   int64
+}
+
+// AddRequest records one delegated request round-trip.
+func (c *Counters) AddRequest() { atomic.AddInt64(&c.requests, 1) }
+
+// AddScan records one full-collection scan.
+func (c *Counters) AddScan() { atomic.AddInt64(&c.scans, 1) }
+
+// AddLookup records one indexed/key lookup.
+func (c *Counters) AddLookup() { atomic.AddInt64(&c.lookups, 1) }
+
+// AddTuples records n tuples returned to the caller.
+func (c *Counters) AddTuples(n int) { atomic.AddInt64(&c.tuples, int64(n)) }
+
+// Snapshot returns a point-in-time copy.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Requests: atomic.LoadInt64(&c.requests),
+		Scans:    atomic.LoadInt64(&c.scans),
+		Lookups:  atomic.LoadInt64(&c.lookups),
+		Tuples:   atomic.LoadInt64(&c.tuples),
+	}
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() {
+	atomic.StoreInt64(&c.requests, 0)
+	atomic.StoreInt64(&c.scans, 0)
+	atomic.StoreInt64(&c.lookups, 0)
+	atomic.StoreInt64(&c.tuples, 0)
+}
+
+// CounterSnapshot is an immutable view of Counters.
+type CounterSnapshot struct {
+	Requests, Scans, Lookups, Tuples int64
+}
+
+func (s CounterSnapshot) String() string {
+	return fmt.Sprintf("req=%d scans=%d lookups=%d tuples=%d",
+		s.Requests, s.Scans, s.Lookups, s.Tuples)
+}
+
+// Sub returns the per-field difference s - o (work done since snapshot o).
+func (s CounterSnapshot) Sub(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		Requests: s.Requests - o.Requests,
+		Scans:    s.Scans - o.Scans,
+		Lookups:  s.Lookups - o.Lookups,
+		Tuples:   s.Tuples - o.Tuples,
+	}
+}
+
+// Iterator streams tuples. Implementations are single-goroutine unless
+// documented otherwise. Close must be idempotent.
+type Iterator interface {
+	// Next returns the next tuple; ok=false signals exhaustion.
+	Next() (t value.Tuple, ok bool)
+	// Err reports a deferred error after Next returned ok=false.
+	Err() error
+	// Close releases resources.
+	Close()
+}
+
+// SliceIterator iterates an in-memory tuple slice.
+type SliceIterator struct {
+	rows []value.Tuple
+	pos  int
+}
+
+// NewSliceIterator wraps rows (not copied).
+func NewSliceIterator(rows []value.Tuple) *SliceIterator {
+	return &SliceIterator{rows: rows}
+}
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() (value.Tuple, bool) {
+	if it.pos >= len(it.rows) {
+		return nil, false
+	}
+	t := it.rows[it.pos]
+	it.pos++
+	return t, true
+}
+
+// Err implements Iterator.
+func (*SliceIterator) Err() error { return nil }
+
+// Close implements Iterator.
+func (*SliceIterator) Close() {}
+
+// ChanIterator adapts a channel of tuples (used by the parallel store).
+type ChanIterator struct {
+	C      <-chan value.Tuple
+	ErrC   <-chan error
+	closed chan struct{}
+	once   bool
+	err    error
+}
+
+// NewChanIterator builds an iterator over a tuple channel. errC may be nil.
+// The close channel, if non-nil, is closed by Close to cancel producers.
+func NewChanIterator(c <-chan value.Tuple, errC <-chan error, closed chan struct{}) *ChanIterator {
+	return &ChanIterator{C: c, ErrC: errC, closed: closed}
+}
+
+// Next implements Iterator.
+func (it *ChanIterator) Next() (value.Tuple, bool) {
+	t, ok := <-it.C
+	if !ok {
+		if it.ErrC != nil {
+			select {
+			case e, got := <-it.ErrC:
+				if got {
+					it.err = e
+				}
+			default:
+			}
+		}
+		return nil, false
+	}
+	return t, true
+}
+
+// Err implements Iterator.
+func (it *ChanIterator) Err() error { return it.err }
+
+// Close implements Iterator.
+func (it *ChanIterator) Close() {
+	if !it.once {
+		it.once = true
+		if it.closed != nil {
+			close(it.closed)
+		}
+	}
+}
+
+// Drain exhausts an iterator into a slice (closing it).
+func Drain(it Iterator) ([]value.Tuple, error) {
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, it.Err()
+}
+
+// EqFilter is an equality predicate on one column position.
+type EqFilter struct {
+	Col int
+	Val value.Value
+}
+
+// MatchAll reports whether a tuple satisfies all filters.
+func MatchAll(t value.Tuple, filters []EqFilter) bool {
+	for _, f := range filters {
+		if f.Col < 0 || f.Col >= len(t) || !value.Equal(t[f.Col], f.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterIterator applies equality filters lazily.
+type FilterIterator struct {
+	In      Iterator
+	Filters []EqFilter
+}
+
+// Next implements Iterator.
+func (it *FilterIterator) Next() (value.Tuple, bool) {
+	for {
+		t, ok := it.In.Next()
+		if !ok {
+			return nil, false
+		}
+		if MatchAll(t, it.Filters) {
+			return t, true
+		}
+	}
+}
+
+// Err implements Iterator.
+func (it *FilterIterator) Err() error { return it.In.Err() }
+
+// Close implements Iterator.
+func (it *FilterIterator) Close() { it.In.Close() }
+
+// ProjectIterator projects column positions lazily.
+type ProjectIterator struct {
+	In   Iterator
+	Cols []int
+}
+
+// Next implements Iterator.
+func (it *ProjectIterator) Next() (value.Tuple, bool) {
+	t, ok := it.In.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(value.Tuple, len(it.Cols))
+	for i, c := range it.Cols {
+		if c >= 0 && c < len(t) {
+			out[i] = t[c]
+		} else {
+			out[i] = value.Null{}
+		}
+	}
+	return out, true
+}
+
+// Err implements Iterator.
+func (it *ProjectIterator) Err() error { return it.In.Err() }
+
+// Close implements Iterator.
+func (it *ProjectIterator) Close() { it.In.Close() }

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func rows(n int) []value.Tuple {
+	out := make([]value.Tuple, n)
+	for i := range out {
+		out[i] = value.TupleOf(i, "r")
+	}
+	return out
+}
+
+func TestSliceIterator(t *testing.T) {
+	it := NewSliceIterator(rows(3))
+	got, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !value.Equal(got[2][0], value.Int(2)) {
+		t.Errorf("Drain = %v", got)
+	}
+	// Exhausted iterator keeps returning false.
+	if _, ok := it.Next(); ok {
+		t.Error("exhausted iterator returned a tuple")
+	}
+}
+
+func TestFilterIterator(t *testing.T) {
+	it := &FilterIterator{
+		In:      NewSliceIterator(rows(10)),
+		Filters: []EqFilter{{Col: 0, Val: value.Int(4)}},
+	}
+	got, _ := Drain(it)
+	if len(got) != 1 || !value.Equal(got[0][0], value.Int(4)) {
+		t.Errorf("filtered = %v", got)
+	}
+}
+
+func TestFilterOutOfRangeCol(t *testing.T) {
+	it := &FilterIterator{
+		In:      NewSliceIterator(rows(3)),
+		Filters: []EqFilter{{Col: 9, Val: value.Int(1)}},
+	}
+	got, _ := Drain(it)
+	if len(got) != 0 {
+		t.Errorf("out-of-range filter matched: %v", got)
+	}
+}
+
+func TestProjectIterator(t *testing.T) {
+	it := &ProjectIterator{In: NewSliceIterator(rows(2)), Cols: []int{1, 0, 7}}
+	got, _ := Drain(it)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if !value.Equal(got[0][0], value.Str("r")) || !value.Equal(got[0][1], value.Int(0)) {
+		t.Errorf("projection wrong: %v", got[0])
+	}
+	if got[0][2].Kind() != value.KindNull {
+		t.Errorf("out-of-range projection must be NULL, got %v", got[0][2])
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.AddRequest()
+	c.AddScan()
+	c.AddLookup()
+	c.AddTuples(5)
+	s := c.Snapshot()
+	if s.Requests != 1 || s.Scans != 1 || s.Lookups != 1 || s.Tuples != 5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	c.AddTuples(5)
+	d := c.Snapshot().Sub(s)
+	if d.Tuples != 5 || d.Requests != 0 {
+		t.Errorf("diff = %+v", d)
+	}
+	c.Reset()
+	if c.Snapshot() != (CounterSnapshot{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestCapability(t *testing.T) {
+	c := CapScan | CapJoin
+	if !c.Has(CapScan) || !c.Has(CapScan|CapJoin) || c.Has(CapKeyLookup) {
+		t.Error("capability mask broken")
+	}
+}
+
+func TestDQueryValidate(t *testing.T) {
+	ok := DQuery{
+		Atoms: []DAtom{{Collection: "R", Terms: []DTerm{DVar("x"), DConst(value.Int(1))}}},
+		Out:   []string{"x"},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad := DQuery{
+		Atoms: []DAtom{{Collection: "R", Terms: []DTerm{DVar("x")}}},
+		Out:   []string{"nope"},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("unbound output accepted")
+	}
+	if err := (DQuery{}).Validate(); err == nil {
+		t.Error("empty query accepted")
+	}
+	mixed := DQuery{Atoms: []DAtom{{Collection: "R", Terms: []DTerm{{}}}}}
+	if err := mixed.Validate(); err == nil {
+		t.Error("term with neither var nor const accepted")
+	}
+}
+
+// tableAccess builds an AccessFunc over in-memory named relations.
+func tableAccess(tables map[string][]value.Tuple) AccessFunc {
+	return func(coll string, filters []EqFilter) (Iterator, error) {
+		return &FilterIterator{In: NewSliceIterator(tables[coll]), Filters: filters}, nil
+	}
+}
+
+func TestEvalDelegateSingleAtom(t *testing.T) {
+	tables := map[string][]value.Tuple{
+		"R": {value.TupleOf(1, "a"), value.TupleOf(2, "b")},
+	}
+	q := DQuery{
+		Atoms: []DAtom{{Collection: "R", Terms: []DTerm{DConst(value.Int(2)), DVar("y")}}},
+		Out:   []string{"y"},
+	}
+	got, err := Drain(mustEval(t, q, tableAccess(tables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !value.Equal(got[0][0], value.Str("b")) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalDelegateJoin(t *testing.T) {
+	tables := map[string][]value.Tuple{
+		"R": {value.TupleOf(1, 10), value.TupleOf(2, 20)},
+		"S": {value.TupleOf(10, "x"), value.TupleOf(30, "y")},
+	}
+	q := DQuery{
+		Atoms: []DAtom{
+			{Collection: "R", Terms: []DTerm{DVar("a"), DVar("b")}},
+			{Collection: "S", Terms: []DTerm{DVar("b"), DVar("c")}},
+		},
+		Out: []string{"a", "c"},
+	}
+	got, err := Drain(mustEval(t, q, tableAccess(tables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !value.Equal(got[0][0], value.Int(1)) || !value.Equal(got[0][1], value.Str("x")) {
+		t.Errorf("join result = %v", got)
+	}
+}
+
+func TestEvalDelegateRepeatedVar(t *testing.T) {
+	tables := map[string][]value.Tuple{
+		"R": {value.TupleOf(1, 1), value.TupleOf(1, 2)},
+	}
+	q := DQuery{
+		Atoms: []DAtom{{Collection: "R", Terms: []DTerm{DVar("x"), DVar("x")}}},
+		Out:   []string{"x"},
+	}
+	got, err := Drain(mustEval(t, q, tableAccess(tables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !value.Equal(got[0][0], value.Int(1)) {
+		t.Errorf("R(x,x) = %v", got)
+	}
+}
+
+func TestEvalDelegateEmptyResult(t *testing.T) {
+	tables := map[string][]value.Tuple{"R": {value.TupleOf(1)}}
+	q := DQuery{
+		Atoms: []DAtom{
+			{Collection: "R", Terms: []DTerm{DVar("x")}},
+			{Collection: "S", Terms: []DTerm{DVar("x")}},
+		},
+		Out: []string{"x"},
+	}
+	got, err := Drain(mustEval(t, q, tableAccess(tables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func mustEval(t *testing.T, q DQuery, a AccessFunc) Iterator {
+	t.Helper()
+	it, err := EvalDelegate(q, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestMatchAll(t *testing.T) {
+	row := value.TupleOf(1, "a")
+	if !MatchAll(row, nil) {
+		t.Error("empty filter must match")
+	}
+	if !MatchAll(row, []EqFilter{{0, value.Int(1)}, {1, value.Str("a")}}) {
+		t.Error("matching filters rejected")
+	}
+	if MatchAll(row, []EqFilter{{0, value.Int(2)}}) {
+		t.Error("non-matching filter accepted")
+	}
+	if MatchAll(row, []EqFilter{{-1, value.Int(1)}}) {
+		t.Error("negative column accepted")
+	}
+}

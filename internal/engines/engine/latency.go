@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Latency simulates the per-request service time of a real data-management
+// system: network round trip, protocol parsing, dispatch. The in-process
+// substrates answer in nanoseconds, which would erase the inter-store
+// differences the paper's scenario exploits (a Redis GET costs ~0.1 ms on a
+// LAN, a Postgres query ~0.5 ms, a Spark job dispatch ~100 ms); scaled-down
+// latencies restore the realistic ratios while keeping benchmarks fast.
+//
+// The wait is a busy spin (time.Sleep cannot hold microsecond deadlines),
+// so simulated service time shows up as CPU time in profiles — acceptable
+// for a simulator. A zero latency (the default everywhere outside the
+// scenario wiring) is a no-op.
+type Latency struct {
+	ns int64
+}
+
+// Set configures the per-request service time.
+func (l *Latency) Set(d time.Duration) { atomic.StoreInt64(&l.ns, int64(d)) }
+
+// Get returns the configured service time.
+func (l *Latency) Get() time.Duration { return time.Duration(atomic.LoadInt64(&l.ns)) }
+
+// Wait spins for the configured service time.
+func (l *Latency) Wait() {
+	ns := atomic.LoadInt64(&l.ns)
+	if ns <= 0 {
+		return
+	}
+	end := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(end) {
+	}
+}

@@ -1,0 +1,213 @@
+// Package kvstore is ESTOCADA's key-value storage substrate — the stand-in
+// for Redis or Voldemort in the paper's scenario. Collections map string
+// keys to opaque byte payloads (encoded tuples); the only access path is an
+// exact-key get, which is precisely the access-pattern restriction ("the
+// value of the key must be specified in order to access the values
+// associated to this key", paper §III) that the pivot model encodes as a
+// 'bf' binding pattern and the execution engine honors with BindJoin.
+//
+// A key may hold several encoded tuples (append semantics), matching how
+// the scenario stores all of a user's preferences or cart lines under the
+// user's key.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Store is one key-value store instance.
+type Store struct {
+	name     string
+	mu       sync.RWMutex
+	colls    map[string]map[string][][]byte
+	counters engine.Counters
+	lat      engine.Latency
+	// allowScan permits full-collection enumeration (disabled by default,
+	// like a production KV store; enabled only for administrative use such
+	// as statistics collection).
+	allowScan bool
+}
+
+// New creates an empty key-value store.
+func New(name string) *Store {
+	return &Store{name: name, colls: map[string]map[string][][]byte{}}
+}
+
+// SetRequestLatency configures the simulated per-request service time.
+func (s *Store) SetRequestLatency(d time.Duration) { s.lat.Set(d) }
+
+// AllowScan enables administrative full scans (statistics collection).
+func (s *Store) AllowScan(ok bool) { s.allowScan = ok }
+
+// Name implements engine.Engine.
+func (s *Store) Name() string { return s.name }
+
+// Kind implements engine.Engine.
+func (s *Store) Kind() string { return "keyvalue" }
+
+// Capabilities implements engine.Engine: key lookup only.
+func (s *Store) Capabilities() engine.Capability { return engine.CapKeyLookup }
+
+// Counters implements engine.Engine.
+func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// CreateCollection registers a collection.
+func (s *Store) CreateCollection(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[name]; ok {
+		return fmt.Errorf("kvstore %s: collection %q exists", s.name, name)
+	}
+	s.colls[name] = map[string][][]byte{}
+	return nil
+}
+
+// DropCollection removes a collection.
+func (s *Store) DropCollection(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[name]; !ok {
+		return fmt.Errorf("kvstore %s: no collection %q", s.name, name)
+	}
+	delete(s.colls, name)
+	return nil
+}
+
+// Collections lists collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.colls))
+	for n := range s.colls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) coll(name string) (map[string][][]byte, error) {
+	c, ok := s.colls[name]
+	if !ok {
+		return nil, fmt.Errorf("kvstore %s: no collection %q", s.name, name)
+	}
+	return c, nil
+}
+
+// Append stores one tuple under key (appending to any tuples already
+// there). The tuple is encoded to bytes, as a real KV store would receive.
+func (s *Store) Append(collection, key string, t value.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return err
+	}
+	c[key] = append(c[key], value.EncodeTuple(t))
+	return nil
+}
+
+// Put replaces the tuples under key with exactly one tuple.
+func (s *Store) Put(collection, key string, t value.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return err
+	}
+	c[key] = [][]byte{value.EncodeTuple(t)}
+	return nil
+}
+
+// Delete removes a key.
+func (s *Store) Delete(collection, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return err
+	}
+	delete(c, key)
+	return nil
+}
+
+// Get fetches and decodes the tuples stored under key. A missing key yields
+// an empty slice, not an error (KV semantics).
+func (s *Store) Get(collection, key string) ([]value.Tuple, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.AddRequest()
+	s.lat.Wait()
+	s.counters.AddLookup()
+	payloads := c[key]
+	out := make([]value.Tuple, 0, len(payloads))
+	for _, p := range payloads {
+		t, err := value.DecodeTuple(p)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore %s: corrupt payload under %q/%q: %w",
+				s.name, collection, key, err)
+		}
+		out = append(out, t)
+	}
+	s.counters.AddTuples(len(out))
+	return out, nil
+}
+
+// Len returns the number of keys in a collection.
+func (s *Store) Len(collection string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return 0, err
+	}
+	return len(c), nil
+}
+
+// ErrScanDisabled is returned by Scan unless AllowScan(true) was called.
+var ErrScanDisabled = fmt.Errorf("kvstore: full scans are disabled (key-value access pattern)")
+
+// Scan enumerates every tuple of a collection in key order. It fails unless
+// administrative scans were enabled: the store's contract is key-only
+// access, and the rewriting layer must never plan a scan against it.
+func (s *Store) Scan(collection string) (engine.Iterator, error) {
+	if !s.allowScan {
+		return nil, ErrScanDisabled
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.AddRequest()
+	s.lat.Wait()
+	s.counters.AddScan()
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []value.Tuple
+	for _, k := range keys {
+		for _, p := range c[k] {
+			t, err := value.DecodeTuple(p)
+			if err != nil {
+				return nil, fmt.Errorf("kvstore %s: corrupt payload under %q/%q: %w",
+					s.name, collection, k, err)
+			}
+			rows = append(rows, t)
+		}
+	}
+	s.counters.AddTuples(len(rows))
+	return engine.NewSliceIterator(rows), nil
+}

@@ -1,0 +1,192 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := New("kv-test")
+	if err := s.CreateCollection("prefs"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGet(t *testing.T) {
+	s := newStore(t)
+	want := value.TupleOf("u1", "theme", "dark")
+	if err := s.Put("prefs", "u1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("prefs", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !value.Equal(got[0], want) {
+		t.Errorf("Get = %v", got)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := newStore(t)
+	got, err := s.Get("prefs", "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("missing key returned %v", got)
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	s := newStore(t)
+	if err := s.Append("prefs", "u1", value.TupleOf("u1", "theme", "dark")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prefs", "u1", value.TupleOf("u1", "lang", "fr")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("prefs", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("append kept %d tuples, want 2", len(got))
+	}
+	// Put replaces.
+	if err := s.Put("prefs", "u1", value.TupleOf("u1", "theme", "light")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("prefs", "u1")
+	if len(got) != 1 {
+		t.Errorf("put kept %d tuples, want 1", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("prefs", "u1", value.TupleOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("prefs", "u1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("prefs", "u1")
+	if len(got) != 0 {
+		t.Error("delete did not remove key")
+	}
+	n, err := s.Len("prefs")
+	if err != nil || n != 0 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateCollection("prefs"); err == nil {
+		t.Error("duplicate collection accepted")
+	}
+	if err := s.Put("missing", "k", value.TupleOf(1)); err == nil {
+		t.Error("put into missing collection accepted")
+	}
+	if _, err := s.Get("missing", "k"); err == nil {
+		t.Error("get from missing collection accepted")
+	}
+	if err := s.DropCollection("missing"); err == nil {
+		t.Error("drop of missing collection accepted")
+	}
+	if err := s.DropCollection("prefs"); err != nil {
+		t.Error(err)
+	}
+	if got := s.Collections(); len(got) != 0 {
+		t.Errorf("collections = %v", got)
+	}
+}
+
+func TestScanAccessRestriction(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("prefs", "u1", value.TupleOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Scan("prefs"); !errors.Is(err, ErrScanDisabled) {
+		t.Errorf("scan without AllowScan: err = %v, want ErrScanDisabled", err)
+	}
+	s.AllowScan(true)
+	it, err := s.Scan("prefs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 {
+		t.Errorf("scan = %v", rows)
+	}
+}
+
+func TestScanKeyOrderDeterministic(t *testing.T) {
+	s := newStore(t)
+	s.AllowScan(true)
+	for _, k := range []string{"b", "a", "c"} {
+		if err := s.Put("prefs", k, value.TupleOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Scan("prefs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if !value.Equal(rows[i][0], value.Str(w)) {
+			t.Errorf("row %d = %v, want %q", i, rows[i], w)
+		}
+	}
+}
+
+func TestCountersTrackLookups(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("prefs", "u1", value.TupleOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("prefs", "u1"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Counters().Snapshot()
+	if snap.Lookups != 1 || snap.Requests != 1 || snap.Tuples != 1 {
+		t.Errorf("counters = %+v", snap)
+	}
+}
+
+func TestEngineInterface(t *testing.T) {
+	s := New("kv")
+	var e engine.Engine = s
+	if e.Kind() != "keyvalue" {
+		t.Error("kind")
+	}
+	if e.Capabilities().Has(engine.CapScan) {
+		t.Error("KV store must not advertise scans")
+	}
+	if !e.Capabilities().Has(engine.CapKeyLookup) {
+		t.Error("KV store must advertise key lookups")
+	}
+}
+
+func TestRoundTripComplexTuple(t *testing.T) {
+	s := newStore(t)
+	tup := value.Tuple{value.Str("u1"), value.List{value.TupleOf("sku1", 2), value.TupleOf("sku2", 1)}}
+	if err := s.Put("prefs", "u1", tup); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("prefs", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got[0], tup) {
+		t.Errorf("round trip = %v", got[0])
+	}
+}

@@ -1,0 +1,284 @@
+package parstore
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func newVisits(t *testing.T, partitions int) *Store {
+	t.Helper()
+	s := New("spark-test", partitions)
+	if _, err := s.CreateTable("visits", "uid", "uid", "url", "pid", "dur"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Tuple{
+		value.TupleOf("u1", "/home", "p1", 12),
+		value.TupleOf("u1", "/p/p2", "p2", 30),
+		value.TupleOf("u2", "/home", "p1", 5),
+		value.TupleOf("u3", "/p/p3", "p3", 60),
+		value.TupleOf("u1", "/p/p1", "p1", 8),
+	}
+	if err := s.InsertMany("visits", rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartitioning(t *testing.T) {
+	s := newVisits(t, 4)
+	tb, err := s.Table("visits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 5 {
+		t.Errorf("total rows = %d", tb.Len())
+	}
+	// Same key always lands in the same partition.
+	var u1parts []int
+	for p, part := range tb.parts {
+		for _, row := range part {
+			if value.Equal(row[0], value.Str("u1")) {
+				u1parts = append(u1parts, p)
+			}
+		}
+	}
+	if len(u1parts) != 3 {
+		t.Fatalf("u1 rows = %d", len(u1parts))
+	}
+	for _, p := range u1parts[1:] {
+		if p != u1parts[0] {
+			t.Error("same key split across partitions")
+		}
+	}
+}
+
+func TestParallelScanSelect(t *testing.T) {
+	s := newVisits(t, 4)
+	it, err := s.Select("visits", []engine.EqFilter{{Col: 2, Val: value.Str("p1")}}, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 3 {
+		t.Fatalf("p1 visits = %v", rows)
+	}
+	for _, r := range rows {
+		if len(r) != 2 {
+			t.Errorf("projection width = %d", len(r))
+		}
+	}
+}
+
+func TestSelectViaIndex(t *testing.T) {
+	s := newVisits(t, 4)
+	if err := s.CreateIndex("visits", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasIndex("visits", "uid") {
+		t.Error("HasIndex false")
+	}
+	before := s.Counters().Snapshot()
+	it, err := s.Select("visits", []engine.EqFilter{{Col: 0, Val: value.Str("u1")}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 3 {
+		t.Errorf("u1 rows = %v", rows)
+	}
+	d := s.Counters().Snapshot().Sub(before)
+	if d.Scans != 0 || d.Lookups != 1 {
+		t.Errorf("counters = %+v", d)
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	s := newVisits(t, 2)
+	if err := s.CreateIndex("visits", "pid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("visits", value.TupleOf("u9", "/x", "p9", 1)); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := s.Select("visits", []engine.EqFilter{{Col: 2, Val: value.Str("p9")}}, nil)
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 {
+		t.Errorf("index missed insert: %v", rows)
+	}
+}
+
+func TestEarlyCloseCancelsWorkers(t *testing.T) {
+	s := New("spark", 4)
+	if _, err := s.CreateTable("big", "k", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := s.Insert("big", value.TupleOf(i, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Select("big", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("no first tuple")
+	}
+	it.Close() // must not deadlock or panic
+}
+
+func TestDelegatedJoin(t *testing.T) {
+	s := newVisits(t, 3)
+	if _, err := s.CreateTable("purchases", "uid", "uid", "pid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertMany("purchases", []value.Tuple{
+		value.TupleOf("u1", "p1"),
+		value.TupleOf("u2", "p9"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.DQuery{
+		Atoms: []engine.DAtom{
+			{Collection: "purchases", Terms: []engine.DTerm{engine.DVar("u"), engine.DVar("p")}},
+			{Collection: "visits", Terms: []engine.DTerm{
+				engine.DVar("u"), engine.DVar("url"), engine.DVar("p"), engine.DVar("d")}},
+		},
+		Out: []string{"u", "p", "d"},
+	}
+	it, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	// u1 bought p1 and visited p1 twice (dur 12 and 8).
+	if len(rows) != 2 {
+		t.Fatalf("join rows = %v", rows)
+	}
+	durs := []int{int(rows[0][2].(value.Int)), int(rows[1][2].(value.Int))}
+	sort.Ints(durs)
+	if durs[0] != 8 || durs[1] != 12 {
+		t.Errorf("durations = %v", durs)
+	}
+}
+
+func TestAggregateCountAndSum(t *testing.T) {
+	s := newVisits(t, 4)
+	it, err := s.Aggregate("visits", nil, []int{0}, "count", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	counts := map[string]int64{}
+	for _, r := range rows {
+		counts[string(r[0].(value.Str))] = int64(r[1].(value.Int))
+	}
+	if counts["u1"] != 3 || counts["u2"] != 1 || counts["u3"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+
+	it, err = s.Aggregate("visits", nil, []int{0}, "sum", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = engine.Drain(it)
+	sums := map[string]float64{}
+	for _, r := range rows {
+		sums[string(r[0].(value.Str))] = float64(r[1].(value.Float))
+	}
+	if sums["u1"] != 50 {
+		t.Errorf("sum(u1) = %v", sums["u1"])
+	}
+}
+
+func TestAggregateMinMaxAndFilters(t *testing.T) {
+	s := newVisits(t, 2)
+	it, err := s.Aggregate("visits",
+		[]engine.EqFilter{{Col: 0, Val: value.Str("u1")}}, []int{0}, "max", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][1], value.Int(30)) {
+		t.Errorf("max = %v", rows)
+	}
+	it, err = s.Aggregate("visits",
+		[]engine.EqFilter{{Col: 0, Val: value.Str("u1")}}, []int{0}, "min", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][1], value.Int(8)) {
+		t.Errorf("min = %v", rows)
+	}
+	if _, err := s.Aggregate("visits", nil, nil, "median", 3); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestNestedColumnRoundTrip(t *testing.T) {
+	// The scenario's materialized purchase-history fragment: nested list of
+	// (pid, score) pairs per (uid, category).
+	s := New("spark", 2)
+	if _, err := s.CreateTable("ph", "uid", "uid", "category", "products"); err != nil {
+		t.Fatal(err)
+	}
+	nested := value.List{value.TupleOf("p1", 0.9), value.TupleOf("p2", 0.4)}
+	if err := s.Insert("ph", value.Tuple{value.Str("u1"), value.Str("audio"), nested}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("ph", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Select("ph", []engine.EqFilter{{Col: 0, Val: value.Str("u1")}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][2], nested) {
+		t.Errorf("nested column = %v", rows)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	s := New("spark", 2)
+	if _, err := s.CreateTable("t", "nope", "a"); err == nil {
+		t.Error("bad partition column accepted")
+	}
+	if _, err := s.CreateTable("t", "a", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", "a", "a"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := s.Insert("t", value.TupleOf(1, 2)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := s.DropTable("t"); err != nil {
+		t.Error(err)
+	}
+	if err := s.DropTable("t"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestMinPartitionsClamped(t *testing.T) {
+	s := New("spark", 0)
+	if s.Partitions() != 1 {
+		t.Errorf("partitions = %d, want clamp to 1", s.Partitions())
+	}
+}
+
+func TestEngineInterface(t *testing.T) {
+	s := New("spark", 2)
+	var e engine.Engine = s
+	if e.Kind() != "parallel" {
+		t.Error("kind")
+	}
+	if !e.Capabilities().Has(engine.CapParallel | engine.CapJoin | engine.CapNested) {
+		t.Error("capabilities")
+	}
+}

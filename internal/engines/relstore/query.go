@@ -1,0 +1,54 @@
+package relstore
+
+import (
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Query evaluates a delegated conjunctive query (selections, projections,
+// equi-joins) entirely inside the store, as a relational DMS would. One
+// request is counted regardless of how many tables participate.
+func (s *Store) Query(q engine.DQuery) (engine.Iterator, error) {
+	s.counters.AddRequest()
+	s.lat.Wait()
+	return engine.EvalDelegate(q, func(collection string, filters []engine.EqFilter) (engine.Iterator, error) {
+		return s.selectNoRequest(collection, filters)
+	})
+}
+
+// selectNoRequest is Select without the per-request accounting (internal
+// accesses within one delegated query are not separate round-trips).
+func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine.Iterator, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var base engine.Iterator
+	used := -1
+	for _, f := range filters {
+		if ix, ok := t.indexes[f.Col]; ok {
+			rowIdx := ix[f.Val.Key()]
+			out := make([]value.Tuple, len(rowIdx))
+			for i, ri := range rowIdx {
+				out[i] = t.rows[ri]
+			}
+			base = engine.NewSliceIterator(out)
+			used = f.Col
+			s.counters.AddLookup()
+			break
+		}
+	}
+	if base == nil {
+		base = engine.NewSliceIterator(t.rows)
+		s.counters.AddScan()
+	}
+	rest := make([]engine.EqFilter, 0, len(filters))
+	for _, f := range filters {
+		if f.Col != used {
+			rest = append(rest, f)
+		}
+	}
+	return &engine.FilterIterator{In: base, Filters: rest}, nil
+}

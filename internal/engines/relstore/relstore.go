@@ -1,0 +1,282 @@
+// Package relstore is ESTOCADA's relational storage substrate — the
+// in-process stand-in for the Postgres cluster of the paper's scenario. It
+// provides named tables of fixed-width tuples, full scans, secondary hash
+// indexes, equality selections with automatic index selection, projections,
+// and native multi-table conjunctive (equi-join) query evaluation, since
+// relational stores accept whole delegated subqueries.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Store is one relational database instance.
+type Store struct {
+	name     string
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	counters engine.Counters
+	lat      engine.Latency
+}
+
+// New creates an empty relational store.
+func New(name string) *Store {
+	return &Store{name: name, tables: map[string]*Table{}}
+}
+
+// SetRequestLatency configures the simulated per-request service time.
+func (s *Store) SetRequestLatency(d time.Duration) { s.lat.Set(d) }
+
+// Name implements engine.Engine.
+func (s *Store) Name() string { return s.name }
+
+// Kind implements engine.Engine.
+func (s *Store) Kind() string { return "relational" }
+
+// Capabilities implements engine.Engine.
+func (s *Store) Capabilities() engine.Capability {
+	return engine.CapScan | engine.CapKeyLookup | engine.CapFilter |
+		engine.CapProject | engine.CapJoin
+}
+
+// Counters implements engine.Engine.
+func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// Table is one relation with optional secondary indexes.
+type Table struct {
+	name    string
+	columns []string
+	colPos  map[string]int
+	rows    []value.Tuple
+	// indexes maps an indexed column position to key→row indices.
+	indexes map[int]map[string][]int
+}
+
+// CreateTable registers a new table with the given column names.
+func (s *Store) CreateTable(name string, columns ...string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("relstore %s: table %q exists", s.name, name)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("relstore %s: table %q needs at least one column", s.name, name)
+	}
+	t := &Table{
+		name:    name,
+		columns: append([]string(nil), columns...),
+		colPos:  map[string]int{},
+		indexes: map[int]map[string][]int{},
+	}
+	for i, c := range columns {
+		if _, dup := t.colPos[c]; dup {
+			return nil, fmt.Errorf("relstore %s: table %q duplicate column %q", s.name, name, c)
+		}
+		t.colPos[c] = i
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relstore %s: no table %q", s.name, name)
+	}
+	return t, nil
+}
+
+// Tables lists table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("relstore %s: no table %q", s.name, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Columns returns the table's column names.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ColumnPos resolves a column name to its position.
+func (t *Table) ColumnPos(col string) (int, error) {
+	p, ok := t.colPos[col]
+	if !ok {
+		return 0, fmt.Errorf("relstore: table %q has no column %q", t.name, col)
+	}
+	return p, nil
+}
+
+// Insert appends a row; its width must match the schema. Indexes are
+// maintained.
+func (s *Store) Insert(table string, row value.Tuple) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(t.columns) {
+		return fmt.Errorf("relstore %s: table %q expects %d columns, got %d",
+			s.name, table, len(t.columns), len(row))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(t.rows)
+	t.rows = append(t.rows, row.Clone())
+	for pos, ix := range t.indexes {
+		k := row[pos].Key()
+		ix[k] = append(ix[k], idx)
+	}
+	return nil
+}
+
+// InsertMany bulk-loads rows.
+func (s *Store) InsertMany(table string, rows []value.Tuple) error {
+	for _, r := range rows {
+		if err := s.Insert(table, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds a secondary hash index on a column.
+func (s *Store) CreateIndex(table, column string) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	pos, err := t.ColumnPos(column)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := t.indexes[pos]; ok {
+		return nil // idempotent
+	}
+	ix := map[string][]int{}
+	for i, row := range t.rows {
+		k := row[pos].Key()
+		ix[k] = append(ix[k], i)
+	}
+	t.indexes[pos] = ix
+	return nil
+}
+
+// HasIndex reports whether the column is indexed.
+func (s *Store) HasIndex(table, column string) bool {
+	t, err := s.Table(table)
+	if err != nil {
+		return false
+	}
+	pos, err := t.ColumnPos(column)
+	if err != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := t.indexes[pos]
+	return ok
+}
+
+// Scan returns an iterator over all rows of a table.
+func (s *Store) Scan(table string) (engine.Iterator, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.AddRequest()
+	s.lat.Wait()
+	s.counters.AddScan()
+	s.counters.AddTuples(len(t.rows))
+	s.mu.RLock()
+	rows := t.rows
+	s.mu.RUnlock()
+	return engine.NewSliceIterator(rows), nil
+}
+
+// Select evaluates equality filters with projection, using an index when one
+// covers some filter column, otherwise a scan.
+func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (engine.Iterator, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.AddRequest()
+	s.lat.Wait()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var base engine.Iterator
+	used := -1
+	for _, f := range filters {
+		if ix, ok := t.indexes[f.Col]; ok {
+			rowIdx := ix[f.Val.Key()]
+			rows := make([]value.Tuple, len(rowIdx))
+			for i, ri := range rowIdx {
+				rows[i] = t.rows[ri]
+			}
+			base = engine.NewSliceIterator(rows)
+			used = f.Col
+			s.counters.AddLookup()
+			break
+		}
+	}
+	if base == nil {
+		base = engine.NewSliceIterator(t.rows)
+		s.counters.AddScan()
+	}
+	rest := make([]engine.EqFilter, 0, len(filters))
+	for _, f := range filters {
+		if f.Col != used {
+			rest = append(rest, f)
+		}
+	}
+	var it engine.Iterator = &engine.FilterIterator{In: base, Filters: rest}
+	if project != nil {
+		it = &engine.ProjectIterator{In: it, Cols: project}
+	}
+	return &countingIter{in: it, c: &s.counters}, nil
+}
+
+// countingIter tallies returned tuples.
+type countingIter struct {
+	in engine.Iterator
+	c  *engine.Counters
+}
+
+func (it *countingIter) Next() (value.Tuple, bool) {
+	t, ok := it.in.Next()
+	if ok {
+		it.c.AddTuples(1)
+	}
+	return t, ok
+}
+func (it *countingIter) Err() error { return it.in.Err() }
+func (it *countingIter) Close()     { it.in.Close() }

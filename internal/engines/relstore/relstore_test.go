@@ -1,0 +1,237 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func newUsers(t *testing.T) *Store {
+	t.Helper()
+	s := New("pg-test")
+	if _, err := s.CreateTable("users", "uid", "name", "city"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Tuple{
+		value.TupleOf("u1", "ada", "paris"),
+		value.TupleOf("u2", "bob", "lyon"),
+		value.TupleOf("u3", "cem", "paris"),
+	}
+	if err := s.InsertMany("users", rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	s := New("pg")
+	if _, err := s.CreateTable("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", "a"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := s.CreateTable("u"); err == nil {
+		t.Error("zero-column table accepted")
+	}
+	if _, err := s.CreateTable("v", "a", "a"); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := s.Table("missing"); err == nil {
+		t.Error("missing table lookup succeeded")
+	}
+}
+
+func TestInsertSchemaCheck(t *testing.T) {
+	s := newUsers(t)
+	if err := s.Insert("users", value.TupleOf("u4")); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := s.Insert("missing", value.TupleOf(1)); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := newUsers(t)
+	it, err := s.Scan("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 3 {
+		t.Errorf("scan = %d rows", len(rows))
+	}
+	snap := s.Counters().Snapshot()
+	if snap.Scans != 1 || snap.Requests != 1 {
+		t.Errorf("counters = %+v", snap)
+	}
+}
+
+func TestSelectWithAndWithoutIndex(t *testing.T) {
+	s := newUsers(t)
+	filter := []engine.EqFilter{{Col: 2, Val: value.Str("paris")}}
+
+	it, err := s.Select("users", filter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, _ := engine.Drain(it)
+	if len(noIdx) != 2 {
+		t.Fatalf("unindexed select = %v", noIdx)
+	}
+	preScans := s.Counters().Snapshot().Scans
+
+	if err := s.CreateIndex("users", "city"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasIndex("users", "city") {
+		t.Error("HasIndex = false after CreateIndex")
+	}
+	it, err = s.Select("users", filter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIdx, _ := engine.Drain(it)
+	if len(withIdx) != 2 {
+		t.Fatalf("indexed select = %v", withIdx)
+	}
+	snap := s.Counters().Snapshot()
+	if snap.Scans != preScans {
+		t.Error("indexed select still scanned")
+	}
+	if snap.Lookups == 0 {
+		t.Error("indexed select did not count a lookup")
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	s := newUsers(t)
+	if err := s.CreateIndex("users", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("users", value.TupleOf("u9", "zoe", "nice")); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := s.Select("users", []engine.EqFilter{{Col: 0, Val: value.Str("u9")}}, nil)
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][1], value.Str("zoe")) {
+		t.Errorf("index missed inserted row: %v", rows)
+	}
+}
+
+func TestSelectProjection(t *testing.T) {
+	s := newUsers(t)
+	it, err := s.Select("users", nil, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 3 || len(rows[0]) != 1 {
+		t.Errorf("projected = %v", rows)
+	}
+}
+
+func TestSelectMultiFilter(t *testing.T) {
+	s := newUsers(t)
+	if err := s.CreateIndex("users", "city"); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Select("users", []engine.EqFilter{
+		{Col: 2, Val: value.Str("paris")},
+		{Col: 1, Val: value.Str("ada")},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Str("u1")) {
+		t.Errorf("residual filter broken: %v", rows)
+	}
+}
+
+func TestDelegatedJoinQuery(t *testing.T) {
+	s := newUsers(t)
+	if _, err := s.CreateTable("orders", "oid", "uid", "amount"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertMany("orders", []value.Tuple{
+		value.TupleOf("o1", "u1", 10),
+		value.TupleOf("o2", "u1", 20),
+		value.TupleOf("o3", "u2", 30),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("orders", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.DQuery{
+		Atoms: []engine.DAtom{
+			{Collection: "users", Terms: []engine.DTerm{
+				engine.DVar("u"), engine.DVar("n"), engine.DConst(value.Str("paris"))}},
+			{Collection: "orders", Terms: []engine.DTerm{
+				engine.DVar("o"), engine.DVar("u"), engine.DVar("amt")}},
+		},
+		Out: []string{"n", "amt"},
+	}
+	before := s.Counters().Snapshot()
+	it, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 2 {
+		t.Fatalf("join rows = %v", rows)
+	}
+	for _, r := range rows {
+		if !value.Equal(r[0], value.Str("ada")) {
+			t.Errorf("unexpected join row %v", r)
+		}
+	}
+	if s.Counters().Snapshot().Requests-before.Requests != 1 {
+		t.Error("delegated join must count exactly one request")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := newUsers(t)
+	if err := s.DropTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("users"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if len(s.Tables()) != 0 {
+		t.Errorf("tables = %v", s.Tables())
+	}
+}
+
+func TestEngineInterface(t *testing.T) {
+	s := New("pg")
+	var e engine.Engine = s
+	if e.Kind() != "relational" || e.Name() != "pg" {
+		t.Error("identity broken")
+	}
+	if !e.Capabilities().Has(engine.CapJoin | engine.CapScan) {
+		t.Error("relational store must support joins and scans")
+	}
+}
+
+func TestInsertIsolation(t *testing.T) {
+	// Inserted tuples must be copied: later caller mutation must not leak.
+	s := New("pg")
+	if _, err := s.CreateTable("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	row := value.TupleOf(1)
+	if err := s.Insert("t", row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = value.Int(99)
+	it, _ := s.Scan("t")
+	rows, _ := engine.Drain(it)
+	if !value.Equal(rows[0][0], value.Int(1)) {
+		t.Error("store aliases caller tuple")
+	}
+}

@@ -1,0 +1,258 @@
+// Package textstore is ESTOCADA's full-text storage substrate — the
+// stand-in for SOLR/Lucene, which the paper's scenario uses for the product
+// catalog. Documents are flat field maps; configured text fields are
+// tokenized into an inverted index; queries combine keyword containment
+// (AND semantics) with exact field-equality filters, returning stored
+// fields projected into tuples.
+package textstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Store is one full-text store instance.
+type Store struct {
+	name     string
+	mu       sync.RWMutex
+	colls    map[string]*index
+	counters engine.Counters
+	lat      engine.Latency
+}
+
+type index struct {
+	textFields map[string]bool
+	docs       []map[string]value.Value
+	// inverted maps token → posting list of doc positions (sorted,
+	// deduplicated).
+	inverted map[string][]int
+	// fieldIdx maps field → value key → doc positions (exact-match index).
+	fieldIdx map[string]map[string][]int
+}
+
+// New creates an empty full-text store.
+func New(name string) *Store {
+	return &Store{name: name, colls: map[string]*index{}}
+}
+
+// SetRequestLatency configures the simulated per-request service time.
+func (s *Store) SetRequestLatency(d time.Duration) { s.lat.Set(d) }
+
+// Name implements engine.Engine.
+func (s *Store) Name() string { return s.name }
+
+// Kind implements engine.Engine.
+func (s *Store) Kind() string { return "fulltext" }
+
+// Capabilities implements engine.Engine.
+func (s *Store) Capabilities() engine.Capability {
+	return engine.CapScan | engine.CapFilter | engine.CapProject | engine.CapFullText
+}
+
+// Counters implements engine.Engine.
+func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// CreateCollection registers a collection; textFields are tokenized into
+// the inverted index.
+func (s *Store) CreateCollection(name string, textFields ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[name]; ok {
+		return fmt.Errorf("textstore %s: collection %q exists", s.name, name)
+	}
+	ix := &index{
+		textFields: map[string]bool{},
+		inverted:   map[string][]int{},
+		fieldIdx:   map[string]map[string][]int{},
+	}
+	for _, f := range textFields {
+		ix.textFields[f] = true
+	}
+	s.colls[name] = ix
+	return nil
+}
+
+// DropCollection removes a collection.
+func (s *Store) DropCollection(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[name]; !ok {
+		return fmt.Errorf("textstore %s: no collection %q", s.name, name)
+	}
+	delete(s.colls, name)
+	return nil
+}
+
+func (s *Store) coll(name string) (*index, error) {
+	c, ok := s.colls[name]
+	if !ok {
+		return nil, fmt.Errorf("textstore %s: no collection %q", s.name, name)
+	}
+	return c, nil
+}
+
+// Index adds a document (a flat field→value map). Text fields are
+// tokenized; every field gets an exact-match entry.
+func (s *Store) Index(collName string, doc map[string]value.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return err
+	}
+	pos := len(c.docs)
+	stored := make(map[string]value.Value, len(doc))
+	for k, v := range doc {
+		stored[k] = v
+	}
+	c.docs = append(c.docs, stored)
+	for field, v := range doc {
+		if c.textFields[field] {
+			if str, ok := v.(value.Str); ok {
+				for _, tok := range Tokenize(string(str)) {
+					c.inverted[tok] = appendPosting(c.inverted[tok], pos)
+				}
+			}
+		}
+		fi := c.fieldIdx[field]
+		if fi == nil {
+			fi = map[string][]int{}
+			c.fieldIdx[field] = fi
+		}
+		fi[v.Key()] = append(fi[v.Key()], pos)
+	}
+	return nil
+}
+
+func appendPosting(l []int, pos int) []int {
+	if n := len(l); n > 0 && l[n-1] == pos {
+		return l
+	}
+	return append(l, pos)
+}
+
+// Tokenize lowercases and splits on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Len returns the document count of a collection.
+func (s *Store) Len(collName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return 0, err
+	}
+	return len(c.docs), nil
+}
+
+// Query is a full-text search: all Terms must occur in some text field
+// (AND), and all Fields must match exactly. Project lists the stored fields
+// returned per hit.
+type Query struct {
+	Terms   []string
+	Fields  []FieldFilter
+	Project []string
+}
+
+// FieldFilter is an exact-match predicate on a stored field.
+type FieldFilter struct {
+	Field string
+	Val   value.Value
+}
+
+// Search runs a query, returning one tuple per hit, projected on
+// q.Project (missing fields become NULL).
+func (s *Store) Search(collName string, q Query) (engine.Iterator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.AddRequest()
+	s.lat.Wait()
+
+	var candidates []int
+	switch {
+	case len(q.Terms) > 0:
+		// Intersect posting lists, rarest first.
+		s.counters.AddLookup()
+		lists := make([][]int, 0, len(q.Terms))
+		for _, t := range q.Terms {
+			lists = append(lists, c.inverted[strings.ToLower(t)])
+		}
+		sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+		candidates = lists[0]
+		for _, l := range lists[1:] {
+			candidates = intersect(candidates, l)
+		}
+	case len(q.Fields) > 0:
+		if fi, ok := c.fieldIdx[q.Fields[0].Field]; ok {
+			s.counters.AddLookup()
+			candidates = fi[q.Fields[0].Val.Key()]
+		}
+	default:
+		s.counters.AddScan()
+		candidates = make([]int, len(c.docs))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+
+	var rows []value.Tuple
+	for _, pos := range candidates {
+		doc := c.docs[pos]
+		match := true
+		for _, f := range q.Fields {
+			v, ok := doc[f.Field]
+			if !ok || !value.Equal(v, f.Val) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		row := make(value.Tuple, len(q.Project))
+		for i, p := range q.Project {
+			if v, ok := doc[p]; ok {
+				row[i] = v
+			} else {
+				row[i] = value.Null{}
+			}
+		}
+		rows = append(rows, row)
+	}
+	s.counters.AddTuples(len(rows))
+	return engine.NewSliceIterator(rows), nil
+}
+
+// intersect merges two sorted posting lists.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

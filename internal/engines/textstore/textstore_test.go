@@ -1,0 +1,190 @@
+package textstore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func newCatalog(t *testing.T) *Store {
+	t.Helper()
+	s := New("solr-test")
+	if err := s.CreateCollection("products", "description"); err != nil {
+		t.Fatal(err)
+	}
+	docs := []map[string]value.Value{
+		{"pid": value.Str("p1"), "category": value.Str("audio"),
+			"description": value.Str("Wireless noise-cancelling headphones")},
+		{"pid": value.Str("p2"), "category": value.Str("audio"),
+			"description": value.Str("Wired headphones with microphone")},
+		{"pid": value.Str("p3"), "category": value.Str("video"),
+			"description": value.Str("Wireless projector, silent fan")},
+	}
+	for _, d := range docs {
+		if err := s.Index("products", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Noise-Cancelling, wireless! 4K")
+	want := []string{"noise", "cancelling", "wireless", "4k"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(empty) = %v", got)
+	}
+}
+
+func TestSearchSingleTerm(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{Terms: []string{"wireless"}, Project: []string{"pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 2 {
+		t.Fatalf("wireless hits = %v", rows)
+	}
+}
+
+func TestSearchTermConjunction(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{
+		Terms:   []string{"wireless", "headphones"},
+		Project: []string{"pid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Str("p1")) {
+		t.Errorf("AND search = %v", rows)
+	}
+}
+
+func TestSearchCaseInsensitive(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{Terms: []string{"WIRELESS"}, Project: []string{"pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 2 {
+		t.Errorf("case-insensitive search = %v", rows)
+	}
+}
+
+func TestSearchWithFieldFilter(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{
+		Terms:   []string{"wireless"},
+		Fields:  []FieldFilter{{Field: "category", Val: value.Str("audio")}},
+		Project: []string{"pid", "category"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Str("p1")) {
+		t.Errorf("filtered search = %v", rows)
+	}
+}
+
+func TestSearchFieldOnly(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{
+		Fields:  []FieldFilter{{Field: "category", Val: value.Str("video")}},
+		Project: []string{"pid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Str("p3")) {
+		t.Errorf("field search = %v", rows)
+	}
+}
+
+func TestSearchNoTermsNoFieldsScans(t *testing.T) {
+	s := newCatalog(t)
+	before := s.Counters().Snapshot()
+	it, err := s.Search("products", Query{Project: []string{"pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 3 {
+		t.Errorf("scan = %v", rows)
+	}
+	if d := s.Counters().Snapshot().Sub(before); d.Scans != 1 {
+		t.Errorf("counters = %+v", d)
+	}
+}
+
+func TestSearchMissingProjectField(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{Terms: []string{"projector"}, Project: []string{"pid", "nope"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || rows[0][1].Kind() != value.KindNull {
+		t.Errorf("missing field projection = %v", rows)
+	}
+}
+
+func TestSearchUnknownTerm(t *testing.T) {
+	s := newCatalog(t)
+	it, err := s.Search("products", Query{Terms: []string{"zzz"}, Project: []string{"pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 0 {
+		t.Errorf("unknown term hits = %v", rows)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	s := New("solr")
+	if err := s.Index("missing", nil); err == nil {
+		t.Error("index into missing collection accepted")
+	}
+	if _, err := s.Search("missing", Query{}); err == nil {
+		t.Error("search in missing collection accepted")
+	}
+	if err := s.CreateCollection("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateCollection("c"); err == nil {
+		t.Error("duplicate collection accepted")
+	}
+	if err := s.DropCollection("c"); err != nil {
+		t.Error(err)
+	}
+	if err := s.DropCollection("c"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestEngineInterface(t *testing.T) {
+	s := New("solr")
+	var e engine.Engine = s
+	if e.Kind() != "fulltext" || !e.Capabilities().Has(engine.CapFullText) {
+		t.Error("identity/capabilities broken")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := newCatalog(t)
+	n, err := s.Len("products")
+	if err != nil || n != 3 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package exec is ESTOCADA's lightweight runtime execution engine (paper
+// §III, "Evaluation of non-delegated operations"): it evaluates the
+// "last-step" operations that the underlying stores cannot — joins across
+// stores (most key-value and document stores do not support joins), access
+// to sources with binding restrictions via the BindJoin operator, residual
+// selections, projection, duplicate elimination, grouping/aggregation,
+// nesting, and nested result (document) construction.
+//
+// Plans are trees of Nodes; each node exposes the variable names of its
+// output columns (Schema) and opens to a tuple Iterator.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Schema names the variables bound by each output column of a node.
+type Schema []string
+
+// Pos returns the column of a variable, or -1.
+func (s Schema) Pos(name string) int {
+	for i, n := range s {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema.
+func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }
+
+// Node is one operator of a physical plan.
+type Node interface {
+	// Schema describes the output columns.
+	Schema() Schema
+	// Open starts execution, returning the output iterator.
+	Open() (engine.Iterator, error)
+	// Label is a one-line description for plan explanation.
+	Label() string
+	// Children returns the input nodes (for plan walking/explain).
+	Children() []Node
+}
+
+// Explain renders a plan tree.
+func Explain(n Node) string {
+	var sb strings.Builder
+	explain(&sb, n, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, n Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Label())
+	sb.WriteString("  → ")
+	sb.WriteString(n.Schema().String())
+	sb.WriteByte('\n')
+	for _, c := range n.Children() {
+		explain(sb, c, depth+1)
+	}
+}
+
+// Run opens a plan and drains it.
+func Run(n Node) ([]value.Tuple, error) {
+	it, err := n.Open()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Drain(it)
+}
+
+// Source wraps a store access (delegated request) as a leaf node.
+type Source struct {
+	Name string
+	Out  Schema
+	// OpenFn issues the store request.
+	OpenFn func() (engine.Iterator, error)
+}
+
+// Schema implements Node.
+func (s *Source) Schema() Schema { return s.Out }
+
+// Open implements Node.
+func (s *Source) Open() (engine.Iterator, error) { return s.OpenFn() }
+
+// Label implements Node.
+func (s *Source) Label() string { return s.Name }
+
+// Children implements Node.
+func (s *Source) Children() []Node { return nil }
+
+// Values is a leaf over literal rows (tests, constants).
+type Values struct {
+	Out  Schema
+	Rows []value.Tuple
+}
+
+func (v *Values) Schema() Schema { return v.Out }
+func (v *Values) Open() (engine.Iterator, error) {
+	return engine.NewSliceIterator(v.Rows), nil
+}
+func (v *Values) Label() string    { return fmt.Sprintf("Values[%d rows]", len(v.Rows)) }
+func (v *Values) Children() []Node { return nil }
+
+// Select applies residual predicates: column=constant and column=column.
+type Select struct {
+	In      Node
+	EqConst []engine.EqFilter
+	EqCols  [][2]int
+}
+
+func (s *Select) Schema() Schema { return s.In.Schema() }
+func (s *Select) Label() string {
+	return fmt.Sprintf("Select[%d const, %d col-eq]", len(s.EqConst), len(s.EqCols))
+}
+func (s *Select) Children() []Node { return []Node{s.In} }
+func (s *Select) Open() (engine.Iterator, error) {
+	in, err := s.In.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &selectIter{in: in, sel: s}, nil
+}
+
+type selectIter struct {
+	in  engine.Iterator
+	sel *Select
+}
+
+func (it *selectIter) Next() (value.Tuple, bool) {
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if !engine.MatchAll(t, it.sel.EqConst) {
+			continue
+		}
+		good := true
+		for _, p := range it.sel.EqCols {
+			if p[0] >= len(t) || p[1] >= len(t) || !value.Equal(t[p[0]], t[p[1]]) {
+				good = false
+				break
+			}
+		}
+		if good {
+			return t, true
+		}
+	}
+}
+func (it *selectIter) Err() error { return it.in.Err() }
+func (it *selectIter) Close()     { it.in.Close() }
+
+// Project keeps the named columns, in order. Unknown names yield NULL
+// columns (callers validate beforehand; see NewProject).
+type Project struct {
+	In   Node
+	Cols []string
+	out  Schema
+	pos  []int
+}
+
+// NewProject builds a projection, resolving column names against the input
+// schema.
+func NewProject(in Node, cols []string) (*Project, error) {
+	p := &Project{In: in, Cols: cols, out: Schema(cols)}
+	for _, c := range cols {
+		i := in.Schema().Pos(c)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: projection column %q not in input schema %v", c, in.Schema())
+		}
+		p.pos = append(p.pos, i)
+	}
+	return p, nil
+}
+
+func (p *Project) Schema() Schema   { return p.out }
+func (p *Project) Label() string    { return "Project" + p.out.String() }
+func (p *Project) Children() []Node { return []Node{p.In} }
+func (p *Project) Open() (engine.Iterator, error) {
+	in, err := p.In.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.ProjectIterator{In: in, Cols: p.pos}, nil
+}
+
+// HashJoin joins two inputs on their shared schema variables (natural
+// join). The right input is materialized into a hash table; the left
+// streams.
+type HashJoin struct {
+	Left, Right Node
+	out         Schema
+	leftKeys    []int
+	rightKeys   []int
+	rightKeep   []int // right columns appended to output (non-shared)
+}
+
+// NewHashJoin builds a natural hash join on the shared variables.
+func NewHashJoin(left, right Node) (*HashJoin, error) {
+	j := &HashJoin{Left: left, Right: right}
+	ls, rs := left.Schema(), right.Schema()
+	shared := map[string]bool{}
+	for _, v := range ls {
+		if rs.Pos(v) >= 0 {
+			shared[v] = true
+		}
+	}
+	if len(shared) == 0 {
+		// Cross product: legal but flagged in the label.
+		j.out = append(append(Schema{}, ls...), rs...)
+		for i := range rs {
+			j.rightKeep = append(j.rightKeep, i)
+		}
+		return j, nil
+	}
+	// Deterministic key order.
+	keys := make([]string, 0, len(shared))
+	for v := range shared {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		j.leftKeys = append(j.leftKeys, ls.Pos(v))
+		j.rightKeys = append(j.rightKeys, rs.Pos(v))
+	}
+	j.out = append(Schema{}, ls...)
+	for i, v := range rs {
+		if !shared[v] {
+			j.out = append(j.out, v)
+			j.rightKeep = append(j.rightKeep, i)
+		}
+	}
+	return j, nil
+}
+
+func (j *HashJoin) Schema() Schema { return j.out }
+func (j *HashJoin) Label() string {
+	if len(j.leftKeys) == 0 {
+		return "CrossProduct"
+	}
+	return fmt.Sprintf("HashJoin[%d keys]", len(j.leftKeys))
+}
+func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+func (j *HashJoin) Open() (engine.Iterator, error) {
+	rit, err := j.Right.Open()
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := engine.Drain(rit)
+	if err != nil {
+		return nil, err
+	}
+	table := map[string][]value.Tuple{}
+	for _, r := range rightRows {
+		table[keyOf(r, j.rightKeys)] = append(table[keyOf(r, j.rightKeys)], r)
+	}
+	lit, err := j.Left.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinIter{j: j, left: lit, table: table}, nil
+}
+
+type hashJoinIter struct {
+	j       *HashJoin
+	left    engine.Iterator
+	table   map[string][]value.Tuple
+	curLeft value.Tuple
+	matches []value.Tuple
+	pos     int
+}
+
+func (it *hashJoinIter) Next() (value.Tuple, bool) {
+	for {
+		if it.pos < len(it.matches) {
+			r := it.matches[it.pos]
+			it.pos++
+			out := make(value.Tuple, 0, len(it.curLeft)+len(it.j.rightKeep))
+			out = append(out, it.curLeft...)
+			for _, c := range it.j.rightKeep {
+				out = append(out, r[c])
+			}
+			return out, true
+		}
+		l, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		it.curLeft = l
+		it.matches = it.table[keyOf(l, it.j.leftKeys)]
+		it.pos = 0
+	}
+}
+func (it *hashJoinIter) Err() error { return it.left.Err() }
+func (it *hashJoinIter) Close()     { it.left.Close() }
+
+func keyOf(t value.Tuple, cols []int) string {
+	parts := make(value.Tuple, len(cols))
+	for i, c := range cols {
+		if c >= 0 && c < len(t) {
+			parts[i] = t[c]
+		} else {
+			parts[i] = value.Null{}
+		}
+	}
+	return parts.Key()
+}
+
+// BindJoin implements dependent access to a source with binding
+// restrictions (paper §III): for every left tuple, the bind columns supply
+// the values required by the right source's access pattern (e.g. a
+// key-value store's key); Fetch issues the bound request.
+type BindJoin struct {
+	Left Node
+	// BindCols are the left columns whose values parameterize Fetch.
+	BindCols []int
+	// RightOut names the columns Fetch returns.
+	RightOut Schema
+	// Fetch issues one bound access. It receives the bind values in
+	// BindCols order.
+	Fetch func(bind value.Tuple) (engine.Iterator, error)
+	// SharedRight marks right columns that rejoin left columns (checked as
+	// residual equality); -1 entries are appended to the output.
+	SharedRight []int
+	out         Schema
+}
+
+// NewBindJoin constructs a bind join. rightOut names the fetched columns;
+// columns whose name already occurs in left's schema are checked for
+// equality and dropped from the output.
+func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(value.Tuple) (engine.Iterator, error)) (*BindJoin, error) {
+	b := &BindJoin{Left: left, RightOut: rightOut, Fetch: fetch}
+	ls := left.Schema()
+	for _, v := range bindVars {
+		p := ls.Pos(v)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: bind variable %q not in left schema %v", v, ls)
+		}
+		b.BindCols = append(b.BindCols, p)
+	}
+	b.out = append(Schema{}, ls...)
+	for _, v := range rightOut {
+		if p := ls.Pos(v); p >= 0 {
+			b.SharedRight = append(b.SharedRight, p)
+		} else {
+			b.SharedRight = append(b.SharedRight, -1)
+			b.out = append(b.out, v)
+		}
+	}
+	return b, nil
+}
+
+func (b *BindJoin) Schema() Schema   { return b.out }
+func (b *BindJoin) Label() string    { return fmt.Sprintf("BindJoin[%d bind cols]", len(b.BindCols)) }
+func (b *BindJoin) Children() []Node { return []Node{b.Left} }
+
+func (b *BindJoin) Open() (engine.Iterator, error) {
+	lit, err := b.Left.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &bindJoinIter{b: b, left: lit}, nil
+}
+
+type bindJoinIter struct {
+	b       *BindJoin
+	left    engine.Iterator
+	curLeft value.Tuple
+	right   []value.Tuple
+	pos     int
+	err     error
+}
+
+func (it *bindJoinIter) Next() (value.Tuple, bool) {
+	for {
+		for it.pos < len(it.right) {
+			r := it.right[it.pos]
+			it.pos++
+			out := make(value.Tuple, 0, len(it.curLeft)+len(r))
+			out = append(out, it.curLeft...)
+			good := true
+			for i, lp := range it.b.SharedRight {
+				if i >= len(r) {
+					good = false
+					break
+				}
+				if lp >= 0 {
+					if !value.Equal(r[i], it.curLeft[lp]) {
+						good = false
+						break
+					}
+				} else {
+					out = append(out, r[i])
+				}
+			}
+			if good {
+				return out, true
+			}
+		}
+		l, ok := it.left.Next()
+		if !ok {
+			return nil, false
+		}
+		bind := make(value.Tuple, len(it.b.BindCols))
+		for i, c := range it.b.BindCols {
+			bind[i] = l[c]
+		}
+		rit, err := it.b.Fetch(bind)
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		rows, err := engine.Drain(rit)
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		it.curLeft, it.right, it.pos = l, rows, 0
+	}
+}
+func (it *bindJoinIter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.left.Err()
+}
+func (it *bindJoinIter) Close() { it.left.Close() }

@@ -1,0 +1,453 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func vals(schema Schema, rows ...value.Tuple) *Values {
+	return &Values{Out: schema, Rows: rows}
+}
+
+func TestSchemaPos(t *testing.T) {
+	s := Schema{"a", "b"}
+	if s.Pos("a") != 0 || s.Pos("b") != 1 || s.Pos("z") != -1 {
+		t.Error("Pos broken")
+	}
+	if s.String() != "(a, b)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSelectConstAndColEq(t *testing.T) {
+	in := vals(Schema{"x", "y", "z"},
+		value.TupleOf(1, 1, "a"),
+		value.TupleOf(1, 2, "a"),
+		value.TupleOf(2, 2, "b"),
+	)
+	sel := &Select{
+		In:      in,
+		EqConst: []engine.EqFilter{{Col: 2, Val: value.Str("a")}},
+		EqCols:  [][2]int{{0, 1}},
+	}
+	rows, err := Run(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Int(1)) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestProject(t *testing.T) {
+	in := vals(Schema{"x", "y"}, value.TupleOf(1, "a"))
+	p, err := NewProject(in, []string{"y", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !value.Equal(rows[0][0], value.Str("a")) || !value.Equal(rows[0][1], value.Int(1)) {
+		t.Errorf("rows = %v", rows)
+	}
+	if _, err := NewProject(in, []string{"nope"}); err == nil {
+		t.Error("unknown projection column accepted")
+	}
+}
+
+func TestHashJoinNatural(t *testing.T) {
+	left := vals(Schema{"u", "n"},
+		value.TupleOf("u1", "ada"),
+		value.TupleOf("u2", "bob"),
+	)
+	right := vals(Schema{"u", "city"},
+		value.TupleOf("u1", "paris"),
+		value.TupleOf("u3", "lyon"),
+	)
+	j, err := NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema().String() != "(u, n, city)" {
+		t.Errorf("schema = %v", j.Schema())
+	}
+	rows, err := Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !value.Equal(rows[0][2], value.Str("paris")) {
+		t.Errorf("join = %v", rows)
+	}
+}
+
+func TestHashJoinMultiKey(t *testing.T) {
+	left := vals(Schema{"a", "b", "l"},
+		value.TupleOf(1, 1, "x"),
+		value.TupleOf(1, 2, "y"),
+	)
+	right := vals(Schema{"a", "b", "r"},
+		value.TupleOf(1, 2, "z"),
+	)
+	j, err := NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !value.Equal(rows[0][2], value.Str("y")) || !value.Equal(rows[0][3], value.Str("z")) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestHashJoinCrossProduct(t *testing.T) {
+	left := vals(Schema{"a"}, value.TupleOf(1), value.TupleOf(2))
+	right := vals(Schema{"b"}, value.TupleOf("x"))
+	j, err := NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Label() != "CrossProduct" {
+		t.Errorf("label = %q", j.Label())
+	}
+	rows, err := Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("cross = %v", rows)
+	}
+}
+
+func TestBindJoin(t *testing.T) {
+	// Right side simulates a KV store: fetch(key) returns key-tagged rows.
+	store := map[string][]value.Tuple{
+		"u1": {value.TupleOf("u1", "theme", "dark")},
+		"u2": {value.TupleOf("u2", "theme", "light"), value.TupleOf("u2", "lang", "fr")},
+	}
+	fetchCount := 0
+	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+		fetchCount++
+		key := string(bind[0].(value.Str))
+		return engine.NewSliceIterator(store[key]), nil
+	}
+	left := vals(Schema{"u", "city"},
+		value.TupleOf("u1", "paris"),
+		value.TupleOf("u2", "lyon"),
+		value.TupleOf("u9", "nice"),
+	)
+	bj, err := NewBindJoin(left, []string{"u"}, Schema{"u", "k", "v"}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.Schema().String() != "(u, city, k, v)" {
+		t.Errorf("schema = %v", bj.Schema())
+	}
+	rows, err := Run(bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+	if fetchCount != 3 {
+		t.Errorf("fetches = %d, want one per left tuple", fetchCount)
+	}
+}
+
+func TestBindJoinChecksSharedColumns(t *testing.T) {
+	// The fetched tuple repeats the key column; mismatches must be dropped.
+	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+		return engine.NewSliceIterator([]value.Tuple{value.TupleOf("WRONG", "v")}), nil
+	}
+	left := vals(Schema{"u"}, value.TupleOf("u1"))
+	bj, err := NewBindJoin(left, []string{"u"}, Schema{"u", "v"}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("mismatched shared column kept: %v", rows)
+	}
+}
+
+func TestBindJoinUnknownVar(t *testing.T) {
+	left := vals(Schema{"u"}, value.TupleOf("u1"))
+	if _, err := NewBindJoin(left, []string{"ghost"}, Schema{"v"}, nil); err == nil {
+		t.Error("unknown bind var accepted")
+	}
+}
+
+func TestBindJoinFetchError(t *testing.T) {
+	sentinel := errors.New("kv down")
+	fetch := func(value.Tuple) (engine.Iterator, error) { return nil, sentinel }
+	left := vals(Schema{"u"}, value.TupleOf("u1"))
+	bj, err := NewBindJoin(left, []string{"u"}, Schema{"v"}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(bj)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want fetch error", err)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := vals(Schema{"x"}, value.TupleOf(1), value.TupleOf(1), value.TupleOf(2))
+	rows, err := Run(&Distinct{In: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("distinct = %v", rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	in := vals(Schema{"x"}, value.TupleOf(1), value.TupleOf(2), value.TupleOf(3))
+	rows, err := Run(&Limit{In: in, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("limit = %v", rows)
+	}
+}
+
+func TestSort(t *testing.T) {
+	in := vals(Schema{"x", "y"},
+		value.TupleOf(2, "b"), value.TupleOf(1, "c"), value.TupleOf(2, "a"))
+	rows, err := Run(&Sort{In: in, By: []string{"x", "y"}, Desc: []bool{false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []value.Tuple{value.TupleOf(1, "c"), value.TupleOf(2, "b"), value.TupleOf(2, "a")}
+	for i := range want {
+		if !value.Equal(rows[i], want[i]) {
+			t.Errorf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+	if _, err := Run(&Sort{In: in, By: []string{"ghost"}}); err == nil {
+		t.Error("unknown sort column accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	in := vals(Schema{"g", "v"},
+		value.TupleOf("a", 1), value.TupleOf("a", 3), value.TupleOf("b", 5))
+	cases := []struct {
+		fn   AggFunc
+		a, b value.Value
+	}{
+		{AggCount, value.Int(2), value.Int(1)},
+		{AggSum, value.Float(4), value.Float(5)},
+		{AggMin, value.Int(1), value.Int(5)},
+		{AggMax, value.Int(3), value.Int(5)},
+		{AggAvg, value.Float(2), value.Float(5)},
+	}
+	for _, c := range cases {
+		agg, err := NewAggregate(in, []string{"g"}, c.fn, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Run(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]value.Value{}
+		for _, r := range rows {
+			got[string(r[0].(value.Str))] = r[1]
+		}
+		if !value.Equal(got["a"], c.a) || !value.Equal(got["b"], c.b) {
+			t.Errorf("%s: got %v", c.fn, got)
+		}
+	}
+	if _, err := NewAggregate(in, []string{"ghost"}, AggCount, ""); err == nil {
+		t.Error("unknown group column accepted")
+	}
+	if _, err := NewAggregate(in, nil, "median", "v"); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestNestAndUnnestRoundTrip(t *testing.T) {
+	in := vals(Schema{"u", "sku", "qty"},
+		value.TupleOf("u1", "a", 1),
+		value.TupleOf("u1", "b", 2),
+		value.TupleOf("u2", "c", 3),
+	)
+	n, err := NewNest(in, []string{"u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != 2 {
+		t.Fatalf("nested = %v", nested)
+	}
+	u1 := nested[0]
+	if l, ok := u1[1].(value.List); !ok || len(l) != 2 {
+		t.Errorf("u1 nested = %v", u1)
+	}
+	// Unnest back.
+	un, err := NewUnnest(&Values{Out: n.Schema(), Rows: nested}, "nested", []string{"sku", "qty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Run(un)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 3 {
+		t.Errorf("unnest = %v", flat)
+	}
+	if un.Schema().String() != "(u, sku, qty)" {
+		t.Errorf("unnest schema = %v", un.Schema())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := vals(Schema{"x"}, value.TupleOf(1))
+	b := vals(Schema{"x"}, value.TupleOf(2))
+	rows, err := Run(&Union{Inputs: []Node{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("union = %v", rows)
+	}
+}
+
+func TestConstructDoc(t *testing.T) {
+	in := vals(Schema{"u", "city"}, value.TupleOf("u1", "paris"))
+	c, err := NewConstructDoc(in, map[string]string{"user": "u", "town": "city"}, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := rows[0][0].(*value.Doc)
+	if !ok {
+		t.Fatalf("not a doc: %v", rows[0][0])
+	}
+	if v, _ := d.ScalarAt("user"); !value.Equal(v, value.Str("u1")) {
+		t.Errorf("doc = %v", d)
+	}
+	if _, err := NewConstructDoc(in, map[string]string{"f": "ghost"}, "doc"); err == nil {
+		t.Error("unknown construct column accepted")
+	}
+}
+
+func TestExplainTree(t *testing.T) {
+	in := vals(Schema{"x"}, value.TupleOf(1))
+	p, _ := NewProject(&Distinct{In: in}, []string{"x"})
+	out := Explain(p)
+	if out == "" {
+		t.Fatal("empty explain")
+	}
+	for _, want := range []string{"Project", "Distinct", "Values"} {
+		if !contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && (indexOf(s, sub) >= 0))
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSourceNode(t *testing.T) {
+	src := &Source{
+		Name: "kv.Get(prefs)",
+		Out:  Schema{"k"},
+		OpenFn: func() (engine.Iterator, error) {
+			return engine.NewSliceIterator([]value.Tuple{value.TupleOf("a")}), nil
+		},
+	}
+	rows, err := Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || src.Label() != "kv.Get(prefs)" || src.Children() != nil {
+		t.Error("source node broken")
+	}
+}
+
+func TestSourceOpenErrorPropagates(t *testing.T) {
+	sentinel := errors.New("store down")
+	src := &Source{
+		Name:   "broken",
+		Out:    Schema{"x"},
+		OpenFn: func() (engine.Iterator, error) { return nil, sentinel },
+	}
+	// Error through a whole operator stack.
+	p, err := NewProject(&Distinct{In: &Select{In: src}}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	// And through both join sides.
+	good := vals(Schema{"x"}, value.TupleOf(1))
+	j1, _ := NewHashJoin(src, good)
+	if _, err := Run(j1); !errors.Is(err, sentinel) {
+		t.Errorf("left err = %v", err)
+	}
+	j2, _ := NewHashJoin(good, src)
+	if _, err := Run(j2); !errors.Is(err, sentinel) {
+		t.Errorf("right err = %v", err)
+	}
+}
+
+func TestUnionErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	src := &Source{Name: "b", Out: Schema{"x"},
+		OpenFn: func() (engine.Iterator, error) { return nil, sentinel }}
+	u := &Union{Inputs: []Node{vals(Schema{"x"}, value.TupleOf(1)), src}}
+	if _, err := Run(u); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAggregateAndNestErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	src := &Source{Name: "b", Out: Schema{"g", "v"},
+		OpenFn: func() (engine.Iterator, error) { return nil, sentinel }}
+	agg, err := NewAggregate(src, []string{"g"}, AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(agg); !errors.Is(err, sentinel) {
+		t.Errorf("aggregate err = %v", err)
+	}
+	n, err := NewNest(src, []string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(n); !errors.Is(err, sentinel) {
+		t.Errorf("nest err = %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/pivot"
+)
+
+var testSchema = Schema{
+	"Users":  {"uid", "name", "city"},
+	"Orders": {"oid", "uid", "pid"},
+	"Carts":  {"uid", "pid", "qty"},
+}
+
+func TestParseSQLSimpleSelect(t *testing.T) {
+	q, err := ParseSQL(`SELECT u.name FROM Users u WHERE u.city = 'paris'`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 1 || q.Body[0].Pred != "Users" {
+		t.Fatalf("body = %v", q.Body)
+	}
+	if q.Head.Arity() != 1 {
+		t.Errorf("head = %v", q.Head)
+	}
+	// City position pinned to the constant.
+	if !pivot.SameTerm(q.Body[0].Args[2], pivot.CStr("paris")) {
+		t.Errorf("constant not pinned: %v", q.Body[0])
+	}
+}
+
+func TestParseSQLJoin(t *testing.T) {
+	q, err := ParseSQL(`SELECT u.name, o.pid FROM Users u, Orders o WHERE u.uid = o.uid`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 2 {
+		t.Fatalf("body = %v", q.Body)
+	}
+	// Join variable shared between Users[0] and Orders[1].
+	if !pivot.SameTerm(q.Body[0].Args[0], q.Body[1].Args[1]) {
+		t.Errorf("join variable not unified: %v", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSQLStar(t *testing.T) {
+	q, err := ParseSQL(`SELECT * FROM Users u`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Head.Arity() != 3 {
+		t.Errorf("star head = %v", q.Head)
+	}
+}
+
+func TestParseSQLIntLiteral(t *testing.T) {
+	q, err := ParseSQL(`SELECT c.uid FROM Carts c WHERE c.qty = 3`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pivot.SameTerm(q.Body[0].Args[2], pivot.CInt(3)) {
+		t.Errorf("int literal: %v", q.Body[0])
+	}
+}
+
+func TestParseSQLNoAlias(t *testing.T) {
+	q, err := ParseSQL(`SELECT Users.name FROM Users WHERE Users.city = 'lyon'`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 1 {
+		t.Fatalf("body = %v", q.Body)
+	}
+}
+
+func TestParseSQLTransitiveEqualities(t *testing.T) {
+	// u.uid = o.uid AND o.uid = c.uid: all three unify.
+	q, err := ParseSQL(
+		`SELECT u.name FROM Users u, Orders o, Carts c WHERE u.uid = o.uid AND o.uid = c.uid`,
+		testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid0 := q.Body[0].Args[0]
+	if !pivot.SameTerm(uid0, q.Body[1].Args[1]) || !pivot.SameTerm(uid0, q.Body[2].Args[0]) {
+		t.Errorf("transitive unification broken: %v", q)
+	}
+}
+
+func TestParseSQLConstantThroughEquality(t *testing.T) {
+	// u.uid = o.uid AND u.uid = 'u1': both positions pinned to 'u1'.
+	q, err := ParseSQL(
+		`SELECT o.pid FROM Users u, Orders o WHERE u.uid = o.uid AND u.uid = 'u1'`,
+		testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pivot.SameTerm(q.Body[0].Args[0], pivot.CStr("u1")) ||
+		!pivot.SameTerm(q.Body[1].Args[1], pivot.CStr("u1")) {
+		t.Errorf("constant propagation broken: %v", q)
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT u.name FROM Ghost u`,
+		`SELECT u.ghost FROM Users u`,
+		`SELECT u.name FROM Users u WHERE u.city`,
+		`SELECT u.name FROM Users u, Users u`,
+		`SELECT u.name FROM Users u extra`,
+		`SELECT x FROM Users u`, // unqualified select
+	}
+	for _, in := range bad {
+		if _, err := ParseSQL(in, testSchema); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParseFLWOR(t *testing.T) {
+	q, err := ParseFLWOR(
+		`for c in Carts, o in Orders where c.pid = o.pid and c.uid = "u1" return c.pid, c.qty`,
+		testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 2 || q.Body[0].Pred != "Carts" || q.Body[1].Pred != "Orders" {
+		t.Fatalf("body = %v", q.Body)
+	}
+	if !pivot.SameTerm(q.Body[0].Args[0], pivot.CStr("u1")) {
+		t.Errorf("constant not pinned: %v", q.Body[0])
+	}
+	if !pivot.SameTerm(q.Body[0].Args[1], q.Body[1].Args[2]) {
+		t.Errorf("join not unified: %v", q)
+	}
+	if q.Head.Arity() != 2 {
+		t.Errorf("head = %v", q.Head)
+	}
+}
+
+func TestParseFLWORErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for`,
+		`for c in Ghost return c.x`,
+		`for c in Carts return c.ghost`,
+		`for c in Carts where c.qty return c.pid`,
+		`for c in Carts, c in Orders return c.pid`,
+		`for c in Carts return c.pid trailing`,
+	}
+	for _, in := range bad {
+		if _, err := ParseFLWOR(in, testSchema); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestSQLAndFLWORAgree(t *testing.T) {
+	sqlQ, err := ParseSQL(
+		`SELECT c.pid FROM Carts c, Orders o WHERE c.pid = o.pid AND c.uid = 'u1'`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flQ, err := ParseFLWOR(
+		`for c in Carts, o in Orders where c.pid = o.pid and c.uid = "u1" return c.pid`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pivot.Equivalent(sqlQ, flQ) {
+		t.Errorf("surface syntaxes disagree:\nsql:   %v\nflwor: %v", sqlQ, flQ)
+	}
+}
+
+func TestLexerStringsAndNumbers(t *testing.T) {
+	toks, err := lex(`'a b' "c" 12 -3 4.5 name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokString, tokString, tokNumber, tokNumber, tokNumber, tokIdent, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("tok %d kind = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if toks[0].text != "a b" {
+		t.Errorf("string text = %q", toks[0].text)
+	}
+	if _, err := lex(`'unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex(`@`); err == nil {
+		t.Error("bad character accepted")
+	}
+}

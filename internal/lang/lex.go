@@ -1,0 +1,191 @@
+// Package lang provides the native surface languages through which
+// applications talk to ESTOCADA (paper §III: "each dataset is accessed
+// through a language specific to its native data model"). Two parsers are
+// provided, both compiling to pivot-model conjunctive queries:
+//
+//   - a mini SQL (SELECT–FROM–WHERE with equi-joins and literal
+//     selections) for relational datasets, and
+//   - a mini FLWOR ("for x in C where … return …") for document datasets.
+//
+// Compilation needs the logical schema (relation → column names) to map
+// column references to argument positions.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // . , = ( )
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex splits the input into tokens. Keywords stay plain identifiers; the
+// parsers match them case-insensitively.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c == '.' || c == ',' || c == '=' || c == '(' || c == ')' || c == '*':
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
+			l.pos++
+		case c == '-' || c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentRest(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("lang: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.in[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.in[start:l.pos], start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.in) && isIdentRest(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.in[start:l.pos], start})
+}
+
+// parser is a simple cursor over tokens shared by both grammars.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes an identifier matching kw case-insensitively.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("lang: expected %q at position %d (got %q)", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return fmt.Errorf("lang: expected %q at position %d (got %q)", s, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("lang: expected identifier at position %d (got %q)", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// literal parses a string or number literal into a Go value.
+func (p *parser) literal() (any, bool, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return t.text, true, nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			return f, true, err
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		return i, true, err
+	default:
+		return nil, false, nil
+	}
+}

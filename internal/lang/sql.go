@@ -1,0 +1,251 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pivot"
+)
+
+// Schema maps logical relation names to their column names, used to
+// compile column references into argument positions.
+type Schema map[string][]string
+
+// colPos resolves a column of a relation.
+func (s Schema) colPos(rel, col string) (int, error) {
+	cols, ok := s[rel]
+	if !ok {
+		return 0, fmt.Errorf("lang: unknown relation %q", rel)
+	}
+	for i, c := range cols {
+		if strings.EqualFold(c, col) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("lang: relation %q has no column %q", rel, col)
+}
+
+// ParseSQL compiles a mini-SQL query into a pivot conjunctive query:
+//
+//	SELECT a.name, b.pid
+//	FROM Users a, Orders b
+//	WHERE a.uid = b.uid AND a.city = 'paris'
+//
+// Supported: comma joins, equality predicates between columns and between a
+// column and a literal, SELECT *. The result head is named "Q".
+func ParseSQL(input string, schema Schema) (pivot.CQ, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return pivot.CQ{}, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKeyword("select"); err != nil {
+		return pivot.CQ{}, err
+	}
+
+	type colRef struct{ alias, col string }
+	var selects []colRef
+	star := false
+	if p.symbol("*") {
+		star = true
+	} else {
+		for {
+			a, err := p.ident()
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			if err := p.expectSymbol("."); err != nil {
+				return pivot.CQ{}, err
+			}
+			c, err := p.ident()
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			selects = append(selects, colRef{a, c})
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return pivot.CQ{}, err
+	}
+	aliases := map[string]string{} // alias -> relation
+	var aliasOrder []string
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return pivot.CQ{}, err
+		}
+		alias := rel
+		if t := p.peek(); t.kind == tokIdent && !isKeyword(t.text) {
+			alias, _ = p.ident()
+		}
+		if _, dup := aliases[alias]; dup {
+			return pivot.CQ{}, fmt.Errorf("lang: duplicate alias %q", alias)
+		}
+		if _, ok := schema[rel]; !ok {
+			return pivot.CQ{}, fmt.Errorf("lang: unknown relation %q", rel)
+		}
+		aliases[alias] = rel
+		aliasOrder = append(aliasOrder, alias)
+		if !p.symbol(",") {
+			break
+		}
+	}
+
+	// Each (alias, column) starts as its own variable "alias·col"; WHERE
+	// equalities unify variables (union-find) or pin constants.
+	varOf := func(alias, col string) pivot.Var {
+		return pivot.Var(alias + "·" + col)
+	}
+	parent := map[pivot.Var]pivot.Var{}
+	var find func(v pivot.Var) pivot.Var
+	find = func(v pivot.Var) pivot.Var {
+		if p, ok := parent[v]; ok && p != v {
+			r := find(p)
+			parent[v] = r
+			return r
+		}
+		return v
+	}
+	union := func(a, b pivot.Var) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	consts := map[pivot.Var]pivot.Const{}
+
+	if p.keyword("where") {
+		for {
+			a1, err := p.ident()
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			if err := p.expectSymbol("."); err != nil {
+				return pivot.CQ{}, err
+			}
+			c1, err := p.ident()
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			if err := p.expectSymbol("="); err != nil {
+				return pivot.CQ{}, err
+			}
+			if lit, ok, err := p.literal(); err != nil {
+				return pivot.CQ{}, err
+			} else if ok {
+				consts[find(varOf(a1, c1))] = pivot.NormalizeConst(lit)
+			} else {
+				a2, err := p.ident()
+				if err != nil {
+					return pivot.CQ{}, err
+				}
+				if err := p.expectSymbol("."); err != nil {
+					return pivot.CQ{}, err
+				}
+				c2, err := p.ident()
+				if err != nil {
+					return pivot.CQ{}, err
+				}
+				union(varOf(a1, c1), varOf(a2, c2))
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return pivot.CQ{}, fmt.Errorf("lang: trailing input at position %d (%q)", p.peek().pos, p.peek().text)
+	}
+
+	// Validate column references and build atoms.
+	term := func(alias, col string) (pivot.Term, error) {
+		rel := aliases[alias]
+		if rel == "" {
+			return nil, fmt.Errorf("lang: unknown alias %q", alias)
+		}
+		if _, err := schema.colPos(rel, col); err != nil {
+			return nil, err
+		}
+		root := find(varOf(alias, col))
+		if c, pinned := constFor(consts, parent, root); pinned {
+			return c, nil
+		}
+		return root, nil
+	}
+	var body []pivot.Atom
+	for _, alias := range aliasOrder {
+		rel := aliases[alias]
+		cols := schema[rel]
+		args := make([]pivot.Term, len(cols))
+		for i, col := range cols {
+			t, err := term(alias, col)
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			args[i] = t
+		}
+		body = append(body, pivot.Atom{Pred: rel, Args: args})
+	}
+
+	var headArgs []pivot.Term
+	if star {
+		seen := map[string]bool{}
+		for _, a := range body {
+			for _, t := range a.Args {
+				if v, ok := t.(pivot.Var); ok && !seen[string(v)] {
+					seen[string(v)] = true
+					headArgs = append(headArgs, v)
+				}
+			}
+		}
+	} else {
+		for _, sel := range selects {
+			t, err := term(sel.alias, sel.col)
+			if err != nil {
+				return pivot.CQ{}, err
+			}
+			headArgs = append(headArgs, t)
+		}
+	}
+	q := pivot.CQ{Head: pivot.NewAtom("Q", headArgs...), Body: body}
+	if err := q.Validate(); err != nil {
+		return pivot.CQ{}, err
+	}
+	return q, nil
+}
+
+// constFor reports whether the union-find class of root is pinned to a
+// constant (directly or through any member of its class).
+func constFor(consts map[pivot.Var]pivot.Const, parent map[pivot.Var]pivot.Var, root pivot.Var) (pivot.Const, bool) {
+	if c, ok := consts[root]; ok {
+		return c, true
+	}
+	// A constant may have been recorded against a variable that later got
+	// a different representative; chase every recorded constant's class.
+	for v, c := range consts {
+		r := v
+		for {
+			p, ok := parent[r]
+			if !ok || p == r {
+				break
+			}
+			r = p
+		}
+		if r == root {
+			return c, true
+		}
+	}
+	return pivot.Const{}, false
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "and", "for", "in", "return":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+// Package model encodes the data models ESTOCADA supports into the pivot
+// model (paper §III, "Pivot model with constraints"): each non-relational
+// model is described by a small set of virtual relations plus integrity
+// constraints that capture its structural invariants — e.g. for documents,
+// "every node has just one parent and one tag, every child is also a
+// descendant". Key-value access restrictions become binding-pattern
+// adornments on the encoding relations.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+)
+
+// DocEncoding is the virtual-relation vocabulary for one document
+// collection. For a collection named C the relations are:
+//
+//	C_Doc(docID, name)        — document identity
+//	C_Root(docID, nodeID)     — root node of a document
+//	C_Child(parentID, childID)
+//	C_Desc(ancID, descID)     — descendant axis
+//	C_Node(nodeID, tag)       — element tag / field name
+//	C_Val(nodeID, value)      — scalar content of a node
+//
+// together with the constraints returned by Constraints.
+type DocEncoding struct {
+	// Collection is the base name; relation names are derived from it.
+	Collection string
+}
+
+// NewDocEncoding builds the encoding vocabulary for a collection.
+func NewDocEncoding(collection string) DocEncoding {
+	return DocEncoding{Collection: collection}
+}
+
+// Predicate names of the encoding.
+func (e DocEncoding) DocPred() string   { return e.Collection + "_Doc" }
+func (e DocEncoding) RootPred() string  { return e.Collection + "_Root" }
+func (e DocEncoding) ChildPred() string { return e.Collection + "_Child" }
+func (e DocEncoding) DescPred() string  { return e.Collection + "_Desc" }
+func (e DocEncoding) NodePred() string  { return e.Collection + "_Node" }
+func (e DocEncoding) ValPred() string   { return e.Collection + "_Val" }
+
+// Constraints returns the TGDs and EGDs describing the document model:
+//
+//   - every child edge is a descendant edge (inclusion);
+//   - the descendant axis is transitive;
+//   - every root is a node of its document's tree (root ∈ desc∪self is
+//     modeled by root being its own "descendant origin": we assert
+//     Root(d,r) → Desc-reflexivity is NOT added, keeping Desc irreflexive);
+//   - every node has exactly one tag (EGD on C_Node);
+//   - every node has at most one parent (EGD on C_Child);
+//   - every node has at most one scalar value (EGD on C_Val);
+//   - every document has exactly one root (EGD on C_Root).
+func (e DocEncoding) Constraints() pivot.Constraints {
+	child, desc := e.ChildPred(), e.DescPred()
+	var cs pivot.Constraints
+	cs.TGDs = append(cs.TGDs,
+		pivot.InclusionTGD(e.Collection+":child⊆desc", child, 2, []int{0, 1}, desc, 2, []int{0, 1}),
+		pivot.NewTGD(e.Collection+":desc-trans",
+			[]pivot.Atom{
+				pivot.NewAtom(desc, pivot.Var("a"), pivot.Var("b")),
+				pivot.NewAtom(desc, pivot.Var("b"), pivot.Var("c")),
+			},
+			[]pivot.Atom{pivot.NewAtom(desc, pivot.Var("a"), pivot.Var("c"))}),
+	)
+	cs.EGDs = append(cs.EGDs, pivot.KeyEGDs(e.NodePred(), 2, 0)...) // one tag per node
+	cs.EGDs = append(cs.EGDs, pivot.KeyEGDs(e.ValPred(), 2, 0)...)  // one value per node
+	cs.EGDs = append(cs.EGDs, pivot.KeyEGDs(e.RootPred(), 2, 0)...) // one root per doc
+	// One parent per node: Child(p1,c) ∧ Child(p2,c) → p1=p2 (key on the
+	// *second* position).
+	cs.EGDs = append(cs.EGDs, pivot.KeyEGDs(child, 2, 1)...)
+	return cs
+}
+
+// KVEncoding describes one key-value collection as a relation
+// C(key, field₁, …) whose only feasible access binds the key — the paper's
+// "original encoding of access pattern restrictions" (§III).
+type KVEncoding struct {
+	Collection string
+	// Arity is the relation arity including the key at position 0.
+	Arity int
+}
+
+// NewKVEncoding builds a key-value encoding.
+func NewKVEncoding(collection string, arity int) (KVEncoding, error) {
+	if arity < 2 {
+		return KVEncoding{}, fmt.Errorf("model: KV encoding needs arity ≥ 2 (key + at least one value)")
+	}
+	return KVEncoding{Collection: collection, Arity: arity}, nil
+}
+
+// Pred returns the relation name.
+func (e KVEncoding) Pred() string { return e.Collection }
+
+// AccessPattern returns the 'b' + 'f'ⁿ adornment: the key must be bound.
+func (e KVEncoding) AccessPattern() rewrite.AccessPattern {
+	p := make([]byte, e.Arity)
+	p[0] = 'b'
+	for i := 1; i < e.Arity; i++ {
+		p[i] = 'f'
+	}
+	return rewrite.AccessPattern(p)
+}
+
+// Constraints returns the key dependency: the KV key functionally
+// determines the payload (Put semantics store one payload per key). For
+// append-mode collections (several tuples per key) pass unique=false and no
+// constraint is emitted.
+func (e KVEncoding) Constraints(unique bool) pivot.Constraints {
+	if !unique {
+		return pivot.Constraints{}
+	}
+	return pivot.Constraints{EGDs: pivot.KeyEGDs(e.Pred(), e.Arity, 0)}
+}
+
+// TextEncoding describes a full-text indexed collection: the virtual
+// relation C_Contains(docKey, term) states that the indexed text of the
+// document identified by docKey contains term. Term positions must be bound
+// (you query an inverted index by term, you do not enumerate it).
+type TextEncoding struct {
+	Collection string
+}
+
+// NewTextEncoding builds a text encoding.
+func NewTextEncoding(collection string) TextEncoding {
+	return TextEncoding{Collection: collection}
+}
+
+// ContainsPred returns the containment relation name.
+func (e TextEncoding) ContainsPred() string { return e.Collection + "_Contains" }
+
+// AccessPattern: the term (position 1) must be bound; doc keys flow out.
+func (e TextEncoding) AccessPattern() rewrite.AccessPattern { return "fb" }
+
+// NestedEncoding describes a nested relation (as stored by the parallel
+// substrate): the parent relation Parent(key..., setID) plus a member
+// relation Member(setID, field...). The paper's scenario materializes the
+// purchases⋈browsing join this way, indexed by user and category.
+type NestedEncoding struct {
+	Name        string
+	ParentArity int
+	MemberArity int
+}
+
+// ParentPred returns the parent relation name.
+func (e NestedEncoding) ParentPred() string { return e.Name }
+
+// MemberPred returns the member relation name.
+func (e NestedEncoding) MemberPred() string { return e.Name + "_Member" }
+
+// Constraints: every member's set identifier appears in some parent tuple
+// (inclusion of Member[0] into Parent[last]), and setID is determined by
+// the parent key columns if the parent has a key (left to the caller).
+func (e NestedEncoding) Constraints() pivot.Constraints {
+	return pivot.Constraints{TGDs: []pivot.TGD{
+		existentialInclusion(
+			e.Name+":member⊆parent",
+			e.MemberPred(), e.MemberArity, 0,
+			e.ParentPred(), e.ParentArity, e.ParentArity-1,
+		),
+	}}
+}
+
+// existentialInclusion builds From(...,x,...) → ∃ rest To(...,x,...), with x
+// at fromPos/toPos respectively and all other To positions existential.
+func existentialInclusion(name, from string, fromArity, fromPos int, to string, toArity, toPos int) pivot.TGD {
+	bodyArgs := make([]pivot.Term, fromArity)
+	for i := range bodyArgs {
+		bodyArgs[i] = pivot.Var(fmt.Sprintf("x%d", i))
+	}
+	headArgs := make([]pivot.Term, toArity)
+	for i := range headArgs {
+		headArgs[i] = pivot.Var(fmt.Sprintf("e%d", i))
+	}
+	headArgs[toPos] = bodyArgs[fromPos]
+	return pivot.TGD{
+		Name: name,
+		Body: []pivot.Atom{{Pred: from, Args: bodyArgs}},
+		Head: []pivot.Atom{{Pred: to, Args: headArgs}},
+	}
+}

@@ -1,0 +1,163 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+)
+
+func TestDocEncodingPredicates(t *testing.T) {
+	e := NewDocEncoding("carts")
+	if e.ChildPred() != "carts_Child" || e.DescPred() != "carts_Desc" ||
+		e.NodePred() != "carts_Node" || e.ValPred() != "carts_Val" ||
+		e.DocPred() != "carts_Doc" || e.RootPred() != "carts_Root" {
+		t.Error("predicate naming broken")
+	}
+}
+
+func TestDocEncodingConstraintsValid(t *testing.T) {
+	cs := NewDocEncoding("c").Constraints()
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.TGDs) != 2 {
+		t.Errorf("TGDs = %d, want 2 (inclusion + transitivity)", len(cs.TGDs))
+	}
+	if len(cs.EGDs) == 0 {
+		t.Error("no EGDs generated")
+	}
+}
+
+func TestDocEncodingChildImpliesDesc(t *testing.T) {
+	e := NewDocEncoding("c")
+	cs := e.Constraints()
+	inst := pivot.NewInstance()
+	inst.Add(pivot.NewAtom(e.ChildPred(), pivot.CInt(1), pivot.CInt(2)))
+	inst.Add(pivot.NewAtom(e.ChildPred(), pivot.CInt(2), pivot.CInt(3)))
+	res, err := chase.Chase(inst, cs, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Desc must contain (1,2),(2,3),(1,3).
+	for _, pair := range [][2]int64{{1, 2}, {2, 3}, {1, 3}} {
+		if !res.Instance.Has(pivot.NewAtom(e.DescPred(), pivot.CInt(pair[0]), pivot.CInt(pair[1]))) {
+			t.Errorf("missing Desc(%d,%d)", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDocEncodingUniqueTagEGD(t *testing.T) {
+	e := NewDocEncoding("c")
+	cs := e.Constraints()
+	inst := pivot.NewInstance()
+	inst.Add(pivot.NewAtom(e.NodePred(), pivot.CInt(1), pivot.CStr("a")))
+	inst.Add(pivot.NewAtom(e.NodePred(), pivot.CInt(1), pivot.CStr("b")))
+	if _, err := chase.Chase(inst, cs, chase.Options{}); err == nil {
+		t.Error("two tags on one node must be inconsistent")
+	}
+}
+
+func TestDocEncodingOneParentEGD(t *testing.T) {
+	e := NewDocEncoding("c")
+	cs := e.Constraints()
+	inst := pivot.NewInstance()
+	// Node 5 with two distinct constant parents: inconsistent.
+	inst.Add(pivot.NewAtom(e.ChildPred(), pivot.CInt(1), pivot.CInt(5)))
+	inst.Add(pivot.NewAtom(e.ChildPred(), pivot.CInt(2), pivot.CInt(5)))
+	if _, err := chase.Chase(inst, cs, chase.Options{}); err == nil {
+		t.Error("two parents for one node must be inconsistent")
+	}
+}
+
+// The motivating capability: a query navigating Child can be answered by a
+// view storing Child, and the rewriting engine can use the document
+// constraints to reason about Desc queries.
+func TestDocEncodingRewriteDescendantQuery(t *testing.T) {
+	e := NewDocEncoding("c")
+	schema := e.Constraints()
+	// View stores parent-child pairs under tag "item".
+	vDef := pivot.NewCQ(
+		pivot.NewAtom("VItems", pivot.Var("p"), pivot.Var("n")),
+		pivot.NewAtom(e.ChildPred(), pivot.Var("p"), pivot.Var("n")),
+		pivot.NewAtom(e.NodePred(), pivot.Var("n"), pivot.CStr("item")),
+	)
+	view := rewrite.NewView("VItems", vDef)
+	q := pivot.NewCQ(
+		pivot.NewAtom("Q", pivot.Var("p"), pivot.Var("n")),
+		pivot.NewAtom(e.ChildPred(), pivot.Var("p"), pivot.Var("n")),
+		pivot.NewAtom(e.NodePred(), pivot.Var("n"), pivot.CStr("item")),
+	)
+	r, _, err := rewrite.RewriteOne(q, []rewrite.View{view}, rewrite.Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body[0].Pred != "VItems" {
+		t.Errorf("rewriting = %v", r)
+	}
+}
+
+func TestKVEncoding(t *testing.T) {
+	e, err := NewKVEncoding("prefs", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pred() != "prefs" {
+		t.Error("pred")
+	}
+	if got := e.AccessPattern(); got != "bff" {
+		t.Errorf("pattern = %q", got)
+	}
+	if err := e.AccessPattern().Validate(3); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewKVEncoding("x", 1); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if cs := e.Constraints(true); len(cs.EGDs) != 2 {
+		t.Errorf("unique constraints = %d EGDs, want 2", len(cs.EGDs))
+	}
+	if cs := e.Constraints(false); !cs.Empty() {
+		t.Error("append-mode must have no key constraint")
+	}
+}
+
+func TestTextEncoding(t *testing.T) {
+	e := NewTextEncoding("catalog")
+	if e.ContainsPred() != "catalog_Contains" {
+		t.Error("pred")
+	}
+	if e.AccessPattern() != "fb" {
+		t.Errorf("pattern = %q", e.AccessPattern())
+	}
+}
+
+func TestNestedEncodingConstraints(t *testing.T) {
+	e := NestedEncoding{Name: "PH", ParentArity: 3, MemberArity: 3}
+	if e.ParentPred() != "PH" || e.MemberPred() != "PH_Member" {
+		t.Error("preds")
+	}
+	cs := e.Constraints()
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Member(setID,...) implies ∃ parent with that setID in last position.
+	inst := pivot.NewInstance()
+	inst.Add(pivot.NewAtom(e.MemberPred(), pivot.CInt(7), pivot.CStr("p1"), pivot.CFloat(0.5)))
+	res, err := chase.Chase(inst, cs, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := res.Instance.FactsFor(e.ParentPred())
+	if len(parents) != 1 {
+		t.Fatalf("parent facts = %d", len(parents))
+	}
+	f, _ := res.Instance.Fact(parents[0])
+	if !pivot.SameTerm(f.Args[2], pivot.CInt(7)) {
+		t.Errorf("setID not propagated: %v", f)
+	}
+	if f.Args[0].Kind() != pivot.KindNull {
+		t.Errorf("parent key should be existential: %v", f)
+	}
+}

@@ -1,0 +1,138 @@
+package pivot
+
+import (
+	"sort"
+	"strings"
+)
+
+// Atom is a predicate applied to a list of terms, e.g. Orders(o, u, p).
+// Atoms appear in query bodies, constraint premises/conclusions, and — with
+// ground terms only — as facts of an instance.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom from a predicate name and terms.
+func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// Arity returns the number of argument positions.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Vars returns the distinct variables of the atom in order of first
+// occurrence.
+func (a Atom) Vars() []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, t := range a.Args {
+		if v, ok := t.(Var); ok && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if !IsGround(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identifying the atom (predicate + term
+// keys). Two atoms have the same Key iff they are equal.
+func (a Atom) Key() string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t.Key())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders the atom for human consumption.
+func (a Atom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Clone returns a deep copy of the atom (a fresh Args slice; terms are
+// immutable and shared).
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// SameAtom reports whether two atoms are equal (same predicate, same terms
+// position-wise).
+func SameAtom(a, b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !SameTerm(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomsVars returns the distinct variables occurring in atoms, in order of
+// first occurrence.
+func AtomsVars(atoms []Atom) []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if v, ok := t.(Var); ok && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// AtomsPreds returns the sorted set of predicate names occurring in atoms.
+func AtomsPreds(atoms []Atom) []string {
+	seen := map[string]bool{}
+	for _, a := range atoms {
+		seen[a.Pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AtomsString renders a conjunction of atoms.
+func AtomsString(atoms []Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

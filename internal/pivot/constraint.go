@@ -1,0 +1,244 @@
+package pivot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TGD is a tuple-generating dependency:
+//
+//	∀x̄ ( Body(x̄) → ∃ȳ Head(x̄,ȳ) )
+//
+// Variables of the head that do not occur in the body are existentially
+// quantified; chasing an unsatisfied trigger invents fresh labeled nulls for
+// them. A TGD whose head has no such variables is "full" and never creates
+// nulls.
+type TGD struct {
+	// Name identifies the constraint in traces and errors.
+	Name string
+	// Body is the premise conjunction.
+	Body []Atom
+	// Head is the conclusion conjunction.
+	Head []Atom
+}
+
+// NewTGD builds a named TGD.
+func NewTGD(name string, body, head []Atom) TGD {
+	return TGD{Name: name, Body: body, Head: head}
+}
+
+// ExistentialVars returns the head variables that do not occur in the body,
+// in order of first occurrence.
+func (d TGD) ExistentialVars() []Var {
+	inBody := map[Var]bool{}
+	for _, v := range AtomsVars(d.Body) {
+		inBody[v] = true
+	}
+	var out []Var
+	for _, v := range AtomsVars(d.Head) {
+		if !inBody[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsFull reports whether the TGD has no existential head variables.
+func (d TGD) IsFull() bool { return len(d.ExistentialVars()) == 0 }
+
+// Validate checks the dependency is well formed.
+func (d TGD) Validate() error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("pivot: TGD %q has empty body", d.Name)
+	}
+	if len(d.Head) == 0 {
+		return fmt.Errorf("pivot: TGD %q has empty head", d.Name)
+	}
+	for _, a := range append(append([]Atom{}, d.Body...), d.Head...) {
+		for _, t := range a.Args {
+			if t.Kind() == KindNull {
+				return fmt.Errorf("pivot: TGD %q contains a labeled null", d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the TGD.
+func (d TGD) String() string {
+	var sb strings.Builder
+	if d.Name != "" {
+		sb.WriteString(d.Name)
+		sb.WriteString(": ")
+	}
+	sb.WriteString(AtomsString(d.Body))
+	sb.WriteString(" → ")
+	if ev := d.ExistentialVars(); len(ev) > 0 {
+		sb.WriteString("∃")
+		for i, v := range ev {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(string(v))
+		}
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(AtomsString(d.Head))
+	return sb.String()
+}
+
+// EGD is an equality-generating dependency:
+//
+//	∀x̄ ( Body(x̄) → s = t )
+//
+// where s and t are terms of the body. Chasing an EGD unifies the images of
+// s and t; if both are distinct constants the chase fails.
+type EGD struct {
+	Name string
+	Body []Atom
+	// Left and Right are the terms equated by the dependency. They must be
+	// variables occurring in Body or constants.
+	Left, Right Term
+}
+
+// NewEGD builds a named EGD.
+func NewEGD(name string, body []Atom, left, right Term) EGD {
+	return EGD{Name: name, Body: body, Left: left, Right: right}
+}
+
+// Validate checks the dependency is well formed.
+func (d EGD) Validate() error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("pivot: EGD %q has empty body", d.Name)
+	}
+	inBody := map[Var]bool{}
+	for _, v := range AtomsVars(d.Body) {
+		inBody[v] = true
+	}
+	for _, t := range []Term{d.Left, d.Right} {
+		switch tt := t.(type) {
+		case Null:
+			return fmt.Errorf("pivot: EGD %q equates a labeled null", d.Name)
+		case Var:
+			if !inBody[tt] {
+				return fmt.Errorf("pivot: EGD %q equates variable %s not occurring in body", d.Name, tt)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the EGD.
+func (d EGD) String() string {
+	var sb strings.Builder
+	if d.Name != "" {
+		sb.WriteString(d.Name)
+		sb.WriteString(": ")
+	}
+	sb.WriteString(AtomsString(d.Body))
+	sb.WriteString(" → ")
+	sb.WriteString(d.Left.String())
+	sb.WriteString(" = ")
+	sb.WriteString(d.Right.String())
+	return sb.String()
+}
+
+// Constraints bundles the TGDs and EGDs describing a schema (or a set of
+// views). The zero value is an empty, usable constraint set.
+type Constraints struct {
+	TGDs []TGD
+	EGDs []EGD
+}
+
+// Merge returns the union of two constraint sets.
+func (c Constraints) Merge(other Constraints) Constraints {
+	out := Constraints{
+		TGDs: make([]TGD, 0, len(c.TGDs)+len(other.TGDs)),
+		EGDs: make([]EGD, 0, len(c.EGDs)+len(other.EGDs)),
+	}
+	out.TGDs = append(out.TGDs, c.TGDs...)
+	out.TGDs = append(out.TGDs, other.TGDs...)
+	out.EGDs = append(out.EGDs, c.EGDs...)
+	out.EGDs = append(out.EGDs, other.EGDs...)
+	return out
+}
+
+// Empty reports whether the set contains no constraints.
+func (c Constraints) Empty() bool { return len(c.TGDs) == 0 && len(c.EGDs) == 0 }
+
+// Validate checks every constraint in the set.
+func (c Constraints) Validate() error {
+	for _, d := range c.TGDs {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, d := range c.EGDs {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KeyEGDs builds the EGDs stating that positions keyPos of predicate pred
+// (arity n) functionally determine all remaining positions. This is the
+// standard encoding of a key / functional dependency. Generated names are
+// derived from pred.
+func KeyEGDs(pred string, arity int, keyPos ...int) []EGD {
+	isKey := map[int]bool{}
+	for _, p := range keyPos {
+		isKey[p] = true
+	}
+	mkAtom := func(suffix string) Atom {
+		args := make([]Term, arity)
+		for i := 0; i < arity; i++ {
+			if isKey[i] {
+				args[i] = Var(fmt.Sprintf("k%d", i))
+			} else {
+				args[i] = Var(fmt.Sprintf("%s%d", suffix, i))
+			}
+		}
+		return Atom{Pred: pred, Args: args}
+	}
+	a1 := mkAtom("a")
+	a2 := mkAtom("b")
+	var out []EGD
+	for i := 0; i < arity; i++ {
+		if isKey[i] {
+			continue
+		}
+		out = append(out, EGD{
+			Name:  fmt.Sprintf("key:%s[%d]", pred, i),
+			Body:  []Atom{a1, a2},
+			Left:  a1.Args[i],
+			Right: a2.Args[i],
+		})
+	}
+	return out
+}
+
+// InclusionTGD builds the full TGD stating that every fact of pred `from`
+// (projected on fromPos) also appears in pred `to` (at toPos). Positions are
+// matched pairwise; both slices must have equal length.
+func InclusionTGD(name, from string, fromArity int, fromPos []int, to string, toArity int, toPos []int) TGD {
+	if len(fromPos) != len(toPos) {
+		panic("pivot: InclusionTGD position lists differ in length")
+	}
+	bodyArgs := make([]Term, fromArity)
+	for i := range bodyArgs {
+		bodyArgs[i] = Var(fmt.Sprintf("x%d", i))
+	}
+	headArgs := make([]Term, toArity)
+	for i := range headArgs {
+		headArgs[i] = Var(fmt.Sprintf("y%d", i))
+	}
+	for i, fp := range fromPos {
+		headArgs[toPos[i]] = bodyArgs[fp]
+	}
+	return TGD{
+		Name: name,
+		Body: []Atom{{Pred: from, Args: bodyArgs}},
+		Head: []Atom{{Pred: to, Args: headArgs}},
+	}
+}

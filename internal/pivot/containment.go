@@ -1,0 +1,89 @@
+package pivot
+
+// Containment and minimization of conjunctive queries, via the classical
+// homomorphism (Chandra–Merlin) criterion. These are the constraint-free
+// variants; containment *under constraints* lives in package chase, which
+// chases the canonical database first.
+
+// ContainedIn reports whether q1 ⊑ q2, i.e. every answer of q1 on every
+// instance is also an answer of q2. By Chandra–Merlin this holds iff there
+// is a homomorphism from q2's body into the canonical database of q1 that
+// maps q2's head onto q1's head position-wise.
+//
+// The two queries must have heads of equal arity; otherwise containment is
+// trivially false.
+func ContainedIn(q1, q2 CQ) bool {
+	if q1.Head.Arity() != q2.Head.Arity() {
+		return false
+	}
+	inst, frozen := Freeze(q1)
+	// Fix q2's head terms to map onto q1's frozen head terms.
+	fixed := NewSubst()
+	for i, t2 := range q2.Head.Args {
+		img1 := frozen.ApplyTerm(q1.Head.Args[i])
+		switch tt := t2.(type) {
+		case Var:
+			if !fixed.Bind(tt, img1) {
+				return false
+			}
+		default:
+			if !SameTerm(t2, img1) {
+				return false
+			}
+		}
+	}
+	return HomExists(q2.Body, inst, fixed)
+}
+
+// Equivalent reports whether q1 and q2 are equivalent (mutual containment).
+func Equivalent(q1, q2 CQ) bool {
+	return ContainedIn(q1, q2) && ContainedIn(q2, q1)
+}
+
+// Minimize computes the core of q: an equivalent query with a minimal
+// number of body atoms. It repeatedly attempts to drop one body atom and
+// checks that the smaller query still contains the original (the converse
+// holds trivially because dropping atoms only relaxes a query).
+func Minimize(q CQ) CQ {
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := range cur.Body {
+			if len(cur.Body) == 1 {
+				break
+			}
+			cand := CQ{Head: cur.Head, Body: dropAtom(cur.Body, i)}
+			// cand has fewer conjuncts so cur ⊑ cand always; cand ≡ cur iff
+			// cand ⊑ cur.
+			if safeHead(cand) && ContainedIn(cand, cur) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+func dropAtom(atoms []Atom, i int) []Atom {
+	out := make([]Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	out = append(out, atoms[i+1:]...)
+	return out
+}
+
+// safeHead reports whether every head variable still occurs in the body.
+func safeHead(q CQ) bool {
+	inBody := map[Var]bool{}
+	for _, v := range q.BodyVars() {
+		inBody[v] = true
+	}
+	for _, v := range q.HeadVars() {
+		if !inBody[v] {
+			return false
+		}
+	}
+	return true
+}

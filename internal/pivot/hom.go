@@ -1,0 +1,179 @@
+package pivot
+
+// Homomorphism search: mapping the atoms of a conjunction into the facts of
+// an instance such that constants are preserved and variables are mapped
+// consistently. This is the workhorse of containment checks, chase trigger
+// detection, and rewriting verification.
+
+// HomResult carries a successful homomorphism: the substitution and, for
+// each source atom, the index of the instance fact it maps onto.
+type HomResult struct {
+	Subst Subst
+	// FactIdx[i] is the instance fact index that atoms[i] maps to.
+	FactIdx []int
+}
+
+// FindHom searches for one homomorphism from atoms into inst extending the
+// partial substitution fixed (which may be nil). It returns the extended
+// substitution and true on success.
+func FindHom(atoms []Atom, inst *Instance, fixed Subst) (HomResult, bool) {
+	var res HomResult
+	found := false
+	ForEachHom(atoms, inst, fixed, func(h HomResult) bool {
+		res = h
+		found = true
+		return false // stop at the first
+	})
+	return res, found
+}
+
+// ForEachHom enumerates homomorphisms from atoms into inst extending fixed,
+// invoking fn for each; enumeration stops when fn returns false. The
+// HomResult passed to fn shares no state with the enumerator (safe to keep).
+//
+// The search orders atoms most-constrained-first at every step: among the
+// unmapped atoms, it picks the one with the largest number of already-bound
+// argument positions (ties broken by smaller candidate fact count), then
+// enumerates candidate facts through the instance's positional index.
+func ForEachHom(atoms []Atom, inst *Instance, fixed Subst, fn func(HomResult) bool) {
+	if len(atoms) == 0 {
+		s := NewSubst()
+		if fixed != nil {
+			s = fixed.Clone()
+		}
+		fn(HomResult{Subst: s, FactIdx: nil})
+		return
+	}
+	s := NewSubst()
+	if fixed != nil {
+		s = fixed.Clone()
+	}
+	factIdx := make([]int, len(atoms))
+	for i := range factIdx {
+		factIdx[i] = -1
+	}
+	done := make([]bool, len(atoms))
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			out := HomResult{Subst: s.Clone(), FactIdx: append([]int(nil), factIdx...)}
+			return fn(out)
+		}
+		ai := pickAtom(atoms, done, s, inst)
+		a := atoms[ai]
+		done[ai] = true
+		defer func() { done[ai] = false }()
+
+		cands := candidateFacts(a, s, inst)
+		for _, fi := range cands {
+			fact, live := inst.Fact(fi)
+			if !live {
+				continue
+			}
+			bound, undo := tryMatch(a, fact, s)
+			if !bound {
+				continue
+			}
+			factIdx[ai] = fi
+			cont := rec(remaining - 1)
+			factIdx[ai] = -1
+			for _, v := range undo {
+				delete(s, v)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(len(atoms))
+}
+
+// pickAtom selects the next atom to match: most bound argument positions
+// first, then fewest candidate facts.
+func pickAtom(atoms []Atom, done []bool, s Subst, inst *Instance) int {
+	best := -1
+	bestBound := -1
+	bestCands := int(^uint(0) >> 1)
+	for i, a := range atoms {
+		if done[i] {
+			continue
+		}
+		bound := 0
+		for _, t := range a.Args {
+			if IsGround(t) {
+				bound++
+			} else if _, ok := s[t.(Var)]; ok {
+				bound++
+			}
+		}
+		nc := len(candidateFacts(a, s, inst))
+		if bound > bestBound || (bound == bestBound && nc < bestCands) {
+			best, bestBound, bestCands = i, bound, nc
+		}
+	}
+	return best
+}
+
+// candidateFacts returns fact indices that could match atom a under the
+// current substitution, using the most selective available positional index.
+func candidateFacts(a Atom, s Subst, inst *Instance) []int {
+	bestList := inst.FactsFor(a.Pred)
+	for pos, t := range a.Args {
+		img := t
+		if v, ok := t.(Var); ok {
+			b, bound := s[v]
+			if !bound {
+				continue
+			}
+			img = b
+		}
+		l := inst.FactsMatching(a.Pred, pos, img)
+		if len(l) < len(bestList) {
+			bestList = l
+		}
+	}
+	return bestList
+}
+
+// tryMatch attempts to extend s so that atom a maps onto fact. It returns
+// whether the match succeeded and the list of variables newly bound (for
+// backtracking).
+func tryMatch(a Atom, fact Atom, s Subst) (bool, []Var) {
+	if a.Pred != fact.Pred || len(a.Args) != len(fact.Args) {
+		return false, nil
+	}
+	var newly []Var
+	for i, t := range a.Args {
+		ft := fact.Args[i]
+		switch tt := t.(type) {
+		case Var:
+			if img, ok := s[tt]; ok {
+				if !SameTerm(img, ft) {
+					for _, v := range newly {
+						delete(s, v)
+					}
+					return false, nil
+				}
+			} else {
+				s[tt] = ft
+				newly = append(newly, tt)
+			}
+		default:
+			if !SameTerm(t, ft) {
+				for _, v := range newly {
+					delete(s, v)
+				}
+				return false, nil
+			}
+		}
+	}
+	return true, newly
+}
+
+// HomExists reports whether any homomorphism from atoms into inst extends
+// fixed.
+func HomExists(atoms []Atom, inst *Instance, fixed Subst) bool {
+	_, ok := FindHom(atoms, inst, fixed)
+	return ok
+}

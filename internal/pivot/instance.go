@@ -1,0 +1,242 @@
+package pivot
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Instance is a set of ground facts (atoms whose arguments are constants or
+// labeled nulls), indexed for efficient homomorphism search. Fact identity
+// is set-based: adding a duplicate fact is a no-op.
+//
+// Instances also serve as canonical databases of queries (see Freeze) and as
+// the working state of the chase.
+type Instance struct {
+	facts  []Atom
+	byKey  map[string]int     // fact key -> index in facts
+	byPred map[string][]int   // predicate -> fact indices
+	index  map[indexKey][]int // (pred,pos,term) -> fact indices
+	live   map[int]bool       // tombstone map; false entries are deleted
+	nNulls int64              // counter for fresh nulls minted via FreshNull
+}
+
+type indexKey struct {
+	pred string
+	pos  int
+	term string
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{
+		byKey:  map[string]int{},
+		byPred: map[string][]int{},
+		index:  map[indexKey][]int{},
+		live:   map[int]bool{},
+	}
+}
+
+// FreshNull mints a labeled null not yet used by this instance.
+func (in *Instance) FreshNull() Null {
+	in.nNulls++
+	return Null(in.nNulls)
+}
+
+// ReserveNulls advances the fresh-null counter past label n, so that nulls
+// with labels ≤ n are never minted by FreshNull. Used when facts containing
+// externally-created nulls are loaded.
+func (in *Instance) ReserveNulls(n int64) {
+	if n > in.nNulls {
+		in.nNulls = n
+	}
+}
+
+// Add inserts a ground fact, returning its index and whether it was new.
+// Adding a non-ground atom panics: instances hold facts only.
+func (in *Instance) Add(fact Atom) (int, bool) {
+	for _, t := range fact.Args {
+		if t.Kind() == KindVar {
+			panic("pivot: Instance.Add called with non-ground atom " + fact.String())
+		}
+		if n, ok := t.(Null); ok {
+			in.ReserveNulls(int64(n))
+		}
+	}
+	key := fact.Key()
+	if idx, ok := in.byKey[key]; ok {
+		if in.live[idx] {
+			return idx, false
+		}
+		// Re-adding a previously deleted fact resurrects it.
+		in.live[idx] = true
+		return idx, true
+	}
+	idx := len(in.facts)
+	in.facts = append(in.facts, fact)
+	in.byKey[key] = idx
+	in.byPred[fact.Pred] = append(in.byPred[fact.Pred], idx)
+	in.live[idx] = true
+	for pos, t := range fact.Args {
+		k := indexKey{fact.Pred, pos, t.Key()}
+		in.index[k] = append(in.index[k], idx)
+	}
+	return idx, true
+}
+
+// Remove deletes a fact by index. Removing an already-deleted index is a
+// no-op.
+func (in *Instance) Remove(idx int) {
+	if idx >= 0 && idx < len(in.facts) {
+		in.live[idx] = false
+	}
+}
+
+// Has reports whether the instance contains the fact.
+func (in *Instance) Has(fact Atom) bool {
+	idx, ok := in.byKey[fact.Key()]
+	return ok && in.live[idx]
+}
+
+// Fact returns the fact at index idx and whether it is live.
+func (in *Instance) Fact(idx int) (Atom, bool) {
+	if idx < 0 || idx >= len(in.facts) {
+		return Atom{}, false
+	}
+	return in.facts[idx], in.live[idx]
+}
+
+// Len returns the number of live facts.
+func (in *Instance) Len() int {
+	n := 0
+	for _, ok := range in.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of fact slots ever allocated (live or deleted);
+// valid fact indices are in [0, Size()).
+func (in *Instance) Size() int { return len(in.facts) }
+
+// FactsFor returns the indices of live facts with the given predicate.
+func (in *Instance) FactsFor(pred string) []int {
+	src := in.byPred[pred]
+	out := make([]int, 0, len(src))
+	for _, idx := range src {
+		if in.live[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// FactsMatching returns indices of live facts with the given predicate whose
+// position pos holds term t. It uses the positional index.
+func (in *Instance) FactsMatching(pred string, pos int, t Term) []int {
+	src := in.index[indexKey{pred, pos, t.Key()}]
+	out := make([]int, 0, len(src))
+	for _, idx := range src {
+		if in.live[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// All returns the live facts in insertion order.
+func (in *Instance) All() []Atom {
+	out := make([]Atom, 0, len(in.facts))
+	for i, f := range in.facts {
+		if in.live[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent deep copy of the instance, preserving fact
+// indices.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		facts:  make([]Atom, len(in.facts)),
+		byKey:  make(map[string]int, len(in.byKey)),
+		byPred: make(map[string][]int, len(in.byPred)),
+		index:  make(map[indexKey][]int, len(in.index)),
+		live:   make(map[int]bool, len(in.live)),
+		nNulls: in.nNulls,
+	}
+	for i, f := range in.facts {
+		out.facts[i] = f.Clone()
+	}
+	for k, v := range in.byKey {
+		out.byKey[k] = v
+	}
+	for k, v := range in.byPred {
+		out.byPred[k] = append([]int(nil), v...)
+	}
+	for k, v := range in.index {
+		out.index[k] = append([]int(nil), v...)
+	}
+	for k, v := range in.live {
+		out.live[k] = v
+	}
+	return out
+}
+
+// String renders the live facts sorted lexicographically, one per line.
+func (in *Instance) String() string {
+	facts := in.All()
+	lines := make([]string, len(facts))
+	for i, f := range facts {
+		lines[i] = f.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Freeze builds the canonical database of q: every variable of the body is
+// replaced by a distinct fresh labeled null and the resulting facts are
+// loaded into a new instance. It returns the instance and the variable→null
+// substitution used.
+func Freeze(q CQ) (*Instance, Subst) {
+	inst := NewInstance()
+	s := NewSubst()
+	for _, v := range q.BodyVars() {
+		s[v] = inst.FreshNull()
+	}
+	for _, a := range q.Body {
+		inst.Add(s.ApplyAtom(a))
+	}
+	return inst, s
+}
+
+// FreezeAtoms freezes a conjunction of atoms (as Freeze, without a head).
+func FreezeAtoms(atoms []Atom) (*Instance, Subst) {
+	inst := NewInstance()
+	s := NewSubst()
+	for _, v := range AtomsVars(atoms) {
+		s[v] = inst.FreshNull()
+	}
+	for _, a := range atoms {
+		inst.Add(s.ApplyAtom(a))
+	}
+	return inst, s
+}
+
+// DebugDump renders the instance with fact indices, for tests and traces.
+func (in *Instance) DebugDump() string {
+	var sb strings.Builder
+	for i, f := range in.facts {
+		if !in.live[i] {
+			continue
+		}
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(": ")
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

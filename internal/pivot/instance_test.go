@@ -1,0 +1,233 @@
+package pivot
+
+import (
+	"testing"
+)
+
+func TestInstanceAddDedup(t *testing.T) {
+	in := NewInstance()
+	f := NewAtom("R", CInt(1), CStr("a"))
+	idx1, new1 := in.Add(f)
+	idx2, new2 := in.Add(f)
+	if !new1 || new2 {
+		t.Errorf("new flags = %v,%v", new1, new2)
+	}
+	if idx1 != idx2 {
+		t.Errorf("indices differ: %d vs %d", idx1, idx2)
+	}
+	if in.Len() != 1 {
+		t.Errorf("Len = %d", in.Len())
+	}
+	if !in.Has(f) {
+		t.Error("Has = false")
+	}
+}
+
+func TestInstanceAddPanicsOnVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-ground fact")
+		}
+	}()
+	NewInstance().Add(NewAtom("R", Var("x")))
+}
+
+func TestInstanceRemoveResurrect(t *testing.T) {
+	in := NewInstance()
+	f := NewAtom("R", CInt(1))
+	idx, _ := in.Add(f)
+	in.Remove(idx)
+	if in.Has(f) || in.Len() != 0 {
+		t.Fatal("fact still present after Remove")
+	}
+	if got := in.FactsFor("R"); len(got) != 0 {
+		t.Errorf("FactsFor after remove = %v", got)
+	}
+	idx2, isNew := in.Add(f)
+	if idx2 != idx || !isNew {
+		t.Errorf("resurrect: idx=%d new=%v", idx2, isNew)
+	}
+	if !in.Has(f) {
+		t.Error("fact not resurrected")
+	}
+}
+
+func TestInstanceIndexes(t *testing.T) {
+	in := NewInstance()
+	in.Add(NewAtom("R", CInt(1), CStr("a")))
+	in.Add(NewAtom("R", CInt(2), CStr("a")))
+	in.Add(NewAtom("R", CInt(1), CStr("b")))
+	in.Add(NewAtom("S", CInt(1)))
+	if got := len(in.FactsFor("R")); got != 3 {
+		t.Errorf("FactsFor(R) = %d", got)
+	}
+	if got := len(in.FactsMatching("R", 0, CInt(1))); got != 2 {
+		t.Errorf("FactsMatching(R,0,1) = %d", got)
+	}
+	if got := len(in.FactsMatching("R", 1, CStr("a"))); got != 2 {
+		t.Errorf("FactsMatching(R,1,a) = %d", got)
+	}
+	if got := len(in.FactsMatching("R", 1, CStr("z"))); got != 0 {
+		t.Errorf("FactsMatching(R,1,z) = %d", got)
+	}
+}
+
+func TestInstanceFreshNullReservation(t *testing.T) {
+	in := NewInstance()
+	in.Add(NewAtom("R", Null(10)))
+	n := in.FreshNull()
+	if int64(n) <= 10 {
+		t.Errorf("FreshNull after loading _N10 = %v", n)
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	in := NewInstance()
+	in.Add(NewAtom("R", CInt(1)))
+	cl := in.Clone()
+	cl.Add(NewAtom("R", CInt(2)))
+	if in.Len() != 1 || cl.Len() != 2 {
+		t.Errorf("clone not independent: orig=%d clone=%d", in.Len(), cl.Len())
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	q := NewCQ(
+		NewAtom("Q", Var("x")),
+		NewAtom("R", Var("x"), Var("y")),
+		NewAtom("S", Var("y"), CInt(5)),
+	)
+	inst, s := Freeze(q)
+	if inst.Len() != 2 {
+		t.Fatalf("frozen size = %d", inst.Len())
+	}
+	nx, ny := s["x"], s["y"]
+	if nx.Kind() != KindNull || ny.Kind() != KindNull {
+		t.Fatal("frozen vars must map to nulls")
+	}
+	if SameTerm(nx, ny) {
+		t.Error("distinct vars must freeze to distinct nulls")
+	}
+	if !inst.Has(NewAtom("S", ny, CInt(5))) {
+		t.Error("constant not preserved by freezing")
+	}
+}
+
+func TestCQValidate(t *testing.T) {
+	ok := NewCQ(NewAtom("Q", Var("x")), NewAtom("R", Var("x")))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	unsafe := NewCQ(NewAtom("Q", Var("z")), NewAtom("R", Var("x")))
+	if err := unsafe.Validate(); err == nil {
+		t.Error("unsafe query accepted")
+	}
+	empty := NewCQ(NewAtom("Q"))
+	if err := empty.Validate(); err == nil {
+		t.Error("empty-body query accepted")
+	}
+	withNull := NewCQ(NewAtom("Q", Var("x")), NewAtom("R", Var("x"), Null(1)))
+	if err := withNull.Validate(); err == nil {
+		t.Error("query with null accepted")
+	}
+}
+
+func TestCQRenameDisjoint(t *testing.T) {
+	q := NewCQ(NewAtom("Q", Var("x")), NewAtom("R", Var("x"), Var("y")))
+	r := q.Rename("v_")
+	for _, v := range r.BodyVars() {
+		if v == "x" || v == "y" {
+			t.Errorf("rename left original variable %s", v)
+		}
+	}
+	if !Equivalent(q, r) {
+		t.Error("rename must preserve semantics")
+	}
+}
+
+func TestTGDValidateAndFull(t *testing.T) {
+	full := NewTGD("t1",
+		[]Atom{NewAtom("R", Var("x"), Var("y"))},
+		[]Atom{NewAtom("S", Var("y"), Var("x"))})
+	if err := full.Validate(); err != nil {
+		t.Errorf("valid TGD rejected: %v", err)
+	}
+	if !full.IsFull() {
+		t.Error("TGD without existentials must be full")
+	}
+	exis := NewTGD("t2",
+		[]Atom{NewAtom("R", Var("x"))},
+		[]Atom{NewAtom("S", Var("x"), Var("z"))})
+	if exis.IsFull() {
+		t.Error("TGD with existential z must not be full")
+	}
+	if got := exis.ExistentialVars(); len(got) != 1 || got[0] != "z" {
+		t.Errorf("ExistentialVars = %v", got)
+	}
+	bad := NewTGD("t3", nil, []Atom{NewAtom("S", Var("x"))})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty-body TGD accepted")
+	}
+}
+
+func TestEGDValidate(t *testing.T) {
+	ok := NewEGD("e1",
+		[]Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("R", Var("x"), Var("z"))},
+		Var("y"), Var("z"))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid EGD rejected: %v", err)
+	}
+	bad := NewEGD("e2", []Atom{NewAtom("R", Var("x"))}, Var("x"), Var("nope"))
+	if err := bad.Validate(); err == nil {
+		t.Error("EGD with unbound equated variable accepted")
+	}
+}
+
+func TestKeyEGDs(t *testing.T) {
+	egds := KeyEGDs("R", 3, 0)
+	if len(egds) != 2 {
+		t.Fatalf("KeyEGDs produced %d EGDs, want 2", len(egds))
+	}
+	for _, e := range egds {
+		if err := e.Validate(); err != nil {
+			t.Errorf("generated EGD invalid: %v", err)
+		}
+		if len(e.Body) != 2 {
+			t.Errorf("key EGD body size = %d", len(e.Body))
+		}
+	}
+}
+
+func TestInclusionTGD(t *testing.T) {
+	d := InclusionTGD("inc", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("InclusionTGD invalid: %v", err)
+	}
+	if !d.IsFull() {
+		t.Error("inclusion with all positions mapped must be full")
+	}
+	// Child(a,b) should imply Desc(a,b): chase-free check via hom.
+	inst := NewInstance()
+	inst.Add(NewAtom("Child", CInt(1), CInt(2)))
+	h, ok := FindHom(d.Body, inst, nil)
+	if !ok {
+		t.Fatal("no trigger found")
+	}
+	got := h.Subst.ApplyAtom(d.Head[0])
+	want := NewAtom("Desc", CInt(1), CInt(2))
+	if !SameAtom(got, want) {
+		t.Errorf("head image = %v, want %v", got, want)
+	}
+}
+
+func TestConstraintsMerge(t *testing.T) {
+	a := Constraints{TGDs: []TGD{{Name: "a", Body: []Atom{NewAtom("R", Var("x"))}, Head: []Atom{NewAtom("S", Var("x"))}}}}
+	b := Constraints{EGDs: []EGD{NewEGD("b", []Atom{NewAtom("R", Var("x"))}, Var("x"), Var("x"))}}
+	m := a.Merge(b)
+	if len(m.TGDs) != 1 || len(m.EGDs) != 1 {
+		t.Errorf("merge sizes: %d TGDs, %d EGDs", len(m.TGDs), len(m.EGDs))
+	}
+	if a.Empty() || !(Constraints{}).Empty() {
+		t.Error("Empty misbehaves")
+	}
+}

@@ -1,0 +1,132 @@
+package pivot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CQ is a conjunctive query: Head(x̄) :- Body₁ ∧ … ∧ Bodyₙ.
+//
+// The head predicate names the query; head arguments are the distinguished
+// (output) terms and may be variables or constants. Set semantics apply
+// throughout the pivot layer; bag-sensitive surface languages deduplicate at
+// the execution layer instead.
+type CQ struct {
+	Head Atom
+	Body []Atom
+}
+
+// NewCQ builds a conjunctive query.
+func NewCQ(head Atom, body ...Atom) CQ {
+	return CQ{Head: head, Body: body}
+}
+
+// Name returns the head predicate, which serves as the query's name.
+func (q CQ) Name() string { return q.Head.Pred }
+
+// HeadVars returns the distinct variables of the head in order of first
+// occurrence.
+func (q CQ) HeadVars() []Var { return q.Head.Vars() }
+
+// BodyVars returns the distinct variables of the body in order of first
+// occurrence.
+func (q CQ) BodyVars() []Var { return AtomsVars(q.Body) }
+
+// ExistentialVars returns body variables that do not occur in the head.
+func (q CQ) ExistentialVars() []Var {
+	inHead := map[Var]bool{}
+	for _, v := range q.HeadVars() {
+		inHead[v] = true
+	}
+	var out []Var
+	for _, v := range q.BodyVars() {
+		if !inHead[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the query.
+func (q CQ) Clone() CQ {
+	body := make([]Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+	return CQ{Head: q.Head.Clone(), Body: body}
+}
+
+// Validate checks that the query is safe (every head variable occurs in the
+// body) and structurally sound (non-empty body, no nulls in query text).
+func (q CQ) Validate() error {
+	if len(q.Body) == 0 {
+		return fmt.Errorf("pivot: query %s has an empty body", q.Name())
+	}
+	bodyVars := map[Var]bool{}
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			switch tt := t.(type) {
+			case Null:
+				return fmt.Errorf("pivot: query %s contains labeled null %s in body", q.Name(), tt)
+			case Var:
+				bodyVars[tt] = true
+			}
+		}
+	}
+	for _, t := range q.Head.Args {
+		switch tt := t.(type) {
+		case Null:
+			return fmt.Errorf("pivot: query %s contains labeled null %s in head", q.Name(), tt)
+		case Var:
+			if !bodyVars[tt] {
+				return fmt.Errorf("pivot: query %s is unsafe: head variable %s not bound in body", q.Name(), tt)
+			}
+		}
+	}
+	return nil
+}
+
+// Rename returns a copy of the query with every variable prefixed, making
+// its variable namespace disjoint from any other query's.
+func (q CQ) Rename(prefix string) CQ {
+	s := NewSubst()
+	for _, v := range q.BodyVars() {
+		s[v] = Var(prefix + string(v))
+	}
+	for _, v := range q.HeadVars() {
+		if _, ok := s[v]; !ok {
+			s[v] = Var(prefix + string(v))
+		}
+	}
+	return CQ{Head: s.ApplyAtom(q.Head), Body: s.ApplyAtoms(q.Body)}
+}
+
+// Apply returns a copy of the query with the substitution applied to head
+// and body.
+func (q CQ) Apply(s Subst) CQ {
+	return CQ{Head: s.ApplyAtom(q.Head), Body: s.ApplyAtoms(q.Body)}
+}
+
+// String renders the query in datalog-ish notation.
+func (q CQ) String() string {
+	var sb strings.Builder
+	sb.WriteString(q.Head.String())
+	sb.WriteString(" :- ")
+	sb.WriteString(AtomsString(q.Body))
+	return sb.String()
+}
+
+// Key returns a canonical string for the query text (not modulo variable
+// renaming; use Equivalent for semantic comparison).
+func (q CQ) Key() string {
+	var sb strings.Builder
+	sb.WriteString(q.Head.Key())
+	sb.WriteString(":-")
+	for i, a := range q.Body {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(a.Key())
+	}
+	return sb.String()
+}

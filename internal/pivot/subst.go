@@ -1,0 +1,100 @@
+package pivot
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variables to terms.
+// Applying a substitution to an atom replaces every mapped variable by its
+// image; unmapped variables are left untouched.
+type Subst map[Var]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns an independent copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind extends the substitution with v ↦ t. It returns false (and leaves s
+// unchanged) if v is already bound to a different term.
+func (s Subst) Bind(v Var, t Term) bool {
+	if old, ok := s[v]; ok {
+		return SameTerm(old, t)
+	}
+	s[v] = t
+	return true
+}
+
+// ApplyTerm returns the image of t under the substitution.
+func (s Subst) ApplyTerm(t Term) Term {
+	if v, ok := t.(Var); ok {
+		if img, ok := s[v]; ok {
+			return img
+		}
+	}
+	return t
+}
+
+// ApplyAtom returns a copy of a with the substitution applied to every
+// argument.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.ApplyTerm(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms applies the substitution to every atom of the slice.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// Compose returns the substitution t∘s, i.e. first s then t, restricted to
+// the domain of s plus the domain of t.
+func (s Subst) Compose(t Subst) Subst {
+	out := make(Subst, len(s)+len(t))
+	for v, img := range s {
+		out[v] = t.ApplyTerm(img)
+	}
+	for v, img := range t {
+		if _, ok := out[v]; !ok {
+			out[v] = img
+		}
+	}
+	return out
+}
+
+// String renders the substitution deterministically (sorted by variable).
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	byKey := make(map[string]Var, len(s))
+	for v := range s {
+		keys = append(keys, string(v))
+		byKey[string(v)] = v
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(k)
+		sb.WriteString("↦")
+		sb.WriteString(s[byKey[k]].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

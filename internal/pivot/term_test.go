@@ -1,0 +1,124 @@
+package pivot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	cases := []struct {
+		t    Term
+		kind TermKind
+	}{
+		{Var("x"), KindVar},
+		{CStr("a"), KindConst},
+		{CInt(7), KindConst},
+		{CFloat(3.5), KindConst},
+		{CBool(true), KindConst},
+		{Null(3), KindNull},
+	}
+	for _, c := range cases {
+		if c.t.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.t, c.t.Kind(), c.kind)
+		}
+	}
+}
+
+func TestTermKeysDistinguishKinds(t *testing.T) {
+	// A variable named N3, the null _N3, and the string constant "N3" must
+	// all have distinct keys.
+	terms := []Term{Var("N3"), Null(3), CStr("N3"), CStr("_N3"), CInt(3)}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		if prev, ok := seen[tm.Key()]; ok {
+			t.Errorf("key collision: %v and %v both have key %q", prev, tm, tm.Key())
+		}
+		seen[tm.Key()] = tm
+	}
+}
+
+func TestConstKeyTypeSensitivity(t *testing.T) {
+	if CStr("1").Key() == CInt(1).Key() {
+		t.Error(`string "1" and int 1 must have different keys`)
+	}
+	if CInt(1).Key() == CFloat(1).Key() {
+		t.Error("int 1 and float 1 must have different keys")
+	}
+	if CBool(true).Key() == CStr("true").Key() {
+		t.Error(`bool true and string "true" must have different keys`)
+	}
+}
+
+func TestNormalizeConst(t *testing.T) {
+	if got := NormalizeConst(5); !SameTerm(got, CInt(5)) {
+		t.Errorf("NormalizeConst(5) = %v", got)
+	}
+	if got := NormalizeConst(int32(5)); !SameTerm(got, CInt(5)) {
+		t.Errorf("NormalizeConst(int32) = %v", got)
+	}
+	if got := NormalizeConst(float32(2)); !SameTerm(got, CFloat(2)) {
+		t.Errorf("NormalizeConst(float32) = %v", got)
+	}
+	if got := NormalizeConst(CInt(9)); !SameTerm(got, CInt(9)) {
+		t.Errorf("NormalizeConst(Const) = %v", got)
+	}
+	if got := NormalizeConst("s"); !SameTerm(got, CStr("s")) {
+		t.Errorf("NormalizeConst(string) = %v", got)
+	}
+	if got := NormalizeConst(true); !SameTerm(got, CBool(true)) {
+		t.Errorf("NormalizeConst(bool) = %v", got)
+	}
+}
+
+func TestSameTerm(t *testing.T) {
+	if !SameTerm(Var("x"), Var("x")) {
+		t.Error("identical vars must be the same")
+	}
+	if SameTerm(Var("x"), Var("y")) {
+		t.Error("distinct vars must differ")
+	}
+	if SameTerm(Var("x"), CStr("x")) {
+		t.Error("var and const must differ")
+	}
+	if !SameTerm(CInt(3), NormalizeConst(3)) {
+		t.Error("CInt(3) and NormalizeConst(3) must be the same")
+	}
+	if !SameTerm(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if SameTerm(nil, Var("x")) {
+		t.Error("nil != var")
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	if IsGround(Var("x")) {
+		t.Error("var is not ground")
+	}
+	if !IsGround(CInt(1)) || !IsGround(Null(1)) {
+		t.Error("consts and nulls are ground")
+	}
+}
+
+// Property: the Key function is injective on int constants and on nulls.
+func TestKeyInjectiveQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return CInt(a).Key() == CInt(b).Key() && Null(a).Key() == Null(b).Key()
+		}
+		return CInt(a).Key() != CInt(b).Key() && Null(a).Key() != Null(b).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string constant keys never collide with int constant keys.
+func TestKeyKindSeparationQuick(t *testing.T) {
+	f := func(s string, i int64) bool {
+		return CStr(s).Key() != CInt(i).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

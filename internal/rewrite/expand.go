@@ -1,0 +1,63 @@
+package rewrite
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/pivot"
+)
+
+// Expand replaces every view atom of a rewriting by the view's definition
+// body (the classical *expansion* of a view-based rewriting): per
+// occurrence, the definition is renamed apart, its head variables are
+// unified with the atom's arguments, and the instantiated body is inlined.
+// The result is a query over the base schema, equivalent to the rewriting
+// on every instance of the views' definitions — the object the C&B
+// verification reasons about.
+func Expand(r pivot.CQ, views []View) (pivot.CQ, error) {
+	defs := map[string]View{}
+	for _, v := range views {
+		defs[v.Name] = v
+	}
+	var body []pivot.Atom
+	for i, a := range r.Body {
+		view, ok := defs[a.Pred]
+		if !ok {
+			return pivot.CQ{}, fmt.Errorf("rewrite: no view %q to expand", a.Pred)
+		}
+		def := view.Def.Rename("e" + strconv.Itoa(i) + "·")
+		if def.Head.Arity() != a.Arity() {
+			return pivot.CQ{}, fmt.Errorf("rewrite: atom %v arity mismatch with view %s", a, view.Name)
+		}
+		s := pivot.NewSubst()
+		var extraEq [][2]pivot.Term
+		for j, ht := range def.Head.Args {
+			hv, isVar := ht.(pivot.Var)
+			if !isVar {
+				// Constant in the view head: it must match the atom's term;
+				// record an equality to check.
+				extraEq = append(extraEq, [2]pivot.Term{ht, a.Args[j]})
+				continue
+			}
+			if prev, bound := s[hv]; bound {
+				// Repeated head variable: both atom terms must be equal.
+				extraEq = append(extraEq, [2]pivot.Term{prev, a.Args[j]})
+				continue
+			}
+			s[hv] = a.Args[j]
+		}
+		for _, eq := range extraEq {
+			if !pivot.SameTerm(s.ApplyTerm(eq[0]), s.ApplyTerm(eq[1])) {
+				// Incompatible instantiation: the rewriting can never match;
+				// surface it as an error (the rewriter never produces this).
+				return pivot.CQ{}, fmt.Errorf("rewrite: atom %v incompatible with view %s head", a, view.Name)
+			}
+		}
+		body = append(body, s.ApplyAtoms(def.Body)...)
+	}
+	out := pivot.CQ{Head: r.Head, Body: body}
+	if err := out.Validate(); err != nil {
+		return pivot.CQ{}, err
+	}
+	return out, nil
+}

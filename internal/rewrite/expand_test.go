@@ -1,0 +1,111 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pivot"
+)
+
+func TestExpandIdentity(t *testing.T) {
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	r := pivot.NewCQ(atom("Q", v("a")), pivot.NewAtom("V", v("a"), pivot.CStr("k")))
+	exp, err := Expand(r, []View{view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pivot.NewCQ(atom("Q", v("a")), atom("R", v("a"), pivot.CStr("k")))
+	if !pivot.Equivalent(exp, want) {
+		t.Errorf("expansion = %v, want ≡ %v", exp, want)
+	}
+}
+
+func TestExpandJoinView(t *testing.T) {
+	vj := vQ("VJ", []pivot.Var{"x", "z"},
+		atom("R", v("x"), v("y")), atom("S", v("y"), v("z")))
+	r := pivot.NewCQ(atom("Q", v("a"), v("c")), pivot.NewAtom("VJ", v("a"), v("c")))
+	exp, err := Expand(r, []View{vj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("R", v("a"), v("b")), atom("S", v("b"), v("c")))
+	if !pivot.Equivalent(exp, want) {
+		t.Errorf("expansion = %v", exp)
+	}
+}
+
+func TestExpandTwoOccurrencesRenamedApart(t *testing.T) {
+	// V used twice: the existential variables of the two occurrences must
+	// not collide.
+	view := vQ("V", []pivot.Var{"x"}, atom("R", v("x"), v("hidden")))
+	r := pivot.NewCQ(atom("Q", v("a"), v("b")),
+		pivot.NewAtom("V", v("a")), pivot.NewAtom("V", v("b")))
+	exp, err := Expand(r, []View{view})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Body) != 2 {
+		t.Fatalf("expansion = %v", exp)
+	}
+	if pivot.SameTerm(exp.Body[0].Args[1], exp.Body[1].Args[1]) {
+		t.Errorf("existentials collided: %v", exp)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	view := vQ("V", []pivot.Var{"x"}, atom("R", v("x")))
+	r := pivot.NewCQ(atom("Q", v("a")), pivot.NewAtom("W", v("a")))
+	if _, err := Expand(r, []View{view}); err == nil {
+		t.Error("unknown view accepted")
+	}
+	bad := pivot.NewCQ(atom("Q", v("a")), pivot.NewAtom("V", v("a"), v("b")))
+	if _, err := Expand(bad, []View{view}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+// Property: for random chain queries over random view subsets, every
+// rewriting's expansion is equivalent to the (minimized) input query.
+func TestExpandOfRewritingsEquivalentQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+	f := func(kRaw, seed uint8) bool {
+		k := int(kRaw)%3 + 1 // chain length 1..3
+		rng := rand.New(rand.NewSource(int64(seed)))
+		var body []pivot.Atom
+		for i := 0; i < k; i++ {
+			body = append(body, atom("R"+string(rune('0'+i)),
+				v("x"+string(rune('0'+i))), v("x"+string(rune('0'+i+1)))))
+		}
+		q := pivot.NewCQ(atom("Q", v("x0"), v("x"+string(rune('0'+k)))), body...)
+		// Identity views for every relation plus, sometimes, a prefix-join
+		// view.
+		var views []View
+		for i := 0; i < k; i++ {
+			views = append(views, vQ("V"+string(rune('0'+i)),
+				[]pivot.Var{"a", "b"}, atom("R"+string(rune('0'+i)), v("a"), v("b"))))
+		}
+		if k >= 2 && rng.Intn(2) == 0 {
+			views = append(views, vQ("VP", []pivot.Var{"a", "c"},
+				atom("R0", v("a"), v("b")), atom("R1", v("b"), v("c"))))
+		}
+		res, err := Rewrite(q, views, Options{})
+		if err != nil || len(res.Rewritings) == 0 {
+			return false
+		}
+		for _, r := range res.Rewritings {
+			exp, err := Expand(r, views)
+			if err != nil {
+				return false
+			}
+			if !pivot.Equivalent(exp, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/pivot"
+)
+
+// Algorithm selects the backchase strategy.
+type Algorithm int
+
+const (
+	// PACB is the provenance-aware Chase & Backchase (the default).
+	PACB Algorithm = iota
+	// NaiveCB enumerates all subqueries of the universal plan smallest-first.
+	NaiveCB
+)
+
+func (a Algorithm) String() string {
+	if a == NaiveCB {
+		return "naive-C&B"
+	}
+	return "PACB"
+}
+
+// Options configures a rewriting run.
+type Options struct {
+	// Algorithm selects PACB (default) or the naive C&B baseline.
+	Algorithm Algorithm
+	// Schema holds the source-schema constraints (data-model encodings,
+	// keys, inclusion dependencies). May be empty.
+	Schema pivot.Constraints
+	// AccessPatterns maps view predicates to binding-pattern adornments;
+	// infeasible rewritings are discarded.
+	AccessPatterns map[string]AccessPattern
+	// BoundHeadPositions marks head argument positions whose values are
+	// supplied at execution time (query parameters); the variables there
+	// count as bound for the feasibility check.
+	BoundHeadPositions []int
+	// VerifyTermination pre-checks that the schema + view constraints are
+	// weakly acyclic (guaranteed chase termination) and fails fast with
+	// ErrNotWeaklyAcyclic otherwise, instead of relying on chase budgets.
+	VerifyTermination bool
+	// MaxRewritings stops the search after this many verified rewritings
+	// (0 = find all minimal ones).
+	MaxRewritings int
+	// MaxCandidates bounds the number of candidate subqueries examined
+	// (default 100_000); exceeding it aborts with ErrSearchBudget.
+	MaxCandidates int
+	// Chase configures the underlying chase runs.
+	Chase chase.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 100_000
+	}
+	return o
+}
+
+// ErrSearchBudget is returned when candidate enumeration exceeds
+// Options.MaxCandidates.
+var ErrSearchBudget = errors.New("rewrite: candidate search budget exceeded")
+
+// ErrNoRewriting is returned by RewriteOne when no equivalent rewriting over
+// the views exists.
+var ErrNoRewriting = errors.New("rewrite: no equivalent rewriting over the given views")
+
+// ErrNotWeaklyAcyclic is returned (with VerifyTermination) when the
+// combined constraint set does not guarantee chase termination.
+var ErrNotWeaklyAcyclic = errors.New("rewrite: constraint set is not weakly acyclic (chase termination not guaranteed)")
+
+// Stats reports search effort, the quantities compared in experiment E3.
+type Stats struct {
+	// UniversalPlanAtoms is the number of view atoms in the universal plan.
+	UniversalPlanAtoms int
+	// Candidates is the number of candidate subqueries generated.
+	Candidates int
+	// VerificationChases is the number of full verification chases run.
+	VerificationChases int
+	// Duration is the wall-clock time of the whole rewriting call.
+	Duration time.Duration
+}
+
+// Result carries the rewritings found and the search statistics.
+type Result struct {
+	// Rewritings are equivalent, minimal, feasible rewritings of the input
+	// query over the view predicates, smallest first.
+	Rewritings []pivot.CQ
+	Stats      Stats
+}
+
+// Rewrite finds conjunctive rewritings of q over the given views that are
+// equivalent to q under the schema constraints. The input query is
+// minimized first (PACB's cover condition is complete for core queries).
+func Rewrite(q pivot.CQ, views []View, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if p, ok := opts.AccessPatterns[v.Name]; ok {
+			if err := p.Validate(v.Def.Head.Arity()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	q = pivot.Minimize(q)
+
+	forward, backward := Constraints(views)
+	if opts.VerifyTermination {
+		all := opts.Schema.Merge(forward).Merge(backward)
+		if ok, why := chase.WeaklyAcyclic(all); !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotWeaklyAcyclic, why)
+		}
+	}
+	viewPreds := map[string]bool{}
+	for _, v := range views {
+		viewPreds[v.Name] = true
+	}
+
+	// Forward chase: universal plan with provenance.
+	frozenInst, frozen := pivot.Freeze(q)
+	seedCount := frozenInst.Size()
+	fwd, err := chase.Chase(frozenInst, opts.Schema.Merge(forward), chase.Options{
+		MaxSteps:        opts.Chase.MaxSteps,
+		MaxFacts:        opts.Chase.MaxFacts,
+		TrackProvenance: true,
+	})
+	if err != nil {
+		if errors.Is(err, chase.ErrInconsistent) {
+			// Query unsatisfiable under constraints: no rewriting is needed;
+			// report none found.
+			return &Result{Stats: Stats{Duration: time.Since(start)}}, nil
+		}
+		return nil, fmt.Errorf("rewrite: forward chase: %w", err)
+	}
+
+	up := buildUniversalPlan(q, frozen, seedCount, fwd, viewPreds)
+	verifyCS := opts.Schema.Merge(forward).Merge(backward)
+
+	searcher := &search{
+		q:        q,
+		up:       up,
+		verifyCS: verifyCS,
+		opts:     opts,
+	}
+	var rewritings []pivot.CQ
+	switch opts.Algorithm {
+	case NaiveCB:
+		rewritings, err = searcher.naive()
+	default:
+		rewritings, err = searcher.pacb()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sort.SliceStable(rewritings, func(i, j int) bool {
+		return len(rewritings[i].Body) < len(rewritings[j].Body)
+	})
+	res := &Result{Rewritings: rewritings}
+	res.Stats = searcher.stats
+	res.Stats.UniversalPlanAtoms = len(up.viewFacts)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// RewriteOne returns the best (smallest) rewriting, or ErrNoRewriting.
+func RewriteOne(q pivot.CQ, views []View, opts Options) (pivot.CQ, *Result, error) {
+	res, err := Rewrite(q, views, opts)
+	if err != nil {
+		return pivot.CQ{}, nil, err
+	}
+	if len(res.Rewritings) == 0 {
+		return pivot.CQ{}, res, ErrNoRewriting
+	}
+	return res.Rewritings[0], res, nil
+}
+
+// universalPlan is the result of the forward chase, prepared for backchase:
+// the view facts with their provenance over seed groups, and the head terms
+// of the (possibly EGD-renamed) query.
+type universalPlan struct {
+	viewFacts []pivot.Atom
+	// coverage[i] is the set of seed groups accounted for by viewFacts[i].
+	coverage []chase.Bitset
+	// allGroups has one bit per distinct surviving seed fact.
+	allGroups chase.Bitset
+	// head is the rewriting head: the query head with terms resolved
+	// through EGD renaming.
+	head pivot.Atom
+}
+
+// buildUniversalPlan extracts the view facts of the chased instance and maps
+// per-seed provenance bits onto "groups" (seeds that EGDs merged into the
+// same fact count once).
+func buildUniversalPlan(q pivot.CQ, frozen pivot.Subst, seedCount int, fwd *chase.Result, viewPreds map[string]bool) *universalPlan {
+	// Group seeds by the fact they became after EGD renaming.
+	groupOf := make([]int, seedCount)
+	groups := map[string]int{}
+	for i := 0; i < seedCount && i < len(q.Body); i++ {
+		resolved := resolveAtom(frozen.ApplyAtom(q.Body[i]), fwd)
+		g, ok := groups[resolved.Key()]
+		if !ok {
+			g = len(groups)
+			groups[resolved.Key()] = g
+		}
+		groupOf[i] = g
+	}
+	// Seeds beyond q.Body (duplicate body atoms deduped by Freeze) cannot
+	// occur: Freeze adds at most one fact per body atom, so seedCount ≤
+	// len(q.Body). Guard anyway.
+	up := &universalPlan{}
+	for g := 0; g < len(groups); g++ {
+		up.allGroups.Set(g)
+	}
+	inst := fwd.Instance
+	for i := 0; i < inst.Size(); i++ {
+		f, live := inst.Fact(i)
+		if !live || !viewPreds[f.Pred] {
+			continue
+		}
+		var cov chase.Bitset
+		if p := fwd.ProvOf(f); p != nil {
+			for _, alt := range p.Alts {
+				alt.ForEach(func(seed int) {
+					if seed < len(groupOf) {
+						cov.Set(groupOf[seed])
+					}
+				})
+			}
+		}
+		up.viewFacts = append(up.viewFacts, f)
+		up.coverage = append(up.coverage, cov)
+	}
+	up.head = resolveAtom(frozen.ApplyAtom(q.Head), fwd)
+	return up
+}
+
+func resolveAtom(a pivot.Atom, res *chase.Result) pivot.Atom {
+	args := make([]pivot.Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = res.Resolve(t)
+	}
+	return pivot.Atom{Pred: a.Pred, Args: args}
+}
+
+// search carries the shared backchase machinery.
+type search struct {
+	q        pivot.CQ
+	up       *universalPlan
+	verifyCS pivot.Constraints
+	opts     Options
+	stats    Stats
+
+	// useful maps DFS positions to view-fact indices (set by pacb).
+	useful   []int
+	accepted []string // rewriting keys of accepted rewritings (for subset pruning)
+}
+
+// candidate assembles the rewriting CQ for a set of view-fact indices and
+// runs cheap rejection tests. It returns the query and whether it is worth
+// verifying.
+func (s *search) candidate(factIdx []int) (pivot.CQ, bool) {
+	body := make([]pivot.Atom, 0, len(factIdx))
+	for _, i := range factIdx {
+		body = append(body, nullsToVars(s.up.viewFacts[i]))
+	}
+	head := nullsToVars(s.up.head)
+	cq := pivot.CQ{Head: head, Body: body}
+	if cq.Validate() != nil {
+		return pivot.CQ{}, false // head variable not exposed by the views
+	}
+	if s.opts.AccessPatterns != nil {
+		preBound := map[pivot.Var]bool{}
+		for _, pos := range s.opts.BoundHeadPositions {
+			if pos >= 0 && pos < len(head.Args) {
+				if v, ok := head.Args[pos].(pivot.Var); ok {
+					preBound[v] = true
+				}
+			}
+		}
+		if _, ok := FeasibleBound(body, s.opts.AccessPatterns, preBound); !ok {
+			return pivot.CQ{}, false
+		}
+	}
+	return cq, true
+}
+
+// verify runs the backchase equivalence check: candidate ⊑ q under the full
+// constraint set. (q ⊑ candidate holds by construction: every candidate atom
+// is a fact of q's chased canonical database.)
+func (s *search) verify(cand pivot.CQ) (bool, error) {
+	s.stats.VerificationChases++
+	ok, err := chase.ContainedInUnder(cand, s.q, s.verifyCS, s.opts.Chase)
+	if err != nil {
+		if errors.Is(err, chase.ErrBudget) {
+			return false, nil // treat as unverifiable, skip candidate
+		}
+		return false, err
+	}
+	return ok, nil
+}
+
+// subsumedByAccepted reports whether the fact set is a superset of an
+// accepted rewriting (hence not minimal).
+func (s *search) subsumedByAccepted(body []pivot.Atom) bool {
+	keys := map[string]bool{}
+	for _, a := range body {
+		keys[a.Key()] = true
+	}
+	for _, acc := range s.accepted {
+		if allKeysIn(acc, keys) {
+			return true
+		}
+	}
+	return false
+}
+
+func allKeysIn(joined string, keys map[string]bool) bool {
+	start := 0
+	for i := 0; i <= len(joined); i++ {
+		if i == len(joined) || joined[i] == '|' {
+			if !keys[joined[start:i]] {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// nullsToVars rewrites an atom's labeled nulls into variables named after
+// their labels, turning instance facts back into query atoms.
+func nullsToVars(a pivot.Atom) pivot.Atom {
+	args := make([]pivot.Term, len(a.Args))
+	for i, t := range a.Args {
+		if n, ok := t.(pivot.Null); ok {
+			args[i] = pivot.Var("n" + strconv.FormatInt(int64(n), 10))
+		} else {
+			args[i] = t
+		}
+	}
+	return pivot.Atom{Pred: a.Pred, Args: args}
+}

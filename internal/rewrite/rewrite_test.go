@@ -1,0 +1,654 @@
+package rewrite
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chase"
+	"repro/internal/pivot"
+)
+
+func atom(pred string, args ...pivot.Term) pivot.Atom { return pivot.NewAtom(pred, args...) }
+func v(name string) pivot.Var                         { return pivot.Var(name) }
+
+// vQ builds a view named name with the given head vars and body.
+func vQ(name string, headVars []pivot.Var, body ...pivot.Atom) View {
+	args := make([]pivot.Term, len(headVars))
+	for i, hv := range headVars {
+		args[i] = hv
+	}
+	return NewView(name, pivot.NewCQ(pivot.NewAtom(name, args...), body...))
+}
+
+func TestViewConstraints(t *testing.T) {
+	view := vQ("V", []pivot.Var{"x", "y"},
+		atom("R", v("x"), v("z")), atom("S", v("z"), v("y")))
+	f := view.ForwardTGD()
+	if !f.IsFull() {
+		t.Error("forward TGD must be full")
+	}
+	if len(f.Body) != 2 || len(f.Head) != 1 || f.Head[0].Pred != "V" {
+		t.Errorf("forward TGD malformed: %v", f)
+	}
+	b := view.BackwardTGD()
+	if b.IsFull() {
+		t.Error("backward TGD must have existential z")
+	}
+	if len(b.Body) != 1 || b.Body[0].Pred != "V" || len(b.Head) != 2 {
+		t.Errorf("backward TGD malformed: %v", b)
+	}
+	if err := view.Validate(); err != nil {
+		t.Errorf("valid view rejected: %v", err)
+	}
+}
+
+func TestRewriteIdentityView(t *testing.T) {
+	// View V = R; query over R must rewrite to V.
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	for _, alg := range []Algorithm{PACB, NaiveCB} {
+		res, err := Rewrite(q, []View{view}, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Rewritings) != 1 {
+			t.Fatalf("%v: got %d rewritings, want 1: %v", alg, len(res.Rewritings), res.Rewritings)
+		}
+		r := res.Rewritings[0]
+		if len(r.Body) != 1 || r.Body[0].Pred != "V" {
+			t.Errorf("%v: rewriting = %v", alg, r)
+		}
+	}
+}
+
+func TestRewriteJoinOfTwoViews(t *testing.T) {
+	// V1 = R, V2 = S; query R ⋈ S rewrites to V1 ⋈ V2.
+	v1 := vQ("V1", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	v2 := vQ("V2", []pivot.Var{"y", "z"}, atom("S", v("y"), v("z")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("R", v("a"), v("b")), atom("S", v("b"), v("c")))
+	for _, alg := range []Algorithm{PACB, NaiveCB} {
+		res, err := Rewrite(q, []View{v1, v2}, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Rewritings) != 1 {
+			t.Fatalf("%v: got %d rewritings: %v", alg, len(res.Rewritings), res.Rewritings)
+		}
+		r := res.Rewritings[0]
+		if len(r.Body) != 2 {
+			t.Errorf("%v: rewriting = %v", alg, r)
+		}
+		preds := map[string]bool{}
+		for _, a := range r.Body {
+			preds[a.Pred] = true
+		}
+		if !preds["V1"] || !preds["V2"] {
+			t.Errorf("%v: rewriting misses a view: %v", alg, r)
+		}
+	}
+}
+
+func TestRewritePrefersMaterializedJoin(t *testing.T) {
+	// VJ materializes R ⋈ S; singleton views also exist. Minimal rewriting
+	// uses VJ alone; the 2-view rewriting is also equivalent and minimal
+	// w.r.t. set inclusion, so both may be reported — VJ must come first
+	// (fewest atoms).
+	vr := vQ("VR", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	vs := vQ("VS", []pivot.Var{"y", "z"}, atom("S", v("y"), v("z")))
+	vj := vQ("VJ", []pivot.Var{"x", "z"},
+		atom("R", v("x"), v("y")), atom("S", v("y"), v("z")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("R", v("a"), v("b")), atom("S", v("b"), v("c")))
+	res, err := Rewrite(q, []View{vr, vs, vj}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) == 0 {
+		t.Fatal("no rewriting found")
+	}
+	first := res.Rewritings[0]
+	if len(first.Body) != 1 || first.Body[0].Pred != "VJ" {
+		t.Errorf("smallest rewriting = %v, want single VJ atom", first)
+	}
+}
+
+func TestRewriteNoRewriting(t *testing.T) {
+	// View over T cannot answer a query over R.
+	view := vQ("V", []pivot.Var{"x"}, atom("T", v("x")))
+	q := pivot.NewCQ(atom("Q", v("a")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("unexpected rewritings: %v", res.Rewritings)
+	}
+	_, _, err = RewriteOne(q, []View{view}, Options{})
+	if !errors.Is(err, ErrNoRewriting) {
+		t.Errorf("RewriteOne err = %v, want ErrNoRewriting", err)
+	}
+}
+
+func TestRewriteRejectsLossyView(t *testing.T) {
+	// View projects away the join variable: V(x) = R(x,y) — cannot answer
+	// Q(x,y) :- R(x,y).
+	view := vQ("V", []pivot.Var{"x"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("lossy view accepted: %v", res.Rewritings)
+	}
+}
+
+func TestRewriteRejectsNonEquivalentJoinView(t *testing.T) {
+	// VJ = R ⋈ S is NOT equivalent to a query over R alone (the join loses
+	// R-tuples with no S partner).
+	vj := vQ("VJ", []pivot.Var{"x", "y"},
+		atom("R", v("x"), v("y")), atom("S", v("y"), v("z")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(q, []View{vj}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("non-equivalent rewriting accepted: %v", res.Rewritings)
+	}
+}
+
+func TestRewriteWithConstantSelection(t *testing.T) {
+	// View keeps the selection column; query selects a constant.
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a")), atom("R", v("a"), pivot.CStr("gold")))
+	r, _, err := RewriteOne(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 1 || r.Body[0].Pred != "V" {
+		t.Fatalf("rewriting = %v", r)
+	}
+	if !pivot.SameTerm(r.Body[0].Args[1], pivot.CStr("gold")) {
+		t.Errorf("constant not pushed into view atom: %v", r)
+	}
+}
+
+func TestRewriteConstantInViewDef(t *testing.T) {
+	// View pre-selects gold rows; query asks exactly for gold rows.
+	view := NewView("VG", pivot.NewCQ(
+		atom("VG", v("x")),
+		atom("R", v("x"), pivot.CStr("gold"))))
+	q := pivot.NewCQ(atom("Q", v("a")), atom("R", v("a"), pivot.CStr("gold")))
+	r, _, err := RewriteOne(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 1 || r.Body[0].Pred != "VG" {
+		t.Errorf("rewriting = %v", r)
+	}
+	// But a query for silver rows must not use the gold view.
+	qs := pivot.NewCQ(atom("Q", v("a")), atom("R", v("a"), pivot.CStr("silver")))
+	res, err := Rewrite(qs, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("silver query answered by gold view: %v", res.Rewritings)
+	}
+}
+
+func TestRewriteUnderSchemaConstraints(t *testing.T) {
+	// Schema: Child ⊆ Desc. View stores Desc; query over Child has NO exact
+	// rewriting using the Desc view (Desc ⊋ Child in general), while a query
+	// over Desc does.
+	schema := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1}),
+	}}
+	vd := vQ("VD", []pivot.Var{"x", "y"}, atom("Desc", v("x"), v("y")))
+	qChild := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("Child", v("a"), v("b")))
+	res, err := Rewrite(qChild, []View{vd}, Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("Child query must not be answerable from Desc view: %v", res.Rewritings)
+	}
+	qDesc := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("Desc", v("a"), v("b")))
+	r, _, err := RewriteOne(qDesc, []View{vd}, Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body[0].Pred != "VD" {
+		t.Errorf("rewriting = %v", r)
+	}
+}
+
+func TestRewriteChildViewAnswersDescQueryUnderClosure(t *testing.T) {
+	// The converse: a view storing Child can answer a Child query, and with
+	// the inclusion Child⊆Desc a Desc query CANNOT be answered from Child
+	// (Child ⊆ Desc is not equality).
+	schema := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.InclusionTGD("c⊆d", "Child", 2, []int{0, 1}, "Desc", 2, []int{0, 1}),
+	}}
+	vc := vQ("VC", []pivot.Var{"x", "y"}, atom("Child", v("x"), v("y")))
+	qDesc := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("Desc", v("a"), v("b")))
+	res, err := Rewrite(qDesc, []View{vc}, Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("Desc query wrongly answered from Child view: %v", res.Rewritings)
+	}
+}
+
+func TestRewriteMinimizesQueryFirst(t *testing.T) {
+	// Query has a redundant atom; the rewriting should not be forced to
+	// cover it with an extra view atom.
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a")),
+		atom("R", v("a"), v("b")),
+		atom("R", v("a"), v("b2"))) // redundant
+	r, _, err := RewriteOne(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 1 {
+		t.Errorf("rewriting = %v, want single V atom", r)
+	}
+}
+
+func TestRewriteSelfJoin(t *testing.T) {
+	// Query is a genuine self-join (path of length 2, both ends out).
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("E", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("E", v("a"), v("b")), atom("E", v("b"), v("c")))
+	r, _, err := RewriteOne(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("rewriting = %v, want two V atoms", r)
+	}
+	// The two V atoms must chain on the middle variable.
+	if !pivot.SameTerm(r.Body[0].Args[1], r.Body[1].Args[0]) &&
+		!pivot.SameTerm(r.Body[1].Args[1], r.Body[0].Args[0]) {
+		t.Errorf("self-join chain broken: %v", r)
+	}
+}
+
+func TestRewriteAgreesAcrossAlgorithms(t *testing.T) {
+	// PACB and naive C&B must accept exactly the same minimal rewritings.
+	vs := []View{
+		vQ("V1", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y"))),
+		vQ("V2", []pivot.Var{"y", "z"}, atom("S", v("y"), v("z"))),
+		vQ("V3", []pivot.Var{"x", "z"},
+			atom("R", v("x"), v("y")), atom("S", v("y"), v("z"))),
+	}
+	q := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("R", v("a"), v("b")), atom("S", v("b"), v("c")))
+	resP, err := Rewrite(q, vs, Options{Algorithm: PACB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resN, err := Rewrite(q, vs, Options{Algorithm: NaiveCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysOf := func(rs []pivot.CQ) map[string]bool {
+		m := map[string]bool{}
+		for _, r := range rs {
+			m[rewritingKey(r.Body)] = true
+		}
+		return m
+	}
+	kp, kn := keysOf(resP.Rewritings), keysOf(resN.Rewritings)
+	for k := range kp {
+		if !kn[k] {
+			t.Errorf("PACB found %s, naive did not", k)
+		}
+	}
+	for k := range kn {
+		if !kp[k] {
+			t.Errorf("naive found %s, PACB did not", k)
+		}
+	}
+	if resP.Stats.VerificationChases > resN.Stats.VerificationChases {
+		t.Errorf("PACB ran more verification chases (%d) than naive (%d)",
+			resP.Stats.VerificationChases, resN.Stats.VerificationChases)
+	}
+}
+
+func TestRewriteMaxRewritings(t *testing.T) {
+	vs := []View{
+		vQ("V1", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y"))),
+		vQ("V2", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y"))), // duplicate view
+	}
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(q, vs, Options{MaxRewritings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Errorf("got %d rewritings, want 1", len(res.Rewritings))
+	}
+}
+
+func TestRewriteCandidateBudget(t *testing.T) {
+	// Naive C&B over many redundant views blows the candidate budget.
+	var vs []View
+	for i := 0; i < 10; i++ {
+		vs = append(vs, vQ("W"+string(rune('0'+i)), []pivot.Var{"x", "y"}, atom("R", v("x"), v("y"))))
+	}
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	_, err := Rewrite(q, vs, Options{Algorithm: NaiveCB, MaxCandidates: 5, MaxRewritings: 0})
+	if !errors.Is(err, ErrSearchBudget) {
+		t.Errorf("err = %v, want ErrSearchBudget", err)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	patterns := map[string]AccessPattern{"KV": "bf"}
+	// KV(k,v) with k bound by a constant: feasible.
+	atoms := []pivot.Atom{atom("KV", pivot.CStr("k1"), v("val"))}
+	if _, ok := Feasible(atoms, patterns); !ok {
+		t.Error("constant-bound key must be feasible")
+	}
+	// KV(k,v) with free k and nothing to bind it: infeasible.
+	atoms = []pivot.Atom{atom("KV", v("k"), v("val"))}
+	if _, ok := Feasible(atoms, patterns); ok {
+		t.Error("free key with no producer must be infeasible")
+	}
+	// R(x) then KV(x,v): feasible in that order even if listed reversed.
+	atoms = []pivot.Atom{atom("KV", v("x"), v("val")), atom("R", v("x"))}
+	order, ok := Feasible(atoms, patterns)
+	if !ok {
+		t.Fatal("orderable atoms reported infeasible")
+	}
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("order = %v, want [1 0]", order)
+	}
+	// Mutual deadlock: KV1(a,b) needs a, KV2(b,a) needs b.
+	patterns2 := map[string]AccessPattern{"K1": "bf", "K2": "bf"}
+	atoms = []pivot.Atom{atom("K1", v("a"), v("b")), atom("K2", v("b"), v("a"))}
+	if _, ok := Feasible(atoms, patterns2); ok {
+		t.Error("circular binding must be infeasible")
+	}
+}
+
+func TestRewriteRespectsAccessPatterns(t *testing.T) {
+	// VKV is a key-value view over R keyed by the first column. A query
+	// binding the key is answerable; a query scanning R is not (the KV view
+	// cannot be scanned).
+	vkv := vQ("VKV", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	ap := map[string]AccessPattern{"VKV": "bf"}
+	qBound := pivot.NewCQ(atom("Q", v("b")), atom("R", pivot.CStr("k7"), v("b")))
+	r, _, err := RewriteOne(qBound, []View{vkv}, Options{AccessPatterns: ap})
+	if err != nil {
+		t.Fatalf("key-bound query should rewrite: %v", err)
+	}
+	if r.Body[0].Pred != "VKV" {
+		t.Errorf("rewriting = %v", r)
+	}
+	qScan := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(qScan, []View{vkv}, Options{AccessPatterns: ap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Errorf("scan query must be infeasible on a KV view: %v", res.Rewritings)
+	}
+}
+
+func TestRewriteBindJoinFeasibleChain(t *testing.T) {
+	// Two fragments: VR (scannable) produces the key consumed by VKV.
+	vr := vQ("VR", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	vkv := vQ("VKV", []pivot.Var{"y", "z"}, atom("S", v("y"), v("z")))
+	ap := map[string]AccessPattern{"VKV": "bf"}
+	q := pivot.NewCQ(atom("Q", v("a"), v("c")),
+		atom("R", v("a"), v("b")), atom("S", v("b"), v("c")))
+	r, _, err := RewriteOne(q, []View{vr, vkv}, Options{AccessPatterns: ap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("rewriting = %v", r)
+	}
+	order, ok := Feasible(r.Body, ap)
+	if !ok {
+		t.Fatal("produced rewriting is infeasible")
+	}
+	first := r.Body[order[0]]
+	if first.Pred != "VR" {
+		t.Errorf("feasible order must start with the scannable view, got %v", first)
+	}
+}
+
+func TestRewriteHeadConstant(t *testing.T) {
+	// Head contains a constant.
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), pivot.CStr("tag")), atom("R", v("a"), v("b")))
+	r, _, err := RewriteOne(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pivot.SameTerm(r.Head.Args[1], pivot.CStr("tag")) {
+		t.Errorf("head constant lost: %v", r)
+	}
+}
+
+func TestRewriteStatsPopulated(t *testing.T) {
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	res, err := Rewrite(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.UniversalPlanAtoms < 1 || res.Stats.VerificationChases < 1 || res.Stats.Duration <= 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestAccessPatternValidate(t *testing.T) {
+	if err := AccessPattern("bf").Validate(2); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	if err := AccessPattern("bf").Validate(3); err == nil {
+		t.Error("wrong-length pattern accepted")
+	}
+	if err := AccessPattern("bx").Validate(2); err == nil {
+		t.Error("bad letter accepted")
+	}
+	if err := AccessPattern("").Validate(5); err != nil {
+		t.Error("empty pattern must be valid (all-free)")
+	}
+	if got := AccessPattern("bfb").BoundPositions(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("BoundPositions = %v", got)
+	}
+}
+
+// Exhaustive cross-check on small random-ish cases: every rewriting found by
+// PACB, when expanded (views replaced by their definitions), is equivalent
+// to the original query under no constraints.
+func TestRewriteExpansionEquivalence(t *testing.T) {
+	vs := []View{
+		vQ("A", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y"))),
+		vQ("B", []pivot.Var{"x", "z"},
+			atom("R", v("x"), v("y")), atom("S", v("y"), v("z"))),
+		vQ("C", []pivot.Var{"y", "z"}, atom("S", v("y"), v("z"))),
+	}
+	queries := []pivot.CQ{
+		pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b"))),
+		pivot.NewCQ(atom("Q", v("a"), v("c")),
+			atom("R", v("a"), v("b")), atom("S", v("b"), v("c"))),
+		pivot.NewCQ(atom("Q", v("a")),
+			atom("R", v("a"), v("b")), atom("S", v("b"), v("c"))),
+	}
+	defs := map[string]View{}
+	for _, view := range vs {
+		defs[view.Name] = view
+	}
+	for qi, q := range queries {
+		res, err := Rewrite(q, vs, Options{})
+		if err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		if len(res.Rewritings) == 0 {
+			t.Errorf("q%d: no rewriting", qi)
+			continue
+		}
+		for _, r := range res.Rewritings {
+			exp := expand(r, defs)
+			if !pivot.Equivalent(exp, q) {
+				t.Errorf("q%d: expansion of %v = %v is not equivalent to %v", qi, r, exp, q)
+			}
+		}
+	}
+}
+
+// expand replaces each view atom by the view's definition body, renaming
+// per-occurrence and unifying head terms with the atom's arguments.
+func expand(r pivot.CQ, defs map[string]View) pivot.CQ {
+	var body []pivot.Atom
+	for i, a := range r.Body {
+		view := defs[a.Pred]
+		d := view.Def.Rename(view.Name + "_" + string(rune('0'+i)) + "_")
+		s := pivot.NewSubst()
+		for j, ht := range d.Head.Args {
+			hv := ht.(pivot.Var)
+			s[hv] = a.Args[j]
+		}
+		body = append(body, s.ApplyAtoms(d.Body)...)
+	}
+	return pivot.CQ{Head: r.Head, Body: body}
+}
+
+func TestVerifyTermination(t *testing.T) {
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("a"), v("b")), atom("R", v("a"), v("b")))
+	// Well-behaved constraints pass.
+	if _, err := Rewrite(q, []View{view}, Options{VerifyTermination: true}); err != nil {
+		t.Fatalf("weakly acyclic set rejected: %v", err)
+	}
+	// A value-inventing recursive schema constraint is rejected up front.
+	badSchema := pivot.Constraints{TGDs: []pivot.TGD{
+		pivot.NewTGD("grow",
+			[]pivot.Atom{atom("R", v("x"), v("y"))},
+			[]pivot.Atom{atom("R", v("y"), v("z"))}),
+	}}
+	_, err := Rewrite(q, []View{view}, Options{Schema: badSchema, VerifyTermination: true})
+	if !errors.Is(err, ErrNotWeaklyAcyclic) {
+		t.Errorf("err = %v, want ErrNotWeaklyAcyclic", err)
+	}
+	// Without the flag, a (small) chase budget still protects: no hang.
+	_, err = Rewrite(q, []View{view}, Options{
+		Schema: badSchema,
+		Chase:  chase.Options{MaxSteps: 100, MaxFacts: 500},
+	})
+	if !errors.Is(err, chase.ErrBudget) {
+		t.Errorf("err = %v, want chase.ErrBudget", err)
+	}
+}
+
+func TestRewriteExploitsKeyEGD(t *testing.T) {
+	// Under a key on R[0], the self-join R(x,y) ∧ R(x,z) collapses (y=z):
+	// one view atom suffices. Without the key, two atoms are required.
+	key := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("x"), v("y"), v("z")),
+		atom("R", v("x"), v("y")),
+		atom("R", v("x"), v("z")))
+
+	withKey, err := Rewrite(q, []View{view}, Options{Schema: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withKey.Rewritings) == 0 {
+		t.Fatal("no rewriting under key")
+	}
+	if got := len(withKey.Rewritings[0].Body); got != 1 {
+		t.Errorf("smallest rewriting under key uses %d atoms, want 1: %v",
+			got, withKey.Rewritings[0])
+	}
+
+	without, err := Rewrite(q, []View{view}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without.Rewritings) == 0 {
+		t.Fatal("no rewriting without key")
+	}
+	if got := len(without.Rewritings[0].Body); got != 2 {
+		t.Errorf("smallest rewriting without key uses %d atoms, want 2: %v",
+			got, without.Rewritings[0])
+	}
+}
+
+func TestRewriteKeyEGDPropagatesHeadEquality(t *testing.T) {
+	// Under the key, y and z in the head must collapse to one variable.
+	key := pivot.Constraints{EGDs: pivot.KeyEGDs("R", 2, 0)}
+	view := vQ("V", []pivot.Var{"x", "y"}, atom("R", v("x"), v("y")))
+	q := pivot.NewCQ(atom("Q", v("y"), v("z")),
+		atom("R", pivot.CStr("k"), v("y")),
+		atom("R", pivot.CStr("k"), v("z")))
+	r, _, err := RewriteOne(q, []View{view}, Options{Schema: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pivot.SameTerm(r.Head.Args[0], r.Head.Args[1]) {
+		t.Errorf("head positions not unified under key: %v", r)
+	}
+}
+
+// Property: when Feasible returns an order, replaying the order really
+// binds every 'b' position before it is consumed.
+func TestFeasibleOrderSoundQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(5))}
+	patterns := map[string]AccessPattern{"K": "bf", "L": "bbf"}
+	f := func(shape [4]uint8) bool {
+		// Build 4 atoms over K(bf), L(bbf), R(ff) with variables from a
+		// small pool, plus occasional constants.
+		preds := []string{"K", "L", "R"}
+		pool := []pivot.Var{"a", "b", "c"}
+		var atoms []pivot.Atom
+		for i, s := range shape {
+			pred := preds[int(s)%3]
+			arity := 2
+			if pred == "L" {
+				arity = 3
+			}
+			args := make([]pivot.Term, arity)
+			for j := range args {
+				if (int(s)+i+j)%5 == 0 {
+					args[j] = pivot.CInt(int64(j))
+				} else {
+					args[j] = pool[(int(s)+i+j)%len(pool)]
+				}
+			}
+			atoms = append(atoms, pivot.Atom{Pred: pred, Args: args})
+		}
+		order, ok := Feasible(atoms, patterns)
+		if !ok {
+			return true // nothing to verify
+		}
+		bound := map[pivot.Var]bool{}
+		for _, ai := range order {
+			a := atoms[ai]
+			for _, pos := range patterns[a.Pred].BoundPositions() {
+				if vv, isVar := a.Args[pos].(pivot.Var); isVar && !bound[vv] {
+					return false // consumed before produced
+				}
+			}
+			for _, vv := range a.Vars() {
+				bound[vv] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package rewrite
+
+import (
+	"sort"
+
+	"repro/internal/chase"
+	"repro/internal/pivot"
+)
+
+// pacb enumerates backchase candidates restricted to minimal covers of the
+// query atoms by view-atom provenance, verifying each with a chase. This is
+// the provenance-aware pruning of Ileana et al.: instead of 2^n subqueries,
+// only subsets whose provenance accounts for every query atom are examined.
+func (s *search) pacb() ([]pivot.CQ, error) {
+	up := s.up
+	if up.allGroups.Empty() {
+		return nil, nil
+	}
+	// Facts that cover nothing can never appear in a minimal cover.
+	useful := make([]int, 0, len(up.viewFacts))
+	for i, cov := range up.coverage {
+		if !cov.Empty() {
+			useful = append(useful, i)
+		}
+	}
+	// Order by descending coverage so small covers are found early.
+	sort.SliceStable(useful, func(a, b int) bool {
+		return up.coverage[useful[a]].Count() > up.coverage[useful[b]].Count()
+	})
+	s.useful = useful
+	// byGroup[g] lists facts (positions in useful) covering group g.
+	nGroups := 0
+	up.allGroups.ForEach(func(int) { nGroups++ })
+	byGroup := make([][]int, nGroups)
+	for pos, fi := range useful {
+		up.coverage[fi].ForEach(func(g int) {
+			byGroup[g] = append(byGroup[g], pos)
+		})
+	}
+
+	var out []pivot.CQ
+	seen := map[string]bool{}
+	banned := make([]bool, len(useful))
+	var chosen []int
+	var budgetErr error
+
+	var dfs func(covered chase.Bitset) bool // returns false to abort
+	dfs = func(covered chase.Bitset) bool {
+		if s.opts.MaxRewritings > 0 && len(out) >= s.opts.MaxRewritings {
+			return false
+		}
+		// First uncovered group.
+		first := -1
+		for g := 0; g < nGroups; g++ {
+			if up.allGroups.Has(g) && !covered.Has(g) {
+				first = g
+				break
+			}
+		}
+		if first == -1 {
+			// Complete cover: emit if irredundant, unseen and verified.
+			s.stats.Candidates++
+			if s.stats.Candidates > s.opts.MaxCandidates {
+				budgetErr = ErrSearchBudget
+				return false
+			}
+			if !s.irredundant(chosen) {
+				return true
+			}
+			factIdx := make([]int, len(chosen))
+			for i, pos := range chosen {
+				factIdx[i] = useful[pos]
+			}
+			cand, ok := s.candidate(factIdx)
+			if !ok {
+				return true
+			}
+			key := rewritingKey(cand.Body)
+			if seen[key] || s.subsumedByAccepted(cand.Body) {
+				return true
+			}
+			seen[key] = true
+			verified, err := s.verify(cand)
+			if err != nil {
+				budgetErr = err
+				return false
+			}
+			if verified {
+				out = append(out, cand)
+				s.accepted = append(s.accepted, key)
+			}
+			return true
+		}
+		// Branch on every fact covering the first uncovered group; ban
+		// earlier branches in the subtree to avoid duplicate covers.
+		var localBans []int
+		defer func() {
+			for _, p := range localBans {
+				banned[p] = false
+			}
+		}()
+		for _, pos := range byGroup[first] {
+			if banned[pos] {
+				continue
+			}
+			chosen = append(chosen, pos)
+			cont := dfs(covered.Union(up.coverage[useful[pos]]))
+			chosen = chosen[:len(chosen)-1]
+			if !cont {
+				return false
+			}
+			banned[pos] = true
+			localBans = append(localBans, pos)
+		}
+		return true
+	}
+	dfs(chase.NewBitset(nGroups))
+	if budgetErr != nil {
+		return out, budgetErr
+	}
+	return out, nil
+}
+
+// irredundant reports whether dropping any chosen fact leaves some group
+// uncovered (i.e. the cover is minimal w.r.t. set inclusion). chosenPos
+// holds positions into s.useful.
+func (s *search) irredundant(chosenPos []int) bool {
+	for skip := range chosenPos {
+		var cov chase.Bitset
+		for j, pos := range chosenPos {
+			if j == skip {
+				continue
+			}
+			cov.UnionWith(s.up.coverage[s.useful[pos]])
+		}
+		if s.up.allGroups.SubsetOf(cov) {
+			return false
+		}
+	}
+	return true
+}
+
+// naive enumerates every subquery of the universal plan smallest-first,
+// verifying each with a chase — the classical C&B baseline whose cost PACB
+// avoids. Supersets of accepted rewritings are skipped (they cannot be
+// minimal), as are duplicates.
+func (s *search) naive() ([]pivot.CQ, error) {
+	n := len(s.up.viewFacts)
+	var out []pivot.CQ
+	var budgetErr error
+	idx := make([]int, 0, n)
+
+	var emit func() bool
+	emit = func() bool {
+		s.stats.Candidates++
+		if s.stats.Candidates > s.opts.MaxCandidates {
+			budgetErr = ErrSearchBudget
+			return false
+		}
+		cand, ok := s.candidate(idx)
+		if !ok {
+			return true
+		}
+		if s.subsumedByAccepted(cand.Body) {
+			return true
+		}
+		verified, err := s.verify(cand)
+		if err != nil {
+			budgetErr = err
+			return false
+		}
+		if verified {
+			out = append(out, cand)
+			s.accepted = append(s.accepted, rewritingKey(cand.Body))
+		}
+		return !(s.opts.MaxRewritings > 0 && len(out) >= s.opts.MaxRewritings)
+	}
+
+	var combos func(start, k int) bool
+	combos = func(start, k int) bool {
+		if k == 0 {
+			return emit()
+		}
+		for i := start; i <= n-k; i++ {
+			idx = append(idx, i)
+			cont := combos(i+1, k-1)
+			idx = idx[:len(idx)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	for size := 1; size <= n; size++ {
+		if !combos(0, size) {
+			break
+		}
+	}
+	if budgetErr != nil {
+		return out, budgetErr
+	}
+	return out, nil
+}

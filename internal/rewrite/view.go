@@ -1,0 +1,192 @@
+// Package rewrite implements view-based query rewriting under constraints —
+// the heart of ESTOCADA. Fragments stored in the underlying data-management
+// systems are described as materialized views over the application datasets
+// (local-as-view); answering a query amounts to finding conjunctive
+// rewritings over the view predicates that are equivalent to the query under
+// the schema constraints.
+//
+// Two rewriting engines are provided, sharing the same verification logic:
+//
+//   - Naive Chase & Backchase: chase the query with the views' forward
+//     constraints to build the universal plan, then enumerate subqueries of
+//     the universal plan smallest-first, verifying each with a full chase.
+//     This is the classical C&B, "long considered too inefficient to be of
+//     practical relevance" (paper, §III).
+//
+//   - PACB (provenance-aware C&B, Ileana et al. SIGMOD 2014): the forward
+//     chase annotates every derived view atom with the set of query atoms
+//     that triggered it; backchase candidates are restricted to minimal
+//     covers of the query atoms, slashing the number of verification chases
+//     by orders of magnitude.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pivot"
+)
+
+// View describes one stored fragment as a materialized view: a named
+// conjunctive query over the source schema. The head predicate of Def must
+// equal Name; head arguments are the columns materialized by the fragment.
+type View struct {
+	Name string
+	Def  pivot.CQ
+}
+
+// NewView builds a view, forcing the definition's head predicate to name.
+func NewView(name string, def pivot.CQ) View {
+	def.Head.Pred = name
+	return View{Name: name, Def: def}
+}
+
+// Validate checks the view definition.
+func (v View) Validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("rewrite: view with empty name")
+	}
+	if v.Def.Head.Pred != v.Name {
+		return fmt.Errorf("rewrite: view %s head predicate %s mismatch", v.Name, v.Def.Head.Pred)
+	}
+	if err := v.Def.Validate(); err != nil {
+		return fmt.Errorf("rewrite: view %s: %w", v.Name, err)
+	}
+	return nil
+}
+
+// ForwardTGD returns the constraint "definition body implies view tuple":
+//
+//	Body(x̄,ȳ) → V(x̄)
+//
+// It is full (no existentials), so the forward chase never invents nulls for
+// view atoms.
+func (v View) ForwardTGD() pivot.TGD {
+	d := v.Def.Rename("f" + v.Name + "_")
+	return pivot.TGD{
+		Name: "fwd:" + v.Name,
+		Body: d.Body,
+		Head: []pivot.Atom{d.Head},
+	}
+}
+
+// BackwardTGD returns the constraint "view tuple implies definition body":
+//
+//	V(x̄) → ∃ȳ Body(x̄,ȳ)
+//
+// Variables of the body absent from the head are existential.
+func (v View) BackwardTGD() pivot.TGD {
+	d := v.Def.Rename("b" + v.Name + "_")
+	return pivot.TGD{
+		Name: "bwd:" + v.Name,
+		Body: []pivot.Atom{d.Head},
+		Head: d.Body,
+	}
+}
+
+// Constraints returns both directions for a set of views.
+func Constraints(views []View) (forward, backward pivot.Constraints) {
+	for _, v := range views {
+		forward.TGDs = append(forward.TGDs, v.ForwardTGD())
+		backward.TGDs = append(backward.TGDs, v.BackwardTGD())
+	}
+	return forward, backward
+}
+
+// AccessPattern is a per-predicate binding-pattern adornment: one letter per
+// argument position, 'b' ("bound": a value must be supplied to access the
+// source, as with a key-value store's key) or 'f' ("free": the source
+// returns values for this position). The empty pattern means all-free.
+type AccessPattern string
+
+// Validate checks the adornment against an arity.
+func (p AccessPattern) Validate(arity int) error {
+	if p == "" {
+		return nil
+	}
+	if len(p) != arity {
+		return fmt.Errorf("rewrite: access pattern %q has length %d, want %d", p, len(p), arity)
+	}
+	for _, c := range p {
+		if c != 'b' && c != 'f' {
+			return fmt.Errorf("rewrite: access pattern %q contains %q (want 'b'/'f')", p, c)
+		}
+	}
+	return nil
+}
+
+// BoundPositions returns the indices adorned 'b'.
+func (p AccessPattern) BoundPositions() []int {
+	var out []int
+	for i, c := range p {
+		if c == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Feasible reports whether the atoms can be ordered such that every
+// 'b'-adorned position of every atom is bound by a constant or by a variable
+// produced by an earlier atom (a classic executability check for sources
+// with access restrictions). Atoms whose predicate has no pattern are
+// all-free. It returns a feasible ordering when one exists.
+func Feasible(atoms []pivot.Atom, patterns map[string]AccessPattern) ([]int, bool) {
+	return FeasibleBound(atoms, patterns, nil)
+}
+
+// FeasibleBound is Feasible with an initial set of pre-bound variables —
+// query parameters whose values arrive at execution time (e.g. the user key
+// of a prepared key-lookup query).
+func FeasibleBound(atoms []pivot.Atom, patterns map[string]AccessPattern, preBound map[pivot.Var]bool) ([]int, bool) {
+	bound := map[pivot.Var]bool{}
+	for v := range preBound {
+		bound[v] = true
+	}
+	used := make([]bool, len(atoms))
+	order := make([]int, 0, len(atoms))
+	canPlace := func(a pivot.Atom) bool {
+		p := patterns[a.Pred]
+		for _, pos := range p.BoundPositions() {
+			if pos >= len(a.Args) {
+				return false
+			}
+			t := a.Args[pos]
+			if v, ok := t.(pivot.Var); ok && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for len(order) < len(atoms) {
+		placed := false
+		for i, a := range atoms {
+			if used[i] || !canPlace(a) {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			for _, v := range a.Vars() {
+				bound[v] = true
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return order, true
+}
+
+// rewritingKey canonically identifies a rewriting by its sorted body atom
+// keys; used for deduplication and subset tests.
+func rewritingKey(body []pivot.Atom) string {
+	keys := make([]string, len(body))
+	for i, a := range body {
+		keys[i] = a.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

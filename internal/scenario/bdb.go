@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/lang"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+// The demo (§IV) also runs on datasets from the AMPLab Big Data Benchmark.
+// BDBDeploy loads Rankings and UserVisits either "vanilla" (both relations
+// in one relational store, the single-store execution of demo step 3) or
+// "hybrid" (Rankings relational and indexed, UserVisits in the parallel
+// store, plus the Rankings⋈UserVisits join materialized in the parallel
+// store indexed by search word).
+
+// BDBSchema is the logical schema of the Big Data Benchmark relations.
+var BDBSchema = lang.Schema{
+	"Rankings":   {"url", "rank", "avgdur"},
+	"UserVisits": {"ip", "url", "date", "revenue", "country", "word"},
+}
+
+// BDBDeploy is a running BDB deployment.
+type BDBDeploy struct {
+	Sys    *core.System
+	Data   *datagen.BDB
+	Hybrid bool
+}
+
+func bdbIdentityView(name, over string) rewrite.View {
+	cols := BDBSchema[over]
+	args := make([]pivot.Term, len(cols))
+	for i, c := range cols {
+		args[i] = v(c)
+	}
+	return rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), pivot.NewAtom(over, args...)))
+}
+
+// NewBDB builds and loads a BDB deployment.
+func NewBDB(cfg datagen.BDBConfig, hybrid bool) (*BDBDeploy, error) {
+	data := datagen.NewBDB(cfg)
+	sys := core.New(core.Options{})
+	// Same scaled-down per-request service times as the marketplace wiring.
+	sys.AddRelStore("pg").SetRequestLatency(10 * time.Microsecond)
+	sys.AddParStore("spark", 8).SetRequestLatency(150 * time.Microsecond)
+
+	d := &BDBDeploy{Sys: sys, Data: data, Hybrid: hybrid}
+	rank := &catalog.Fragment{
+		Name: "FRankings", Dataset: "bdb", View: bdbIdentityView("FRankings", "Rankings"),
+		Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "rankings",
+			Columns: BDBSchema["Rankings"], IndexCols: []int{0}},
+	}
+	if err := sys.RegisterFragment(rank); err != nil {
+		return nil, err
+	}
+	if err := sys.Materialize("FRankings", data.Rankings); err != nil {
+		return nil, err
+	}
+
+	if hybrid {
+		uv := &catalog.Fragment{
+			Name: "FUserVisits", Dataset: "bdb", View: bdbIdentityView("FUserVisits", "UserVisits"),
+			Store: "spark",
+			Layout: catalog.Layout{Kind: catalog.LayoutPar, Collection: "uservisits",
+				Columns: BDBSchema["UserVisits"], PartitionCol: 1, IndexCols: []int{5}},
+		}
+		if err := sys.RegisterFragment(uv); err != nil {
+			return nil, err
+		}
+		if err := sys.Materialize("FUserVisits", data.UserVisits); err != nil {
+			return nil, err
+		}
+		// Materialized join: FRV(word, url, rank, revenue) in the parallel
+		// store, indexed by word — fits the per-word join workload.
+		frv := &catalog.Fragment{
+			Name: "FRV", Dataset: "bdb", View: rewrite.NewView("FRV", pivot.NewCQ(
+				pivot.NewAtom("FRV", v("word"), v("url"), v("rank"), v("revenue")),
+				pivot.NewAtom("Rankings", v("url"), v("rank"), v("avgdur")),
+				pivot.NewAtom("UserVisits", v("ip"), v("url"), v("date"), v("revenue"), v("country"), v("word")),
+			)),
+			Store: "spark",
+			Layout: catalog.Layout{Kind: catalog.LayoutPar, Collection: "rv",
+				Columns:      []string{"word", "url", "rank", "revenue"},
+				PartitionCol: 0, IndexCols: []int{0}},
+		}
+		if err := sys.RegisterFragment(frv); err != nil {
+			return nil, err
+		}
+		if err := sys.Materialize("FRV", d.joinRows()); err != nil {
+			return nil, err
+		}
+	} else {
+		uv := &catalog.Fragment{
+			Name: "FUserVisits", Dataset: "bdb", View: bdbIdentityView("FUserVisits", "UserVisits"),
+			Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "uservisits",
+				Columns: BDBSchema["UserVisits"]},
+		}
+		if err := sys.RegisterFragment(uv); err != nil {
+			return nil, err
+		}
+		if err := sys.Materialize("FUserVisits", data.UserVisits); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// joinRows computes the FRV extent (distinct tuples, set semantics).
+func (d *BDBDeploy) joinRows() []value.Tuple {
+	rankOf := map[string]value.Value{}
+	for _, r := range d.Data.Rankings {
+		rankOf[string(r[0].(value.Str))] = r[1]
+	}
+	seen := map[string]bool{}
+	var out []value.Tuple
+	for _, uv := range d.Data.UserVisits {
+		url := string(uv[1].(value.Str))
+		rank, ok := rankOf[url]
+		if !ok {
+			continue
+		}
+		row := value.Tuple{uv[5], uv[1], rank, uv[3]}
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// RankLookupQuery is the BDB selection query shape: rankings of one page.
+func RankLookupQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QRank", v("url"), v("rank")),
+		pivot.NewAtom("Rankings", v("url"), v("rank"), v("avgdur")))
+}
+
+// JoinByWordQuery is the BDB join query shape: pages (with ranks and ad
+// revenue) visited through a given search word. Parameter: word (head 0).
+func JoinByWordQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QJoin", v("word"), v("url"), v("rank"), v("revenue")),
+		pivot.NewAtom("Rankings", v("url"), v("rank"), v("avgdur")),
+		pivot.NewAtom("UserVisits", v("ip"), v("url"), v("date"), v("revenue"), v("country"), v("word")))
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/value"
+)
+
+func bdbCfg() datagen.BDBConfig {
+	return datagen.BDBConfig{Seed: 5, Rankings: 300, UserVisits: 1200}
+}
+
+func TestBDBVanillaAndHybridAgree(t *testing.T) {
+	van, err := NewBDB(bdbCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := NewBDB(bdbCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := van.Sys.Prepare(JoinByWordQuery(), "word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qh, err := hyb.Sys.Prepare(JoinByWordQuery(), "word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"alpha", "bravo", "echo"} {
+		a := execSetT(t, qv, value.Str(w))
+		b := execSetT(t, qh, value.Str(w))
+		if len(a) == 0 {
+			t.Fatalf("word %s: no results", w)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("word %s: vanilla %d rows, hybrid %d", w, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("word %s: hybrid missing row %s", w, k)
+			}
+		}
+	}
+	// The hybrid deployment must use the materialized join fragment.
+	if qh.Rewriting().Body[0].Pred != "FRV" || len(qh.Rewriting().Body) != 1 {
+		t.Errorf("hybrid rewriting = %v, want single FRV atom", qh.Rewriting())
+	}
+}
+
+func TestBDBRankLookup(t *testing.T) {
+	van, err := NewBDB(bdbCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := van.Sys.Prepare(RankLookupQuery(), "url")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Exec(value.Str(datagen.URL(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func execSetT(t *testing.T, p interface {
+	Exec(...value.Value) ([]value.Tuple, error)
+}, args ...value.Value) map[string]bool {
+	t.Helper()
+	rows, err := p.Exec(args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, r := range rows {
+		out[r.Key()] = true
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package scenario wires the paper's motivating scenario (§II) — the
+// Datalyse-inspired online marketplace — into a running ESTOCADA instance,
+// in each of the storage configurations the scenario steps through:
+//
+//   - Baseline: user data/preferences/orders in Postgres (relational),
+//     product catalog in SOLR (full-text), shopping carts in MongoDB
+//     (documents), web logs in Spark (parallel) — "the system's first
+//     release".
+//   - KV: preferences and carts migrated to the key-value store
+//     (the Voldemort episode, ~20 % workload gain).
+//   - Materialized: KV plus the purchases⋈browsing join materialized as a
+//     relation in Spark indexed by user ID and product category (the
+//     personalized-search episode, ~40 % extra gain).
+//
+// The same logical schema and queries run unchanged against every variant —
+// the point of the paper.
+package scenario
+
+import (
+	"time"
+
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/lang"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+// Variant selects the storage configuration.
+type Variant int
+
+const (
+	// Baseline is the first-release layout (rel + doc + text + parallel).
+	Baseline Variant = iota
+	// KV migrates preferences and carts to the key-value store.
+	KV
+	// Materialized is KV plus the purchase-history fragment in the
+	// parallel store.
+	Materialized
+)
+
+func (v Variant) String() string {
+	switch v {
+	case KV:
+		return "kv"
+	case Materialized:
+		return "materialized"
+	default:
+		return "baseline"
+	}
+}
+
+// LogicalSchema is the marketplace's logical relations (shared by the
+// surface-language parsers).
+var LogicalSchema = lang.Schema{
+	"Users":    {"uid", "name", "city"},
+	"Prefs":    {"uid", "key", "val"},
+	"Products": {"pid", "category", "descr"},
+	"Orders":   {"oid", "uid", "pid", "amount"},
+	"Carts":    {"uid", "pid", "qty"},
+	"Visits":   {"uid", "pid", "dur"},
+}
+
+// Marketplace is a running marketplace deployment.
+type Marketplace struct {
+	Sys     *core.System
+	Data    *datagen.Marketplace
+	Variant Variant
+}
+
+func v(name string) pivot.Var { return pivot.Var(name) }
+
+// identityView builds the identity view over a logical relation using its
+// schema column names as variables.
+func identityView(name, over string) rewrite.View {
+	cols := LogicalSchema[over]
+	args := make([]pivot.Term, len(cols))
+	for i, c := range cols {
+		args[i] = v(c)
+	}
+	return rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), pivot.NewAtom(over, args...)))
+}
+
+// New builds and loads a marketplace deployment.
+func New(cfg datagen.MarketplaceConfig, variant Variant) (*Marketplace, error) {
+	data := datagen.NewMarketplace(cfg)
+	sys := core.New(core.Options{})
+	// Per-request service times: scaled-down (~50×) LAN round-trip +
+	// dispatch costs of the real systems, preserving their ratios (a Redis
+	// GET ≪ a Postgres/MongoDB query ≪ a Spark job). See DESIGN.md §2.
+	sys.AddRelStore("pg").SetRequestLatency(10 * time.Microsecond)
+	sys.AddDocStore("mongo").SetRequestLatency(12 * time.Microsecond)
+	sys.AddTextStore("solr").SetRequestLatency(15 * time.Microsecond)
+	sys.AddParStore("spark", 8).SetRequestLatency(150 * time.Microsecond)
+	sys.AddKVStore("redis").SetRequestLatency(2 * time.Microsecond)
+
+	m := &Marketplace{Sys: sys, Data: data, Variant: variant}
+	if err := m.registerCommon(); err != nil {
+		return nil, err
+	}
+	switch variant {
+	case Baseline:
+		if err := m.registerBaselinePrefsCarts(); err != nil {
+			return nil, err
+		}
+	case KV, Materialized:
+		if err := m.registerKVPrefsCarts(); err != nil {
+			return nil, err
+		}
+	}
+	if variant == Materialized {
+		if err := m.registerPurchaseHistory(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *Marketplace) registerCommon() error {
+	frags := []*catalog.Fragment{
+		{
+			Name: "FUsers", Dataset: "marketplace", View: identityView("FUsers", "Users"),
+			Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "users",
+				Columns: LogicalSchema["Users"], IndexCols: []int{0}},
+		},
+		{
+			Name: "FOrders", Dataset: "marketplace", View: identityView("FOrders", "Orders"),
+			Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "orders",
+				Columns: LogicalSchema["Orders"], IndexCols: []int{1}},
+		},
+		{
+			Name: "FProducts", Dataset: "marketplace", View: identityView("FProducts", "Products"),
+			Store: "solr",
+			Layout: catalog.Layout{Kind: catalog.LayoutText, Collection: "products",
+				Columns: LogicalSchema["Products"], TextField: "descr"},
+		},
+		{
+			Name: "FVisits", Dataset: "marketplace", View: identityView("FVisits", "Visits"),
+			Store: "spark",
+			Layout: catalog.Layout{Kind: catalog.LayoutPar, Collection: "visits",
+				Columns: LogicalSchema["Visits"], PartitionCol: 0},
+		},
+	}
+	loads := map[string][]value.Tuple{
+		"FUsers":    m.Data.Users,
+		"FOrders":   m.Data.Orders,
+		"FProducts": m.Data.Products,
+		"FVisits":   m.Data.Visits,
+	}
+	for _, f := range frags {
+		if err := m.Sys.RegisterFragment(f); err != nil {
+			return err
+		}
+		if err := m.Sys.Materialize(f.Name, loads[f.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerBaselinePrefsCarts places preferences in Postgres and carts in
+// MongoDB (first-release layout).
+func (m *Marketplace) registerBaselinePrefsCarts() error {
+	prefs := &catalog.Fragment{
+		Name: "FPrefs", Dataset: "marketplace", View: identityView("FPrefs", "Prefs"),
+		Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "prefs",
+			Columns: LogicalSchema["Prefs"], IndexCols: []int{0}},
+	}
+	carts := &catalog.Fragment{
+		Name: "FCarts", Dataset: "marketplace", View: identityView("FCarts", "Carts"),
+		Store: "mongo",
+		Layout: catalog.Layout{Kind: catalog.LayoutDoc, Collection: "carts",
+			DocPaths: []string{"user", "item.pid", "item.qty"}, IndexCols: []int{0}},
+	}
+	for f, rows := range map[*catalog.Fragment][]value.Tuple{prefs: m.Data.Prefs, carts: m.Data.Carts} {
+		if err := m.Sys.RegisterFragment(f); err != nil {
+			return err
+		}
+		if err := m.Sys.Materialize(f.Name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerKVPrefsCarts places preferences and carts in the key-value store
+// keyed by user (the Voldemort migration).
+func (m *Marketplace) registerKVPrefsCarts() error {
+	prefs := &catalog.Fragment{
+		Name: "FPrefs", Dataset: "marketplace", View: identityView("FPrefs", "Prefs"),
+		Store:  "redis",
+		Layout: catalog.Layout{Kind: catalog.LayoutKV, Collection: "prefs", KeyCol: 0},
+		Access: "bff",
+	}
+	carts := &catalog.Fragment{
+		Name: "FCarts", Dataset: "marketplace", View: identityView("FCarts", "Carts"),
+		Store:  "redis",
+		Layout: catalog.Layout{Kind: catalog.LayoutKV, Collection: "carts", KeyCol: 0},
+		Access: "bff",
+	}
+	for f, rows := range map[*catalog.Fragment][]value.Tuple{prefs: m.Data.Prefs, carts: m.Data.Carts} {
+		if err := m.Sys.RegisterFragment(f); err != nil {
+			return err
+		}
+		if err := m.Sys.Materialize(f.Name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PurchaseHistoryView is the materialized join fragment's definition:
+//
+//	FPH(uid, category, pid, dur) :- Orders(oid, uid, pid, amount) ∧
+//	                                Visits(uid, pid, dur) ∧
+//	                                Products(pid, category, descr)
+func PurchaseHistoryView() rewrite.View {
+	return rewrite.NewView("FPH", pivot.NewCQ(
+		pivot.NewAtom("FPH", v("uid"), v("category"), v("pid"), v("dur")),
+		pivot.NewAtom("Orders", v("oid"), v("uid"), v("pid"), v("amount")),
+		pivot.NewAtom("Visits", v("uid"), v("pid"), v("dur")),
+		pivot.NewAtom("Products", v("pid"), v("category"), v("descr")),
+	))
+}
+
+// registerPurchaseHistory materializes the purchases⋈browsing⋈catalog join
+// into the parallel store, indexed by user ID and product category
+// (the scenario's Spark fragment).
+func (m *Marketplace) registerPurchaseHistory() error {
+	frag := &catalog.Fragment{
+		Name: "FPH", Dataset: "marketplace", View: PurchaseHistoryView(),
+		Store: "spark",
+		Layout: catalog.Layout{Kind: catalog.LayoutPar, Collection: "ph",
+			Columns:      []string{"uid", "category", "pid", "dur"},
+			PartitionCol: 0, IndexCols: []int{0, 1}},
+	}
+	if err := m.Sys.RegisterFragment(frag); err != nil {
+		return err
+	}
+	return m.Sys.Materialize("FPH", m.purchaseHistoryRows())
+}
+
+// purchaseHistoryRows computes the view extent directly from the generated
+// data (set semantics: distinct tuples).
+func (m *Marketplace) purchaseHistoryRows() []value.Tuple {
+	cat := map[string]string{}
+	for _, p := range m.Data.Products {
+		cat[string(p[0].(value.Str))] = string(p[1].(value.Str))
+	}
+	bought := map[[2]string]bool{}
+	for _, o := range m.Data.Orders {
+		bought[[2]string{string(o[1].(value.Str)), string(o[2].(value.Str))}] = true
+	}
+	seen := map[string]bool{}
+	var out []value.Tuple
+	for _, vi := range m.Data.Visits {
+		uid := string(vi[0].(value.Str))
+		pid := string(vi[1].(value.Str))
+		if !bought[[2]string{uid, pid}] {
+			continue
+		}
+		row := value.TupleOf(uid, cat[pid], pid, int64(vi[2].(value.Int)))
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// PrefsLookupQuery is the prepared "user preferences by key" query of the
+// E1 workload: Q(uid, key, val) :- Prefs(uid, key, val), parameter uid.
+func PrefsLookupQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QPrefs", v("uid"), v("key"), v("val")),
+		pivot.NewAtom("Prefs", v("uid"), v("key"), v("val")))
+}
+
+// CartLookupQuery is the prepared "shopping cart by user" query.
+func CartLookupQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QCart", v("uid"), v("pid"), v("qty")),
+		pivot.NewAtom("Carts", v("uid"), v("pid"), v("qty")))
+}
+
+// ProfileQuery joins users to their orders (stays relational in every
+// variant; the 20 % of the E1 workload that is not key lookups).
+func ProfileQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QProfile", v("uid"), v("name"), v("pid")),
+		pivot.NewAtom("Users", v("uid"), v("name"), v("city")),
+		pivot.NewAtom("Orders", v("oid"), v("uid"), v("pid"), v("amount")))
+}
+
+// PersonalizedSearchQuery is the scenario's bottleneck query: products of a
+// given category that the user both bought and browsed, with dwell time.
+// Parameters: uid (head 0), category (head 1).
+func PersonalizedSearchQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QSearch", v("uid"), v("category"), v("pid"), v("dur")),
+		pivot.NewAtom("Orders", v("oid"), v("uid"), v("pid"), v("amount")),
+		pivot.NewAtom("Visits", v("uid"), v("pid"), v("dur")),
+		pivot.NewAtom("Products", v("pid"), v("category"), v("descr")))
+}
+
+// Prepare pre-plans the scenario's four workload queries against this
+// deployment.
+func (m *Marketplace) Prepare() (*Workload, error) {
+	prefs, err := m.Sys.Prepare(PrefsLookupQuery(), "uid")
+	if err != nil {
+		return nil, fmt.Errorf("prefs lookup: %w", err)
+	}
+	carts, err := m.Sys.Prepare(CartLookupQuery(), "uid")
+	if err != nil {
+		return nil, fmt.Errorf("cart lookup: %w", err)
+	}
+	profile, err := m.Sys.Prepare(ProfileQuery(), "uid")
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	search, err := m.Sys.Prepare(PersonalizedSearchQuery(), "uid", "category")
+	if err != nil {
+		return nil, fmt.Errorf("personalized search: %w", err)
+	}
+	return &Workload{Prefs: prefs, Carts: carts, Profile: profile, Search: search}, nil
+}
+
+// Workload bundles the prepared scenario queries.
+type Workload struct {
+	Prefs   *core.Prepared
+	Carts   *core.Prepared
+	Profile *core.Prepared
+	Search  *core.Prepared
+}
+
+// RunMixed executes the E1 mixed workload over the given user keys:
+// 40 % preference lookups, 40 % cart lookups, 20 % profile queries. It
+// returns the total number of result rows (a checksum against dead-code
+// elimination in benchmarks).
+func (w *Workload) RunMixed(keys []string) (int, error) {
+	total := 0
+	for i, k := range keys {
+		var rows []value.Tuple
+		var err error
+		switch i % 5 {
+		case 0, 1:
+			rows, err = w.Prefs.Exec(value.Str(k))
+		case 2, 3:
+			rows, err = w.Carts.Exec(value.Str(k))
+		default:
+			rows, err = w.Profile.Exec(value.Str(k))
+		}
+		if err != nil {
+			return total, err
+		}
+		total += len(rows)
+	}
+	return total, nil
+}
+
+// RunSearch executes the E2 personalized-search workload.
+func (w *Workload) RunSearch(params [][2]string) (int, error) {
+	total := 0
+	for _, p := range params {
+		rows, err := w.Search.Exec(value.Str(p[0]), value.Str(p[1]))
+		if err != nil {
+			return total, err
+		}
+		total += len(rows)
+	}
+	return total, nil
+}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/value"
+)
+
+func smallCfg() datagen.MarketplaceConfig {
+	return datagen.MarketplaceConfig{
+		Seed: 11, Users: 60, Products: 24, OrdersPerUser: 3,
+		VisitsPerUser: 6, PrefsPerUser: 3, CartItemsPerUser: 2, ZipfS: 1.3,
+	}
+}
+
+func buildAll(t *testing.T) map[Variant]*Marketplace {
+	t.Helper()
+	out := map[Variant]*Marketplace{}
+	for _, variant := range []Variant{Baseline, KV, Materialized} {
+		m, err := New(smallCfg(), variant)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		out[variant] = m
+	}
+	return out
+}
+
+func TestAllVariantsAnswerTheWorkload(t *testing.T) {
+	for variant, m := range buildAll(t) {
+		w, err := m.Prepare()
+		if err != nil {
+			t.Fatalf("%v: prepare: %v", variant, err)
+		}
+		keys := m.Data.ZipfUserKeys(50, 3)
+		n, err := w.RunMixed(keys)
+		if err != nil {
+			t.Fatalf("%v: mixed: %v", variant, err)
+		}
+		if n == 0 {
+			t.Errorf("%v: mixed workload returned no rows", variant)
+		}
+		params := m.Data.PersonalizedSearchParams(20, 4)
+		if _, err := w.RunSearch(params); err != nil {
+			t.Fatalf("%v: search: %v", variant, err)
+		}
+	}
+}
+
+// The heart of the reproduction: every variant must return the SAME answers
+// for the same logical queries — soundness and completeness of the store.
+func TestVariantsAgreeOnAnswers(t *testing.T) {
+	ms := buildAll(t)
+	workloads := map[Variant]*Workload{}
+	for variant, m := range ms {
+		w, err := m.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads[variant] = w
+	}
+	keys := ms[Baseline].Data.ZipfUserKeys(40, 5)
+	for _, k := range keys {
+		base := execSet(t, workloads[Baseline].Prefs, value.Str(k))
+		for _, variant := range []Variant{KV, Materialized} {
+			got := execSet(t, workloads[variant].Prefs, value.Str(k))
+			assertSameSet(t, base, got, "prefs", k, variant)
+		}
+		baseCarts := execSet(t, workloads[Baseline].Carts, value.Str(k))
+		for _, variant := range []Variant{KV, Materialized} {
+			got := execSet(t, workloads[variant].Carts, value.Str(k))
+			assertSameSet(t, baseCarts, got, "carts", k, variant)
+		}
+	}
+	params := ms[Baseline].Data.PersonalizedSearchParams(25, 6)
+	for _, p := range params {
+		base := execSet(t, workloads[Baseline].Search, value.Str(p[0]), value.Str(p[1]))
+		got := execSet(t, workloads[Materialized].Search, value.Str(p[0]), value.Str(p[1]))
+		assertSameSet(t, base, got, "search", p[0]+"/"+p[1], Materialized)
+	}
+}
+
+func execSet(t *testing.T, p *core.Prepared, args ...value.Value) map[string]bool {
+	t.Helper()
+	rows, err := p.Exec(args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, r := range rows {
+		out[r.Key()] = true
+	}
+	return out
+}
+
+func assertSameSet(t *testing.T, want, got map[string]bool, what, key string, variant Variant) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s(%s) under %v: %d rows, baseline has %d", what, key, variant, len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("%s(%s) under %v: missing row %s", what, key, variant, k)
+		}
+	}
+}
+
+func TestMaterializedVariantUsesFPH(t *testing.T) {
+	m, err := New(smallCfg(), Materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Search.Rewriting().Body[0].Pred; got != "FPH" || len(w.Search.Rewriting().Body) != 1 {
+		t.Errorf("search rewriting = %v, want single FPH atom", w.Search.Rewriting())
+	}
+}
+
+func TestKVVariantUsesRedis(t *testing.T) {
+	m, err := New(smallCfg(), KV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prefs.Rewriting().Body[0].Pred; got != "FPrefs" {
+		t.Errorf("prefs rewriting = %v", w.Prefs.Rewriting())
+	}
+	redis, ok := m.Sys.Stores.Engine("redis")
+	if !ok {
+		t.Fatal("no redis engine")
+	}
+	before := redis.Counters().Snapshot()
+	if _, err := w.Prefs.Exec(value.Str(datagen.UID(0))); err != nil {
+		t.Fatal(err)
+	}
+	if redis.Counters().Snapshot().Lookups == before.Lookups {
+		t.Error("redis saw no lookups in the KV variant")
+	}
+}
+
+// Soak: a larger deployment exercises every store and the full query path
+// at a scale closer to the benchmarks (kept under ~10 s).
+func TestSoakLargerDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := datagen.MarketplaceConfig{
+		Seed: 77, Users: 5000, Products: 800, OrdersPerUser: 4,
+		VisitsPerUser: 8, PrefsPerUser: 3, CartItemsPerUser: 2, ZipfS: 1.3,
+	}
+	m, err := New(cfg, Materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Data.ZipfUserKeys(1500, 7)
+	n, err := w.RunMixed(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("mixed workload returned nothing")
+	}
+	params := m.Data.PersonalizedSearchParams(150, 8)
+	if _, err := w.RunSearch(params); err != nil {
+		t.Fatal(err)
+	}
+	// Every store did real work.
+	for _, name := range []string{"pg", "redis", "spark"} {
+		e, ok := m.Sys.Stores.Engine(name)
+		if !ok {
+			t.Fatalf("no engine %s", name)
+		}
+		if e.Counters().Snapshot().Requests == 0 {
+			t.Errorf("store %s saw no requests", name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+func TestCollect(t *testing.T) {
+	rows := []value.Tuple{
+		value.TupleOf("u1", "paris"),
+		value.TupleOf("u2", "paris"),
+		value.TupleOf("u3", "lyon"),
+	}
+	st := Collect(rows)
+	if st.Rows != 3 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	if st.DistinctAt(0) != 3 || st.DistinctAt(1) != 2 {
+		t.Errorf("distinct = %v", st.Distinct)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	st := Collect(nil)
+	if st.Rows != 0 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	if st.DistinctAt(0) != 1 {
+		t.Errorf("empty DistinctAt = %d, want 1", st.DistinctAt(0))
+	}
+}
+
+func TestDistinctAtFallbacks(t *testing.T) {
+	st := FragmentStats{Rows: 100}
+	if st.DistinctAt(5) != 100 {
+		t.Errorf("missing column distinct = %d, want Rows", st.DistinctAt(5))
+	}
+}
+
+func qAtom(pred string, args ...pivot.Term) pivot.Atom { return pivot.NewAtom(pred, args...) }
+
+func TestEstimateSelection(t *testing.T) {
+	p := MapProvider{"F": {Rows: 1000, Distinct: []int64{100, 10}}}
+	// Constant on column 0: 1000/100 = 10.
+	q := pivot.NewCQ(qAtom("Q", pivot.Var("y")),
+		qAtom("F", pivot.CStr("k"), pivot.Var("y")))
+	if got := EstimateCQ(q, p, 0); got != 10 {
+		t.Errorf("estimate = %v, want 10", got)
+	}
+}
+
+func TestEstimateJoin(t *testing.T) {
+	p := MapProvider{
+		"L": {Rows: 1000, Distinct: []int64{1000, 50}},
+		"R": {Rows: 200, Distinct: []int64{100, 200}},
+	}
+	// L(x,j) ⋈ R(j,y): 1000*200/max(50,100) = 2000.
+	q := pivot.NewCQ(qAtom("Q", pivot.Var("x"), pivot.Var("y")),
+		qAtom("L", pivot.Var("x"), pivot.Var("j")),
+		qAtom("R", pivot.Var("j"), pivot.Var("y")))
+	if got := EstimateCQ(q, p, 0); got != 2000 {
+		t.Errorf("join estimate = %v, want 2000", got)
+	}
+}
+
+func TestEstimateRepeatedVarInAtom(t *testing.T) {
+	p := MapProvider{"F": {Rows: 100, Distinct: []int64{10, 10}}}
+	q := pivot.NewCQ(qAtom("Q", pivot.Var("x")),
+		qAtom("F", pivot.Var("x"), pivot.Var("x")))
+	if got := EstimateCQ(q, p, 0); got != 10 {
+		t.Errorf("F(x,x) estimate = %v, want 10", got)
+	}
+}
+
+func TestEstimateUnknownFragmentDefault(t *testing.T) {
+	q := pivot.NewCQ(qAtom("Q", pivot.Var("x")), qAtom("Ghost", pivot.Var("x")))
+	if got := EstimateCQ(q, MapProvider{}, 500); got != 500 {
+		t.Errorf("default estimate = %v", got)
+	}
+}
+
+func TestEstimateNeverNegative(t *testing.T) {
+	p := MapProvider{"F": {Rows: 1, Distinct: []int64{1000000}}}
+	q := pivot.NewCQ(qAtom("Q", pivot.Var("x")),
+		qAtom("F", pivot.CStr("a"), pivot.Var("x")))
+	if got := EstimateCQ(q, p, 0); got < 0 {
+		t.Errorf("estimate = %v", got)
+	}
+}
+
+func TestCostFactorsPerKind(t *testing.T) {
+	kv := DefaultCostFactors("keyvalue")
+	doc := DefaultCostFactors("document")
+	rel := DefaultCostFactors("relational")
+	par := DefaultCostFactors("parallel")
+	// A key get from KV must be cheaper than the same from a doc store.
+	kvCost := AccessCost(AccessKey, kv, 10000, 3)
+	docCost := AccessCost(AccessIndex, doc, 10000, 3)
+	if kvCost >= docCost {
+		t.Errorf("kv get (%v) must beat doc lookup (%v)", kvCost, docCost)
+	}
+	// A parallel scan must beat a relational scan on the same cardinality.
+	parScan := AccessCost(AccessScan, par, 100000, 100)
+	relScan := AccessCost(AccessScan, rel, 100000, 100)
+	if parScan >= relScan {
+		t.Errorf("parallel scan (%v) must beat relational scan (%v)", parScan, relScan)
+	}
+	// Scanning a KV store must be catastrophically expensive.
+	kvScan := AccessCost(AccessScan, kv, 100000, 100)
+	if kvScan <= relScan {
+		t.Errorf("kv scan (%v) must be punished vs relational scan (%v)", kvScan, relScan)
+	}
+	// An index lookup must beat a scan for selective access.
+	if AccessCost(AccessIndex, rel, 100000, 5) >= AccessCost(AccessScan, rel, 100000, 5) {
+		t.Error("index lookup must beat scan")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if AccessScan.String() != "scan" || AccessIndex.String() != "index" || AccessKey.String() != "key" {
+		t.Error("AccessKind strings")
+	}
+}

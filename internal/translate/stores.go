@@ -1,0 +1,180 @@
+// Package translate turns a conjunctive rewriting over fragment predicates
+// into an executable physical plan (paper §III, "Making rewritings
+// executable"): it groups atoms per store, delegates the largest subquery
+// each store supports natively (relational and parallel stores take whole
+// joins; key-value, document and full-text stores take single accesses),
+// orders accesses so that binding-pattern restrictions are satisfied,
+// inserts BindJoin operators for dependent accesses, and picks the cheapest
+// plan among alternative rewritings using the statistics-based cost model.
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/docstore"
+	"repro/internal/engines/engine"
+	"repro/internal/engines/kvstore"
+	"repro/internal/engines/parstore"
+	"repro/internal/engines/relstore"
+	"repro/internal/engines/textstore"
+	"repro/internal/value"
+)
+
+// Stores registers the engine instances by name, typed per kind so the
+// planner can issue native requests.
+type Stores struct {
+	Rel  map[string]*relstore.Store
+	KV   map[string]*kvstore.Store
+	Doc  map[string]*docstore.Store
+	Text map[string]*textstore.Store
+	Par  map[string]*parstore.Store
+}
+
+// NewStores returns an empty registry.
+func NewStores() *Stores {
+	return &Stores{
+		Rel:  map[string]*relstore.Store{},
+		KV:   map[string]*kvstore.Store{},
+		Doc:  map[string]*docstore.Store{},
+		Text: map[string]*textstore.Store{},
+		Par:  map[string]*parstore.Store{},
+	}
+}
+
+// AddRel registers a relational store.
+func (s *Stores) AddRel(st *relstore.Store) { s.Rel[st.Name()] = st }
+
+// AddKV registers a key-value store.
+func (s *Stores) AddKV(st *kvstore.Store) { s.KV[st.Name()] = st }
+
+// AddDoc registers a document store.
+func (s *Stores) AddDoc(st *docstore.Store) { s.Doc[st.Name()] = st }
+
+// AddText registers a full-text store.
+func (s *Stores) AddText(st *textstore.Store) { s.Text[st.Name()] = st }
+
+// AddPar registers a parallel store.
+func (s *Stores) AddPar(st *parstore.Store) { s.Par[st.Name()] = st }
+
+// Engine returns the generic engine interface for a store name.
+func (s *Stores) Engine(name string) (engine.Engine, bool) {
+	if st, ok := s.Rel[name]; ok {
+		return st, true
+	}
+	if st, ok := s.KV[name]; ok {
+		return st, true
+	}
+	if st, ok := s.Doc[name]; ok {
+		return st, true
+	}
+	if st, ok := s.Text[name]; ok {
+		return st, true
+	}
+	if st, ok := s.Par[name]; ok {
+		return st, true
+	}
+	return nil, false
+}
+
+// All returns every registered engine.
+func (s *Stores) All() []engine.Engine {
+	var out []engine.Engine
+	for _, st := range s.Rel {
+		out = append(out, st)
+	}
+	for _, st := range s.KV {
+		out = append(out, st)
+	}
+	for _, st := range s.Doc {
+		out = append(out, st)
+	}
+	for _, st := range s.Text {
+		out = append(out, st)
+	}
+	for _, st := range s.Par {
+		out = append(out, st)
+	}
+	return out
+}
+
+// KVKey renders a value as a key-value store key. The loader and the
+// planner must agree on this encoding.
+func KVKey(v value.Value) string { return v.Key() }
+
+// access issues a single-fragment access with equality filters on view
+// columns. This is the uniform entry point BindJoin fetches and leaf
+// sources go through.
+func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter) (engine.Iterator, error) {
+	switch frag.Layout.Kind {
+	case catalog.LayoutRel:
+		st, ok := s.Rel[frag.Store]
+		if !ok {
+			return nil, fmt.Errorf("translate: no relational store %q", frag.Store)
+		}
+		return st.Select(frag.Layout.Collection, filters, nil)
+
+	case catalog.LayoutPar:
+		st, ok := s.Par[frag.Store]
+		if !ok {
+			return nil, fmt.Errorf("translate: no parallel store %q", frag.Store)
+		}
+		return st.Select(frag.Layout.Collection, filters, nil)
+
+	case catalog.LayoutKV:
+		st, ok := s.KV[frag.Store]
+		if !ok {
+			return nil, fmt.Errorf("translate: no key-value store %q", frag.Store)
+		}
+		var key value.Value
+		rest := make([]engine.EqFilter, 0, len(filters))
+		for _, f := range filters {
+			if f.Col == frag.Layout.KeyCol {
+				key = f.Val
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		if key == nil {
+			return nil, fmt.Errorf("translate: key-value fragment %q accessed without its key (column %d)",
+				frag.Name, frag.Layout.KeyCol)
+		}
+		rows, err := st.Get(frag.Layout.Collection, KVKey(key))
+		if err != nil {
+			return nil, err
+		}
+		return &engine.FilterIterator{In: engine.NewSliceIterator(rows), Filters: rest}, nil
+
+	case catalog.LayoutDoc:
+		st, ok := s.Doc[frag.Store]
+		if !ok {
+			return nil, fmt.Errorf("translate: no document store %q", frag.Store)
+		}
+		pf := make([]docstore.PathFilter, 0, len(filters))
+		for _, f := range filters {
+			if f.Col < 0 || f.Col >= len(frag.Layout.DocPaths) {
+				return nil, fmt.Errorf("translate: filter column %d outside doc layout of %q", f.Col, frag.Name)
+			}
+			pf = append(pf, docstore.PathFilter{Path: frag.Layout.DocPaths[f.Col], Val: f.Val})
+		}
+		return st.FindTuples(frag.Layout.Collection, pf, frag.Layout.DocPaths)
+
+	case catalog.LayoutText:
+		st, ok := s.Text[frag.Store]
+		if !ok {
+			return nil, fmt.Errorf("translate: no full-text store %q", frag.Store)
+		}
+		q := textstore.Query{Project: frag.Layout.Columns}
+		for _, f := range filters {
+			if f.Col < 0 || f.Col >= len(frag.Layout.Columns) {
+				return nil, fmt.Errorf("translate: filter column %d outside text layout of %q", f.Col, frag.Name)
+			}
+			q.Fields = append(q.Fields, textstore.FieldFilter{
+				Field: frag.Layout.Columns[f.Col], Val: f.Val})
+		}
+		return st.Search(frag.Layout.Collection, q)
+
+	default:
+		return nil, fmt.Errorf("translate: unsupported layout %v", frag.Layout.Kind)
+	}
+}

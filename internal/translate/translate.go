@@ -1,0 +1,537 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// Planner translates rewritings into executable plans and costs them.
+type Planner struct {
+	Catalog *catalog.Catalog
+	Stores  *Stores
+	// DisableDelegation turns off multi-atom subquery push-down: every
+	// fragment is accessed individually and all joins run in the mediator.
+	// Used by the delegation ablation benchmark; production keeps it off.
+	DisableDelegation bool
+}
+
+// Plan is an executable physical plan for one rewriting.
+type Plan struct {
+	// Root is the operator tree.
+	Root exec.Node
+	// Rewriting is the view-level conjunctive query the plan evaluates.
+	Rewriting pivot.CQ
+	// Cost is the estimated total cost (unitless work units).
+	Cost float64
+	// EstRows is the estimated output cardinality.
+	EstRows float64
+	// Order is the feasible atom evaluation order used.
+	Order []int
+	// Delegations counts multi-atom subqueries pushed to one store.
+	Delegations int
+}
+
+// Explain renders the plan.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rewriting: %s\n", p.Rewriting)
+	fmt.Fprintf(&sb, "est. cost: %.2f, est. rows: %.1f\n", p.Cost, p.EstRows)
+	sb.WriteString(exec.Explain(p.Root))
+	return sb.String()
+}
+
+// Build translates one rewriting into a plan.
+func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
+	frags := make([]*catalog.Fragment, len(r.Body))
+	for i, a := range r.Body {
+		f, ok := p.Catalog.Get(a.Pred)
+		if !ok {
+			return nil, fmt.Errorf("translate: rewriting references unknown fragment %q", a.Pred)
+		}
+		if a.Arity() != f.View.Def.Head.Arity() {
+			return nil, fmt.Errorf("translate: atom %v arity mismatch with fragment %q", a, f.Name)
+		}
+		frags[i] = f
+	}
+	order, ok := rewrite.Feasible(r.Body, p.Catalog.AccessPatterns())
+	if !ok {
+		return nil, fmt.Errorf("translate: rewriting %v is infeasible under access patterns", r)
+	}
+
+	groups := p.groupForDelegation(r, frags, order)
+	var root exec.Node
+	delegations := 0
+	for _, g := range groups {
+		var node exec.Node
+		var err error
+		if len(g) > 1 {
+			node, err = p.buildDelegatedGroup(r, frags, g)
+			delegations++
+		} else {
+			ai := g[0]
+			if root != nil && p.needsBindJoin(r.Body[ai], frags[ai], root.Schema()) {
+				root, err = p.buildBindJoin(root, r.Body[ai], frags[ai])
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			node, err = p.buildAtomLeaf(r.Body[ai], frags[ai])
+		}
+		if err != nil {
+			return nil, err
+		}
+		if root == nil {
+			root = node
+		} else {
+			root, err = exec.NewHashJoin(root, node)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("translate: empty rewriting")
+	}
+
+	final, err := p.buildHead(root, r.Head)
+	if err != nil {
+		return nil, err
+	}
+	cost, rows := p.estimate(r, frags, order, delegations)
+	return &Plan{
+		Root:        &exec.Distinct{In: final},
+		Rewriting:   r,
+		Cost:        cost,
+		EstRows:     rows,
+		Order:       order,
+		Delegations: delegations,
+	}, nil
+}
+
+// ChooseBest builds plans for all rewritings and returns the cheapest.
+func (p *Planner) ChooseBest(rewritings []pivot.CQ) (*Plan, []*Plan, error) {
+	var plans []*Plan
+	var firstErr error
+	for _, r := range rewritings {
+		pl, err := p.Build(r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		plans = append(plans, pl)
+	}
+	if len(plans) == 0 {
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		return nil, nil, fmt.Errorf("translate: no executable plan")
+	}
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].Cost < plans[j].Cost })
+	return plans[0], plans, nil
+}
+
+// groupForDelegation merges maximal runs of consecutive (in feasible order)
+// atoms living in the same CapJoin-capable store into delegation groups.
+func (p *Planner) groupForDelegation(r pivot.CQ, frags []*catalog.Fragment, order []int) [][]int {
+	var groups [][]int
+	if p.DisableDelegation {
+		for _, ai := range order {
+			groups = append(groups, []int{ai})
+		}
+		return groups
+	}
+	for _, ai := range order {
+		f := frags[ai]
+		eng, ok := p.Stores.Engine(f.Store)
+		joinable := ok && eng.Capabilities().Has(engine.CapJoin) && f.Access == ""
+		if joinable && len(groups) > 0 {
+			last := groups[len(groups)-1]
+			lastFrag := frags[last[0]]
+			lastEng, lok := p.Stores.Engine(lastFrag.Store)
+			if lok && lastFrag.Store == f.Store && lastEng.Capabilities().Has(engine.CapJoin) && lastFrag.Access == "" && len(last) >= 1 {
+				groups[len(groups)-1] = append(last, ai)
+				continue
+			}
+		}
+		groups = append(groups, []int{ai})
+	}
+	return groups
+}
+
+// buildAtomLeaf creates a Source for one atom: constants become pushed
+// filters, repeated variables residual column equalities, and the output
+// schema names the first occurrence of each variable.
+func (p *Planner) buildAtomLeaf(a pivot.Atom, f *catalog.Fragment) (exec.Node, error) {
+	rawSchema, filters, eqCols, keep, err := atomAccessSpec(a)
+	if err != nil {
+		return nil, err
+	}
+	frag := f
+	src := &exec.Source{
+		Name: fmt.Sprintf("%s.access(%s)", f.Store, f.Name),
+		Out:  rawSchema,
+		OpenFn: func() (engine.Iterator, error) {
+			return p.Stores.access(frag, filters)
+		},
+	}
+	var node exec.Node = src
+	if len(eqCols) > 0 {
+		node = &exec.Select{In: node, EqCols: eqCols}
+	}
+	if len(keep) != len(rawSchema) {
+		names := make([]string, len(keep))
+		for i, pos := range keep {
+			names[i] = rawSchema[pos]
+		}
+		proj, err := exec.NewProject(node, names)
+		if err != nil {
+			return nil, err
+		}
+		node = proj
+	}
+	return node, nil
+}
+
+// atomAccessSpec analyses an atom: raw per-position column names (repeated
+// variables get synthetic names), pushed filters for constants, residual
+// column equalities for repeated variables, and the positions to keep.
+func atomAccessSpec(a pivot.Atom) (exec.Schema, []engine.EqFilter, [][2]int, []int, error) {
+	raw := make(exec.Schema, len(a.Args))
+	var filters []engine.EqFilter
+	var eqCols [][2]int
+	var keep []int
+	firstPos := map[pivot.Var]int{}
+	for pos, t := range a.Args {
+		switch tt := t.(type) {
+		case pivot.Const:
+			raw[pos] = fmt.Sprintf("_c%d", pos)
+			filters = append(filters, engine.EqFilter{Col: pos, Val: constToValue(tt)})
+		case pivot.Var:
+			if fp, seen := firstPos[tt]; seen {
+				raw[pos] = fmt.Sprintf("_dup%d", pos)
+				eqCols = append(eqCols, [2]int{fp, pos})
+			} else {
+				firstPos[tt] = pos
+				raw[pos] = string(tt)
+				keep = append(keep, pos)
+			}
+		default:
+			return nil, nil, nil, nil, fmt.Errorf("translate: atom %v contains a labeled null", a)
+		}
+	}
+	return raw, filters, eqCols, keep, nil
+}
+
+// needsBindJoin reports whether the atom's fragment has 'b' positions
+// holding variables (which must then be supplied per left tuple).
+func (p *Planner) needsBindJoin(a pivot.Atom, f *catalog.Fragment, left exec.Schema) bool {
+	for _, pos := range f.Access.BoundPositions() {
+		if pos < len(a.Args) {
+			if v, ok := a.Args[pos].(pivot.Var); ok && left.Pos(string(v)) >= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildBindJoin wires a dependent access: bound positions with variables
+// are fed from the left plan; constants are pushed as filters.
+func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragment) (exec.Node, error) {
+	rawSchema, constFilters, eqCols, keep, err := atomAccessSpec(a)
+	if err != nil {
+		return nil, err
+	}
+	var bindVars []string
+	var bindPos []int
+	for _, pos := range f.Access.BoundPositions() {
+		if pos >= len(a.Args) {
+			return nil, fmt.Errorf("translate: pattern position %d outside atom %v", pos, a)
+		}
+		if v, ok := a.Args[pos].(pivot.Var); ok {
+			if left.Schema().Pos(string(v)) < 0 {
+				return nil, fmt.Errorf("translate: bind variable %s of %v not produced upstream", v, a)
+			}
+			bindVars = append(bindVars, string(v))
+			bindPos = append(bindPos, pos)
+		}
+	}
+	keepNames := make(exec.Schema, len(keep))
+	for i, pos := range keep {
+		keepNames[i] = rawSchema[pos]
+	}
+	frag := f
+	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+		filters := append([]engine.EqFilter(nil), constFilters...)
+		for i, pos := range bindPos {
+			filters = append(filters, engine.EqFilter{Col: pos, Val: bind[i]})
+		}
+		it, err := p.Stores.access(frag, filters)
+		if err != nil {
+			return nil, err
+		}
+		// Residual repeated-variable checks, then keep first occurrences.
+		var wrapped engine.Iterator = it
+		if len(eqCols) > 0 {
+			wrapped = &eqColsIter{in: wrapped, eqCols: eqCols}
+		}
+		return &engine.ProjectIterator{In: wrapped, Cols: keep}, nil
+	}
+	return exec.NewBindJoin(left, bindVars, keepNames, fetch)
+}
+
+// eqColsIter drops tuples violating column equalities.
+type eqColsIter struct {
+	in     engine.Iterator
+	eqCols [][2]int
+}
+
+func (it *eqColsIter) Next() (value.Tuple, bool) {
+	for {
+		t, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		good := true
+		for _, p := range it.eqCols {
+			if p[0] >= len(t) || p[1] >= len(t) || !value.Equal(t[p[0]], t[p[1]]) {
+				good = false
+				break
+			}
+		}
+		if good {
+			return t, true
+		}
+	}
+}
+func (it *eqColsIter) Err() error { return it.in.Err() }
+func (it *eqColsIter) Close()     { it.in.Close() }
+
+// buildDelegatedGroup pushes several same-store atoms as one native
+// subquery (the "largest subquery that can be delegated", paper §III).
+func (p *Planner) buildDelegatedGroup(r pivot.CQ, frags []*catalog.Fragment, group []int) (exec.Node, error) {
+	storeName := frags[group[0]].Store
+	dq := engine.DQuery{}
+	var outVars []string
+	seen := map[string]bool{}
+	for _, ai := range group {
+		a := r.Body[ai]
+		f := frags[ai]
+		da := engine.DAtom{Collection: f.Layout.Collection}
+		for _, t := range a.Args {
+			switch tt := t.(type) {
+			case pivot.Const:
+				da.Terms = append(da.Terms, engine.DConst(constToValue(tt)))
+			case pivot.Var:
+				name := string(tt)
+				da.Terms = append(da.Terms, engine.DVar(name))
+				if !seen[name] {
+					seen[name] = true
+					outVars = append(outVars, name)
+				}
+			default:
+				return nil, fmt.Errorf("translate: atom %v contains a labeled null", a)
+			}
+		}
+		dq.Atoms = append(dq.Atoms, da)
+	}
+	dq.Out = outVars
+
+	var open func() (engine.Iterator, error)
+	if st, ok := p.Stores.Rel[storeName]; ok {
+		open = func() (engine.Iterator, error) { return st.Query(dq) }
+	} else if st, ok := p.Stores.Par[storeName]; ok {
+		open = func() (engine.Iterator, error) { return st.Query(dq) }
+	} else {
+		return nil, fmt.Errorf("translate: store %q cannot take delegated joins", storeName)
+	}
+	return &exec.Source{
+		Name:   fmt.Sprintf("%s.delegate(%d atoms)", storeName, len(group)),
+		Out:    exec.Schema(outVars),
+		OpenFn: open,
+	}, nil
+}
+
+// buildHead projects the head variables and appends constant head columns.
+func (p *Planner) buildHead(root exec.Node, head pivot.Atom) (exec.Node, error) {
+	var varCols []string
+	constCols := map[int]value.Value{}
+	for i, t := range head.Args {
+		switch tt := t.(type) {
+		case pivot.Var:
+			varCols = append(varCols, string(tt))
+		case pivot.Const:
+			constCols[i] = constToValue(tt)
+		default:
+			return nil, fmt.Errorf("translate: head %v contains a labeled null", head)
+		}
+	}
+	node, err := exec.NewProject(root, varCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(constCols) == 0 {
+		return node, nil
+	}
+	// Rebuild full-width rows by crossing with a single constant row, then
+	// projecting into head order. Simpler: wrap with an extender.
+	return &constExtender{in: node, head: head, consts: constCols}, nil
+}
+
+// constExtender interleaves constant head columns among variable columns.
+type constExtender struct {
+	in     exec.Node
+	head   pivot.Atom
+	consts map[int]value.Value
+}
+
+func (c *constExtender) Schema() exec.Schema {
+	out := make(exec.Schema, len(c.head.Args))
+	vi := 0
+	for i, t := range c.head.Args {
+		if _, isConst := c.consts[i]; isConst {
+			out[i] = fmt.Sprintf("_hc%d", i)
+		} else {
+			out[i] = string(t.(pivot.Var))
+			vi++
+		}
+	}
+	return out
+}
+func (c *constExtender) Label() string         { return fmt.Sprintf("ExtendConsts[%d]", len(c.consts)) }
+func (c *constExtender) Children() []exec.Node { return []exec.Node{c.in} }
+func (c *constExtender) Open() (engine.Iterator, error) {
+	in, err := c.in.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &extendIter{in: in, c: c}, nil
+}
+
+type extendIter struct {
+	in engine.Iterator
+	c  *constExtender
+}
+
+func (it *extendIter) Next() (value.Tuple, bool) {
+	t, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(value.Tuple, len(it.c.head.Args))
+	vi := 0
+	for i := range it.c.head.Args {
+		if cv, isConst := it.c.consts[i]; isConst {
+			out[i] = cv
+		} else {
+			out[i] = t[vi]
+			vi++
+		}
+	}
+	return out, true
+}
+func (it *extendIter) Err() error { return it.in.Err() }
+func (it *extendIter) Close()     { it.in.Close() }
+
+func constToValue(c pivot.Const) value.Value { return value.Of(c.V) }
+
+// estimate walks the atoms in evaluation order, accumulating access costs
+// and join cardinalities from the fragment statistics.
+func (p *Planner) estimate(r pivot.CQ, frags []*catalog.Fragment, order []int, delegations int) (cost, card float64) {
+	card = 1
+	bound := map[pivot.Var]bool{}
+	for _, ai := range order {
+		a := r.Body[ai]
+		f := frags[ai]
+		eng, _ := p.Stores.Engine(f.Store)
+		kind := "relational"
+		if eng != nil {
+			kind = eng.Kind()
+		}
+		factors := stats.DefaultCostFactors(kind)
+		st := f.Stats
+		rows := float64(st.Rows)
+		if rows < 1 {
+			rows = 1
+		}
+
+		outRows := rows
+		accessKind := stats.AccessScan
+		dependent := false
+		for pos, t := range a.Args {
+			switch tt := t.(type) {
+			case pivot.Const:
+				outRows /= float64(st.DistinctAt(pos))
+				if f.Layout.Kind == catalog.LayoutKV && pos == f.Layout.KeyCol {
+					accessKind = stats.AccessKey
+				} else if hasIndexCol(f, pos) {
+					accessKind = stats.AccessIndex
+				}
+			case pivot.Var:
+				if bound[tt] {
+					outRows /= float64(st.DistinctAt(pos))
+					if f.Layout.Kind == catalog.LayoutKV && pos == f.Layout.KeyCol {
+						accessKind = stats.AccessKey
+						dependent = true
+					} else if hasIndexCol(f, pos) {
+						accessKind = stats.AccessIndex
+						dependent = true
+					} else if f.Access != "" {
+						dependent = true
+					}
+				}
+			}
+		}
+		if outRows < 0.01 {
+			outRows = 0.01
+		}
+		if dependent {
+			// One access per current intermediate tuple.
+			n := card
+			if n < 1 {
+				n = 1
+			}
+			cost += n * stats.AccessCost(accessKind, factors, rows, outRows)
+			card *= outRows
+		} else {
+			cost += stats.AccessCost(accessKind, factors, rows, outRows)
+			newCard := card * outRows
+			// Hash-join selectivity on shared bound vars beyond those
+			// already accounted as index filters: approximate with the
+			// per-variable distinct divide only when not dependent.
+			card = newCard
+		}
+		for _, v := range a.Vars() {
+			bound[v] = true
+		}
+		// Mediator processing per materialized tuple.
+		cost += 0.05 * card
+	}
+	// Delegated groups save round-trips; reward one overhead unit each.
+	cost -= float64(delegations) * 2
+	if cost < 0 {
+		cost = 0
+	}
+	return cost, card
+}
+
+func hasIndexCol(f *catalog.Fragment, pos int) bool {
+	for _, c := range f.Layout.IndexCols {
+		if c == pos {
+			return true
+		}
+	}
+	return false
+}

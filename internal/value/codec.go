@@ -1,0 +1,223 @@
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for values. The key-value substrate stores opaque byte
+// payloads (as Redis or Voldemort would); tuples are encoded with this codec
+// on write and decoded on read, so KV reads pay a realistic decode cost
+// while remaining far cheaper than document traversal.
+//
+// Wire format: one kind byte, then kind-specific payload. Varints use
+// encoding/binary's unsigned LEB128. Strings are length-prefixed. Tuples and
+// lists are count-prefixed sequences. Documents are encoded structurally.
+
+var errCodec = errors.New("value: malformed encoding")
+
+// Encode appends the encoding of v to dst and returns the extended slice.
+func Encode(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case Null:
+		return append(dst, byte(KindNull))
+	case Bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(append(dst, byte(KindBool)), b)
+	case Int:
+		dst = append(dst, byte(KindInt))
+		return binary.AppendVarint(dst, int64(x))
+	case Float:
+		dst = append(dst, byte(KindFloat))
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(x)))
+	case Str:
+		dst = append(dst, byte(KindString))
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case Tuple:
+		dst = append(dst, byte(KindTuple))
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, e := range x {
+			dst = Encode(dst, e)
+		}
+		return dst
+	case List:
+		dst = append(dst, byte(KindList))
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, e := range x {
+			dst = Encode(dst, e)
+		}
+		return dst
+	case *Doc:
+		dst = append(dst, byte(KindDoc))
+		return encodeDoc(dst, x)
+	default:
+		panic(fmt.Sprintf("value: cannot encode %T", v))
+	}
+}
+
+func encodeDoc(dst []byte, d *Doc) []byte {
+	dst = append(dst, byte(d.DKind))
+	switch d.DKind {
+	case DocScalar:
+		return Encode(dst, d.Scalar)
+	case DocObject:
+		dst = binary.AppendUvarint(dst, uint64(len(d.Fields)))
+		for _, f := range d.Fields {
+			dst = binary.AppendUvarint(dst, uint64(len(f.Name)))
+			dst = append(dst, f.Name...)
+			dst = encodeDoc(dst, f.Val)
+		}
+		return dst
+	case DocArray:
+		dst = binary.AppendUvarint(dst, uint64(len(d.Elems)))
+		for _, e := range d.Elems {
+			dst = encodeDoc(dst, e)
+		}
+		return dst
+	default:
+		panic("value: invalid doc kind")
+	}
+}
+
+// Decode decodes one value from the front of b, returning the value and the
+// remaining bytes.
+func Decode(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, errCodec
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindNull:
+		return Null{}, b, nil
+	case KindBool:
+		if len(b) == 0 {
+			return nil, nil, errCodec
+		}
+		return Bool(b[0] == 1), b[1:], nil
+	case KindInt:
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, errCodec
+		}
+		return Int(x), b[n:], nil
+	case KindFloat:
+		if len(b) < 8 {
+			return nil, nil, errCodec
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case KindString:
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < n {
+			return nil, nil, errCodec
+		}
+		return Str(b[w : w+int(n)]), b[w+int(n):], nil
+	case KindTuple, KindList:
+		n, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, nil, errCodec
+		}
+		b = b[w:]
+		elems := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e Value
+			var err error
+			e, b, err = Decode(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			elems = append(elems, e)
+		}
+		if kind == KindTuple {
+			return Tuple(elems), b, nil
+		}
+		return List(elems), b, nil
+	case KindDoc:
+		return decodeDoc(b)
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown kind %d", errCodec, kind)
+	}
+}
+
+func decodeDoc(b []byte) (*Doc, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, errCodec
+	}
+	dk := DocKind(b[0])
+	b = b[1:]
+	switch dk {
+	case DocScalar:
+		v, rest, err := Decode(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return DScalar(v), rest, nil
+	case DocObject:
+		n, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, nil, errCodec
+		}
+		b = b[w:]
+		d := &Doc{DKind: DocObject}
+		for i := uint64(0); i < n; i++ {
+			ln, lw := binary.Uvarint(b)
+			if lw <= 0 || uint64(len(b)-lw) < ln {
+				return nil, nil, errCodec
+			}
+			name := string(b[lw : lw+int(ln)])
+			b = b[lw+int(ln):]
+			var sub *Doc
+			var err error
+			sub, b, err = decodeDoc(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			d.Fields = append(d.Fields, Field{Name: name, Val: sub})
+		}
+		return d, b, nil
+	case DocArray:
+		n, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, nil, errCodec
+		}
+		b = b[w:]
+		d := &Doc{DKind: DocArray}
+		for i := uint64(0); i < n; i++ {
+			var sub *Doc
+			var err error
+			sub, b, err = decodeDoc(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			d.Elems = append(d.Elems, sub)
+		}
+		return d, b, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown doc kind %d", errCodec, dk)
+	}
+}
+
+// EncodeTuple encodes a tuple to a fresh byte slice.
+func EncodeTuple(t Tuple) []byte { return Encode(nil, t) }
+
+// DecodeTuple decodes a tuple encoded by EncodeTuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	v, rest, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCodec, len(rest))
+	}
+	t, ok := v.(Tuple)
+	if !ok {
+		return nil, fmt.Errorf("%w: not a tuple", errCodec)
+	}
+	return t, nil
+}

@@ -1,0 +1,234 @@
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DocKind discriminates document node shapes.
+type DocKind int
+
+const (
+	// DocScalar wraps an atomic value.
+	DocScalar DocKind = iota
+	// DocObject is a field→subdocument mapping.
+	DocObject
+	// DocArray is an ordered list of subdocuments.
+	DocArray
+)
+
+// Doc is a JSON-like document tree, the native payload of the document
+// substrate (the MongoDB stand-in) and of nested result construction. Docs
+// are Values, so documents can flow through the execution engine like any
+// other value.
+type Doc struct {
+	DKind  DocKind
+	Scalar Value   // DocScalar
+	Fields []Field // DocObject, sorted by name
+	Elems  []*Doc  // DocArray
+}
+
+// Field is one object member.
+type Field struct {
+	Name string
+	Val  *Doc
+}
+
+// Kind implements Value.
+func (*Doc) Kind() Kind { return KindDoc }
+
+// DScalar wraps an atomic value as a scalar document.
+func DScalar(v Value) *Doc { return &Doc{DKind: DocScalar, Scalar: v} }
+
+// DObj builds an object document from alternating name/value pairs, where
+// values may be *Doc, Value, or native Go values (converted via Of).
+func DObj(pairs ...any) *Doc {
+	if len(pairs)%2 != 0 {
+		panic("value: DObj requires name/value pairs")
+	}
+	d := &Doc{DKind: DocObject}
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("value: DObj field name %v is not a string", pairs[i]))
+		}
+		d.Fields = append(d.Fields, Field{Name: name, Val: toDoc(pairs[i+1])})
+	}
+	sort.SliceStable(d.Fields, func(a, b int) bool { return d.Fields[a].Name < d.Fields[b].Name })
+	return d
+}
+
+// DArr builds an array document.
+func DArr(elems ...any) *Doc {
+	d := &Doc{DKind: DocArray}
+	for _, e := range elems {
+		d.Elems = append(d.Elems, toDoc(e))
+	}
+	return d
+}
+
+func toDoc(v any) *Doc {
+	switch x := v.(type) {
+	case *Doc:
+		return x
+	case Value:
+		return DScalar(x)
+	default:
+		return DScalar(Of(v))
+	}
+}
+
+// Get returns the subdocument at a field name (objects only).
+func (d *Doc) Get(name string) (*Doc, bool) {
+	if d == nil || d.DKind != DocObject {
+		return nil, false
+	}
+	i := sort.Search(len(d.Fields), func(i int) bool { return d.Fields[i].Name >= name })
+	if i < len(d.Fields) && d.Fields[i].Name == name {
+		return d.Fields[i].Val, true
+	}
+	return nil, false
+}
+
+// Path descends a dotted path like "address.city". Array nodes are
+// traversed implicitly: the path matches if any element matches (returning
+// the first match).
+func (d *Doc) Path(path string) (*Doc, bool) {
+	cur := d
+	if path == "" {
+		return cur, cur != nil
+	}
+	for _, step := range strings.Split(path, ".") {
+		switch {
+		case cur == nil:
+			return nil, false
+		case cur.DKind == DocObject:
+			next, ok := cur.Get(step)
+			if !ok {
+				return nil, false
+			}
+			cur = next
+		case cur.DKind == DocArray:
+			found := false
+			for _, e := range cur.Elems {
+				if sub, ok := e.Path(step); ok {
+					cur, found = sub, true
+					break
+				}
+			}
+			if !found {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// ScalarAt returns the scalar value at a dotted path, or (nil,false).
+func (d *Doc) ScalarAt(path string) (Value, bool) {
+	sub, ok := d.Path(path)
+	if !ok || sub.DKind != DocScalar {
+		return nil, false
+	}
+	return sub.Scalar, true
+}
+
+// Key implements Value.
+func (d *Doc) Key() string {
+	var sb strings.Builder
+	d.writeKey(&sb)
+	return sb.String()
+}
+
+func (d *Doc) writeKey(sb *strings.Builder) {
+	if d == nil {
+		sb.WriteString("D∅")
+		return
+	}
+	switch d.DKind {
+	case DocScalar:
+		sb.WriteString("Ds")
+		k := d.Scalar.Key()
+		fmt.Fprintf(sb, "%d:%s", len(k), k)
+	case DocObject:
+		sb.WriteString("Do{")
+		for _, f := range d.Fields {
+			fmt.Fprintf(sb, "%d:%s=", len(f.Name), f.Name)
+			f.Val.writeKey(sb)
+		}
+		sb.WriteByte('}')
+	case DocArray:
+		sb.WriteString("Da[")
+		for _, e := range d.Elems {
+			e.writeKey(sb)
+		}
+		sb.WriteByte(']')
+	}
+}
+
+// String renders the document as compact JSON-ish text.
+func (d *Doc) String() string {
+	var sb strings.Builder
+	d.writeString(&sb)
+	return sb.String()
+}
+
+func (d *Doc) writeString(sb *strings.Builder) {
+	if d == nil {
+		sb.WriteString("null")
+		return
+	}
+	switch d.DKind {
+	case DocScalar:
+		sb.WriteString(d.Scalar.String())
+	case DocObject:
+		sb.WriteByte('{')
+		for i, f := range d.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%q: ", f.Name)
+			f.Val.writeString(sb)
+		}
+		sb.WriteByte('}')
+	case DocArray:
+		sb.WriteByte('[')
+		for i, e := range d.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			e.writeString(sb)
+		}
+		sb.WriteByte(']')
+	}
+}
+
+// Walk visits every node of the tree depth-first, passing the dotted path
+// from the root ("" for the root itself).
+func (d *Doc) Walk(fn func(path string, node *Doc)) {
+	d.walk("", fn)
+}
+
+func (d *Doc) walk(path string, fn func(string, *Doc)) {
+	if d == nil {
+		return
+	}
+	fn(path, d)
+	switch d.DKind {
+	case DocObject:
+		for _, f := range d.Fields {
+			sub := f.Name
+			if path != "" {
+				sub = path + "." + f.Name
+			}
+			f.Val.walk(sub, fn)
+		}
+	case DocArray:
+		for _, e := range d.Elems {
+			e.walk(path, fn)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package value defines the value system shared by ESTOCADA's storage
+// substrates and its nested-relational execution engine: scalar values,
+// fixed-width tuples, nested collections, and JSON-like documents, with
+// total ordering, hashing keys, and a compact binary codec (used by the
+// key-value substrate, which stores opaque byte payloads like Redis or
+// Voldemort do).
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value kinds of the nested-relational model. Atomic
+// kinds come first; Tuple and List are the nested constructors; Doc wraps a
+// document tree (see doc.go).
+type Kind int
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTuple
+	KindList
+	KindDoc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	case KindList:
+		return "list"
+	case KindDoc:
+		return "doc"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is one value of the nested-relational model.
+type Value interface {
+	Kind() Kind
+	// Key returns a string equal for two values iff they are equal; keys of
+	// different kinds never collide.
+	Key() string
+	String() string
+}
+
+// Null is the SQL-style missing value.
+type Null struct{}
+
+func (Null) Kind() Kind     { return KindNull }
+func (Null) Key() string    { return "∅" }
+func (Null) String() string { return "NULL" }
+
+// Bool is a boolean value.
+type Bool bool
+
+func (Bool) Kind() Kind       { return KindBool }
+func (b Bool) Key() string    { return "b" + strconv.FormatBool(bool(b)) }
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// Int is a 64-bit integer value.
+type Int int64
+
+func (Int) Kind() Kind       { return KindInt }
+func (i Int) Key() string    { return "i" + strconv.FormatInt(int64(i), 10) }
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a 64-bit floating-point value.
+type Float float64
+
+func (Float) Kind() Kind    { return KindFloat }
+func (f Float) Key() string { return "f" + strconv.FormatFloat(float64(f), 'g', -1, 64) }
+func (f Float) String() string {
+	return strconv.FormatFloat(float64(f), 'g', -1, 64)
+}
+
+// Str is a string value.
+type Str string
+
+func (Str) Kind() Kind       { return KindString }
+func (s Str) Key() string    { return "s" + string(s) }
+func (s Str) String() string { return strconv.Quote(string(s)) }
+
+// Tuple is a fixed-width row of values.
+type Tuple []Value
+
+func (Tuple) Kind() Kind { return KindTuple }
+
+// Key implements Value with length-prefixed element keys, so that
+// ("ab","c") and ("a","bc") differ.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('T')
+	for _, v := range t {
+		k := v.Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns a shallow copy of the tuple (values are immutable).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// List is a nested collection of values (bag semantics; order preserved).
+type List []Value
+
+func (List) Kind() Kind { return KindList }
+
+// Key implements Value order-insensitively (bag semantics): element keys are
+// sorted before concatenation.
+func (l List) Key() string {
+	keys := make([]string, len(l))
+	for i, v := range l {
+		keys[i] = v.Key()
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('L')
+	for _, k := range keys {
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func (l List) String() string {
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Of converts a native Go value into a Value. Supported inputs: nil, bool,
+// int/int32/int64, float32/float64, string, Value (returned as-is), and
+// slices of any supported input (becoming Lists).
+func Of(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null{}
+	case bool:
+		return Bool(x)
+	case int:
+		return Int(x)
+	case int32:
+		return Int(x)
+	case int64:
+		return Int(x)
+	case float32:
+		return Float(x)
+	case float64:
+		return Float(x)
+	case string:
+		return Str(x)
+	case Value:
+		return x
+	case []any:
+		out := make(List, len(x))
+		for i, e := range x {
+			out[i] = Of(e)
+		}
+		return out
+	default:
+		return Str(fmt.Sprintf("%v", v))
+	}
+}
+
+// TupleOf builds a Tuple from native Go values via Of.
+func TupleOf(vs ...any) Tuple {
+	out := make(Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = Of(v)
+	}
+	return out
+}
+
+// Equal reports whether two values are equal.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+// Compare totally orders values: first by kind, then within a kind by the
+// natural order (numeric for Int/Float cross-compared numerically, lexical
+// for strings, elementwise for tuples). It returns -1, 0, or 1.
+func Compare(a, b Value) int {
+	ka, kb := a.Kind(), b.Kind()
+	// Numeric kinds compare cross-kind by magnitude.
+	if isNumeric(ka) && isNumeric(kb) {
+		fa, fb := asFloat(a), asFloat(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		// Equal magnitude: order Int < Float for determinism.
+		return int(ka) - int(kb)
+	}
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case KindNull:
+		return 0
+	case KindBool:
+		ba, bb := bool(a.(Bool)), bool(b.(Bool))
+		switch {
+		case ba == bb:
+			return 0
+		case !ba:
+			return -1
+		default:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(string(a.(Str)), string(b.(Str)))
+	case KindTuple:
+		ta, tb := a.(Tuple), b.(Tuple)
+		for i := 0; i < len(ta) && i < len(tb); i++ {
+			if c := Compare(ta[i], tb[i]); c != 0 {
+				return c
+			}
+		}
+		return len(ta) - len(tb)
+	default:
+		return strings.Compare(a.Key(), b.Key())
+	}
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func asFloat(v Value) float64 {
+	switch x := v.(type) {
+	case Int:
+		return float64(x)
+	case Float:
+		return float64(x)
+	default:
+		return 0
+	}
+}

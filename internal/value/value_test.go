@@ -1,0 +1,265 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndKinds(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind Kind
+	}{
+		{nil, KindNull},
+		{true, KindBool},
+		{int(3), KindInt},
+		{int64(3), KindInt},
+		{3.5, KindFloat},
+		{"x", KindString},
+		{[]any{1, "a"}, KindList},
+	}
+	for _, c := range cases {
+		if got := Of(c.in).Kind(); got != c.kind {
+			t.Errorf("Of(%v).Kind() = %v, want %v", c.in, got, c.kind)
+		}
+	}
+}
+
+func TestKeysDistinguishKindsAndValues(t *testing.T) {
+	vals := []Value{
+		Null{}, Bool(true), Bool(false), Int(1), Float(1), Str("1"),
+		Str("true"), TupleOf(1, 2), TupleOf("ab"), TupleOf("a", "b"),
+		List{Int(1)}, DScalar(Int(1)),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		if prev, ok := seen[v.Key()]; ok {
+			t.Errorf("key collision: %v vs %v (key %q)", prev, v, v.Key())
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestTupleKeyLengthPrefix(t *testing.T) {
+	a := TupleOf("ab", "c")
+	b := TupleOf("a", "bc")
+	if a.Key() == b.Key() {
+		t.Error(`("ab","c") and ("a","bc") must have distinct keys`)
+	}
+}
+
+func TestListKeyOrderInsensitive(t *testing.T) {
+	a := List{Int(1), Int(2)}
+	b := List{Int(2), Int(1)}
+	if a.Key() != b.Key() {
+		t.Error("list keys must be bag-equal regardless of order")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	if Compare(Int(1), Int(2)) >= 0 || Compare(Int(2), Int(1)) <= 0 || Compare(Int(2), Int(2)) != 0 {
+		t.Error("int compare broken")
+	}
+	if Compare(Int(1), Float(1.5)) >= 0 {
+		t.Error("cross-numeric compare broken")
+	}
+	if Compare(Str("a"), Str("b")) >= 0 {
+		t.Error("string compare broken")
+	}
+	if Compare(Bool(false), Bool(true)) >= 0 {
+		t.Error("bool compare broken")
+	}
+	if Compare(TupleOf(1, 2), TupleOf(1, 3)) >= 0 {
+		t.Error("tuple compare broken")
+	}
+	if Compare(TupleOf(1), TupleOf(1, 0)) >= 0 {
+		t.Error("shorter tuple must sort first")
+	}
+	// Distinct kinds are ordered by kind.
+	if Compare(Null{}, Str("x")) >= 0 {
+		t.Error("null must sort before string")
+	}
+}
+
+func TestCompareAntisymmetricQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	f := func(a, b int64, s1, s2 string) bool {
+		va, vb := Value(Int(a)), Value(Int(b))
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		vs1, vs2 := Value(Str(s1)), Value(Str(s2))
+		return Compare(vs1, vs2) == -Compare(vs2, vs1)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualConsistentWithCompareQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	f := func(a, b int64) bool {
+		va, vb := Value(Int(a)), Value(Int(b))
+		return Equal(va, vb) == (Compare(va, vb) == 0)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocConstructionAndPath(t *testing.T) {
+	d := DObj(
+		"name", "ada",
+		"address", DObj("city", "paris", "zip", 75012),
+		"tags", DArr("vip", "early"),
+	)
+	if v, ok := d.ScalarAt("name"); !ok || !Equal(v, Str("ada")) {
+		t.Errorf("name = %v, %v", v, ok)
+	}
+	if v, ok := d.ScalarAt("address.city"); !ok || !Equal(v, Str("paris")) {
+		t.Errorf("address.city = %v, %v", v, ok)
+	}
+	if v, ok := d.ScalarAt("address.zip"); !ok || !Equal(v, Int(75012)) {
+		t.Errorf("address.zip = %v, %v", v, ok)
+	}
+	if _, ok := d.ScalarAt("address.country"); ok {
+		t.Error("missing path matched")
+	}
+	if _, ok := d.ScalarAt("name.sub"); ok {
+		t.Error("descending through a scalar matched")
+	}
+}
+
+func TestDocArrayTraversal(t *testing.T) {
+	d := DObj("items", DArr(
+		DObj("sku", "a1", "qty", 2),
+		DObj("sku", "b2", "qty", 5),
+	))
+	// Implicit array traversal: first match wins.
+	if v, ok := d.ScalarAt("items.sku"); !ok || !Equal(v, Str("a1")) {
+		t.Errorf("items.sku = %v, %v", v, ok)
+	}
+}
+
+func TestDocFieldsSorted(t *testing.T) {
+	d := DObj("z", 1, "a", 2)
+	if d.Fields[0].Name != "a" || d.Fields[1].Name != "z" {
+		t.Errorf("fields not sorted: %v", d)
+	}
+	// Get uses binary search over sorted fields.
+	if _, ok := d.Get("z"); !ok {
+		t.Error("Get(z) failed")
+	}
+}
+
+func TestDocKeyEquality(t *testing.T) {
+	d1 := DObj("a", 1, "b", DArr(1, 2))
+	d2 := DObj("b", DArr(1, 2), "a", 1) // same content, different build order
+	if d1.Key() != d2.Key() {
+		t.Error("equal docs must share keys")
+	}
+	d3 := DObj("a", 1, "b", DArr(2, 1)) // arrays are ordered
+	if d1.Key() == d3.Key() {
+		t.Error("array order must matter")
+	}
+}
+
+func TestDocWalk(t *testing.T) {
+	d := DObj("a", 1, "b", DObj("c", 2))
+	paths := map[string]bool{}
+	d.Walk(func(p string, n *Doc) { paths[p] = true })
+	for _, want := range []string{"", "a", "b", "b.c"} {
+		if !paths[want] {
+			t.Errorf("walk missed path %q (got %v)", want, paths)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null{},
+		Bool(true),
+		Int(-42),
+		Int(1 << 40),
+		Float(3.14159),
+		Str(""),
+		Str("héllo"),
+		TupleOf(1, "a", 2.5, true),
+		Tuple{},
+		List{Int(1), TupleOf("x", 9)},
+		DObj("user", "u1", "cart", DArr(DObj("sku", "a", "qty", 1))),
+	}
+	for _, v := range vals {
+		b := Encode(nil, v)
+		got, rest, err := Decode(b)
+		if err != nil {
+			t.Errorf("decode(%v): %v", v, err)
+			continue
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode(%v): %d trailing bytes", v, len(rest))
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestCodecTupleHelpers(t *testing.T) {
+	tp := TupleOf("u1", 33, 2.5)
+	b := EncodeTuple(tp)
+	got, err := DecodeTuple(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, tp) {
+		t.Errorf("got %v, want %v", got, tp)
+	}
+	if _, err := DecodeTuple(append(b, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeTuple(EncodeTuple(nil)[:1]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, err := DecodeTuple(Encode(nil, Int(1))); err == nil {
+		t.Error("non-tuple accepted by DecodeTuple")
+	}
+}
+
+func TestCodecMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{255},                      // unknown kind
+		{byte(KindBool)},           // missing payload
+		{byte(KindString), 5, 'a'}, // short string
+		{byte(KindFloat), 1, 2},    // short float
+	}
+	for _, b := range bad {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("malformed %v accepted", b)
+		}
+	}
+}
+
+// Property: codec round-trips arbitrary flat tuples.
+func TestCodecRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	f := func(i int64, s string, fl float64, b bool) bool {
+		tp := TupleOf(i, s, fl, b)
+		got, err := DecodeTuple(EncodeTuple(tp))
+		return err == nil && Equal(got, tp)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tp := TupleOf(1, 2)
+	cl := tp.Clone()
+	cl[0] = Int(9)
+	if !Equal(tp[0], Int(1)) {
+		t.Error("clone aliases original")
+	}
+}
