@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test vet check bench bench-smoke
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build test
+
+# Full benchmark sweep in machine-readable form; BENCH_<n>.json files track
+# the performance trajectory across PRs (BENCH_1.json is this PR's).
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime=1x -json > BENCH_1.json
+	@echo "wrote BENCH_1.json"
+
+# Quick allocation check of the rewriting hot path.
+bench-smoke:
+	$(GO) test -run xxx -bench 'E3|HomSearch|ChaseSaturation' -benchtime=1x -benchmem

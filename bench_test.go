@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/catalog"
+	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/pivot"
@@ -132,6 +133,7 @@ func e3Instance(k, vPerRel int) (pivot.CQ, []rewrite.View) {
 
 func benchmarkE3(b *testing.B, alg rewrite.Algorithm, k, vPerRel int) {
 	q, views := e3Instance(k, vPerRel)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var chases int
 	for i := 0; i < b.N; i++ {
@@ -157,6 +159,100 @@ func BenchmarkE3RewritePACB_k4v3(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 4
 func BenchmarkE3RewriteNaive_k4v3(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 4, 3) }
 func BenchmarkE3RewritePACB_k5v3(b *testing.B)  { benchmarkE3(b, rewrite.PACB, 5, 3) }
 func BenchmarkE3RewriteNaive_k5v3(b *testing.B) { benchmarkE3(b, rewrite.NaiveCB, 5, 3) }
+
+// --- Hot-path microbenchmarks ---------------------------------------------
+//
+// The homomorphism search and the chase are the system-wide hot path: every
+// containment check, trigger scan, and backchase verification funnels
+// through them. These benchmarks watch allocs/op so regressions in the
+// interned-term machinery are visible immediately.
+
+// homBenchInstance builds a dense random-ish edge relation.
+func homBenchInstance(edges, nodes int) *pivot.Instance {
+	inst := pivot.NewInstance()
+	for i := 0; i < edges; i++ {
+		inst.Add(pivot.NewAtom("E",
+			pivot.CInt(int64((i*13)%nodes)), pivot.CInt(int64((i*7+3)%nodes))))
+	}
+	return inst
+}
+
+func BenchmarkHomSearch(b *testing.B) {
+	inst := homBenchInstance(400, 60)
+	atoms := []pivot.Atom{
+		pivot.NewAtom("E", pivot.Var("x"), pivot.Var("y")),
+		pivot.NewAtom("E", pivot.Var("y"), pivot.Var("z")),
+		pivot.NewAtom("E", pivot.Var("z"), pivot.Var("w")),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		pivot.ForEachHomBind(atoms, inst, nil, func(pivot.Binding) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no homomorphisms")
+		}
+	}
+}
+
+func BenchmarkHomExists(b *testing.B) {
+	inst := homBenchInstance(400, 60)
+	atoms := []pivot.Atom{
+		pivot.NewAtom("E", pivot.Var("x"), pivot.Var("y")),
+		pivot.NewAtom("E", pivot.Var("y"), pivot.CInt(3)),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pivot.HomExists(atoms, inst, nil) {
+			b.Fatal("expected a homomorphism")
+		}
+	}
+}
+
+func BenchmarkHomExistsGround(b *testing.B) {
+	// The ground-atom membership fast path: no backtracking at all.
+	inst := homBenchInstance(400, 60)
+	atoms := []pivot.Atom{pivot.NewAtom("E", pivot.CInt(13), pivot.CInt(10))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pivot.HomExists(atoms, inst, nil) {
+			b.Fatal("expected a match")
+		}
+	}
+}
+
+func BenchmarkChaseSaturation(b *testing.B) {
+	// A copy chain R0 → R1 → … → R7 over 150 seed facts: the chase fires
+	// 150×7 TGD triggers per run and re-probes every trigger per pass.
+	const depth, seeds = 8, 150
+	var tgds []pivot.TGD
+	for i := 0; i < depth-1; i++ {
+		tgds = append(tgds, pivot.NewTGD(fmt.Sprintf("copy%d", i),
+			[]pivot.Atom{pivot.NewAtom(fmt.Sprintf("R%d", i), pivot.Var("x"), pivot.Var("y"))},
+			[]pivot.Atom{pivot.NewAtom(fmt.Sprintf("R%d", i+1), pivot.Var("x"), pivot.Var("y"))}))
+	}
+	cs := pivot.Constraints{TGDs: tgds}
+	inst := pivot.NewInstance()
+	for i := 0; i < seeds; i++ {
+		inst.Add(pivot.NewAtom("R0", pivot.CInt(int64(i)), pivot.CInt(int64(i+1))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chase.Chase(inst, cs, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Instance.Len() != seeds*depth {
+			b.Fatalf("saturation reached %d facts, want %d", res.Instance.Len(), seeds*depth)
+		}
+	}
+}
 
 // --- E4: vanilla single-store vs hybrid multi-store (BDB) ----------------
 
@@ -321,6 +417,7 @@ func BenchmarkE5AdvisorAfter(b *testing.B) {
 // --- E6: binding patterns / BindJoin ---------------------------------------
 
 func BenchmarkE6BindJoinDependentAccess(b *testing.B) {
+	b.ReportAllocs()
 	setupMarketplaces(b)
 	// Cross-store dependent join: relational users drive KV preference
 	// gets through BindJoin (the KV fragment cannot be scanned).
@@ -344,6 +441,7 @@ func BenchmarkE6BindJoinDependentAccess(b *testing.B) {
 func BenchmarkE6FeasibilityCheck(b *testing.B) {
 	// The pure feasibility filter: rejecting an unbound KV scan must be
 	// cheap and absolute.
+	b.ReportAllocs()
 	setupMarketplaces(b)
 	m := benchMkts[scenario.KV]
 	q := pivot.NewCQ(

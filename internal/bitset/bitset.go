@@ -1,0 +1,141 @@
+// Package bitset provides a small dense bitset shared by the chase
+// (fact provenance), the pivot instance (fact liveness), and the rewrite
+// search (cover tracking). It grows on demand and the zero value is an
+// empty bitset of capacity 0.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Bitset is a growable dense bitset backed by 64-bit words.
+type Bitset []uint64
+
+// New returns an empty bitset able to hold bits [0, n).
+func New(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i. It grows the bitset if needed.
+func (b *Bitset) Set(i int) {
+	w := i / 64
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) % 64)
+}
+
+// Clear clears bit i. Clearing past the end is a no-op.
+func (b Bitset) Clear(i int) {
+	w := i / 64
+	if w < len(b) {
+		b[w] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Has reports whether bit i is set.
+func (b Bitset) Has(i int) bool {
+	w := i / 64
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Clone returns an independent copy.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// UnionWith sets b to b ∪ o.
+func (b *Bitset) UnionWith(o Bitset) {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for i, w := range o {
+		(*b)[i] |= w
+	}
+}
+
+// Union returns b ∪ o as a new bitset.
+func (b Bitset) Union(o Bitset) Bitset {
+	out := b.Clone()
+	out.UnionWith(o)
+	return out
+}
+
+// SubsetOf reports whether b ⊆ o.
+func (b Bitset) SubsetOf(o Bitset) bool {
+	for i, w := range b {
+		var ow uint64
+		if i < len(o) {
+			ow = o[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o contain the same bits.
+func (b Bitset) Equal(o Bitset) bool {
+	return b.SubsetOf(o) && o.SubsetOf(b)
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bits are set.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach invokes fn for every set bit in ascending order.
+func (b Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			fn(wi*64 + i)
+			w &^= 1 << uint(i)
+		}
+	}
+}
+
+// Bits returns the indices of the set bits in ascending order.
+func (b Bitset) Bits() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the bitset as {i,j,...}.
+func (b Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(i))
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package bitset
+
+import "testing"
+
+func TestSetHasClear(t *testing.T) {
+	var b Bitset
+	if b.Has(0) || b.Has(100) {
+		t.Error("zero-value bitset must be empty")
+	}
+	b.Set(3)
+	b.Set(64)
+	b.Set(130)
+	for _, i := range []int{3, 64, 130} {
+		if !b.Has(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 2 {
+		t.Errorf("Clear failed: has=%v count=%d", b.Has(64), b.Count())
+	}
+	b.Clear(100000) // past the end: no-op
+	if b.Count() != 2 {
+		t.Error("Clear past end changed the set")
+	}
+}
+
+func TestSetUnionSubset(t *testing.T) {
+	a := New(10)
+	a.Set(1)
+	a.Set(9)
+	o := New(200)
+	o.Set(9)
+	o.Set(150)
+	u := a.Union(o)
+	for _, i := range []int{1, 9, 150} {
+		if !u.Has(i) {
+			t.Errorf("union misses %d", i)
+		}
+	}
+	if !a.SubsetOf(u) || !o.SubsetOf(u) {
+		t.Error("operands must be subsets of their union")
+	}
+	if u.SubsetOf(a) {
+		t.Error("union must not be a subset of a strict part")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must be equal")
+	}
+	cl := a.Clone()
+	cl.Set(5)
+	if a.Has(5) {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestForEachAndBits(t *testing.T) {
+	b := New(0)
+	want := []int{0, 63, 64, 127, 200}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Bits()
+	if len(got) != len(want) {
+		t.Fatalf("Bits = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Bits[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if b.String() != "{0,63,64,127,200}" {
+		t.Errorf("String = %s", b.String())
+	}
+	if b.Empty() {
+		t.Error("Empty on non-empty set")
+	}
+}

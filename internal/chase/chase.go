@@ -45,6 +45,31 @@ type Result struct {
 	// Steps is the number of trigger applications performed.
 	Steps  int
 	rename map[pivot.Null]pivot.Term
+
+	// factKeys caches the canonical key of each fact index of Instance so
+	// the provenance-tracking trigger scan does not materialize an Atom per
+	// matched fact; keysFor invalidates it when EGD unification replaces
+	// the instance.
+	factKeys []string
+	keysFor  *pivot.Instance
+}
+
+// factKey returns the canonical key of fact idx in r.Instance, cached per
+// index (facts are append-only, so keys are stable until the instance is
+// replaced by EGD unification).
+func (r *Result) factKey(idx int) string {
+	if r.keysFor != r.Instance {
+		r.keysFor = r.Instance
+		r.factKeys = r.factKeys[:0]
+	}
+	for len(r.factKeys) <= idx {
+		r.factKeys = append(r.factKeys, "")
+	}
+	if r.factKeys[idx] == "" {
+		f, _ := r.Instance.Fact(idx)
+		r.factKeys[idx] = f.Key()
+	}
+	return r.factKeys[idx]
 }
 
 // Resolve maps a term through the null unifications performed by EGD steps:
@@ -73,16 +98,67 @@ func (r *Result) ProvOf(fact pivot.Atom) *Provenance {
 	return r.Prov[fact.Key()]
 }
 
+// Prepared caches constraint validation and per-dependency variable
+// analysis for repeated chase runs over the same constraint set. The
+// backchase runs one verification chase per candidate rewriting against an
+// unchanging constraint set, so re-deriving the analysis per run would
+// dominate the trigger loop.
+type Prepared struct {
+	cs    pivot.Constraints
+	metas []tgdMeta
+	nVals int // max body-variable count across TGDs, sizes the scratch frame
+}
+
+// Prepare validates cs and computes the per-dependency analysis once.
+func Prepare(cs pivot.Constraints) (*Prepared, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, fmt.Errorf("chase: invalid constraints: %w", err)
+	}
+	p := &Prepared{cs: cs, metas: make([]tgdMeta, len(cs.TGDs))}
+	for i, d := range cs.TGDs {
+		p.metas[i] = newTGDMeta(d)
+		if n := len(p.metas[i].bodyVars); n > p.nVals {
+			p.nVals = n
+		}
+	}
+	return p, nil
+}
+
+// Constraints returns the constraint set the analysis was prepared for.
+func (p *Prepared) Constraints() pivot.Constraints { return p.cs }
+
+// Chase runs the restricted chase of inst under the prepared constraints.
+// The input instance is cloned, never mutated.
+func (p *Prepared) Chase(inst *pivot.Instance, opts Options) (*Result, error) {
+	return chaseOwned(inst.Clone(), p, opts)
+}
+
 // Chase runs the restricted chase of inst under cs. The input instance is
 // cloned, never mutated. Seed facts receive singleton provenance {i} keyed
 // by their index in the input instance (0 ≤ i < inst.Size()).
 func Chase(inst *pivot.Instance, cs pivot.Constraints, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if err := cs.Validate(); err != nil {
-		return nil, fmt.Errorf("chase: invalid constraints: %w", err)
+	p, err := Prepare(cs)
+	if err != nil {
+		return nil, err
 	}
+	return chaseOwned(inst.Clone(), p, opts)
+}
+
+// chaseScratch holds per-run scratch buffers shared by every trigger loop
+// of one chase: the reusable head-binding substitution and the body
+// variable image frame.
+type chaseScratch struct {
+	fixed pivot.Subst
+	vals  []pivot.Term
+}
+
+// chaseOwned chases inst in place. The caller must own the instance (it is
+// mutated); Chase hands over a clone, ContainedInUnder a freshly frozen
+// canonical database.
+func chaseOwned(inst *pivot.Instance, p *Prepared, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
 	res := &Result{
-		Instance: inst.Clone(),
+		Instance: inst,
 		rename:   map[pivot.Null]pivot.Term{},
 	}
 	if opts.TrackProvenance {
@@ -100,8 +176,12 @@ func Chase(inst *pivot.Instance, cs pivot.Constraints, opts Options) (*Result, e
 		}
 	}
 
+	scr := &chaseScratch{
+		fixed: pivot.NewSubst(),
+		vals:  make([]pivot.Term, p.nVals),
+	}
 	for {
-		changed, err := chasePass(res, cs, opts)
+		changed, err := chasePass(res, p, scr, opts)
 		if err != nil {
 			return res, err
 		}
@@ -113,16 +193,16 @@ func Chase(inst *pivot.Instance, cs pivot.Constraints, opts Options) (*Result, e
 
 // chasePass applies every unsatisfied trigger found at the start of the
 // pass. It reports whether anything changed.
-func chasePass(res *Result, cs pivot.Constraints, opts Options) (bool, error) {
+func chasePass(res *Result, p *Prepared, scr *chaseScratch, opts Options) (bool, error) {
 	changed := false
-	for _, d := range cs.TGDs {
-		c, err := applyTGD(res, d, opts)
+	for i, d := range p.cs.TGDs {
+		c, err := applyTGD(res, d, p.metas[i], scr, opts)
 		if err != nil {
 			return changed, err
 		}
 		changed = changed || c
 	}
-	for _, d := range cs.EGDs {
+	for _, d := range p.cs.EGDs {
 		c, err := applyEGD(res, d, opts)
 		if err != nil {
 			return changed, err
@@ -132,60 +212,119 @@ func chasePass(res *Result, cs pivot.Constraints, opts Options) (bool, error) {
 	return changed, nil
 }
 
+// tgdTrigger is one unsatisfied trigger awaiting firing: the images of the
+// dependency's body variables (indexed like tgdMeta.bodyVars) plus the
+// provenance support of the matched body facts.
 type tgdTrigger struct {
-	subst   pivot.Subst
+	vals    []pivot.Term
 	support Bitset
 }
 
+// tgdMeta caches the per-dependency variable analysis that the trigger loop
+// needs once per body match: the body variables in order, the existential
+// head variables, and — for the satisfaction probe — which body variables
+// appear universally quantified in the head. Computed once per applyTGD
+// call instead of re-deriving the variable sets on every probe.
+type tgdMeta struct {
+	bodyVars   []pivot.Var // distinct body variables, in order
+	exVars     []pivot.Var // existential head variables, in order
+	headUVars  []pivot.Var // distinct universal variables occurring in the head
+	headUVarIx []int       // index of each headUVar in bodyVars
+}
+
+func newTGDMeta(d pivot.TGD) tgdMeta {
+	m := tgdMeta{bodyVars: pivot.AtomsVars(d.Body)}
+	inBody := func(v pivot.Var) int {
+		for i, w := range m.bodyVars {
+			if w == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, v := range pivot.AtomsVars(d.Head) {
+		if i := inBody(v); i >= 0 {
+			m.headUVars = append(m.headUVars, v)
+			m.headUVarIx = append(m.headUVarIx, i)
+		} else {
+			m.exVars = append(m.exVars, v)
+		}
+	}
+	return m
+}
+
+// fixedHeadBinding fills fixed (a reusable scratch substitution) with the
+// head-universal variable images out of vals (existentials stay free).
+func (m tgdMeta) fixedHeadBinding(vals []pivot.Term, fixed pivot.Subst) {
+	clear(fixed)
+	for j, v := range m.headUVars {
+		if img := vals[m.headUVarIx[j]]; img != nil {
+			fixed[v] = img
+		}
+	}
+}
+
 // applyTGD fires every currently-unsatisfied trigger of d once.
-func applyTGD(res *Result, d pivot.TGD, opts Options) (bool, error) {
+func applyTGD(res *Result, d pivot.TGD, meta tgdMeta, scr *chaseScratch, opts Options) (bool, error) {
 	inst := res.Instance
+	fixed := scr.fixed // scratch head binding, cleared per probe
+	vals := scr.vals[:len(meta.bodyVars)]
 	// Collect triggers first: the instance must not change mid-enumeration.
 	var triggers []tgdTrigger
-	pivot.ForEachHom(d.Body, inst, nil, func(h pivot.HomResult) bool {
+	pivot.ForEachHomBind(d.Body, inst, nil, func(b pivot.Binding) bool {
 		var sup Bitset
 		if res.Prov != nil {
-			for _, fi := range h.FactIdx {
-				f, _ := inst.Fact(fi)
-				if p := res.Prov[f.Key()]; p != nil {
-					if b := p.Best(); b != nil {
-						sup.UnionWith(b)
+			for i := range d.Body {
+				if p := res.Prov[res.factKey(b.FactIdx(i))]; p != nil {
+					if bs := p.Best(); bs != nil {
+						sup.UnionWith(bs)
 					}
 				}
 			}
 		}
-		if tgdSatisfied(inst, d, h.Subst) {
+		for i, v := range meta.bodyVars {
+			vals[i], _ = b.Image(v)
+		}
+		meta.fixedHeadBinding(vals, fixed)
+		if pivot.HomExists(d.Head, inst, fixed) {
 			// Already satisfied: no chase step, but the trigger is still an
 			// alternative derivation of the satisfying facts — PACB needs it.
-			recordSatisfiedProv(res, d, h.Subst, sup)
+			recordSatisfiedProv(res, d, sup, fixed)
 			return true
 		}
-		triggers = append(triggers, tgdTrigger{subst: h.Subst, support: sup})
+		triggers = append(triggers, tgdTrigger{vals: append([]pivot.Term(nil), vals...), support: sup})
 		return true
 	})
 	changed := false
 	for _, tr := range triggers {
 		// Re-check: an earlier trigger in this batch may have satisfied it.
-		if tgdSatisfied(inst, d, tr.subst) {
-			recordSatisfiedProv(res, d, tr.subst, tr.support)
+		meta.fixedHeadBinding(tr.vals, fixed)
+		if pivot.HomExists(d.Head, inst, fixed) {
+			recordSatisfiedProv(res, d, tr.support, fixed)
 			continue
 		}
 		res.Steps++
 		if res.Steps > opts.MaxSteps || inst.Size() > opts.MaxFacts {
 			return changed, ErrBudget
 		}
-		s := tr.subst.Clone()
-		for _, v := range d.ExistentialVars() {
+		s := pivot.NewSubst()
+		for i, v := range meta.bodyVars {
+			if tr.vals[i] != nil {
+				s[v] = tr.vals[i]
+			}
+		}
+		for _, v := range meta.exVars {
 			s[v] = inst.FreshNull()
 		}
 		for _, h := range d.Head {
 			fact := s.ApplyAtom(h)
-			inst.Add(fact)
+			idx, _ := inst.Add(fact)
 			if res.Prov != nil {
-				p := res.Prov[fact.Key()]
+				key := res.factKey(idx)
+				p := res.Prov[key]
 				if p == nil {
 					p = &Provenance{}
-					res.Prov[fact.Key()] = p
+					res.Prov[key] = p
 				}
 				p.AddAlt(tr.support)
 			}
@@ -196,53 +335,25 @@ func applyTGD(res *Result, d pivot.TGD, opts Options) (bool, error) {
 }
 
 // recordSatisfiedProv attributes an alternative derivation (support) to the
-// facts that satisfy d's conclusion under the body binding s. AddAlt
+// facts that satisfy d's conclusion under the head binding fixed. AddAlt
 // deduplicates, so repeated passes are idempotent.
-func recordSatisfiedProv(res *Result, d pivot.TGD, s pivot.Subst, support Bitset) {
+func recordSatisfiedProv(res *Result, d pivot.TGD, support Bitset, fixed pivot.Subst) {
 	if res.Prov == nil {
 		return
 	}
-	fixed := fixedHeadBinding(d, s)
 	h, ok := pivot.FindHom(d.Head, res.Instance, fixed)
 	if !ok {
 		return
 	}
 	for _, fi := range h.FactIdx {
-		f, _ := res.Instance.Fact(fi)
-		p := res.Prov[f.Key()]
+		key := res.factKey(fi)
+		p := res.Prov[key]
 		if p == nil {
 			p = &Provenance{}
-			res.Prov[f.Key()] = p
+			res.Prov[key] = p
 		}
 		p.AddAlt(support)
 	}
-}
-
-// fixedHeadBinding restricts s to the universally-quantified variables of
-// d's head (existentials stay free).
-func fixedHeadBinding(d pivot.TGD, s pivot.Subst) pivot.Subst {
-	fixed := pivot.NewSubst()
-	ex := map[pivot.Var]bool{}
-	for _, v := range d.ExistentialVars() {
-		ex[v] = true
-	}
-	for _, h := range d.Head {
-		for _, v := range h.Vars() {
-			if ex[v] {
-				continue
-			}
-			if img, ok := s[v]; ok {
-				fixed[v] = img
-			}
-		}
-	}
-	return fixed
-}
-
-// tgdSatisfied reports whether d's conclusion already holds under the body
-// binding s.
-func tgdSatisfied(inst *pivot.Instance, d pivot.TGD, s pivot.Subst) bool {
-	return pivot.HomExists(d.Head, inst, fixedHeadBinding(d, s))
 }
 
 // applyEGD fires EGD triggers, unifying terms. Unification rebuilds the
@@ -361,11 +472,23 @@ func maxNullLabel(inst *pivot.Instance) int64 {
 // chase (ErrInconsistent) means q1 can have no answers on consistent
 // instances, so containment holds vacuously.
 func ContainedInUnder(q1, q2 pivot.CQ, cs pivot.Constraints, opts Options) (bool, error) {
+	p, err := Prepare(cs)
+	if err != nil {
+		return false, err
+	}
+	return p.ContainedIn(q1, q2, opts)
+}
+
+// ContainedIn is ContainedInUnder against the prepared constraint set; use
+// it when running many containment checks under the same constraints.
+func (p *Prepared) ContainedIn(q1, q2 pivot.CQ, opts Options) (bool, error) {
 	if q1.Head.Arity() != q2.Head.Arity() {
 		return false, nil
 	}
 	inst, frozen := pivot.Freeze(q1)
-	res, err := Chase(inst, cs, opts)
+	// The canonical database is freshly frozen and owned here, so the chase
+	// may mutate it in place instead of cloning.
+	res, err := chaseOwned(inst, p, opts)
 	if err != nil {
 		if errors.Is(err, ErrInconsistent) {
 			return true, nil

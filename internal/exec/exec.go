@@ -249,35 +249,54 @@ func (j *HashJoin) Label() string {
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 
 func (j *HashJoin) Open() (engine.Iterator, error) {
-	rit, err := j.Right.Open()
-	if err != nil {
-		return nil, err
-	}
-	rightRows, err := engine.Drain(rit)
-	if err != nil {
-		return nil, err
-	}
-	table := map[string][]value.Tuple{}
-	for _, r := range rightRows {
-		table[keyOf(r, j.rightKeys)] = append(table[keyOf(r, j.rightKeys)], r)
-	}
 	lit, err := j.Left.Open()
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinIter{j: j, left: lit, table: table}, nil
+	return &hashJoinIter{j: j, left: lit}, nil
 }
 
 type hashJoinIter struct {
-	j       *HashJoin
-	left    engine.Iterator
-	table   map[string][]value.Tuple
-	curLeft value.Tuple
-	matches []value.Tuple
-	pos     int
+	j        *HashJoin
+	left     engine.Iterator
+	table    map[string][]value.Tuple
+	built    bool
+	buildErr error // build-side (right input) failure, surfaced via Err
+	curLeft  value.Tuple
+	matches  []value.Tuple
+	pos      int
+}
+
+// build materializes the right input into the hash table on first Next, so
+// a build-side failure is captured on the iterator and reported through
+// Err() like any other stream error instead of being lost.
+func (it *hashJoinIter) build() bool {
+	it.built = true
+	rit, err := it.j.Right.Open()
+	if err != nil {
+		it.buildErr = err
+		return false
+	}
+	rightRows, err := engine.Drain(rit)
+	if err != nil {
+		it.buildErr = err
+		return false
+	}
+	it.table = make(map[string][]value.Tuple, len(rightRows))
+	for _, r := range rightRows {
+		k := keyOf(r, it.j.rightKeys)
+		it.table[k] = append(it.table[k], r)
+	}
+	return true
 }
 
 func (it *hashJoinIter) Next() (value.Tuple, bool) {
+	if !it.built && !it.build() {
+		return nil, false
+	}
+	if it.buildErr != nil {
+		return nil, false
+	}
 	for {
 		if it.pos < len(it.matches) {
 			r := it.matches[it.pos]
@@ -298,8 +317,13 @@ func (it *hashJoinIter) Next() (value.Tuple, bool) {
 		it.pos = 0
 	}
 }
-func (it *hashJoinIter) Err() error { return it.left.Err() }
-func (it *hashJoinIter) Close()     { it.left.Close() }
+func (it *hashJoinIter) Err() error {
+	if it.buildErr != nil {
+		return it.buildErr
+	}
+	return it.left.Err()
+}
+func (it *hashJoinIter) Close() { it.left.Close() }
 
 func keyOf(t value.Tuple, cols []int) string {
 	parts := make(value.Tuple, len(cols))

@@ -212,6 +212,52 @@ func TestDistinct(t *testing.T) {
 	}
 }
 
+func TestDistinctSizeHint(t *testing.T) {
+	in := vals(Schema{"x"}, value.TupleOf(1), value.TupleOf(1), value.TupleOf(2))
+	for _, hint := range []int{-1, 0, 2, 1000} {
+		rows, err := Run(&Distinct{In: in, SizeHint: hint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Errorf("hint %d: distinct = %v", hint, rows)
+		}
+	}
+}
+
+func TestHashJoinBuildSideError(t *testing.T) {
+	sentinel := errors.New("right store down")
+	left := vals(Schema{"x"}, value.TupleOf(1))
+	right := &Source{
+		Name: "broken",
+		Out:  Schema{"x", "y"},
+		OpenFn: func() (engine.Iterator, error) {
+			return nil, sentinel
+		},
+	}
+	j, err := NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening succeeds (the build side is materialized lazily); the failure
+	// must surface through the iterator's Err, as for any stream error.
+	it, err := j.Open()
+	if err != nil {
+		t.Fatalf("Open = %v, want deferred build error", err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("Next succeeded despite broken build side")
+	}
+	if !errors.Is(it.Err(), sentinel) {
+		t.Errorf("Err = %v, want build-side error", it.Err())
+	}
+	it.Close()
+	// Run must also report it.
+	if _, err := Run(j); !errors.Is(err, sentinel) {
+		t.Errorf("Run err = %v, want build-side error", err)
+	}
+}
+
 func TestLimit(t *testing.T) {
 	in := vals(Schema{"x"}, value.TupleOf(1), value.TupleOf(2), value.TupleOf(3))
 	rows, err := Run(&Limit{In: in, N: 2})

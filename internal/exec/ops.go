@@ -12,6 +12,10 @@ import (
 // Distinct removes duplicate tuples (set semantics of the pivot model).
 type Distinct struct {
 	In Node
+	// SizeHint, when positive, pre-sizes the dedup table to the expected
+	// number of distinct tuples, cutting rehashing on large inputs (e.g.
+	// the materialized purchase-history path of E2). Zero means unknown.
+	SizeHint int
 }
 
 func (d *Distinct) Schema() Schema   { return d.In.Schema() }
@@ -22,7 +26,11 @@ func (d *Distinct) Open() (engine.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &distinctIter{in: in, seen: map[string]bool{}}, nil
+	hint := d.SizeHint
+	if hint < 0 {
+		hint = 0
+	}
+	return &distinctIter{in: in, seen: make(map[string]bool, hint)}, nil
 }
 
 type distinctIter struct {

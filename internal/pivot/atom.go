@@ -25,14 +25,23 @@ func (a Atom) Arity() int { return len(a.Args) }
 // occurrence.
 func (a Atom) Vars() []Var {
 	var out []Var
-	seen := map[Var]bool{}
 	for _, t := range a.Args {
-		if v, ok := t.(Var); ok && !seen[v] {
-			seen[v] = true
-			out = append(out, v)
+		if v, ok := t.(Var); ok {
+			out = appendVar(out, v)
 		}
 	}
 	return out
+}
+
+// appendVar appends v to vars unless already present. Conjunctions have few
+// distinct variables, so a linear scan beats allocating a seen-map.
+func appendVar(vars []Var, v Var) []Var {
+	for _, w := range vars {
+		if w == v {
+			return vars
+		}
+	}
+	return append(vars, v)
 }
 
 // IsGround reports whether the atom contains no variables.
@@ -102,12 +111,10 @@ func SameAtom(a, b Atom) bool {
 // first occurrence.
 func AtomsVars(atoms []Atom) []Var {
 	var out []Var
-	seen := map[Var]bool{}
 	for _, a := range atoms {
 		for _, t := range a.Args {
-			if v, ok := t.(Var); ok && !seen[v] {
-				seen[v] = true
-				out = append(out, v)
+			if v, ok := t.(Var); ok {
+				out = appendVar(out, v)
 			}
 		}
 	}

@@ -54,10 +54,12 @@ func (d TGD) Validate() error {
 	if len(d.Head) == 0 {
 		return fmt.Errorf("pivot: TGD %q has empty head", d.Name)
 	}
-	for _, a := range append(append([]Atom{}, d.Body...), d.Head...) {
-		for _, t := range a.Args {
-			if t.Kind() == KindNull {
-				return fmt.Errorf("pivot: TGD %q contains a labeled null", d.Name)
+	for _, atoms := range [2][]Atom{d.Body, d.Head} {
+		for _, a := range atoms {
+			for _, t := range a.Args {
+				if t.Kind() == KindNull {
+					return fmt.Errorf("pivot: TGD %q contains a labeled null", d.Name)
+				}
 			}
 		}
 	}

@@ -4,36 +4,73 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/bitset"
 )
 
 // Instance is a set of ground facts (atoms whose arguments are constants or
 // labeled nulls), indexed for efficient homomorphism search. Fact identity
 // is set-based: adding a duplicate fact is a no-op.
 //
+// Internally every ground term is interned into a dense TermID (see
+// TermTable) and facts are stored as flattened rows of TermIDs. All indexes
+// are keyed by integer ids — predicate id, position, term id — so fact
+// probes during homomorphism search never hash strings or allocate.
+// Liveness (facts deleted by Remove) is a bitset, not a map.
+//
 // Instances also serve as canonical databases of queries (see Freeze) and as
 // the working state of the chase.
 type Instance struct {
-	facts  []Atom
-	byKey  map[string]int     // fact key -> index in facts
-	byPred map[string][]int   // predicate -> fact indices
-	index  map[indexKey][]int // (pred,pos,term) -> fact indices
-	live   map[int]bool       // tombstone map; false entries are deleted
-	nNulls int64              // counter for fresh nulls minted via FreshNull
+	tt *TermTable
+
+	predIDs  map[string]int32 // predicate name -> dense id
+	predName []string         // dense id -> predicate name
+
+	factPred []int32  // fact index -> predicate id
+	argOff   []int32  // fact index -> offset into argIDs (len = len(factPred)+1)
+	argIDs   []TermID // flattened argument rows
+
+	byKey  map[string]int32  // packed (pred,args) key -> fact index
+	byPred [][]int32         // predicate id -> fact indices (live and dead)
+	index  map[posKey][]int32 // (pred,pos,term) -> fact indices (live and dead)
+
+	live   bitset.Bitset // liveness; Remove clears, re-Add resurrects
+	nLive  int
+	nNulls int64 // counter for fresh nulls minted via FreshNull
 }
 
-type indexKey struct {
-	pred string
-	pos  int
-	term string
+// posKey keys the positional index: facts of predicate pred whose argument
+// at position pos is the interned term id. Being a comparable struct of
+// integers, map probes hash three ints instead of a string.
+type posKey struct {
+	pred int32
+	pos  int32
+	term TermID
+}
+
+// inlineArity is the arity up to which per-call scratch buffers live on the
+// stack.
+const inlineArity = 16
+
+// appendRowKey appends the packed byte key of a fact row (predicate id then
+// argument ids, 4 little-endian bytes each) to buf. Looking the result up
+// via byKey[string(buf)] does not allocate.
+func appendRowKey(buf []byte, pred int32, row []TermID) []byte {
+	buf = append(buf, byte(pred), byte(pred>>8), byte(pred>>16), byte(pred>>24))
+	for _, id := range row {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
 }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
 	return &Instance{
-		byKey:  map[string]int{},
-		byPred: map[string][]int{},
-		index:  map[indexKey][]int{},
-		live:   map[int]bool{},
+		tt:      NewTermTable(),
+		predIDs: map[string]int32{},
+		argOff:  []int32{0},
+		byKey:   map[string]int32{},
+		index:   map[posKey][]int32{},
 	}
 }
 
@@ -52,82 +89,148 @@ func (in *Instance) ReserveNulls(n int64) {
 	}
 }
 
+// internPred returns the dense id of a predicate name, assigning one on
+// first sight.
+func (in *Instance) internPred(name string) int32 {
+	if id, ok := in.predIDs[name]; ok {
+		return id
+	}
+	id := int32(len(in.predName))
+	in.predName = append(in.predName, name)
+	in.predIDs[name] = id
+	in.byPred = append(in.byPred, nil)
+	return id
+}
+
+// row returns the argument ids of fact idx as a view into the flat buffer.
+func (in *Instance) row(idx int) []TermID {
+	return in.argIDs[in.argOff[idx]:in.argOff[idx+1]]
+}
+
 // Add inserts a ground fact, returning its index and whether it was new.
 // Adding a non-ground atom panics: instances hold facts only.
 func (in *Instance) Add(fact Atom) (int, bool) {
+	n := len(fact.Args)
+	var idArr [inlineArity]TermID
+	ids := idArr[:0]
+	if n > inlineArity {
+		ids = make([]TermID, 0, n)
+	}
 	for _, t := range fact.Args {
 		if t.Kind() == KindVar {
 			panic("pivot: Instance.Add called with non-ground atom " + fact.String())
 		}
-		if n, ok := t.(Null); ok {
-			in.ReserveNulls(int64(n))
+		if nn, ok := t.(Null); ok {
+			in.ReserveNulls(int64(nn))
 		}
+		ids = append(ids, in.tt.Intern(t))
 	}
-	key := fact.Key()
-	if idx, ok := in.byKey[key]; ok {
-		if in.live[idx] {
-			return idx, false
+	pid := in.internPred(fact.Pred)
+	var keyArr [4 + 4*inlineArity]byte
+	key := appendRowKey(keyArr[:0], pid, ids)
+	if idx, ok := in.byKey[string(key)]; ok {
+		if in.live.Has(int(idx)) {
+			return int(idx), false
 		}
 		// Re-adding a previously deleted fact resurrects it.
-		in.live[idx] = true
-		return idx, true
+		in.live.Set(int(idx))
+		in.nLive++
+		return int(idx), true
 	}
-	idx := len(in.facts)
-	in.facts = append(in.facts, fact)
-	in.byKey[key] = idx
-	in.byPred[fact.Pred] = append(in.byPred[fact.Pred], idx)
-	in.live[idx] = true
-	for pos, t := range fact.Args {
-		k := indexKey{fact.Pred, pos, t.Key()}
+	idx := int32(len(in.factPred))
+	in.factPred = append(in.factPred, pid)
+	in.argIDs = append(in.argIDs, ids...)
+	in.argOff = append(in.argOff, int32(len(in.argIDs)))
+	in.byKey[string(key)] = idx
+	in.byPred[pid] = append(in.byPred[pid], idx)
+	for pos, id := range ids {
+		k := posKey{pid, int32(pos), id}
 		in.index[k] = append(in.index[k], idx)
 	}
-	return idx, true
+	in.live.Set(int(idx))
+	in.nLive++
+	return int(idx), true
 }
 
 // Remove deletes a fact by index. Removing an already-deleted index is a
 // no-op.
 func (in *Instance) Remove(idx int) {
-	if idx >= 0 && idx < len(in.facts) {
-		in.live[idx] = false
+	if idx >= 0 && idx < len(in.factPred) && in.live.Has(idx) {
+		in.live.Clear(idx)
+		in.nLive--
 	}
+}
+
+// lookupRow returns the index of the fact (pid, row) and whether it exists
+// (live or dead). It never allocates for arities up to inlineArity.
+func (in *Instance) lookupRow(pid int32, row []TermID) (int32, bool) {
+	var keyArr [4 + 4*inlineArity]byte
+	var key []byte
+	if len(row) <= inlineArity {
+		key = appendRowKey(keyArr[:0], pid, row)
+	} else {
+		key = appendRowKey(make([]byte, 0, 4+4*len(row)), pid, row)
+	}
+	idx, ok := in.byKey[string(key)]
+	return idx, ok
 }
 
 // Has reports whether the instance contains the fact.
 func (in *Instance) Has(fact Atom) bool {
-	idx, ok := in.byKey[fact.Key()]
-	return ok && in.live[idx]
+	pid, ok := in.predIDs[fact.Pred]
+	if !ok {
+		return false
+	}
+	n := len(fact.Args)
+	var idArr [inlineArity]TermID
+	ids := idArr[:0]
+	if n > inlineArity {
+		ids = make([]TermID, 0, n)
+	}
+	for _, t := range fact.Args {
+		id, ok := in.tt.Lookup(t)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+	}
+	idx, ok := in.lookupRow(pid, ids)
+	return ok && in.live.Has(int(idx))
 }
 
-// Fact returns the fact at index idx and whether it is live.
+// Fact returns the fact at index idx and whether it is live. The atom is
+// materialized from the interned row; hot paths should use the id-based
+// accessors instead.
 func (in *Instance) Fact(idx int) (Atom, bool) {
-	if idx < 0 || idx >= len(in.facts) {
+	if idx < 0 || idx >= len(in.factPred) {
 		return Atom{}, false
 	}
-	return in.facts[idx], in.live[idx]
+	row := in.row(idx)
+	args := make([]Term, len(row))
+	for i, id := range row {
+		args[i] = in.tt.Term(id)
+	}
+	return Atom{Pred: in.predName[in.factPred[idx]], Args: args}, in.live.Has(idx)
 }
 
 // Len returns the number of live facts.
-func (in *Instance) Len() int {
-	n := 0
-	for _, ok := range in.live {
-		if ok {
-			n++
-		}
-	}
-	return n
-}
+func (in *Instance) Len() int { return in.nLive }
 
 // Size returns the number of fact slots ever allocated (live or deleted);
 // valid fact indices are in [0, Size()).
-func (in *Instance) Size() int { return len(in.facts) }
+func (in *Instance) Size() int { return len(in.factPred) }
 
 // FactsFor returns the indices of live facts with the given predicate.
 func (in *Instance) FactsFor(pred string) []int {
-	src := in.byPred[pred]
+	pid, ok := in.predIDs[pred]
+	if !ok {
+		return nil
+	}
+	src := in.byPred[pid]
 	out := make([]int, 0, len(src))
 	for _, idx := range src {
-		if in.live[idx] {
-			out = append(out, idx)
+		if in.live.Has(int(idx)) {
+			out = append(out, int(idx))
 		}
 	}
 	return out
@@ -136,11 +239,19 @@ func (in *Instance) FactsFor(pred string) []int {
 // FactsMatching returns indices of live facts with the given predicate whose
 // position pos holds term t. It uses the positional index.
 func (in *Instance) FactsMatching(pred string, pos int, t Term) []int {
-	src := in.index[indexKey{pred, pos, t.Key()}]
+	pid, ok := in.predIDs[pred]
+	if !ok {
+		return nil
+	}
+	id, ok := in.tt.Lookup(t)
+	if !ok {
+		return nil
+	}
+	src := in.index[posKey{pid, int32(pos), id}]
 	out := make([]int, 0, len(src))
 	for _, idx := range src {
-		if in.live[idx] {
-			out = append(out, idx)
+		if in.live.Has(int(idx)) {
+			out = append(out, int(idx))
 		}
 	}
 	return out
@@ -148,9 +259,9 @@ func (in *Instance) FactsMatching(pred string, pos int, t Term) []int {
 
 // All returns the live facts in insertion order.
 func (in *Instance) All() []Atom {
-	out := make([]Atom, 0, len(in.facts))
-	for i, f := range in.facts {
-		if in.live[i] {
+	out := make([]Atom, 0, in.nLive)
+	for i := range in.factPred {
+		if f, live := in.Fact(i); live {
 			out = append(out, f)
 		}
 	}
@@ -158,30 +269,33 @@ func (in *Instance) All() []Atom {
 }
 
 // Clone returns an independent deep copy of the instance, preserving fact
-// indices.
+// indices and term ids.
 func (in *Instance) Clone() *Instance {
 	out := &Instance{
-		facts:  make([]Atom, len(in.facts)),
-		byKey:  make(map[string]int, len(in.byKey)),
-		byPred: make(map[string][]int, len(in.byPred)),
-		index:  make(map[indexKey][]int, len(in.index)),
-		live:   make(map[int]bool, len(in.live)),
-		nNulls: in.nNulls,
+		tt:       in.tt.Clone(),
+		predIDs:  make(map[string]int32, len(in.predIDs)),
+		predName: append([]string(nil), in.predName...),
+		factPred: append([]int32(nil), in.factPred...),
+		argOff:   append([]int32(nil), in.argOff...),
+		argIDs:   append([]TermID(nil), in.argIDs...),
+		byKey:    make(map[string]int32, len(in.byKey)),
+		byPred:   make([][]int32, len(in.byPred)),
+		index:    make(map[posKey][]int32, len(in.index)),
+		live:     in.live.Clone(),
+		nLive:    in.nLive,
+		nNulls:   in.nNulls,
 	}
-	for i, f := range in.facts {
-		out.facts[i] = f.Clone()
+	for k, v := range in.predIDs {
+		out.predIDs[k] = v
 	}
 	for k, v := range in.byKey {
 		out.byKey[k] = v
 	}
-	for k, v := range in.byPred {
-		out.byPred[k] = append([]int(nil), v...)
+	for i, v := range in.byPred {
+		out.byPred[i] = append([]int32(nil), v...)
 	}
 	for k, v := range in.index {
-		out.index[k] = append([]int(nil), v...)
-	}
-	for k, v := range in.live {
-		out.live[k] = v
+		out.index[k] = append([]int32(nil), v...)
 	}
 	return out
 }
@@ -229,8 +343,9 @@ func FreezeAtoms(atoms []Atom) (*Instance, Subst) {
 // DebugDump renders the instance with fact indices, for tests and traces.
 func (in *Instance) DebugDump() string {
 	var sb strings.Builder
-	for i, f := range in.facts {
-		if !in.live[i] {
+	for i := range in.factPred {
+		f, live := in.Fact(i)
+		if !live {
 			continue
 		}
 		sb.WriteString(strconv.Itoa(i))

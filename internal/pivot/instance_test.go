@@ -91,6 +91,137 @@ func TestInstanceClone(t *testing.T) {
 	}
 }
 
+// TestInstanceIndexInvariants exercises the interned-row layout: positional
+// index consistency across Remove/resurrect, clone independence at the
+// index level, and ReserveNulls interaction with interned null ids.
+func TestInstanceIndexInvariants(t *testing.T) {
+	t.Run("FactsMatchingAfterRemove", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			remove []Atom // facts to remove
+			pred   string
+			pos    int
+			term   Term
+			want   int
+		}{
+			{"none removed", nil, "R", 0, CInt(1), 2},
+			{"one of two removed", []Atom{NewAtom("R", CInt(1), CStr("a"))}, "R", 0, CInt(1), 1},
+			{"all removed", []Atom{NewAtom("R", CInt(1), CStr("a")), NewAtom("R", CInt(1), CStr("b"))}, "R", 0, CInt(1), 0},
+			{"other predicate unaffected", []Atom{NewAtom("R", CInt(1), CStr("a"))}, "S", 0, CInt(1), 1},
+			{"second position", []Atom{NewAtom("R", CInt(1), CStr("a"))}, "R", 1, CStr("a"), 1},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				in := NewInstance()
+				in.Add(NewAtom("R", CInt(1), CStr("a")))
+				in.Add(NewAtom("R", CInt(1), CStr("b")))
+				in.Add(NewAtom("R", CInt(2), CStr("a")))
+				in.Add(NewAtom("S", CInt(1)))
+				for _, f := range tc.remove {
+					idx, isNew := in.Add(f) // Add dedups, returning the index
+					if isNew {
+						t.Fatalf("test fact %v was not already present", f)
+					}
+					in.Remove(idx)
+				}
+				if got := len(in.FactsMatching(tc.pred, tc.pos, tc.term)); got != tc.want {
+					t.Errorf("FactsMatching(%s,%d,%v) = %d, want %d", tc.pred, tc.pos, tc.term, got, tc.want)
+				}
+			})
+		}
+	})
+
+	t.Run("RemoveResurrectKeepsIndexes", func(t *testing.T) {
+		in := NewInstance()
+		f := NewAtom("R", CInt(7), CStr("x"))
+		idx, _ := in.Add(f)
+		in.Remove(idx)
+		if got := in.FactsMatching("R", 0, CInt(7)); len(got) != 0 {
+			t.Fatalf("index leaks dead fact: %v", got)
+		}
+		idx2, isNew := in.Add(f)
+		if idx2 != idx || !isNew {
+			t.Fatalf("resurrect: idx=%d new=%v", idx2, isNew)
+		}
+		if got := in.FactsMatching("R", 1, CStr("x")); len(got) != 1 || got[0] != idx {
+			t.Errorf("index after resurrect = %v, want [%d]", got, idx)
+		}
+	})
+
+	t.Run("CloneIndependence", func(t *testing.T) {
+		in := NewInstance()
+		i0, _ := in.Add(NewAtom("R", CInt(1), CStr("a")))
+		in.Add(NewAtom("R", CInt(2), CStr("b")))
+		cl := in.Clone()
+		// Mutations on the clone must not leak into the original, at the
+		// fact level or the index level.
+		cl.Remove(i0)
+		cl.Add(NewAtom("R", CInt(3), CStr("a")))
+		cl.Add(NewAtom("T", CInt(9)))
+		if in.Len() != 2 || cl.Len() != 3 {
+			t.Errorf("Len: orig=%d clone=%d, want 2 and 3", in.Len(), cl.Len())
+		}
+		if !in.Has(NewAtom("R", CInt(1), CStr("a"))) {
+			t.Error("clone Remove leaked into original")
+		}
+		if in.Has(NewAtom("R", CInt(3), CStr("a"))) || in.Has(NewAtom("T", CInt(9))) {
+			t.Error("clone Add leaked into original")
+		}
+		if got := len(in.FactsMatching("R", 1, CStr("a"))); got != 1 {
+			t.Errorf("original index sees %d facts at R[1]=a, want 1", got)
+		}
+		if got := len(cl.FactsMatching("R", 1, CStr("a"))); got != 1 {
+			t.Errorf("clone index sees %d facts at R[1]=a, want 1 (fact 0 dead, fact with c=3 live)", got)
+		}
+		// Fact indices must be preserved by Clone.
+		if f, live := cl.Fact(i0); live || f.Pred != "R" {
+			t.Errorf("clone Fact(%d) = %v live=%v, want dead R fact", i0, f, live)
+		}
+	})
+
+	t.Run("ReserveNullsAndInternedIDs", func(t *testing.T) {
+		cases := []struct {
+			name    string
+			load    []Atom
+			reserve int64
+			wantMin int64 // FreshNull must exceed this
+		}{
+			{"plain counter", nil, 0, 0},
+			{"explicit reserve", nil, 41, 41},
+			{"loading nulls reserves", []Atom{NewAtom("R", Null(10))}, 0, 10},
+			{"reserve below loaded null", []Atom{NewAtom("R", Null(10))}, 5, 10},
+			{"reserve above loaded null", []Atom{NewAtom("R", Null(10))}, 20, 20},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				in := NewInstance()
+				for _, f := range tc.load {
+					in.Add(f)
+				}
+				in.ReserveNulls(tc.reserve)
+				n := in.FreshNull()
+				if int64(n) <= tc.wantMin {
+					t.Fatalf("FreshNull = %v, want > %d", n, tc.wantMin)
+				}
+				// A fact over the fresh null must intern to a distinct id:
+				// adding it must not collide with any loaded fact.
+				idx, isNew := in.Add(NewAtom("R", n))
+				if !isNew {
+					t.Fatalf("fresh-null fact collided with loaded fact at idx %d", idx)
+				}
+				if got := in.FactsMatching("R", 0, n); len(got) != 1 || got[0] != idx {
+					t.Errorf("FactsMatching on fresh null = %v, want [%d]", got, idx)
+				}
+				for _, f := range tc.load {
+					if !in.Has(f) {
+						t.Errorf("loaded fact %v lost", f)
+					}
+				}
+			})
+		}
+	})
+}
+
 func TestFreeze(t *testing.T) {
 	q := NewCQ(
 		NewAtom("Q", Var("x")),

@@ -1,0 +1,102 @@
+package pivot
+
+// Term interning. Every ground term (constant or labeled null) stored in an
+// instance is assigned a dense TermID by the instance's TermTable. Facts are
+// held as rows of TermIDs, so the homomorphism search, the chase trigger
+// detection, and fact dedup all compare 32-bit integers instead of hashing
+// string keys.
+
+// TermID is a dense identifier for an interned ground term. IDs are local to
+// one TermTable (hence to one Instance); they are never valid across
+// instances.
+type TermID int32
+
+// NoTerm is the sentinel "no binding / not interned" TermID.
+const NoTerm TermID = -1
+
+// TermTable interns ground terms (constants and labeled nulls) into dense
+// TermIDs. Variables are never interned: they exist only in queries and are
+// compiled to binding-frame slots by the homomorphism search.
+type TermTable struct {
+	terms  []Term
+	consts map[string]TermID // Const.Key() -> id
+	nulls  map[Null]TermID   // null label -> id
+}
+
+// NewTermTable returns an empty table.
+func NewTermTable() *TermTable {
+	return &TermTable{
+		consts: map[string]TermID{},
+		nulls:  map[Null]TermID{},
+	}
+}
+
+// Len returns the number of interned terms; valid TermIDs are [0, Len()).
+func (tt *TermTable) Len() int { return len(tt.terms) }
+
+// Intern returns the id of t, assigning a fresh one on first sight.
+// Interning a variable (or nil) panics: only ground terms live in instances.
+func (tt *TermTable) Intern(t Term) TermID {
+	switch x := t.(type) {
+	case Null:
+		if id, ok := tt.nulls[x]; ok {
+			return id
+		}
+		id := TermID(len(tt.terms))
+		tt.terms = append(tt.terms, x)
+		tt.nulls[x] = id
+		return id
+	case Var:
+		panic("pivot: TermTable.Intern called with variable " + string(x))
+	default:
+		if t == nil || t.Kind() == KindVar {
+			panic("pivot: TermTable.Intern called with non-ground term")
+		}
+		k := t.Key()
+		if id, ok := tt.consts[k]; ok {
+			return id
+		}
+		id := TermID(len(tt.terms))
+		tt.terms = append(tt.terms, t)
+		tt.consts[k] = id
+		return id
+	}
+}
+
+// Lookup returns the id of t without interning it. The second result is
+// false when t has never been interned (or is a variable/nil).
+func (tt *TermTable) Lookup(t Term) (TermID, bool) {
+	switch x := t.(type) {
+	case Null:
+		id, ok := tt.nulls[x]
+		return id, ok
+	case Var:
+		return NoTerm, false
+	default:
+		if t == nil || t.Kind() == KindVar {
+			return NoTerm, false
+		}
+		id, ok := tt.consts[t.Key()]
+		return id, ok
+	}
+}
+
+// Term returns the term with the given id. Passing an id outside [0, Len())
+// panics.
+func (tt *TermTable) Term(id TermID) Term { return tt.terms[id] }
+
+// Clone returns an independent copy of the table. IDs are preserved.
+func (tt *TermTable) Clone() *TermTable {
+	out := &TermTable{
+		terms:  append([]Term(nil), tt.terms...),
+		consts: make(map[string]TermID, len(tt.consts)),
+		nulls:  make(map[Null]TermID, len(tt.nulls)),
+	}
+	for k, v := range tt.consts {
+		out.consts[k] = v
+	}
+	for k, v := range tt.nulls {
+		out.nulls[k] = v
+	}
+	return out
+}

@@ -5,6 +5,60 @@ import (
 	"testing/quick"
 )
 
+func TestTermTableInternLookup(t *testing.T) {
+	tt := NewTermTable()
+	id1 := tt.Intern(CInt(42))
+	id2 := tt.Intern(CStr("42"))
+	id3 := tt.Intern(Null(1))
+	if id1 == id2 || id1 == id3 || id2 == id3 {
+		t.Fatalf("distinct terms share ids: %d %d %d", id1, id2, id3)
+	}
+	if got := tt.Intern(CInt(42)); got != id1 {
+		t.Errorf("re-intern returned %d, want %d", got, id1)
+	}
+	// CInt normalizes to int64, so an equal-keyed constant reuses the id.
+	if got := tt.Intern(Const{V: int(42)}); got != id1 {
+		t.Errorf("int/int64 constants with equal keys must share an id: %d vs %d", got, id1)
+	}
+	if got, ok := tt.Lookup(Null(1)); !ok || got != id3 {
+		t.Errorf("Lookup(Null(1)) = %d,%v", got, ok)
+	}
+	if _, ok := tt.Lookup(Null(99)); ok {
+		t.Error("Lookup of un-interned null succeeded")
+	}
+	if _, ok := tt.Lookup(Var("x")); ok {
+		t.Error("Lookup of a variable succeeded")
+	}
+	if !SameTerm(tt.Term(id1), CInt(42)) || !SameTerm(tt.Term(id3), Null(1)) {
+		t.Error("Term round-trip broken")
+	}
+	if tt.Len() != 3 {
+		t.Errorf("Len = %d", tt.Len())
+	}
+}
+
+func TestTermTableInternPanicsOnVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on interning a variable")
+		}
+	}()
+	NewTermTable().Intern(Var("x"))
+}
+
+func TestTermTableClone(t *testing.T) {
+	tt := NewTermTable()
+	id := tt.Intern(CStr("a"))
+	cl := tt.Clone()
+	cl.Intern(CStr("b"))
+	if got, ok := cl.Lookup(CStr("a")); !ok || got != id {
+		t.Error("clone lost interned term or changed its id")
+	}
+	if _, ok := tt.Lookup(CStr("b")); ok {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
 func TestTermKinds(t *testing.T) {
 	cases := []struct {
 		t    Term

@@ -49,6 +49,11 @@ type Options struct {
 	// MaxRewritings stops the search after this many verified rewritings
 	// (0 = find all minimal ones).
 	MaxRewritings int
+	// Workers sets the size of the verification worker pool used by the
+	// PACB backchase (0 = runtime.GOMAXPROCS, 1 = fully serial). The
+	// rewriting set returned is identical for every worker count; the naive
+	// C&B baseline is always serial.
+	Workers int
 	// MaxCandidates bounds the number of candidate subqueries examined
 	// (default 100_000); exceeding it aborts with ErrSearchBudget.
 	MaxCandidates int
@@ -146,7 +151,10 @@ func Rewrite(q pivot.CQ, views []View, opts Options) (*Result, error) {
 	}
 
 	up := buildUniversalPlan(q, frozen, seedCount, fwd, viewPreds)
-	verifyCS := opts.Schema.Merge(forward).Merge(backward)
+	verifyCS, err := chase.Prepare(opts.Schema.Merge(forward).Merge(backward))
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: %w", err)
+	}
 
 	searcher := &search{
 		q:        q,
@@ -259,7 +267,7 @@ func resolveAtom(a pivot.Atom, res *chase.Result) pivot.Atom {
 type search struct {
 	q        pivot.CQ
 	up       *universalPlan
-	verifyCS pivot.Constraints
+	verifyCS *chase.Prepared
 	opts     Options
 	stats    Stats
 
@@ -302,7 +310,13 @@ func (s *search) candidate(factIdx []int) (pivot.CQ, bool) {
 // is a fact of q's chased canonical database.)
 func (s *search) verify(cand pivot.CQ) (bool, error) {
 	s.stats.VerificationChases++
-	ok, err := chase.ContainedInUnder(cand, s.q, s.verifyCS, s.opts.Chase)
+	return s.verifyQuiet(cand)
+}
+
+// verifyQuiet is verify without the stats update — safe to call from the
+// parallel verification workers, which only read the search state.
+func (s *search) verifyQuiet(cand pivot.CQ) (bool, error) {
+	ok, err := s.verifyCS.ContainedIn(cand, s.q, s.opts.Chase)
 	if err != nil {
 		if errors.Is(err, chase.ErrBudget) {
 			return false, nil // treat as unverifiable, skip candidate

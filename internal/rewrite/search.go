@@ -1,7 +1,10 @@
 package rewrite
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chase"
 	"repro/internal/pivot"
@@ -11,6 +14,12 @@ import (
 // query atoms by view-atom provenance, verifying each with a chase. This is
 // the provenance-aware pruning of Ileana et al.: instead of 2^n subqueries,
 // only subsets whose provenance accounts for every query atom are examined.
+//
+// Cover enumeration is cheap and stays sequential; the expensive
+// verification chases run on a worker pool (Options.Workers, default
+// GOMAXPROCS). Candidates are verified in batches and their results applied
+// in enumeration order, so the returned rewriting set is identical to the
+// serial one regardless of worker count.
 func (s *search) pacb() ([]pivot.CQ, error) {
 	up := s.up
 	if up.allGroups.Empty() {
@@ -38,7 +47,7 @@ func (s *search) pacb() ([]pivot.CQ, error) {
 		})
 	}
 
-	var out []pivot.CQ
+	coll := newVerifyCollector(s)
 	seen := map[string]bool{}
 	banned := make([]bool, len(useful))
 	var chosen []int
@@ -46,7 +55,7 @@ func (s *search) pacb() ([]pivot.CQ, error) {
 
 	var dfs func(covered chase.Bitset) bool // returns false to abort
 	dfs = func(covered chase.Bitset) bool {
-		if s.opts.MaxRewritings > 0 && len(out) >= s.opts.MaxRewritings {
+		if coll.full() {
 			return false
 		}
 		// First uncovered group.
@@ -58,7 +67,8 @@ func (s *search) pacb() ([]pivot.CQ, error) {
 			}
 		}
 		if first == -1 {
-			// Complete cover: emit if irredundant, unseen and verified.
+			// Complete cover: hand over if irredundant and unseen; the
+			// collector verifies and accepts in enumeration order.
 			s.stats.Candidates++
 			if s.stats.Candidates > s.opts.MaxCandidates {
 				budgetErr = ErrSearchBudget
@@ -76,20 +86,11 @@ func (s *search) pacb() ([]pivot.CQ, error) {
 				return true
 			}
 			key := rewritingKey(cand.Body)
-			if seen[key] || s.subsumedByAccepted(cand.Body) {
+			if seen[key] {
 				return true
 			}
 			seen[key] = true
-			verified, err := s.verify(cand)
-			if err != nil {
-				budgetErr = err
-				return false
-			}
-			if verified {
-				out = append(out, cand)
-				s.accepted = append(s.accepted, key)
-			}
-			return true
+			return coll.add(cand, key)
 		}
 		// Branch on every fact covering the first uncovered group; ban
 		// earlier branches in the subtree to avoid duplicate covers.
@@ -115,10 +116,132 @@ func (s *search) pacb() ([]pivot.CQ, error) {
 		return true
 	}
 	dfs(chase.NewBitset(nGroups))
+	coll.finish()
 	if budgetErr != nil {
-		return out, budgetErr
+		return coll.out, budgetErr
 	}
-	return out, nil
+	return coll.out, coll.err
+}
+
+// verifyCandidate is one enumerated cover awaiting verification.
+type verifyCandidate struct {
+	cq  pivot.CQ
+	key string
+}
+
+// verifyCollector batches candidate rewritings and verifies each batch on a
+// worker pool, applying results strictly in enumeration order. With one
+// worker the batch size is one and the behavior is step-for-step the serial
+// algorithm; with more workers extra verification chases may run for
+// candidates a serial search would have pruned by subsumption, but the
+// accepted set (and its order) is identical.
+type verifyCollector struct {
+	s       *search
+	workers int
+	batch   []verifyCandidate
+	out     []pivot.CQ
+	err     error
+	stop    bool
+}
+
+func newVerifyCollector(s *search) *verifyCollector {
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &verifyCollector{s: s, workers: workers}
+}
+
+// full reports whether the search should stop (rewriting quota reached or a
+// verification error occurred).
+func (c *verifyCollector) full() bool { return c.stop || c.err != nil }
+
+// add enqueues a candidate, flushing a full batch. It returns false when
+// enumeration should stop.
+func (c *verifyCollector) add(cand pivot.CQ, key string) bool {
+	c.batch = append(c.batch, verifyCandidate{cq: cand, key: key})
+	if len(c.batch) >= c.workers {
+		c.flush()
+	}
+	return !c.full()
+}
+
+// finish flushes the trailing partial batch.
+func (c *verifyCollector) finish() {
+	if !c.full() {
+		c.flush()
+	}
+}
+
+type verifyOutcome struct {
+	ok  bool
+	err error
+}
+
+func (c *verifyCollector) flush() {
+	if len(c.batch) == 0 {
+		return
+	}
+	// Drop candidates subsumed by rewritings accepted in earlier batches
+	// before paying for their chases.
+	kept := make([]verifyCandidate, 0, len(c.batch))
+	for _, cand := range c.batch {
+		if !c.s.subsumedByAccepted(cand.cq.Body) {
+			kept = append(kept, cand)
+		}
+	}
+	c.batch = c.batch[:0]
+	if len(kept) == 0 {
+		return
+	}
+	c.s.stats.VerificationChases += len(kept)
+	results := make([]verifyOutcome, len(kept))
+	if c.workers == 1 || len(kept) == 1 {
+		for i, cand := range kept {
+			results[i].ok, results[i].err = c.s.verifyQuiet(cand.cq)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		n := c.workers
+		if len(kept) < n {
+			n = len(kept)
+		}
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(kept) {
+						return
+					}
+					results[i].ok, results[i].err = c.s.verifyQuiet(kept[i].cq)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Apply in enumeration order: the first error wins, accepted rewritings
+	// subsume later batch members, and the quota cuts deterministically.
+	for i, cand := range kept {
+		if results[i].err != nil {
+			c.err = results[i].err
+			return
+		}
+		if !results[i].ok {
+			continue
+		}
+		if c.s.subsumedByAccepted(cand.cq.Body) {
+			continue
+		}
+		c.out = append(c.out, cand.cq)
+		c.s.accepted = append(c.s.accepted, cand.key)
+		if c.s.opts.MaxRewritings > 0 && len(c.out) >= c.s.opts.MaxRewritings {
+			c.stop = true
+			return
+		}
+	}
 }
 
 // irredundant reports whether dropping any chosen fact leaves some group
@@ -142,8 +265,9 @@ func (s *search) irredundant(chosenPos []int) bool {
 
 // naive enumerates every subquery of the universal plan smallest-first,
 // verifying each with a chase — the classical C&B baseline whose cost PACB
-// avoids. Supersets of accepted rewritings are skipped (they cannot be
-// minimal), as are duplicates.
+// avoids. It is deliberately kept sequential: it is the yardstick the
+// paper's E3 experiment measures PACB against. Supersets of accepted
+// rewritings are skipped (they cannot be minimal), as are duplicates.
 func (s *search) naive() ([]pivot.CQ, error) {
 	n := len(s.up.viewFacts)
 	var out []pivot.CQ

@@ -1,0 +1,84 @@
+package rewrite
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pivot"
+)
+
+// chainQueryWithViews builds the E3 configuration: a chain query of length k
+// over R0..R(k-1) and v identity views per relation.
+func chainQueryWithViews(k, vPerRel int) (pivot.CQ, []View) {
+	var body []pivot.Atom
+	for i := 0; i < k; i++ {
+		body = append(body, pivot.NewAtom(fmt.Sprintf("R%d", i),
+			pivot.Var(fmt.Sprintf("x%d", i)), pivot.Var(fmt.Sprintf("x%d", i+1))))
+	}
+	q := pivot.NewCQ(pivot.NewAtom("Q",
+		pivot.Var("x0"), pivot.Var(fmt.Sprintf("x%d", k))), body...)
+	var views []View
+	for i := 0; i < k; i++ {
+		for j := 0; j < vPerRel; j++ {
+			name := fmt.Sprintf("V%d_%d", i, j)
+			views = append(views, NewView(name, pivot.NewCQ(
+				pivot.NewAtom(name, pivot.Var("a"), pivot.Var("b")),
+				pivot.NewAtom(fmt.Sprintf("R%d", i), pivot.Var("a"), pivot.Var("b")))))
+		}
+	}
+	return q, views
+}
+
+// TestParallelPACBDeterministic is the determinism guard: the parallel PACB
+// search must return exactly the rewriting set of the serial path, in the
+// same order, on the E3 k=4,v=3 configuration, for any worker count.
+func TestParallelPACBDeterministic(t *testing.T) {
+	q, views := chainQueryWithViews(4, 3)
+	serial, err := Rewrite(q, views, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial rewrite: %v", err)
+	}
+	if len(serial.Rewritings) == 0 {
+		t.Fatal("serial search found no rewritings")
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		par, err := Rewrite(q, views, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("parallel rewrite (workers=%d): %v", workers, err)
+		}
+		if len(par.Rewritings) != len(serial.Rewritings) {
+			t.Fatalf("workers=%d: %d rewritings, serial found %d",
+				workers, len(par.Rewritings), len(serial.Rewritings))
+		}
+		for i := range serial.Rewritings {
+			sk := rewritingKey(serial.Rewritings[i].Body)
+			pk := rewritingKey(par.Rewritings[i].Body)
+			if sk != pk {
+				t.Errorf("workers=%d: rewriting %d differs:\nserial:   %v\nparallel: %v",
+					workers, i, serial.Rewritings[i], par.Rewritings[i])
+			}
+		}
+	}
+}
+
+// TestParallelPACBMaxRewritings checks that the rewriting quota cuts the
+// parallel result deterministically at the same prefix as the serial one.
+func TestParallelPACBMaxRewritings(t *testing.T) {
+	q, views := chainQueryWithViews(3, 2)
+	serial, err := Rewrite(q, views, Options{Workers: 1, MaxRewritings: 2})
+	if err != nil {
+		t.Fatalf("serial rewrite: %v", err)
+	}
+	par, err := Rewrite(q, views, Options{Workers: 4, MaxRewritings: 2})
+	if err != nil {
+		t.Fatalf("parallel rewrite: %v", err)
+	}
+	if len(serial.Rewritings) != 2 || len(par.Rewritings) != 2 {
+		t.Fatalf("quota not honored: serial=%d parallel=%d", len(serial.Rewritings), len(par.Rewritings))
+	}
+	for i := range serial.Rewritings {
+		if rewritingKey(serial.Rewritings[i].Body) != rewritingKey(par.Rewritings[i].Body) {
+			t.Errorf("rewriting %d differs under quota", i)
+		}
+	}
+}

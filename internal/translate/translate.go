@@ -15,6 +15,10 @@ import (
 )
 
 // Planner translates rewritings into executable plans and costs them.
+// maxDistinctHint caps the pre-sized dedup table of the final Distinct:
+// estimates are unclamped products and can vastly exceed real outputs.
+const maxDistinctHint = 1 << 20
+
 type Planner struct {
 	Catalog *catalog.Catalog
 	Stores  *Stores
@@ -108,8 +112,18 @@ func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
 		return nil, err
 	}
 	cost, rows := p.estimate(r, frags, order, delegations)
+	// Clamp the dedup-table hint: cardinality estimates are unbounded
+	// products and must not pre-allocate an arbitrarily large map.
+	sizeHint := 0
+	if rows > 0 {
+		if rows < maxDistinctHint {
+			sizeHint = int(rows)
+		} else {
+			sizeHint = maxDistinctHint
+		}
+	}
 	return &Plan{
-		Root:        &exec.Distinct{In: final},
+		Root:        &exec.Distinct{In: final, SizeHint: sizeHint},
 		Rewriting:   r,
 		Cost:        cost,
 		EstRows:     rows,
