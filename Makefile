@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-smoke
+.PHONY: all build test test-race vet check bench bench-smoke
 
 all: check
 
@@ -19,10 +19,17 @@ vet:
 check: vet build test
 
 # Full benchmark sweep in machine-readable form; BENCH_<n>.json files track
-# the performance trajectory across PRs (BENCH_1.json is this PR's).
+# the performance trajectory across PRs. Pass N to pick the snapshot
+# number: `make bench N=2` writes BENCH_2.json.
+N ?= 1
 bench:
-	$(GO) test -run xxx -bench . -benchmem -benchtime=1x -json > BENCH_1.json
-	@echo "wrote BENCH_1.json"
+	$(GO) test -run xxx -bench . -benchmem -benchtime=1x -json > BENCH_$(N).json
+	@echo "wrote BENCH_$(N).json"
+
+# Concurrency soak: the full suite under the race detector (CI runs this
+# as its own job).
+test-race:
+	$(GO) test -race ./...
 
 # Quick allocation check of the rewriting hot path.
 bench-smoke:

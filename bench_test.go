@@ -15,6 +15,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/value"
 )
 
@@ -454,4 +456,133 @@ func BenchmarkE6FeasibilityCheck(b *testing.B) {
 			b.Fatal("infeasible query answered")
 		}
 	}
+}
+
+// --- Service throughput: the concurrent mediator runtime -------------------
+
+// The BenchmarkServiceThroughput family measures the mediator service
+// (sessions + shared single-flight rewriting cache + fingerprinting +
+// admission) end to end with a closed-loop load generator: every client
+// issues its next query the instant the previous one returns. "Hot"
+// traffic cycles constant-renamed variants of the scenario's three
+// workload shapes — after warmup every query is a cache hit executing
+// through the Prepared bind path. "Mixed" traffic adds periodic cold
+// fingerprints (distinct query shapes) that run the full PACB rewrite
+// under single-flight. Reported metric: achieved queries/sec.
+
+var (
+	benchSvcOnce sync.Once
+	benchSvc     *service.Service
+	benchSvcUIDs []string
+)
+
+func setupService(b *testing.B) {
+	b.Helper()
+	setupMarketplaces(b)
+	benchSvcOnce.Do(func() {
+		benchSvc = service.New(benchMkts[scenario.Materialized].Sys, service.Options{
+			MaxInFlight: 64,
+			Schema:      scenario.LogicalSchema,
+		})
+		benchSvcUIDs = benchMkts[scenario.Materialized].Data.ZipfUserKeys(200, 97)
+	})
+}
+
+// hotQuery cycles the E1 mix (40 % prefs, 40 % carts, 20 % profile) over
+// Zipf-distributed user keys: three fingerprints total, every literal
+// different.
+func hotQuery(op int) pivot.CQ {
+	uid := benchSvcUIDs[op%len(benchSvcUIDs)]
+	switch op % 5 {
+	case 0, 1:
+		return pivot.NewCQ(
+			pivot.NewAtom("QPrefs", pivot.CStr(uid), pivot.Var("k"), pivot.Var("val")),
+			pivot.NewAtom("Prefs", pivot.CStr(uid), pivot.Var("k"), pivot.Var("val")))
+	case 2, 3:
+		return pivot.NewCQ(
+			pivot.NewAtom("QCart", pivot.CStr(uid), pivot.Var("pid"), pivot.Var("qty")),
+			pivot.NewAtom("Carts", pivot.CStr(uid), pivot.Var("pid"), pivot.Var("qty")))
+	default:
+		return pivot.NewCQ(
+			pivot.NewAtom("QProfile", pivot.CStr(uid), pivot.Var("name"), pivot.Var("pid")),
+			pivot.NewAtom("Users", pivot.CStr(uid), pivot.Var("name"), pivot.Var("city")),
+			pivot.NewAtom("Orders", pivot.Var("oid"), pivot.CStr(uid), pivot.Var("pid"), pivot.Var("amount")))
+	}
+}
+
+// coldQuery builds one of eight structurally distinct join shapes —
+// distinct fingerprints, so each first occurrence runs the PACB rewrite.
+func coldQuery(shape int) pivot.CQ {
+	shape = shape % 8
+	body := []pivot.Atom{
+		pivot.NewAtom("Users", pivot.Var("u"), pivot.Var("name"), pivot.Var("city")),
+		pivot.NewAtom("Orders", pivot.Var("o"), pivot.Var("u"), pivot.Var("p"), pivot.Var("a")),
+	}
+	for i := 0; i <= shape%3; i++ {
+		body = append(body, pivot.NewAtom("Visits",
+			pivot.Var("u"), pivot.Var(fmt.Sprintf("vp%d", i)), pivot.Var(fmt.Sprintf("vd%d", i))))
+	}
+	head := pivot.NewAtom("QCold", pivot.Var("u"), pivot.Var("name"))
+	if shape >= 3 {
+		head = pivot.NewAtom("QCold", pivot.Var("u"), pivot.Var("name"), pivot.Var(fmt.Sprintf("vd%d", shape%3)))
+	}
+	if shape >= 6 {
+		body = append(body, pivot.NewAtom("Products",
+			pivot.Var("p"), pivot.Var("cat"), pivot.Var("descr")))
+	}
+	return pivot.CQ{Head: head, Body: body}
+}
+
+func benchmarkServiceThroughput(b *testing.B, clients int, next func(client, op int) pivot.CQ, warm func() []pivot.CQ) {
+	setupService(b)
+	ctx := context.Background()
+	for _, q := range warm() {
+		if _, err := benchSvc.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opsPer := b.N/clients + 1
+	b.ResetTimer()
+	res := service.RunClosedLoop(ctx, benchSvc, clients, opsPer, next)
+	b.StopTimer()
+	if res.Errors > 0 {
+		b.Fatalf("%d/%d queries failed", res.Errors, res.Ops)
+	}
+	b.ReportMetric(res.QPS(), "qps")
+	b.ReportMetric(float64(res.Ops), "ops")
+}
+
+func hotWarmup() []pivot.CQ {
+	return []pivot.CQ{hotQuery(0), hotQuery(2), hotQuery(4)}
+}
+
+func hotNext(client, op int) pivot.CQ { return hotQuery(client*7919 + op) }
+
+// mixedNext serves 1 cold-shape query in 10; the other nine are hot.
+func mixedNext(client, op int) pivot.CQ {
+	i := client*7919 + op
+	if i%10 == 9 {
+		return coldQuery(i / 10)
+	}
+	return hotQuery(i)
+}
+
+func BenchmarkServiceThroughput_Hot1(b *testing.B) {
+	benchmarkServiceThroughput(b, 1, hotNext, hotWarmup)
+}
+
+func BenchmarkServiceThroughput_Hot4(b *testing.B) {
+	benchmarkServiceThroughput(b, 4, hotNext, hotWarmup)
+}
+
+func BenchmarkServiceThroughput_Hot16(b *testing.B) {
+	benchmarkServiceThroughput(b, 16, hotNext, hotWarmup)
+}
+
+func BenchmarkServiceThroughput_Mixed4(b *testing.B) {
+	benchmarkServiceThroughput(b, 4, mixedNext, hotWarmup)
+}
+
+func BenchmarkServiceThroughput_Mixed16(b *testing.B) {
+	benchmarkServiceThroughput(b, 16, mixedNext, hotWarmup)
 }

@@ -1,0 +1,223 @@
+// estocada-serve exposes a deployed ESTOCADA instance as a network
+// service: the concurrent mediator runtime (sessions, shared single-flight
+// rewriting cache, admission control) behind an HTTP+JSON front end.
+//
+// Usage:
+//
+//	estocada-serve -addr :8080 -scenario marketplace -variant materialized
+//
+// Endpoints:
+//
+//	POST /session            → {"session": 1}
+//	POST /query              body: {"lang":"sql|flwor|cq", "query":"...",
+//	                                "session": 1}   (session optional)
+//	GET  /stats              service metrics + per-store counters
+//	GET  /fragments          the catalog's storage descriptors
+//	GET  /healthz            liveness probe
+//
+// Examples:
+//
+//	curl -s localhost:8080/query -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''"}'
+//	curl -s localhost:8080/query -d '{"lang":"cq","query":"Q(pid, qty) :- Carts('\''u00007'\'', pid, qty)"}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scenarioFlag := flag.String("scenario", "marketplace", "dataset: marketplace or bdb")
+	variantFlag := flag.String("variant", "materialized", "marketplace storage variant: baseline, kv, materialized")
+	users := flag.Int("users", 500, "users in the generated marketplace")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query timeout (0 = none)")
+	maxInFlight := flag.Int("max-inflight", 0, "bounded concurrent executions (0 = 4×GOMAXPROCS)")
+	shards := flag.Int("cache-shards", 16, "rewriting cache shards")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle sessions are reaped after this (0 = never)")
+	flag.Parse()
+
+	svc, err := deploy(*scenarioFlag, *variantFlag, *users, service.Options{
+		MaxInFlight:  *maxInFlight,
+		QueryTimeout: *timeout,
+		CacheShards:  *shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *sessionTTL > 0 {
+		go func() {
+			for range time.Tick(*sessionTTL / 4) {
+				if n := svc.ReapSessions(*sessionTTL); n > 0 {
+					log.Printf("reaped %d idle sessions", n)
+				}
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		sess := svc.NewSession()
+		writeJSON(w, map[string]any{"session": sess.ID()})
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Lang    string `json:"lang"`
+			Query   string `json:"query"`
+			Session uint64 `json:"session"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var res *service.Result
+		var err error
+		if req.Session != 0 {
+			sess, ok := svc.Session(req.Session)
+			if !ok {
+				http.Error(w, "unknown session "+strconv.FormatUint(req.Session, 10), http.StatusNotFound)
+				return
+			}
+			res, err = sess.QueryText(r.Context(), req.Lang, req.Query)
+		} else {
+			res, err = svc.QueryText(r.Context(), req.Lang, req.Query)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		rows := make([][]any, len(res.Rows))
+		for i, t := range res.Rows {
+			rows[i] = jsonTuple(t)
+		}
+		perStore := map[string]map[string]int64{}
+		for store, c := range res.PerStore {
+			perStore[store] = map[string]int64{
+				"requests": c.Requests, "scans": c.Scans,
+				"lookups": c.Lookups, "tuples": c.Tuples,
+			}
+		}
+		writeJSON(w, map[string]any{
+			"rows": rows,
+			"report": map[string]any{
+				"fingerprint": res.Fingerprint,
+				"cacheHit":    res.CacheHit,
+				"coalesced":   res.Coalesced,
+				"planTimeUs":  res.PlanTime.Microseconds(),
+				"execTimeUs":  res.ExecTime.Microseconds(),
+				"perStore":    perStore,
+			},
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Snapshot()
+		stores := map[string]map[string]int64{}
+		for _, e := range svc.System().Stores.All() {
+			c := e.Counters().Snapshot()
+			stores[e.Name()] = map[string]int64{
+				"requests": c.Requests, "scans": c.Scans,
+				"lookups": c.Lookups, "tuples": c.Tuples,
+			}
+		}
+		writeJSON(w, map[string]any{"service": snap, "stores": stores})
+	})
+	mux.HandleFunc("/fragments", func(w http.ResponseWriter, r *http.Request) {
+		var out []string
+		for _, f := range svc.System().Catalog.All() {
+			out = append(out, f.Describe())
+		}
+		writeJSON(w, map[string]any{"fragments": out})
+	})
+
+	log.Printf("estocada-serve: %s scenario on %s", *scenarioFlag, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// deploy builds the selected scenario and wraps it in a service.
+func deploy(scen, variant string, users int, opts service.Options) (*service.Service, error) {
+	switch scen {
+	case "marketplace":
+		var v scenario.Variant
+		switch variant {
+		case "baseline":
+			v = scenario.Baseline
+		case "kv":
+			v = scenario.KV
+		case "materialized":
+			v = scenario.Materialized
+		default:
+			return nil, fmt.Errorf("unknown variant %q", variant)
+		}
+		cfg := datagen.DefaultMarketplace()
+		cfg.Users = users
+		m, err := scenario.New(cfg, v)
+		if err != nil {
+			return nil, err
+		}
+		opts.Schema = scenario.LogicalSchema
+		return service.New(m.Sys, opts), nil
+	case "bdb":
+		d, err := scenario.NewBDB(datagen.DefaultBDB(), true)
+		if err != nil {
+			return nil, err
+		}
+		opts.Schema = scenario.BDBSchema
+		return service.New(d.Sys, opts), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (marketplace|bdb)", scen)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// jsonTuple maps a result tuple to JSON-native values; nested structures
+// fall back to their textual rendering.
+func jsonTuple(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch x := v.(type) {
+		case value.Str:
+			out[i] = string(x)
+		case value.Int:
+			out[i] = int64(x)
+		case value.Float:
+			out[i] = float64(x)
+		case value.Bool:
+			out[i] = bool(x)
+		case value.Null, nil:
+			out[i] = nil
+		default:
+			out[i] = x.String()
+		}
+	}
+	return out
+}

@@ -9,9 +9,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -55,6 +57,13 @@ type System struct {
 	mu     sync.Mutex
 	schema pivot.Constraints
 	cache  map[string]*cacheEntry
+
+	// epoch counts catalog generations: every fragment registration/drop,
+	// constraint merge, or statistics refresh through Materialize bumps
+	// it. Plan caches outside the system (the service layer's shared
+	// rewriting cache) validate entries against the epoch they were
+	// created under, instead of being flushed wholesale.
+	epoch atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -114,9 +123,13 @@ func (s *System) AddParStore(name string, partitions int) *parstore.Store {
 // keys, inclusions) used during rewriting.
 func (s *System) AddConstraints(cs pivot.Constraints) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.schema = s.schema.Merge(cs)
 	s.cache = map[string]*cacheEntry{}
+	s.mu.Unlock()
+	// Mutate, then bump: a concurrent cold miss that reads the new epoch
+	// must also see the merged schema, or its cached rewriting would be
+	// stale yet tagged fresh.
+	s.epoch.Add(1)
 }
 
 // SchemaConstraints returns the registered constraints.
@@ -176,9 +189,16 @@ func (s *System) DropFragment(name string) error {
 
 func (s *System) invalidateCache() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.cache = map[string]*cacheEntry{}
+	s.mu.Unlock()
+	// Mutate-then-bump, as in AddConstraints: callers change the catalog
+	// before invalidating, so readers of the new epoch see the new state.
+	s.epoch.Add(1)
 }
+
+// CacheEpoch returns the current catalog generation. Cached plans and
+// rewritings derived under an older epoch are stale.
+func (s *System) CacheEpoch() uint64 { return s.epoch.Load() }
 
 // Materialize creates the fragment's physical container in its store (if
 // needed) and loads the given view tuples, then records fresh statistics.
@@ -410,10 +430,17 @@ type Result struct {
 // registered fragments: rewrite (PACB under the schema constraints +
 // access patterns), choose the cheapest executable plan, run it.
 func (s *System) Query(q pivot.CQ) (*Result, error) {
-	return s.query(q, nil)
+	return s.query(context.Background(), q, nil)
 }
 
-func (s *System) query(q pivot.CQ, boundHead []int) (*Result, error) {
+// QueryCtx is Query under a cancellation context: admission layers use it
+// to enforce per-query timeouts. Cancellation is checked between tuple
+// batches, not inside a single store access.
+func (s *System) QueryCtx(ctx context.Context, q pivot.CQ) (*Result, error) {
+	return s.query(ctx, q, nil)
+}
+
+func (s *System) query(ctx context.Context, q pivot.CQ, boundHead []int) (*Result, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -461,30 +488,18 @@ func (s *System) query(q pivot.CQ, boundHead []int) (*Result, error) {
 	rep.PlanExplain = plan.Explain()
 	rep.PlanningTime = time.Since(start)
 
-	before := s.snapshotCounters()
+	// Per-execution attribution: the execution carries its own counter
+	// sink, so concurrent queries report disjoint, exact per-store splits
+	// (global-snapshot diffing would charge this query with other queries'
+	// concurrent work).
+	ec := &exec.Ctx{Context: ctx, Counters: engine.NewExecCounters()}
 	execStart := time.Now()
-	rows, err := exec.Run(plan.Root)
+	rows, err := exec.RunWith(ec, plan.Root)
 	if err != nil {
 		return nil, err
 	}
 	rep.ExecTime = time.Since(execStart)
-	rep.PerStore = s.diffCounters(before)
+	rep.PerStore = ec.Counters.Snapshot()
 
 	return &Result{Rows: rows, Report: rep}, nil
-}
-
-func (s *System) snapshotCounters() map[string]engine.CounterSnapshot {
-	out := map[string]engine.CounterSnapshot{}
-	for _, e := range s.Stores.All() {
-		out[e.Name()] = e.Counters().Snapshot()
-	}
-	return out
-}
-
-func (s *System) diffCounters(before map[string]engine.CounterSnapshot) map[string]engine.CounterSnapshot {
-	out := map[string]engine.CounterSnapshot{}
-	for _, e := range s.Stores.All() {
-		out[e.Name()] = e.Counters().Snapshot().Sub(before[e.Name()])
-	}
-	return out
 }

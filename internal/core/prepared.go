@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/engines/engine"
 	"repro/internal/exec"
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
@@ -27,9 +30,17 @@ type Prepared struct {
 	// rewriting (head positions are preserved by the rewriter).
 	paramInRewriting []pivot.Var
 
-	mu        sync.Mutex
-	planCache map[string]*translate.Plan
+	// planCache maps bound-parameter keys to built plans. Reads vastly
+	// outnumber writes on the hot path (the service layer funnels every
+	// fingerprint-equal query through one Prepared), so a sync.Map keeps
+	// concurrent Execs from serializing on a mutex; planCacheLen bounds
+	// the entry count approximately.
+	planCache    sync.Map
+	planCacheLen atomic.Int64
 }
+
+// maxBoundPlanCache bounds the per-Prepared bound-plan cache.
+const maxBoundPlanCache = 4096
 
 // Prepare rewrites a parameterized query. Parameters must be head
 // variables of q (their runtime values are also returned, which loses
@@ -98,7 +109,6 @@ func (s *System) Prepare(q pivot.CQ, params ...pivot.Var) (*Prepared, error) {
 		query:     q,
 		params:    params,
 		rewriting: best,
-		planCache: map[string]*translate.Plan{},
 	}
 	for _, pos := range paramPos {
 		v, ok := best.Head.Args[pos].(pivot.Var)
@@ -116,8 +126,17 @@ func (p *Prepared) Rewriting() pivot.CQ { return p.rewriting }
 // Exec runs the prepared query with the given parameter values (one per
 // declared parameter, in order).
 func (p *Prepared) Exec(args ...value.Value) ([]value.Tuple, error) {
+	rows, _, err := p.ExecCtx(context.Background(), nil, args...)
+	return rows, err
+}
+
+// ExecCtx runs the prepared query under a cancellation context. When
+// attr is non-nil, the execution's per-store work is attributed into it
+// (the sink may be shared across calls; pass a fresh one for a per-query
+// split). Returns the rows and the per-store split of this execution.
+func (p *Prepared) ExecCtx(ctx context.Context, attr *engine.ExecCounters, args ...value.Value) ([]value.Tuple, map[string]engine.CounterSnapshot, error) {
 	if len(args) != len(p.params) {
-		return nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
+		return nil, nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
 	}
 	sub := pivot.NewSubst()
 	key := ""
@@ -126,23 +145,31 @@ func (p *Prepared) Exec(args ...value.Value) ([]value.Tuple, error) {
 		sub[v] = c
 		key += "|" + c.Key()
 	}
-	p.mu.Lock()
-	plan, ok := p.planCache[key]
-	p.mu.Unlock()
-	if !ok {
+	var plan *translate.Plan
+	if cached, ok := p.planCache.Load(key); ok {
+		plan = cached.(*translate.Plan)
+	} else {
 		bound := p.rewriting.Apply(sub)
 		var err error
 		plan, err = p.sys.planner.Build(bound)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		p.mu.Lock()
-		if len(p.planCache) < 4096 {
-			p.planCache[key] = plan
+		if p.planCacheLen.Load() < maxBoundPlanCache {
+			if _, loaded := p.planCache.LoadOrStore(key, plan); !loaded {
+				p.planCacheLen.Add(1)
+			}
 		}
-		p.mu.Unlock()
 	}
-	return exec.Run(plan.Root)
+	if attr == nil {
+		attr = engine.NewExecCounters()
+	}
+	ec := &exec.Ctx{Context: ctx, Counters: attr}
+	rows, err := exec.RunWith(ec, plan.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, attr.Snapshot(), nil
 }
 
 // ExecTimed is Exec plus the execution latency, for workload reports.

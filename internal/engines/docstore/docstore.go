@@ -160,13 +160,17 @@ type PathFilter struct {
 // Find returns the documents matching every filter, using an index when one
 // covers a filter path.
 func (s *Store) Find(collName string, filters []PathFilter) ([]*value.Doc, error) {
+	return s.findCounted(collName, filters, engine.NewTally(&s.counters, nil))
+}
+
+func (s *Store) findCounted(collName string, filters []PathFilter, tally engine.Tally) ([]*value.Doc, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collName)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
+	tally.AddRequest()
 	s.lat.Wait()
 
 	var candidates []int
@@ -175,12 +179,12 @@ func (s *Store) Find(collName string, filters []PathFilter) ([]*value.Doc, error
 		if ix, ok := c.indexes[f.Path]; ok {
 			candidates = ix[f.Val.Key()]
 			usedIdx = i
-			s.counters.AddLookup()
+			tally.AddLookup()
 			break
 		}
 	}
 	if usedIdx == -1 {
-		s.counters.AddScan()
+		tally.AddScan()
 		candidates = make([]int, len(c.docs))
 		for i := range c.docs {
 			candidates[i] = i
@@ -204,7 +208,7 @@ func (s *Store) Find(collName string, filters []PathFilter) ([]*value.Doc, error
 			out = append(out, d)
 		}
 	}
-	s.counters.AddTuples(len(out))
+	tally.AddTuples(len(out))
 	return out, nil
 }
 
@@ -213,7 +217,14 @@ func (s *Store) Find(collName string, filters []PathFilter) ([]*value.Doc, error
 // projected path hits an array are unnested: one output tuple per array
 // element combination along the first array encountered.
 func (s *Store) FindTuples(collName string, filters []PathFilter, paths []string) (engine.Iterator, error) {
-	docs, err := s.Find(collName, filters)
+	return s.FindTuplesCounted(collName, filters, paths, nil)
+}
+
+// FindTuplesCounted is FindTuples with the operations additionally
+// attributed to a per-execution counter cell (nil = store-global counting
+// only).
+func (s *Store) FindTuplesCounted(collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.Iterator, error) {
+	docs, err := s.findCounted(collName, filters, engine.NewTally(&s.counters, extra))
 	if err != nil {
 		return nil, err
 	}

@@ -139,15 +139,22 @@ func (s *Store) Delete(collection, key string) error {
 // Get fetches and decodes the tuples stored under key. A missing key yields
 // an empty slice, not an error (KV semantics).
 func (s *Store) Get(collection, key string) ([]value.Tuple, error) {
+	return s.GetCounted(collection, key, nil)
+}
+
+// GetCounted is Get with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) GetCounted(collection, key string, extra *engine.Counters) ([]value.Tuple, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collection)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
 	s.lat.Wait()
-	s.counters.AddLookup()
+	tally.AddLookup()
 	payloads := c[key]
 	out := make([]value.Tuple, 0, len(payloads))
 	for _, p := range payloads {
@@ -158,7 +165,7 @@ func (s *Store) Get(collection, key string) ([]value.Tuple, error) {
 		}
 		out = append(out, t)
 	}
-	s.counters.AddTuples(len(out))
+	tally.AddTuples(len(out))
 	return out, nil
 }
 

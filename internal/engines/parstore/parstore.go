@@ -242,11 +242,18 @@ func (s *Store) HasIndex(table, column string) bool {
 // lookup is served from the index; otherwise every partition is scanned by
 // its own worker goroutine and results are merged.
 func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (engine.Iterator, error) {
+	return s.SelectCounted(table, filters, project, nil)
+}
+
+// SelectCounted is Select with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
 	s.lat.Wait()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -257,7 +264,7 @@ func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (
 		if !ok {
 			continue
 		}
-		s.counters.AddLookup()
+		tally.AddLookup()
 		refs := ix[f.Val.Key()]
 		rows := make([]value.Tuple, 0, len(refs))
 		for _, r := range refs {
@@ -266,12 +273,12 @@ func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (
 				rows = append(rows, projectRow(row, project))
 			}
 		}
-		s.counters.AddTuples(len(rows))
+		tally.AddTuples(len(rows))
 		return engine.NewSliceIterator(rows), nil
 	}
 
 	// Parallel scan path: one worker per partition.
-	s.counters.AddScan()
+	tally.AddScan()
 	out := make(chan value.Tuple, 256)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -286,7 +293,7 @@ func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (
 				}
 				select {
 				case out <- projectRow(row, project):
-					s.counters.AddTuples(1)
+					tally.AddTuples(1)
 				case <-done:
 					return
 				}
@@ -318,14 +325,21 @@ func projectRow(row value.Tuple, project []int) value.Tuple {
 // Query evaluates a delegated conjunctive query natively (the parallel
 // store, like Spark, accepts whole subqueries including joins).
 func (s *Store) Query(q engine.DQuery) (engine.Iterator, error) {
-	s.counters.AddRequest()
+	return s.QueryCounted(q, nil)
+}
+
+// QueryCounted is Query with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
 	s.lat.Wait()
 	return engine.EvalDelegate(q, func(collection string, filters []engine.EqFilter) (engine.Iterator, error) {
-		return s.selectNoRequest(collection, filters)
+		return s.selectNoRequest(collection, filters, tally)
 	})
 }
 
-func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine.Iterator, error) {
+func (s *Store) selectNoRequest(table string, filters []engine.EqFilter, tally engine.Tally) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
@@ -337,7 +351,7 @@ func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine
 		if !ok {
 			continue
 		}
-		s.counters.AddLookup()
+		tally.AddLookup()
 		refs := ix[f.Val.Key()]
 		rows := make([]value.Tuple, 0, len(refs))
 		for _, r := range refs {
@@ -348,7 +362,7 @@ func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine
 		}
 		return engine.NewSliceIterator(rows), nil
 	}
-	s.counters.AddScan()
+	tally.AddScan()
 	var rows []value.Tuple
 	for _, part := range t.parts {
 		for _, row := range part {

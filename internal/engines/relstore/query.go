@@ -9,16 +9,23 @@ import (
 // equi-joins) entirely inside the store, as a relational DMS would. One
 // request is counted regardless of how many tables participate.
 func (s *Store) Query(q engine.DQuery) (engine.Iterator, error) {
-	s.counters.AddRequest()
+	return s.QueryCounted(q, nil)
+}
+
+// QueryCounted is Query with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
 	s.lat.Wait()
 	return engine.EvalDelegate(q, func(collection string, filters []engine.EqFilter) (engine.Iterator, error) {
-		return s.selectNoRequest(collection, filters)
+		return s.selectNoRequest(collection, filters, tally)
 	})
 }
 
 // selectNoRequest is Select without the per-request accounting (internal
 // accesses within one delegated query are not separate round-trips).
-func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine.Iterator, error) {
+func (s *Store) selectNoRequest(table string, filters []engine.EqFilter, tally engine.Tally) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
@@ -36,13 +43,13 @@ func (s *Store) selectNoRequest(table string, filters []engine.EqFilter) (engine
 			}
 			base = engine.NewSliceIterator(out)
 			used = f.Col
-			s.counters.AddLookup()
+			tally.AddLookup()
 			break
 		}
 	}
 	if base == nil {
 		base = engine.NewSliceIterator(t.rows)
-		s.counters.AddScan()
+		tally.AddScan()
 	}
 	rest := make([]engine.EqFilter, 0, len(filters))
 	for _, f := range filters {

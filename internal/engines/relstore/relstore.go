@@ -224,11 +224,18 @@ func (s *Store) Scan(table string) (engine.Iterator, error) {
 // Select evaluates equality filters with projection, using an index when one
 // covers some filter column, otherwise a scan.
 func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (engine.Iterator, error) {
+	return s.SelectCounted(table, filters, project, nil)
+}
+
+// SelectCounted is Select with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
 	s.lat.Wait()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -244,13 +251,13 @@ func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (
 			}
 			base = engine.NewSliceIterator(rows)
 			used = f.Col
-			s.counters.AddLookup()
+			tally.AddLookup()
 			break
 		}
 	}
 	if base == nil {
 		base = engine.NewSliceIterator(t.rows)
-		s.counters.AddScan()
+		tally.AddScan()
 	}
 	rest := make([]engine.EqFilter, 0, len(filters))
 	for _, f := range filters {
@@ -262,21 +269,5 @@ func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (
 	if project != nil {
 		it = &engine.ProjectIterator{In: it, Cols: project}
 	}
-	return &countingIter{in: it, c: &s.counters}, nil
+	return &engine.CountingIter{In: it, T: tally}, nil
 }
-
-// countingIter tallies returned tuples.
-type countingIter struct {
-	in engine.Iterator
-	c  *engine.Counters
-}
-
-func (it *countingIter) Next() (value.Tuple, bool) {
-	t, ok := it.in.Next()
-	if ok {
-		it.c.AddTuples(1)
-	}
-	return t, ok
-}
-func (it *countingIter) Err() error { return it.in.Err() }
-func (it *countingIter) Close()     { it.in.Close() }

@@ -174,20 +174,27 @@ type FieldFilter struct {
 // Search runs a query, returning one tuple per hit, projected on
 // q.Project (missing fields become NULL).
 func (s *Store) Search(collName string, q Query) (engine.Iterator, error) {
+	return s.SearchCounted(collName, q, nil)
+}
+
+// SearchCounted is Search with the operations additionally attributed to a
+// per-execution counter cell (nil = store-global counting only).
+func (s *Store) SearchCounted(collName string, q Query, extra *engine.Counters) (engine.Iterator, error) {
+	tally := engine.NewTally(&s.counters, extra)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collName)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
+	tally.AddRequest()
 	s.lat.Wait()
 
 	var candidates []int
 	switch {
 	case len(q.Terms) > 0:
 		// Intersect posting lists, rarest first.
-		s.counters.AddLookup()
+		tally.AddLookup()
 		lists := make([][]int, 0, len(q.Terms))
 		for _, t := range q.Terms {
 			lists = append(lists, c.inverted[strings.ToLower(t)])
@@ -199,11 +206,11 @@ func (s *Store) Search(collName string, q Query) (engine.Iterator, error) {
 		}
 	case len(q.Fields) > 0:
 		if fi, ok := c.fieldIdx[q.Fields[0].Field]; ok {
-			s.counters.AddLookup()
+			tally.AddLookup()
 			candidates = fi[q.Fields[0].Val.Key()]
 		}
 	default:
-		s.counters.AddScan()
+		tally.AddScan()
 		candidates = make([]int, len(c.docs))
 		for i := range candidates {
 			candidates[i] = i
@@ -234,7 +241,7 @@ func (s *Store) Search(collName string, q Query) (engine.Iterator, error) {
 		}
 		rows = append(rows, row)
 	}
-	s.counters.AddTuples(len(rows))
+	tally.AddTuples(len(rows))
 	return engine.NewSliceIterator(rows), nil
 }
 

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,12 +36,45 @@ func (s Schema) Pos(name string) int {
 // String renders the schema.
 func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }
 
+// Ctx carries per-execution state through a plan: an optional
+// cancellation context and an optional per-store counter attribution sink.
+// Plans themselves are immutable after construction and shared freely by
+// concurrent executions; everything execution-specific lives here (and in
+// the iterators Open returns). A nil *Ctx is valid and means "no
+// cancellation, no attribution".
+type Ctx struct {
+	// Context cancels the execution (checked between tuple batches; a
+	// single in-flight store access is not interrupted). Nil = background.
+	Context context.Context
+	// Counters attributes store work to this execution. Nil = off.
+	Counters *engine.ExecCounters
+}
+
+// Err reports the cancellation state. Nil-receiver safe.
+func (c *Ctx) Err() error {
+	if c == nil || c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// StoreCounters returns this execution's counter cell for a store, or nil
+// when attribution is off. Nil-receiver safe.
+func (c *Ctx) StoreCounters(store string) *engine.Counters {
+	if c == nil {
+		return nil
+	}
+	return c.Counters.For(store)
+}
+
 // Node is one operator of a physical plan.
 type Node interface {
 	// Schema describes the output columns.
 	Schema() Schema
-	// Open starts execution, returning the output iterator.
-	Open() (engine.Iterator, error)
+	// Open starts execution, returning the output iterator. The Ctx (which
+	// may be nil) carries execution-scoped cancellation and counter
+	// attribution; nodes pass it to their children.
+	Open(ec *Ctx) (engine.Iterator, error)
 	// Label is a one-line description for plan explanation.
 	Label() string
 	// Children returns the input nodes (for plan walking/explain).
@@ -65,28 +99,56 @@ func explain(sb *strings.Builder, n Node, depth int) {
 	}
 }
 
-// Run opens a plan and drains it.
-func Run(n Node) ([]value.Tuple, error) {
-	it, err := n.Open()
+// Run opens a plan and drains it with no cancellation or attribution.
+func Run(n Node) ([]value.Tuple, error) { return RunWith(nil, n) }
+
+// RunWith opens a plan under an execution context and drains it, checking
+// for cancellation every few hundred tuples.
+func RunWith(ec *Ctx, n Node) ([]value.Tuple, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	it, err := n.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Drain(it)
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+		if len(out)&0xff == 0 {
+			if err := ec.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Source wraps a store access (delegated request) as a leaf node.
 type Source struct {
 	Name string
 	Out  Schema
-	// OpenFn issues the store request.
-	OpenFn func() (engine.Iterator, error)
+	// OpenFn issues the store request. It receives the execution context
+	// so the access can attribute its work (ec may be nil).
+	OpenFn func(ec *Ctx) (engine.Iterator, error)
 }
 
 // Schema implements Node.
 func (s *Source) Schema() Schema { return s.Out }
 
 // Open implements Node.
-func (s *Source) Open() (engine.Iterator, error) { return s.OpenFn() }
+func (s *Source) Open(ec *Ctx) (engine.Iterator, error) { return s.OpenFn(ec) }
 
 // Label implements Node.
 func (s *Source) Label() string { return s.Name }
@@ -101,7 +163,7 @@ type Values struct {
 }
 
 func (v *Values) Schema() Schema { return v.Out }
-func (v *Values) Open() (engine.Iterator, error) {
+func (v *Values) Open(*Ctx) (engine.Iterator, error) {
 	return engine.NewSliceIterator(v.Rows), nil
 }
 func (v *Values) Label() string    { return fmt.Sprintf("Values[%d rows]", len(v.Rows)) }
@@ -119,8 +181,8 @@ func (s *Select) Label() string {
 	return fmt.Sprintf("Select[%d const, %d col-eq]", len(s.EqConst), len(s.EqCols))
 }
 func (s *Select) Children() []Node { return []Node{s.In} }
-func (s *Select) Open() (engine.Iterator, error) {
-	in, err := s.In.Open()
+func (s *Select) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := s.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +244,8 @@ func NewProject(in Node, cols []string) (*Project, error) {
 func (p *Project) Schema() Schema   { return p.out }
 func (p *Project) Label() string    { return "Project" + p.out.String() }
 func (p *Project) Children() []Node { return []Node{p.In} }
-func (p *Project) Open() (engine.Iterator, error) {
-	in, err := p.In.Open()
+func (p *Project) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := p.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -248,16 +310,17 @@ func (j *HashJoin) Label() string {
 }
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 
-func (j *HashJoin) Open() (engine.Iterator, error) {
-	lit, err := j.Left.Open()
+func (j *HashJoin) Open(ec *Ctx) (engine.Iterator, error) {
+	lit, err := j.Left.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinIter{j: j, left: lit}, nil
+	return &hashJoinIter{j: j, ec: ec, left: lit}, nil
 }
 
 type hashJoinIter struct {
 	j        *HashJoin
+	ec       *Ctx
 	left     engine.Iterator
 	table    map[string][]value.Tuple
 	built    bool
@@ -272,7 +335,7 @@ type hashJoinIter struct {
 // Err() like any other stream error instead of being lost.
 func (it *hashJoinIter) build() bool {
 	it.built = true
-	rit, err := it.j.Right.Open()
+	rit, err := it.j.Right.Open(it.ec)
 	if err != nil {
 		it.buildErr = err
 		return false
@@ -347,9 +410,9 @@ type BindJoin struct {
 	BindCols []int
 	// RightOut names the columns Fetch returns.
 	RightOut Schema
-	// Fetch issues one bound access. It receives the bind values in
-	// BindCols order.
-	Fetch func(bind value.Tuple) (engine.Iterator, error)
+	// Fetch issues one bound access. It receives the execution context and
+	// the bind values in BindCols order.
+	Fetch func(ec *Ctx, bind value.Tuple) (engine.Iterator, error)
 	// SharedRight marks right columns that rejoin left columns (checked as
 	// residual equality); -1 entries are appended to the output.
 	SharedRight []int
@@ -359,7 +422,7 @@ type BindJoin struct {
 // NewBindJoin constructs a bind join. rightOut names the fetched columns;
 // columns whose name already occurs in left's schema are checked for
 // equality and dropped from the output.
-func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(value.Tuple) (engine.Iterator, error)) (*BindJoin, error) {
+func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(*Ctx, value.Tuple) (engine.Iterator, error)) (*BindJoin, error) {
 	b := &BindJoin{Left: left, RightOut: rightOut, Fetch: fetch}
 	ls := left.Schema()
 	for _, v := range bindVars {
@@ -385,16 +448,17 @@ func (b *BindJoin) Schema() Schema   { return b.out }
 func (b *BindJoin) Label() string    { return fmt.Sprintf("BindJoin[%d bind cols]", len(b.BindCols)) }
 func (b *BindJoin) Children() []Node { return []Node{b.Left} }
 
-func (b *BindJoin) Open() (engine.Iterator, error) {
-	lit, err := b.Left.Open()
+func (b *BindJoin) Open(ec *Ctx) (engine.Iterator, error) {
+	lit, err := b.Left.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	return &bindJoinIter{b: b, left: lit}, nil
+	return &bindJoinIter{b: b, ec: ec, left: lit}, nil
 }
 
 type bindJoinIter struct {
 	b       *BindJoin
+	ec      *Ctx
 	left    engine.Iterator
 	curLeft value.Tuple
 	right   []value.Tuple
@@ -436,7 +500,11 @@ func (it *bindJoinIter) Next() (value.Tuple, bool) {
 		for i, c := range it.b.BindCols {
 			bind[i] = l[c]
 		}
-		rit, err := it.b.Fetch(bind)
+		if err := it.ec.Err(); err != nil {
+			it.err = err
+			return nil, false
+		}
+		rit, err := it.b.Fetch(it.ec, bind)
 		if err != nil {
 			it.err = err
 			return nil, false

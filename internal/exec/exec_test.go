@@ -132,7 +132,7 @@ func TestBindJoin(t *testing.T) {
 		"u2": {value.TupleOf("u2", "theme", "light"), value.TupleOf("u2", "lang", "fr")},
 	}
 	fetchCount := 0
-	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+	fetch := func(_ *Ctx, bind value.Tuple) (engine.Iterator, error) {
 		fetchCount++
 		key := string(bind[0].(value.Str))
 		return engine.NewSliceIterator(store[key]), nil
@@ -163,7 +163,7 @@ func TestBindJoin(t *testing.T) {
 
 func TestBindJoinChecksSharedColumns(t *testing.T) {
 	// The fetched tuple repeats the key column; mismatches must be dropped.
-	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+	fetch := func(_ *Ctx, bind value.Tuple) (engine.Iterator, error) {
 		return engine.NewSliceIterator([]value.Tuple{value.TupleOf("WRONG", "v")}), nil
 	}
 	left := vals(Schema{"u"}, value.TupleOf("u1"))
@@ -189,7 +189,7 @@ func TestBindJoinUnknownVar(t *testing.T) {
 
 func TestBindJoinFetchError(t *testing.T) {
 	sentinel := errors.New("kv down")
-	fetch := func(value.Tuple) (engine.Iterator, error) { return nil, sentinel }
+	fetch := func(*Ctx, value.Tuple) (engine.Iterator, error) { return nil, sentinel }
 	left := vals(Schema{"u"}, value.TupleOf("u1"))
 	bj, err := NewBindJoin(left, []string{"u"}, Schema{"v"}, fetch)
 	if err != nil {
@@ -231,7 +231,7 @@ func TestHashJoinBuildSideError(t *testing.T) {
 	right := &Source{
 		Name: "broken",
 		Out:  Schema{"x", "y"},
-		OpenFn: func() (engine.Iterator, error) {
+		OpenFn: func(*Ctx) (engine.Iterator, error) {
 			return nil, sentinel
 		},
 	}
@@ -241,7 +241,7 @@ func TestHashJoinBuildSideError(t *testing.T) {
 	}
 	// Opening succeeds (the build side is materialized lazily); the failure
 	// must surface through the iterator's Err, as for any stream error.
-	it, err := j.Open()
+	it, err := j.Open(nil)
 	if err != nil {
 		t.Fatalf("Open = %v, want deferred build error", err)
 	}
@@ -428,7 +428,7 @@ func TestSourceNode(t *testing.T) {
 	src := &Source{
 		Name: "kv.Get(prefs)",
 		Out:  Schema{"k"},
-		OpenFn: func() (engine.Iterator, error) {
+		OpenFn: func(*Ctx) (engine.Iterator, error) {
 			return engine.NewSliceIterator([]value.Tuple{value.TupleOf("a")}), nil
 		},
 	}
@@ -446,7 +446,7 @@ func TestSourceOpenErrorPropagates(t *testing.T) {
 	src := &Source{
 		Name:   "broken",
 		Out:    Schema{"x"},
-		OpenFn: func() (engine.Iterator, error) { return nil, sentinel },
+		OpenFn: func(*Ctx) (engine.Iterator, error) { return nil, sentinel },
 	}
 	// Error through a whole operator stack.
 	p, err := NewProject(&Distinct{In: &Select{In: src}}, []string{"x"})
@@ -471,7 +471,7 @@ func TestSourceOpenErrorPropagates(t *testing.T) {
 func TestUnionErrorPropagates(t *testing.T) {
 	sentinel := errors.New("boom")
 	src := &Source{Name: "b", Out: Schema{"x"},
-		OpenFn: func() (engine.Iterator, error) { return nil, sentinel }}
+		OpenFn: func(*Ctx) (engine.Iterator, error) { return nil, sentinel }}
 	u := &Union{Inputs: []Node{vals(Schema{"x"}, value.TupleOf(1)), src}}
 	if _, err := Run(u); !errors.Is(err, sentinel) {
 		t.Errorf("err = %v", err)
@@ -481,7 +481,7 @@ func TestUnionErrorPropagates(t *testing.T) {
 func TestAggregateAndNestErrorPropagates(t *testing.T) {
 	sentinel := errors.New("boom")
 	src := &Source{Name: "b", Out: Schema{"g", "v"},
-		OpenFn: func() (engine.Iterator, error) { return nil, sentinel }}
+		OpenFn: func(*Ctx) (engine.Iterator, error) { return nil, sentinel }}
 	agg, err := NewAggregate(src, []string{"g"}, AggCount, "")
 	if err != nil {
 		t.Fatal(err)

@@ -21,8 +21,8 @@ type Distinct struct {
 func (d *Distinct) Schema() Schema   { return d.In.Schema() }
 func (d *Distinct) Label() string    { return "Distinct" }
 func (d *Distinct) Children() []Node { return []Node{d.In} }
-func (d *Distinct) Open() (engine.Iterator, error) {
-	in, err := d.In.Open()
+func (d *Distinct) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := d.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -30,12 +30,12 @@ func (d *Distinct) Open() (engine.Iterator, error) {
 	if hint < 0 {
 		hint = 0
 	}
-	return &distinctIter{in: in, seen: make(map[string]bool, hint)}, nil
+	return &distinctIter{in: in, seen: make(map[string]struct{}, hint)}, nil
 }
 
 type distinctIter struct {
 	in   engine.Iterator
-	seen map[string]bool
+	seen map[string]struct{}
 }
 
 func (it *distinctIter) Next() (value.Tuple, bool) {
@@ -45,10 +45,10 @@ func (it *distinctIter) Next() (value.Tuple, bool) {
 			return nil, false
 		}
 		k := t.Key()
-		if it.seen[k] {
+		if _, dup := it.seen[k]; dup {
 			continue
 		}
-		it.seen[k] = true
+		it.seen[k] = struct{}{}
 		return t, true
 	}
 }
@@ -64,8 +64,8 @@ type Limit struct {
 func (l *Limit) Schema() Schema   { return l.In.Schema() }
 func (l *Limit) Label() string    { return fmt.Sprintf("Limit[%d]", l.N) }
 func (l *Limit) Children() []Node { return []Node{l.In} }
-func (l *Limit) Open() (engine.Iterator, error) {
-	in, err := l.In.Open()
+func (l *Limit) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := l.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ type Sort struct {
 func (s *Sort) Schema() Schema   { return s.In.Schema() }
 func (s *Sort) Label() string    { return "Sort[" + strings.Join(s.By, ",") + "]" }
 func (s *Sort) Children() []Node { return []Node{s.In} }
-func (s *Sort) Open() (engine.Iterator, error) {
+func (s *Sort) Open(ec *Ctx) (engine.Iterator, error) {
 	pos := make([]int, len(s.By))
 	for i, c := range s.By {
 		p := s.In.Schema().Pos(c)
@@ -110,7 +110,7 @@ func (s *Sort) Open() (engine.Iterator, error) {
 		}
 		pos[i] = p
 	}
-	in, err := s.In.Open()
+	in, err := s.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +182,8 @@ func (a *Aggregate) Label() string {
 }
 func (a *Aggregate) Children() []Node { return []Node{a.In} }
 
-func (a *Aggregate) Open() (engine.Iterator, error) {
-	in, err := a.In.Open()
+func (a *Aggregate) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := a.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -286,8 +286,8 @@ func (n *Nest) Schema() Schema   { return n.out }
 func (n *Nest) Label() string    { return fmt.Sprintf("Nest[by %v]", n.GroupBy) }
 func (n *Nest) Children() []Node { return []Node{n.In} }
 
-func (n *Nest) Open() (engine.Iterator, error) {
-	in, err := n.In.Open()
+func (n *Nest) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := n.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -369,8 +369,8 @@ func (u *Unnest) Schema() Schema   { return u.out }
 func (u *Unnest) Label() string    { return fmt.Sprintf("Unnest[%s]", u.ListCol) }
 func (u *Unnest) Children() []Node { return []Node{u.In} }
 
-func (u *Unnest) Open() (engine.Iterator, error) {
-	in, err := u.In.Open()
+func (u *Unnest) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := u.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -449,10 +449,10 @@ func (u *Union) Schema() Schema {
 }
 func (u *Union) Label() string    { return fmt.Sprintf("Union[%d]", len(u.Inputs)) }
 func (u *Union) Children() []Node { return u.Inputs }
-func (u *Union) Open() (engine.Iterator, error) {
+func (u *Union) Open(ec *Ctx) (engine.Iterator, error) {
 	var all []value.Tuple
 	for _, in := range u.Inputs {
-		rows, err := Run(in)
+		rows, err := RunWith(ec, in)
 		if err != nil {
 			return nil, err
 		}
@@ -485,8 +485,8 @@ func (c *ConstructDoc) Schema() Schema   { return c.out }
 func (c *ConstructDoc) Label() string    { return fmt.Sprintf("ConstructDoc[%d fields]", len(c.Fields)) }
 func (c *ConstructDoc) Children() []Node { return []Node{c.In} }
 
-func (c *ConstructDoc) Open() (engine.Iterator, error) {
-	in, err := c.In.Open()
+func (c *ConstructDoc) Open(ec *Ctx) (engine.Iterator, error) {
+	in, err := c.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}

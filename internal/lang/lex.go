@@ -56,6 +56,14 @@ func lex(in string) ([]token, error) {
 		case c == '.' || c == ',' || c == '=' || c == '(' || c == ')' || c == '*':
 			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
 			l.pos++
+		case c == ':':
+			// ":-" is the datalog rule arrow of the CQ surface syntax.
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '-' {
+				l.toks = append(l.toks, token{tokSymbol, ":-", l.pos})
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("lang: unexpected character %q at %d", c, l.pos)
+			}
 		case c == '-' || c >= '0' && c <= '9':
 			l.lexNumber()
 		case isIdentStart(rune(c)):

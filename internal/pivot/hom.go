@@ -205,9 +205,9 @@ type compiledAtom struct {
 // are pooled and their slices reused across searches.
 type homSearcher struct {
 	inst    *Instance
-	vars    []Var     // slot -> variable
-	binding []TermID  // slot -> bound term id, NoTerm if free
-	trail   []int32   // slots bound during search, for undo
+	vars    []Var    // slot -> variable
+	binding []TermID // slot -> bound term id, NoTerm if free
+	trail   []int32  // slots bound during search, for undo
 	order   []compiledAtom
 	factIdx []int32 // original atom index -> matched fact, -1 while unmatched
 	extra   Subst   // fixed bindings of variables not occurring in atoms

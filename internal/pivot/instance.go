@@ -30,8 +30,8 @@ type Instance struct {
 	argOff   []int32  // fact index -> offset into argIDs (len = len(factPred)+1)
 	argIDs   []TermID // flattened argument rows
 
-	byKey  map[string]int32  // packed (pred,args) key -> fact index
-	byPred [][]int32         // predicate id -> fact indices (live and dead)
+	byKey  map[string]int32   // packed (pred,args) key -> fact index
+	byPred [][]int32          // predicate id -> fact indices (live and dead)
 	index  map[posKey][]int32 // (pred,pos,term) -> fact indices (live and dead)
 
 	live   bitset.Bitset // liveness; Remove clears, re-Add resurrects

@@ -1,0 +1,204 @@
+// Package service is ESTOCADA's concurrent mediator runtime: the layer
+// between network clients and core.System that the paper assumes but does
+// not describe. It provides sessions, a shared sharded rewriting cache
+// with single-flight PACB on cold misses and epoch-based invalidation,
+// query fingerprinting (so queries differing only in literals share one
+// cached rewriting, executed through the core.Prepared bind path),
+// admission control with bounded in-flight executions and per-query
+// timeouts, and race-correct per-query/per-store metrics.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// Fingerprint is the canonical, parameterized form of a conjunctive
+// query. Two queries that differ only in constant literals, variable
+// names, or (shape-distinguishable) body atom order share a Key — and
+// therefore one cached rewriting.
+type Fingerprint struct {
+	// Key is the canonical text; the cache index.
+	Key string
+	// Query is the canonical parameterized query: head predicate "Q",
+	// variables renamed V0, V1, …, body constants replaced by parameter
+	// variables P0, P1, … . Parameters not already in the head are
+	// appended, so the whole parameter list is bindable through
+	// core.Prepare.
+	Query pivot.CQ
+	// Params lists the parameter variables in numbering order.
+	Params []pivot.Var
+	// Args holds this instance's constant values, aligned with Params.
+	Args []value.Value
+	// OutWidth is the original head arity: execution binds Params, runs
+	// the canonical query, and keeps the first OutWidth result columns
+	// (any appended parameter columns are constant and dropped).
+	OutWidth int
+}
+
+// Canonicalize computes a query's fingerprint.
+//
+// The normal form is reached in three steps: (1) body atoms are sorted by
+// a name-free shape key (predicate, arity, const/var pattern with
+// constant values), so atom order stops mattering wherever shapes differ;
+// (2) variables are renamed V0, V1, … by first occurrence and the sort is
+// re-run with the canonical names until the order stabilizes (bounded
+// refinement — a heuristic, not perfect graph canonicalization: two
+// queries that are isomorphic only via a permutation of shape-identical
+// atoms may still fingerprint apart, costing a duplicate cache entry,
+// never a wrong answer); (3) each distinct constant occurring in the body
+// becomes a parameter P0, P1, … in occurrence order, with the instance's
+// values recorded in Args. Head constants that also occur in the body
+// map to their parameter; head-only constants stay literal (they never
+// influence the rewriting search). Parameters missing from the head are
+// appended so the canonical query is preparable with all parameters
+// bound.
+func Canonicalize(q pivot.CQ) (Fingerprint, error) {
+	if err := q.Validate(); err != nil {
+		return Fingerprint{}, err
+	}
+	body := make([]pivot.Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+
+	// Step 1: order by name-free shape.
+	sort.SliceStable(body, func(i, j int) bool { return shapeKey(body[i]) < shapeKey(body[j]) })
+
+	// Step 2: canonical variable names, refined until the order is stable.
+	var rename map[pivot.Var]pivot.Var
+	for pass := 0; pass < 4; pass++ {
+		rename = map[pivot.Var]pivot.Var{}
+		for _, a := range body {
+			for _, t := range a.Args {
+				if v, ok := t.(pivot.Var); ok {
+					if _, seen := rename[v]; !seen {
+						rename[v] = pivot.Var(fmt.Sprintf("V%d", len(rename)))
+					}
+				}
+			}
+		}
+		keys := make([]string, len(body))
+		for i, a := range body {
+			keys[i] = renamedKey(a, rename)
+		}
+		if sort.StringsAreSorted(keys) {
+			break
+		}
+		sort.SliceStable(body, func(i, j int) bool {
+			return renamedKey(body[i], rename) < renamedKey(body[j], rename)
+		})
+	}
+
+	// Step 3: parameterize body constants.
+	paramOf := map[string]pivot.Var{} // const key → parameter variable
+	var params []pivot.Var
+	var args []value.Value
+	mapTerm := func(t pivot.Term) pivot.Term {
+		switch tt := t.(type) {
+		case pivot.Var:
+			return rename[tt]
+		case pivot.Const:
+			k := tt.Key()
+			p, ok := paramOf[k]
+			if !ok {
+				p = pivot.Var(fmt.Sprintf("P%d", len(params)))
+				paramOf[k] = p
+				params = append(params, p)
+				args = append(args, value.Of(tt.V))
+			}
+			return p
+		default:
+			return t
+		}
+	}
+	canonBody := make([]pivot.Atom, len(body))
+	for i, a := range body {
+		cargs := make([]pivot.Term, len(a.Args))
+		for j, t := range a.Args {
+			cargs[j] = mapTerm(t)
+		}
+		canonBody[i] = pivot.Atom{Pred: a.Pred, Args: cargs}
+	}
+
+	// Canonical head: keep positions, map vars and body-backed constants;
+	// head-only constants stay literal. Then append missing parameters.
+	headArgs := make([]pivot.Term, 0, len(q.Head.Args)+len(params))
+	inHead := map[pivot.Var]bool{}
+	for _, t := range q.Head.Args {
+		switch tt := t.(type) {
+		case pivot.Var:
+			cv := rename[tt]
+			headArgs = append(headArgs, cv)
+			inHead[cv] = true
+		case pivot.Const:
+			if p, ok := paramOf[tt.Key()]; ok {
+				headArgs = append(headArgs, p)
+				inHead[p] = true
+			} else {
+				headArgs = append(headArgs, tt)
+			}
+		default:
+			return Fingerprint{}, fmt.Errorf("service: head of %s contains a labeled null", q.Name())
+		}
+	}
+	for _, p := range params {
+		if !inHead[p] {
+			headArgs = append(headArgs, p)
+		}
+	}
+
+	canon := pivot.CQ{Head: pivot.NewAtom("Q", headArgs...), Body: canonBody}
+	if err := canon.Validate(); err != nil {
+		return Fingerprint{}, fmt.Errorf("service: canonicalization produced an invalid query: %w", err)
+	}
+	return Fingerprint{
+		Key:      canon.Key(),
+		Query:    canon,
+		Params:   params,
+		Args:     args,
+		OutWidth: q.Head.Arity(),
+	}, nil
+}
+
+// shapeKey renders an atom with variables anonymized: the sort key that
+// makes atom order canonical wherever shapes differ.
+func shapeKey(a pivot.Atom) string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('/')
+	for _, t := range a.Args {
+		switch tt := t.(type) {
+		case pivot.Const:
+			sb.WriteString(tt.Key())
+		default:
+			sb.WriteByte('?')
+		}
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// renamedKey renders an atom under a variable renaming (constants keep
+// their values; parameters are not yet assigned at this stage).
+func renamedKey(a pivot.Atom, rename map[pivot.Var]pivot.Var) string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if v, ok := t.(pivot.Var); ok {
+			sb.WriteString(rename[v].Key())
+		} else {
+			sb.WriteString(t.Key())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

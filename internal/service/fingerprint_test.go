@@ -1,0 +1,222 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pivot"
+	"repro/internal/scenario"
+	"repro/internal/value"
+)
+
+func v(name string) pivot.Var { return pivot.Var(name) }
+
+func searchQuery(uid, cat string) pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QSearch", pivot.CStr(uid), pivot.CStr(cat), v("pid"), v("dur")),
+		pivot.NewAtom("Orders", v("oid"), pivot.CStr(uid), v("pid"), v("amount")),
+		pivot.NewAtom("Visits", pivot.CStr(uid), v("pid"), v("dur")),
+		pivot.NewAtom("Products", v("pid"), pivot.CStr(cat), v("descr")))
+}
+
+func TestFingerprintVariableRenaming(t *testing.T) {
+	q1 := pivot.NewCQ(
+		pivot.NewAtom("Q", v("x"), v("y")),
+		pivot.NewAtom("Users", v("x"), v("y"), v("z")),
+		pivot.NewAtom("Orders", v("o"), v("x"), v("p"), v("a")))
+	q2 := q1.Rename("zz_")
+	f1, err := Canonicalize(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Canonicalize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Key != f2.Key {
+		t.Errorf("renamed variants fingerprint apart:\n%s\n%s", f1.Key, f2.Key)
+	}
+}
+
+func TestFingerprintConstantRenaming(t *testing.T) {
+	// Queries differing only in literals share one fingerprint; the values
+	// surface as bind arguments instead.
+	f1, err := Canonicalize(searchQuery("u1", "books"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Canonicalize(searchQuery("u2", "games"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Key != f2.Key {
+		t.Errorf("constant-renamed variants fingerprint apart:\n%s\n%s", f1.Key, f2.Key)
+	}
+	if len(f1.Args) != 2 || len(f2.Args) != 2 {
+		t.Fatalf("args = %v / %v, want two parameters each", f1.Args, f2.Args)
+	}
+	if fmt.Sprint(f1.Args) == fmt.Sprint(f2.Args) {
+		t.Error("distinct literals produced identical args")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := pivot.NewCQ(
+		pivot.NewAtom("Q", v("u"), v("k"), v("val")),
+		pivot.NewAtom("Prefs", v("u"), v("k"), v("val")))
+	proj := pivot.NewCQ(
+		pivot.NewAtom("Q", v("u")),
+		pivot.NewAtom("Prefs", v("u"), v("k"), v("val")))
+	shared := pivot.NewCQ( // same constant twice: parameters must unify
+		pivot.NewAtom("Q", v("a"), v("b")),
+		pivot.NewAtom("Prefs", v("a"), pivot.CStr("x"), v("b")),
+		pivot.NewAtom("Users", v("a"), pivot.CStr("x"), v("c")))
+	split := pivot.NewCQ( // distinct constants: separate parameters
+		pivot.NewAtom("Q", v("a"), v("b")),
+		pivot.NewAtom("Prefs", v("a"), pivot.CStr("x"), v("b")),
+		pivot.NewAtom("Users", v("a"), pivot.CStr("y"), v("c")))
+	keys := map[string]string{}
+	for name, q := range map[string]pivot.CQ{"base": base, "proj": proj, "shared": shared, "split": split} {
+		f, err := Canonicalize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		keys[name] = f.Key
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s share a fingerprint but differ semantically", prev, name)
+		}
+		seen[k] = name
+	}
+}
+
+func TestFingerprintAtomOrder(t *testing.T) {
+	q1 := pivot.NewCQ(
+		pivot.NewAtom("Q", v("u"), v("p")),
+		pivot.NewAtom("Users", v("u"), v("n"), v("c")),
+		pivot.NewAtom("Orders", v("o"), v("u"), v("p"), v("a")))
+	q2 := pivot.NewCQ(
+		pivot.NewAtom("Q", v("u"), v("p")),
+		pivot.NewAtom("Orders", v("o"), v("u"), v("p"), v("a")),
+		pivot.NewAtom("Users", v("u"), v("n"), v("c")))
+	f1, _ := Canonicalize(q1)
+	f2, _ := Canonicalize(q2)
+	if f1.Key != f2.Key {
+		t.Errorf("atom order changed the fingerprint:\n%s\n%s", f1.Key, f2.Key)
+	}
+}
+
+// TestFingerprintEqualQueriesRewriteIdentically is the property test: any
+// two queries with equal fingerprints must produce the same rewriting
+// (they prepare the same canonical parameterized query), and executing
+// either through the service must give that query's own answer.
+func TestFingerprintEqualQueriesRewriteIdentically(t *testing.T) {
+	m := testMarketplace(t)
+	variants := []pivot.CQ{
+		searchQuery("u00001", "cat01"),
+		searchQuery("u00002", "cat02"),
+		searchQuery("u00003", "cat01").Rename("r_"),
+	}
+	var firstKey, firstRewriting string
+	for i, q := range variants {
+		f, err := Canonicalize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := m.Sys.Prepare(f.Query, f.Params...)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			firstKey, firstRewriting = f.Key, prep.Rewriting().String()
+			continue
+		}
+		if f.Key != firstKey {
+			t.Errorf("variant %d fingerprints apart", i)
+		}
+		if got := prep.Rewriting().String(); got != firstRewriting {
+			t.Errorf("variant %d rewriting differs:\n%s\n%s", i, got, firstRewriting)
+		}
+	}
+}
+
+// TestConstantVariantsShareCacheEntry asserts the cache-hit counter: after
+// a cold miss on one literal, every constant-renamed variant is a hit on
+// the same entry, and each variant still gets its own (correct) answer.
+func TestConstantVariantsShareCacheEntry(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	uids := []string{"u00001", "u00002", "u00003", "u00004"}
+	for i, uid := range uids {
+		q := pivot.NewCQ(
+			pivot.NewAtom("QPrefs", pivot.CStr(uid), v("k"), v("val")),
+			pivot.NewAtom("Prefs", pivot.CStr(uid), v("k"), v("val")))
+		res, err := svc.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("uid %s: %v", uid, err)
+		}
+		if i == 0 && (res.CacheHit || res.Coalesced) {
+			t.Error("first query should be a cold miss")
+		}
+		if i > 0 && !res.CacheHit {
+			t.Errorf("uid %s: constant-renamed variant missed the cache", uid)
+		}
+		// Cross-check rows against the unmediated core answer.
+		direct, err := m.Sys.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rowKeys(res), rowKeysTuples(direct.Rows); got != want {
+			t.Errorf("uid %s: service rows %s != core rows %s", uid, got, want)
+		}
+	}
+	snap := svc.Snapshot()
+	if snap.CacheMisses != 1 {
+		t.Errorf("misses = %d, want 1 (single shared entry)", snap.CacheMisses)
+	}
+	if snap.CacheHits != int64(len(uids)-1) {
+		t.Errorf("hits = %d, want %d", snap.CacheHits, len(uids)-1)
+	}
+	if snap.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", snap.CacheEntries)
+	}
+}
+
+func rowKeys(res *Result) string { return rowKeysTuples(res.Rows) }
+
+// rowKeysTuples renders a set-semantics signature of a result: sorted
+// distinct tuple keys.
+func rowKeysTuples(rows []value.Tuple) string {
+	keys := make([]string, 0, len(rows))
+	seen := map[string]bool{}
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+func testMarketplace(t testing.TB) *scenario.Marketplace {
+	t.Helper()
+	cfg := datagen.MarketplaceConfig{
+		Seed: 7, Users: 60, Products: 30, OrdersPerUser: 3,
+		VisitsPerUser: 4, PrefsPerUser: 2, CartItemsPerUser: 2, ZipfS: 1.2,
+	}
+	m, err := scenario.New(cfg, scenario.Materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/pivot"
+)
+
+// Closed-loop load generator: each simulated client opens a session and
+// issues its next query the moment the previous one returns — the
+// throughput-measurement harness for BenchmarkServiceThroughput_*.
+
+// LoadResult aggregates one load-generation run.
+type LoadResult struct {
+	Clients int
+	Ops     int
+	Errors  int
+	Elapsed time.Duration
+}
+
+// QPS returns achieved queries per second.
+func (r LoadResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunClosedLoop drives clients concurrent sessions, each issuing
+// opsPerClient queries back to back. next picks the query for a given
+// (client, op) pair — deterministic traffic mixes (hot/cold ratios,
+// parameter rotation) are encoded there. The first error per client is
+// counted, not returned; the run always completes.
+func RunClosedLoop(ctx context.Context, svc *Service, clients, opsPerClient int, next func(client, op int) pivot.CQ) LoadResult {
+	var wg sync.WaitGroup
+	errCh := make(chan int, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			sess := svc.NewSession()
+			defer sess.Close()
+			errs := 0
+			for op := 0; op < opsPerClient; op++ {
+				if _, err := sess.Query(ctx, next(client, op)); err != nil {
+					errs++
+				}
+			}
+			errCh <- errs
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	total := 0
+	for e := range errCh {
+		total += e
+	}
+	return LoadResult{
+		Clients: clients,
+		Ops:     clients * opsPerClient,
+		Errors:  total,
+		Elapsed: elapsed,
+	}
+}

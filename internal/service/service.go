@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines/engine"
+	"repro/internal/lang"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// Options tunes the mediator service.
+type Options struct {
+	// MaxInFlight bounds concurrently executing queries (admission
+	// control). Queries beyond the bound wait for a slot (or their
+	// context). 0 = 4×GOMAXPROCS.
+	MaxInFlight int
+	// QueryTimeout caps one query end to end: admission waits, coalesced
+	// waits on another caller's rewrite, and execution (checked between
+	// tuple batches). A cold rewrite this query LEADS runs to completion
+	// regardless — its result serves the coalesced waiters — but the
+	// leader's admission wait before the rewrite is bounded. 0 = none.
+	QueryTimeout time.Duration
+	// CacheShards is the rewriting-cache shard count. 0 = 16.
+	CacheShards int
+	// Schema maps logical relation names to column names for the surface
+	// languages (QueryText). Nil disables text queries.
+	Schema lang.Schema
+}
+
+// Service is a concurrent mediator runtime over one core.System. All
+// methods are safe for concurrent use.
+type Service struct {
+	sys   *core.System
+	opts  Options
+	cache *planCache
+	sem   chan struct{}
+
+	// prepare runs the cold path (PACB rewriting via core.Prepare).
+	// Overridable in tests to count or stub rewrites.
+	prepare func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error)
+
+	metrics Metrics
+
+	sessMu     sync.Mutex
+	sessions   map[uint64]*Session
+	nextSessID atomic.Uint64
+}
+
+// Metrics counts service-level events. All fields are atomics; read them
+// through Snapshot.
+type Metrics struct {
+	queries    atomic.Int64 // queries admitted into Query/QueryText
+	hits       atomic.Int64 // served from a ready cache entry
+	coalesced  atomic.Int64 // waited on another caller's in-flight rewrite
+	misses     atomic.Int64 // ran the rewrite (single-flight leaders)
+	errors     atomic.Int64 // failed queries (any stage)
+	timeouts   atomic.Int64 // failures due to context deadline/cancel
+	inFlight   atomic.Int64 // currently executing (post-admission) gauge
+	rowsServed atomic.Int64 // total result rows returned
+}
+
+// MetricsSnapshot is a point-in-time copy of the service metrics.
+type MetricsSnapshot struct {
+	Queries, CacheHits, Coalesced, CacheMisses int64
+	Errors, Timeouts, InFlight, RowsServed     int64
+	CacheEntries                               int
+	Sessions                                   int
+}
+
+// New builds a service over a deployed system.
+func New(sys *core.System, opts Options) *Service {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheShards <= 0 {
+		opts.CacheShards = 16
+	}
+	s := &Service{
+		sys:      sys,
+		opts:     opts,
+		cache:    newPlanCache(opts.CacheShards),
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		sessions: map[uint64]*Session{},
+	}
+	s.prepare = sys.Prepare
+	return s
+}
+
+// System returns the underlying mediator core.
+func (s *Service) System() *core.System { return s.sys }
+
+// Snapshot reads the service metrics.
+func (s *Service) Snapshot() MetricsSnapshot {
+	s.sessMu.Lock()
+	nSess := len(s.sessions)
+	s.sessMu.Unlock()
+	return MetricsSnapshot{
+		Queries:      s.metrics.queries.Load(),
+		CacheHits:    s.metrics.hits.Load(),
+		Coalesced:    s.metrics.coalesced.Load(),
+		CacheMisses:  s.metrics.misses.Load(),
+		Errors:       s.metrics.errors.Load(),
+		Timeouts:     s.metrics.timeouts.Load(),
+		InFlight:     s.metrics.inFlight.Load(),
+		RowsServed:   s.metrics.rowsServed.Load(),
+		CacheEntries: s.cache.len(),
+		Sessions:     nSess,
+	}
+}
+
+// Result is one answered query.
+type Result struct {
+	Rows []value.Tuple
+	// Fingerprint is the canonical cache key the query normalized to.
+	Fingerprint string
+	// CacheHit: the rewriting came from a ready cache entry. Coalesced:
+	// this query waited on a concurrent caller's rewrite of the same
+	// fingerprint. Neither: this query ran the rewrite (cold miss).
+	CacheHit  bool
+	Coalesced bool
+	// PlanTime covers fingerprinting plus the cache/rewrite stage;
+	// ExecTime covers admission plus execution.
+	PlanTime time.Duration
+	ExecTime time.Duration
+	// PerStore is the exact work each store performed for THIS query
+	// (per-execution attribution; stores the query never touched are
+	// absent).
+	PerStore map[string]engine.CounterSnapshot
+}
+
+// Query answers a conjunctive query through the shared rewriting cache
+// and the admission layer.
+func (s *Service) Query(ctx context.Context, q pivot.CQ) (*Result, error) {
+	s.metrics.queries.Add(1)
+	res, err := s.query(ctx, q)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		if ctx.Err() != nil || err == context.DeadlineExceeded || err == context.Canceled {
+			s.metrics.timeouts.Add(1)
+		}
+		return nil, err
+	}
+	s.metrics.rowsServed.Add(int64(len(res.Rows)))
+	return res, nil
+}
+
+// QueryText parses a surface-language query (lang "sql", "flwor" or
+// "cq") against the configured schema and answers it.
+func (s *Service) QueryText(ctx context.Context, language, text string) (*Result, error) {
+	var q pivot.CQ
+	var err error
+	switch language {
+	case "sql":
+		if s.opts.Schema == nil {
+			return nil, fmt.Errorf("service: no schema configured for surface languages")
+		}
+		q, err = lang.ParseSQL(text, s.opts.Schema)
+	case "flwor":
+		if s.opts.Schema == nil {
+			return nil, fmt.Errorf("service: no schema configured for surface languages")
+		}
+		q, err = lang.ParseFLWOR(text, s.opts.Schema)
+	case "cq", "":
+		q, err = lang.ParseCQ(text)
+	default:
+		return nil, fmt.Errorf("service: unknown query language %q (sql|flwor|cq)", language)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(ctx, q)
+}
+
+func (s *Service) query(ctx context.Context, q pivot.CQ) (*Result, error) {
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+
+	fp, err := Canonicalize(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rewrite stage: shared cache, single-flight on cold misses, epoch
+	// validation against the catalog generation. The leader's PACB search
+	// runs inside an admission slot, so a burst of distinct cold
+	// fingerprints cannot run unbounded concurrent backchases.
+	epoch := s.sys.CacheEpoch()
+	prep, outcome, err := s.cache.get(ctx, fp.Key, epoch, func() (*core.Prepared, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		return s.prepare(fp.Query, fp.Params...)
+	})
+	if outcome == outcomeMiss {
+		s.metrics.misses.Add(1)
+	}
+	if err != nil {
+		// Hits/coalesced waits that surface a cached error are counted as
+		// errors by the caller, not as cache hits — a poisoned entry must
+		// not read as a healthy cache in /stats.
+		return nil, err
+	}
+	switch outcome {
+	case outcomeHit:
+		s.metrics.hits.Add(1)
+	case outcomeCoalesced:
+		s.metrics.coalesced.Add(1)
+	}
+	planTime := time.Since(start)
+
+	// Admission: bounded in-flight executions.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.metrics.inFlight.Add(1)
+	execStart := time.Now()
+	rows, perStore, err := prep.ExecCtx(ctx, nil, fp.Args...)
+	s.metrics.inFlight.Add(-1)
+	<-s.sem
+	if err != nil {
+		return nil, err
+	}
+
+	// Trim appended parameter columns (constant over the whole result) back
+	// to the original head width.
+	if fp.OutWidth < fp.Query.Head.Arity() {
+		for i, r := range rows {
+			rows[i] = r[:fp.OutWidth]
+		}
+	}
+	return &Result{
+		Rows:        rows,
+		Fingerprint: fp.Key,
+		CacheHit:    outcome == outcomeHit,
+		Coalesced:   outcome == outcomeCoalesced,
+		PlanTime:    planTime,
+		ExecTime:    time.Since(execStart),
+		PerStore:    perStore,
+	}, nil
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/scenario"
+)
+
+// TestSingleFlightColdMiss is the single-flight guard: N concurrent cold
+// misses of one fingerprint must run exactly one rewrite (one
+// core.Prepare, hence one rewrite.Rewrite call); everyone else waits on
+// the leader's entry.
+func TestSingleFlightColdMiss(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+
+	var prepares atomic.Int64
+	inner := svc.prepare
+	var gate sync.WaitGroup
+	gate.Add(1)
+	svc.prepare = func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error) {
+		prepares.Add(1)
+		gate.Wait() // hold the leader until every contender has arrived
+		return inner(q, params...)
+	}
+
+	const n = 16
+	var started, done sync.WaitGroup
+	started.Add(n)
+	done.Add(n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			// Distinct literals, one fingerprint: all must coalesce.
+			uid := []string{"u00001", "u00002", "u00003", "u00004"}[i%4]
+			q := pivot.NewCQ(
+				pivot.NewAtom("QCart", pivot.CStr(uid), v("pid"), v("qty")),
+				pivot.NewAtom("Carts", pivot.CStr(uid), v("pid"), v("qty")))
+			started.Done()
+			_, errs[i] = svc.Query(context.Background(), q)
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(20 * time.Millisecond) // let every goroutine reach the cache
+	gate.Done()
+	done.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := prepares.Load(); got != 1 {
+		t.Errorf("prepare (rewrite) ran %d times for %d concurrent cold misses, want exactly 1", got, n)
+	}
+	snap := svc.Snapshot()
+	if snap.CacheMisses != 1 {
+		t.Errorf("misses = %d, want 1", snap.CacheMisses)
+	}
+	if snap.CacheHits+snap.Coalesced != n-1 {
+		t.Errorf("hits(%d)+coalesced(%d) = %d, want %d",
+			snap.CacheHits, snap.Coalesced, snap.CacheHits+snap.Coalesced, n-1)
+	}
+}
+
+// TestEpochInvalidation: catalog changes (fragment registration/drop)
+// bump the epoch and lazily evict affected entries — no flush-the-world.
+func TestEpochInvalidation(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	var prepares atomic.Int64
+	inner := svc.prepare
+	svc.prepare = func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error) {
+		prepares.Add(1)
+		return inner(q, params...)
+	}
+
+	q := pivot.NewCQ(
+		pivot.NewAtom("QPrefs", pivot.CStr("u00001"), v("k"), v("val")),
+		pivot.NewAtom("Prefs", pivot.CStr("u00001"), v("k"), v("val")))
+
+	if _, err := svc.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("second query should hit the cache")
+	}
+	if prepares.Load() != 1 {
+		t.Fatalf("prepares = %d, want 1", prepares.Load())
+	}
+
+	// A catalog change (drop + re-register of an unrelated path would do
+	// too — any registration bumps the epoch) invalidates lazily.
+	epochBefore := m.Sys.CacheEpoch()
+	if err := m.Sys.DropFragment("FPH"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sys.CacheEpoch() == epochBefore {
+		t.Fatal("DropFragment did not bump the catalog epoch")
+	}
+	res, err = svc.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || res.Coalesced {
+		t.Error("post-drop query served from a stale entry")
+	}
+	if prepares.Load() != 2 {
+		t.Errorf("prepares = %d, want 2 (re-rewrite after epoch bump)", prepares.Load())
+	}
+}
+
+// TestAdmissionAndTimeout: a full admission queue plus an expiring
+// context must reject with the context error and count a timeout.
+func TestAdmissionAndTimeout(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{MaxInFlight: 1, QueryTimeout: 30 * time.Millisecond})
+
+	// Occupy the only execution slot.
+	svc.sem <- struct{}{}
+	defer func() { <-svc.sem }()
+
+	q := pivot.NewCQ(
+		pivot.NewAtom("QPrefs", pivot.CStr("u00001"), v("k"), v("val")),
+		pivot.NewAtom("Prefs", pivot.CStr("u00001"), v("k"), v("val")))
+	_, err := svc.Query(context.Background(), q)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	snap := svc.Snapshot()
+	if snap.Timeouts != 1 || snap.Errors != 1 {
+		t.Errorf("timeouts=%d errors=%d, want 1/1", snap.Timeouts, snap.Errors)
+	}
+}
+
+// TestSessionsShareCacheAndCount: sessions share the rewriting cache but
+// keep their own accounting.
+func TestSessionsShareCacheAndCount(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema})
+	ctx := context.Background()
+
+	s1 := svc.NewSession()
+	s2 := svc.NewSession()
+	defer s1.Close()
+	defer s2.Close()
+
+	if _, err := s1.QueryText(ctx, "sql", "SELECT p.val FROM Prefs p WHERE p.uid = 'u00001'"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.QueryText(ctx, "cq", `Q(val) :- Prefs('u00002', k, val)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("second session should hit the entry the first session created")
+	}
+
+	st1, st2 := s1.Stats(), s2.Stats()
+	if st1.Queries != 1 || st2.Queries != 1 {
+		t.Errorf("session query counts = %d/%d, want 1/1", st1.Queries, st2.Queries)
+	}
+	if st1.CacheHits != 0 || st2.CacheHits != 1 {
+		t.Errorf("session hit counts = %d/%d, want 0/1", st1.CacheHits, st2.CacheHits)
+	}
+	if got := svc.Snapshot().Sessions; got != 2 {
+		t.Errorf("registered sessions = %d, want 2", got)
+	}
+	s2.Close()
+	if got := svc.Snapshot().Sessions; got != 1 {
+		t.Errorf("after close, sessions = %d, want 1", got)
+	}
+}
+
+// TestServiceMatchesCore: for a mix of ad-hoc queries, the service
+// (fingerprint + bind path) returns the same answers as direct
+// core.System.Query.
+func TestServiceMatchesCore(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	queries := []pivot.CQ{
+		scenario.ProfileQuery(),
+		scenario.PersonalizedSearchQuery(),
+		pivot.NewCQ(
+			pivot.NewAtom("Q", v("u"), v("name"), pivot.CStr("cat01")),
+			pivot.NewAtom("Users", v("u"), v("name"), v("city")),
+			pivot.NewAtom("Orders", v("o"), v("u"), v("p"), v("amt")),
+			pivot.NewAtom("Products", v("p"), pivot.CStr("cat01"), v("d"))),
+		searchQuery("u00005", "cat02"),
+	}
+	for i, q := range queries {
+		want, err := m.Sys.Query(q)
+		if err != nil {
+			t.Fatalf("core query %d: %v", i, err)
+		}
+		got, err := svc.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("service query %d: %v", i, err)
+		}
+		if rowKeys(got) != rowKeysTuples(want.Rows) {
+			t.Errorf("query %d: service and core disagree\nservice: %s\ncore:    %s",
+				i, rowKeys(got), rowKeysTuples(want.Rows))
+		}
+		if len(got.PerStore) == 0 {
+			t.Errorf("query %d: no per-store attribution", i)
+		}
+	}
+}
+
+// TestLoadGenClosedLoop smoke-tests the load generator: all ops complete,
+// hot traffic is mostly cache hits.
+func TestLoadGenClosedLoop(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	uids := []string{"u00001", "u00002", "u00003", "u00004", "u00005"}
+	res := RunClosedLoop(context.Background(), svc, 4, 25, func(client, op int) pivot.CQ {
+		uid := uids[(client+op)%len(uids)]
+		return pivot.NewCQ(
+			pivot.NewAtom("QCart", pivot.CStr(uid), v("pid"), v("qty")),
+			pivot.NewAtom("Carts", pivot.CStr(uid), v("pid"), v("qty")))
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors", res.Errors)
+	}
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d, want 100", res.Ops)
+	}
+	snap := svc.Snapshot()
+	if snap.CacheMisses != 1 {
+		t.Errorf("hot single-fingerprint traffic took %d misses, want 1", snap.CacheMisses)
+	}
+	if res.QPS() <= 0 {
+		t.Error("QPS not computed")
+	}
+}

@@ -104,22 +104,23 @@ func KVKey(v value.Value) string { return v.Key() }
 
 // access issues a single-fragment access with equality filters on view
 // columns. This is the uniform entry point BindJoin fetches and leaf
-// sources go through.
-func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter) (engine.Iterator, error) {
+// sources go through. extra, when non-nil, additionally attributes the
+// store's work to the calling execution.
+func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.Iterator, error) {
 	switch frag.Layout.Kind {
 	case catalog.LayoutRel:
 		st, ok := s.Rel[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no relational store %q", frag.Store)
 		}
-		return st.Select(frag.Layout.Collection, filters, nil)
+		return st.SelectCounted(frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutPar:
 		st, ok := s.Par[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no parallel store %q", frag.Store)
 		}
-		return st.Select(frag.Layout.Collection, filters, nil)
+		return st.SelectCounted(frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutKV:
 		st, ok := s.KV[frag.Store]
@@ -139,7 +140,7 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter) (engi
 			return nil, fmt.Errorf("translate: key-value fragment %q accessed without its key (column %d)",
 				frag.Name, frag.Layout.KeyCol)
 		}
-		rows, err := st.Get(frag.Layout.Collection, KVKey(key))
+		rows, err := st.GetCounted(frag.Layout.Collection, KVKey(key), extra)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +158,7 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter) (engi
 			}
 			pf = append(pf, docstore.PathFilter{Path: frag.Layout.DocPaths[f.Col], Val: f.Val})
 		}
-		return st.FindTuples(frag.Layout.Collection, pf, frag.Layout.DocPaths)
+		return st.FindTuplesCounted(frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
 
 	case catalog.LayoutText:
 		st, ok := s.Text[frag.Store]
@@ -172,7 +173,7 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter) (engi
 			q.Fields = append(q.Fields, textstore.FieldFilter{
 				Field: frag.Layout.Columns[f.Col], Val: f.Val})
 		}
-		return st.Search(frag.Layout.Collection, q)
+		return st.SearchCounted(frag.Layout.Collection, q, extra)
 
 	default:
 		return nil, fmt.Errorf("translate: unsupported layout %v", frag.Layout.Kind)

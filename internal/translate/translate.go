@@ -196,8 +196,8 @@ func (p *Planner) buildAtomLeaf(a pivot.Atom, f *catalog.Fragment) (exec.Node, e
 	src := &exec.Source{
 		Name: fmt.Sprintf("%s.access(%s)", f.Store, f.Name),
 		Out:  rawSchema,
-		OpenFn: func() (engine.Iterator, error) {
-			return p.Stores.access(frag, filters)
+		OpenFn: func(ec *exec.Ctx) (engine.Iterator, error) {
+			return p.Stores.access(frag, filters, ec.StoreCounters(frag.Store))
 		},
 	}
 	var node exec.Node = src
@@ -287,12 +287,12 @@ func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragmen
 		keepNames[i] = rawSchema[pos]
 	}
 	frag := f
-	fetch := func(bind value.Tuple) (engine.Iterator, error) {
+	fetch := func(ec *exec.Ctx, bind value.Tuple) (engine.Iterator, error) {
 		filters := append([]engine.EqFilter(nil), constFilters...)
 		for i, pos := range bindPos {
 			filters = append(filters, engine.EqFilter{Col: pos, Val: bind[i]})
 		}
-		it, err := p.Stores.access(frag, filters)
+		it, err := p.Stores.access(frag, filters, ec.StoreCounters(frag.Store))
 		if err != nil {
 			return nil, err
 		}
@@ -363,11 +363,15 @@ func (p *Planner) buildDelegatedGroup(r pivot.CQ, frags []*catalog.Fragment, gro
 	}
 	dq.Out = outVars
 
-	var open func() (engine.Iterator, error)
+	var open func(ec *exec.Ctx) (engine.Iterator, error)
 	if st, ok := p.Stores.Rel[storeName]; ok {
-		open = func() (engine.Iterator, error) { return st.Query(dq) }
+		open = func(ec *exec.Ctx) (engine.Iterator, error) {
+			return st.QueryCounted(dq, ec.StoreCounters(storeName))
+		}
 	} else if st, ok := p.Stores.Par[storeName]; ok {
-		open = func() (engine.Iterator, error) { return st.Query(dq) }
+		open = func(ec *exec.Ctx) (engine.Iterator, error) {
+			return st.QueryCounted(dq, ec.StoreCounters(storeName))
+		}
 	} else {
 		return nil, fmt.Errorf("translate: store %q cannot take delegated joins", storeName)
 	}
@@ -426,8 +430,8 @@ func (c *constExtender) Schema() exec.Schema {
 }
 func (c *constExtender) Label() string         { return fmt.Sprintf("ExtendConsts[%d]", len(c.consts)) }
 func (c *constExtender) Children() []exec.Node { return []exec.Node{c.in} }
-func (c *constExtender) Open() (engine.Iterator, error) {
-	in, err := c.in.Open()
+func (c *constExtender) Open(ec *exec.Ctx) (engine.Iterator, error) {
+	in, err := c.in.Open(ec)
 	if err != nil {
 		return nil, err
 	}
