@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-smoke
+.PHONY: all build test test-race vet fmt-check check bench bench-smoke
 
 all: check
 
@@ -16,7 +16,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet build test
+# Fails when any file needs gofmt (CI runs the same gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt-check vet build test
 
 # Full benchmark sweep in machine-readable form; BENCH_<n>.json files track
 # the performance trajectory across PRs. Pass N to pick the snapshot

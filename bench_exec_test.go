@@ -1,0 +1,324 @@
+// Vectorized-executor microbenchmarks: the batch pipeline (exec operators
+// exchanging value.Batch slabs) against the tuple-at-a-time baseline the
+// seed shipped (engine.Iterator chains crossing one interface call per
+// tuple per operator). Three shapes, matching the executor's hot paths:
+//
+//	ExecScan     — residual filter + projection over a wide scan
+//	ExecHashJoin — natural hash join, build + probe
+//	ExecBindJoin — dependent access with duplicate-heavy bind keys
+//
+// The Tuple variants reimplement the pre-vectorization operator mechanics
+// faithfully (per-row FilterIterator/ProjectIterator hops, per-left-row
+// join output allocation, one Fetch per left tuple) so BENCH_<n>.json
+// tracks the before/after of the refactor.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+const benchScanRows = 50000
+
+func scanRows() []value.Tuple {
+	rows := make([]value.Tuple, benchScanRows)
+	for i := range rows {
+		rows[i] = value.TupleOf(i, i%97, fmt.Sprintf("city%02d", i%13))
+	}
+	return rows
+}
+
+func BenchmarkExecBatchScan(b *testing.B) {
+	rows := scanRows()
+	want := benchScanRows / 13
+	var plan exec.Node = &exec.Select{
+		In:      &exec.Values{Out: exec.Schema{"id", "mod", "city"}, Rows: rows},
+		EqConst: []engine.EqFilter{{Col: 2, Val: value.Str("city07")}},
+	}
+	plan, err := exec.NewProject(plan, []string{"id", "mod"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != want {
+			b.Fatalf("rows = %d, want %d", len(out), want)
+		}
+	}
+}
+
+// BenchmarkExecTupleScan is the seed's row-at-a-time pipeline: one
+// interface call per tuple per operator, one projection allocation per row.
+func BenchmarkExecTupleScan(b *testing.B) {
+	rows := scanRows()
+	want := benchScanRows / 13
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var it engine.Iterator = engine.NewSliceIterator(rows)
+		it = &engine.FilterIterator{In: it, Filters: []engine.EqFilter{{Col: 2, Val: value.Str("city07")}}}
+		it = &engine.ProjectIterator{In: it, Cols: []int{0, 1}}
+		var out []value.Tuple
+		for {
+			t, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, t)
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		it.Close()
+		if len(out) != want {
+			b.Fatalf("rows = %d, want %d", len(out), want)
+		}
+	}
+}
+
+const (
+	benchJoinLeft  = 20000
+	benchJoinRight = 2000
+)
+
+func joinInputs() (left, right []value.Tuple) {
+	left = make([]value.Tuple, benchJoinLeft)
+	for i := range left {
+		left[i] = value.TupleOf(fmt.Sprintf("u%04d", i%benchJoinRight), i, i%7)
+	}
+	right = make([]value.Tuple, benchJoinRight)
+	for i := range right {
+		right[i] = value.TupleOf(fmt.Sprintf("u%04d", i), fmt.Sprintf("city%02d", i%13))
+	}
+	return left, right
+}
+
+func BenchmarkExecBatchHashJoin(b *testing.B) {
+	left, right := joinInputs()
+	j, err := exec.NewHashJoin(
+		&exec.Values{Out: exec.Schema{"u", "i", "m"}, Rows: left},
+		&exec.Values{Out: exec.Schema{"u", "city"}, Rows: right},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != benchJoinLeft {
+			b.Fatalf("rows = %d, want %d", len(out), benchJoinLeft)
+		}
+	}
+}
+
+// BenchmarkExecTupleHashJoin replicates the pre-vectorization hashJoinIter:
+// per-row key rendering into a fresh scratch tuple, per-row output
+// allocation, one Next() interface hop per probe tuple.
+func BenchmarkExecTupleHashJoin(b *testing.B) {
+	left, right := joinInputs()
+	keyOf := func(t value.Tuple, cols []int) string {
+		parts := make(value.Tuple, len(cols))
+		for i, c := range cols {
+			parts[i] = t[c]
+		}
+		return parts.Key()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := make(map[string][]value.Tuple, len(right))
+		for _, r := range right {
+			k := keyOf(r, []int{0})
+			table[k] = append(table[k], r)
+		}
+		lit := engine.NewSliceIterator(left)
+		var out []value.Tuple
+		for {
+			l, ok := lit.Next()
+			if !ok {
+				break
+			}
+			for _, r := range table[keyOf(l, []int{0})] {
+				row := make(value.Tuple, 0, len(l)+1)
+				row = append(row, l...)
+				row = append(row, r[1])
+				out = append(out, row)
+			}
+		}
+		if len(out) != benchJoinLeft {
+			b.Fatalf("rows = %d, want %d", len(out), benchJoinLeft)
+		}
+	}
+}
+
+// Scan+join+distinct — the full residual-work shape the mediator runs for
+// a non-delegated cross-store join (the acceptance pipeline).
+
+func BenchmarkExecBatchScanJoin(b *testing.B) {
+	left, right := joinInputs()
+	var plan exec.Node = &exec.Select{
+		In:      &exec.Values{Out: exec.Schema{"u", "i", "m"}, Rows: left},
+		EqConst: []engine.EqFilter{{Col: 2, Val: value.Int(3)}},
+	}
+	plan, err := exec.NewHashJoin(plan, &exec.Values{Out: exec.Schema{"u", "city"}, Rows: right})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan = &exec.Distinct{In: plan}
+	want := benchJoinLeft / 7
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != want {
+			b.Fatalf("rows = %d, want %d", len(out), want)
+		}
+	}
+}
+
+// BenchmarkExecTupleScanJoin is the same pipeline on the seed's
+// row-at-a-time mechanics: iterator hops through the filter, per-row key
+// rendering and output allocation in the join, per-row dedup keys.
+func BenchmarkExecTupleScanJoin(b *testing.B) {
+	left, right := joinInputs()
+	keyOf := func(t value.Tuple, cols []int) string {
+		parts := make(value.Tuple, len(cols))
+		for i, c := range cols {
+			parts[i] = t[c]
+		}
+		return parts.Key()
+	}
+	want := benchJoinLeft / 7
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := make(map[string][]value.Tuple, len(right))
+		for _, r := range right {
+			k := keyOf(r, []int{0})
+			table[k] = append(table[k], r)
+		}
+		var lit engine.Iterator = engine.NewSliceIterator(left)
+		lit = &engine.FilterIterator{In: lit, Filters: []engine.EqFilter{{Col: 2, Val: value.Int(3)}}}
+		seen := map[string]struct{}{}
+		var out []value.Tuple
+		for {
+			l, ok := lit.Next()
+			if !ok {
+				break
+			}
+			for _, r := range table[keyOf(l, []int{0})] {
+				row := make(value.Tuple, 0, len(l)+1)
+				row = append(row, l...)
+				row = append(row, r[1])
+				k := row.Key()
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				out = append(out, row)
+			}
+		}
+		if len(out) != want {
+			b.Fatalf("rows = %d, want %d", len(out), want)
+		}
+	}
+}
+
+const (
+	benchBindLeft = 10000
+	benchBindKeys = 500 // duplicate-heavy: each key repeats ~20×
+)
+
+func bindInputs() (left []value.Tuple, store map[string][]value.Tuple) {
+	left = make([]value.Tuple, benchBindLeft)
+	store = make(map[string][]value.Tuple, benchBindKeys)
+	for i := range left {
+		// Run-length duplicate keys, as a join output ordered by the bind
+		// column produces: each key repeats on ~20 consecutive left rows.
+		key := fmt.Sprintf("u%03d", (i/20)%benchBindKeys)
+		left[i] = value.TupleOf(key, i)
+	}
+	for k := 0; k < benchBindKeys; k++ {
+		key := fmt.Sprintf("u%03d", k)
+		store[key] = []value.Tuple{value.TupleOf(key, "dark"), value.TupleOf(key, "fr")}
+	}
+	return left, store
+}
+
+func BenchmarkExecBatchBindJoin(b *testing.B) {
+	left, store := bindInputs()
+	fetch := func(_ *exec.Ctx, bind value.Tuple) (engine.BatchIterator, error) {
+		return engine.NewSliceBatchIterator(store[string(bind[0].(value.Str))]), nil
+	}
+	bj, err := exec.NewBindJoin(
+		&exec.Values{Out: exec.Schema{"u", "i"}, Rows: left},
+		[]string{"u"}, exec.Schema{"u", "pref"}, fetch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(bj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 2*benchBindLeft {
+			b.Fatalf("rows = %d, want %d", len(out), 2*benchBindLeft)
+		}
+	}
+}
+
+// BenchmarkExecTupleBindJoin replicates the pre-vectorization bindJoinIter:
+// one dependent access per left tuple (no bind-key dedup), per-row output
+// allocation.
+func BenchmarkExecTupleBindJoin(b *testing.B) {
+	left, store := bindInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lit := engine.NewSliceIterator(left)
+		var out []value.Tuple
+		for {
+			l, ok := lit.Next()
+			if !ok {
+				break
+			}
+			bind := make(value.Tuple, 1)
+			bind[0] = l[0]
+			rit := engine.NewSliceIterator(store[string(bind[0].(value.Str))])
+			rows, err := engine.Drain(rit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rows {
+				if !value.Equal(r[0], l[0]) {
+					continue
+				}
+				row := make(value.Tuple, 0, len(l)+1)
+				row = append(row, l...)
+				row = append(row, r[1])
+				out = append(out, row)
+			}
+		}
+		if len(out) != 2*benchBindLeft {
+			b.Fatalf("rows = %d, want %d", len(out), 2*benchBindLeft)
+		}
+	}
+}

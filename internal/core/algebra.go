@@ -215,10 +215,10 @@ type renameNode struct {
 	out exec.Schema
 }
 
-func (r *renameNode) Schema() exec.Schema                        { return r.out }
-func (r *renameNode) Label() string                              { return "Rename" + r.out.String() }
-func (r *renameNode) Children() []exec.Node                      { return []exec.Node{r.in} }
-func (r *renameNode) Open(ec *exec.Ctx) (engine.Iterator, error) { return r.in.Open(ec) }
+func (r *renameNode) Schema() exec.Schema                             { return r.out }
+func (r *renameNode) Label() string                                   { return "Rename" + r.out.String() }
+func (r *renameNode) Children() []exec.Node                           { return []exec.Node{r.in} }
+func (r *renameNode) Open(ec *exec.Ctx) (engine.BatchIterator, error) { return r.in.Open(ec) }
 
 func positional(w int) exec.Schema {
 	out := make(exec.Schema, w)

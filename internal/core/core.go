@@ -434,8 +434,8 @@ func (s *System) Query(q pivot.CQ) (*Result, error) {
 }
 
 // QueryCtx is Query under a cancellation context: admission layers use it
-// to enforce per-query timeouts. Cancellation is checked between tuple
-// batches, not inside a single store access.
+// to enforce per-query timeouts. Cancellation is checked once per drained
+// value.Batch, not inside a single store access.
 func (s *System) QueryCtx(ctx context.Context, q pivot.CQ) (*Result, error) {
 	return s.query(ctx, q, nil)
 }
@@ -491,7 +491,8 @@ func (s *System) query(ctx context.Context, q pivot.CQ, boundHead []int) (*Resul
 	// Per-execution attribution: the execution carries its own counter
 	// sink, so concurrent queries report disjoint, exact per-store splits
 	// (global-snapshot diffing would charge this query with other queries'
-	// concurrent work).
+	// concurrent work). Store tuples are tallied once per delivered batch
+	// and the plan drains batch-at-a-time through exec.RunWith.
 	ec := &exec.Ctx{Context: ctx, Counters: engine.NewExecCounters()}
 	execStart := time.Now()
 	rows, err := exec.RunWith(ec, plan.Root)

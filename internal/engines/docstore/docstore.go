@@ -235,6 +235,27 @@ func (s *Store) FindTuplesCounted(collName string, filters []PathFilter, paths [
 	return engine.NewSliceIterator(rows), nil
 }
 
+// FindTuplesBatch is the native batch scan: FindTuples delivered as
+// value.Batch slabs.
+func (s *Store) FindTuplesBatch(collName string, filters []PathFilter, paths []string) (engine.BatchIterator, error) {
+	return s.FindTuplesBatchCounted(collName, filters, paths, nil)
+}
+
+// FindTuplesBatchCounted is FindTuplesBatch with the operations
+// additionally attributed to a per-execution counter cell (nil =
+// store-global counting only).
+func (s *Store) FindTuplesBatchCounted(collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.BatchIterator, error) {
+	docs, err := s.findCounted(collName, filters, engine.NewTally(&s.counters, extra))
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Tuple
+	for _, d := range docs {
+		rows = append(rows, ProjectDoc(d, paths)...)
+	}
+	return engine.NewSliceBatchIterator(rows), nil
+}
+
 // ProjectDoc projects a document to tuples along paths. If the first path
 // segment of some path addresses an array of objects, the document is
 // unnested on that array: each element produces one tuple (scenario: one

@@ -169,6 +169,22 @@ func (s *Store) GetCounted(collection, key string, extra *engine.Counters) ([]va
 	return out, nil
 }
 
+// GetBatch is the native batch access path: the tuples stored under key,
+// decoded once and delivered as value.Batch slabs.
+func (s *Store) GetBatch(collection, key string) (engine.BatchIterator, error) {
+	return s.GetBatchCounted(collection, key, nil)
+}
+
+// GetBatchCounted is GetBatch with the operations additionally attributed
+// to a per-execution counter cell (nil = store-global counting only).
+func (s *Store) GetBatchCounted(collection, key string, extra *engine.Counters) (engine.BatchIterator, error) {
+	rows, err := s.GetCounted(collection, key, extra)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSliceBatchIterator(rows), nil
+}
+
 // Len returns the number of keys in a collection.
 func (s *Store) Len(collection string) (int, error) {
 	s.mu.RLock()

@@ -307,6 +307,149 @@ func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project [
 	return engine.NewChanIterator(out, nil, done), nil
 }
 
+// SelectBatch is the native batch scan: filters+projection evaluated with
+// one worker goroutine per partition, each shipping whole row slabs over
+// the merge channel instead of one tuple per send.
+func (s *Store) SelectBatch(table string, filters []engine.EqFilter, project []int) (engine.BatchIterator, error) {
+	return s.SelectBatchCounted(table, filters, project, nil)
+}
+
+// SelectBatchCounted is SelectBatch with the operations additionally
+// attributed to a per-execution counter cell (nil = store-global counting
+// only). Tuple counts are tallied once per shipped slab.
+func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
+	s.lat.Wait()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Indexed path.
+	for _, f := range filters {
+		ix, ok := t.indexes[f.Col]
+		if !ok {
+			continue
+		}
+		tally.AddLookup()
+		refs := ix[f.Val.Key()]
+		rows := make([]value.Tuple, 0, len(refs))
+		for _, r := range refs {
+			row := t.parts[r.part][r.off]
+			if engine.MatchAll(row, filters) {
+				rows = append(rows, projectRow(row, project))
+			}
+		}
+		tally.AddTuples(len(rows))
+		return engine.NewSliceBatchIterator(rows), nil
+	}
+
+	// Parallel scan path: one worker per partition, slabs on the channel.
+	tally.AddScan()
+	out := make(chan []value.Tuple, len(t.parts))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < len(t.parts); p++ {
+		wg.Add(1)
+		part := t.parts[p]
+		go func() {
+			defer wg.Done()
+			slab := make([]value.Tuple, 0, value.BatchCap)
+			for _, row := range part {
+				if !engine.MatchAll(row, filters) {
+					continue
+				}
+				slab = append(slab, projectRow(row, project))
+				if len(slab) == cap(slab) {
+					select {
+					case out <- slab:
+						tally.AddTuples(len(slab))
+					case <-done:
+						return
+					}
+					slab = make([]value.Tuple, 0, value.BatchCap)
+				}
+			}
+			if len(slab) > 0 {
+				select {
+				case out <- slab:
+					tally.AddTuples(len(slab))
+				case <-done:
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return &slabChanBatchIterator{c: out, closed: done}, nil
+}
+
+// slabChanBatchIterator adapts a channel of row slabs to the batch
+// protocol, carrying leftovers when a slab exceeds the destination.
+type slabChanBatchIterator struct {
+	c      <-chan []value.Tuple
+	closed chan struct{}
+	cur    []value.Tuple
+	pos    int
+	once   bool
+}
+
+// NextBatch implements engine.BatchIterator.
+func (it *slabChanBatchIterator) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
+	for !dst.Full() {
+		if it.pos < len(it.cur) {
+			n := len(it.cur) - it.pos
+			if room := dst.Cap() - dst.Len(); n > room {
+				n = room
+			}
+			dst.AppendAll(it.cur[it.pos : it.pos+n])
+			it.pos += n
+			continue
+		}
+		if dst.Len() > 0 {
+			// Deliver what we have instead of blocking on slow workers.
+			return dst.Len(), nil
+		}
+		slab, ok := <-it.c
+		if !ok {
+			return dst.Len(), nil
+		}
+		it.cur, it.pos = slab, 0
+	}
+	return dst.Len(), nil
+}
+
+// Close implements engine.BatchIterator.
+func (it *slabChanBatchIterator) Close() {
+	if !it.once {
+		it.once = true
+		if it.closed != nil {
+			close(it.closed)
+		}
+	}
+}
+
+// QueryBatch evaluates a delegated conjunctive query on the vectorized
+// protocol.
+func (s *Store) QueryBatch(q engine.DQuery) (engine.BatchIterator, error) {
+	return s.QueryBatchCounted(q, nil)
+}
+
+// QueryBatchCounted is QueryBatch with per-execution counter attribution.
+func (s *Store) QueryBatchCounted(q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.QueryCounted(q, extra)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ToBatch(it), nil
+}
+
 func projectRow(row value.Tuple, project []int) value.Tuple {
 	if project == nil {
 		return row

@@ -23,6 +23,21 @@ func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.It
 	})
 }
 
+// QueryBatch evaluates a delegated conjunctive query on the vectorized
+// protocol.
+func (s *Store) QueryBatch(q engine.DQuery) (engine.BatchIterator, error) {
+	return s.QueryBatchCounted(q, nil)
+}
+
+// QueryBatchCounted is QueryBatch with per-execution counter attribution.
+func (s *Store) QueryBatchCounted(q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.QueryCounted(q, extra)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ToBatch(it), nil
+}
+
 // selectNoRequest is Select without the per-request accounting (internal
 // accesses within one delegated query are not separate round-trips).
 func (s *Store) selectNoRequest(table string, filters []engine.EqFilter, tally engine.Tally) (engine.Iterator, error) {

@@ -271,3 +271,56 @@ func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project [
 	}
 	return &engine.CountingIter{In: it, T: tally}, nil
 }
+
+// SelectBatch is the native batch scan: Select evaluated on the
+// vectorized protocol, delivering value.Batch slabs instead of one tuple
+// per call.
+func (s *Store) SelectBatch(table string, filters []engine.EqFilter, project []int) (engine.BatchIterator, error) {
+	return s.SelectBatchCounted(table, filters, project, nil)
+}
+
+// SelectBatchCounted is SelectBatch with the operations additionally
+// attributed to a per-execution counter cell (nil = store-global counting
+// only). Tuple counts are tallied once per batch.
+func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
+	s.lat.Wait()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var base engine.BatchIterator
+	used := -1
+	for _, f := range filters {
+		if ix, ok := t.indexes[f.Col]; ok {
+			rowIdx := ix[f.Val.Key()]
+			rows := make([]value.Tuple, len(rowIdx))
+			for i, ri := range rowIdx {
+				rows[i] = t.rows[ri]
+			}
+			base = engine.NewSliceBatchIterator(rows)
+			used = f.Col
+			tally.AddLookup()
+			break
+		}
+	}
+	if base == nil {
+		base = engine.NewSliceBatchIterator(t.rows)
+		tally.AddScan()
+	}
+	rest := make([]engine.EqFilter, 0, len(filters))
+	for _, f := range filters {
+		if f.Col != used {
+			rest = append(rest, f)
+		}
+	}
+	var it engine.BatchIterator = &engine.BatchFilter{In: base, Filters: rest}
+	if project != nil {
+		it = &engine.BatchProject{In: it, Cols: project}
+	}
+	return &engine.CountingBatchIterator{In: it, T: tally}, nil
+}

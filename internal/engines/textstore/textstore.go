@@ -245,6 +245,23 @@ func (s *Store) SearchCounted(collName string, q Query, extra *engine.Counters) 
 	return engine.NewSliceIterator(rows), nil
 }
 
+// SearchBatch is the native batch scan: Search delivered as value.Batch
+// slabs.
+func (s *Store) SearchBatch(collName string, q Query) (engine.BatchIterator, error) {
+	return s.SearchBatchCounted(collName, q, nil)
+}
+
+// SearchBatchCounted is SearchBatch with the operations additionally
+// attributed to a per-execution counter cell (nil = store-global counting
+// only).
+func (s *Store) SearchBatchCounted(collName string, q Query, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.SearchCounted(collName, q, extra)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ToBatch(it), nil
+}
+
 // intersect merges two sorted posting lists.
 func intersect(a, b []int) []int {
 	var out []int

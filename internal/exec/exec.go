@@ -7,7 +7,11 @@
 // nesting, and nested result (document) construction.
 //
 // Plans are trees of Nodes; each node exposes the variable names of its
-// output columns (Schema) and opens to a tuple Iterator.
+// output columns (Schema) and opens to a vectorized batch iterator
+// (engine.BatchIterator): operators exchange value.Batch slabs of a few
+// hundred tuples per call, amortizing virtual dispatch, cancellation
+// checks and counter attribution. Row-at-a-time consumers keep working
+// through the engine.ToTuples adapter.
 package exec
 
 import (
@@ -43,7 +47,7 @@ func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }
 // the iterators Open returns). A nil *Ctx is valid and means "no
 // cancellation, no attribution".
 type Ctx struct {
-	// Context cancels the execution (checked between tuple batches; a
+	// Context cancels the execution (checked once per drained batch; a
 	// single in-flight store access is not interrupted). Nil = background.
 	Context context.Context
 	// Counters attributes store work to this execution. Nil = off.
@@ -71,10 +75,10 @@ func (c *Ctx) StoreCounters(store string) *engine.Counters {
 type Node interface {
 	// Schema describes the output columns.
 	Schema() Schema
-	// Open starts execution, returning the output iterator. The Ctx (which
-	// may be nil) carries execution-scoped cancellation and counter
+	// Open starts execution, returning the output batch iterator. The Ctx
+	// (which may be nil) carries execution-scoped cancellation and counter
 	// attribution; nodes pass it to their children.
-	Open(ec *Ctx) (engine.Iterator, error)
+	Open(ec *Ctx) (engine.BatchIterator, error)
 	// Label is a one-line description for plan explanation.
 	Label() string
 	// Children returns the input nodes (for plan walking/explain).
@@ -102,8 +106,10 @@ func explain(sb *strings.Builder, n Node, depth int) {
 // Run opens a plan and drains it with no cancellation or attribution.
 func Run(n Node) ([]value.Tuple, error) { return RunWith(nil, n) }
 
-// RunWith opens a plan under an execution context and drains it, checking
-// for cancellation every few hundred tuples.
+// RunWith opens a plan under an execution context and drains it batch by
+// batch, checking for cancellation once per drained batch (so a cancelled
+// context stops a long scan after at most one batch, not at some
+// power-of-two row count).
 func RunWith(ec *Ctx, n Node) ([]value.Tuple, error) {
 	if err := ec.Err(); err != nil {
 		return nil, err
@@ -113,21 +119,21 @@ func RunWith(ec *Ctx, n Node) ([]value.Tuple, error) {
 		return nil, err
 	}
 	defer it.Close()
+	b := value.GetBatch()
+	defer value.PutBatch(b)
 	var out []value.Tuple
 	for {
-		t, ok := it.Next()
-		if !ok {
+		nrows, err := it.NextBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if nrows == 0 {
 			break
 		}
-		out = append(out, t)
-		if len(out)&0xff == 0 {
-			if err := ec.Err(); err != nil {
-				return nil, err
-			}
+		out = append(out, b.Rows()...)
+		if err := ec.Err(); err != nil {
+			return nil, err
 		}
-	}
-	if err := it.Err(); err != nil {
-		return nil, err
 	}
 	if err := ec.Err(); err != nil {
 		return nil, err
@@ -139,8 +145,12 @@ func RunWith(ec *Ctx, n Node) ([]value.Tuple, error) {
 type Source struct {
 	Name string
 	Out  Schema
-	// OpenFn issues the store request. It receives the execution context
-	// so the access can attribute its work (ec may be nil).
+	// BatchFn issues the store request on its native batch path. It
+	// receives the execution context so the access can attribute its work
+	// (ec may be nil). Preferred over OpenFn when both are set.
+	BatchFn func(ec *Ctx) (engine.BatchIterator, error)
+	// OpenFn is the row-at-a-time store request, kept so tuple-protocol
+	// stores and tests can plug in without batching; the result is adapted.
 	OpenFn func(ec *Ctx) (engine.Iterator, error)
 }
 
@@ -148,7 +158,16 @@ type Source struct {
 func (s *Source) Schema() Schema { return s.Out }
 
 // Open implements Node.
-func (s *Source) Open(ec *Ctx) (engine.Iterator, error) { return s.OpenFn(ec) }
+func (s *Source) Open(ec *Ctx) (engine.BatchIterator, error) {
+	if s.BatchFn != nil {
+		return s.BatchFn(ec)
+	}
+	it, err := s.OpenFn(ec)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ToBatch(it), nil
+}
 
 // Label implements Node.
 func (s *Source) Label() string { return s.Name }
@@ -163,8 +182,8 @@ type Values struct {
 }
 
 func (v *Values) Schema() Schema { return v.Out }
-func (v *Values) Open(*Ctx) (engine.Iterator, error) {
-	return engine.NewSliceIterator(v.Rows), nil
+func (v *Values) Open(*Ctx) (engine.BatchIterator, error) {
+	return engine.NewSliceBatchIterator(v.Rows), nil
 }
 func (v *Values) Label() string    { return fmt.Sprintf("Values[%d rows]", len(v.Rows)) }
 func (v *Values) Children() []Node { return nil }
@@ -178,45 +197,19 @@ type Select struct {
 
 func (s *Select) Schema() Schema { return s.In.Schema() }
 func (s *Select) Label() string {
-	return fmt.Sprintf("Select[%d const, %d col-eq]", len(s.EqConst), len(s.EqCols))
+	return fmt.Sprintf("BatchSelect[%d const, %d col-eq]", len(s.EqConst), len(s.EqCols))
 }
 func (s *Select) Children() []Node { return []Node{s.In} }
-func (s *Select) Open(ec *Ctx) (engine.Iterator, error) {
+func (s *Select) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := s.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	return &selectIter{in: in, sel: s}, nil
-}
-
-type selectIter struct {
-	in  engine.Iterator
-	sel *Select
-}
-
-func (it *selectIter) Next() (value.Tuple, bool) {
-	for {
-		t, ok := it.in.Next()
-		if !ok {
-			return nil, false
-		}
-		if !engine.MatchAll(t, it.sel.EqConst) {
-			continue
-		}
-		good := true
-		for _, p := range it.sel.EqCols {
-			if p[0] >= len(t) || p[1] >= len(t) || !value.Equal(t[p[0]], t[p[1]]) {
-				good = false
-				break
-			}
-		}
-		if good {
-			return t, true
-		}
+	if len(s.EqConst) == 0 && len(s.EqCols) == 0 {
+		return in, nil // vacuous predicate: pass batches straight through
 	}
+	return &engine.BatchFilter{In: in, Filters: s.EqConst, EqCols: s.EqCols}, nil
 }
-func (it *selectIter) Err() error { return it.in.Err() }
-func (it *selectIter) Close()     { it.in.Close() }
 
 // Project keeps the named columns, in order. Unknown names yield NULL
 // columns (callers validate beforehand; see NewProject).
@@ -242,19 +235,19 @@ func NewProject(in Node, cols []string) (*Project, error) {
 }
 
 func (p *Project) Schema() Schema   { return p.out }
-func (p *Project) Label() string    { return "Project" + p.out.String() }
+func (p *Project) Label() string    { return "BatchProject" + p.out.String() }
 func (p *Project) Children() []Node { return []Node{p.In} }
-func (p *Project) Open(ec *Ctx) (engine.Iterator, error) {
+func (p *Project) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := p.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	return &engine.ProjectIterator{In: in, Cols: p.pos}, nil
+	return &engine.BatchProject{In: in, Cols: p.pos}, nil
 }
 
 // HashJoin joins two inputs on their shared schema variables (natural
-// join). The right input is materialized into a hash table; the left
-// streams.
+// join). The right input is materialized into a hash table batch by batch;
+// the left streams in batches and probes.
 type HashJoin struct {
 	Left, Right Node
 	out         Schema
@@ -304,13 +297,13 @@ func NewHashJoin(left, right Node) (*HashJoin, error) {
 func (j *HashJoin) Schema() Schema { return j.out }
 func (j *HashJoin) Label() string {
 	if len(j.leftKeys) == 0 {
-		return "CrossProduct"
+		return "BatchCrossProduct"
 	}
-	return fmt.Sprintf("HashJoin[%d keys]", len(j.leftKeys))
+	return fmt.Sprintf("BatchHashJoin[%d keys]", len(j.leftKeys))
 }
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 
-func (j *HashJoin) Open(ec *Ctx) (engine.Iterator, error) {
+func (j *HashJoin) Open(ec *Ctx) (engine.BatchIterator, error) {
 	lit, err := j.Left.Open(ec)
 	if err != nil {
 		return nil, err
@@ -321,89 +314,134 @@ func (j *HashJoin) Open(ec *Ctx) (engine.Iterator, error) {
 type hashJoinIter struct {
 	j        *HashJoin
 	ec       *Ctx
-	left     engine.Iterator
+	left     engine.BatchIterator
 	table    map[string][]value.Tuple
 	built    bool
-	buildErr error // build-side (right input) failure, surfaced via Err
+	buildErr error // build-side (right input) failure, re-reported each call
+	lb       *value.Batch
+	lbPos    int
+	lbDone   bool
 	curLeft  value.Tuple
 	matches  []value.Tuple
 	pos      int
+	keyBuf   value.Tuple
+	byteBuf  []byte
 }
 
-// build materializes the right input into the hash table on first Next, so
-// a build-side failure is captured on the iterator and reported through
-// Err() like any other stream error instead of being lost.
-func (it *hashJoinIter) build() bool {
+// build materializes the right input into the hash table on the first
+// NextBatch, so a build-side failure surfaces through the batch protocol
+// like any other stream error instead of being lost at Open time.
+func (it *hashJoinIter) build() error {
 	it.built = true
 	rit, err := it.j.Right.Open(it.ec)
 	if err != nil {
 		it.buildErr = err
-		return false
+		return err
 	}
-	rightRows, err := engine.Drain(rit)
+	rightRows, err := engine.DrainBatches(rit)
 	if err != nil {
 		it.buildErr = err
-		return false
+		return err
 	}
 	it.table = make(map[string][]value.Tuple, len(rightRows))
 	for _, r := range rightRows {
-		k := keyOf(r, it.j.rightKeys)
+		k := string(it.key(r, it.j.rightKeys))
 		it.table[k] = append(it.table[k], r)
 	}
-	return true
+	return nil
 }
 
-func (it *hashJoinIter) Next() (value.Tuple, bool) {
-	if !it.built && !it.build() {
-		return nil, false
+// colsKey renders the listed columns of t into dst as canonical key bytes
+// via the reusable scratch tuple — the one shared helper behind join and
+// bind keys. Probing a table with m[string(colsKey(...))] stays
+// allocation-free (Go elides the string conversion for map lookups); only
+// inserts materialize key strings. Out-of-range columns render as NULL.
+func colsKey(dst []byte, scratch *value.Tuple, t value.Tuple, cols []int) []byte {
+	if cap(*scratch) < len(cols) {
+		*scratch = make(value.Tuple, len(cols))
 	}
+	buf := (*scratch)[:len(cols)]
+	for i, c := range cols {
+		if c >= 0 && c < len(t) {
+			buf[i] = t[c]
+		} else {
+			buf[i] = value.Null{}
+		}
+	}
+	return value.AppendKey(dst[:0], buf)
+}
+
+// key renders the join key of t into the iterator's reused buffers.
+func (it *hashJoinIter) key(t value.Tuple, cols []int) []byte {
+	it.byteBuf = colsKey(it.byteBuf, &it.keyBuf, t, cols)
+	return it.byteBuf
+}
+
+func (it *hashJoinIter) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
 	if it.buildErr != nil {
-		return nil, false
+		return 0, it.buildErr
 	}
-	for {
+	if !it.built {
+		if err := it.build(); err != nil {
+			return 0, err
+		}
+	}
+	if it.lb == nil {
+		it.lb = value.GetBatch()
+	}
+	nKeep := len(it.j.rightKeep)
+	for !dst.Full() {
 		if it.pos < len(it.matches) {
 			r := it.matches[it.pos]
 			it.pos++
-			out := make(value.Tuple, 0, len(it.curLeft)+len(it.j.rightKeep))
-			out = append(out, it.curLeft...)
-			for _, c := range it.j.rightKeep {
-				out = append(out, r[c])
+			out := dst.Alloc(len(it.curLeft) + nKeep)
+			copy(out, it.curLeft)
+			for i, c := range it.j.rightKeep {
+				out[len(it.curLeft)+i] = r[c]
 			}
-			return out, true
+			continue
 		}
-		l, ok := it.left.Next()
-		if !ok {
-			return nil, false
+		if it.lbPos >= it.lb.Len() {
+			if it.lbDone {
+				break
+			}
+			n, err := it.left.NextBatch(it.lb)
+			if err != nil {
+				return 0, err
+			}
+			it.lbPos = 0
+			if n == 0 {
+				it.lbDone = true
+				break
+			}
 		}
+		l := it.lb.Row(it.lbPos)
+		it.lbPos++
 		it.curLeft = l
-		it.matches = it.table[keyOf(l, it.j.leftKeys)]
+		it.matches = it.table[string(it.key(l, it.j.leftKeys))]
 		it.pos = 0
 	}
+	return dst.Len(), nil
 }
-func (it *hashJoinIter) Err() error {
-	if it.buildErr != nil {
-		return it.buildErr
-	}
-	return it.left.Err()
-}
-func (it *hashJoinIter) Close() { it.left.Close() }
 
-func keyOf(t value.Tuple, cols []int) string {
-	parts := make(value.Tuple, len(cols))
-	for i, c := range cols {
-		if c >= 0 && c < len(t) {
-			parts[i] = t[c]
-		} else {
-			parts[i] = value.Null{}
-		}
+func (it *hashJoinIter) Close() {
+	it.left.Close()
+	if it.lb != nil {
+		value.PutBatch(it.lb)
+		it.lb = nil
+		it.lbDone = true
+		it.lbPos = 0
 	}
-	return parts.Key()
 }
 
 // BindJoin implements dependent access to a source with binding
 // restrictions (paper §III): for every left tuple, the bind columns supply
 // the values required by the right source's access pattern (e.g. a
-// key-value store's key); Fetch issues the bound request.
+// key-value store's key); Fetch issues the bound request. The batch
+// pipeline collects a whole left batch of bind keys, deduplicates them,
+// and issues ONE store access per distinct key — duplicate keys within a
+// batch share a single round-trip.
 type BindJoin struct {
 	Left Node
 	// BindCols are the left columns whose values parameterize Fetch.
@@ -411,18 +449,20 @@ type BindJoin struct {
 	// RightOut names the columns Fetch returns.
 	RightOut Schema
 	// Fetch issues one bound access. It receives the execution context and
-	// the bind values in BindCols order.
-	Fetch func(ec *Ctx, bind value.Tuple) (engine.Iterator, error)
+	// the bind values in BindCols order; the bind tuple is only valid for
+	// the duration of the call.
+	Fetch func(ec *Ctx, bind value.Tuple) (engine.BatchIterator, error)
 	// SharedRight marks right columns that rejoin left columns (checked as
 	// residual equality); -1 entries are appended to the output.
 	SharedRight []int
 	out         Schema
+	nAppend     int // count of -1 entries in SharedRight
 }
 
 // NewBindJoin constructs a bind join. rightOut names the fetched columns;
 // columns whose name already occurs in left's schema are checked for
 // equality and dropped from the output.
-func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(*Ctx, value.Tuple) (engine.Iterator, error)) (*BindJoin, error) {
+func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(*Ctx, value.Tuple) (engine.BatchIterator, error)) (*BindJoin, error) {
 	b := &BindJoin{Left: left, RightOut: rightOut, Fetch: fetch}
 	ls := left.Schema()
 	for _, v := range bindVars {
@@ -438,17 +478,20 @@ func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(*Ctx,
 			b.SharedRight = append(b.SharedRight, p)
 		} else {
 			b.SharedRight = append(b.SharedRight, -1)
+			b.nAppend++
 			b.out = append(b.out, v)
 		}
 	}
 	return b, nil
 }
 
-func (b *BindJoin) Schema() Schema   { return b.out }
-func (b *BindJoin) Label() string    { return fmt.Sprintf("BindJoin[%d bind cols]", len(b.BindCols)) }
+func (b *BindJoin) Schema() Schema { return b.out }
+func (b *BindJoin) Label() string {
+	return fmt.Sprintf("BatchBindJoin[%d bind cols, dedup]", len(b.BindCols))
+}
 func (b *BindJoin) Children() []Node { return []Node{b.Left} }
 
-func (b *BindJoin) Open(ec *Ctx) (engine.Iterator, error) {
+func (b *BindJoin) Open(ec *Ctx) (engine.BatchIterator, error) {
 	lit, err := b.Left.Open(ec)
 	if err != nil {
 		return nil, err
@@ -459,68 +502,133 @@ func (b *BindJoin) Open(ec *Ctx) (engine.Iterator, error) {
 type bindJoinIter struct {
 	b       *BindJoin
 	ec      *Ctx
-	left    engine.Iterator
+	left    engine.BatchIterator
+	lb      *value.Batch
+	lbPos   int
+	lbDone  bool
+	fetched map[string][]value.Tuple // per-left-batch distinct-key cache
+	rights  [][]value.Tuple          // per-left-row fetch results, aligned with lb
 	curLeft value.Tuple
 	right   []value.Tuple
 	pos     int
-	err     error
+	keyBuf  value.Tuple
+	byteBuf []byte
 }
 
-func (it *bindJoinIter) Next() (value.Tuple, bool) {
-	for {
-		for it.pos < len(it.right) {
+// bindKey renders the bind-column values of a left tuple into reused
+// scratch buffers and returns its dedup key bytes (alloc-free lookups via
+// fetched[string(...)]).
+func (it *bindJoinIter) bindKey(l value.Tuple) []byte {
+	it.byteBuf = colsKey(it.byteBuf, &it.keyBuf, l, it.b.BindCols)
+	return it.byteBuf
+}
+
+// prefetch fills the distinct-key cache for the current left batch: one
+// store access per distinct bind key (cancellation checked per access),
+// and records each left row's fetch result so emission never re-renders
+// the bind key.
+func (it *bindJoinIter) prefetch() error {
+	n := it.lb.Len()
+	if cap(it.rights) < n {
+		it.rights = make([][]value.Tuple, n)
+	} else {
+		it.rights = it.rights[:n]
+	}
+	if it.fetched == nil {
+		it.fetched = make(map[string][]value.Tuple, n)
+	} else {
+		clear(it.fetched)
+	}
+	for i, l := range it.lb.Rows() {
+		k := it.bindKey(l)
+		rows, ok := it.fetched[string(k)]
+		if !ok {
+			if err := it.ec.Err(); err != nil {
+				return err
+			}
+			bind := make(value.Tuple, len(it.b.BindCols))
+			for bi, c := range it.b.BindCols {
+				bind[bi] = l[c]
+			}
+			rit, err := it.b.Fetch(it.ec, bind)
+			if err != nil {
+				return err
+			}
+			rows, err = engine.DrainBatches(rit)
+			if err != nil {
+				return err
+			}
+			it.fetched[string(k)] = rows
+		}
+		it.rights[i] = rows
+	}
+	return nil
+}
+
+func (it *bindJoinIter) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
+	if it.lb == nil {
+		it.lb = value.GetBatch()
+	}
+	for !dst.Full() {
+		if it.pos < len(it.right) {
 			r := it.right[it.pos]
 			it.pos++
-			out := make(value.Tuple, 0, len(it.curLeft)+len(r))
-			out = append(out, it.curLeft...)
 			good := true
 			for i, lp := range it.b.SharedRight {
 				if i >= len(r) {
 					good = false
 					break
 				}
-				if lp >= 0 {
-					if !value.Equal(r[i], it.curLeft[lp]) {
-						good = false
-						break
-					}
-				} else {
-					out = append(out, r[i])
+				if lp >= 0 && !value.Equal(r[i], it.curLeft[lp]) {
+					good = false
+					break
 				}
 			}
-			if good {
-				return out, true
+			if !good {
+				continue
+			}
+			out := dst.Alloc(len(it.curLeft) + it.b.nAppend)
+			copy(out, it.curLeft)
+			w := len(it.curLeft)
+			for i, lp := range it.b.SharedRight {
+				if lp < 0 {
+					out[w] = r[i]
+					w++
+				}
+			}
+			continue
+		}
+		if it.lbPos >= it.lb.Len() {
+			if it.lbDone {
+				break
+			}
+			n, err := it.left.NextBatch(it.lb)
+			if err != nil {
+				return 0, err
+			}
+			it.lbPos = 0
+			if n == 0 {
+				it.lbDone = true
+				break
+			}
+			if err := it.prefetch(); err != nil {
+				return 0, err
 			}
 		}
-		l, ok := it.left.Next()
-		if !ok {
-			return nil, false
-		}
-		bind := make(value.Tuple, len(it.b.BindCols))
-		for i, c := range it.b.BindCols {
-			bind[i] = l[c]
-		}
-		if err := it.ec.Err(); err != nil {
-			it.err = err
-			return nil, false
-		}
-		rit, err := it.b.Fetch(it.ec, bind)
-		if err != nil {
-			it.err = err
-			return nil, false
-		}
-		rows, err := engine.Drain(rit)
-		if err != nil {
-			it.err = err
-			return nil, false
-		}
-		it.curLeft, it.right, it.pos = l, rows, 0
+		l := it.lb.Row(it.lbPos)
+		it.curLeft, it.right, it.pos = l, it.rights[it.lbPos], 0
+		it.lbPos++
+	}
+	return dst.Len(), nil
+}
+
+func (it *bindJoinIter) Close() {
+	it.left.Close()
+	if it.lb != nil {
+		value.PutBatch(it.lb)
+		it.lb = nil
+		it.lbDone = true
+		it.lbPos = 0
 	}
 }
-func (it *bindJoinIter) Err() error {
-	if it.err != nil {
-		return it.err
-	}
-	return it.left.Err()
-}
-func (it *bindJoinIter) Close() { it.left.Close() }

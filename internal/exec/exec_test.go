@@ -2,6 +2,7 @@ package exec
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/engines/engine"
@@ -113,7 +114,7 @@ func TestHashJoinCrossProduct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j.Label() != "CrossProduct" {
+	if j.Label() != "BatchCrossProduct" {
 		t.Errorf("label = %q", j.Label())
 	}
 	rows, err := Run(j)
@@ -132,10 +133,10 @@ func TestBindJoin(t *testing.T) {
 		"u2": {value.TupleOf("u2", "theme", "light"), value.TupleOf("u2", "lang", "fr")},
 	}
 	fetchCount := 0
-	fetch := func(_ *Ctx, bind value.Tuple) (engine.Iterator, error) {
+	fetch := func(_ *Ctx, bind value.Tuple) (engine.BatchIterator, error) {
 		fetchCount++
 		key := string(bind[0].(value.Str))
-		return engine.NewSliceIterator(store[key]), nil
+		return engine.NewSliceBatchIterator(store[key]), nil
 	}
 	left := vals(Schema{"u", "city"},
 		value.TupleOf("u1", "paris"),
@@ -157,14 +158,45 @@ func TestBindJoin(t *testing.T) {
 		t.Errorf("rows = %v", rows)
 	}
 	if fetchCount != 3 {
-		t.Errorf("fetches = %d, want one per left tuple", fetchCount)
+		t.Errorf("fetches = %d, want one per distinct bind key", fetchCount)
+	}
+}
+
+// Duplicate bind keys within one left batch must share a single store
+// access (batch-level bind-key deduplication).
+func TestBindJoinDedupesBindKeys(t *testing.T) {
+	fetchCount := 0
+	fetch := func(_ *Ctx, bind value.Tuple) (engine.BatchIterator, error) {
+		fetchCount++
+		return engine.NewSliceBatchIterator([]value.Tuple{
+			value.TupleOf(bind[0], "hit"),
+		}), nil
+	}
+	var leftRows []value.Tuple
+	for i := 0; i < 100; i++ {
+		leftRows = append(leftRows, value.TupleOf(fmt.Sprintf("u%d", i%5)))
+	}
+	left := &Values{Out: Schema{"u"}, Rows: leftRows}
+	bj, err := NewBindJoin(left, []string{"u"}, Schema{"u", "v"}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Errorf("rows = %d, want one per left tuple", len(rows))
+	}
+	if fetchCount != 5 {
+		t.Errorf("fetches = %d, want one per distinct key", fetchCount)
 	}
 }
 
 func TestBindJoinChecksSharedColumns(t *testing.T) {
 	// The fetched tuple repeats the key column; mismatches must be dropped.
-	fetch := func(_ *Ctx, bind value.Tuple) (engine.Iterator, error) {
-		return engine.NewSliceIterator([]value.Tuple{value.TupleOf("WRONG", "v")}), nil
+	fetch := func(_ *Ctx, bind value.Tuple) (engine.BatchIterator, error) {
+		return engine.NewSliceBatchIterator([]value.Tuple{value.TupleOf("WRONG", "v")}), nil
 	}
 	left := vals(Schema{"u"}, value.TupleOf("u1"))
 	bj, err := NewBindJoin(left, []string{"u"}, Schema{"u", "v"}, fetch)
@@ -189,7 +221,7 @@ func TestBindJoinUnknownVar(t *testing.T) {
 
 func TestBindJoinFetchError(t *testing.T) {
 	sentinel := errors.New("kv down")
-	fetch := func(*Ctx, value.Tuple) (engine.Iterator, error) { return nil, sentinel }
+	fetch := func(*Ctx, value.Tuple) (engine.BatchIterator, error) { return nil, sentinel }
 	left := vals(Schema{"u"}, value.TupleOf("u1"))
 	bj, err := NewBindJoin(left, []string{"u"}, Schema{"v"}, fetch)
 	if err != nil {
@@ -240,17 +272,20 @@ func TestHashJoinBuildSideError(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Opening succeeds (the build side is materialized lazily); the failure
-	// must surface through the iterator's Err, as for any stream error.
+	// must surface through the batch protocol, as for any stream error.
 	it, err := j.Open(nil)
 	if err != nil {
 		t.Fatalf("Open = %v, want deferred build error", err)
 	}
-	if _, ok := it.Next(); ok {
-		t.Error("Next succeeded despite broken build side")
+	b := value.GetBatch()
+	if _, err := it.NextBatch(b); !errors.Is(err, sentinel) {
+		t.Errorf("NextBatch err = %v, want build-side error", err)
 	}
-	if !errors.Is(it.Err(), sentinel) {
-		t.Errorf("Err = %v, want build-side error", it.Err())
+	// The failure must be sticky across calls.
+	if _, err := it.NextBatch(b); !errors.Is(err, sentinel) {
+		t.Errorf("second NextBatch err = %v, want sticky build-side error", err)
 	}
+	value.PutBatch(b)
 	it.Close()
 	// Run must also report it.
 	if _, err := Run(j); !errors.Is(err, sentinel) {

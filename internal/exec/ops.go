@@ -19,9 +19,9 @@ type Distinct struct {
 }
 
 func (d *Distinct) Schema() Schema   { return d.In.Schema() }
-func (d *Distinct) Label() string    { return "Distinct" }
+func (d *Distinct) Label() string    { return "BatchDistinct" }
 func (d *Distinct) Children() []Node { return []Node{d.In} }
-func (d *Distinct) Open(ec *Ctx) (engine.Iterator, error) {
+func (d *Distinct) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := d.In.Open(ec)
 	if err != nil {
 		return nil, err
@@ -34,26 +34,42 @@ func (d *Distinct) Open(ec *Ctx) (engine.Iterator, error) {
 }
 
 type distinctIter struct {
-	in   engine.Iterator
-	seen map[string]struct{}
+	in     engine.BatchIterator
+	seen   map[string]struct{}
+	keyBuf []byte
 }
 
-func (it *distinctIter) Next() (value.Tuple, bool) {
+func (it *distinctIter) NextBatch(dst *value.Batch) (int, error) {
 	for {
-		t, ok := it.in.Next()
-		if !ok {
-			return nil, false
+		n, err := it.in.NextBatch(dst)
+		if err != nil {
+			return 0, err
 		}
-		k := t.Key()
-		if _, dup := it.seen[k]; dup {
-			continue
+		if n == 0 {
+			return 0, nil
 		}
-		it.seen[k] = struct{}{}
-		return t, true
+		// Compact the batch in place, keeping first occurrences. The dup
+		// probe is allocation-free; the key string is materialized only
+		// when the tuple is new.
+		rows := dst.Rows()
+		j := 0
+		for _, t := range rows {
+			it.keyBuf = value.AppendKey(it.keyBuf[:0], t)
+			if _, dup := it.seen[string(it.keyBuf)]; dup {
+				continue
+			}
+			it.seen[string(it.keyBuf)] = struct{}{}
+			rows[j] = t
+			j++
+		}
+		dst.Truncate(j)
+		if j > 0 {
+			return j, nil
+		}
 	}
 }
-func (it *distinctIter) Err() error { return it.in.Err() }
-func (it *distinctIter) Close()     { it.in.Close() }
+
+func (it *distinctIter) Close() { it.in.Close() }
 
 // Limit truncates the stream after N tuples.
 type Limit struct {
@@ -64,7 +80,7 @@ type Limit struct {
 func (l *Limit) Schema() Schema   { return l.In.Schema() }
 func (l *Limit) Label() string    { return fmt.Sprintf("Limit[%d]", l.N) }
 func (l *Limit) Children() []Node { return []Node{l.In} }
-func (l *Limit) Open(ec *Ctx) (engine.Iterator, error) {
+func (l *Limit) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := l.In.Open(ec)
 	if err != nil {
 		return nil, err
@@ -73,22 +89,27 @@ func (l *Limit) Open(ec *Ctx) (engine.Iterator, error) {
 }
 
 type limitIter struct {
-	in   engine.Iterator
+	in   engine.BatchIterator
 	left int
 }
 
-func (it *limitIter) Next() (value.Tuple, bool) {
+func (it *limitIter) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
 	if it.left <= 0 {
-		return nil, false
+		return 0, nil
 	}
-	t, ok := it.in.Next()
-	if ok {
-		it.left--
+	n, err := it.in.NextBatch(dst)
+	if err != nil {
+		return 0, err
 	}
-	return t, ok
+	if n > it.left {
+		dst.Truncate(it.left)
+		n = it.left
+	}
+	it.left -= n
+	return n, nil
 }
-func (it *limitIter) Err() error { return it.in.Err() }
-func (it *limitIter) Close()     { it.in.Close() }
+func (it *limitIter) Close() { it.in.Close() }
 
 // Sort orders the stream by the named columns (ascending by value.Compare;
 // set Desc[i] for descending). Sorting materializes the input.
@@ -101,7 +122,7 @@ type Sort struct {
 func (s *Sort) Schema() Schema   { return s.In.Schema() }
 func (s *Sort) Label() string    { return "Sort[" + strings.Join(s.By, ",") + "]" }
 func (s *Sort) Children() []Node { return []Node{s.In} }
-func (s *Sort) Open(ec *Ctx) (engine.Iterator, error) {
+func (s *Sort) Open(ec *Ctx) (engine.BatchIterator, error) {
 	pos := make([]int, len(s.By))
 	for i, c := range s.By {
 		p := s.In.Schema().Pos(c)
@@ -114,7 +135,7 @@ func (s *Sort) Open(ec *Ctx) (engine.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Drain(in)
+	rows, err := engine.DrainBatches(in)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +151,7 @@ func (s *Sort) Open(ec *Ctx) (engine.Iterator, error) {
 		}
 		return false
 	})
-	return engine.NewSliceIterator(rows), nil
+	return engine.NewSliceBatchIterator(rows), nil
 }
 
 // AggFunc enumerates the supported aggregates.
@@ -182,12 +203,12 @@ func (a *Aggregate) Label() string {
 }
 func (a *Aggregate) Children() []Node { return []Node{a.In} }
 
-func (a *Aggregate) Open(ec *Ctx) (engine.Iterator, error) {
+func (a *Aggregate) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := a.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Drain(in)
+	rows, err := engine.DrainBatches(in)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +278,7 @@ func (a *Aggregate) Open(ec *Ctx) (engine.Iterator, error) {
 		}
 		out = append(out, append(g.key.Clone(), av))
 	}
-	return engine.NewSliceIterator(out), nil
+	return engine.NewSliceBatchIterator(out), nil
 }
 
 // Nest groups by the named columns and nests the remaining columns into a
@@ -286,12 +307,12 @@ func (n *Nest) Schema() Schema   { return n.out }
 func (n *Nest) Label() string    { return fmt.Sprintf("Nest[by %v]", n.GroupBy) }
 func (n *Nest) Children() []Node { return []Node{n.In} }
 
-func (n *Nest) Open(ec *Ctx) (engine.Iterator, error) {
+func (n *Nest) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := n.In.Open(ec)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Drain(in)
+	rows, err := engine.DrainBatches(in)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +359,7 @@ func (n *Nest) Open(ec *Ctx) (engine.Iterator, error) {
 		g := groups[k]
 		out = append(out, append(g.key.Clone(), g.rows))
 	}
-	return engine.NewSliceIterator(out), nil
+	return engine.NewSliceBatchIterator(out), nil
 }
 
 // Unnest expands a List column into one row per element; tuple elements are
@@ -369,7 +390,7 @@ func (u *Unnest) Schema() Schema   { return u.out }
 func (u *Unnest) Label() string    { return fmt.Sprintf("Unnest[%s]", u.ListCol) }
 func (u *Unnest) Children() []Node { return []Node{u.In} }
 
-func (u *Unnest) Open(ec *Ctx) (engine.Iterator, error) {
+func (u *Unnest) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := u.In.Open(ec)
 	if err != nil {
 		return nil, err
@@ -385,45 +406,65 @@ func (u *Unnest) Open(ec *Ctx) (engine.Iterator, error) {
 }
 
 type unnestIter struct {
-	in    engine.Iterator
-	lp    int
-	keep  []int
-	nElem int
-	cur   value.Tuple
-	list  value.List
-	pos   int
+	in      engine.BatchIterator
+	lp      int
+	keep    []int
+	nElem   int
+	scratch *value.Batch
+	sPos    int
+	done    bool
+	cur     value.Tuple
+	list    value.List
+	pos     int
 }
 
-func (it *unnestIter) Next() (value.Tuple, bool) {
-	for {
+func (it *unnestIter) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
+	if it.scratch == nil {
+		it.scratch = value.GetBatch()
+	}
+	for !dst.Full() {
 		if it.pos < len(it.list) {
 			e := it.list[it.pos]
 			it.pos++
-			out := make(value.Tuple, 0, len(it.keep)+it.nElem)
-			for _, p := range it.keep {
-				out = append(out, it.cur[p])
+			out := dst.Alloc(len(it.keep) + it.nElem)
+			for i, p := range it.keep {
+				out[i] = it.cur[p]
 			}
+			w := len(it.keep)
 			switch x := e.(type) {
 			case value.Tuple:
 				for i := 0; i < it.nElem; i++ {
 					if i < len(x) {
-						out = append(out, x[i])
+						out[w+i] = x[i]
 					} else {
-						out = append(out, value.Null{})
+						out[w+i] = value.Null{}
 					}
 				}
 			default:
-				out = append(out, e)
+				out[w] = e
 				for i := 1; i < it.nElem; i++ {
-					out = append(out, value.Null{})
+					out[w+i] = value.Null{}
 				}
 			}
-			return out, true
+			continue
 		}
-		t, ok := it.in.Next()
-		if !ok {
-			return nil, false
+		if it.sPos >= it.scratch.Len() {
+			if it.done {
+				break
+			}
+			n, err := it.in.NextBatch(it.scratch)
+			if err != nil {
+				return 0, err
+			}
+			it.sPos = 0
+			if n == 0 {
+				it.done = true
+				break
+			}
 		}
+		t := it.scratch.Row(it.sPos)
+		it.sPos++
 		it.cur = t
 		if l, isList := t[it.lp].(value.List); isList {
 			it.list = l
@@ -432,11 +473,21 @@ func (it *unnestIter) Next() (value.Tuple, bool) {
 		}
 		it.pos = 0
 	}
+	return dst.Len(), nil
 }
-func (it *unnestIter) Err() error { return it.in.Err() }
-func (it *unnestIter) Close()     { it.in.Close() }
 
-// Union concatenates streams with identical schemas.
+func (it *unnestIter) Close() {
+	it.in.Close()
+	if it.scratch != nil {
+		value.PutBatch(it.scratch)
+		it.scratch = nil
+		it.sPos = 0
+		it.done = true
+	}
+}
+
+// Union concatenates streams with identical schemas, opening each input
+// lazily and streaming its batches through — no materialization.
 type Union struct {
 	Inputs []Node
 }
@@ -447,19 +498,133 @@ func (u *Union) Schema() Schema {
 	}
 	return u.Inputs[0].Schema()
 }
-func (u *Union) Label() string    { return fmt.Sprintf("Union[%d]", len(u.Inputs)) }
+func (u *Union) Label() string    { return fmt.Sprintf("BatchUnion[%d]", len(u.Inputs)) }
 func (u *Union) Children() []Node { return u.Inputs }
-func (u *Union) Open(ec *Ctx) (engine.Iterator, error) {
-	var all []value.Tuple
-	for _, in := range u.Inputs {
-		rows, err := RunWith(ec, in)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, rows...)
-	}
-	return engine.NewSliceIterator(all), nil
+func (u *Union) Open(ec *Ctx) (engine.BatchIterator, error) {
+	return &unionIter{u: u, ec: ec}, nil
 }
+
+type unionIter struct {
+	u   *Union
+	ec  *Ctx
+	cur engine.BatchIterator
+	idx int
+}
+
+func (it *unionIter) NextBatch(dst *value.Batch) (int, error) {
+	dst.Reset()
+	for {
+		if it.cur == nil {
+			if it.idx >= len(it.u.Inputs) {
+				return 0, nil
+			}
+			in, err := it.u.Inputs[it.idx].Open(it.ec)
+			if err != nil {
+				return 0, err
+			}
+			it.idx++
+			it.cur = in
+		}
+		n, err := it.cur.NextBatch(dst)
+		if err != nil {
+			return 0, err
+		}
+		if n > 0 {
+			return n, nil
+		}
+		it.cur.Close()
+		it.cur = nil
+	}
+}
+
+func (it *unionIter) Close() {
+	if it.cur != nil {
+		it.cur.Close()
+		it.cur = nil
+	}
+	it.idx = len(it.u.Inputs)
+}
+
+// ExtendConsts interleaves constant columns among the input columns: the
+// output schema is Out, where positions listed in Consts carry the fixed
+// value and the remaining positions take the input columns in order. The
+// planner uses it to restore constant head columns after projection.
+type ExtendConsts struct {
+	In     Node
+	Consts map[int]value.Value
+	out    Schema
+	varPos []int // output positions fed from the input, in input order
+	// constPos/constVal are Consts flattened for the per-row loop (map
+	// iteration is too slow for the vectorized inner loop).
+	constPos []int
+	constVal []value.Value
+}
+
+// NewExtendConsts validates widths: len(out) must equal the input width
+// plus the number of constant positions, and every constant position must
+// fall inside out.
+func NewExtendConsts(in Node, out Schema, consts map[int]value.Value) (*ExtendConsts, error) {
+	if len(out) != len(in.Schema())+len(consts) {
+		return nil, fmt.Errorf("exec: extend schema width %d != input %d + %d consts",
+			len(out), len(in.Schema()), len(consts))
+	}
+	for p := range consts {
+		if p < 0 || p >= len(out) {
+			return nil, fmt.Errorf("exec: constant position %d outside schema %v", p, out)
+		}
+	}
+	e := &ExtendConsts{In: in, Consts: consts, out: out}
+	for i := range out {
+		if cv, isConst := consts[i]; isConst {
+			e.constPos = append(e.constPos, i)
+			e.constVal = append(e.constVal, cv)
+		} else {
+			e.varPos = append(e.varPos, i)
+		}
+	}
+	return e, nil
+}
+
+func (e *ExtendConsts) Schema() Schema   { return e.out }
+func (e *ExtendConsts) Label() string    { return fmt.Sprintf("BatchExtendConsts[%d]", len(e.Consts)) }
+func (e *ExtendConsts) Children() []Node { return []Node{e.In} }
+func (e *ExtendConsts) Open(ec *Ctx) (engine.BatchIterator, error) {
+	in, err := e.In.Open(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &extendIter{in: in, e: e}, nil
+}
+
+type extendIter struct {
+	in engine.BatchIterator
+	e  *ExtendConsts
+}
+
+func (it *extendIter) NextBatch(dst *value.Batch) (int, error) {
+	n, err := it.in.NextBatch(dst)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	rows := dst.Rows()
+	for i, t := range rows {
+		out := dst.Carve(len(it.e.out))
+		for j, p := range it.e.constPos {
+			out[p] = it.e.constVal[j]
+		}
+		for j, p := range it.e.varPos {
+			if j < len(t) {
+				out[p] = t[j]
+			} else {
+				out[p] = value.Null{}
+			}
+		}
+		rows[i] = out
+	}
+	return n, nil
+}
+
+func (it *extendIter) Close() { it.in.Close() }
 
 // ConstructDoc builds one document per input tuple from a field→column
 // mapping — the nested (JSON) result construction that must happen in the
@@ -485,7 +650,7 @@ func (c *ConstructDoc) Schema() Schema   { return c.out }
 func (c *ConstructDoc) Label() string    { return fmt.Sprintf("ConstructDoc[%d fields]", len(c.Fields)) }
 func (c *ConstructDoc) Children() []Node { return []Node{c.In} }
 
-func (c *ConstructDoc) Open(ec *Ctx) (engine.Iterator, error) {
+func (c *ConstructDoc) Open(ec *Ctx) (engine.BatchIterator, error) {
 	in, err := c.In.Open(ec)
 	if err != nil {
 		return nil, err
@@ -503,21 +668,27 @@ func (c *ConstructDoc) Open(ec *Ctx) (engine.Iterator, error) {
 }
 
 type constructIter struct {
-	in    engine.Iterator
+	in    engine.BatchIterator
 	names []string
 	pos   []int
 }
 
-func (it *constructIter) Next() (value.Tuple, bool) {
-	t, ok := it.in.Next()
-	if !ok {
-		return nil, false
+func (it *constructIter) NextBatch(dst *value.Batch) (int, error) {
+	n, err := it.in.NextBatch(dst)
+	if err != nil || n == 0 {
+		return n, err
 	}
-	pairs := make([]any, 0, 2*len(it.names))
-	for i, f := range it.names {
-		pairs = append(pairs, f, value.DScalar(t[it.pos[i]]))
+	rows := dst.Rows()
+	for i, t := range rows {
+		pairs := make([]any, 0, 2*len(it.names))
+		for j, f := range it.names {
+			pairs = append(pairs, f, value.DScalar(t[it.pos[j]]))
+		}
+		out := dst.Carve(1)
+		out[0] = value.DObj(pairs...)
+		rows[i] = out
 	}
-	return value.Tuple{value.DObj(pairs...)}, true
+	return n, nil
 }
-func (it *constructIter) Err() error { return it.in.Err() }
-func (it *constructIter) Close()     { it.in.Close() }
+
+func (it *constructIter) Close() { it.in.Close() }

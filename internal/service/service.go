@@ -22,8 +22,8 @@ type Options struct {
 	// context). 0 = 4×GOMAXPROCS.
 	MaxInFlight int
 	// QueryTimeout caps one query end to end: admission waits, coalesced
-	// waits on another caller's rewrite, and execution (checked between
-	// tuple batches). A cold rewrite this query LEADS runs to completion
+	// waits on another caller's rewrite, and execution (checked once per
+	// drained batch). A cold rewrite this query LEADS runs to completion
 	// regardless — its result serves the coalesced waiters — but the
 	// leader's admission wait before the rewrite is bounded. 0 = none.
 	QueryTimeout time.Duration

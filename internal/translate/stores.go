@@ -102,25 +102,26 @@ func (s *Stores) All() []engine.Engine {
 // planner must agree on this encoding.
 func KVKey(v value.Value) string { return v.Key() }
 
-// access issues a single-fragment access with equality filters on view
-// columns. This is the uniform entry point BindJoin fetches and leaf
-// sources go through. extra, when non-nil, additionally attributes the
-// store's work to the calling execution.
-func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.Iterator, error) {
+// accessBatch issues a single-fragment access with equality filters on
+// view columns, on each store's native batch path. This is the uniform
+// entry point BindJoin fetches and leaf sources go through. extra, when
+// non-nil, additionally attributes the store's work to the calling
+// execution.
+func (s *Stores) accessBatch(frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.BatchIterator, error) {
 	switch frag.Layout.Kind {
 	case catalog.LayoutRel:
 		st, ok := s.Rel[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no relational store %q", frag.Store)
 		}
-		return st.SelectCounted(frag.Layout.Collection, filters, nil, extra)
+		return st.SelectBatchCounted(frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutPar:
 		st, ok := s.Par[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no parallel store %q", frag.Store)
 		}
-		return st.SelectCounted(frag.Layout.Collection, filters, nil, extra)
+		return st.SelectBatchCounted(frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutKV:
 		st, ok := s.KV[frag.Store]
@@ -140,11 +141,14 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter, extra
 			return nil, fmt.Errorf("translate: key-value fragment %q accessed without its key (column %d)",
 				frag.Name, frag.Layout.KeyCol)
 		}
-		rows, err := st.GetCounted(frag.Layout.Collection, KVKey(key), extra)
+		it, err := st.GetBatchCounted(frag.Layout.Collection, KVKey(key), extra)
 		if err != nil {
 			return nil, err
 		}
-		return &engine.FilterIterator{In: engine.NewSliceIterator(rows), Filters: rest}, nil
+		if len(rest) == 0 {
+			return it, nil
+		}
+		return &engine.BatchFilter{In: it, Filters: rest}, nil
 
 	case catalog.LayoutDoc:
 		st, ok := s.Doc[frag.Store]
@@ -158,7 +162,7 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter, extra
 			}
 			pf = append(pf, docstore.PathFilter{Path: frag.Layout.DocPaths[f.Col], Val: f.Val})
 		}
-		return st.FindTuplesCounted(frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
+		return st.FindTuplesBatchCounted(frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
 
 	case catalog.LayoutText:
 		st, ok := s.Text[frag.Store]
@@ -173,7 +177,7 @@ func (s *Stores) access(frag *catalog.Fragment, filters []engine.EqFilter, extra
 			q.Fields = append(q.Fields, textstore.FieldFilter{
 				Field: frag.Layout.Columns[f.Col], Val: f.Val})
 		}
-		return st.SearchCounted(frag.Layout.Collection, q, extra)
+		return st.SearchBatchCounted(frag.Layout.Collection, q, extra)
 
 	default:
 		return nil, fmt.Errorf("translate: unsupported layout %v", frag.Layout.Kind)

@@ -196,8 +196,8 @@ func (p *Planner) buildAtomLeaf(a pivot.Atom, f *catalog.Fragment) (exec.Node, e
 	src := &exec.Source{
 		Name: fmt.Sprintf("%s.access(%s)", f.Store, f.Name),
 		Out:  rawSchema,
-		OpenFn: func(ec *exec.Ctx) (engine.Iterator, error) {
-			return p.Stores.access(frag, filters, ec.StoreCounters(frag.Store))
+		BatchFn: func(ec *exec.Ctx) (engine.BatchIterator, error) {
+			return p.Stores.accessBatch(frag, filters, ec.StoreCounters(frag.Store))
 		},
 	}
 	var node exec.Node = src
@@ -287,51 +287,25 @@ func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragmen
 		keepNames[i] = rawSchema[pos]
 	}
 	frag := f
-	fetch := func(ec *exec.Ctx, bind value.Tuple) (engine.Iterator, error) {
+	fetch := func(ec *exec.Ctx, bind value.Tuple) (engine.BatchIterator, error) {
 		filters := append([]engine.EqFilter(nil), constFilters...)
 		for i, pos := range bindPos {
 			filters = append(filters, engine.EqFilter{Col: pos, Val: bind[i]})
 		}
-		it, err := p.Stores.access(frag, filters, ec.StoreCounters(frag.Store))
+		it, err := p.Stores.accessBatch(frag, filters, ec.StoreCounters(frag.Store))
 		if err != nil {
 			return nil, err
 		}
-		// Residual repeated-variable checks, then keep first occurrences.
-		var wrapped engine.Iterator = it
+		// Residual repeated-variable checks (shared engine.BatchFilter —
+		// the same predicate exec.Select uses), then keep first occurrences.
+		var wrapped engine.BatchIterator = it
 		if len(eqCols) > 0 {
-			wrapped = &eqColsIter{in: wrapped, eqCols: eqCols}
+			wrapped = &engine.BatchFilter{In: wrapped, EqCols: eqCols}
 		}
-		return &engine.ProjectIterator{In: wrapped, Cols: keep}, nil
+		return &engine.BatchProject{In: wrapped, Cols: keep}, nil
 	}
 	return exec.NewBindJoin(left, bindVars, keepNames, fetch)
 }
-
-// eqColsIter drops tuples violating column equalities.
-type eqColsIter struct {
-	in     engine.Iterator
-	eqCols [][2]int
-}
-
-func (it *eqColsIter) Next() (value.Tuple, bool) {
-	for {
-		t, ok := it.in.Next()
-		if !ok {
-			return nil, false
-		}
-		good := true
-		for _, p := range it.eqCols {
-			if p[0] >= len(t) || p[1] >= len(t) || !value.Equal(t[p[0]], t[p[1]]) {
-				good = false
-				break
-			}
-		}
-		if good {
-			return t, true
-		}
-	}
-}
-func (it *eqColsIter) Err() error { return it.in.Err() }
-func (it *eqColsIter) Close()     { it.in.Close() }
 
 // buildDelegatedGroup pushes several same-store atoms as one native
 // subquery (the "largest subquery that can be delegated", paper §III).
@@ -363,22 +337,22 @@ func (p *Planner) buildDelegatedGroup(r pivot.CQ, frags []*catalog.Fragment, gro
 	}
 	dq.Out = outVars
 
-	var open func(ec *exec.Ctx) (engine.Iterator, error)
+	var open func(ec *exec.Ctx) (engine.BatchIterator, error)
 	if st, ok := p.Stores.Rel[storeName]; ok {
-		open = func(ec *exec.Ctx) (engine.Iterator, error) {
-			return st.QueryCounted(dq, ec.StoreCounters(storeName))
+		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
+			return st.QueryBatchCounted(dq, ec.StoreCounters(storeName))
 		}
 	} else if st, ok := p.Stores.Par[storeName]; ok {
-		open = func(ec *exec.Ctx) (engine.Iterator, error) {
-			return st.QueryCounted(dq, ec.StoreCounters(storeName))
+		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
+			return st.QueryBatchCounted(dq, ec.StoreCounters(storeName))
 		}
 	} else {
 		return nil, fmt.Errorf("translate: store %q cannot take delegated joins", storeName)
 	}
 	return &exec.Source{
-		Name:   fmt.Sprintf("%s.delegate(%d atoms)", storeName, len(group)),
-		Out:    exec.Schema(outVars),
-		OpenFn: open,
+		Name:    fmt.Sprintf("%s.delegate(%d atoms)", storeName, len(group)),
+		Out:     exec.Schema(outVars),
+		BatchFn: open,
 	}, nil
 }
 
@@ -403,65 +377,18 @@ func (p *Planner) buildHead(root exec.Node, head pivot.Atom) (exec.Node, error) 
 	if len(constCols) == 0 {
 		return node, nil
 	}
-	// Rebuild full-width rows by crossing with a single constant row, then
-	// projecting into head order. Simpler: wrap with an extender.
-	return &constExtender{in: node, head: head, consts: constCols}, nil
-}
-
-// constExtender interleaves constant head columns among variable columns.
-type constExtender struct {
-	in     exec.Node
-	head   pivot.Atom
-	consts map[int]value.Value
-}
-
-func (c *constExtender) Schema() exec.Schema {
-	out := make(exec.Schema, len(c.head.Args))
-	vi := 0
-	for i, t := range c.head.Args {
-		if _, isConst := c.consts[i]; isConst {
+	// Interleave the constant head columns among the projected variables
+	// with the shared batch extender.
+	out := make(exec.Schema, len(head.Args))
+	for i, t := range head.Args {
+		if _, isConst := constCols[i]; isConst {
 			out[i] = fmt.Sprintf("_hc%d", i)
 		} else {
 			out[i] = string(t.(pivot.Var))
-			vi++
 		}
 	}
-	return out
+	return exec.NewExtendConsts(node, out, constCols)
 }
-func (c *constExtender) Label() string         { return fmt.Sprintf("ExtendConsts[%d]", len(c.consts)) }
-func (c *constExtender) Children() []exec.Node { return []exec.Node{c.in} }
-func (c *constExtender) Open(ec *exec.Ctx) (engine.Iterator, error) {
-	in, err := c.in.Open(ec)
-	if err != nil {
-		return nil, err
-	}
-	return &extendIter{in: in, c: c}, nil
-}
-
-type extendIter struct {
-	in engine.Iterator
-	c  *constExtender
-}
-
-func (it *extendIter) Next() (value.Tuple, bool) {
-	t, ok := it.in.Next()
-	if !ok {
-		return nil, false
-	}
-	out := make(value.Tuple, len(it.c.head.Args))
-	vi := 0
-	for i := range it.c.head.Args {
-		if cv, isConst := it.c.consts[i]; isConst {
-			out[i] = cv
-		} else {
-			out[i] = t[vi]
-			vi++
-		}
-	}
-	return out, true
-}
-func (it *extendIter) Err() error { return it.in.Err() }
-func (it *extendIter) Close()     { it.in.Close() }
 
 func constToValue(c pivot.Const) value.Value { return value.Of(c.V) }
 

@@ -1,0 +1,128 @@
+package value
+
+import "sync"
+
+// BatchCap is the default tuple capacity of pooled batches. A few hundred
+// rows amortizes per-call virtual dispatch and cancellation checks while
+// keeping one batch comfortably inside the L2 cache.
+const BatchCap = 256
+
+// Batch is a reusable slab of tuples — the unit of the vectorized
+// execution protocol. Operators fill a batch with up to Cap rows per call
+// instead of handing tuples across an interface one at a time.
+//
+// Ownership rules:
+//   - The rows slice (Rows) and the Batch itself are valid only until the
+//     next Reset/refill; consumers that keep rows across calls must copy
+//     the Tuple headers out (a Tuple is a slice header; copying it is
+//     cheap and the underlying values are immutable).
+//   - Tuples appended or carved with Alloc are NEVER reused by the batch:
+//     retained tuple headers stay valid forever. Reset drops the arena
+//     instead of recycling it, so pooling batches cannot corrupt rows a
+//     consumer kept.
+type Batch struct {
+	rows []Tuple
+	// arena is the current value slab Alloc carves output tuples from. It
+	// is allocated lazily per fill (one allocation amortized over the whole
+	// batch) and abandoned — not recycled — on Reset.
+	arena []Value
+}
+
+// NewBatch creates a batch with the given row capacity (minimum 1).
+func NewBatch(capacity int) *Batch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Batch{rows: make([]Tuple, 0, capacity)}
+}
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Cap returns the row capacity.
+func (b *Batch) Cap() int { return cap(b.rows) }
+
+// Full reports whether the batch reached its capacity.
+func (b *Batch) Full() bool { return len(b.rows) == cap(b.rows) }
+
+// Rows returns the filled rows. The slice is valid until the next Reset.
+func (b *Batch) Rows() []Tuple { return b.rows }
+
+// Row returns row i.
+func (b *Batch) Row(i int) Tuple { return b.rows[i] }
+
+// Append adds a tuple to the batch. The caller must not exceed Cap.
+func (b *Batch) Append(t Tuple) { b.rows = append(b.rows, t) }
+
+// AppendAll bulk-appends tuple headers with one memmove. The caller must
+// not exceed Cap.
+func (b *Batch) AppendAll(rows []Tuple) { b.rows = append(b.rows, rows...) }
+
+// Truncate keeps only the first n rows (no-op when n ≥ Len).
+func (b *Batch) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < len(b.rows) {
+		b.rows = b.rows[:n]
+	}
+}
+
+// Reset empties the batch. The arena is dropped, not recycled: tuples
+// carved from it may have escaped to consumers and must stay intact.
+func (b *Batch) Reset() {
+	b.rows = b.rows[:0]
+	b.arena = nil
+}
+
+// Carve cuts a zeroed width-tuple from the batch arena without appending
+// it to the rows — used by in-place operators that overwrite existing row
+// headers. One arena allocation serves a whole batch, replacing a per-row
+// make.
+func (b *Batch) Carve(width int) Tuple {
+	if width <= 0 {
+		return Tuple{}
+	}
+	if len(b.arena)+width > cap(b.arena) {
+		// Size the slab for the carves still coming: in-place rewriters
+		// (rows already filled) carve once per existing row; appenders
+		// start from an empty batch and carve up to its capacity.
+		carves := len(b.rows)
+		if carves == 0 {
+			carves = cap(b.rows)
+		}
+		n := width * carves
+		if n < width {
+			n = width
+		}
+		b.arena = make([]Value, 0, n)
+	}
+	off := len(b.arena)
+	b.arena = b.arena[: off+width : cap(b.arena)]
+	return Tuple(b.arena[off : off+width : off+width])
+}
+
+// Alloc carves a zeroed width-tuple from the batch arena and appends it to
+// the batch, returning it for the caller to fill.
+func (b *Batch) Alloc(width int) Tuple {
+	t := b.Carve(width)
+	b.rows = append(b.rows, t)
+	return t
+}
+
+var batchPool = sync.Pool{
+	New: func() any { return NewBatch(BatchCap) },
+}
+
+// GetBatch takes a reset batch of the default capacity from the pool.
+func GetBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// PutBatch resets a batch and returns it to the pool. Only batches of the
+// default capacity are pooled; others are left to the GC.
+func PutBatch(b *Batch) {
+	if b == nil || b.Cap() != BatchCap {
+		return
+	}
+	b.Reset()
+	batchPool.Put(b)
+}

@@ -1,0 +1,91 @@
+package value
+
+import "testing"
+
+func TestBatchAppendAndReset(t *testing.T) {
+	b := NewBatch(4)
+	if b.Cap() != 4 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh batch: cap=%d len=%d", b.Cap(), b.Len())
+	}
+	for i := 0; i < 4; i++ {
+		b.Append(TupleOf(i))
+	}
+	if !b.Full() || b.Len() != 4 {
+		t.Fatalf("filled batch: len=%d", b.Len())
+	}
+	if !Equal(b.Row(2)[0], Int(2)) {
+		t.Errorf("row 2 = %v", b.Row(2))
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Cap() != 4 {
+		t.Errorf("reset batch: len=%d cap=%d", b.Len(), b.Cap())
+	}
+}
+
+func TestBatchNewBatchMinCapacity(t *testing.T) {
+	if NewBatch(0).Cap() != 1 || NewBatch(-5).Cap() != 1 {
+		t.Error("capacity floor broken")
+	}
+}
+
+// Tuples carved from the arena must survive Reset and reuse of the batch:
+// the arena is dropped, never recycled.
+func TestBatchAllocSurvivesReset(t *testing.T) {
+	b := NewBatch(8)
+	var kept []Tuple
+	for round := 0; round < 3; round++ {
+		b.Reset()
+		for i := 0; i < 8; i++ {
+			row := b.Alloc(2)
+			row[0] = Int(round)
+			row[1] = Int(i)
+			kept = append(kept, row)
+		}
+	}
+	for i, row := range kept {
+		wantRound, wantI := Int(i/8), Int(i%8)
+		if !Equal(row[0], wantRound) || !Equal(row[1], wantI) {
+			t.Fatalf("kept row %d corrupted: %v (want (%v,%v))", i, row, wantRound, wantI)
+		}
+	}
+}
+
+func TestBatchAllocZeroWidth(t *testing.T) {
+	b := NewBatch(2)
+	row := b.Alloc(0)
+	if len(row) != 0 || b.Len() != 1 {
+		t.Errorf("zero-width alloc: row=%v len=%d", row, b.Len())
+	}
+}
+
+func TestBatchAllocIsolation(t *testing.T) {
+	b := NewBatch(4)
+	r1 := b.Alloc(3)
+	r2 := b.Alloc(3)
+	for i := range r1 {
+		r1[i] = Str("one")
+	}
+	for i := range r2 {
+		r2[i] = Str("two")
+	}
+	if !Equal(r1[2], Str("one")) || !Equal(r2[0], Str("two")) {
+		t.Errorf("arena rows overlap: r1=%v r2=%v", r1, r2)
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch()
+	if b.Cap() != BatchCap {
+		t.Fatalf("pooled cap = %d", b.Cap())
+	}
+	b.Append(TupleOf(1))
+	PutBatch(b)
+	b2 := GetBatch()
+	if b2.Len() != 0 {
+		t.Error("pool returned a dirty batch")
+	}
+	PutBatch(b2)
+	// Odd-sized batches are not pooled, and nil is tolerated.
+	PutBatch(NewBatch(3))
+	PutBatch(nil)
+}

@@ -8,6 +8,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -105,17 +106,7 @@ func (Tuple) Kind() Kind { return KindTuple }
 
 // Key implements Value with length-prefixed element keys, so that
 // ("ab","c") and ("a","bc") differ.
-func (t Tuple) Key() string {
-	var sb strings.Builder
-	sb.WriteByte('T')
-	for _, v := range t {
-		k := v.Key()
-		sb.WriteString(strconv.Itoa(len(k)))
-		sb.WriteByte(':')
-		sb.WriteString(k)
-	}
-	return sb.String()
-}
+func (t Tuple) Key() string { return string(AppendKey(nil, t)) }
 
 func (t Tuple) String() string {
 	parts := make([]string, len(t))
@@ -163,6 +154,51 @@ func (l List) String() string {
 	return "[" + strings.Join(parts, ", ") + "]"
 }
 
+// AppendKey appends v's canonical hash key (identical bytes to v.Key())
+// to dst and returns the extended slice. With a reused buffer this
+// renders keys without allocating — the vectorized executor's join,
+// distinct and bind-key operators probe their hash tables via
+// map[string(buf)] lookups, which Go evaluates allocation-free, and only
+// materialize a string when inserting a new entry.
+func AppendKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return dst
+	case Null:
+		return append(dst, "∅"...)
+	case Bool:
+		dst = append(dst, 'b')
+		return strconv.AppendBool(dst, bool(x))
+	case Int:
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, int64(x), 10)
+	case Float:
+		dst = append(dst, 'f')
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 64)
+	case Str:
+		dst = append(dst, 's')
+		return append(dst, string(x)...)
+	case Tuple:
+		dst = append(dst, 'T')
+		for _, e := range x {
+			// Render the element, then shift it right to make room for
+			// its decimal length prefix (a small memmove, no allocation).
+			start := len(dst)
+			dst = AppendKey(dst, e)
+			elemLen := len(dst) - start
+			var lb [21]byte
+			pre := strconv.AppendInt(lb[:0], int64(elemLen), 10)
+			pre = append(pre, ':')
+			dst = append(dst, pre...)
+			copy(dst[start+len(pre):], dst[start:len(dst)-len(pre)])
+			copy(dst[start:], pre)
+		}
+		return dst
+	default: // List (sorts element keys), Doc: delegate to Key
+		return append(dst, v.Key()...)
+	}
+}
+
 // Of converts a native Go value into a Value. Supported inputs: nil, bool,
 // int/int32/int64, float32/float64, string, Value (returned as-is), and
 // slices of any supported input (becoming Lists).
@@ -206,12 +242,61 @@ func TupleOf(vs ...any) Tuple {
 	return out
 }
 
-// Equal reports whether two values are equal.
+// Equal reports whether two values are equal. Scalar kinds and tuples
+// compare directly without rendering hash keys — this sits in the
+// per-row filter loop of the vectorized executor, where the old
+// Key()==Key() comparison cost two string allocations per call. The
+// semantics are exactly those of key equality: kinds never compare equal
+// across each other (Int(3) ≠ Float(3)), floats distinguish -0 from +0
+// and treat NaN as equal to NaN, and lists keep their order-insensitive
+// bag semantics.
 func Equal(a, b Value) bool {
-	if a == nil || b == nil {
-		return a == nil && b == nil
+	switch x := a.(type) {
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case Float:
+		y, ok := b.(Float)
+		if !ok {
+			return false
+		}
+		fa, fb := float64(x), float64(y)
+		if fa == 0 && fb == 0 {
+			// Key() renders -0 as "-0": keep them distinct.
+			return math.Signbit(fa) == math.Signbit(fb)
+		}
+		return fa == fb || (fa != fa && fb != fb) // NaN keys are equal
+	case Tuple:
+		y, ok := b.(Tuple)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case nil:
+		return b == nil
+	default: // List (order-insensitive), Doc: fall back to canonical keys
+		if b == nil {
+			return false
+		}
+		if a.Kind() != b.Kind() {
+			return false
+		}
+		return a.Key() == b.Key()
 	}
-	return a.Key() == b.Key()
 }
 
 // Compare totally orders values: first by kind, then within a kind by the
