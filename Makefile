@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check check bench bench-smoke
+.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke
 
 all: check
 
@@ -20,6 +20,12 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Lint with staticcheck when it is installed (CI always runs it; local
+# developers without the binary are not blocked).
+staticcheck:
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 check: fmt-check vet build test
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/catalog"
@@ -585,4 +586,127 @@ func BenchmarkServiceThroughput_Mixed4(b *testing.B) {
 
 func BenchmarkServiceThroughput_Mixed16(b *testing.B) {
 	benchmarkServiceThroughput(b, 16, mixedNext, hotWarmup)
+}
+
+// --- Service streaming: the cursor API vs materialization ------------------
+
+// The BenchmarkServiceStream family measures the PR 4 cursor API on a
+// wide scan (64k rows through one relational fragment): _Hot streams the
+// result through service.Rows and reports both time-to-first-row and the
+// full drain, _Materialized drains the same query through the legacy
+// slice-returning path. The gap between ttfr_us and full_us is the
+// latency a streaming client stops paying; rows_per_s compares pipeline
+// throughput.
+
+const benchStreamRows = 64 << 10
+
+var (
+	benchStreamOnce sync.Once
+	benchStreamSvc  *service.Service
+)
+
+func setupStreamService(b *testing.B) {
+	b.Helper()
+	benchStreamOnce.Do(func() {
+		sys := core.New(core.Options{})
+		sys.AddRelStore("rel")
+		vars := []pivot.Term{pivot.Var("x"), pivot.Var("y"), pivot.Var("z")}
+		view := rewrite.NewView("FWide", pivot.NewCQ(
+			pivot.NewAtom("FWide", vars...),
+			pivot.NewAtom("Wide", vars...)))
+		if err := sys.RegisterFragment(&catalog.Fragment{
+			Name: "FWide", Dataset: "bench", View: view, Store: "rel",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "wide",
+				Columns: []string{"x", "y", "z"}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		rows := make([]value.Tuple, benchStreamRows)
+		for i := range rows {
+			rows[i] = value.TupleOf(fmt.Sprintf("k%07d", i), i, i%997)
+		}
+		if err := sys.Materialize("FWide", rows); err != nil {
+			b.Fatal(err)
+		}
+		benchStreamSvc = service.New(sys, service.Options{MaxInFlight: 8})
+	})
+}
+
+func streamScanQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QWide", pivot.Var("x"), pivot.Var("y"), pivot.Var("z")),
+		pivot.NewAtom("Wide", pivot.Var("x"), pivot.Var("y"), pivot.Var("z")))
+}
+
+func BenchmarkServiceStream_Hot(b *testing.B) {
+	setupStreamService(b)
+	ctx := context.Background()
+	q := streamScanQuery()
+	if _, err := benchStreamSvc.Query(ctx, q); err != nil { // warm the rewrite
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ttfr, full time.Duration
+	var rows int64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		r, err := benchStreamSvc.QueryRows(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Next() {
+			b.Fatal("no rows")
+		}
+		ttfr += time.Since(start)
+		n := int64(1)
+		for {
+			chunk, err := r.NextChunk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if chunk == nil {
+				break
+			}
+			n += int64(len(chunk))
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+		full += time.Since(start)
+		rows += n
+	}
+	b.StopTimer()
+	if rows != int64(b.N)*benchStreamRows {
+		b.Fatalf("drained %d rows, want %d", rows, int64(b.N)*benchStreamRows)
+	}
+	b.ReportMetric(float64(ttfr.Microseconds())/float64(b.N), "ttfr_us")
+	b.ReportMetric(float64(full.Microseconds())/float64(b.N), "full_us")
+	b.ReportMetric(float64(rows)/full.Seconds(), "rows_per_s")
+}
+
+func BenchmarkServiceStream_Materialized(b *testing.B) {
+	setupStreamService(b)
+	ctx := context.Background()
+	q := streamScanQuery()
+	if _, err := benchStreamSvc.Query(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var full time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := benchStreamSvc.Query(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full += time.Since(start)
+		if len(res.Rows) != benchStreamRows {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(full.Microseconds())/float64(b.N), "full_us")
+	b.ReportMetric(float64(b.N)*benchStreamRows/full.Seconds(), "rows_per_s")
 }

@@ -1,6 +1,7 @@
 // estocada-serve exposes a deployed ESTOCADA instance as a network
 // service: the concurrent mediator runtime (sessions, shared single-flight
-// rewriting cache, admission control) behind an HTTP+JSON front end.
+// rewriting cache, admission control, server-side prepared statements,
+// streaming cursors) behind an HTTP+JSON front end.
 //
 // Usage:
 //
@@ -10,30 +11,51 @@
 //
 //	POST /session            → {"session": 1}
 //	POST /query              body: {"lang":"sql|flwor|cq", "query":"...",
-//	                                "session": 1}   (session optional)
-//	GET  /stats              service metrics + per-store counters
+//	                                "session":1, "stream":true, "cursor":true,
+//	                                "maxRows":1000}   (all but query optional)
+//	POST /prepare            body: {"lang":"...", "query":"..."}
+//	                         → {"stmt": 1, "params": 2}
+//	POST /execute            body: {"stmt":1, "args":["u00007"],
+//	                                "stream":true, "cursor":true}
+//	POST /fetch              body: {"cursor":1, "max":256}
+//	                         → {"rows": [...], "done": false}
+//	POST /close              body: {"cursor":1} or {"stmt":1}
+//	GET  /stats              service metrics + per-store counters + cursors
 //	GET  /fragments          the catalog's storage descriptors
 //	GET  /healthz            liveness probe
+//
+// Result delivery is cursor-first: the default /query response
+// materializes for compatibility, "stream":true (or ?stream=1) switches
+// to NDJSON — a {"columns":[...]} header, one {"row":[...]} record per
+// tuple flushed once per drained batch, and a terminal {"done":true}
+// or in-band {"error":{...}} record — and "cursor":true registers a
+// server-side cursor consumed incrementally via /fetch. Abandoned
+// cursors are reaped after -cursor-ttl, releasing their admission slots.
+// Failures carry a structured body {"error":{"code","message"}} with
+// 400 for bad queries, 404 for unknown handles, 422 for truncated
+// results, 504 for timeouts and 500 otherwise.
 //
 // Examples:
 //
 //	curl -s localhost:8080/query -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''"}'
-//	curl -s localhost:8080/query -d '{"lang":"cq","query":"Q(pid, qty) :- Carts('\''u00007'\'', pid, qty)"}'
+//	curl -sN 'localhost:8080/query?stream=1' -d '{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)"}'
+//	curl -s localhost:8080/prepare -d '{"lang":"cq","query":"Q(pid, qty) :- Carts('\''u00007'\'', pid, qty)"}'
+//	curl -s localhost:8080/execute -d '{"stmt":1,"args":["u00012"]}'
+//	curl -s localhost:8080/query -d '{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)","cursor":true}'
+//	curl -s localhost:8080/fetch -d '{"cursor":1,"max":100}'
+//	curl -s localhost:8080/close -d '{"cursor":1}'
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/scenario"
 	"repro/internal/service"
-	"repro/internal/value"
 )
 
 func main() {
@@ -41,118 +63,47 @@ func main() {
 	scenarioFlag := flag.String("scenario", "marketplace", "dataset: marketplace or bdb")
 	variantFlag := flag.String("variant", "materialized", "marketplace storage variant: baseline, kv, materialized")
 	users := flag.Int("users", 500, "users in the generated marketplace")
-	timeout := flag.Duration("timeout", 5*time.Second, "per-query timeout (0 = none)")
-	maxInFlight := flag.Int("max-inflight", 0, "bounded concurrent executions (0 = 4×GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query timeout, which also caps a cursor's total lifetime (0 = none)")
+	maxInFlight := flag.Int("max-inflight", 0, "bounded live executions, open cursors included (0 = 4×GOMAXPROCS)")
+	maxResultRows := flag.Int("max-result-rows", 0, "per-query row cap; exceeding it fails with result_truncated (0 = none)")
 	shards := flag.Int("cache-shards", 16, "rewriting cache shards")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle sessions are reaped after this (0 = never)")
+	cursorTTL := flag.Duration("cursor-ttl", time.Minute, "idle paginated cursors are reaped (slots released) after this (0 = never)")
+	stmtTTL := flag.Duration("stmt-ttl", time.Hour, "idle prepared statements are unregistered after this (0 = never)")
 	flag.Parse()
 
 	svc, err := deploy(*scenarioFlag, *variantFlag, *users, service.Options{
-		MaxInFlight:  *maxInFlight,
-		QueryTimeout: *timeout,
-		CacheShards:  *shards,
+		MaxInFlight:   *maxInFlight,
+		QueryTimeout:  *timeout,
+		CacheShards:   *shards,
+		MaxResultRows: *maxResultRows,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := newServer(svc)
 
-	if *sessionTTL > 0 {
-		go func() {
-			for range time.Tick(*sessionTTL / 4) {
-				if n := svc.ReapSessions(*sessionTTL); n > 0 {
-					log.Printf("reaped %d idle sessions", n)
-				}
-			}
-		}()
-	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		sess := svc.NewSession()
-		writeJSON(w, map[string]any{"session": sess.ID()})
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req struct {
-			Lang    string `json:"lang"`
-			Query   string `json:"query"`
-			Session uint64 `json:"session"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		var res *service.Result
-		var err error
-		if req.Session != 0 {
-			sess, ok := svc.Session(req.Session)
-			if !ok {
-				http.Error(w, "unknown session "+strconv.FormatUint(req.Session, 10), http.StatusNotFound)
-				return
-			}
-			res, err = sess.QueryText(r.Context(), req.Lang, req.Query)
-		} else {
-			res, err = svc.QueryText(r.Context(), req.Lang, req.Query)
-		}
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		rows := make([][]any, len(res.Rows))
-		for i, t := range res.Rows {
-			rows[i] = jsonTuple(t)
-		}
-		perStore := map[string]map[string]int64{}
-		for store, c := range res.PerStore {
-			perStore[store] = map[string]int64{
-				"requests": c.Requests, "scans": c.Scans,
-				"lookups": c.Lookups, "tuples": c.Tuples,
-			}
-		}
-		writeJSON(w, map[string]any{
-			"rows": rows,
-			"report": map[string]any{
-				"fingerprint": res.Fingerprint,
-				"cacheHit":    res.CacheHit,
-				"coalesced":   res.Coalesced,
-				"planTimeUs":  res.PlanTime.Microseconds(),
-				"execTimeUs":  res.ExecTime.Microseconds(),
-				"perStore":    perStore,
-			},
-		})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		snap := svc.Snapshot()
-		stores := map[string]map[string]int64{}
-		for _, e := range svc.System().Stores.All() {
-			c := e.Counters().Snapshot()
-			stores[e.Name()] = map[string]int64{
-				"requests": c.Requests, "scans": c.Scans,
-				"lookups": c.Lookups, "tuples": c.Tuples,
-			}
-		}
-		writeJSON(w, map[string]any{"service": snap, "stores": stores})
-	})
-	mux.HandleFunc("/fragments", func(w http.ResponseWriter, r *http.Request) {
-		var out []string
-		for _, f := range svc.System().Catalog.All() {
-			out = append(out, f.Describe())
-		}
-		writeJSON(w, map[string]any{"fragments": out})
-	})
+	startReaper(*sessionTTL, "idle sessions", svc.ReapSessions)
+	startReaper(*cursorTTL, "abandoned cursors", srv.reapCursors)
+	startReaper(*stmtTTL, "idle prepared statements", svc.ReapStatements)
 
 	log.Printf("estocada-serve: %s scenario on %s", *scenarioFlag, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// startReaper periodically frees one class of idle resource (sessions,
+// cursors, statements). ttl 0 disables the reaper.
+func startReaper(ttl time.Duration, what string, reap func(time.Duration) int) {
+	if ttl <= 0 {
+		return
+	}
+	go func() {
+		for range time.Tick(ttl / 4) {
+			if n := reap(ttl); n > 0 {
+				log.Printf("reaped %d %s", n, what)
+			}
+		}
+	}()
 }
 
 // deploy builds the selected scenario and wraps it in a service.
@@ -188,36 +139,4 @@ func deploy(scen, variant string, users int, opts service.Options) (*service.Ser
 	default:
 		return nil, fmt.Errorf("unknown scenario %q (marketplace|bdb)", scen)
 	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
-
-// jsonTuple maps a result tuple to JSON-native values; nested structures
-// fall back to their textual rendering.
-func jsonTuple(t value.Tuple) []any {
-	out := make([]any, len(t))
-	for i, v := range t {
-		switch x := v.(type) {
-		case value.Str:
-			out[i] = string(x)
-		case value.Int:
-			out[i] = int64(x)
-		case value.Float:
-			out[i] = float64(x)
-		case value.Bool:
-			out[i] = bool(x)
-		case value.Null, nil:
-			out[i] = nil
-		default:
-			out[i] = x.String()
-		}
-	}
-	return out
 }

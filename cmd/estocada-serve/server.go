@@ -1,0 +1,588 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+// server is the HTTP front end over one mediator service: sessions,
+// one-shot and streaming queries, server-side prepared statements, and a
+// registry of paginated cursors reaped by TTL. Every query path rides
+// the service's Rows cursor — the full result is never materialized in
+// the front end; NDJSON responses flush once per drained value.Batch and
+// paginated cursors hold their admission slot between fetches.
+type server struct {
+	svc       *service.Service
+	mux       *http.ServeMux
+	fetchRows int // default rows per /fetch when the client names none
+
+	curMu   sync.Mutex
+	cursors map[uint64]*cursorHandle
+	nextCur atomic.Uint64
+}
+
+// maxFetchRows caps one /fetch page regardless of the client's "max".
+const maxFetchRows = 16 * value.BatchCap
+
+// cursorHandle is one registered paginated cursor. lastUse is guarded by
+// server.curMu; mu serializes fetch/close on the cursor itself.
+type cursorHandle struct {
+	id      uint64
+	mu      sync.Mutex
+	rows    *service.Rows
+	columns []string
+	lastUse time.Time
+}
+
+func newServer(svc *service.Service) *server {
+	s := &server{
+		svc:       svc,
+		mux:       http.NewServeMux(),
+		fetchRows: value.BatchCap,
+		cursors:   map[uint64]*cursorHandle{},
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/session", s.handleSession)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/prepare", s.handlePrepare)
+	s.mux.HandleFunc("/execute", s.handleExecute)
+	s.mux.HandleFunc("/fetch", s.handleFetch)
+	s.mux.HandleFunc("/close", s.handleClose)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/fragments", s.handleFragments)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- error mapping ---------------------------------------------------------
+
+// errUnknownSession, errUnknownCursor and errBadRequest are
+// front-end-level errors (the service knows nothing about wire handles
+// or request envelopes).
+var (
+	errUnknownSession = errors.New("unknown session")
+	errUnknownCursor  = errors.New("unknown or expired cursor")
+	errBadRequest     = errors.New("bad request")
+)
+
+// statusFor maps a failure to its HTTP status and a stable machine code:
+// client mistakes (parse errors, unknown languages, infeasible queries,
+// bad arguments) are 400s, missing handles are 404s, a truncated result
+// is 422, timeouts are 504, and anything else is an internal 500.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, service.ErrParse):
+		return http.StatusBadRequest, "parse_error"
+	case errors.Is(err, service.ErrUnknownLanguage):
+		return http.StatusBadRequest, "unknown_language"
+	case errors.Is(err, service.ErrNoSchema):
+		return http.StatusBadRequest, "no_schema"
+	case errors.Is(err, service.ErrBadArgs):
+		return http.StatusBadRequest, "bad_args"
+	case errors.Is(err, core.ErrNoPlan):
+		return http.StatusBadRequest, "no_plan"
+	case errors.Is(err, service.ErrUnknownStatement):
+		return http.StatusNotFound, "unknown_statement"
+	case errors.Is(err, errUnknownSession):
+		return http.StatusNotFound, "unknown_session"
+	case errors.Is(err, errUnknownCursor):
+		return http.StatusNotFound, "unknown_cursor"
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, service.ErrResultTruncated):
+		return http.StatusUnprocessableEntity, "result_truncated"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// errorBody renders the structured JSON error record (shared between
+// status-coded responses and in-band NDJSON terminal records).
+func errorBody(err error) map[string]any {
+	_, code := statusFor(err)
+	return map[string]any{"error": map[string]any{"code": code, "message": err.Error()}}
+}
+
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	status, _ := statusFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(errorBody(err)); encErr != nil {
+		log.Printf("encode error response: %v", encErr)
+	}
+}
+
+// --- request plumbing ------------------------------------------------------
+
+type queryRequest struct {
+	Lang    string `json:"lang"`
+	Query   string `json:"query"`
+	Session uint64 `json:"session"`
+	Stream  bool   `json:"stream"`
+	Cursor  bool   `json:"cursor"`
+	MaxRows int64  `json:"maxRows"`
+}
+
+type executeRequest struct {
+	Stmt    uint64 `json:"stmt"`
+	Args    []any  `json:"args"`
+	Stream  bool   `json:"stream"`
+	Cursor  bool   `json:"cursor"`
+	MaxRows int64  `json:"maxRows"`
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	sess := s.svc.NewSession()
+	writeJSON(w, map[string]any{"session": sess.ID()})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	stream := req.Stream || r.URL.Query().Get("stream") == "1"
+	cursorMode := req.Cursor || r.URL.Query().Get("cursor") == "1"
+
+	// A paginated cursor outlives this request, so it cannot run under
+	// r.Context(); the registry (TTL reaper) and the service's own
+	// QueryTimeout bound its lifetime instead.
+	ctx := r.Context()
+	if cursorMode {
+		ctx = context.Background()
+	}
+	var rows *service.Rows
+	var err error
+	if req.Session != 0 {
+		sess, ok := s.svc.Session(req.Session)
+		if !ok {
+			s.writeError(w, fmt.Errorf("%w: %d", errUnknownSession, req.Session))
+			return
+		}
+		rows, err = sess.QueryTextRows(ctx, req.Lang, req.Query)
+	} else {
+		rows, err = s.svc.QueryTextRows(ctx, req.Lang, req.Query)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rows.Limit(req.MaxRows)
+	s.respondRows(w, rows, stream, cursorMode)
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req struct {
+		Lang  string `json:"lang"`
+		Query string `json:"query"`
+	}
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	st, err := s.svc.Prepare(r.Context(), req.Lang, req.Query)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"stmt": st.ID(), "params": st.NumParams()})
+}
+
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req executeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	stream := req.Stream || r.URL.Query().Get("stream") == "1"
+	cursorMode := req.Cursor || r.URL.Query().Get("cursor") == "1"
+	ctx := r.Context()
+	if cursorMode {
+		ctx = context.Background()
+	}
+	args := make([]value.Value, len(req.Args))
+	for i, a := range req.Args {
+		args[i] = jsonToValue(a)
+	}
+	rows, err := s.svc.ExecuteRows(ctx, req.Stmt, args...)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rows.Limit(req.MaxRows)
+	s.respondRows(w, rows, stream, cursorMode)
+}
+
+// respondRows delivers an open cursor in the caller's chosen mode:
+// registered cursor handle, NDJSON stream, or materialized JSON.
+func (s *server) respondRows(w http.ResponseWriter, rows *service.Rows, stream, cursorMode bool) {
+	switch {
+	case cursorMode:
+		h := s.registerCursor(rows)
+		writeJSON(w, map[string]any{"cursor": h.id, "columns": h.columns})
+	case stream:
+		s.streamRows(w, rows)
+	default:
+		s.respondMaterialized(w, rows)
+	}
+}
+
+// respondMaterialized drains the cursor into the legacy one-shot JSON
+// response shape.
+func (s *server) respondMaterialized(w http.ResponseWriter, rows *service.Rows) {
+	res, err := rows.Materialize()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := make([][]any, len(res.Rows))
+	for i, t := range res.Rows {
+		out[i] = jsonTuple(t)
+	}
+	writeJSON(w, map[string]any{
+		"rows":   out,
+		"report": reportJSON(rows, true), // Materialize closed the cursor
+	})
+}
+
+// streamRows writes the NDJSON protocol: a columns header, one row
+// record per tuple flushed once per drained batch, and a terminal record
+// — {"done":true,...} with the report, or {"error":{...}} if the
+// executor failed mid-stream.
+func (s *server) streamRows(w http.ResponseWriter, rows *service.Rows) {
+	defer rows.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	encode := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			log.Printf("encode stream record: %v", err)
+		}
+	}
+	encode(map[string]any{"columns": rows.Columns()})
+	flush()
+	for {
+		chunk, err := rows.NextChunk()
+		if err != nil {
+			encode(errorBody(err))
+			flush()
+			return
+		}
+		if chunk == nil {
+			break
+		}
+		for _, t := range chunk {
+			encode(map[string]any{"row": jsonTuple(t)})
+		}
+		flush() // once per drained value.Batch
+	}
+	rows.Close()
+	encode(map[string]any{"done": true, "report": reportJSON(rows, true)})
+	flush()
+}
+
+// reportJSON renders the per-query report of a closed (or open) cursor.
+func reportJSON(rows *service.Rows, closed bool) map[string]any {
+	rep := map[string]any{
+		"fingerprint": rows.Fingerprint(),
+		"cacheHit":    rows.CacheHit(),
+		"coalesced":   rows.Coalesced(),
+		"planTimeUs":  rows.PlanTime().Microseconds(),
+		"rows":        rows.RowsServed(),
+	}
+	if closed {
+		rep["execTimeUs"] = rows.ExecTime().Microseconds()
+		perStore := map[string]map[string]int64{}
+		for store, c := range rows.PerStore() {
+			perStore[store] = map[string]int64{
+				"requests": c.Requests, "scans": c.Scans,
+				"lookups": c.Lookups, "tuples": c.Tuples,
+			}
+		}
+		rep["perStore"] = perStore
+	}
+	return rep
+}
+
+// --- paginated cursors -----------------------------------------------------
+
+func (s *server) registerCursor(rows *service.Rows) *cursorHandle {
+	h := &cursorHandle{
+		id:      s.nextCur.Add(1),
+		rows:    rows,
+		columns: rows.Columns(),
+		lastUse: time.Now(),
+	}
+	s.curMu.Lock()
+	s.cursors[h.id] = h
+	s.curMu.Unlock()
+	return h
+}
+
+// lookupCursor returns a live handle and touches its TTL clock.
+func (s *server) lookupCursor(id uint64) (*cursorHandle, bool) {
+	s.curMu.Lock()
+	defer s.curMu.Unlock()
+	h, ok := s.cursors[id]
+	if ok {
+		h.lastUse = time.Now()
+	}
+	return h, ok
+}
+
+// dropCursor unregisters and closes a cursor (idempotent).
+func (s *server) dropCursor(h *cursorHandle) {
+	s.curMu.Lock()
+	delete(s.cursors, h.id)
+	s.curMu.Unlock()
+	h.mu.Lock()
+	h.rows.Close()
+	h.mu.Unlock()
+}
+
+// reapCursors closes cursors idle longer than ttl — freeing their
+// admission slots, execution state and pooled batches — and reports how
+// many were reaped.
+func (s *server) reapCursors(ttl time.Duration) int {
+	cutoff := time.Now().Add(-ttl)
+	s.curMu.Lock()
+	var victims []*cursorHandle
+	for id, h := range s.cursors {
+		if h.lastUse.Before(cutoff) {
+			delete(s.cursors, id)
+			victims = append(victims, h)
+		}
+	}
+	s.curMu.Unlock()
+	for _, h := range victims {
+		h.mu.Lock()
+		h.rows.Close()
+		h.mu.Unlock()
+	}
+	return len(victims)
+}
+
+func (s *server) cursorCount() int {
+	s.curMu.Lock()
+	defer s.curMu.Unlock()
+	return len(s.cursors)
+}
+
+func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req struct {
+		Cursor uint64 `json:"cursor"`
+		Max    int    `json:"max"`
+	}
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	h, ok := s.lookupCursor(req.Cursor)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = s.fetchRows
+	}
+	if max > maxFetchRows {
+		max = maxFetchRows // clamp before the page allocation sized by it
+	}
+	h.mu.Lock()
+	out := make([][]any, 0, max)
+	for len(out) < max && h.rows.Next() {
+		out = append(out, jsonTuple(h.rows.Tuple()))
+	}
+	err := h.rows.Err()
+	done := err == nil && len(out) < max
+	h.mu.Unlock()
+	if err != nil {
+		s.dropCursor(h)
+		if len(out) == 0 {
+			s.writeError(w, err)
+			return
+		}
+		// Rows already pulled off the cursor (e.g. the page the
+		// MaxResultRows cap fired on) are delivered, with the failure
+		// in-band — mirroring the NDJSON terminal error record.
+		resp := map[string]any{"cursor": h.id, "rows": out, "done": true}
+		resp["error"] = errorBody(err)["error"]
+		writeJSON(w, resp)
+		return
+	}
+	if done {
+		s.dropCursor(h)
+	}
+	writeJSON(w, map[string]any{"cursor": h.id, "rows": out, "done": done})
+}
+
+// handleClose releases a server-side handle: a paginated cursor
+// ({"cursor":id}) or a prepared statement ({"stmt":id}).
+func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req struct {
+		Cursor uint64 `json:"cursor"`
+		Stmt   uint64 `json:"stmt"`
+	}
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Cursor != 0:
+		h, ok := s.lookupCursor(req.Cursor)
+		if !ok {
+			s.writeError(w, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
+			return
+		}
+		s.dropCursor(h)
+	case req.Stmt != 0:
+		st, ok := s.svc.Stmt(req.Stmt)
+		if !ok {
+			s.writeError(w, fmt.Errorf("%w: %d", service.ErrUnknownStatement, req.Stmt))
+			return
+		}
+		st.Close()
+	default:
+		s.writeError(w, fmt.Errorf("%w: close takes a cursor or stmt id", errBadRequest))
+		return
+	}
+	writeJSON(w, map[string]any{"closed": true})
+}
+
+// --- introspection ---------------------------------------------------------
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.svc.Snapshot()
+	stores := map[string]map[string]int64{}
+	for _, e := range s.svc.System().Stores.All() {
+		c := e.Counters().Snapshot()
+		stores[e.Name()] = map[string]int64{
+			"requests": c.Requests, "scans": c.Scans,
+			"lookups": c.Lookups, "tuples": c.Tuples,
+		}
+	}
+	writeJSON(w, map[string]any{
+		"service": snap,
+		"stores":  stores,
+		"cursors": s.cursorCount(),
+	})
+}
+
+func (s *server) handleFragments(w http.ResponseWriter, r *http.Request) {
+	var out []string
+	for _, f := range s.svc.System().Catalog.All() {
+		out = append(out, f.Describe())
+	}
+	writeJSON(w, map[string]any{"fragments": out})
+}
+
+// --- JSON value mapping ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// jsonTuple maps a result tuple to JSON-native values; nested structures
+// fall back to their textual rendering.
+func jsonTuple(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch x := v.(type) {
+		case value.Str:
+			out[i] = string(x)
+		case value.Int:
+			out[i] = int64(x)
+		case value.Float:
+			out[i] = float64(x)
+		case value.Bool:
+			out[i] = bool(x)
+		case value.Null, nil:
+			out[i] = nil
+		default:
+			out[i] = x.String()
+		}
+	}
+	return out
+}
+
+// jsonToValue maps a decoded JSON argument (decoded with UseNumber) to a
+// store value: integral numbers become Int, other numbers Float.
+func jsonToValue(v any) value.Value {
+	switch x := v.(type) {
+	case json.Number:
+		if i, err := x.Int64(); err == nil && !strings.ContainsAny(x.String(), ".eE") {
+			return value.Int(i)
+		}
+		f, _ := x.Float64()
+		return value.Float(f)
+	case string:
+		return value.Str(x)
+	case bool:
+		return value.Bool(x)
+	case nil:
+		return value.Null{}
+	default:
+		return value.Of(x)
+	}
+}

@@ -1,0 +1,111 @@
+// Streaming: the PR 4 cursor API end to end — QueryRows instead of
+// Query, server-side prepared statements, and the MaxResultRows guard.
+//
+// One logical relation (Events) is materialized as a relational fragment
+// with 100k rows. The same scan is consumed three ways: materialized
+// (the legacy slice API), streamed through a Rows cursor (first row
+// arrives long before the scan finishes, and the full result is never
+// buffered in the mediator), and through a prepared statement executed
+// for several keys with a single PACB rewrite.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+func main() {
+	sys := core.New(core.Options{})
+	sys.AddRelStore("pg")
+
+	// Logical schema: Events(id, kind, weight).
+	vars := []pivot.Term{pivot.Var("id"), pivot.Var("kind"), pivot.Var("weight")}
+	view := rewrite.NewView("FEvents", pivot.NewCQ(
+		pivot.NewAtom("FEvents", vars...),
+		pivot.NewAtom("Events", vars...)))
+	if err := sys.RegisterFragment(&catalog.Fragment{
+		Name: "FEvents", Dataset: "telemetry", View: view, Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "events",
+			Columns: []string{"id", "kind", "weight"}, IndexCols: []int{1}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	const n = 100_000
+	rows := make([]value.Tuple, n)
+	kinds := []string{"view", "click", "purchase"}
+	for i := range rows {
+		rows[i] = value.TupleOf(fmt.Sprintf("e%06d", i), kinds[i%len(kinds)], i%100)
+	}
+	if err := sys.Materialize("FEvents", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	svc := service.New(sys, service.Options{MaxInFlight: 4})
+	ctx := context.Background()
+	scan := pivot.NewCQ(
+		pivot.NewAtom("Q", vars...),
+		pivot.NewAtom("Events", vars...))
+
+	// 1. Materialized: the whole answer is buffered before we see row one.
+	start := time.Now()
+	res, err := svc.Query(ctx, scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized: %d rows in %v (all buffered)\n", len(res.Rows), time.Since(start))
+
+	// 2. Streamed: the cursor holds one batch at a time; the first row
+	// arrives as soon as the first batch is drained.
+	start = time.Now()
+	r, err := svc.QueryRows(ctx, scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.Next() {
+		fmt.Printf("streamed:     first row %v after %v\n", r.Tuple(), time.Since(start))
+	}
+	count := int64(1)
+	for {
+		chunk, err := r.NextChunk() // one value.Batch per call
+		if err != nil {
+			log.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		count += int64(len(chunk))
+	}
+	r.Close() // releases the admission slot and pooled batches
+	fmt.Printf("streamed:     %d rows in %v, never more than one batch resident\n",
+		count, time.Since(start))
+
+	// 3. Prepared statement: one rewrite, many executions.
+	st, err := svc.Prepare(ctx, "cq", `Q(id, w) :- Events(id, 'purchase', w)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kind := range []string{"view", "click", "purchase"} {
+		res, err := st.Execute(ctx, value.Str(kind))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("execute(%-9q): %d rows, cacheHit=%v\n", kind, len(res.Rows), res.CacheHit)
+	}
+
+	// 4. The runaway-result guard: a capped service refuses to buffer.
+	capped := service.New(sys, service.Options{MaxResultRows: 1000})
+	if _, err := capped.Query(ctx, scan); err != nil {
+		fmt.Println("capped service:", err)
+	}
+}

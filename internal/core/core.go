@@ -440,12 +440,34 @@ func (s *System) QueryCtx(ctx context.Context, q pivot.CQ) (*Result, error) {
 	return s.query(ctx, q, nil)
 }
 
+// QueryRows answers a conjunctive query as a streaming cursor: rewriting
+// and plan choice run exactly as in Query, but the execution is returned
+// open instead of drained — batches are produced only as the caller
+// consumes them, so the full result is never materialized in the
+// mediator. The caller owns the cursor and must Close it; the report's
+// ExecTime and PerStore fields are stamped then.
+func (s *System) QueryRows(ctx context.Context, q pivot.CQ) (*Rows, error) {
+	return s.queryRows(ctx, q, nil)
+}
+
 func (s *System) query(ctx context.Context, q pivot.CQ, boundHead []int) (*Result, error) {
+	r, err := s.queryRows(ctx, q, boundHead)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, Report: *r.rep}, nil
+}
+
+func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*Rows, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	var rep Report
+	rep := &Report{}
 
 	key := q.Key()
 	var plan *translate.Plan
@@ -492,15 +514,17 @@ func (s *System) query(ctx context.Context, q pivot.CQ, boundHead []int) (*Resul
 	// sink, so concurrent queries report disjoint, exact per-store splits
 	// (global-snapshot diffing would charge this query with other queries'
 	// concurrent work). Store tuples are tallied once per delivered batch
-	// and the plan drains batch-at-a-time through exec.RunWith.
-	ec := &exec.Ctx{Context: ctx, Counters: engine.NewExecCounters()}
+	// and the cursor drains batch-at-a-time.
+	attr := engine.NewExecCounters()
+	ec := &exec.Ctx{Context: ctx, Counters: attr}
 	execStart := time.Now()
-	rows, err := exec.RunWith(ec, plan.Root)
+	rs, err := exec.Open(ec, plan.Root)
 	if err != nil {
 		return nil, err
 	}
-	rep.ExecTime = time.Since(execStart)
-	rep.PerStore = ec.Counters.Snapshot()
-
-	return &Result{Rows: rows, Report: rep}, nil
+	rs.OnClose(func() {
+		rep.ExecTime = time.Since(execStart)
+		rep.PerStore = attr.Snapshot()
+	})
+	return &Rows{Rows: rs, attr: attr, rep: rep}, nil
 }

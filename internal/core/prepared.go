@@ -135,8 +135,43 @@ func (p *Prepared) Exec(args ...value.Value) ([]value.Tuple, error) {
 // (the sink may be shared across calls; pass a fresh one for a per-query
 // split). Returns the rows and the per-store split of this execution.
 func (p *Prepared) ExecCtx(ctx context.Context, attr *engine.ExecCounters, args ...value.Value) ([]value.Tuple, map[string]engine.CounterSnapshot, error) {
+	r, err := p.ExecRows(ctx, attr, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := r.All()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, r.PerStore(), nil
+}
+
+// ExecRows runs the prepared query as a streaming cursor: the bound plan
+// opens immediately, but result batches are produced only as the caller
+// drains them, so nothing materializes the full answer. The caller owns
+// the cursor and must Close it (which also releases the execution's
+// pooled batches).
+func (p *Prepared) ExecRows(ctx context.Context, attr *engine.ExecCounters, args ...value.Value) (*Rows, error) {
+	plan, err := p.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	if attr == nil {
+		attr = engine.NewExecCounters()
+	}
+	ec := &exec.Ctx{Context: ctx, Counters: attr}
+	rs, err := exec.Open(ec, plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Rows: rs, attr: attr}, nil
+}
+
+// bind substitutes the parameter values into the chosen rewriting and
+// returns the (cached) physical plan for the bound query.
+func (p *Prepared) bind(args []value.Value) (*translate.Plan, error) {
 	if len(args) != len(p.params) {
-		return nil, nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
+		return nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
 	}
 	sub := pivot.NewSubst()
 	key := ""
@@ -145,31 +180,20 @@ func (p *Prepared) ExecCtx(ctx context.Context, attr *engine.ExecCounters, args 
 		sub[v] = c
 		key += "|" + c.Key()
 	}
-	var plan *translate.Plan
 	if cached, ok := p.planCache.Load(key); ok {
-		plan = cached.(*translate.Plan)
-	} else {
-		bound := p.rewriting.Apply(sub)
-		var err error
-		plan, err = p.sys.planner.Build(bound)
-		if err != nil {
-			return nil, nil, err
-		}
-		if p.planCacheLen.Load() < maxBoundPlanCache {
-			if _, loaded := p.planCache.LoadOrStore(key, plan); !loaded {
-				p.planCacheLen.Add(1)
-			}
-		}
+		return cached.(*translate.Plan), nil
 	}
-	if attr == nil {
-		attr = engine.NewExecCounters()
-	}
-	ec := &exec.Ctx{Context: ctx, Counters: attr}
-	rows, err := exec.RunWith(ec, plan.Root)
+	bound := p.rewriting.Apply(sub)
+	plan, err := p.sys.planner.Build(bound)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return rows, attr.Snapshot(), nil
+	if p.planCacheLen.Load() < maxBoundPlanCache {
+		if _, loaded := p.planCache.LoadOrStore(key, plan); !loaded {
+			p.planCacheLen.Add(1)
+		}
+	}
+	return plan, nil
 }
 
 // ExecTimed is Exec plus the execution latency, for workload reports.

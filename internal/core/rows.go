@@ -1,0 +1,26 @@
+package core
+
+import (
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+)
+
+// Rows is a streaming cursor over one mediated query execution. It embeds
+// the exec-layer cursor (Next/Scan/NextChunk/Close) and adds the
+// mediator's per-execution bookkeeping: exact per-store attribution and —
+// for cursors opened through System.QueryRows — the query report, whose
+// execution fields are stamped when the cursor closes.
+type Rows struct {
+	*exec.Rows
+	attr *engine.ExecCounters
+	rep  *Report
+}
+
+// PerStore returns the work each store has performed for this execution
+// so far; the split is complete once the cursor is drained or closed.
+func (r *Rows) PerStore() map[string]engine.CounterSnapshot { return r.attr.Snapshot() }
+
+// Report returns the query report (nil for cursors opened through
+// Prepared.ExecRows). Planning fields are valid immediately; ExecTime and
+// PerStore are stamped when the cursor closes.
+func (r *Rows) Report() *Report { return r.rep }

@@ -109,36 +109,14 @@ func Run(n Node) ([]value.Tuple, error) { return RunWith(nil, n) }
 // RunWith opens a plan under an execution context and drains it batch by
 // batch, checking for cancellation once per drained batch (so a cancelled
 // context stops a long scan after at most one batch, not at some
-// power-of-two row count).
+// power-of-two row count). It is the materializing wrapper over the Rows
+// cursor; incremental consumers use Open directly.
 func RunWith(ec *Ctx, n Node) ([]value.Tuple, error) {
-	if err := ec.Err(); err != nil {
-		return nil, err
-	}
-	it, err := n.Open(ec)
+	r, err := Open(ec, n)
 	if err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	b := value.GetBatch()
-	defer value.PutBatch(b)
-	var out []value.Tuple
-	for {
-		nrows, err := it.NextBatch(b)
-		if err != nil {
-			return nil, err
-		}
-		if nrows == 0 {
-			break
-		}
-		out = append(out, b.Rows()...)
-		if err := ec.Err(); err != nil {
-			return nil, err
-		}
-	}
-	if err := ec.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return r.All()
 }
 
 // Source wraps a store access (delegated request) as a leaf node.

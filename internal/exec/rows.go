@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Rows is a streaming cursor over one open plan execution, in the style
+// of database/sql: Next advances row by row, Scan copies the current
+// row's columns out, Close releases the execution's resources. It is the
+// first-class surface of the batch pipeline — the cursor drains the plan
+// one value.Batch at a time, so consuming a result never materializes
+// more than one batch of it, and errors (including cancellation, checked
+// once per refill) travel in-band and surface from Next/NextChunk/Err.
+//
+// A Rows is single-goroutine; concurrent consumers must serialize their
+// calls. Close is idempotent and must be called exactly when the
+// consumer is done — resource hooks registered with OnClose (admission
+// slots, metrics finalizers) run only then.
+type Rows struct {
+	cols    Schema
+	ec      *Ctx
+	it      engine.BatchIterator
+	b       *value.Batch
+	pos     int
+	cur     value.Tuple
+	err     error
+	done    bool
+	closed  bool
+	onClose []func()
+}
+
+// Open starts a plan under an execution context and returns its cursor.
+// The caller owns the cursor and must Close it.
+func Open(ec *Ctx, n Node) (*Rows, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	it, err := n.Open(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cols: n.Schema(), ec: ec, it: it, b: value.GetBatch()}, nil
+}
+
+// Columns names the output columns (the plan's schema variables).
+func (r *Rows) Columns() Schema { return r.cols }
+
+// fail records the first stream error and ends iteration.
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.done = true
+}
+
+// fill refills the internal batch, reporting whether rows are available.
+// Cancellation is checked once per refill, matching the batch pipeline's
+// once-per-batch promptness guarantee.
+func (r *Rows) fill() bool {
+	if r.done || r.closed {
+		return false
+	}
+	if err := r.ec.Err(); err != nil {
+		r.fail(err)
+		return false
+	}
+	n, err := r.it.NextBatch(r.b)
+	r.pos = 0
+	if err != nil {
+		r.fail(err)
+		return false
+	}
+	if n == 0 {
+		r.done = true
+		return false
+	}
+	return true
+}
+
+// Next advances to the next row, reporting whether one is available.
+// After Next returns false, Err distinguishes exhaustion from failure.
+// The current row stays valid across further calls (tuples are immutable
+// and never recycled).
+func (r *Rows) Next() bool {
+	if r.pos >= r.b.Len() {
+		if !r.fill() {
+			r.cur = nil
+			return false
+		}
+	}
+	r.cur = r.b.Row(r.pos)
+	r.pos++
+	return true
+}
+
+// Tuple returns the current row (nil before the first Next or after
+// exhaustion).
+func (r *Rows) Tuple() value.Tuple { return r.cur }
+
+// Scan copies the current row's columns into the destinations, one per
+// column.
+func (r *Rows) Scan(dst ...*value.Value) error {
+	if r.cur == nil {
+		return fmt.Errorf("exec: Scan called without a successful Next")
+	}
+	if len(dst) != len(r.cur) {
+		return fmt.Errorf("exec: Scan expects %d destinations for %v, got %d", len(r.cur), r.cols, len(dst))
+	}
+	for i := range dst {
+		*dst[i] = r.cur[i]
+	}
+	return nil
+}
+
+// NextChunk returns the next run of buffered rows — the remainder of the
+// current batch, or a freshly drained one. It returns (nil, nil) on
+// exhaustion and (nil, err) on failure. The returned slice (and its
+// tuple headers) is only valid until the next cursor call: streaming
+// consumers encode or copy it before asking for more. This is the
+// batch-granularity hook the network layer flushes on.
+func (r *Rows) NextChunk() ([]value.Tuple, error) {
+	if r.pos >= r.b.Len() {
+		if !r.fill() {
+			return nil, r.err
+		}
+	}
+	rows := r.b.Rows()[r.pos:]
+	r.pos = r.b.Len()
+	return rows, nil
+}
+
+// Err returns the first error encountered by the cursor (nil after a
+// clean exhaustion or before any failure).
+func (r *Rows) Err() error { return r.err }
+
+// OnClose registers a hook to run when the cursor closes (last
+// registered runs first). Resource owners — admission slots, metric
+// finalizers — attach themselves here so the cursor's lifetime, not the
+// request that opened it, scopes the resources.
+func (r *Rows) OnClose(fn func()) { r.onClose = append(r.onClose, fn) }
+
+// Close releases the execution: the underlying iterators, the pooled
+// batch, and everything registered with OnClose. Idempotent; returns the
+// cursor's first error, if any.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.done = true
+	r.cur = nil
+	r.it.Close()
+	value.PutBatch(r.b)
+	r.b = value.NewBatch(1)
+	for i := len(r.onClose) - 1; i >= 0; i-- {
+		r.onClose[i]()
+	}
+	return r.err
+}
+
+// All drains the remaining rows and closes the cursor — the
+// materializing adapter the legacy slice-returning API is built on.
+func (r *Rows) All() ([]value.Tuple, error) {
+	defer r.Close()
+	var out []value.Tuple
+	for {
+		chunk, err := r.NextChunk()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		out = append(out, chunk...)
+	}
+	if err := r.ec.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+func TestRowsNextScan(t *testing.T) {
+	n := vals(Schema{"x", "y"},
+		value.TupleOf("a", 1), value.TupleOf("b", 2), value.TupleOf("c", 3))
+	r, err := Open(nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Columns().String(); got != "(x, y)" {
+		t.Errorf("columns = %s", got)
+	}
+	var xs []string
+	var x, y value.Value
+	for r.Next() {
+		if err := r.Scan(&x, &y); err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, string(x.(value.Str)))
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(xs) != 3 || xs[0] != "a" || xs[2] != "c" {
+		t.Errorf("scanned %v", xs)
+	}
+	if r.Next() {
+		t.Error("Next after exhaustion returned true")
+	}
+	if err := r.Scan(&x, &y); err == nil {
+		t.Error("Scan after exhaustion accepted")
+	}
+}
+
+func TestRowsScanArityMismatch(t *testing.T) {
+	r, err := Open(nil, vals(Schema{"x"}, value.TupleOf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Next() {
+		t.Fatal("no row")
+	}
+	var a, b value.Value
+	if err := r.Scan(&a, &b); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+// NextChunk must hand back the remainder of a partially consumed batch,
+// then whole fresh batches, and All must agree with RunWith.
+func TestRowsNextChunkAndAll(t *testing.T) {
+	rows := make([]value.Tuple, 3*value.BatchCap/2)
+	for i := range rows {
+		rows[i] = value.TupleOf(i)
+	}
+	n := &Values{Out: Schema{"x"}, Rows: rows}
+
+	r, err := Open(nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Next() { // consume one row, then switch to chunks
+		t.Fatal("no first row")
+	}
+	total := 1
+	chunks := 0
+	for {
+		chunk, err := r.NextChunk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		total += len(chunk)
+		chunks++
+	}
+	r.Close()
+	if total != len(rows) {
+		t.Errorf("chunked drain saw %d rows, want %d", total, len(rows))
+	}
+	if chunks < 2 {
+		t.Errorf("expected multiple chunks, got %d", chunks)
+	}
+
+	r2, err := Open(nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(rows) {
+		t.Errorf("All returned %d rows, want %d", len(all), len(rows))
+	}
+}
+
+func TestRowsMidStreamError(t *testing.T) {
+	sentinel := errors.New("store died mid-scan")
+	n := &Source{
+		Name: "flaky",
+		Out:  Schema{"x", "y"},
+		BatchFn: func(*Ctx) (engine.BatchIterator, error) {
+			return &failAfterBatches{n: 1, err: sentinel}, nil
+		},
+	}
+	r, err := Open(nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	seen := 0
+	for r.Next() {
+		seen++
+	}
+	if seen != value.BatchCap {
+		t.Errorf("saw %d rows before the failure, want %d", seen, value.BatchCap)
+	}
+	if !errors.Is(r.Err(), sentinel) {
+		t.Errorf("Err = %v, want sentinel", r.Err())
+	}
+	if _, err := r.NextChunk(); !errors.Is(err, sentinel) {
+		t.Errorf("NextChunk after failure = %v, want sentinel", err)
+	}
+	if !errors.Is(r.Close(), sentinel) {
+		t.Error("Close did not report the stream error")
+	}
+}
+
+func TestRowsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &endlessSource{per: 255}
+	src.onBatch = func(k int) {
+		if k == 2 {
+			cancel()
+		}
+	}
+	n := &Source{Name: "endless", Out: Schema{"x"},
+		BatchFn: func(*Ctx) (engine.BatchIterator, error) { return src, nil }}
+	r, err := Open(&Ctx{Context: ctx}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for r.Next() {
+	}
+	if !errors.Is(r.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", r.Err())
+	}
+	if src.delivered > 3 {
+		t.Errorf("cursor drained %d batches past cancellation", src.delivered)
+	}
+}
+
+func TestRowsCloseIdempotentAndHookOrder(t *testing.T) {
+	r, err := Open(nil, vals(Schema{"x"}, value.TupleOf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	r.OnClose(func() { order = append(order, 1) })
+	r.OnClose(func() { order = append(order, 2) })
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("hooks ran %v, want [2 1] exactly once", order)
+	}
+	if r.Next() {
+		t.Error("Next after Close returned true")
+	}
+	if chunk, _ := r.NextChunk(); chunk != nil {
+		t.Error("NextChunk after Close returned rows")
+	}
+}

@@ -1,0 +1,31 @@
+package service
+
+import "errors"
+
+// Typed sentinel errors. Front ends match these with errors.Is to map
+// failures to transport-level codes (the HTTP server maps client
+// mistakes — parse errors, unknown languages, missing schema, bad
+// statement handles or arguments — to 4xx, timeouts to 504, and
+// everything else to 500) instead of guessing from error text.
+var (
+	// ErrParse wraps a surface-language parse failure; the underlying
+	// lang error is appended to the message.
+	ErrParse = errors.New("service: query parse error")
+	// ErrUnknownLanguage is returned for a query language other than
+	// sql, flwor or cq.
+	ErrUnknownLanguage = errors.New("service: unknown query language (sql|flwor|cq)")
+	// ErrNoSchema is returned when a surface-language query arrives but
+	// Options.Schema was not configured.
+	ErrNoSchema = errors.New("service: no schema configured for surface languages")
+	// ErrUnknownStatement is returned by Execute for a statement ID that
+	// was never prepared or has been closed.
+	ErrUnknownStatement = errors.New("service: unknown prepared statement")
+	// ErrBadArgs is returned when Execute's argument count does not match
+	// the statement's parameter count.
+	ErrBadArgs = errors.New("service: wrong argument count for prepared statement")
+	// ErrResultTruncated is returned (in-band, after MaxResultRows rows
+	// have been delivered) when a result exceeds the configured cap — a
+	// runaway query surfaces a typed error instead of materializing
+	// without bound.
+	ErrResultTruncated = errors.New("service: result truncated at MaxResultRows")
+)

@@ -1,0 +1,258 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// Rows is the streaming result of one service query: a cursor over the
+// plan's execution that holds the query's resources — the admission slot,
+// the in-flight gauge, and the timeout context — for the cursor's
+// lifetime, not the call that opened it. The admission semaphore
+// therefore bounds live executor state, not merely time-to-first-byte.
+// Close is mandatory (and idempotent); abandoning a cursor leaks its
+// slot until the owner's TTL reaper closes it.
+//
+// Iteration mirrors exec.Rows: Next/Tuple row at a time, NextChunk a
+// drained batch at a time (the granularity network front ends flush on).
+// Appended parameter columns of the canonical query are trimmed off, so
+// consumers see the original head width. A Rows is single-goroutine.
+type Rows struct {
+	svc  *Service
+	sess *Session
+	cur  *core.Rows
+	// base is the caller's context; cancel ends the derived timeout
+	// context (released at Close).
+	base   context.Context
+	cancel context.CancelFunc
+
+	fingerprint string
+	cacheHit    bool
+	coalesced   bool
+	planTime    time.Duration
+	execStart   time.Time
+	execTime    time.Duration
+	perStore    map[string]engine.CounterSnapshot
+
+	width    int // canonical head arity (cursor row width)
+	outWidth int // original head arity (delivered row width)
+
+	limit   int64 // max rows delivered (0 = unbounded); overflow → ErrResultTruncated
+	n       int64
+	capped  bool // a chunk was cut at the limit; next call fails
+	scratch []value.Tuple
+
+	tup    value.Tuple
+	err    error
+	closed bool
+}
+
+// Fingerprint is the canonical cache key the query normalized to.
+func (r *Rows) Fingerprint() string { return r.fingerprint }
+
+// CacheHit reports whether the rewriting came from a ready cache entry.
+func (r *Rows) CacheHit() bool { return r.cacheHit }
+
+// Coalesced reports whether this query waited on a concurrent caller's
+// rewrite of the same fingerprint.
+func (r *Rows) Coalesced() bool { return r.coalesced }
+
+// PlanTime covers fingerprinting plus the cache/rewrite stage.
+func (r *Rows) PlanTime() time.Duration { return r.planTime }
+
+// ExecTime covers execution from admission to Close (valid after Close).
+func (r *Rows) ExecTime() time.Duration { return r.execTime }
+
+// PerStore is the exact per-store work of this execution (complete after
+// Close).
+func (r *Rows) PerStore() map[string]engine.CounterSnapshot {
+	if r.closed {
+		return r.perStore
+	}
+	return r.cur.PerStore()
+}
+
+// RowsServed counts the rows delivered so far.
+func (r *Rows) RowsServed() int64 { return r.n }
+
+// Columns names the delivered columns (canonical variable names, trimmed
+// to the original head width).
+func (r *Rows) Columns() []string {
+	cols := r.cur.Columns()
+	if r.outWidth < len(cols) {
+		cols = cols[:r.outWidth]
+	}
+	return append([]string(nil), cols...)
+}
+
+// Limit tightens the row cap for this cursor (a LIMIT-style guard: after
+// n rows the stream ends with ErrResultTruncated if more rows exist).
+// Only ever lowers the configured MaxResultRows; 0 or negative is
+// ignored.
+func (r *Rows) Limit(n int64) {
+	if n > 0 && (r.limit == 0 || n < r.limit) {
+		r.limit = n
+	}
+}
+
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Next advances to the next row. After it returns false, Err
+// distinguishes exhaustion (nil) from failure.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.capped || (r.limit > 0 && r.n >= r.limit) {
+		// Cap reached: fail only if the stream actually had more rows.
+		if r.capped || r.cur.Next() {
+			r.fail(ErrResultTruncated)
+		} else if err := r.cur.Err(); err != nil {
+			r.fail(err)
+		}
+		r.tup = nil
+		return false
+	}
+	if !r.cur.Next() {
+		if err := r.cur.Err(); err != nil {
+			r.fail(err)
+		}
+		r.tup = nil
+		return false
+	}
+	t := r.cur.Tuple()
+	if r.outWidth < len(t) {
+		t = t[:r.outWidth]
+	}
+	r.tup = t
+	r.n++
+	return true
+}
+
+// Tuple returns the current row (nil before the first Next or after
+// exhaustion).
+func (r *Rows) Tuple() value.Tuple { return r.tup }
+
+// NextChunk returns the next drained batch of rows, (nil, nil) on
+// exhaustion, or (nil, err) on failure. The slice is valid only until
+// the next cursor call; streaming consumers encode it, flush, then ask
+// for more — that is the once-per-batch flush cadence of the NDJSON
+// endpoint.
+func (r *Rows) NextChunk() ([]value.Tuple, error) {
+	if r.closed || r.err != nil {
+		return nil, r.err
+	}
+	if r.capped {
+		r.fail(ErrResultTruncated)
+		return nil, r.err
+	}
+	chunk, err := r.cur.NextChunk()
+	if err != nil {
+		r.fail(err)
+		return nil, r.err
+	}
+	if chunk == nil {
+		return nil, nil
+	}
+	if r.limit > 0 && r.n+int64(len(chunk)) > r.limit {
+		keep := int(r.limit - r.n)
+		r.capped = true
+		if keep == 0 {
+			r.fail(ErrResultTruncated)
+			return nil, r.err
+		}
+		chunk = chunk[:keep]
+	}
+	if r.outWidth < r.width {
+		if cap(r.scratch) < len(chunk) {
+			r.scratch = make([]value.Tuple, len(chunk))
+		}
+		s := r.scratch[:len(chunk)]
+		for i, t := range chunk {
+			if r.outWidth < len(t) {
+				t = t[:r.outWidth]
+			}
+			s[i] = t
+		}
+		chunk = s
+	}
+	r.n += int64(len(chunk))
+	return chunk, nil
+}
+
+// Err returns the first error the cursor encountered (nil after a clean
+// exhaustion).
+func (r *Rows) Err() error { return r.err }
+
+// Close releases everything the cursor holds: the execution's iterators
+// and pooled batches, the admission slot, the in-flight gauge, and the
+// timeout context. It finalizes the query's metrics (rows served,
+// errors, timeouts). Idempotent; returns the cursor's first error.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.tup = nil
+	r.cur.Close()
+	r.execTime = time.Since(r.execStart)
+	r.perStore = r.cur.PerStore()
+	r.svc.metrics.inFlight.Add(-1)
+	<-r.svc.sem
+	if r.cancel != nil {
+		r.cancel()
+	}
+	r.svc.metrics.rowsServed.Add(r.n)
+	if r.sess != nil {
+		r.sess.rows.Add(r.n)
+		r.sess.lastUse.Store(time.Now().UnixNano())
+	}
+	if r.err != nil {
+		r.svc.metrics.errors.Add(1)
+		if r.base.Err() != nil || errors.Is(r.err, context.DeadlineExceeded) || errors.Is(r.err, context.Canceled) {
+			r.svc.metrics.timeouts.Add(1)
+		}
+		if r.sess != nil {
+			r.sess.errors.Add(1)
+		}
+	}
+	return r.err
+}
+
+// Materialize drains the cursor into the legacy slice-backed Result and
+// closes it — the compatibility wrapper Query is built on.
+func (r *Rows) Materialize() (*Result, error) {
+	var rows []value.Tuple
+	for {
+		chunk, err := r.NextChunk()
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		rows = append(rows, chunk...)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:        rows,
+		Fingerprint: r.fingerprint,
+		CacheHit:    r.cacheHit,
+		Coalesced:   r.coalesced,
+		PlanTime:    r.planTime,
+		ExecTime:    r.execTime,
+		PerStore:    r.perStore,
+	}, nil
+}

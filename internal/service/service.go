@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,12 @@ type Options struct {
 	// Schema maps logical relation names to column names for the surface
 	// languages (QueryText). Nil disables text queries.
 	Schema lang.Schema
+	// MaxResultRows caps the rows any one query may deliver (0 = no cap).
+	// A materializing Query that would exceed it fails with
+	// ErrResultTruncated instead of buffering without bound; a cursor
+	// delivers exactly the cap and then surfaces ErrResultTruncated
+	// in-band if more rows existed.
+	MaxResultRows int
 }
 
 // Service is a concurrent mediator runtime over one core.System. All
@@ -51,6 +58,10 @@ type Service struct {
 	sessMu     sync.Mutex
 	sessions   map[uint64]*Session
 	nextSessID atomic.Uint64
+
+	stmtMu     sync.Mutex
+	stmts      map[uint64]*Stmt
+	nextStmtID atomic.Uint64
 }
 
 // Metrics counts service-level events. All fields are atomics; read them
@@ -72,6 +83,7 @@ type MetricsSnapshot struct {
 	Errors, Timeouts, InFlight, RowsServed     int64
 	CacheEntries                               int
 	Sessions                                   int
+	Statements                                 int
 }
 
 // New builds a service over a deployed system.
@@ -88,6 +100,7 @@ func New(sys *core.System, opts Options) *Service {
 		cache:    newPlanCache(opts.CacheShards),
 		sem:      make(chan struct{}, opts.MaxInFlight),
 		sessions: map[uint64]*Session{},
+		stmts:    map[uint64]*Stmt{},
 	}
 	s.prepare = sys.Prepare
 	return s
@@ -101,6 +114,9 @@ func (s *Service) Snapshot() MetricsSnapshot {
 	s.sessMu.Lock()
 	nSess := len(s.sessions)
 	s.sessMu.Unlock()
+	s.stmtMu.Lock()
+	nStmt := len(s.stmts)
+	s.stmtMu.Unlock()
 	return MetricsSnapshot{
 		Queries:      s.metrics.queries.Load(),
 		CacheHits:    s.metrics.hits.Load(),
@@ -112,6 +128,7 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		RowsServed:   s.metrics.rowsServed.Load(),
 		CacheEntries: s.cache.len(),
 		Sessions:     nSess,
+		Statements:   nStmt,
 	}
 }
 
@@ -136,67 +153,96 @@ type Result struct {
 }
 
 // Query answers a conjunctive query through the shared rewriting cache
-// and the admission layer.
+// and the admission layer, materializing the full result. It is a thin
+// wrapper over QueryRows; callers that can consume incrementally should
+// use the cursor directly.
 func (s *Service) Query(ctx context.Context, q pivot.CQ) (*Result, error) {
-	s.metrics.queries.Add(1)
-	res, err := s.query(ctx, q)
+	r, err := s.QueryRows(ctx, q)
 	if err != nil {
-		s.metrics.errors.Add(1)
-		if ctx.Err() != nil || err == context.DeadlineExceeded || err == context.Canceled {
-			s.metrics.timeouts.Add(1)
-		}
 		return nil, err
 	}
-	s.metrics.rowsServed.Add(int64(len(res.Rows)))
-	return res, nil
+	return r.Materialize()
+}
+
+// QueryRows answers a conjunctive query as a streaming cursor. The
+// returned Rows holds the query's admission slot and timeout context
+// until Close; nothing materializes the result on the way out.
+func (s *Service) QueryRows(ctx context.Context, q pivot.CQ) (*Rows, error) {
+	s.metrics.queries.Add(1)
+	fp, err := Canonicalize(q)
+	if err != nil {
+		s.countFailure(ctx, err, nil)
+		return nil, err
+	}
+	return s.openRows(ctx, nil, fp, fp.Args)
 }
 
 // QueryText parses a surface-language query (lang "sql", "flwor" or
-// "cq") against the configured schema and answers it.
+// "cq") against the configured schema and answers it (materialized).
 func (s *Service) QueryText(ctx context.Context, language, text string) (*Result, error) {
-	var q pivot.CQ
-	var err error
-	switch language {
-	case "sql":
-		if s.opts.Schema == nil {
-			return nil, fmt.Errorf("service: no schema configured for surface languages")
-		}
-		q, err = lang.ParseSQL(text, s.opts.Schema)
-	case "flwor":
-		if s.opts.Schema == nil {
-			return nil, fmt.Errorf("service: no schema configured for surface languages")
-		}
-		q, err = lang.ParseFLWOR(text, s.opts.Schema)
-	case "cq", "":
-		q, err = lang.ParseCQ(text)
-	default:
-		return nil, fmt.Errorf("service: unknown query language %q (sql|flwor|cq)", language)
-	}
+	q, err := s.parseText(language, text)
 	if err != nil {
 		return nil, err
 	}
 	return s.Query(ctx, q)
 }
 
-func (s *Service) query(ctx context.Context, q pivot.CQ) (*Result, error) {
-	if s.opts.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
-		defer cancel()
-	}
-	start := time.Now()
-
-	fp, err := Canonicalize(q)
+// QueryTextRows is QueryText's cursor-returning variant.
+func (s *Service) QueryTextRows(ctx context.Context, language, text string) (*Rows, error) {
+	q, err := s.parseText(language, text)
 	if err != nil {
 		return nil, err
 	}
+	return s.QueryRows(ctx, q)
+}
 
-	// Rewrite stage: shared cache, single-flight on cold misses, epoch
-	// validation against the catalog generation. The leader's PACB search
-	// runs inside an admission slot, so a burst of distinct cold
-	// fingerprints cannot run unbounded concurrent backchases.
-	epoch := s.sys.CacheEpoch()
-	prep, outcome, err := s.cache.get(ctx, fp.Key, epoch, func() (*core.Prepared, error) {
+// parseText parses one of the surface languages into a conjunctive
+// query, wrapping failures in the typed sentinel errors front ends map
+// to status codes.
+func (s *Service) parseText(language, text string) (pivot.CQ, error) {
+	var q pivot.CQ
+	var err error
+	switch language {
+	case "sql":
+		if s.opts.Schema == nil {
+			return pivot.CQ{}, ErrNoSchema
+		}
+		q, err = lang.ParseSQL(text, s.opts.Schema)
+	case "flwor":
+		if s.opts.Schema == nil {
+			return pivot.CQ{}, ErrNoSchema
+		}
+		q, err = lang.ParseFLWOR(text, s.opts.Schema)
+	case "cq", "":
+		q, err = lang.ParseCQ(text)
+	default:
+		return pivot.CQ{}, fmt.Errorf("%w: %q", ErrUnknownLanguage, language)
+	}
+	if err != nil {
+		return pivot.CQ{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return q, nil
+}
+
+// countFailure records a failed query in the service (and optional
+// session) metrics. outer is the caller's context, consulted to classify
+// timeouts.
+func (s *Service) countFailure(outer context.Context, err error, sess *Session) {
+	s.metrics.errors.Add(1)
+	if outer.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.metrics.timeouts.Add(1)
+	}
+	if sess != nil {
+		sess.errors.Add(1)
+	}
+}
+
+// leaderPrepare returns the cold-path rewrite callback for one
+// fingerprint: the leader's PACB search runs inside an admission slot,
+// so a burst of distinct cold fingerprints cannot run unbounded
+// concurrent backchases.
+func (s *Service) leaderPrepare(ctx context.Context, fp Fingerprint) func() (*core.Prepared, error) {
+	return func() (*core.Prepared, error) {
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
@@ -204,53 +250,82 @@ func (s *Service) query(ctx context.Context, q pivot.CQ) (*Result, error) {
 		}
 		defer func() { <-s.sem }()
 		return s.prepare(fp.Query, fp.Params...)
-	})
+	}
+}
+
+// openRows runs the shared pipeline behind every query and Execute call
+// — timeout context, single-flight rewrite cache, admission — and
+// returns the open cursor. The admission slot and the timeout context
+// transfer to the cursor and are released at Close, so the semaphore
+// bounds live executions, not merely the synchronous part of a call.
+// The caller has already counted metrics.queries.
+func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, args []value.Value) (*Rows, error) {
+	base := ctx
+	var cancel context.CancelFunc
+	if s.opts.QueryTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+	}
+	fail := func(err error) error {
+		if cancel != nil {
+			cancel()
+		}
+		s.countFailure(base, err, sess)
+		return err
+	}
+	start := time.Now()
+
+	// Rewrite stage: shared cache, single-flight on cold misses, epoch
+	// validation against the catalog generation.
+	epoch := s.sys.CacheEpoch()
+	prep, outcome, err := s.cache.get(ctx, fp.Key, epoch, s.leaderPrepare(ctx, fp))
 	if outcome == outcomeMiss {
 		s.metrics.misses.Add(1)
 	}
 	if err != nil {
 		// Hits/coalesced waits that surface a cached error are counted as
-		// errors by the caller, not as cache hits — a poisoned entry must
-		// not read as a healthy cache in /stats.
-		return nil, err
+		// errors, not as cache hits — a poisoned entry must not read as a
+		// healthy cache in /stats.
+		return nil, fail(err)
 	}
 	switch outcome {
 	case outcomeHit:
 		s.metrics.hits.Add(1)
+		if sess != nil {
+			sess.hits.Add(1)
+		}
 	case outcomeCoalesced:
 		s.metrics.coalesced.Add(1)
 	}
 	planTime := time.Since(start)
 
-	// Admission: bounded in-flight executions.
+	// Admission: bounded live executions. The slot is released by
+	// Rows.Close, not here.
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, fail(ctx.Err())
 	}
 	s.metrics.inFlight.Add(1)
 	execStart := time.Now()
-	rows, perStore, err := prep.ExecCtx(ctx, nil, fp.Args...)
-	s.metrics.inFlight.Add(-1)
-	<-s.sem
+	cur, err := prep.ExecRows(ctx, nil, args...)
 	if err != nil {
-		return nil, err
+		s.metrics.inFlight.Add(-1)
+		<-s.sem
+		return nil, fail(err)
 	}
-
-	// Trim appended parameter columns (constant over the whole result) back
-	// to the original head width.
-	if fp.OutWidth < fp.Query.Head.Arity() {
-		for i, r := range rows {
-			rows[i] = r[:fp.OutWidth]
-		}
-	}
-	return &Result{
-		Rows:        rows,
-		Fingerprint: fp.Key,
-		CacheHit:    outcome == outcomeHit,
-		Coalesced:   outcome == outcomeCoalesced,
-		PlanTime:    planTime,
-		ExecTime:    time.Since(execStart),
-		PerStore:    perStore,
+	return &Rows{
+		svc:         s,
+		sess:        sess,
+		cur:         cur,
+		base:        base,
+		cancel:      cancel,
+		fingerprint: fp.Key,
+		cacheHit:    outcome == outcomeHit,
+		coalesced:   outcome == outcomeCoalesced,
+		planTime:    planTime,
+		execStart:   execStart,
+		width:       fp.Query.Head.Arity(),
+		outWidth:    fp.OutWidth,
+		limit:       int64(s.opts.MaxResultRows),
 	}, nil
 }

@@ -98,6 +98,31 @@ func (sess *Session) QueryText(ctx context.Context, language, text string) (*Res
 	return sess.record(sess.svc.QueryText(ctx, language, text))
 }
 
+// QueryRows answers a conjunctive query as a streaming cursor on behalf
+// of this session. The session's row/error accounting is finalized when
+// the cursor closes.
+func (sess *Session) QueryRows(ctx context.Context, q pivot.CQ) (*Rows, error) {
+	sess.queries.Add(1)
+	sess.lastUse.Store(time.Now().UnixNano())
+	sess.svc.metrics.queries.Add(1)
+	fp, err := Canonicalize(q)
+	if err != nil {
+		sess.svc.countFailure(ctx, err, sess)
+		return nil, err
+	}
+	return sess.svc.openRows(ctx, sess, fp, fp.Args)
+}
+
+// QueryTextRows parses a surface-language query and answers it as a
+// streaming cursor on behalf of this session.
+func (sess *Session) QueryTextRows(ctx context.Context, language, text string) (*Rows, error) {
+	q, err := sess.svc.parseText(language, text)
+	if err != nil {
+		return nil, err
+	}
+	return sess.QueryRows(ctx, q)
+}
+
 func (sess *Session) record(res *Result, err error) (*Result, error) {
 	sess.queries.Add(1)
 	sess.lastUse.Store(time.Now().UnixNano())

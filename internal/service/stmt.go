@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// Stmt is a server-side prepared statement: one query shape, canonicalized
+// by service.Canonicalize so its literals become bind parameters, with the
+// PACB rewriting already run (or joined) at Prepare time. Execute binds
+// argument values through the existing core.Prepared path — no parsing,
+// no fingerprinting, no rewriting on the hot path. Statements are shared
+// infrastructure: the rewriting itself lives in the service-wide cache,
+// so a thousand statements over one shape cost one backchase, and a
+// statement whose catalog epoch went stale transparently re-prepares on
+// the next Execute.
+type Stmt struct {
+	svc      *Service
+	id       uint64
+	fp       Fingerprint
+	language string
+	text     string
+	lastUse  atomic.Int64 // unix nanos
+}
+
+// Prepare parses a surface-language query, canonicalizes it, runs (or
+// joins) its PACB rewrite, and registers the statement. The statement's
+// parameters are the distinct literals of the query text, in occurrence
+// order; Execute supplies fresh values for them.
+func (s *Service) Prepare(ctx context.Context, language, text string) (*Stmt, error) {
+	q, err := s.parseText(language, text)
+	if err != nil {
+		return nil, err
+	}
+	return s.prepareStmt(ctx, q, language, text)
+}
+
+// PrepareCQ prepares a conjunctive query as a statement (see Prepare).
+func (s *Service) PrepareCQ(ctx context.Context, q pivot.CQ) (*Stmt, error) {
+	return s.prepareStmt(ctx, q, "", "")
+}
+
+// prepareStmt canonicalizes, warms the rewriting cache, and registers
+// the statement. The Stmt is fully initialized before it is published in
+// the registry (sequential IDs make it guessable the moment it lands).
+func (s *Service) prepareStmt(ctx context.Context, q pivot.CQ, language, text string) (*Stmt, error) {
+	fp, err := Canonicalize(q)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the shared rewriting cache now, under the caller's context:
+	// Execute then starts from a ready entry (unless the catalog epoch
+	// moves, in which case it lazily re-prepares like any query).
+	epoch := s.sys.CacheEpoch()
+	_, outcome, err := s.cache.get(ctx, fp.Key, epoch, s.leaderPrepare(ctx, fp))
+	if outcome == outcomeMiss {
+		s.metrics.misses.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{svc: s, id: s.nextStmtID.Add(1), fp: fp, language: language, text: text}
+	st.lastUse.Store(time.Now().UnixNano())
+	s.stmtMu.Lock()
+	s.stmts[st.id] = st
+	s.stmtMu.Unlock()
+	return st, nil
+}
+
+// ReapStatements unregisters statements idle for longer than the given
+// duration and reports how many were removed. Long-running front ends
+// call this periodically so clients that Prepare without ever closing do
+// not grow the registry without bound (the underlying rewritings live in
+// the fingerprint-keyed cache and are unaffected).
+func (s *Service) ReapStatements(idle time.Duration) int {
+	cutoff := time.Now().Add(-idle).UnixNano()
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	n := 0
+	for id, st := range s.stmts {
+		if st.lastUse.Load() < cutoff {
+			delete(s.stmts, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Stmt returns a registered statement by ID.
+func (s *Service) Stmt(id uint64) (*Stmt, bool) {
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	st, ok := s.stmts[id]
+	return st, ok
+}
+
+// Execute runs a registered statement by ID, materializing the result.
+func (s *Service) Execute(ctx context.Context, id uint64, args ...value.Value) (*Result, error) {
+	st, ok := s.Stmt(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStatement, id)
+	}
+	return st.Execute(ctx, args...)
+}
+
+// ExecuteRows runs a registered statement by ID as a streaming cursor.
+func (s *Service) ExecuteRows(ctx context.Context, id uint64, args ...value.Value) (*Rows, error) {
+	st, ok := s.Stmt(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStatement, id)
+	}
+	return st.ExecuteRows(ctx, args...)
+}
+
+// ID returns the statement handle (the wire identifier).
+func (st *Stmt) ID() uint64 { return st.id }
+
+// NumParams returns the number of bind parameters.
+func (st *Stmt) NumParams() int { return len(st.fp.Params) }
+
+// Text returns the statement's source language and text (empty for
+// statements prepared from a pivot.CQ directly).
+func (st *Stmt) Text() (language, text string) { return st.language, st.text }
+
+// DefaultArgs returns the literal values of the prepared query text, in
+// parameter order — the binding Execute uses when a caller passes no
+// arguments.
+func (st *Stmt) DefaultArgs() []value.Value {
+	return append([]value.Value(nil), st.fp.Args...)
+}
+
+// Close unregisters the statement. Outstanding Executes finish normally;
+// the shared rewriting cache entry stays (it belongs to the fingerprint,
+// not the statement).
+func (st *Stmt) Close() {
+	st.svc.stmtMu.Lock()
+	delete(st.svc.stmts, st.id)
+	st.svc.stmtMu.Unlock()
+}
+
+// Execute binds the arguments (one per parameter; none = the prepared
+// text's own literals) and runs the statement, materializing the result.
+func (st *Stmt) Execute(ctx context.Context, args ...value.Value) (*Result, error) {
+	r, err := st.ExecuteRows(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return r.Materialize()
+}
+
+// ExecuteRows binds the arguments and runs the statement as a streaming
+// cursor holding its admission slot until Close.
+func (st *Stmt) ExecuteRows(ctx context.Context, args ...value.Value) (*Rows, error) {
+	st.svc.metrics.queries.Add(1)
+	st.lastUse.Store(time.Now().UnixNano())
+	if len(args) == 0 && len(st.fp.Params) > 0 {
+		args = st.fp.Args
+	}
+	if len(args) != len(st.fp.Params) {
+		err := fmt.Errorf("%w: statement %d takes %d argument(s), got %d",
+			ErrBadArgs, st.id, len(st.fp.Params), len(args))
+		st.svc.countFailure(ctx, err, nil)
+		return nil, err
+	}
+	return st.svc.openRows(ctx, nil, st.fp, args)
+}

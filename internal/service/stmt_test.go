@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// The prepared-statement guard (à la TestSingleFlightColdMiss): Prepare
+// of a query plus Executes of a whole literal-renamed family must run
+// exactly one PACB rewrite — including re-Prepares of constant-renamed
+// variants, which land on the same fingerprint.
+func TestPrepareExecuteSingleRewrite(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	var prepares atomic.Int64
+	inner := svc.prepare
+	svc.prepare = func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error) {
+		prepares.Add(1)
+		return inner(q, params...)
+	}
+
+	st, err := svc.Prepare(ctx, "cq", `Q(pid, qty) :- Carts('u00001', pid, qty)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 1 {
+		t.Fatalf("params = %d, want 1", st.NumParams())
+	}
+
+	uids := []string{"u00001", "u00002", "u00003", "u00004"}
+	for _, uid := range uids {
+		res, err := st.Execute(ctx, value.Str(uid))
+		if err != nil {
+			t.Fatalf("execute %s: %v", uid, err)
+		}
+		// Cross-check against the unmediated core answer.
+		direct, err := m.Sys.Query(pivot.NewCQ(
+			pivot.NewAtom("Q", v("pid"), v("qty")),
+			pivot.NewAtom("Carts", pivot.CStr(uid), v("pid"), v("qty"))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowKeysTuples(res.Rows) != rowKeysTuples(direct.Rows) {
+			t.Errorf("uid %s: statement and core disagree\nstmt: %s\ncore: %s",
+				uid, rowKeysTuples(res.Rows), rowKeysTuples(direct.Rows))
+		}
+	}
+
+	// A literal-renamed re-Prepare shares the fingerprint: new handle,
+	// zero additional rewrites.
+	st2, err := svc.Prepare(ctx, "cq", `Q(pid, qty) :- Carts('u00042', pid, qty)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID() == st.ID() {
+		t.Error("distinct Prepares returned one handle")
+	}
+	if _, err := st2.Execute(ctx, value.Str("u00002")); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := prepares.Load(); got != 1 {
+		t.Errorf("PACB rewrite ran %d times for a literal-renamed Prepare/Execute family, want exactly 1", got)
+	}
+	if got := svc.Snapshot().Statements; got != 2 {
+		t.Errorf("registered statements = %d, want 2", got)
+	}
+}
+
+// Execute with no args binds the prepared text's own literals.
+func TestExecuteDefaultArgs(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	st, err := svc.Prepare(ctx, "cq", `Q(k, val) :- Prefs('u00003', k, val)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := m.Sys.Query(pivot.NewCQ(
+		pivot.NewAtom("Q", v("k"), v("val")),
+		pivot.NewAtom("Prefs", pivot.CStr("u00003"), v("k"), v("val"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowKeysTuples(res.Rows) != rowKeysTuples(direct.Rows) {
+		t.Error("default-args Execute disagrees with the literal query")
+	}
+	if got := st.DefaultArgs(); len(got) != 1 || !value.Equal(got[0], value.Str("u00003")) {
+		t.Errorf("DefaultArgs = %v", got)
+	}
+}
+
+func TestExecuteArgAndHandleErrors(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	st, err := svc.Prepare(ctx, "cq", `Q(k, val) :- Prefs('u00001', k, val)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Execute(ctx, value.Str("a"), value.Str("b")); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("arity-mismatched Execute err = %v, want ErrBadArgs", err)
+	}
+	if _, err := svc.Execute(ctx, 99999, value.Str("a")); !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("unknown handle err = %v, want ErrUnknownStatement", err)
+	}
+	st.Close()
+	if _, ok := svc.Stmt(st.ID()); ok {
+		t.Error("closed statement still registered")
+	}
+	if _, err := svc.Execute(ctx, st.ID(), value.Str("u00001")); !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("closed handle err = %v, want ErrUnknownStatement", err)
+	}
+}
+
+// A catalog change after Prepare must transparently re-rewrite on the
+// next Execute (epoch-validated cache), not serve a stale plan.
+func TestExecuteAfterCatalogChange(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{})
+	ctx := context.Background()
+
+	var prepares atomic.Int64
+	inner := svc.prepare
+	svc.prepare = func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error) {
+		prepares.Add(1)
+		return inner(q, params...)
+	}
+
+	st, err := svc.Prepare(ctx, "cq", `Q(k, val) :- Prefs('u00001', k, val)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Execute(ctx, value.Str("u00002")); err != nil {
+		t.Fatal(err)
+	}
+	if prepares.Load() != 1 {
+		t.Fatalf("prepares = %d before catalog change, want 1", prepares.Load())
+	}
+	if err := m.Sys.DropFragment("FPH"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Execute(ctx, value.Str("u00002")); err != nil {
+		t.Fatal(err)
+	}
+	if prepares.Load() != 2 {
+		t.Errorf("prepares = %d after epoch bump, want 2 (stale entry re-prepared)", prepares.Load())
+	}
+}
