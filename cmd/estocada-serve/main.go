@@ -20,9 +20,22 @@
 //	POST /fetch              body: {"cursor":1, "max":256}
 //	                         → {"rows": [...], "done": false}
 //	POST /close              body: {"cursor":1} or {"stmt":1}
+//	POST /insert             body: {"relation":"Users","rows":[["u9","zed","nice"]]}
+//	POST /delete             body: {"relation":"Users","rows":[["u9","zed","nice"]]}
+//	                         (Content-Type application/x-ndjson switches to
+//	                         batch ingest: one {"relation":...,"row":[...]}
+//	                         record per line)
 //	GET  /stats              service metrics + per-store counters + cursors
 //	GET  /fragments          the catalog's storage descriptors
 //	GET  /healthz            liveness probe
+//
+// Writes ride the maintenance layer (internal/maintain): every insert or
+// delete against a logical base relation incrementally updates each
+// registered fragment whose definition mentions it — count-annotated
+// semi-naive deltas applied through the stores' native write APIs — and
+// the response reports the per-fragment physical change. Writes never
+// invalidate plans: prepared statements and cached rewritings stay warm
+// (only the data epoch advances).
 //
 // Result delivery is cursor-first: the default /query response
 // materializes for compatibility, "stream":true (or ?stream=1) switches
@@ -44,6 +57,12 @@
 //	curl -s localhost:8080/query -d '{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)","cursor":true}'
 //	curl -s localhost:8080/fetch -d '{"cursor":1,"max":100}'
 //	curl -s localhost:8080/close -d '{"cursor":1}'
+//	curl -s localhost:8080/insert -d '{"relation":"Users","rows":[["u90001","zed","nice"]]}'
+//	curl -s localhost:8080/delete -d '{"relation":"Users","rows":[["u90001","zed","nice"]]}'
+//	printf '%s\n%s\n' \
+//	  '{"relation":"Visits","row":["u00003","p00007",12]}' \
+//	  '{"relation":"Visits","row":["u00004","p00002",55]}' \
+//	  | curl -s localhost:8080/insert -H 'Content-Type: application/x-ndjson' --data-binary @-
 package main
 
 import (
@@ -127,12 +146,18 @@ func deploy(scen, variant string, users int, opts service.Options) (*service.Ser
 		if err != nil {
 			return nil, err
 		}
+		if _, err := m.Maintained(); err != nil {
+			return nil, fmt.Errorf("attach write path: %w", err)
+		}
 		opts.Schema = scenario.LogicalSchema
 		return service.New(m.Sys, opts), nil
 	case "bdb":
 		d, err := scenario.NewBDB(datagen.DefaultBDB(), true)
 		if err != nil {
 			return nil, err
+		}
+		if _, err := d.Maintained(); err != nil {
+			return nil, fmt.Errorf("attach write path: %w", err)
 		}
 		opts.Schema = scenario.BDBSchema
 		return service.New(d.Sys, opts), nil

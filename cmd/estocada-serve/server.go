@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -58,6 +59,8 @@ func newServer(svc *service.Service) *server {
 	})
 	s.mux.HandleFunc("/session", s.handleSession)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/insert", s.handleInsert)
+	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/prepare", s.handlePrepare)
 	s.mux.HandleFunc("/execute", s.handleExecute)
 	s.mux.HandleFunc("/fetch", s.handleFetch)
@@ -96,6 +99,12 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "bad_args"
 	case errors.Is(err, core.ErrNoPlan):
 		return http.StatusBadRequest, "no_plan"
+	case errors.Is(err, core.ErrNoDML):
+		return http.StatusBadRequest, "writes_disabled"
+	case errors.Is(err, core.ErrUnknownRelation):
+		return http.StatusNotFound, "unknown_relation"
+	case errors.Is(err, core.ErrBadWrite):
+		return http.StatusBadRequest, "bad_write"
 	case errors.Is(err, service.ErrUnknownStatement):
 		return http.StatusNotFound, "unknown_statement"
 	case errors.Is(err, errUnknownSession):
@@ -353,6 +362,171 @@ func reportJSON(rows *service.Rows, closed bool) map[string]any {
 		rep["perStore"] = perStore
 	}
 	return rep
+}
+
+// --- write path ------------------------------------------------------------
+
+// writeRequest is the one-shot JSON body of /insert and /delete.
+type writeRequest struct {
+	Relation string  `json:"relation"`
+	Rows     [][]any `json:"rows"`
+}
+
+// ingestLine is one NDJSON record of a batch ingest.
+type ingestLine struct {
+	Relation string `json:"relation"`
+	Row      []any  `json:"row"`
+}
+
+// ndjsonChunkRows bounds how many rows one WriteBatch call of an NDJSON
+// ingest carries (one admission slot per chunk, so an unbounded upload
+// cannot hold a slot forever).
+const ndjsonChunkRows = 4096
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) { s.handleWrite(w, r, false) }
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) { s.handleWrite(w, r, true) }
+
+// handleWrite serves /insert and /delete: a JSON body
+// {"relation":"Users","rows":[[...],...]} applies one batch, while
+// Content-Type application/x-ndjson streams batch ingest — one
+// {"relation":"...","row":[...]} record per line, applied in order and
+// chunked so each chunk takes one admission slot. Writes flow through the
+// maintenance layer: every fragment whose definition mentions the
+// relation is incrementally updated, and the response reports the
+// per-fragment physical deltas.
+func (s *server) handleWrite(w http.ResponseWriter, r *http.Request, del bool) {
+	if !requirePost(w, r) {
+		return
+	}
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		s.handleIngest(w, r, del)
+		return
+	}
+	var req writeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Relation == "" || len(req.Rows) == 0 {
+		s.writeError(w, fmt.Errorf("%w: write needs a relation and rows", errBadRequest))
+		return
+	}
+	rows := make([]value.Tuple, len(req.Rows))
+	for i, jr := range req.Rows {
+		rows[i] = jsonRow(jr)
+	}
+	res, err := s.svc.WriteBatch(r.Context(), []service.WriteOp{{Delete: del, Relation: req.Relation, Rows: rows}})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, writeResultJSON(res))
+}
+
+// handleIngest consumes an NDJSON upload line by line, merging consecutive
+// same-relation records into write operations and flushing a chunk per
+// ndjsonChunkRows. Totals aggregate across chunks; the first failing
+// operation aborts with the line range of the records it covered (earlier
+// chunks and operations stay applied — the mediator offers no cross-store
+// transactions).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, del bool) {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	total := &service.WriteResult{Fragments: map[string]core.FragmentDelta{}}
+	var ops []service.WriteOp
+	var opLines [][2]int // per-op [first, last] source line
+	pending := 0
+	line := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		res, err := s.svc.WriteBatch(r.Context(), ops)
+		if err != nil {
+			// Attribute the failure to the lines of the failing operation,
+			// not to wherever the chunk happened to end.
+			var opErr *service.BatchOpError
+			if errors.As(err, &opErr) && opErr.Op < len(opLines) {
+				lr := opLines[opErr.Op]
+				if lr[0] == lr[1] {
+					return fmt.Errorf("ingest line %d: %w", lr[0], opErr.Err)
+				}
+				return fmt.Errorf("ingest lines %d-%d: %w", lr[0], lr[1], opErr.Err)
+			}
+			return err
+		}
+		total.Inserted += res.Inserted
+		total.Deleted += res.Deleted
+		for name, d := range res.Fragments {
+			agg := total.Fragments[name]
+			agg.Added += d.Added
+			agg.Removed += d.Removed
+			total.Fragments[name] = agg
+		}
+		total.Latency += res.Latency
+		ops, opLines, pending = nil, nil, 0
+		return nil
+	}
+	for {
+		var rec ingestLine
+		err := dec.Decode(&rec)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			s.writeError(w, fmt.Errorf("%w: ingest line %d: %v", errBadRequest, line+1, err))
+			return
+		}
+		line++
+		if rec.Relation == "" || len(rec.Row) == 0 {
+			s.writeError(w, fmt.Errorf("%w: ingest line %d needs relation and row", errBadRequest, line))
+			return
+		}
+		row := jsonRow(rec.Row)
+		if n := len(ops); n > 0 && ops[n-1].Relation == rec.Relation {
+			ops[n-1].Rows = append(ops[n-1].Rows, row)
+			opLines[n-1][1] = line
+		} else {
+			ops = append(ops, service.WriteOp{Delete: del, Relation: rec.Relation, Rows: []value.Tuple{row}})
+			opLines = append(opLines, [2]int{line, line})
+		}
+		pending++
+		if pending >= ndjsonChunkRows {
+			if err := flush(); err != nil {
+				s.writeError(w, err)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := writeResultJSON(total)
+	out["lines"] = line
+	writeJSON(w, out)
+}
+
+// writeResultJSON renders a write result for the wire.
+func writeResultJSON(res *service.WriteResult) map[string]any {
+	frags := map[string]map[string]int{}
+	for name, d := range res.Fragments {
+		frags[name] = map[string]int{"added": d.Added, "removed": d.Removed}
+	}
+	return map[string]any{
+		"inserted":  res.Inserted,
+		"deleted":   res.Deleted,
+		"fragments": frags,
+		"latencyUs": res.Latency.Microseconds(),
+	}
+}
+
+// jsonRow maps one decoded JSON row to a tuple.
+func jsonRow(cols []any) value.Tuple {
+	t := make(value.Tuple, len(cols))
+	for i, c := range cols {
+		t[i] = jsonToValue(c)
+	}
+	return t
 }
 
 // --- paginated cursors -----------------------------------------------------

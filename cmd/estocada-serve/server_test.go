@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -443,5 +444,160 @@ func TestCursorExpiryFreesSlotsAndGoroutines(t *testing.T) {
 	}
 	if n := runtime.NumGoroutine(); n > baseline+2 {
 		t.Errorf("goroutines = %d after reap, baseline %d — executor leak", n, baseline)
+	}
+}
+
+// --- write path ------------------------------------------------------------
+
+// maintainedServer is testServer with the write path attached.
+func maintainedServer(t *testing.T, opts service.Options) *server {
+	t.Helper()
+	cfg := datagen.MarketplaceConfig{
+		Seed: 7, Users: 80, Products: 30, OrdersPerUser: 3,
+		VisitsPerUser: 4, PrefsPerUser: 2, CartItemsPerUser: 2, ZipfS: 1.2,
+	}
+	m, err := scenario.New(cfg, scenario.Materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintained(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Schema = scenario.LogicalSchema
+	return newServer(service.New(m.Sys, opts))
+}
+
+func TestInsertDeleteEndpoints(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+
+	code, resp := post(t, srv, "/insert", `{"relation":"Users","rows":[["u-w1","zed","nice"],["u-w2","yan","oslo"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("/insert status %d: %v", code, resp)
+	}
+	if resp["inserted"].(float64) != 2 {
+		t.Fatalf("/insert response: %v", resp)
+	}
+	frags := resp["fragments"].(map[string]any)
+	if fu := frags["FUsers"].(map[string]any); fu["added"].(float64) != 2 {
+		t.Fatalf("FUsers delta: %v", frags)
+	}
+
+	// The written rows are queryable.
+	code, qresp := post(t, srv, "/query", `{"lang":"cq","query":"Q(n) :- Users('u-w1', n, c)"}`)
+	if code != http.StatusOK || len(qresp["rows"].([]any)) != 1 {
+		t.Fatalf("query after insert: status %d resp %v", code, qresp)
+	}
+
+	code, resp = post(t, srv, "/delete", `{"relation":"Users","rows":[["u-w1","zed","nice"]]}`)
+	if code != http.StatusOK || resp["deleted"].(float64) != 1 {
+		t.Fatalf("/delete status %d: %v", code, resp)
+	}
+	code, qresp = post(t, srv, "/query", `{"lang":"cq","query":"Q(n) :- Users('u-w1', n, c)"}`)
+	if code != http.StatusOK || len(qresp["rows"].([]any)) != 0 {
+		t.Fatalf("query after delete: status %d resp %v", code, qresp)
+	}
+}
+
+func TestWriteErrorMapping(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+
+	code, resp := post(t, srv, "/insert", `{"relation":"Nope","rows":[["x"]]}`)
+	if code != http.StatusNotFound || errCode(t, resp) != "unknown_relation" {
+		t.Errorf("unknown relation: status %d code %q", code, errCode(t, resp))
+	}
+	code, resp = post(t, srv, "/insert", `{"relation":"Users","rows":[["too","short"]]}`)
+	if code != http.StatusBadRequest || errCode(t, resp) != "bad_write" {
+		t.Errorf("arity: status %d code %q", code, errCode(t, resp))
+	}
+	code, resp = post(t, srv, "/delete", `{"relation":"Users","rows":[["ghost","none","nowhere"]]}`)
+	if code != http.StatusBadRequest || errCode(t, resp) != "bad_write" {
+		t.Errorf("absent delete: status %d code %q", code, errCode(t, resp))
+	}
+	code, resp = post(t, srv, "/insert", `{"relation":"Users"}`)
+	if code != http.StatusBadRequest || errCode(t, resp) != "bad_request" {
+		t.Errorf("empty rows: status %d code %q", code, errCode(t, resp))
+	}
+
+	// A server whose system has no maintainer refuses writes with a
+	// structured error.
+	bare := testServer(t, service.Options{})
+	code, resp = post(t, bare, "/insert", `{"relation":"Users","rows":[["a","b","c"]]}`)
+	if code != http.StatusBadRequest || errCode(t, resp) != "writes_disabled" {
+		t.Errorf("writes disabled: status %d code %q", code, errCode(t, resp))
+	}
+}
+
+func TestNDJSONBatchIngest(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, `{"relation":"Prefs","row":["u%05d","ingest","yes"]}`+"\n", 1+i)
+	}
+	sb.WriteString(`{"relation":"Users","row":["u-nd1","nd","oslo"]}` + "\n")
+
+	req := httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(sb.String()))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", w.Code, w.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["inserted"].(float64) != 11 || resp["lines"].(float64) != 11 {
+		t.Fatalf("ingest response: %v", resp)
+	}
+
+	// Bad line surfaces its line number as a structured 400.
+	req = httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(`{"relation":"","row":[1]}`+"\n"))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad ingest line: status %d", w.Code)
+	}
+}
+
+func TestWritesVisibleToOpenStatements(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+	_, prep := post(t, srv, "/prepare", `{"lang":"cq","query":"Q(k, v) :- Prefs('u00001', k, v)"}`)
+	stmt := int(prep["stmt"].(float64))
+
+	exec := func() int {
+		_, resp := post(t, srv, "/execute", fmt.Sprintf(`{"stmt":%d,"args":["u-fresh"]}`, stmt))
+		return len(resp["rows"].([]any))
+	}
+	before := exec()
+	if before != 0 {
+		t.Fatalf("fresh user already has %d prefs", before)
+	}
+	if code, resp := post(t, srv, "/insert", `{"relation":"Prefs","rows":[["u-fresh","theme","dark"]]}`); code != http.StatusOK {
+		t.Fatalf("insert: %v", resp)
+	}
+	if after := exec(); after != 1 {
+		t.Fatalf("statement sees %d rows after write, want 1", after)
+	}
+}
+
+func TestNDJSONIngestAttributesFailingLine(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+	body := `{"relation":"Prefs","row":["u00001","ok","yes"]}` + "\n" +
+		`{"relation":"Users","row":["too","short"]}` + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := resp["error"].(map[string]any)["message"].(string)
+	if !strings.Contains(msg, "line 2") {
+		t.Errorf("failure not attributed to the offending record: %q", msg)
 	}
 }

@@ -340,7 +340,7 @@ func (p baseStatsProvider) StatsFor(pred string) (stats.FragmentStats, bool) {
 		def := f.View.Def
 		if len(def.Body) == 1 && def.Body[0].Pred == pred &&
 			def.Head.Arity() == def.Body[0].Arity() {
-			return f.Stats, true
+			return f.StatsSnapshot(), true
 		}
 	}
 	return stats.FragmentStats{}, false
@@ -349,9 +349,15 @@ func (p baseStatsProvider) StatsFor(pred string) (stats.FragmentStats, bool) {
 func cloneCatalog(c *catalog.Catalog) *catalog.Catalog {
 	out := catalog.New()
 	for _, f := range c.All() {
-		cp := *f
+		// Field-wise clone (a *f value copy would copy the fragment's
+		// stats lock); the statistics are snapshotted through it instead.
+		cp := &catalog.Fragment{
+			Name: f.Name, Dataset: f.Dataset, View: f.View, Store: f.Store,
+			Layout: f.Layout, Access: f.Access, Credentials: f.Credentials,
+			Stats: f.StatsSnapshot(),
+		}
 		// Ignore the error: source fragments are valid by construction.
-		_ = out.Register(&cp)
+		_ = out.Register(cp)
 	}
 	return out
 }

@@ -122,8 +122,32 @@ type Fragment struct {
 	// system", paper §III). Opaque to the simulator; recorded and shown in
 	// the descriptor.
 	Credentials string
-	// Stats carries the fragment statistics for cost estimation.
+	// Stats carries the fragment statistics for cost estimation. Direct
+	// field access is construction-time only: once the fragment is
+	// registered, the maintenance layer refreshes statistics concurrently
+	// with planning, so readers go through StatsSnapshot and writers
+	// through Catalog.SetStats.
 	Stats stats.FragmentStats
+
+	// statsMu guards Stats after registration (planner and advisor read
+	// while DML appliers refresh).
+	statsMu sync.RWMutex
+}
+
+// StatsSnapshot reads the fragment's current statistics. The returned
+// struct is a copy; its Distinct slice is immutable by convention (stats
+// writers always install freshly built slices).
+func (f *Fragment) StatsSnapshot() stats.FragmentStats {
+	f.statsMu.RLock()
+	defer f.statsMu.RUnlock()
+	return f.Stats
+}
+
+// setStats installs fresh statistics (callers: Catalog.SetStats).
+func (f *Fragment) setStats(st stats.FragmentStats) {
+	f.statsMu.Lock()
+	f.Stats = st
+	f.statsMu.Unlock()
 }
 
 // Validate checks the fragment definition.
@@ -174,7 +198,7 @@ func (f *Fragment) Describe() string {
 	if f.Credentials != "" {
 		fmt.Fprintf(&sb, "  creds:  %s\n", f.Credentials)
 	}
-	fmt.Fprintf(&sb, "  stats:  %d rows", f.Stats.Rows)
+	fmt.Fprintf(&sb, "  stats:  %d rows", f.StatsSnapshot().Rows)
 	return sb.String()
 }
 
@@ -261,22 +285,23 @@ func (c *Catalog) AccessPatterns() map[string]rewrite.AccessPattern {
 // StatsFor implements stats.Provider over the registered fragments.
 func (c *Catalog) StatsFor(pred string) (stats.FragmentStats, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	f, ok := c.frags[pred]
+	c.mu.RUnlock()
 	if !ok {
 		return stats.FragmentStats{}, false
 	}
-	return f.Stats, true
+	return f.StatsSnapshot(), true
 }
 
-// SetStats updates a fragment's statistics.
+// SetStats updates a fragment's statistics. Safe to call concurrently
+// with planning: readers snapshot through the fragment's stats lock.
 func (c *Catalog) SetStats(name string, st stats.FragmentStats) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	f, ok := c.frags[name]
+	c.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("catalog: no fragment %q", name)
 	}
-	f.Stats = st
+	f.setStats(st)
 	return nil
 }

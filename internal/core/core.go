@@ -63,7 +63,19 @@ type System struct {
 	// it. Plan caches outside the system (the service layer's shared
 	// rewriting cache) validate entries against the epoch they were
 	// created under, instead of being flushed wholesale.
-	epoch atomic.Uint64
+	//
+	// dataEpoch counts data generations: DML through the maintenance
+	// layer (ApplyFragmentDelta, ReloadFragment) bumps it WITHOUT
+	// touching the catalog epoch — a write changes what fragments
+	// contain, never which plan shapes are valid, so prepared statements
+	// and cached rewritings stay warm across writes. Consumers that cache
+	// data (not plans) invalidate on dataEpoch.
+	epoch     atomic.Uint64
+	dataEpoch atomic.Uint64
+
+	// dml is the attached write front door (the maintain.Maintainer);
+	// InsertInto/DeleteFrom delegate to it. Guarded by mu.
+	dml DML
 }
 
 type cacheEntry struct {

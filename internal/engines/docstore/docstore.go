@@ -119,6 +119,112 @@ func (s *Store) Insert(collName string, d *value.Doc) error {
 	return nil
 }
 
+// Delete removes every document whose scalars match ALL filters and
+// returns how many were removed. A document missing a filter path does not
+// match. The surviving documents are rebuilt into a fresh slice
+// (copy-on-write) and indexes are rebuilt, so concurrent readers holding
+// the previous snapshot are unaffected.
+func (s *Store) Delete(collName string, filters []PathFilter) (int, error) {
+	if len(filters) == 0 {
+		return 0, fmt.Errorf("docstore %s: delete without filters would drop collection %q", s.name, collName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return 0, err
+	}
+	kept := make([]*value.Doc, 0, len(c.docs))
+	removed := 0
+	for _, d := range c.docs {
+		match := true
+		for _, f := range filters {
+			v, ok := d.ScalarAt(f.Path)
+			if !ok || !value.Equal(v, f.Val) {
+				match = false
+				break
+			}
+		}
+		if match {
+			removed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	c.docs = kept
+	c.rebuildIndexes()
+	return removed, nil
+}
+
+// DeleteTuples removes every document whose projection along paths equals
+// ANY of the given tuples, in one collection pass with a single index
+// rebuild — the batched form the maintenance layer uses (per-tuple Delete
+// would rescan the collection and rebuild indexes once per tuple). A
+// document missing one of the paths matches nothing. Returns the number
+// of documents removed.
+func (s *Store) DeleteTuples(collName string, paths []string, rows []value.Tuple) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("docstore %s: delete without paths would drop collection %q", s.name, collName)
+	}
+	victims := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		victims[r.Key()] = struct{}{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return 0, err
+	}
+	kept := make([]*value.Doc, 0, len(c.docs))
+	removed := 0
+	proj := make(value.Tuple, len(paths))
+	for _, d := range c.docs {
+		match := true
+		for i, p := range paths {
+			v, ok := d.ScalarAt(p)
+			if !ok {
+				match = false
+				break
+			}
+			proj[i] = v
+		}
+		if match {
+			if _, hit := victims[proj.Key()]; hit {
+				removed++
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	c.docs = kept
+	c.rebuildIndexes()
+	return removed, nil
+}
+
+// rebuildIndexes recomputes every path index from c.docs. Callers hold
+// the store write lock; fresh maps are installed (copy-on-write).
+func (c *collection) rebuildIndexes() {
+	for path := range c.indexes {
+		ix := map[string][]int{}
+		for i, d := range c.docs {
+			if v, ok := d.ScalarAt(path); ok {
+				ix[v.Key()] = append(ix[v.Key()], i)
+			}
+		}
+		c.indexes[path] = ix
+	}
+}
+
 // CreateIndex builds a secondary index on a dotted path.
 func (s *Store) CreateIndex(collName, path string) error {
 	s.mu.Lock()

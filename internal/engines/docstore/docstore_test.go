@@ -1,6 +1,7 @@
 package docstore
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/engines/engine"
@@ -205,5 +206,88 @@ func TestEngineInterface(t *testing.T) {
 	}
 	if !e.Capabilities().Has(engine.CapNested) {
 		t.Error("document store must advertise nested results")
+	}
+}
+
+func TestDeleteByPathFilters(t *testing.T) {
+	s := New("mongo-del")
+	if err := s.CreateCollection("carts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("carts", "user"); err != nil {
+		t.Fatal(err)
+	}
+	docs := []*value.Doc{
+		value.DObj("user", "u1", "sku", "a", "qty", int64(2)),
+		value.DObj("user", "u1", "sku", "b", "qty", int64(1)),
+		value.DObj("user", "u2", "sku", "a", "qty", int64(5)),
+	}
+	for _, d := range docs {
+		if err := s.Insert("carts", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Delete("carts", []PathFilter{
+		{Path: "user", Val: value.Str("u1")}, {Path: "sku", Val: value.Str("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	// Index was rebuilt: u1 lookup finds only the surviving doc.
+	found, err := s.Find("carts", []PathFilter{{Path: "user", Val: value.Str("u1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 {
+		t.Fatalf("post-delete u1 docs = %d, want 1", len(found))
+	}
+	// Deleting without filters is refused (would drop the collection).
+	if _, err := s.Delete("carts", nil); err == nil {
+		t.Error("filterless delete succeeded")
+	}
+	// No match: zero removals, no error.
+	if n, err := s.Delete("carts", []PathFilter{{Path: "user", Val: value.Str("ghost")}}); err != nil || n != 0 {
+		t.Fatalf("absent: n=%d err=%v", n, err)
+	}
+}
+
+func TestDeleteTuplesBatched(t *testing.T) {
+	s := New("mongo-batch")
+	if err := s.CreateCollection("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Insert("c", value.DObj("a", fmt.Sprintf("k%d", i), "b", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := []string{"a", "b"}
+	n, err := s.DeleteTuples("c", paths, []value.Tuple{
+		value.TupleOf("k1", int64(1)),
+		value.TupleOf("k4", int64(4)),
+		value.TupleOf("ghost", int64(9)), // no match
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	left, err := s.Len("c")
+	if err != nil || left != 4 {
+		t.Fatalf("len = %d err=%v", left, err)
+	}
+	// Index rebuilt against survivors.
+	found, err := s.Find("c", []PathFilter{{Path: "a", Val: value.Str("k4")}})
+	if err != nil || len(found) != 0 {
+		t.Fatalf("deleted doc still indexed: %v err=%v", found, err)
+	}
+	if _, err := s.DeleteTuples("c", nil, []value.Tuple{value.TupleOf("x")}); err == nil {
+		t.Error("pathless batched delete succeeded")
 	}
 }

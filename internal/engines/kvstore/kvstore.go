@@ -12,6 +12,7 @@
 package kvstore
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -136,6 +137,39 @@ func (s *Store) Delete(collection, key string) error {
 	return nil
 }
 
+// DeleteTuple removes every stored copy of one tuple under key — the
+// tuple-level removal the maintenance layer needs where the store's native
+// Delete is key-level only. The surviving payloads are rebuilt into a
+// fresh slice (never mutated in place) and the key disappears when its
+// last tuple goes. Returns how many copies were removed.
+func (s *Store) DeleteTuple(collection, key string, t value.Tuple) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return 0, err
+	}
+	enc := value.EncodeTuple(t)
+	old := c[key]
+	kept := make([][]byte, 0, len(old))
+	removed := 0
+	for _, p := range old {
+		if bytes.Equal(p, enc) {
+			removed++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	switch {
+	case removed == 0:
+	case len(kept) == 0:
+		delete(c, key)
+	default:
+		c[key] = kept
+	}
+	return removed, nil
+}
+
 // Get fetches and decodes the tuples stored under key. A missing key yields
 // an empty slice, not an error (KV semantics).
 func (s *Store) Get(collection, key string) ([]value.Tuple, error) {
@@ -196,6 +230,42 @@ func (s *Store) Len(collection string) (int, error) {
 	return len(c), nil
 }
 
+// Dump enumerates every tuple of a collection in key order regardless of
+// the scan policy — the administrative read used by maintenance bootstrap
+// and verification. Query plans never call it: the store's contract for
+// planning remains key-only access.
+func (s *Store) Dump(collection string) ([]value.Tuple, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.coll(collection)
+	if err != nil {
+		return nil, err
+	}
+	return s.dumpLocked(collection, c)
+}
+
+// dumpLocked decodes every payload of a collection in key order. Callers
+// hold at least the read lock.
+func (s *Store) dumpLocked(collection string, c map[string][][]byte) ([]value.Tuple, error) {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []value.Tuple
+	for _, k := range keys {
+		for _, p := range c[k] {
+			t, err := value.DecodeTuple(p)
+			if err != nil {
+				return nil, fmt.Errorf("kvstore %s: corrupt payload under %q/%q: %w",
+					s.name, collection, k, err)
+			}
+			rows = append(rows, t)
+		}
+	}
+	return rows, nil
+}
+
 // ErrScanDisabled is returned by Scan unless AllowScan(true) was called.
 var ErrScanDisabled = fmt.Errorf("kvstore: full scans are disabled (key-value access pattern)")
 
@@ -215,21 +285,9 @@ func (s *Store) Scan(collection string) (engine.Iterator, error) {
 	s.counters.AddRequest()
 	s.lat.Wait()
 	s.counters.AddScan()
-	keys := make([]string, 0, len(c))
-	for k := range c {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var rows []value.Tuple
-	for _, k := range keys {
-		for _, p := range c[k] {
-			t, err := value.DecodeTuple(p)
-			if err != nil {
-				return nil, fmt.Errorf("kvstore %s: corrupt payload under %q/%q: %w",
-					s.name, collection, k, err)
-			}
-			rows = append(rows, t)
-		}
+	rows, err := s.dumpLocked(collection, c)
+	if err != nil {
+		return nil, err
 	}
 	s.counters.AddTuples(len(rows))
 	return engine.NewSliceIterator(rows), nil

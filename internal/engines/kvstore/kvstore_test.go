@@ -190,3 +190,56 @@ func TestRoundTripComplexTuple(t *testing.T) {
 		t.Errorf("round trip = %v", got[0])
 	}
 }
+
+func TestDeleteTuple(t *testing.T) {
+	s := newStore(t)
+	row1 := value.TupleOf("u1", "theme", "dark")
+	row2 := value.TupleOf("u1", "lang", "fr")
+	for _, r := range []value.Tuple{row1, row1, row2} {
+		if err := s.Append("prefs", "u1", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.DeleteTuple("prefs", "u1", row1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("removed %d copies, want 2", n)
+	}
+	got, err := s.Get("prefs", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key() != row2.Key() {
+		t.Fatalf("surviving tuples = %v", got)
+	}
+	// Removing the last tuple drops the key entirely.
+	if _, err := s.DeleteTuple("prefs", "u1", row2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Len("prefs"); n != 0 {
+		t.Fatalf("keys after last delete = %d", n)
+	}
+	// Absent tuple and absent key: zero removals, no error.
+	if n, err := s.DeleteTuple("prefs", "nope", row1); err != nil || n != 0 {
+		t.Fatalf("absent: n=%d err=%v", n, err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	s := newStore(t)
+	_ = s.Append("prefs", "b", value.TupleOf("b", "k", "v"))
+	_ = s.Append("prefs", "a", value.TupleOf("a", "k", "v"))
+	rows, err := s.Dump("prefs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].(value.Str) != "a" {
+		t.Fatalf("dump = %v (want key order, no scan policy)", rows)
+	}
+	// Dump works even though full scans are disabled for query plans.
+	if _, err := s.Scan("prefs"); !errors.Is(err, ErrScanDisabled) {
+		t.Fatalf("scan policy changed: %v", err)
+	}
+}

@@ -195,6 +195,112 @@ func (s *Store) InsertMany(table string, rows []value.Tuple) error {
 	return nil
 }
 
+// Delete removes every row equal to the given tuple from its hash
+// partition and returns how many were removed. The surviving partition is
+// rebuilt into a fresh slice (copy-on-write) and indexes are rebuilt, so
+// partition workers of an already-open parallel scan keep iterating their
+// own snapshot untouched.
+func (s *Store) Delete(table string, row value.Tuple) (int, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if len(row) != len(t.columns) {
+		return 0, fmt.Errorf("parstore %s: table %q expects %d columns, got %d",
+			s.name, table, len(t.columns), len(row))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := hashPartition(row[t.partCol], s.partitions)
+	part := t.parts[p]
+	kept := make([]value.Tuple, 0, len(part))
+	removed := 0
+	for _, r := range part {
+		if value.Equal(r, row) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.parts[p] = kept
+	t.rebuildIndexes()
+	return removed, nil
+}
+
+// DeleteMany removes every row equal to ANY of the given tuples: affected
+// partitions are rebuilt once each (copy-on-write) and indexes once
+// overall — the batched form the maintenance layer uses. Returns the total
+// number of rows removed.
+func (s *Store) DeleteMany(table string, rows []value.Tuple) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	// Group victims by their hash partition so untouched partitions keep
+	// their slices (open scans over them stay zero-cost).
+	perPart := map[int]map[string]struct{}{}
+	for _, r := range rows {
+		if len(r) != len(t.columns) {
+			return 0, fmt.Errorf("parstore %s: table %q expects %d columns, got %d",
+				s.name, table, len(t.columns), len(r))
+		}
+		p := hashPartition(r[t.partCol], s.partitions)
+		v := perPart[p]
+		if v == nil {
+			v = map[string]struct{}{}
+			perPart[p] = v
+		}
+		v[r.Key()] = struct{}{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	var keyBuf []byte
+	for p, victims := range perPart {
+		part := t.parts[p]
+		kept := make([]value.Tuple, 0, len(part))
+		before := removed
+		for _, r := range part {
+			keyBuf = value.AppendKey(keyBuf[:0], r)
+			if _, hit := victims[string(keyBuf)]; hit {
+				removed++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if removed > before {
+			t.parts[p] = kept
+		}
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.rebuildIndexes()
+	return removed, nil
+}
+
+// rebuildIndexes recomputes every secondary index from the partitions.
+// Callers hold the store write lock; fresh maps are installed, never
+// mutated in place (copy-on-write, as in Delete).
+func (t *Table) rebuildIndexes() {
+	for pos := range t.indexes {
+		ix := map[string][]rowRef{}
+		for p, part := range t.parts {
+			for off, row := range part {
+				k := row[pos].Key()
+				ix[k] = append(ix[k], rowRef{p, off})
+			}
+		}
+		t.indexes[pos] = ix
+	}
+}
+
 // CreateIndex builds a secondary index on a column (global, across
 // partitions).
 func (s *Store) CreateIndex(table, column string) error {

@@ -165,6 +165,94 @@ func (s *Store) InsertMany(table string, rows []value.Tuple) error {
 	return nil
 }
 
+// Delete removes every row equal to the given tuple and returns how many
+// were removed. The surviving rows are rebuilt into a fresh backing slice
+// (copy-on-write) and indexes are rebuilt against it, so iterators opened
+// before the delete keep reading their own consistent snapshot — a delete
+// never mutates storage an open cursor may still be scanning.
+func (s *Store) Delete(table string, row value.Tuple) (int, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if len(row) != len(t.columns) {
+		return 0, fmt.Errorf("relstore %s: table %q expects %d columns, got %d",
+			s.name, table, len(t.columns), len(row))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := make([]value.Tuple, 0, len(t.rows))
+	removed := 0
+	for _, r := range t.rows {
+		if value.Equal(r, row) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.rows = kept
+	t.rebuildIndexes()
+	return removed, nil
+}
+
+// DeleteMany removes every row equal to ANY of the given tuples in one
+// copy-on-write pass with a single index rebuild — the batched form the
+// maintenance layer uses, since per-tuple Delete would re-copy the table
+// once per tuple. Returns the total number of rows removed.
+func (s *Store) DeleteMany(table string, rows []value.Tuple) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	t, err := s.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	victims := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		if len(r) != len(t.columns) {
+			return 0, fmt.Errorf("relstore %s: table %q expects %d columns, got %d",
+				s.name, table, len(t.columns), len(r))
+		}
+		victims[r.Key()] = struct{}{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := make([]value.Tuple, 0, len(t.rows))
+	removed := 0
+	var keyBuf []byte
+	for _, r := range t.rows {
+		keyBuf = value.AppendKey(keyBuf[:0], r)
+		if _, hit := victims[string(keyBuf)]; hit {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.rows = kept
+	t.rebuildIndexes()
+	return removed, nil
+}
+
+// rebuildIndexes recomputes every secondary index from t.rows. Callers hold
+// the store write lock. Fresh maps are installed (never mutated in place)
+// for the same copy-on-write reason as Delete.
+func (t *Table) rebuildIndexes() {
+	for pos := range t.indexes {
+		ix := map[string][]int{}
+		for i, row := range t.rows {
+			k := row[pos].Key()
+			ix[k] = append(ix[k], i)
+		}
+		t.indexes[pos] = ix
+	}
+}
+
 // CreateIndex builds a secondary hash index on a column.
 func (s *Store) CreateIndex(table, column string) error {
 	t, err := s.Table(table)
@@ -214,10 +302,12 @@ func (s *Store) Scan(table string) (engine.Iterator, error) {
 	s.counters.AddRequest()
 	s.lat.Wait()
 	s.counters.AddScan()
-	s.counters.AddTuples(len(t.rows))
+	// Snapshot the slice header under the lock before counting it: a
+	// concurrent Insert rewrites t.rows, and an unlocked len() read races.
 	s.mu.RLock()
 	rows := t.rows
 	s.mu.RUnlock()
+	s.counters.AddTuples(len(rows))
 	return engine.NewSliceIterator(rows), nil
 }
 

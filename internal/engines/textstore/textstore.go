@@ -9,6 +9,7 @@ package textstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -113,6 +114,14 @@ func (s *Store) Index(collName string, doc map[string]value.Value) error {
 		stored[k] = v
 	}
 	c.docs = append(c.docs, stored)
+	c.indexDoc(pos, stored)
+	return nil
+}
+
+// indexDoc adds one document's postings and exact-match entries — shared
+// between Index (append) and DeleteMany's rebuild so tokenization and
+// posting semantics can never diverge between the two.
+func (c *index) indexDoc(pos int, doc map[string]value.Value) {
 	for field, v := range doc {
 		if c.textFields[field] {
 			if str, ok := v.(value.Str); ok {
@@ -128,7 +137,140 @@ func (s *Store) Index(collName string, doc map[string]value.Value) error {
 		}
 		fi[v.Key()] = append(fi[v.Key()], pos)
 	}
-	return nil
+}
+
+// Insert is the DML-facing write API: it stores one document exactly like
+// Index (tokenizing text fields into the inverted index). The two names
+// coexist because search engines call ingestion "indexing" while the
+// mediator's write path speaks insert/delete uniformly across stores.
+func (s *Store) Insert(collName string, doc map[string]value.Value) error {
+	return s.Index(collName, doc)
+}
+
+// Delete removes every document whose stored fields match ALL the given
+// field values (a document lacking one of the fields does not match) and
+// returns how many were removed. Because posting lists and the exact-match
+// index address documents by position, both are rebuilt from the surviving
+// documents; fresh maps and slices are installed (copy-on-write), so an
+// already-computed search result set keeps reading its own snapshot.
+func (s *Store) Delete(collName string, fields map[string]value.Value) (int, error) {
+	return s.DeleteMany(collName, []map[string]value.Value{fields})
+}
+
+// DeleteMany removes documents matching ANY of the given field-value
+// criteria (each criterion as in Delete: all its fields must match), in
+// one collection pass with a single posting/index rebuild — the batched
+// form the maintenance layer uses, since per-document Delete would rescan
+// and rebuild once per document.
+func (s *Store) DeleteMany(collName string, criteria []map[string]value.Value) (int, error) {
+	if len(criteria) == 0 {
+		return 0, nil
+	}
+	for _, fields := range criteria {
+		if len(fields) == 0 {
+			return 0, fmt.Errorf("textstore %s: delete without field filters would drop collection %q", s.name, collName)
+		}
+	}
+	// Fast path: when every criterion names the same field set (the
+	// maintenance layer always deletes with a fragment's full column
+	// set), victims collapse into one hash set keyed by the rendered
+	// field values, making the pass O(docs) instead of O(docs×criteria).
+	shared := sharedFieldSet(criteria)
+	var victims map[string]struct{}
+	if shared != nil {
+		victims = make(map[string]struct{}, len(criteria))
+		for _, fields := range criteria {
+			victims[fieldsKey(shared, fields)] = struct{}{}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(collName)
+	if err != nil {
+		return 0, err
+	}
+	kept := make([]map[string]value.Value, 0, len(c.docs))
+	removed := 0
+	for _, doc := range c.docs {
+		hit := false
+		if victims != nil {
+			complete := true
+			for _, f := range shared {
+				if _, ok := doc[f]; !ok {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				_, hit = victims[fieldsKey(shared, doc)]
+			}
+		} else {
+			for _, fields := range criteria {
+				match := true
+				for f, want := range fields {
+					got, ok := doc[f]
+					if !ok || !value.Equal(got, want) {
+						match = false
+						break
+					}
+				}
+				if match {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			removed++
+			continue
+		}
+		kept = append(kept, doc)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	c.docs = kept
+	c.inverted = map[string][]int{}
+	c.fieldIdx = map[string]map[string][]int{}
+	for pos, doc := range c.docs {
+		c.indexDoc(pos, doc)
+	}
+	return removed, nil
+}
+
+// sharedFieldSet returns the sorted field names common to every
+// criterion, or nil when the criteria name differing field sets.
+func sharedFieldSet(criteria []map[string]value.Value) []string {
+	fields := make([]string, 0, len(criteria[0]))
+	for f := range criteria[0] {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, c := range criteria[1:] {
+		if len(c) != len(fields) {
+			return nil
+		}
+		for _, f := range fields {
+			if _, ok := c[f]; !ok {
+				return nil
+			}
+		}
+	}
+	return fields
+}
+
+// fieldsKey renders the values of the given fields (all present) as one
+// length-prefixed lookup key.
+func fieldsKey(fields []string, doc map[string]value.Value) string {
+	var sb strings.Builder
+	for _, f := range fields {
+		k := doc[f].Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
 }
 
 func appendPosting(l []int, pos int) []int {

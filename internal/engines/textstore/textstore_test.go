@@ -188,3 +188,97 @@ func TestLen(t *testing.T) {
 		t.Errorf("Len = %d, %v", n, err)
 	}
 }
+
+func TestInsertAndDelete(t *testing.T) {
+	s := newCatalog(t)
+	if err := s.Insert("products", map[string]value.Value{
+		"pid": value.Str("p9"), "category": value.Str("audio"),
+		"description": value.Str("Wireless earbuds")}); err != nil {
+		t.Fatal(err)
+	}
+	hits := func(terms ...string) int {
+		it, err := s.Search("products", Query{Terms: terms, Project: []string{"pid"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := engine.Drain(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rows)
+	}
+	if got := hits("wireless"); got != 3 {
+		t.Fatalf("wireless hits after insert = %d, want 3", got)
+	}
+	n, err := s.Delete("products", map[string]value.Value{
+		"pid": value.Str("p9"), "category": value.Str("audio"),
+		"description": value.Str("Wireless earbuds")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	// Postings and field indexes are rebuilt: the deleted doc is gone and
+	// the surviving positions still resolve correctly.
+	if got := hits("wireless"); got != 2 {
+		t.Fatalf("wireless hits after delete = %d, want 2", got)
+	}
+	if got := hits("wireless", "projector"); got != 1 {
+		t.Fatalf("multi-term hits after delete = %d, want 1", got)
+	}
+	it, err := s.Search("products", Query{
+		Fields:  []FieldFilter{{Field: "pid", Val: value.Str("p3")}},
+		Project: []string{"pid", "category"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 1 || rows[0][1].(value.Str) != "video" {
+		t.Fatalf("field index after delete = %v", rows)
+	}
+	// A doc missing one of the filter fields does not match.
+	if n, err := s.Delete("products", map[string]value.Value{"nope": value.Str("x")}); err != nil || n != 0 {
+		t.Fatalf("absent field: n=%d err=%v", n, err)
+	}
+	// Filterless delete is refused.
+	if _, err := s.Delete("products", nil); err == nil {
+		t.Error("filterless delete succeeded")
+	}
+}
+
+func TestDeleteManyBatched(t *testing.T) {
+	s := newCatalog(t)
+	// Shared-field-set fast path: both criteria name pid+category+description.
+	n, err := s.DeleteMany("products", []map[string]value.Value{
+		{"pid": value.Str("p1"), "category": value.Str("audio"),
+			"description": value.Str("Wireless noise-cancelling headphones")},
+		{"pid": value.Str("p2"), "category": value.Str("audio"),
+			"description": value.Str("Wired headphones with microphone")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	it, err := s.Search("products", Query{Terms: []string{"headphones"}, Project: []string{"pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := engine.Drain(it)
+	if len(rows) != 0 {
+		t.Fatalf("headphones hits after batch delete = %v", rows)
+	}
+	// Mixed field sets fall back to the per-criterion path.
+	n, err = s.DeleteMany("products", []map[string]value.Value{
+		{"pid": value.Str("p3")},
+		{"category": value.Str("video"), "pid": value.Str("p3")},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("mixed criteria: n=%d err=%v", n, err)
+	}
+	if cnt, _ := s.Len("products"); cnt != 0 {
+		t.Fatalf("len = %d, want 0", cnt)
+	}
+}

@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// DeltaScan is a leaf over in-memory rows bound lazily at Open time — the
+// source node of the incremental-maintenance pipeline. Unlike Values,
+// which freezes its rows at plan-construction time, DeltaScan resolves
+// them through a callback on every execution, so one maintenance plan
+// (delta atom joined against the base relations) can be built once per
+// fragment and re-run for every DML batch with the current delta and base
+// state substituted — no per-write plan construction, no row copying.
+type DeltaScan struct {
+	// Name labels the scanned relation (base predicate or "Δpred") in
+	// plan explanations.
+	Name string
+	// Out names the output columns.
+	Out Schema
+	// Rows returns the current rows; called once per Open. The returned
+	// slice must stay immutable while the execution drains it (the
+	// maintenance layer guarantees this by copy-on-write updates).
+	Rows func() []value.Tuple
+}
+
+// Schema implements Node.
+func (d *DeltaScan) Schema() Schema { return d.Out }
+
+// Open implements Node.
+func (d *DeltaScan) Open(*Ctx) (engine.BatchIterator, error) {
+	return engine.NewSliceBatchIterator(d.Rows()), nil
+}
+
+// Label implements Node.
+func (d *DeltaScan) Label() string { return fmt.Sprintf("ΔScan[%s]", d.Name) }
+
+// Children implements Node.
+func (d *DeltaScan) Children() []Node { return nil }

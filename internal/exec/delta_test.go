@@ -1,0 +1,44 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDeltaScanBindsRowsAtOpen(t *testing.T) {
+	// One plan, re-run across changing delta contents: each Open must see
+	// the provider's current rows — the property the maintenance layer
+	// relies on to reuse a plan across DML batches.
+	var cur []value.Tuple
+	scan := &DeltaScan{Name: "ΔR", Out: Schema{"x", "y"}, Rows: func() []value.Tuple { return cur }}
+	join, err := NewHashJoin(scan, &Values{Out: Schema{"y", "z"}, Rows: []value.Tuple{
+		value.TupleOf("b", "z1"), value.TupleOf("c", "z2"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty delta produced %v", rows)
+	}
+
+	cur = []value.Tuple{value.TupleOf("a", "b"), value.TupleOf("a", "c")}
+	rows, err = Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rebound delta produced %v", rows)
+	}
+	if lbl := scan.Label(); lbl != "ΔScan[ΔR]" {
+		t.Errorf("label = %q", lbl)
+	}
+	if scan.Children() != nil {
+		t.Errorf("leaf node reports children")
+	}
+}

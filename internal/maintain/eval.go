@@ -1,0 +1,170 @@
+package maintain
+
+import (
+	"fmt"
+
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/value"
+)
+
+// The delta evaluator re-runs a fragment's defining conjunctive query on
+// the mediator's own vectorized executor, over count-annotated in-memory
+// relations: every atom becomes an exec.DeltaScan whose rows carry the
+// tuple plus one trailing multiplicity column, constants and repeated
+// variables become residual filters, and shared variables join naturally
+// through exec.HashJoin. The multiplicity of a derived tuple is the
+// product of its atoms' count columns — negative for deletions flowing
+// from a negative delta — which is exactly the counting algorithm for
+// non-recursive view maintenance, with semi-naive delta substitution
+// picking which atom reads the delta instead of its full relation.
+
+// countedRows renders a counted relation for the executor: each row is the
+// tuple extended with its (possibly negative) multiplicity.
+func countedRows(rel map[string]*counted) []value.Tuple {
+	out := make([]value.Tuple, 0, len(rel))
+	for _, c := range rel {
+		row := make(value.Tuple, len(c.t)+1)
+		copy(row, c.t)
+		row[len(c.t)] = value.Int(c.n)
+		out = append(out, row)
+	}
+	return out
+}
+
+// countCol names atom j's multiplicity column; the NUL prefix keeps it out
+// of any user variable namespace so it never participates in natural joins.
+func countCol(j int) string { return fmt.Sprintf("\x00c%d", j) }
+
+// anonCol names a non-joining source column (constant or repeated-variable
+// position) of atom j.
+func anonCol(j, pos int) string { return fmt.Sprintf("\x00a%d_%d", j, pos) }
+
+// atomNode compiles one body atom over its counted-row provider: a
+// DeltaScan leaf, residual equality filters for constants and repeated
+// variables, and a projection onto the atom's distinct variables plus its
+// multiplicity column.
+func atomNode(j int, a pivot.Atom, label string, rows func() []value.Tuple) (exec.Node, error) {
+	arity := a.Arity()
+	schema := make(exec.Schema, arity+1)
+	var eqConst []engine.EqFilter
+	var eqCols [][2]int
+	firstPos := map[pivot.Var]int{}
+	project := make([]string, 0, arity+1)
+	for pos, t := range a.Args {
+		switch tt := t.(type) {
+		case pivot.Var:
+			if fp, seen := firstPos[tt]; seen {
+				schema[pos] = anonCol(j, pos)
+				eqCols = append(eqCols, [2]int{fp, pos})
+			} else {
+				firstPos[tt] = pos
+				schema[pos] = string(tt)
+				project = append(project, string(tt))
+			}
+		case pivot.Const:
+			schema[pos] = anonCol(j, pos)
+			eqConst = append(eqConst, engine.EqFilter{Col: pos, Val: value.Of(tt.V)})
+		default:
+			return nil, fmt.Errorf("maintain: unsupported term %v in atom %v", t, a)
+		}
+	}
+	schema[arity] = countCol(j)
+	project = append(project, countCol(j))
+
+	var node exec.Node = &exec.DeltaScan{Name: label, Out: schema, Rows: rows}
+	if len(eqConst) > 0 || len(eqCols) > 0 {
+		node = &exec.Select{In: node, EqConst: eqConst, EqCols: eqCols}
+	}
+	return exec.NewProject(node, project)
+}
+
+// atomRole says which counted relation an atom reads during one delta
+// evaluation.
+type atomRole struct {
+	label string
+	rows  func() []value.Tuple
+}
+
+// evalCounted evaluates the conjunctive body under the given per-atom
+// roles and folds the derived multiplicities into acc (head-tuple key →
+// net count). Derivations with multiplicity 0 are dropped at the source.
+func evalCounted(head pivot.Atom, body []pivot.Atom, roles []atomRole, acc map[string]*counted) error {
+	var root exec.Node
+	for j, a := range body {
+		n, err := atomNode(j, a, roles[j].label, roles[j].rows)
+		if err != nil {
+			return err
+		}
+		if root == nil {
+			root = n
+			continue
+		}
+		root, err = exec.NewHashJoin(root, n)
+		if err != nil {
+			return err
+		}
+	}
+	rows, err := exec.Run(root)
+	if err != nil {
+		return err
+	}
+
+	schema := root.Schema()
+	cntPos := make([]int, len(body))
+	for j := range body {
+		p := schema.Pos(countCol(j))
+		if p < 0 {
+			return fmt.Errorf("maintain: lost count column of atom %d", j)
+		}
+		cntPos[j] = p
+	}
+	headPos := make([]int, head.Arity())
+	headConst := make([]value.Value, head.Arity())
+	for i, t := range head.Args {
+		switch tt := t.(type) {
+		case pivot.Var:
+			p := schema.Pos(string(tt))
+			if p < 0 {
+				return fmt.Errorf("maintain: head variable %s not bound by body", tt)
+			}
+			headPos[i] = p
+		case pivot.Const:
+			headPos[i] = -1
+			headConst[i] = value.Of(tt.V)
+		default:
+			return fmt.Errorf("maintain: unsupported head term %v", t)
+		}
+	}
+
+	var keyBuf []byte
+	for _, r := range rows {
+		n := int64(1)
+		for _, p := range cntPos {
+			c, ok := r[p].(value.Int)
+			if !ok {
+				return fmt.Errorf("maintain: non-integer multiplicity %v", r[p])
+			}
+			n *= int64(c)
+		}
+		if n == 0 {
+			continue
+		}
+		t := make(value.Tuple, len(headPos))
+		for i, p := range headPos {
+			if p < 0 {
+				t[i] = headConst[i]
+			} else {
+				t[i] = r[p]
+			}
+		}
+		keyBuf = value.AppendKey(keyBuf[:0], t)
+		if c, ok := acc[string(keyBuf)]; ok {
+			c.n += n
+		} else {
+			acc[string(keyBuf)] = &counted{t: t, n: n}
+		}
+	}
+	return nil
+}

@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/lang"
+	"repro/internal/maintain"
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
 	"repro/internal/value"
@@ -111,6 +113,29 @@ func NewBDB(cfg datagen.BDBConfig, hybrid bool) (*BDBDeploy, error) {
 		}
 	}
 	return d, nil
+}
+
+// Maintained attaches the write path to a deployed BDB instance: base
+// relations are seeded from the generated benchmark data and every
+// registered fragment (including the hybrid variant's materialized
+// Rankings⋈UserVisits join) is adopted for incremental maintenance.
+func (d *BDBDeploy) Maintained() (*maintain.Maintainer, error) {
+	// Detached until bootstrap completes (see Marketplace.Maintained).
+	mt := maintain.NewDetached(d.Sys)
+	seeds := map[string][]value.Tuple{
+		"Rankings":   d.Data.Rankings,
+		"UserVisits": d.Data.UserVisits,
+	}
+	for pred, rows := range seeds {
+		if err := mt.SeedBase(pred, rows); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", pred, err)
+		}
+	}
+	if err := mt.TrackAll(); err != nil {
+		return nil, err
+	}
+	mt.Attach()
+	return mt, nil
 }
 
 // joinRows computes the FRV extent (distinct tuples, set semantics).

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/lang"
+	"repro/internal/maintain"
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
 	"repro/internal/value"
@@ -276,6 +277,35 @@ func (m *Marketplace) purchaseHistoryRows() []value.Tuple {
 		out = append(out, row)
 	}
 	return out
+}
+
+// Maintained attaches the write path to a deployed marketplace: the
+// logical base relations are seeded from the generated source data and
+// every registered fragment (identity views and, in the Materialized
+// variant, the purchase-history join) is adopted for incremental
+// maintenance. Afterwards sys.InsertInto/DeleteFrom accept live DML.
+func (m *Marketplace) Maintained() (*maintain.Maintainer, error) {
+	// Detached until bootstrap completes: a seed or track failure must
+	// leave the system refusing writes, not serving them half-tracked.
+	mt := maintain.NewDetached(m.Sys)
+	seeds := map[string][]value.Tuple{
+		"Users":    m.Data.Users,
+		"Orders":   m.Data.Orders,
+		"Products": m.Data.Products,
+		"Visits":   m.Data.Visits,
+		"Prefs":    m.Data.Prefs,
+		"Carts":    m.Data.Carts,
+	}
+	for pred, rows := range seeds {
+		if err := mt.SeedBase(pred, rows); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", pred, err)
+		}
+	}
+	if err := mt.TrackAll(); err != nil {
+		return nil, err
+	}
+	mt.Attach()
+	return mt, nil
 }
 
 // PrefsLookupQuery is the prepared "user preferences by key" query of the

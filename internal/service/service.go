@@ -67,20 +67,23 @@ type Service struct {
 // Metrics counts service-level events. All fields are atomics; read them
 // through Snapshot.
 type Metrics struct {
-	queries    atomic.Int64 // queries admitted into Query/QueryText
-	hits       atomic.Int64 // served from a ready cache entry
-	coalesced  atomic.Int64 // waited on another caller's in-flight rewrite
-	misses     atomic.Int64 // ran the rewrite (single-flight leaders)
-	errors     atomic.Int64 // failed queries (any stage)
-	timeouts   atomic.Int64 // failures due to context deadline/cancel
-	inFlight   atomic.Int64 // currently executing (post-admission) gauge
-	rowsServed atomic.Int64 // total result rows returned
+	queries     atomic.Int64 // queries admitted into Query/QueryText
+	hits        atomic.Int64 // served from a ready cache entry
+	coalesced   atomic.Int64 // waited on another caller's in-flight rewrite
+	misses      atomic.Int64 // ran the rewrite (single-flight leaders)
+	errors      atomic.Int64 // failed queries (any stage)
+	timeouts    atomic.Int64 // failures due to context deadline/cancel
+	inFlight    atomic.Int64 // currently executing (post-admission) gauge
+	rowsServed  atomic.Int64 // total result rows returned
+	writes      atomic.Int64 // write batches admitted into WriteBatch
+	rowsWritten atomic.Int64 // total base rows inserted + deleted
 }
 
 // MetricsSnapshot is a point-in-time copy of the service metrics.
 type MetricsSnapshot struct {
 	Queries, CacheHits, Coalesced, CacheMisses int64
 	Errors, Timeouts, InFlight, RowsServed     int64
+	Writes, RowsWritten                        int64
 	CacheEntries                               int
 	Sessions                                   int
 	Statements                                 int
@@ -126,6 +129,8 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		Timeouts:     s.metrics.timeouts.Load(),
 		InFlight:     s.metrics.inFlight.Load(),
 		RowsServed:   s.metrics.rowsServed.Load(),
+		Writes:       s.metrics.writes.Load(),
+		RowsWritten:  s.metrics.rowsWritten.Load(),
 		CacheEntries: s.cache.len(),
 		Sessions:     nSess,
 		Statements:   nStmt,

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// WriteOp is one DML operation against a logical base relation.
+type WriteOp struct {
+	// Delete selects delete semantics (insert otherwise).
+	Delete bool
+	// Relation is the logical base collection.
+	Relation string
+	// Rows are the tuples to insert or delete.
+	Rows []value.Tuple
+}
+
+// BatchOpError identifies which operation of a WriteBatch failed, so
+// front ends can attribute the failure to the right record of a batch
+// ingest. It unwraps to the underlying cause for errors.Is matching.
+type BatchOpError struct {
+	// Op is the index of the failing operation within the batch.
+	Op int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *BatchOpError) Error() string { return fmt.Sprintf("batch op %d: %v", e.Op, e.Err) }
+
+// Unwrap supports errors.Is/As through the batch wrapper.
+func (e *BatchOpError) Unwrap() error { return e.Err }
+
+// WriteResult reports an applied write (batch).
+type WriteResult struct {
+	// Inserted and Deleted count base rows written.
+	Inserted, Deleted int
+	// Fragments aggregates the physical per-fragment deltas across the
+	// batch's operations.
+	Fragments map[string]core.FragmentDelta
+	// Latency is the admission-to-applied wall time.
+	Latency time.Duration
+}
+
+// Insert inserts rows into a base relation through the admission layer.
+func (s *Service) Insert(ctx context.Context, relation string, rows ...value.Tuple) (*WriteResult, error) {
+	return s.WriteBatch(ctx, []WriteOp{{Relation: relation, Rows: rows}})
+}
+
+// Delete deletes rows from a base relation through the admission layer.
+func (s *Service) Delete(ctx context.Context, relation string, rows ...value.Tuple) (*WriteResult, error) {
+	return s.WriteBatch(ctx, []WriteOp{{Delete: true, Relation: relation, Rows: rows}})
+}
+
+// WriteBatch applies a sequence of DML operations in order, under ONE
+// admission slot and the service's query timeout — writes contend with
+// queries for the same MaxInFlight budget, so a write burst cannot starve
+// the read path beyond the configured concurrency. Operations are applied
+// through core.System's DML front door (the maintenance layer), which
+// serializes writers per fragment while concurrent QueryRows cursors keep
+// streaming their own snapshots; plans, prepared statements and cached
+// rewritings stay warm (only the data epoch advances).
+//
+// Ordering within the batch is preserved; on the first failing operation
+// the batch stops and a BatchOpError naming the operation's index is
+// returned (earlier operations stay applied — the mediator offers no
+// cross-store transactions, mirroring the paper's stores).
+func (s *Service) WriteBatch(ctx context.Context, ops []WriteOp) (*WriteResult, error) {
+	s.metrics.writes.Add(1)
+	base := ctx
+	var cancel context.CancelFunc
+	if s.opts.QueryTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.countFailure(base, ctx.Err(), nil)
+		return nil, ctx.Err()
+	}
+	s.metrics.inFlight.Add(1)
+	defer func() {
+		s.metrics.inFlight.Add(-1)
+		<-s.sem
+	}()
+
+	start := time.Now()
+	res := &WriteResult{Fragments: map[string]core.FragmentDelta{}}
+	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			s.countFailure(base, err, nil)
+			return nil, err
+		}
+		var rep *core.DMLReport
+		var err error
+		if op.Delete {
+			rep, err = s.sys.DeleteFrom(op.Relation, op.Rows...)
+		} else {
+			rep, err = s.sys.InsertInto(op.Relation, op.Rows...)
+		}
+		if err != nil {
+			err = &BatchOpError{Op: i, Err: err}
+			s.countFailure(base, err, nil)
+			return nil, err
+		}
+		if op.Delete {
+			res.Deleted += rep.Rows
+		} else {
+			res.Inserted += rep.Rows
+		}
+		for name, d := range rep.Fragments {
+			agg := res.Fragments[name]
+			agg.Added += d.Added
+			agg.Removed += d.Removed
+			res.Fragments[name] = agg
+		}
+	}
+	s.metrics.rowsWritten.Add(int64(res.Inserted + res.Deleted))
+	res.Latency = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "repro/internal/value"
+
+// Incremental maintains FragmentStats under a stream of row additions and
+// removals — the statistics side of incremental view maintenance. Instead
+// of recollecting over the whole fragment after every DML batch, it keeps
+// an exact per-column counting structure (value key → reference count), so
+// distinct counts stay precise under deletions, where one-pass sketches
+// (HyperLogLog and friends) cannot decrement. Memory is proportional to
+// the number of distinct values per column, which the fragment's own store
+// already pays for its indexes.
+//
+// Incremental is not safe for concurrent use; the maintenance layer
+// serializes appliers per fragment.
+type Incremental struct {
+	rows int64
+	cols []map[string]int64
+}
+
+// NewIncremental returns empty statistics for a fragment of the given
+// arity.
+func NewIncremental(width int) *Incremental {
+	inc := &Incremental{cols: make([]map[string]int64, width)}
+	for i := range inc.cols {
+		inc.cols[i] = map[string]int64{}
+	}
+	return inc
+}
+
+// Add records n copies of a row (n may be 1 for a single insert).
+func (inc *Incremental) Add(t value.Tuple, n int64) {
+	if n <= 0 {
+		return
+	}
+	inc.rows += n
+	for i := range inc.cols {
+		if i < len(t) {
+			inc.cols[i][t[i].Key()] += n
+		}
+	}
+}
+
+// Remove records the removal of n copies of a row. Counts clamp at zero:
+// removing a row that was never added is the caller's bug, but must not
+// corrupt the remaining statistics.
+func (inc *Incremental) Remove(t value.Tuple, n int64) {
+	if n <= 0 {
+		return
+	}
+	inc.rows -= n
+	if inc.rows < 0 {
+		inc.rows = 0
+	}
+	for i := range inc.cols {
+		if i >= len(t) {
+			continue
+		}
+		k := t[i].Key()
+		c := inc.cols[i][k] - n
+		if c > 0 {
+			inc.cols[i][k] = c
+		} else {
+			delete(inc.cols[i], k)
+		}
+	}
+}
+
+// Rows returns the current row count.
+func (inc *Incremental) Rows() int64 { return inc.rows }
+
+// Stats renders the current FragmentStats snapshot for the catalog.
+func (inc *Incremental) Stats() FragmentStats {
+	st := FragmentStats{Rows: inc.rows, Distinct: make([]int64, len(inc.cols))}
+	for i, m := range inc.cols {
+		st.Distinct[i] = int64(len(m))
+	}
+	return st
+}

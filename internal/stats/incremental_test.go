@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestIncrementalTracksCollect(t *testing.T) {
+	// After any add/remove sequence, Stats() must equal Collect over the
+	// surviving multiset.
+	inc := NewIncremental(2)
+	rows := []value.Tuple{
+		value.TupleOf("a", 1), value.TupleOf("a", 2), value.TupleOf("b", 1),
+		value.TupleOf("b", 1), value.TupleOf("c", 3),
+	}
+	for _, r := range rows {
+		inc.Add(r, 1)
+	}
+	inc.Remove(value.TupleOf("b", 1), 1)
+	inc.Remove(value.TupleOf("c", 3), 1)
+
+	survivors := []value.Tuple{
+		value.TupleOf("a", 1), value.TupleOf("a", 2), value.TupleOf("b", 1),
+	}
+	want := Collect(survivors)
+	got := inc.Stats()
+	if got.Rows != want.Rows {
+		t.Errorf("rows = %d, want %d", got.Rows, want.Rows)
+	}
+	for i := range want.Distinct {
+		if got.Distinct[i] != want.Distinct[i] {
+			t.Errorf("distinct[%d] = %d, want %d", i, got.Distinct[i], want.Distinct[i])
+		}
+	}
+}
+
+func TestIncrementalMulticountAndClamp(t *testing.T) {
+	inc := NewIncremental(1)
+	inc.Add(value.TupleOf("x"), 3)
+	if inc.Rows() != 3 {
+		t.Fatalf("rows = %d", inc.Rows())
+	}
+	if d := inc.Stats().Distinct[0]; d != 1 {
+		t.Fatalf("distinct = %d", d)
+	}
+	inc.Remove(value.TupleOf("x"), 2)
+	if inc.Rows() != 1 || inc.Stats().Distinct[0] != 1 {
+		t.Fatalf("after partial remove: rows=%d distinct=%d", inc.Rows(), inc.Stats().Distinct[0])
+	}
+	inc.Remove(value.TupleOf("x"), 1)
+	if inc.Rows() != 0 || inc.Stats().Distinct[0] != 0 {
+		t.Fatalf("after full remove: rows=%d distinct=%d", inc.Rows(), inc.Stats().Distinct[0])
+	}
+	// Over-removal clamps instead of corrupting.
+	inc.Remove(value.TupleOf("x"), 5)
+	if inc.Rows() != 0 {
+		t.Fatalf("clamped rows = %d", inc.Rows())
+	}
+	// No-op signs.
+	inc.Add(value.TupleOf("y"), 0)
+	inc.Remove(value.TupleOf("y"), -1)
+	if inc.Rows() != 0 {
+		t.Fatalf("no-op changed rows to %d", inc.Rows())
+	}
+}

@@ -406,7 +406,7 @@ func (p *Planner) estimate(r pivot.CQ, frags []*catalog.Fragment, order []int, d
 			kind = eng.Kind()
 		}
 		factors := stats.DefaultCostFactors(kind)
-		st := f.Stats
+		st := f.StatsSnapshot()
 		rows := float64(st.Rows)
 		if rows < 1 {
 			rows = 1
