@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke
+.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke fuzz-smoke chaos
 
 all: check
 
@@ -45,3 +45,18 @@ test-race:
 # Quick allocation check of the rewriting hot path.
 bench-smoke:
 	$(GO) test -run xxx -bench 'E3|HomSearch|ChaseSaturation' -benchtime=1x -benchmem
+
+# Short coverage-guided runs of the three parser fuzz targets (the
+# committed corpora under internal/lang/testdata/fuzz always run as part
+# of `make test`; this adds fresh exploration). FUZZTIME scales the run.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseSQL -fuzztime $(FUZZTIME) ./internal/lang/
+	$(GO) test -fuzz FuzzParseFLWOR -fuzztime $(FUZZTIME) ./internal/lang/
+	$(GO) test -fuzz FuzzParseCQ -fuzztime $(FUZZTIME) ./internal/lang/
+
+# Fault-injection suite under the race detector: chaos workloads, the
+# injector unit tests, the differential fuzz oracle and the HTTP fault
+# admin paths.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/engines/engine/ ./internal/langfuzz/ ./cmd/estocada-serve/

@@ -32,6 +32,9 @@ var (
 
 func main() {
 	flag.Parse()
+	if *users <= 0 {
+		log.Fatalf("-users must be positive, got %d", *users)
+	}
 	fmt.Println("ESTOCADA experiment harness — reproduction of ICDE'16 demo claims")
 	fmt.Printf("(marketplace: %d users; best of %d rounds per measurement)\n\n", *users, *rounds)
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engines/engine"
 	"repro/internal/service"
 	"repro/internal/value"
 )
@@ -67,6 +68,7 @@ func newServer(svc *service.Service) *server {
 	s.mux.HandleFunc("/close", s.handleClose)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/fragments", s.handleFragments)
+	s.mux.HandleFunc("/fault", s.handleFault)
 	return s
 }
 
@@ -115,6 +117,13 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, service.ErrResultTruncated):
 		return http.StatusUnprocessableEntity, "result_truncated"
+	// Store-attributed failures come before the generic timeout case so a
+	// stalled store's deadline expiry reports which layer failed: the
+	// mediator is healthy, one of its stores is not.
+	case errors.Is(err, service.ErrStoreUnavailable):
+		return http.StatusServiceUnavailable, "store_unavailable"
+	case errors.Is(err, service.ErrStoreTimeout):
+		return http.StatusGatewayTimeout, "store_timeout"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, "timeout"
 	default:
@@ -692,10 +701,111 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{
-		"service": snap,
-		"stores":  stores,
-		"cursors": s.cursorCount(),
+		"service":  snap,
+		"stores":   stores,
+		"cursors":  s.cursorCount(),
+		"breakers": s.svc.Breakers(),
 	})
+}
+
+// --- fault administration ---------------------------------------------------
+
+// faultRequest is the POST body of /fault: the target store ("*" applies
+// to every registered store), either clear or a new policy, plus optional
+// one-shot deterministic failure budgets.
+type faultRequest struct {
+	Store            string  `json:"store"`
+	Clear            bool    `json:"clear"`
+	ErrorRate        float64 `json:"errorRate"`
+	WriteErrorRate   float64 `json:"writeErrorRate"`
+	StallMs          int64   `json:"stallMs"`
+	JitterMs         int64   `json:"jitterMs"`
+	FailAfterBatches int     `json:"failAfterBatches"`
+	FailNextReads    int     `json:"failNextReads"`
+	FailNextWrites   int     `json:"failNextWrites"`
+	Seed             int64   `json:"seed"`
+}
+
+// faultJSON renders one injector snapshot for the wire.
+func faultJSON(snap engine.FaultSnapshot) map[string]any {
+	return map[string]any{
+		"store":             snap.Store,
+		"errorRate":         snap.Config.ErrorRate,
+		"writeErrorRate":    snap.Config.WriteErrorRate,
+		"stallMs":           snap.Config.Stall.Milliseconds(),
+		"jitterMs":          snap.Config.Jitter.Milliseconds(),
+		"failAfterBatches":  snap.Config.FailAfterBatches,
+		"injectedReads":     snap.InjectedReads,
+		"injectedWrites":    snap.InjectedWrites,
+		"pendingFailReads":  snap.PendingFailReads,
+		"pendingFailWrites": snap.PendingFailWrites,
+	}
+}
+
+// handleFault is the chaos-run admin surface. GET lists every store's
+// injector state; POST configures one store (or "*" for all): a policy
+// {"store":"pg","errorRate":0.2,"stallMs":50}, one-shot budgets
+// {"store":"redis","failNextWrites":1}, or {"store":"*","clear":true}.
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	engines := s.svc.System().Stores.All()
+	if r.Method == http.MethodGet {
+		out := make([]map[string]any, 0, len(engines))
+		for _, e := range engines {
+			out = append(out, faultJSON(e.Fault().Snapshot()))
+		}
+		writeJSON(w, map[string]any{"faults": out})
+		return
+	}
+	if !requirePost(w, r) {
+		return
+	}
+	var req faultRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Store == "" {
+		s.writeError(w, fmt.Errorf("%w: fault config needs a store name (or \"*\")", errBadRequest))
+		return
+	}
+	var targets []engine.Engine
+	if req.Store == "*" {
+		targets = engines
+	} else {
+		for _, e := range engines {
+			if e.Name() == req.Store {
+				targets = append(targets, e)
+				break
+			}
+		}
+		if len(targets) == 0 {
+			s.writeError(w, fmt.Errorf("%w: no store %q", errBadRequest, req.Store))
+			return
+		}
+	}
+	out := make([]map[string]any, 0, len(targets))
+	for _, e := range targets {
+		f := e.Fault()
+		if req.Clear {
+			f.Clear()
+		} else {
+			f.Configure(engine.FaultConfig{
+				ErrorRate:        req.ErrorRate,
+				WriteErrorRate:   req.WriteErrorRate,
+				Stall:            time.Duration(req.StallMs) * time.Millisecond,
+				Jitter:           time.Duration(req.JitterMs) * time.Millisecond,
+				FailAfterBatches: req.FailAfterBatches,
+				Seed:             req.Seed,
+			})
+			if req.FailNextReads > 0 {
+				f.FailNextReads(req.FailNextReads)
+			}
+			if req.FailNextWrites > 0 {
+				f.FailNextWrites(req.FailNextWrites)
+			}
+		}
+		out = append(out, faultJSON(f.Snapshot()))
+	}
+	writeJSON(w, map[string]any{"faults": out})
 }
 
 func (s *server) handleFragments(w http.ResponseWriter, r *http.Request) {

@@ -581,6 +581,165 @@ func TestWritesVisibleToOpenStatements(t *testing.T) {
 	}
 }
 
+// The chaos-admin satellite: /fault configures injectors over the wire,
+// and injected failures map to 503 with the store_unavailable code.
+func TestFaultAdminEndpoint(t *testing.T) {
+	srv := testServer(t, service.Options{RetryBackoff: time.Millisecond})
+
+	// GET lists one inert injector per registered store.
+	req := httptest.NewRequest(http.MethodGet, "/fault", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var listing map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	faults, ok := listing["faults"].([]any)
+	if !ok || len(faults) == 0 {
+		t.Fatalf("GET /fault listing: %v", listing)
+	}
+	for _, f := range faults {
+		if f.(map[string]any)["errorRate"].(float64) != 0 {
+			t.Fatalf("injector not inert at start: %v", f)
+		}
+	}
+
+	// Unknown store and missing store are structured 400s.
+	if code, resp := post(t, srv, "/fault", `{"store":"nope","errorRate":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown store: status %d %v", code, resp)
+	}
+	if code, resp := post(t, srv, "/fault", `{"errorRate":1}`); code != http.StatusBadRequest {
+		t.Fatalf("missing store: status %d %v", code, resp)
+	}
+
+	// Arm every store; queries now fail 503 with the typed code.
+	if code, resp := post(t, srv, "/fault", `{"store":"*","errorRate":1,"seed":42}`); code != http.StatusOK {
+		t.Fatalf("arm: status %d %v", code, resp)
+	}
+	code, resp := post(t, srv, "/query", visitsScan)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("query under faults: status %d, want 503 (%v)", code, resp)
+	}
+	if got := errCode(t, resp); got != "store_unavailable" {
+		t.Errorf("code = %q, want store_unavailable", got)
+	}
+
+	// Clear restores service; the snapshot remembers the injected count.
+	if code, resp := post(t, srv, "/fault", `{"store":"*","clear":true}`); code != http.StatusOK {
+		t.Fatalf("clear: status %d %v", code, resp)
+	}
+	if code, resp := post(t, srv, "/query", visitsScan); code != http.StatusOK {
+		t.Fatalf("query after clear: status %d %v", code, resp)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/fault", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, f := range listing["faults"].([]any) {
+		total += f.(map[string]any)["injectedReads"].(float64)
+	}
+	if total == 0 {
+		t.Errorf("no injected reads tallied across stores: %v", listing)
+	}
+}
+
+// A store stalled past the query deadline maps to 504 with the
+// store-attributed code (not the generic "timeout").
+func TestStalledStoreMapsTo504(t *testing.T) {
+	srv := testServer(t, service.Options{QueryTimeout: 30 * time.Millisecond})
+	if code, resp := post(t, srv, "/fault", `{"store":"*","stallMs":2000}`); code != http.StatusOK {
+		t.Fatalf("arm: status %d %v", code, resp)
+	}
+	start := time.Now()
+	code, resp := post(t, srv, "/query", visitsScan)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled query took %v; stall not cancelled by deadline", elapsed)
+	}
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%v)", code, resp)
+	}
+	if got := errCode(t, resp); got != "store_timeout" {
+		t.Errorf("code = %q, want store_timeout", got)
+	}
+}
+
+// An injected write fault maps to a typed 503, not a blanket 500: the
+// write path classifies store-attributed failures like the read path.
+func TestWriteFaultMapsTo503(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+	if code, resp := post(t, srv, "/fault", `{"store":"pg","failNextWrites":1}`); code != http.StatusOK {
+		t.Fatalf("arm: status %d %v", code, resp)
+	}
+	body := `{"relation":"Users","rows":[["u-faulted","verify","nice"]]}`
+	code, resp := post(t, srv, "/insert", body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("insert under write fault: status %d, want 503 (%v)", code, resp)
+	}
+	if got := errCode(t, resp); got != "store_unavailable" {
+		t.Errorf("code = %q, want store_unavailable", got)
+	}
+	// The one-shot budget is spent; the retry lands.
+	if code, resp = post(t, srv, "/insert", body); code != http.StatusOK {
+		t.Fatalf("insert after budget spent: status %d %v", code, resp)
+	}
+}
+
+// Breaker state shows up in /stats once a store starts failing.
+func TestStatsExposesBreakers(t *testing.T) {
+	srv := testServer(t, service.Options{
+		RetryBackoff: time.Millisecond, BreakerThreshold: 2, BreakerCooldown: time.Minute,
+	})
+	post(t, srv, "/fault", `{"store":"*","errorRate":1,"seed":7}`)
+	for i := 0; i < 3; i++ {
+		post(t, srv, "/query", visitsScan)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var stats map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	brk, ok := stats["breakers"].(map[string]any)
+	if !ok || len(brk) == 0 {
+		t.Fatalf("no breaker state in /stats: %v", stats)
+	}
+	open := false
+	for _, st := range brk {
+		if st.(map[string]any)["open"].(bool) {
+			open = true
+		}
+	}
+	if !open {
+		t.Errorf("no breaker open after repeated failures: %v", brk)
+	}
+}
+
+// A syntactically broken NDJSON line is a structured 400 attributed to
+// its line number — never a 500.
+func TestNDJSONIngestGarbageLine(t *testing.T) {
+	srv := maintainedServer(t, service.Options{})
+	body := `{"relation":"Prefs","row":["u00001","ok","yes"]}` + "\n" +
+		`this is not json` + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", w.Code, w.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := resp["error"].(map[string]any)["code"].(string); code != "bad_request" {
+		t.Errorf("code = %q, want bad_request", code)
+	}
+}
+
 func TestNDJSONIngestAttributesFailingLine(t *testing.T) {
 	srv := maintainedServer(t, service.Options{})
 	body := `{"relation":"Prefs","row":["u00001","ok","yes"]}` + "\n" +

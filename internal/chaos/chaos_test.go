@@ -1,0 +1,315 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engines/engine"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+// deploy builds a maintained marketplace (DML enabled) behind the
+// service layer.
+func deploy(t testing.TB, variant scenario.Variant, opts service.Options) (*service.Service, *scenario.Marketplace) {
+	t.Helper()
+	cfg := datagen.MarketplaceConfig{
+		Seed: 5, Users: 60, Products: 24, OrdersPerUser: 2,
+		VisitsPerUser: 3, PrefsPerUser: 2, CartItemsPerUser: 1, ZipfS: 1.2,
+	}
+	m, err := scenario.New(cfg, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Maintained(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Schema = scenario.LogicalSchema
+	return service.New(m.Sys, opts), m
+}
+
+// armAll configures every registered store's injector.
+func armAll(m *scenario.Marketplace, cfg engine.FaultConfig) {
+	for _, e := range m.Sys.Stores.All() {
+		cfg.Seed++ // distinct deterministic streams per store
+		e.Fault().Configure(cfg)
+	}
+}
+
+func clearAll(m *scenario.Marketplace) {
+	for _, e := range m.Sys.Stores.All() {
+		e.Fault().Clear()
+	}
+}
+
+// chaosQueries are read queries touching every store the variants use:
+// pg (Users, Orders), solr (Products), spark (Visits), and redis or
+// mongo depending on the variant (Carts, Prefs — key-bound, so the KV
+// layout's access pattern is satisfiable).
+var chaosQueries = []string{
+	"Q(u, n, c) :- Users(u, n, c)",
+	"Q(n, p) :- Users(u, n, c), Orders(o, u, p, a)",
+	"Q(p, c) :- Products(p, c, d)",
+	"Q(u, p, d) :- Visits(u, p, d)",
+	"Q(p, q) :- Carts('u00005', p, q)",
+	"Q(k, v) :- Prefs('u00003', k, v)",
+}
+
+// typedReadError accepts exactly the failure taxonomy a read is allowed
+// to surface under chaos.
+func typedReadError(err error) bool {
+	return errors.Is(err, service.ErrStoreUnavailable) ||
+		errors.Is(err, service.ErrStoreTimeout) ||
+		errors.Is(err, service.ErrResultTruncated) ||
+		errors.Is(err, core.ErrNoPlan) ||
+		errors.Is(err, engine.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// typedWriteError accepts the write-path taxonomy: an attributed batch
+// operation failure, or a timeout.
+func typedWriteError(err error) bool {
+	var op *service.BatchOpError
+	return errors.As(err, &op) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// TestChaosMixedWorkload runs concurrent materialized queries, streaming
+// cursors and DML while every store injects errors, stalls and
+// mid-stream breaks. Every failure must carry the typed taxonomy; after
+// the storm clears, the service must serve queries again with no
+// admission slot leaked.
+func TestChaosMixedWorkload(t *testing.T) {
+	for _, variant := range []scenario.Variant{scenario.Baseline, scenario.Materialized} {
+		t.Run(variant.String(), func(t *testing.T) {
+			svc, m := deploy(t, variant, service.Options{
+				QueryTimeout:     2 * time.Second,
+				RetryBackoff:     time.Millisecond,
+				BreakerThreshold: 8,
+				BreakerCooldown:  50 * time.Millisecond,
+			})
+			armAll(m, engine.FaultConfig{
+				ErrorRate:      0.08,
+				WriteErrorRate: 0.08,
+				Stall:          50 * time.Microsecond,
+				Jitter:         200 * time.Microsecond,
+				Seed:           1000,
+			})
+			// One store additionally breaks read streams mid-flight.
+			if eng, ok := m.Sys.Stores.Engine("spark"); ok {
+				cfg := eng.Fault().Config()
+				cfg.FailAfterBatches = 2
+				eng.Fault().Configure(cfg)
+			}
+
+			const iterations = 30
+			ctx := context.Background()
+			var wg sync.WaitGroup
+
+			// Materialized readers.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iterations; i++ {
+						q := chaosQueries[(g+i)%len(chaosQueries)]
+						_, err := svc.QueryText(ctx, "cq", q)
+						if err != nil && !typedReadError(err) {
+							t.Errorf("reader: untyped error on %q: %v", q, err)
+							return
+						}
+					}
+				}(g)
+			}
+			// Streaming-cursor readers (some cursors abandoned mid-drain).
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iterations; i++ {
+						q := chaosQueries[(g+2*i)%len(chaosQueries)]
+						rows, err := svc.QueryTextRows(ctx, "cq", q)
+						if err != nil {
+							if !typedReadError(err) {
+								t.Errorf("cursor open: untyped error on %q: %v", q, err)
+								return
+							}
+							continue
+						}
+						drained := 0
+						for rows.Next() {
+							drained++
+							if i%5 == 0 && drained >= 3 {
+								break // abandon mid-stream; Close must still release
+							}
+						}
+						if err := rows.Close(); err != nil && !typedReadError(err) {
+							t.Errorf("cursor close: untyped error on %q: %v", q, err)
+							return
+						}
+					}
+				}(g)
+			}
+			// Writers: insert-then-delete unique rows (deletes may hit rows
+			// whose insert was injected away — that failure is typed too).
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iterations; i++ {
+						uid := fmt.Sprintf("uz%d-%d", g, i)
+						row := value.TupleOf(uid, "chaos", "paris")
+						if _, err := svc.Insert(ctx, "Users", row); err != nil && !typedWriteError(err) {
+							t.Errorf("insert: untyped error: %v", err)
+							return
+						}
+						if _, err := svc.Delete(ctx, "Users", row); err != nil && !typedWriteError(err) {
+							t.Errorf("delete: untyped error: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			// Calm after the storm: clear faults, let breakers cool down,
+			// and require the service to recover.
+			clearAll(m)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if _, err := svc.QueryText(ctx, "cq", chaosQueries[0]); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("service did not recover after faults cleared")
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if got := svc.Snapshot().InFlight; got != 0 {
+				t.Fatalf("InFlight = %d after chaos, want 0 (admission slot leaked)", got)
+			}
+		})
+	}
+}
+
+// TestStalledStoreReturnsTypedTimeout is the acceptance guard: with one
+// store stalled far past the query deadline, the query returns promptly
+// with ErrStoreTimeout — the stall is cancelled, not served.
+func TestStalledStoreReturnsTypedTimeout(t *testing.T) {
+	svc, m := deploy(t, scenario.Baseline, service.Options{QueryTimeout: 50 * time.Millisecond})
+	if eng, ok := m.Sys.Stores.Engine("spark"); ok {
+		eng.Fault().Configure(engine.FaultConfig{Stall: 30 * time.Second})
+	} else {
+		t.Fatal("no spark store")
+	}
+	start := time.Now()
+	_, err := svc.QueryText(context.Background(), "cq", "Q(u, p, d) :- Visits(u, p, d)")
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled query took %v; deadline did not cut the stall", elapsed)
+	}
+	if !errors.Is(err, service.ErrStoreTimeout) {
+		t.Fatalf("err = %v, want ErrStoreTimeout", err)
+	}
+	if got := svc.Snapshot().InFlight; got != 0 {
+		t.Fatalf("InFlight = %d after timeout, want 0", got)
+	}
+}
+
+// TestWriteFaultRollsBackCleanly: a deterministic injected write failure
+// must leave base and fragments exactly as before — the failed insert is
+// invisible, and the next attempt succeeds.
+func TestWriteFaultRollsBackCleanly(t *testing.T) {
+	svc, m := deploy(t, scenario.Materialized, service.Options{})
+	ctx := context.Background()
+	countUsers := func() int {
+		res, err := svc.QueryText(ctx, "cq", "Q(u, n, c) :- Users(u, n, c)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Rows)
+	}
+	before := countUsers()
+
+	eng, ok := m.Sys.Stores.Engine("pg")
+	if !ok {
+		t.Fatal("no pg store")
+	}
+	eng.Fault().FailNextWrites(1)
+	row := value.TupleOf("u-roll", "rollback", "lille")
+	_, err := svc.Insert(ctx, "Users", row)
+	if err == nil {
+		t.Fatal("insert under injected write fault succeeded")
+	}
+	if !errors.Is(err, engine.ErrInjected) {
+		t.Fatalf("error chain lost the injected cause: %v", err)
+	}
+	var op *service.BatchOpError
+	if !errors.As(err, &op) {
+		t.Fatalf("write failure not attributed to its batch op: %v", err)
+	}
+	if got := countUsers(); got != before {
+		t.Fatalf("rollback incomplete: %d users, want %d", got, before)
+	}
+	res, err := svc.QueryText(ctx, "cq", "Q(n) :- Users('u-roll', n, c)")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("failed insert left the row visible: rows=%v err=%v", res, err)
+	}
+
+	// The budget is spent; the retry goes through and the row appears.
+	if _, err := svc.Insert(ctx, "Users", row); err != nil {
+		t.Fatalf("insert after fault: %v", err)
+	}
+	if got := countUsers(); got != before+1 {
+		t.Fatalf("after retry: %d users, want %d", got, before+1)
+	}
+}
+
+// TestMidStreamFaultSurfacesInBandAndReleasesSlot: a stream that breaks
+// after N batches must surface a typed in-band error on every open
+// cursor and release its admission slot at Close — repeatedly, under a
+// tiny MaxInFlight, so a leak would deadlock the loop.
+func TestMidStreamFaultSurfacesInBandAndReleasesSlot(t *testing.T) {
+	svc, m := deploy(t, scenario.Baseline, service.Options{
+		MaxInFlight:      2,
+		QueryTimeout:     2 * time.Second,
+		BreakerThreshold: -1, // this test is about slot release, not breaking
+	})
+	eng, ok := m.Sys.Stores.Engine("spark")
+	if !ok {
+		t.Fatal("no spark store")
+	}
+	eng.Fault().Configure(engine.FaultConfig{FailAfterBatches: 1})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		rows, err := svc.QueryTextRows(ctx, "cq", "Q(u, p, d) :- Visits(u, p, d)")
+		if err != nil {
+			t.Fatalf("iteration %d: open: %v", i, err)
+		}
+		for rows.Next() {
+		}
+		err = rows.Close()
+		if err == nil {
+			t.Fatalf("iteration %d: stream did not surface the mid-stream fault", i)
+		}
+		if !errors.Is(err, service.ErrStoreUnavailable) || !errors.Is(err, engine.ErrInjected) {
+			t.Fatalf("iteration %d: in-band error lacks taxonomy: %v", i, err)
+		}
+	}
+	if got := svc.Snapshot().InFlight; got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	eng.Fault().Clear()
+	if _, err := svc.QueryText(ctx, "cq", "Q(u, p, d) :- Visits(u, p, d)"); err != nil {
+		t.Fatalf("query after clear: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+// Package chaos holds the fault-injection test suite: mixed read/write
+// workloads run under -race while every store's injector is armed with
+// error rates, stalls and mid-stream breaks. The tests assert the
+// degradation contract end to end — every failure surfaces as a typed
+// error (never a panic), failed DML rolls back cleanly, stalled stores
+// cannot pin a query past its deadline, and admission slots are always
+// released. The package has no non-test code beyond this doc.
+package chaos

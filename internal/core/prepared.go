@@ -123,6 +123,21 @@ func (s *System) Prepare(q pivot.CQ, params ...pivot.Var) (*Prepared, error) {
 // Rewriting returns the chosen symbolic rewriting.
 func (p *Prepared) Rewriting() pivot.CQ { return p.rewriting }
 
+// Stores lists the deployment names of the stores the chosen rewriting
+// touches (deduplicated, in body order). The degradation layer uses this
+// to fail fast when a touched store's circuit breaker is open.
+func (p *Prepared) Stores() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range p.rewriting.Body {
+		if f, ok := p.sys.Catalog.Get(a.Pred); ok && !seen[f.Store] {
+			seen[f.Store] = true
+			out = append(out, f.Store)
+		}
+	}
+	return out
+}
+
 // Exec runs the prepared query with the given parameter values (one per
 // declared parameter, in order).
 func (p *Prepared) Exec(args ...value.Value) ([]value.Tuple, error) {

@@ -45,6 +45,19 @@ func DefaultMarketplace() MarketplaceConfig {
 	}
 }
 
+// Validate reports whether the configuration can generate a dataset.
+// Callers holding operator-supplied sizes (CLI flags, HTTP deploys) should
+// validate before calling NewMarketplace, which panics on invalid input.
+func (cfg MarketplaceConfig) Validate() error {
+	if cfg.Users <= 0 {
+		return fmt.Errorf("datagen: marketplace needs at least one user, got %d", cfg.Users)
+	}
+	if cfg.Products <= 0 {
+		return fmt.Errorf("datagen: marketplace needs at least one product, got %d", cfg.Products)
+	}
+	return nil
+}
+
 // Marketplace is the generated dataset; every relation is a tuple slice in
 // the logical-schema column order documented per field.
 type Marketplace struct {
@@ -87,8 +100,8 @@ func PID(i int) string { return fmt.Sprintf("p%04d", i) }
 
 // NewMarketplace generates the dataset.
 func NewMarketplace(cfg MarketplaceConfig) *Marketplace {
-	if cfg.Users <= 0 || cfg.Products <= 0 {
-		panic("datagen: marketplace needs at least one user and product")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error() + " (validate configs from user input with Validate)")
 	}
 	if cfg.ZipfS <= 1 {
 		cfg.ZipfS = 1.2

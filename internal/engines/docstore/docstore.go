@@ -11,6 +11,7 @@
 package docstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ type Store struct {
 	colls    map[string]*collection
 	counters engine.Counters
 	lat      engine.Latency
+	fault    engine.Fault
 }
 
 type collection struct {
@@ -37,7 +39,9 @@ type collection struct {
 
 // New creates an empty document store.
 func New(name string) *Store {
-	return &Store{name: name, colls: map[string]*collection{}}
+	s := &Store{name: name, colls: map[string]*collection{}}
+	s.fault.Bind(name)
+	return s
 }
 
 // SetRequestLatency configures the simulated per-request service time.
@@ -58,6 +62,14 @@ func (s *Store) Capabilities() engine.Capability {
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// Fault implements engine.Engine.
+func (s *Store) Fault() *engine.Fault { return &s.fault }
+
+// enter simulates read-request entry (latency, injected faults).
+func (s *Store) enter(ctx context.Context) error {
+	return engine.EnterRequest(ctx, s.name, &s.lat, &s.fault)
+}
 
 // CreateCollection registers a collection.
 func (s *Store) CreateCollection(name string) error {
@@ -103,6 +115,9 @@ func (s *Store) coll(name string) (*collection, error) {
 
 // Insert appends a document, maintaining indexes.
 func (s *Store) Insert(collName string, d *value.Doc) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(collName)
@@ -127,6 +142,9 @@ func (s *Store) Insert(collName string, d *value.Doc) error {
 func (s *Store) Delete(collName string, filters []PathFilter) (int, error) {
 	if len(filters) == 0 {
 		return 0, fmt.Errorf("docstore %s: delete without filters would drop collection %q", s.name, collName)
+	}
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -171,6 +189,9 @@ func (s *Store) DeleteTuples(collName string, paths []string, rows []value.Tuple
 	}
 	if len(paths) == 0 {
 		return 0, fmt.Errorf("docstore %s: delete without paths would drop collection %q", s.name, collName)
+	}
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
 	}
 	victims := make(map[string]struct{}, len(rows))
 	for _, r := range rows {
@@ -266,18 +287,20 @@ type PathFilter struct {
 // Find returns the documents matching every filter, using an index when one
 // covers a filter path.
 func (s *Store) Find(collName string, filters []PathFilter) ([]*value.Doc, error) {
-	return s.findCounted(collName, filters, engine.NewTally(&s.counters, nil))
+	return s.findCounted(context.Background(), collName, filters, engine.NewTally(&s.counters, nil))
 }
 
-func (s *Store) findCounted(collName string, filters []PathFilter, tally engine.Tally) ([]*value.Doc, error) {
+func (s *Store) findCounted(ctx context.Context, collName string, filters []PathFilter, tally engine.Tally) ([]*value.Doc, error) {
+	tally.AddRequest()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collName)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRequest()
-	s.lat.Wait()
 
 	var candidates []int
 	usedIdx := -1
@@ -323,14 +346,14 @@ func (s *Store) findCounted(collName string, filters []PathFilter, tally engine.
 // projected path hits an array are unnested: one output tuple per array
 // element combination along the first array encountered.
 func (s *Store) FindTuples(collName string, filters []PathFilter, paths []string) (engine.Iterator, error) {
-	return s.FindTuplesCounted(collName, filters, paths, nil)
+	return s.FindTuplesCounted(context.Background(), collName, filters, paths, nil)
 }
 
 // FindTuplesCounted is FindTuples with the operations additionally
 // attributed to a per-execution counter cell (nil = store-global counting
-// only).
-func (s *Store) FindTuplesCounted(collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.Iterator, error) {
-	docs, err := s.findCounted(collName, filters, engine.NewTally(&s.counters, extra))
+// only) and the request bound to a context.
+func (s *Store) FindTuplesCounted(ctx context.Context, collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.Iterator, error) {
+	docs, err := s.findCounted(ctx, collName, filters, engine.NewTally(&s.counters, extra))
 	if err != nil {
 		return nil, err
 	}
@@ -344,14 +367,14 @@ func (s *Store) FindTuplesCounted(collName string, filters []PathFilter, paths [
 // FindTuplesBatch is the native batch scan: FindTuples delivered as
 // value.Batch slabs.
 func (s *Store) FindTuplesBatch(collName string, filters []PathFilter, paths []string) (engine.BatchIterator, error) {
-	return s.FindTuplesBatchCounted(collName, filters, paths, nil)
+	return s.FindTuplesBatchCounted(context.Background(), collName, filters, paths, nil)
 }
 
 // FindTuplesBatchCounted is FindTuplesBatch with the operations
 // additionally attributed to a per-execution counter cell (nil =
-// store-global counting only).
-func (s *Store) FindTuplesBatchCounted(collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.BatchIterator, error) {
-	docs, err := s.findCounted(collName, filters, engine.NewTally(&s.counters, extra))
+// store-global counting only) and the request bound to a context.
+func (s *Store) FindTuplesBatchCounted(ctx context.Context, collName string, filters []PathFilter, paths []string, extra *engine.Counters) (engine.BatchIterator, error) {
+	docs, err := s.findCounted(ctx, collName, filters, engine.NewTally(&s.counters, extra))
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +382,7 @@ func (s *Store) FindTuplesBatchCounted(collName string, filters []PathFilter, pa
 	for _, d := range docs {
 		rows = append(rows, ProjectDoc(d, paths)...)
 	}
-	return engine.NewSliceBatchIterator(rows), nil
+	return s.fault.WrapBatch(engine.NewSliceBatchIterator(rows)), nil
 }
 
 // ProjectDoc projects a document to tuples along paths. If the first path

@@ -52,6 +52,8 @@ type Engine interface {
 	Capabilities() Capability
 	// Counters exposes the store's operation counters.
 	Counters() *Counters
+	// Fault exposes the store's fault injector (chaos testing).
+	Fault() *Fault
 }
 
 // Counters tallies the work a store performed; the demo reports these split

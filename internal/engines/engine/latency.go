@@ -1,9 +1,16 @@
 package engine
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
+
+// spinCeiling is the longest service time simulated by busy-spinning.
+// Stalls beyond it (fault injection, pathological configurations) park on
+// a timer instead of burning a core, and become cancellable at timer
+// granularity rather than only at the end.
+const spinCeiling = 2 * time.Millisecond
 
 // Latency simulates the per-request service time of a real data-management
 // system: network round trip, protocol parsing, dispatch. The in-process
@@ -12,10 +19,12 @@ import (
 // LAN, a Postgres query ~0.5 ms, a Spark job dispatch ~100 ms); scaled-down
 // latencies restore the realistic ratios while keeping benchmarks fast.
 //
-// The wait is a busy spin (time.Sleep cannot hold microsecond deadlines),
-// so simulated service time shows up as CPU time in profiles — acceptable
-// for a simulator. A zero latency (the default everywhere outside the
-// scenario wiring) is a no-op.
+// Short waits are busy spins (time.Sleep cannot hold microsecond
+// deadlines), so simulated service time shows up as CPU time in profiles —
+// acceptable for a simulator. Long waits (above spinCeiling, which only
+// arise under injected stalls) block on a timer and respect the caller's
+// context, so a stalled store cannot pin a query past its deadline. A zero
+// latency (the default everywhere outside the scenario wiring) is a no-op.
 type Latency struct {
 	ns int64
 }
@@ -26,13 +35,53 @@ func (l *Latency) Set(d time.Duration) { atomic.StoreInt64(&l.ns, int64(d)) }
 // Get returns the configured service time.
 func (l *Latency) Get() time.Duration { return time.Duration(atomic.LoadInt64(&l.ns)) }
 
-// Wait spins for the configured service time.
-func (l *Latency) Wait() {
-	ns := atomic.LoadInt64(&l.ns)
-	if ns <= 0 {
-		return
+// Wait simulates one request's service time. It returns early with the
+// context's error if the context is cancelled mid-wait; a nil context is
+// treated as uncancellable.
+func (l *Latency) Wait(ctx context.Context) error {
+	return SimulateWait(ctx, time.Duration(atomic.LoadInt64(&l.ns)))
+}
+
+// SimulateWait blocks the caller for d, honouring ctx. Durations up to
+// spinCeiling busy-spin (with a periodic cancellation check); longer
+// stalls — injected faults — park on a timer racing the context.
+func SimulateWait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
 	}
-	end := time.Now().Add(time.Duration(ns))
-	for time.Now().Before(end) {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = ctx.Done()
+	}
+	if d <= spinCeiling {
+		end := time.Now().Add(d)
+		for i := 0; time.Now().Before(end); i++ {
+			// Poll the context every ~1k spins: cheap enough not to skew
+			// the simulated microsecond budgets, frequent enough that a
+			// cancelled query leaves within tens of microseconds.
+			if done != nil && i%1024 == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if done == nil {
+		<-t.C
+		return nil
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
 	}
 }

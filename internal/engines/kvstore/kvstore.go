@@ -13,6 +13,7 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,7 @@ type Store struct {
 	colls    map[string]map[string][][]byte
 	counters engine.Counters
 	lat      engine.Latency
+	fault    engine.Fault
 	// allowScan permits full-collection enumeration (disabled by default,
 	// like a production KV store; enabled only for administrative use such
 	// as statistics collection).
@@ -37,7 +39,9 @@ type Store struct {
 
 // New creates an empty key-value store.
 func New(name string) *Store {
-	return &Store{name: name, colls: map[string]map[string][][]byte{}}
+	s := &Store{name: name, colls: map[string]map[string][][]byte{}}
+	s.fault.Bind(name)
+	return s
 }
 
 // SetRequestLatency configures the simulated per-request service time.
@@ -57,6 +61,16 @@ func (s *Store) Capabilities() engine.Capability { return engine.CapKeyLookup }
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// Fault implements engine.Engine.
+func (s *Store) Fault() *engine.Fault { return &s.fault }
+
+// enter simulates read-request entry (latency, injected faults). It runs
+// before the store lock is taken, so an injected stall never blocks
+// writers.
+func (s *Store) enter(ctx context.Context) error {
+	return engine.EnterRequest(ctx, s.name, &s.lat, &s.fault)
+}
 
 // CreateCollection registers a collection.
 func (s *Store) CreateCollection(name string) error {
@@ -103,6 +117,9 @@ func (s *Store) coll(name string) (map[string][][]byte, error) {
 // Append stores one tuple under key (appending to any tuples already
 // there). The tuple is encoded to bytes, as a real KV store would receive.
 func (s *Store) Append(collection, key string, t value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(collection)
@@ -115,6 +132,9 @@ func (s *Store) Append(collection, key string, t value.Tuple) error {
 
 // Put replaces the tuples under key with exactly one tuple.
 func (s *Store) Put(collection, key string, t value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(collection)
@@ -127,6 +147,9 @@ func (s *Store) Put(collection, key string, t value.Tuple) error {
 
 // Delete removes a key.
 func (s *Store) Delete(collection, key string) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(collection)
@@ -143,6 +166,9 @@ func (s *Store) Delete(collection, key string) error {
 // fresh slice (never mutated in place) and the key disappears when its
 // last tuple goes. Returns how many copies were removed.
 func (s *Store) DeleteTuple(collection, key string, t value.Tuple) (int, error) {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(collection)
@@ -173,21 +199,25 @@ func (s *Store) DeleteTuple(collection, key string, t value.Tuple) (int, error) 
 // Get fetches and decodes the tuples stored under key. A missing key yields
 // an empty slice, not an error (KV semantics).
 func (s *Store) Get(collection, key string) ([]value.Tuple, error) {
-	return s.GetCounted(collection, key, nil)
+	return s.GetCounted(context.Background(), collection, key, nil)
 }
 
 // GetCounted is Get with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) GetCounted(collection, key string, extra *engine.Counters) ([]value.Tuple, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context (latency waits and injected stalls respect
+// it).
+func (s *Store) GetCounted(ctx context.Context, collection, key string, extra *engine.Counters) ([]value.Tuple, error) {
+	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collection)
 	if err != nil {
 		return nil, err
 	}
-	tally := engine.NewTally(&s.counters, extra)
-	tally.AddRequest()
-	s.lat.Wait()
 	tally.AddLookup()
 	payloads := c[key]
 	out := make([]value.Tuple, 0, len(payloads))
@@ -206,17 +236,18 @@ func (s *Store) GetCounted(collection, key string, extra *engine.Counters) ([]va
 // GetBatch is the native batch access path: the tuples stored under key,
 // decoded once and delivered as value.Batch slabs.
 func (s *Store) GetBatch(collection, key string) (engine.BatchIterator, error) {
-	return s.GetBatchCounted(collection, key, nil)
+	return s.GetBatchCounted(context.Background(), collection, key, nil)
 }
 
 // GetBatchCounted is GetBatch with the operations additionally attributed
-// to a per-execution counter cell (nil = store-global counting only).
-func (s *Store) GetBatchCounted(collection, key string, extra *engine.Counters) (engine.BatchIterator, error) {
-	rows, err := s.GetCounted(collection, key, extra)
+// to a per-execution counter cell (nil = store-global counting only) and
+// the request bound to a context.
+func (s *Store) GetBatchCounted(ctx context.Context, collection, key string, extra *engine.Counters) (engine.BatchIterator, error) {
+	rows, err := s.GetCounted(ctx, collection, key, extra)
 	if err != nil {
 		return nil, err
 	}
-	return engine.NewSliceBatchIterator(rows), nil
+	return s.fault.WrapBatch(engine.NewSliceBatchIterator(rows)), nil
 }
 
 // Len returns the number of keys in a collection.
@@ -276,14 +307,16 @@ func (s *Store) Scan(collection string) (engine.Iterator, error) {
 	if !s.allowScan {
 		return nil, ErrScanDisabled
 	}
+	s.counters.AddRequest()
+	if err := s.enter(context.Background()); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collection)
 	if err != nil {
 		return nil, err
 	}
-	s.counters.AddRequest()
-	s.lat.Wait()
 	s.counters.AddScan()
 	rows, err := s.dumpLocked(collection, c)
 	if err != nil {

@@ -11,6 +11,7 @@
 package parstore
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -29,6 +30,7 @@ type Store struct {
 	tables     map[string]*Table
 	counters   engine.Counters
 	lat        engine.Latency
+	fault      engine.Fault
 }
 
 // New creates a parallel store with the given partition count (≥1).
@@ -36,7 +38,9 @@ func New(name string, partitions int) *Store {
 	if partitions < 1 {
 		partitions = 1
 	}
-	return &Store{name: name, partitions: partitions, tables: map[string]*Table{}}
+	s := &Store{name: name, partitions: partitions, tables: map[string]*Table{}}
+	s.fault.Bind(name)
+	return s
 }
 
 // SetRequestLatency configures the simulated per-request service time
@@ -57,6 +61,15 @@ func (s *Store) Capabilities() engine.Capability {
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// Fault implements engine.Engine.
+func (s *Store) Fault() *engine.Fault { return &s.fault }
+
+// enter simulates read-request entry (job-dispatch latency, injected
+// faults).
+func (s *Store) enter(ctx context.Context) error {
+	return engine.EnterRequest(ctx, s.name, &s.lat, &s.fault)
+}
 
 // Partitions returns the configured parallelism.
 func (s *Store) Partitions() int { return s.partitions }
@@ -165,6 +178,13 @@ func hashPartition(v value.Value, parts int) int {
 
 // Insert adds a row to the partition selected by the partition column.
 func (s *Store) Insert(table string, row value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
+	return s.insert(table, row)
+}
+
+func (s *Store) insert(table string, row value.Tuple) error {
 	t, err := s.Table(table)
 	if err != nil {
 		return err
@@ -185,10 +205,14 @@ func (s *Store) Insert(table string, row value.Tuple) error {
 	return nil
 }
 
-// InsertMany bulk-loads rows.
+// InsertMany bulk-loads rows. The fault injector is consulted once for
+// the whole batch (one delegated write request).
 func (s *Store) InsertMany(table string, rows []value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	for _, r := range rows {
-		if err := s.Insert(table, r); err != nil {
+		if err := s.insert(table, r); err != nil {
 			return err
 		}
 	}
@@ -201,6 +225,9 @@ func (s *Store) InsertMany(table string, rows []value.Tuple) error {
 // partition workers of an already-open parallel scan keep iterating their
 // own snapshot untouched.
 func (s *Store) Delete(table string, row value.Tuple) (int, error) {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
+	}
 	t, err := s.Table(table)
 	if err != nil {
 		return 0, err
@@ -237,6 +264,9 @@ func (s *Store) Delete(table string, row value.Tuple) (int, error) {
 func (s *Store) DeleteMany(table string, rows []value.Tuple) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
+	}
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
 	}
 	t, err := s.Table(table)
 	if err != nil {
@@ -348,19 +378,23 @@ func (s *Store) HasIndex(table, column string) bool {
 // lookup is served from the index; otherwise every partition is scanned by
 // its own worker goroutine and results are merged.
 func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (engine.Iterator, error) {
-	return s.SelectCounted(table, filters, project, nil)
+	return s.SelectCounted(context.Background(), table, filters, project, nil)
 }
 
 // SelectCounted is Select with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context (dispatch latency and injected stalls
+// respect it).
+func (s *Store) SelectCounted(ctx context.Context, table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -417,20 +451,23 @@ func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project [
 // one worker goroutine per partition, each shipping whole row slabs over
 // the merge channel instead of one tuple per send.
 func (s *Store) SelectBatch(table string, filters []engine.EqFilter, project []int) (engine.BatchIterator, error) {
-	return s.SelectBatchCounted(table, filters, project, nil)
+	return s.SelectBatchCounted(context.Background(), table, filters, project, nil)
 }
 
 // SelectBatchCounted is SelectBatch with the operations additionally
 // attributed to a per-execution counter cell (nil = store-global counting
-// only). Tuple counts are tallied once per shipped slab.
-func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
+// only) and the request bound to a context. Tuple counts are tallied once
+// per shipped slab.
+func (s *Store) SelectBatchCounted(ctx context.Context, table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -450,7 +487,7 @@ func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, proj
 			}
 		}
 		tally.AddTuples(len(rows))
-		return engine.NewSliceBatchIterator(rows), nil
+		return s.fault.WrapBatch(engine.NewSliceBatchIterator(rows)), nil
 	}
 
 	// Parallel scan path: one worker per partition, slabs on the channel.
@@ -492,7 +529,7 @@ func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, proj
 		wg.Wait()
 		close(out)
 	}()
-	return &slabChanBatchIterator{c: out, closed: done}, nil
+	return s.fault.WrapBatch(&slabChanBatchIterator{c: out, closed: done}), nil
 }
 
 // slabChanBatchIterator adapts a channel of row slabs to the batch
@@ -544,16 +581,16 @@ func (it *slabChanBatchIterator) Close() {
 // QueryBatch evaluates a delegated conjunctive query on the vectorized
 // protocol.
 func (s *Store) QueryBatch(q engine.DQuery) (engine.BatchIterator, error) {
-	return s.QueryBatchCounted(q, nil)
+	return s.QueryBatchCounted(context.Background(), q, nil)
 }
 
 // QueryBatchCounted is QueryBatch with per-execution counter attribution.
-func (s *Store) QueryBatchCounted(q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
-	it, err := s.QueryCounted(q, extra)
+func (s *Store) QueryBatchCounted(ctx context.Context, q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.QueryCounted(ctx, q, extra)
 	if err != nil {
 		return nil, err
 	}
-	return engine.ToBatch(it), nil
+	return s.fault.WrapBatch(engine.ToBatch(it)), nil
 }
 
 func projectRow(row value.Tuple, project []int) value.Tuple {
@@ -574,15 +611,18 @@ func projectRow(row value.Tuple, project []int) value.Tuple {
 // Query evaluates a delegated conjunctive query natively (the parallel
 // store, like Spark, accepts whole subqueries including joins).
 func (s *Store) Query(q engine.DQuery) (engine.Iterator, error) {
-	return s.QueryCounted(q, nil)
+	return s.QueryCounted(context.Background(), q, nil)
 }
 
 // QueryCounted is Query with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context.
+func (s *Store) QueryCounted(ctx context.Context, q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	return engine.EvalDelegate(q, func(collection string, filters []engine.EqFilter) (engine.Iterator, error) {
 		return s.selectNoRequest(collection, filters, tally)
 	})
@@ -637,7 +677,9 @@ func (s *Store) Aggregate(table string, filters []engine.EqFilter, groupBy []int
 		return nil, fmt.Errorf("parstore %s: unsupported aggregate %q", s.name, fn)
 	}
 	s.counters.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(context.Background()); err != nil {
+		return nil, err
+	}
 	s.counters.AddScan()
 	s.mu.RLock()
 	defer s.mu.RUnlock()

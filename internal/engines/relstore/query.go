@@ -1,6 +1,8 @@
 package relstore
 
 import (
+	"context"
+
 	"repro/internal/engines/engine"
 	"repro/internal/value"
 )
@@ -9,15 +11,18 @@ import (
 // equi-joins) entirely inside the store, as a relational DMS would. One
 // request is counted regardless of how many tables participate.
 func (s *Store) Query(q engine.DQuery) (engine.Iterator, error) {
-	return s.QueryCounted(q, nil)
+	return s.QueryCounted(context.Background(), q, nil)
 }
 
 // QueryCounted is Query with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context.
+func (s *Store) QueryCounted(ctx context.Context, q engine.DQuery, extra *engine.Counters) (engine.Iterator, error) {
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	return engine.EvalDelegate(q, func(collection string, filters []engine.EqFilter) (engine.Iterator, error) {
 		return s.selectNoRequest(collection, filters, tally)
 	})
@@ -26,16 +31,16 @@ func (s *Store) QueryCounted(q engine.DQuery, extra *engine.Counters) (engine.It
 // QueryBatch evaluates a delegated conjunctive query on the vectorized
 // protocol.
 func (s *Store) QueryBatch(q engine.DQuery) (engine.BatchIterator, error) {
-	return s.QueryBatchCounted(q, nil)
+	return s.QueryBatchCounted(context.Background(), q, nil)
 }
 
 // QueryBatchCounted is QueryBatch with per-execution counter attribution.
-func (s *Store) QueryBatchCounted(q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
-	it, err := s.QueryCounted(q, extra)
+func (s *Store) QueryBatchCounted(ctx context.Context, q engine.DQuery, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.QueryCounted(ctx, q, extra)
 	if err != nil {
 		return nil, err
 	}
-	return engine.ToBatch(it), nil
+	return s.fault.WrapBatch(engine.ToBatch(it)), nil
 }
 
 // selectNoRequest is Select without the per-request accounting (internal

@@ -7,6 +7,7 @@
 package relstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,15 +24,26 @@ type Store struct {
 	tables   map[string]*Table
 	counters engine.Counters
 	lat      engine.Latency
+	fault    engine.Fault
 }
 
 // New creates an empty relational store.
 func New(name string) *Store {
-	return &Store{name: name, tables: map[string]*Table{}}
+	s := &Store{name: name, tables: map[string]*Table{}}
+	s.fault.Bind(name)
+	return s
 }
 
 // SetRequestLatency configures the simulated per-request service time.
 func (s *Store) SetRequestLatency(d time.Duration) { s.lat.Set(d) }
+
+// Fault implements engine.Engine.
+func (s *Store) Fault() *engine.Fault { return &s.fault }
+
+// enter simulates read-request entry (latency, injected faults).
+func (s *Store) enter(ctx context.Context) error {
+	return engine.EnterRequest(ctx, s.name, &s.lat, &s.fault)
+}
 
 // Name implements engine.Engine.
 func (s *Store) Name() string { return s.name }
@@ -136,6 +148,13 @@ func (t *Table) ColumnPos(col string) (int, error) {
 // Insert appends a row; its width must match the schema. Indexes are
 // maintained.
 func (s *Store) Insert(table string, row value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
+	return s.insert(table, row)
+}
+
+func (s *Store) insert(table string, row value.Tuple) error {
 	t, err := s.Table(table)
 	if err != nil {
 		return err
@@ -155,10 +174,14 @@ func (s *Store) Insert(table string, row value.Tuple) error {
 	return nil
 }
 
-// InsertMany bulk-loads rows.
+// InsertMany bulk-loads rows. The fault injector is consulted once for
+// the whole batch (one delegated write request).
 func (s *Store) InsertMany(table string, rows []value.Tuple) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	for _, r := range rows {
-		if err := s.Insert(table, r); err != nil {
+		if err := s.insert(table, r); err != nil {
 			return err
 		}
 	}
@@ -171,6 +194,9 @@ func (s *Store) InsertMany(table string, rows []value.Tuple) error {
 // before the delete keep reading their own consistent snapshot — a delete
 // never mutates storage an open cursor may still be scanning.
 func (s *Store) Delete(table string, row value.Tuple) (int, error) {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
+	}
 	t, err := s.Table(table)
 	if err != nil {
 		return 0, err
@@ -205,6 +231,9 @@ func (s *Store) Delete(table string, row value.Tuple) (int, error) {
 func (s *Store) DeleteMany(table string, rows []value.Tuple) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
+	}
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
 	}
 	t, err := s.Table(table)
 	if err != nil {
@@ -300,7 +329,9 @@ func (s *Store) Scan(table string) (engine.Iterator, error) {
 		return nil, err
 	}
 	s.counters.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(context.Background()); err != nil {
+		return nil, err
+	}
 	s.counters.AddScan()
 	// Snapshot the slice header under the lock before counting it: a
 	// concurrent Insert rewrites t.rows, and an unlocked len() read races.
@@ -314,19 +345,23 @@ func (s *Store) Scan(table string) (engine.Iterator, error) {
 // Select evaluates equality filters with projection, using an index when one
 // covers some filter column, otherwise a scan.
 func (s *Store) Select(table string, filters []engine.EqFilter, project []int) (engine.Iterator, error) {
-	return s.SelectCounted(table, filters, project, nil)
+	return s.SelectCounted(context.Background(), table, filters, project, nil)
 }
 
 // SelectCounted is Select with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context (latency waits and injected stalls respect
+// it).
+func (s *Store) SelectCounted(ctx context.Context, table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.Iterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -366,20 +401,23 @@ func (s *Store) SelectCounted(table string, filters []engine.EqFilter, project [
 // vectorized protocol, delivering value.Batch slabs instead of one tuple
 // per call.
 func (s *Store) SelectBatch(table string, filters []engine.EqFilter, project []int) (engine.BatchIterator, error) {
-	return s.SelectBatchCounted(table, filters, project, nil)
+	return s.SelectBatchCounted(context.Background(), table, filters, project, nil)
 }
 
 // SelectBatchCounted is SelectBatch with the operations additionally
 // attributed to a per-execution counter cell (nil = store-global counting
-// only). Tuple counts are tallied once per batch.
-func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
+// only) and the request bound to a context. Tuple counts are tallied once
+// per batch.
+func (s *Store) SelectBatchCounted(ctx context.Context, table string, filters []engine.EqFilter, project []int, extra *engine.Counters) (engine.BatchIterator, error) {
 	t, err := s.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	tally := engine.NewTally(&s.counters, extra)
 	tally.AddRequest()
-	s.lat.Wait()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -412,5 +450,5 @@ func (s *Store) SelectBatchCounted(table string, filters []engine.EqFilter, proj
 	if project != nil {
 		it = &engine.BatchProject{In: it, Cols: project}
 	}
-	return &engine.CountingBatchIterator{In: it, T: tally}, nil
+	return s.fault.WrapBatch(&engine.CountingBatchIterator{In: it, T: tally}), nil
 }

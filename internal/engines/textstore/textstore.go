@@ -7,6 +7,7 @@
 package textstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -26,6 +27,7 @@ type Store struct {
 	colls    map[string]*index
 	counters engine.Counters
 	lat      engine.Latency
+	fault    engine.Fault
 }
 
 type index struct {
@@ -40,7 +42,9 @@ type index struct {
 
 // New creates an empty full-text store.
 func New(name string) *Store {
-	return &Store{name: name, colls: map[string]*index{}}
+	s := &Store{name: name, colls: map[string]*index{}}
+	s.fault.Bind(name)
+	return s
 }
 
 // SetRequestLatency configures the simulated per-request service time.
@@ -59,6 +63,14 @@ func (s *Store) Capabilities() engine.Capability {
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// Fault implements engine.Engine.
+func (s *Store) Fault() *engine.Fault { return &s.fault }
+
+// enter simulates read-request entry (latency, injected faults).
+func (s *Store) enter(ctx context.Context) error {
+	return engine.EnterRequest(ctx, s.name, &s.lat, &s.fault)
+}
 
 // CreateCollection registers a collection; textFields are tokenized into
 // the inverted index.
@@ -144,6 +156,9 @@ func (c *index) indexDoc(pos int, doc map[string]value.Value) {
 // coexist because search engines call ingestion "indexing" while the
 // mediator's write path speaks insert/delete uniformly across stores.
 func (s *Store) Insert(collName string, doc map[string]value.Value) error {
+	if err := s.fault.BeforeWrite(); err != nil {
+		return err
+	}
 	return s.Index(collName, doc)
 }
 
@@ -165,6 +180,9 @@ func (s *Store) Delete(collName string, fields map[string]value.Value) (int, err
 func (s *Store) DeleteMany(collName string, criteria []map[string]value.Value) (int, error) {
 	if len(criteria) == 0 {
 		return 0, nil
+	}
+	if err := s.fault.BeforeWrite(); err != nil {
+		return 0, err
 	}
 	for _, fields := range criteria {
 		if len(fields) == 0 {
@@ -316,21 +334,25 @@ type FieldFilter struct {
 // Search runs a query, returning one tuple per hit, projected on
 // q.Project (missing fields become NULL).
 func (s *Store) Search(collName string, q Query) (engine.Iterator, error) {
-	return s.SearchCounted(collName, q, nil)
+	return s.SearchCounted(context.Background(), collName, q, nil)
 }
 
 // SearchCounted is Search with the operations additionally attributed to a
-// per-execution counter cell (nil = store-global counting only).
-func (s *Store) SearchCounted(collName string, q Query, extra *engine.Counters) (engine.Iterator, error) {
+// per-execution counter cell (nil = store-global counting only) and the
+// request bound to a context (latency waits and injected stalls respect
+// it).
+func (s *Store) SearchCounted(ctx context.Context, collName string, q Query, extra *engine.Counters) (engine.Iterator, error) {
 	tally := engine.NewTally(&s.counters, extra)
+	tally.AddRequest()
+	if err := s.enter(ctx); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.coll(collName)
 	if err != nil {
 		return nil, err
 	}
-	tally.AddRequest()
-	s.lat.Wait()
 
 	var candidates []int
 	switch {
@@ -390,18 +412,18 @@ func (s *Store) SearchCounted(collName string, q Query, extra *engine.Counters) 
 // SearchBatch is the native batch scan: Search delivered as value.Batch
 // slabs.
 func (s *Store) SearchBatch(collName string, q Query) (engine.BatchIterator, error) {
-	return s.SearchBatchCounted(collName, q, nil)
+	return s.SearchBatchCounted(context.Background(), collName, q, nil)
 }
 
 // SearchBatchCounted is SearchBatch with the operations additionally
 // attributed to a per-execution counter cell (nil = store-global counting
-// only).
-func (s *Store) SearchBatchCounted(collName string, q Query, extra *engine.Counters) (engine.BatchIterator, error) {
-	it, err := s.SearchCounted(collName, q, extra)
+// only) and the request bound to a context.
+func (s *Store) SearchBatchCounted(ctx context.Context, collName string, q Query, extra *engine.Counters) (engine.BatchIterator, error) {
+	it, err := s.SearchCounted(ctx, collName, q, extra)
 	if err != nil {
 		return nil, err
 	}
-	return engine.ToBatch(it), nil
+	return s.fault.WrapBatch(engine.ToBatch(it)), nil
 }
 
 // intersect merges two sorted posting lists.

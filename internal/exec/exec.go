@@ -62,6 +62,17 @@ func (c *Ctx) Err() error {
 	return c.Context.Err()
 }
 
+// Ctx returns the execution's cancellation context, never nil
+// (context.Background when unset). Nil-receiver safe; this is what leaf
+// sources hand to the stores so latency waits and injected stalls respect
+// the query deadline.
+func (c *Ctx) Ctx() context.Context {
+	if c == nil || c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
 // StoreCounters returns this execution's counter cell for a store, or nil
 // when attribution is off. Nil-receiver safe.
 func (c *Ctx) StoreCounters(store string) *engine.Counters {

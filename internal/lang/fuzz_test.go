@@ -1,0 +1,98 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/pivot"
+)
+
+// The native fuzz targets assert the parser contract the service layer
+// depends on: any input either parses into a well-formed conjunctive
+// query or returns an error — never a panic, and never a CQ whose head
+// or body would crash later pipeline stages. Seed corpora live under
+// testdata/fuzz/<FuzzName>/; `make fuzz-smoke` gives each target a
+// short coverage-guided run in CI.
+
+// checkCQ asserts well-formedness of a successfully parsed query.
+func checkCQ(t *testing.T, input string, q pivot.CQ) {
+	t.Helper()
+	if q.Head.Pred == "" {
+		t.Fatalf("parsed %q into a CQ with an empty head predicate", input)
+	}
+	if len(q.Body) == 0 {
+		t.Fatalf("parsed %q into a CQ with an empty body", input)
+	}
+	for _, a := range q.Body {
+		if a.Pred == "" {
+			t.Fatalf("parsed %q into a body atom with no predicate", input)
+		}
+		for _, arg := range a.Args {
+			if arg == nil {
+				t.Fatalf("parsed %q into an atom with a nil argument", input)
+			}
+		}
+	}
+	// Every head variable must be bound somewhere in the body — an
+	// unbound head variable would make the downstream rewriter's
+	// containment checks meaningless.
+	bound := map[pivot.Var]bool{}
+	for _, a := range q.Body {
+		for _, arg := range a.Args {
+			if v, ok := arg.(pivot.Var); ok {
+				bound[v] = true
+			}
+		}
+	}
+	for _, arg := range q.Head.Args {
+		if v, ok := arg.(pivot.Var); ok && !bound[v] {
+			t.Fatalf("parsed %q with unbound head variable %s", input, v)
+		}
+	}
+}
+
+func FuzzParseSQL(f *testing.F) {
+	f.Add("SELECT u.name FROM Users u WHERE u.city = 'paris'")
+	f.Add("SELECT * FROM Orders o")
+	f.Add("SELECT u.uid, o.pid FROM Users u, Orders o WHERE u.uid = o.uid")
+	f.Add("SELECT c.qty FROM Carts c WHERE c.uid = 'u00001' AND c.qty = 2")
+	f.Add("select")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseSQL(input, testSchema)
+		if err != nil {
+			return
+		}
+		checkCQ(t, input, q)
+	})
+}
+
+func FuzzParseFLWOR(f *testing.F) {
+	f.Add(`for u in Users where u.city = "paris" return u.name`)
+	f.Add(`for u in Users for o in Orders where u.uid = o.uid return u.name, o.pid`)
+	f.Add(`for c in Carts return c.uid, c.pid, c.qty`)
+	f.Add("for")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseFLWOR(input, testSchema)
+		if err != nil {
+			return
+		}
+		checkCQ(t, input, q)
+	})
+}
+
+func FuzzParseCQ(f *testing.F) {
+	f.Add("Q(n) :- Users(u, n, c)")
+	f.Add("Q(n, p) :- Users(u, n, c), Orders(o, u, p)")
+	f.Add("Q(q) :- Carts('u00001', p, q)")
+	f.Add("Q(x) :- R(x, 3, 1.5)")
+	f.Add("Q() :-")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseCQ(input)
+		if err != nil {
+			return
+		}
+		checkCQ(t, input, q)
+	})
+}

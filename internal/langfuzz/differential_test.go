@@ -1,0 +1,223 @@
+package langfuzz
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/value"
+)
+
+// fuzzService builds a small Baseline marketplace (every fragment
+// reachable without bound keys, so nearly every generated query is
+// plannable) behind the service layer.
+func fuzzService(t testing.TB) *service.Service {
+	t.Helper()
+	cfg := datagen.MarketplaceConfig{
+		Seed: 11, Users: 40, Products: 24, OrdersPerUser: 2,
+		VisitsPerUser: 3, PrefsPerUser: 2, CartItemsPerUser: 1, ZipfS: 1.2,
+	}
+	m, err := scenario.New(cfg, scenario.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.New(m.Sys, service.Options{Schema: scenario.LogicalSchema})
+}
+
+// multiset renders rows as a sorted key list (order-insensitive,
+// duplicate-preserving comparison).
+func multiset(rows []value.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// queryGuarded runs one surface query, converting any parser/executor
+// panic into a test failure that reports the offending input.
+func queryGuarded(t *testing.T, svc *service.Service, surface, text string) (res *service.Result, err error) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("panic on %s input %q: %v", surface, text, p)
+		}
+	}()
+	return svc.QueryText(context.Background(), surface, text)
+}
+
+// TestDifferentialSurfaces is the cross-surface oracle: every generated
+// triple must behave identically in mini-SQL, mini-FLWOR and CQ —
+// identical result multisets, or the same typed no-plan error on all
+// three. One mismatch is a parser (or rewriter) divergence.
+func TestDifferentialSurfaces(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 150
+	}
+	g := NewGenerator(1)
+	svc := fuzzService(t)
+	planned, noplan, nonEmpty := 0, 0, 0
+	for i := 0; i < n; i++ {
+		tr := g.Triple()
+		surfaces := []struct{ lang, text string }{
+			{"sql", tr.SQL}, {"flwor", tr.FLWOR}, {"cq", tr.CQ},
+		}
+		var results [][]string
+		var failures []error
+		for _, s := range surfaces {
+			res, err := queryGuarded(t, svc, s.lang, s.text)
+			if err != nil {
+				if !errors.Is(err, core.ErrNoPlan) {
+					t.Fatalf("case %d: %s returned untyped error %v\n  input: %q", i, s.lang, err, s.text)
+				}
+				failures = append(failures, err)
+				continue
+			}
+			results = append(results, multiset(res.Rows))
+		}
+		if len(failures) > 0 {
+			if len(failures) != len(surfaces) {
+				t.Fatalf("case %d: surfaces disagree on plannability (%d of %d failed)\n  sql:   %q\n  flwor: %q\n  cq:    %q",
+					i, len(failures), len(surfaces), tr.SQL, tr.FLWOR, tr.CQ)
+			}
+			noplan++
+			continue
+		}
+		planned++
+		if len(results[0]) > 0 {
+			nonEmpty++
+		}
+		for j := 1; j < len(results); j++ {
+			if !sameMultiset(results[0], results[j]) {
+				t.Fatalf("case %d: %s and %s disagree (%d vs %d rows)\n  sql:   %q\n  flwor: %q\n  cq:    %q",
+					i, surfaces[0].lang, surfaces[j].lang, len(results[0]), len(results[j]), tr.SQL, tr.FLWOR, tr.CQ)
+			}
+		}
+	}
+	if planned == 0 {
+		t.Fatal("no generated query was plannable — the generator is broken")
+	}
+	if nonEmpty == 0 {
+		t.Error("every planned query returned zero rows — the value domains drifted from datagen")
+	}
+	t.Logf("differential: %d planned (%d non-empty), %d consistent no-plan", planned, nonEmpty, noplan)
+}
+
+// TestDifferentialExecPaths drives the same query down the three
+// consumption paths — materialized, chunk-at-a-time, row-at-a-time —
+// and requires identical multisets. This catches cursor plumbing that
+// drops or duplicates a batch boundary.
+func TestDifferentialExecPaths(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 80
+	}
+	g := NewGenerator(2)
+	svc := fuzzService(t)
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		tr := g.Triple()
+
+		res, err := svc.QueryText(ctx, "cq", tr.CQ)
+		if err != nil {
+			if errors.Is(err, core.ErrNoPlan) {
+				continue
+			}
+			t.Fatalf("case %d: %v\n  cq: %q", i, err, tr.CQ)
+		}
+		mat := multiset(res.Rows)
+
+		rows, err := svc.QueryTextRows(ctx, "cq", tr.CQ)
+		if err != nil {
+			t.Fatalf("case %d: chunk open: %v", i, err)
+		}
+		var chunked []value.Tuple
+		for {
+			chunk, err := rows.NextChunk()
+			if err != nil {
+				t.Fatalf("case %d: NextChunk: %v", i, err)
+			}
+			if chunk == nil {
+				break
+			}
+			for _, tup := range chunk {
+				chunked = append(chunked, append(value.Tuple(nil), tup...))
+			}
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("case %d: chunk close: %v", i, err)
+		}
+
+		rows, err = svc.QueryTextRows(ctx, "cq", tr.CQ)
+		if err != nil {
+			t.Fatalf("case %d: row open: %v", i, err)
+		}
+		var single []value.Tuple
+		for rows.Next() {
+			single = append(single, append(value.Tuple(nil), rows.Tuple()...))
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("case %d: row close: %v", i, err)
+		}
+
+		if got := multiset(chunked); !sameMultiset(mat, got) {
+			t.Fatalf("case %d: chunked path diverges (%d vs %d rows)\n  cq: %q", i, len(mat), len(got), tr.CQ)
+		}
+		if got := multiset(single); !sameMultiset(mat, got) {
+			t.Fatalf("case %d: row-at-a-time path diverges (%d vs %d rows)\n  cq: %q", i, len(mat), len(got), tr.CQ)
+		}
+	}
+}
+
+// TestMalformedInputsFailTyped feeds mutated (usually broken) queries to
+// every surface: each must either still parse and run, or fail with one
+// of the typed sentinels. A panic or an untyped error is a bug in the
+// parser or the error taxonomy.
+func TestMalformedInputsFailTyped(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 300
+	}
+	g := NewGenerator(3)
+	svc := fuzzService(t)
+	surfaces := []string{"sql", "flwor", "cq"}
+	broken, stillValid := 0, 0
+	for i := 0; i < n; i++ {
+		tr := g.Triple()
+		texts := map[string]string{"sql": tr.SQL, "flwor": tr.FLWOR, "cq": tr.CQ}
+		surface := surfaces[g.rng.Intn(len(surfaces))]
+		mutated := g.Mutate(texts[surface])
+		_, err := queryGuarded(t, svc, surface, mutated)
+		if err == nil {
+			stillValid++
+			continue
+		}
+		broken++
+		if !errors.Is(err, service.ErrParse) && !errors.Is(err, core.ErrNoPlan) {
+			t.Fatalf("case %d: untyped error from %s on %q: %v", i, surface, mutated, err)
+		}
+	}
+	if broken == 0 {
+		t.Error("no mutation ever broke a query — the mutator is too tame")
+	}
+	t.Logf("malformed: %d typed failures, %d mutations stayed valid", broken, stillValid)
+}

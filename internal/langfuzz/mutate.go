@@ -1,0 +1,59 @@
+package langfuzz
+
+import "strings"
+
+// junk is the alphabet malformed-input mutations draw from: structural
+// characters of all three grammars plus quote and identifier bytes, so
+// mutations hit parser states rather than only the lexer.
+const junk = "(),.=:-'\"* \tQabzXY019§"
+
+// Mutate applies 1-3 random syntactic mutations to a query string,
+// producing a (usually) malformed input for the parser fuzz tests. The
+// result may still be valid by accident; callers treat "parses and
+// runs" as a pass too.
+func (g *Generator) Mutate(s string) string {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		s = g.mutateOnce(s)
+	}
+	return s
+}
+
+func (g *Generator) mutateOnce(s string) string {
+	if len(s) == 0 {
+		return string(junk[g.rng.Intn(len(junk))])
+	}
+	switch g.rng.Intn(6) {
+	case 0: // truncate at a random point
+		return s[:g.rng.Intn(len(s))]
+	case 1: // delete a random span
+		i := g.rng.Intn(len(s))
+		j := i + 1 + g.rng.Intn(8)
+		if j > len(s) {
+			j = len(s)
+		}
+		return s[:i] + s[j:]
+	case 2: // duplicate a random span
+		i := g.rng.Intn(len(s))
+		j := i + 1 + g.rng.Intn(12)
+		if j > len(s) {
+			j = len(s)
+		}
+		return s[:j] + s[i:j] + s[j:]
+	case 3: // insert junk bytes
+		i := g.rng.Intn(len(s) + 1)
+		var b strings.Builder
+		for k := 0; k < 1+g.rng.Intn(3); k++ {
+			b.WriteByte(junk[g.rng.Intn(len(junk))])
+		}
+		return s[:i] + b.String() + s[i:]
+	case 4: // overwrite one byte
+		i := g.rng.Intn(len(s))
+		return s[:i] + string(junk[g.rng.Intn(len(junk))]) + s[i+1:]
+	default: // swap two bytes
+		i, j := g.rng.Intn(len(s)), g.rng.Intn(len(s))
+		b := []byte(s)
+		b[i], b[j] = b[j], b[i]
+		return string(b)
+	}
+}

@@ -89,6 +89,9 @@ func identityView(name, over string) rewrite.View {
 
 // New builds and loads a marketplace deployment.
 func New(cfg datagen.MarketplaceConfig, variant Variant) (*Marketplace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	data := datagen.NewMarketplace(cfg)
 	sys := core.New(core.Options{})
 	// Per-request service times: scaled-down (~50×) LAN round-trip +

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engines/engine"
+	"repro/internal/value"
+)
+
+// breakers is the service's per-store circuit-breaker table. A store's
+// breaker opens after threshold consecutive attributed failures; while
+// open, queries touching that store fail fast with ErrStoreUnavailable
+// instead of waiting out retries against a store that keeps failing.
+// After the cooldown the breaker half-opens: the next query through is
+// the trial — success resets the breaker, failure re-opens it
+// immediately (the failure count stays saturated).
+type breakers struct {
+	threshold int
+	cooldown  time.Duration
+	mu        sync.Mutex
+	m         map[string]*breakerCell
+}
+
+type breakerCell struct {
+	fails     int
+	openUntil time.Time
+	trips     int64
+}
+
+func newBreakers(threshold int, cooldown time.Duration) *breakers {
+	return &breakers{threshold: threshold, cooldown: cooldown, m: map[string]*breakerCell{}}
+}
+
+func (b *breakers) cell(store string) *breakerCell {
+	c := b.m[store]
+	if c == nil {
+		c = &breakerCell{}
+		b.m[store] = c
+	}
+	return c
+}
+
+// fail records one attributed failure and reports whether the store's
+// breaker is (now) open.
+func (b *breakers) fail(store string) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cell(store)
+	if c.fails < b.threshold {
+		c.fails++
+	}
+	if c.fails >= b.threshold {
+		if time.Now().After(c.openUntil) {
+			c.trips++
+		}
+		c.openUntil = time.Now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// ok resets a store's breaker after a successful request.
+func (b *breakers) ok(store string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.m[store]; c != nil {
+		c.fails = 0
+		c.openUntil = time.Time{}
+	}
+}
+
+// blocked returns the first of the given stores whose breaker is open
+// (fail-fast check before execution), or "".
+func (b *breakers) blocked(stores []string) string {
+	if b.threshold <= 0 {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	for _, st := range stores {
+		if c := b.m[st]; c != nil && now.Before(c.openUntil) {
+			return st
+		}
+	}
+	return ""
+}
+
+// BreakerState is one store's circuit-breaker snapshot.
+type BreakerState struct {
+	// ConsecutiveFailures saturates at the configured threshold.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Open reports whether queries touching the store currently fail fast.
+	Open bool `json:"open"`
+	// Trips counts distinct open transitions.
+	Trips int64 `json:"trips"`
+}
+
+// Breakers snapshots every store breaker that has recorded a failure.
+func (s *Service) Breakers() map[string]BreakerState {
+	out := map[string]BreakerState{}
+	s.brk.mu.Lock()
+	defer s.brk.mu.Unlock()
+	now := time.Now()
+	for store, c := range s.brk.m {
+		out[store] = BreakerState{
+			ConsecutiveFailures: c.fails,
+			Open:                now.Before(c.openUntil),
+			Trips:               c.trips,
+		}
+	}
+	return out
+}
+
+// maxBackoffShift caps the exponential backoff at initial<<maxBackoffShift.
+const maxBackoffShift = 4
+
+// backoffWait sleeps the capped exponential backoff before retry number
+// attempt (0-based), honouring ctx.
+func backoffWait(ctx context.Context, initial time.Duration, attempt int) error {
+	if initial <= 0 {
+		return nil
+	}
+	shift := attempt
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	t := time.NewTimer(initial << shift)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// classifyStoreError maps a store-attributed failure to the service's
+// typed sentinels: a stall cut short by the deadline becomes
+// ErrStoreTimeout, an injected (transient) fault that is not being
+// retried becomes ErrStoreUnavailable. Both wrap the original error, so
+// errors.Is still sees the underlying cause.
+func classifyStoreError(err error) error {
+	var se *engine.StoreError
+	if !errors.As(err, &se) {
+		return err
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrStoreTimeout, err)
+	case errors.Is(err, engine.ErrInjected):
+		return fmt.Errorf("%w: %w", ErrStoreUnavailable, err)
+	}
+	return err
+}
+
+// execWithRetry opens a prepared execution with the degradation policy:
+// a fail-fast check against open breakers for the stores the plan
+// touches, then up to RetryAttempts retries with capped exponential
+// backoff for transient (injected) store faults. Permanent store errors
+// and deadline expiries are never retried. Every attributed failure
+// feeds the failing store's breaker; the eventual error is classified
+// into the typed sentinels.
+func (s *Service) execWithRetry(ctx context.Context, prep *core.Prepared, args []value.Value) (*core.Rows, error) {
+	if st := s.brk.blocked(prep.Stores()); st != "" {
+		s.metrics.breakerFastFails.Add(1)
+		return nil, fmt.Errorf("%w: store %q circuit open", ErrStoreUnavailable, st)
+	}
+	for attempt := 0; ; attempt++ {
+		cur, err := prep.ExecRows(ctx, nil, args...)
+		if err == nil {
+			return cur, nil
+		}
+		var se *engine.StoreError
+		if !errors.As(err, &se) {
+			return nil, err
+		}
+		open := s.brk.fail(se.Store)
+		transient := errors.Is(err, engine.ErrInjected) &&
+			!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
+		if !transient || open || attempt >= s.opts.RetryAttempts || ctx.Err() != nil {
+			if open && transient {
+				s.metrics.breakerFastFails.Add(1)
+			}
+			return nil, classifyStoreError(err)
+		}
+		s.metrics.retries.Add(1)
+		if werr := backoffWait(ctx, s.opts.RetryBackoff, attempt); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
+// noteStoreOutcome feeds a finished cursor's outcome back into the
+// breaker table: a clean close resets the breaker of every store the
+// execution touched; a store-attributed failure counts against the
+// failing store.
+func (s *Service) noteStoreOutcome(perStore map[string]engine.CounterSnapshot, err error) {
+	if err == nil {
+		for store := range perStore {
+			s.brk.ok(store)
+		}
+		return
+	}
+	var se *engine.StoreError
+	if errors.As(err, &se) {
+		s.brk.fail(se.Store)
+	}
+}

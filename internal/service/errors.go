@@ -28,4 +28,13 @@ var (
 	// runaway query surfaces a typed error instead of materializing
 	// without bound.
 	ErrResultTruncated = errors.New("service: result truncated at MaxResultRows")
+	// ErrStoreUnavailable is returned when a store keeps failing after the
+	// configured retries, or fails fast because its circuit breaker is
+	// open. Front ends map it to 503: the mediator is healthy, one of its
+	// stores is not.
+	ErrStoreUnavailable = errors.New("service: store unavailable")
+	// ErrStoreTimeout is returned when a store stalled past the query's
+	// deadline (the stall was cancelled by the context, not served). Front
+	// ends map it to 504 with the store attributed in the message.
+	ErrStoreTimeout = errors.New("service: store timeout")
 )

@@ -100,9 +100,13 @@ func (r *Rows) Limit(n int64) {
 	}
 }
 
+// fail records the cursor's first error. Store-attributed failures —
+// injected faults surfacing mid-stream, stalls cut short by the deadline
+// — are classified into the typed sentinels here, so in-band stream
+// errors carry the same taxonomy as open-time failures.
 func (r *Rows) fail(err error) {
 	if r.err == nil {
-		r.err = err
+		r.err = classifyStoreError(err)
 	}
 }
 
@@ -206,6 +210,7 @@ func (r *Rows) Close() error {
 	r.cur.Close()
 	r.execTime = time.Since(r.execStart)
 	r.perStore = r.cur.PerStore()
+	r.svc.noteStoreOutcome(r.perStore, r.err)
 	r.svc.metrics.inFlight.Add(-1)
 	<-r.svc.sem
 	if r.cancel != nil {

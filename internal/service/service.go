@@ -39,6 +39,20 @@ type Options struct {
 	// delivers exactly the cap and then surfaces ErrResultTruncated
 	// in-band if more rows existed.
 	MaxResultRows int
+	// RetryAttempts is how many times a query whose execution failed at
+	// open time with a transient store fault is retried before surfacing
+	// ErrStoreUnavailable. 0 = 2; negative = no retries.
+	RetryAttempts int
+	// RetryBackoff is the backoff before the first retry, doubled per
+	// attempt and capped at 16×. 0 = 2ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive attributed failures after which
+	// a store's circuit breaker opens (queries touching the store fail
+	// fast with ErrStoreUnavailable). 0 = 5; negative disables breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-opening for a trial query. 0 = 500ms.
+	BreakerCooldown time.Duration
 }
 
 // Service is a concurrent mediator runtime over one core.System. All
@@ -52,6 +66,9 @@ type Service struct {
 	// prepare runs the cold path (PACB rewriting via core.Prepare).
 	// Overridable in tests to count or stub rewrites.
 	prepare func(q pivot.CQ, params ...pivot.Var) (*core.Prepared, error)
+
+	// brk is the per-store circuit-breaker table of the degradation layer.
+	brk *breakers
 
 	metrics Metrics
 
@@ -77,6 +94,9 @@ type Metrics struct {
 	rowsServed  atomic.Int64 // total result rows returned
 	writes      atomic.Int64 // write batches admitted into WriteBatch
 	rowsWritten atomic.Int64 // total base rows inserted + deleted
+
+	retries          atomic.Int64 // execution retries after transient store faults
+	breakerFastFails atomic.Int64 // queries failed fast on an open breaker
 }
 
 // MetricsSnapshot is a point-in-time copy of the service metrics.
@@ -84,6 +104,7 @@ type MetricsSnapshot struct {
 	Queries, CacheHits, Coalesced, CacheMisses int64
 	Errors, Timeouts, InFlight, RowsServed     int64
 	Writes, RowsWritten                        int64
+	Retries, BreakerFastFails                  int64
 	CacheEntries                               int
 	Sessions                                   int
 	Statements                                 int
@@ -97,6 +118,24 @@ func New(sys *core.System, opts Options) *Service {
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
 	}
+	switch {
+	case opts.RetryAttempts == 0:
+		opts.RetryAttempts = 2
+	case opts.RetryAttempts < 0:
+		opts.RetryAttempts = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 2 * time.Millisecond
+	}
+	switch {
+	case opts.BreakerThreshold == 0:
+		opts.BreakerThreshold = 5
+	case opts.BreakerThreshold < 0:
+		opts.BreakerThreshold = 0
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 500 * time.Millisecond
+	}
 	s := &Service{
 		sys:      sys,
 		opts:     opts,
@@ -104,6 +143,7 @@ func New(sys *core.System, opts Options) *Service {
 		sem:      make(chan struct{}, opts.MaxInFlight),
 		sessions: map[uint64]*Session{},
 		stmts:    map[uint64]*Stmt{},
+		brk:      newBreakers(opts.BreakerThreshold, opts.BreakerCooldown),
 	}
 	s.prepare = sys.Prepare
 	return s
@@ -121,19 +161,21 @@ func (s *Service) Snapshot() MetricsSnapshot {
 	nStmt := len(s.stmts)
 	s.stmtMu.Unlock()
 	return MetricsSnapshot{
-		Queries:      s.metrics.queries.Load(),
-		CacheHits:    s.metrics.hits.Load(),
-		Coalesced:    s.metrics.coalesced.Load(),
-		CacheMisses:  s.metrics.misses.Load(),
-		Errors:       s.metrics.errors.Load(),
-		Timeouts:     s.metrics.timeouts.Load(),
-		InFlight:     s.metrics.inFlight.Load(),
-		RowsServed:   s.metrics.rowsServed.Load(),
-		Writes:       s.metrics.writes.Load(),
-		RowsWritten:  s.metrics.rowsWritten.Load(),
-		CacheEntries: s.cache.len(),
-		Sessions:     nSess,
-		Statements:   nStmt,
+		Queries:          s.metrics.queries.Load(),
+		CacheHits:        s.metrics.hits.Load(),
+		Coalesced:        s.metrics.coalesced.Load(),
+		CacheMisses:      s.metrics.misses.Load(),
+		Errors:           s.metrics.errors.Load(),
+		Timeouts:         s.metrics.timeouts.Load(),
+		InFlight:         s.metrics.inFlight.Load(),
+		RowsServed:       s.metrics.rowsServed.Load(),
+		Writes:           s.metrics.writes.Load(),
+		RowsWritten:      s.metrics.rowsWritten.Load(),
+		Retries:          s.metrics.retries.Load(),
+		BreakerFastFails: s.metrics.breakerFastFails.Load(),
+		CacheEntries:     s.cache.len(),
+		Sessions:         nSess,
+		Statements:       nStmt,
 	}
 }
 
@@ -312,7 +354,7 @@ func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, a
 	}
 	s.metrics.inFlight.Add(1)
 	execStart := time.Now()
-	cur, err := prep.ExecRows(ctx, nil, args...)
+	cur, err := s.execWithRetry(ctx, prep, args)
 	if err != nil {
 		s.metrics.inFlight.Add(-1)
 		<-s.sem

@@ -103,7 +103,9 @@ func (s *Service) WriteBatch(ctx context.Context, ops []WriteOp) (*WriteResult, 
 			rep, err = s.sys.InsertInto(op.Relation, op.Rows...)
 		}
 		if err != nil {
-			err = &BatchOpError{Op: i, Err: err}
+			// Classify store-attributed failures into the typed sentinels
+			// (503/504 at the HTTP layer) before attributing the batch op.
+			err = &BatchOpError{Op: i, Err: classifyStoreError(err)}
 			s.countFailure(base, err, nil)
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -104,24 +105,25 @@ func KVKey(v value.Value) string { return v.Key() }
 
 // accessBatch issues a single-fragment access with equality filters on
 // view columns, on each store's native batch path. This is the uniform
-// entry point BindJoin fetches and leaf sources go through. extra, when
+// entry point BindJoin fetches and leaf sources go through. ctx bounds
+// the store's simulated service time (and injected stalls); extra, when
 // non-nil, additionally attributes the store's work to the calling
 // execution.
-func (s *Stores) accessBatch(frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.BatchIterator, error) {
+func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.BatchIterator, error) {
 	switch frag.Layout.Kind {
 	case catalog.LayoutRel:
 		st, ok := s.Rel[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no relational store %q", frag.Store)
 		}
-		return st.SelectBatchCounted(frag.Layout.Collection, filters, nil, extra)
+		return st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutPar:
 		st, ok := s.Par[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no parallel store %q", frag.Store)
 		}
-		return st.SelectBatchCounted(frag.Layout.Collection, filters, nil, extra)
+		return st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
 
 	case catalog.LayoutKV:
 		st, ok := s.KV[frag.Store]
@@ -141,7 +143,7 @@ func (s *Stores) accessBatch(frag *catalog.Fragment, filters []engine.EqFilter, 
 			return nil, fmt.Errorf("translate: key-value fragment %q accessed without its key (column %d)",
 				frag.Name, frag.Layout.KeyCol)
 		}
-		it, err := st.GetBatchCounted(frag.Layout.Collection, KVKey(key), extra)
+		it, err := st.GetBatchCounted(ctx, frag.Layout.Collection, KVKey(key), extra)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +164,7 @@ func (s *Stores) accessBatch(frag *catalog.Fragment, filters []engine.EqFilter, 
 			}
 			pf = append(pf, docstore.PathFilter{Path: frag.Layout.DocPaths[f.Col], Val: f.Val})
 		}
-		return st.FindTuplesBatchCounted(frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
+		return st.FindTuplesBatchCounted(ctx, frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
 
 	case catalog.LayoutText:
 		st, ok := s.Text[frag.Store]
@@ -177,7 +179,7 @@ func (s *Stores) accessBatch(frag *catalog.Fragment, filters []engine.EqFilter, 
 			q.Fields = append(q.Fields, textstore.FieldFilter{
 				Field: frag.Layout.Columns[f.Col], Val: f.Val})
 		}
-		return st.SearchBatchCounted(frag.Layout.Collection, q, extra)
+		return st.SearchBatchCounted(ctx, frag.Layout.Collection, q, extra)
 
 	default:
 		return nil, fmt.Errorf("translate: unsupported layout %v", frag.Layout.Kind)

@@ -197,7 +197,7 @@ func (p *Planner) buildAtomLeaf(a pivot.Atom, f *catalog.Fragment) (exec.Node, e
 		Name: fmt.Sprintf("%s.access(%s)", f.Store, f.Name),
 		Out:  rawSchema,
 		BatchFn: func(ec *exec.Ctx) (engine.BatchIterator, error) {
-			return p.Stores.accessBatch(frag, filters, ec.StoreCounters(frag.Store))
+			return p.Stores.accessBatch(ec.Ctx(), frag, filters, ec.StoreCounters(frag.Store))
 		},
 	}
 	var node exec.Node = src
@@ -292,7 +292,7 @@ func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragmen
 		for i, pos := range bindPos {
 			filters = append(filters, engine.EqFilter{Col: pos, Val: bind[i]})
 		}
-		it, err := p.Stores.accessBatch(frag, filters, ec.StoreCounters(frag.Store))
+		it, err := p.Stores.accessBatch(ec.Ctx(), frag, filters, ec.StoreCounters(frag.Store))
 		if err != nil {
 			return nil, err
 		}
@@ -340,11 +340,11 @@ func (p *Planner) buildDelegatedGroup(r pivot.CQ, frags []*catalog.Fragment, gro
 	var open func(ec *exec.Ctx) (engine.BatchIterator, error)
 	if st, ok := p.Stores.Rel[storeName]; ok {
 		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
-			return st.QueryBatchCounted(dq, ec.StoreCounters(storeName))
+			return st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
 		}
 	} else if st, ok := p.Stores.Par[storeName]; ok {
 		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
-			return st.QueryBatchCounted(dq, ec.StoreCounters(storeName))
+			return st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
 		}
 	} else {
 		return nil, fmt.Errorf("translate: store %q cannot take delegated joins", storeName)

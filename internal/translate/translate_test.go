@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -334,7 +335,7 @@ func TestAccessErrorPaths(t *testing.T) {
 	// KV access without its key must fail at access level too (belt and
 	// braces under the feasibility check).
 	kvFrag, _ := p.Catalog.Get("FKV")
-	if _, err := p.Stores.accessBatch(kvFrag, nil, nil); err == nil {
+	if _, err := p.Stores.accessBatch(context.Background(), kvFrag, nil, nil); err == nil {
 		t.Error("KV access without key accepted")
 	}
 	// Unknown store name.
@@ -342,7 +343,7 @@ func TestAccessErrorPaths(t *testing.T) {
 		Name: "FGhost", Dataset: "d", View: idView("FGhost", "G", 1), Store: "nowhere",
 		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "g", Columns: []string{"a"}},
 	}
-	if _, err := p.Stores.accessBatch(ghost, nil, nil); err == nil {
+	if _, err := p.Stores.accessBatch(context.Background(), ghost, nil, nil); err == nil {
 		t.Error("access through unknown store accepted")
 	}
 }
