@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke fuzz-smoke chaos
+.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke fuzz-smoke chaos metrics-smoke
 
 all: check
 
@@ -60,3 +60,9 @@ fuzz-smoke:
 # admin paths.
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/engines/engine/ ./internal/langfuzz/ ./cmd/estocada-serve/
+
+# End-to-end observability smoke: build and start estocada-serve, run a
+# query, then assert /metrics is a non-empty Prometheus exposition with
+# observed query histograms. CI runs this same script.
+metrics-smoke:
+	./scripts/metrics_smoke.sh

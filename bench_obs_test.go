@@ -1,0 +1,79 @@
+// Observability overhead benchmarks (PR 7). _Off measures the disabled
+// path — the primitives every query crosses when no Registry is
+// configured — and must stay at 0 allocs/op. _Sampled measures a fully
+// instrumented profiled query (Registry + per-operator profiling +
+// slow-query log), the worst-case per-query cost a diagnosing operator
+// opts into.
+package repro
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+func BenchmarkObsOverhead_Off(b *testing.B) {
+	var nilHist *obs.Histogram // a store without instrumentation
+	reg := obs.NewRegistry()
+	vec := reg.NewHistogram("bench_off_seconds", "warmed vec", "key")
+	vec.Get1("hot").Observe(time.Microsecond) // warm the series
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nilHist.Observe(time.Microsecond)
+		vec.Get1("hot").Observe(time.Microsecond)
+		if obs.ProfileEnabled(ctx) {
+			b.Fatal("profile enabled on background context")
+		}
+		if obs.RequestID(ctx) != "" {
+			b.Fatal("request ID on background context")
+		}
+	}
+}
+
+var (
+	benchObsOnce sync.Once
+	benchObsSvc  *service.Service
+)
+
+// setupObsService builds a fully instrumented service: metrics registry,
+// slow-query log with a threshold every query crosses.
+func setupObsService(b *testing.B) {
+	b.Helper()
+	setupService(b) // shared marketplace + benchSvcUIDs for hotQuery
+	benchObsOnce.Do(func() {
+		benchObsSvc = service.New(benchMkts[scenario.Materialized].Sys, service.Options{
+			MaxInFlight:        64,
+			Schema:             scenario.LogicalSchema,
+			Registry:           obs.NewRegistry(),
+			SlowQueryThreshold: time.Nanosecond,
+		})
+	})
+}
+
+func BenchmarkObsOverhead_Sampled(b *testing.B) {
+	setupObsService(b)
+	ctx := obs.WithProfile(context.Background())
+	if _, err := benchObsSvc.Query(ctx, hotQuery(0)); err != nil { // warm the rewrite
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res, err := benchObsSvc.Query(ctx, hotQuery(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(res.Rows)
+	}
+	if total == 0 {
+		b.Fatal("workload returned no rows")
+	}
+}

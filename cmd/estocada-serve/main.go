@@ -25,9 +25,27 @@
 //	                         (Content-Type application/x-ndjson switches to
 //	                         batch ingest: one {"relation":...,"row":[...]}
 //	                         record per line)
-//	GET  /stats              service metrics + per-store counters + cursors
+//	GET  /stats              one consistent snapshot: service metrics,
+//	                         per-store counters, breaker states,
+//	                         catalog/data epochs, open cursors
+//	GET  /metrics            Prometheus text exposition: per-phase and
+//	                         per-fingerprint query histograms, per-store
+//	                         latency histograms + op counters, breaker
+//	                         gauges, fault-injection counters, epochs
+//	GET  /debug/queries      slow-query log (ring buffer, newest first);
+//	                         queries slower than -slow-query, plus all
+//	                         failed queries
+//	GET  /debug/pprof/       net/http/pprof profiles
 //	GET  /fragments          the catalog's storage descriptors
 //	GET  /healthz            liveness probe
+//
+// Observability: every request gets an X-Request-ID (the client's, or a
+// generated one), echoed on the response, recorded in slow-query-log
+// entries and error bodies. "explain":true (or ?explain=1, alias
+// profile) on /query and /execute runs the query with per-operator
+// profiling and attaches the EXPLAIN ANALYZE tree — operator, columns,
+// rows, batches, cumulative time, children, with bind-join store
+// attribution — to the response as "plan".
 //
 // Writes ride the maintenance layer (internal/maintain): every insert or
 // delete against a logical base relation incrementally updates each
@@ -63,6 +81,11 @@
 //	  '{"relation":"Visits","row":["u00003","p00007",12]}' \
 //	  '{"relation":"Visits","row":["u00004","p00002",55]}' \
 //	  | curl -s localhost:8080/insert -H 'Content-Type: application/x-ndjson' --data-binary @-
+//	curl -s localhost:8080/metrics | grep estocada_query_phase
+//	curl -s localhost:8080/query -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''","explain":true}' | python3 -m json.tool
+//	curl -s 'localhost:8080/query?explain=1' -H 'X-Request-ID: my-trace-7' -d '{"lang":"cq","query":"Q(pid, qty) :- Carts('\''u00007'\'', pid, qty)"}'
+//	curl -s localhost:8080/debug/queries | python3 -m json.tool
+//	curl -s localhost:8080/stats | python3 -m json.tool
 package main
 
 import (
@@ -73,6 +96,7 @@ import (
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/service"
 )
@@ -89,18 +113,24 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle sessions are reaped after this (0 = never)")
 	cursorTTL := flag.Duration("cursor-ttl", time.Minute, "idle paginated cursors are reaped (slots released) after this (0 = never)")
 	stmtTTL := flag.Duration("stmt-ttl", time.Hour, "idle prepared statements are unregistered after this (0 = never)")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "queries at least this slow land in the /debug/queries log; failures always do (0 = failures only)")
+	slowLogSize := flag.Int("slow-log", 128, "slow-query ring-buffer size (negative disables the log)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	svc, err := deploy(*scenarioFlag, *variantFlag, *users, service.Options{
-		MaxInFlight:   *maxInFlight,
-		QueryTimeout:  *timeout,
-		CacheShards:   *shards,
-		MaxResultRows: *maxResultRows,
+		MaxInFlight:        *maxInFlight,
+		QueryTimeout:       *timeout,
+		CacheShards:        *shards,
+		MaxResultRows:      *maxResultRows,
+		Registry:           reg,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       *slowLogSize,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := newServer(svc)
+	srv := newServer(svc, reg)
 
 	startReaper(*sessionTTL, "idle sessions", svc.ReapSessions)
 	startReaper(*cursorTTL, "abandoned cursors", srv.reapCursors)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engines/engine"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/value"
 )
@@ -27,8 +29,11 @@ import (
 // paginated cursors hold their admission slot between fetches.
 type server struct {
 	svc       *service.Service
+	reg       *obs.Registry // /metrics exposition; nil disables the endpoint
 	mux       *http.ServeMux
 	fetchRows int // default rows per /fetch when the client names none
+
+	reqSeq atomic.Uint64 // generated X-Request-ID suffix
 
 	curMu   sync.Mutex
 	cursors map[uint64]*cursorHandle
@@ -48,9 +53,10 @@ type cursorHandle struct {
 	lastUse time.Time
 }
 
-func newServer(svc *service.Service) *server {
+func newServer(svc *service.Service, reg *obs.Registry) *server {
 	s := &server{
 		svc:       svc,
+		reg:       reg,
 		mux:       http.NewServeMux(),
 		fetchRows: value.BatchCap,
 		cursors:   map[uint64]*cursorHandle{},
@@ -69,10 +75,29 @@ func newServer(svc *service.Service) *server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/fragments", s.handleFragments)
 	s.mux.HandleFunc("/fault", s.handleFault)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleSlowQueries)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP threads a request ID through every handler: the client's
+// X-Request-ID when present, a generated one otherwise. The ID is echoed
+// on the response, carried in the request context (so spans, slow-log
+// entries and store-layer errors correlate), and stamped into error
+// bodies.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = fmt.Sprintf("req-%x-%x", time.Now().UnixNano()&0xffffffff, s.reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", id)
+	s.mux.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+}
 
 // --- error mapping ---------------------------------------------------------
 
@@ -132,17 +157,23 @@ func statusFor(err error) (int, string) {
 }
 
 // errorBody renders the structured JSON error record (shared between
-// status-coded responses and in-band NDJSON terminal records).
-func errorBody(err error) map[string]any {
+// status-coded responses and in-band NDJSON terminal records). The
+// request ID, when known, rides along so a degraded response can be
+// matched to its slow-query-log entry and server logs.
+func errorBody(err error, requestID string) map[string]any {
 	_, code := statusFor(err)
-	return map[string]any{"error": map[string]any{"code": code, "message": err.Error()}}
+	e := map[string]any{"code": code, "message": err.Error()}
+	if requestID != "" {
+		e["requestId"] = requestID
+	}
+	return map[string]any{"error": e}
 }
 
-func (s *server) writeError(w http.ResponseWriter, err error) {
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, _ := statusFor(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if encErr := json.NewEncoder(w).Encode(errorBody(err)); encErr != nil {
+	if encErr := json.NewEncoder(w).Encode(errorBody(err, obs.RequestID(r.Context()))); encErr != nil {
 		log.Printf("encode error response: %v", encErr)
 	}
 }
@@ -156,6 +187,11 @@ type queryRequest struct {
 	Stream  bool   `json:"stream"`
 	Cursor  bool   `json:"cursor"`
 	MaxRows int64  `json:"maxRows"`
+	// Explain (alias Profile; also ?explain=1 / ?profile=1) runs the
+	// query with per-operator profiling and attaches the EXPLAIN ANALYZE
+	// tree to the response as "plan".
+	Explain bool `json:"explain"`
+	Profile bool `json:"profile"`
 }
 
 type executeRequest struct {
@@ -164,6 +200,14 @@ type executeRequest struct {
 	Stream  bool   `json:"stream"`
 	Cursor  bool   `json:"cursor"`
 	MaxRows int64  `json:"maxRows"`
+	Explain bool   `json:"explain"`
+	Profile bool   `json:"profile"`
+}
+
+// boolParam reads a query-string toggle ("1" or "true").
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
@@ -178,7 +222,7 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	dec := json.NewDecoder(r.Body)
 	dec.UseNumber()
 	if err := dec.Decode(dst); err != nil {
-		s.writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		s.writeError(w, r, fmt.Errorf("%w: %v", errBadRequest, err))
 		return false
 	}
 	return true
@@ -200,22 +244,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	stream := req.Stream || r.URL.Query().Get("stream") == "1"
-	cursorMode := req.Cursor || r.URL.Query().Get("cursor") == "1"
+	stream := req.Stream || boolParam(r, "stream")
+	cursorMode := req.Cursor || boolParam(r, "cursor")
+	explain := req.Explain || req.Profile || boolParam(r, "explain") || boolParam(r, "profile")
 
 	// A paginated cursor outlives this request, so it cannot run under
 	// r.Context(); the registry (TTL reaper) and the service's own
-	// QueryTimeout bound its lifetime instead.
+	// QueryTimeout bound its lifetime instead. The request ID transfers to
+	// the detached context so the cursor's queries stay correlatable.
 	ctx := r.Context()
 	if cursorMode {
-		ctx = context.Background()
+		ctx = obs.WithRequestID(context.Background(), obs.RequestID(r.Context()))
+	}
+	if explain {
+		ctx = obs.WithProfile(ctx)
 	}
 	var rows *service.Rows
 	var err error
 	if req.Session != 0 {
 		sess, ok := s.svc.Session(req.Session)
 		if !ok {
-			s.writeError(w, fmt.Errorf("%w: %d", errUnknownSession, req.Session))
+			s.writeError(w, r, fmt.Errorf("%w: %d", errUnknownSession, req.Session))
 			return
 		}
 		rows, err = sess.QueryTextRows(ctx, req.Lang, req.Query)
@@ -223,11 +272,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rows, err = s.svc.QueryTextRows(ctx, req.Lang, req.Query)
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	rows.Limit(req.MaxRows)
-	s.respondRows(w, rows, stream, cursorMode)
+	s.respondRows(w, r, rows, stream, cursorMode)
 }
 
 func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -243,7 +292,7 @@ func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.svc.Prepare(r.Context(), req.Lang, req.Query)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]any{"stmt": st.ID(), "params": st.NumParams()})
@@ -257,11 +306,15 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	stream := req.Stream || r.URL.Query().Get("stream") == "1"
-	cursorMode := req.Cursor || r.URL.Query().Get("cursor") == "1"
+	stream := req.Stream || boolParam(r, "stream")
+	cursorMode := req.Cursor || boolParam(r, "cursor")
+	explain := req.Explain || req.Profile || boolParam(r, "explain") || boolParam(r, "profile")
 	ctx := r.Context()
 	if cursorMode {
-		ctx = context.Background()
+		ctx = obs.WithRequestID(context.Background(), obs.RequestID(r.Context()))
+	}
+	if explain {
+		ctx = obs.WithProfile(ctx)
 	}
 	args := make([]value.Value, len(req.Args))
 	for i, a := range req.Args {
@@ -269,50 +322,54 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := s.svc.ExecuteRows(ctx, req.Stmt, args...)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	rows.Limit(req.MaxRows)
-	s.respondRows(w, rows, stream, cursorMode)
+	s.respondRows(w, r, rows, stream, cursorMode)
 }
 
 // respondRows delivers an open cursor in the caller's chosen mode:
 // registered cursor handle, NDJSON stream, or materialized JSON.
-func (s *server) respondRows(w http.ResponseWriter, rows *service.Rows, stream, cursorMode bool) {
+func (s *server) respondRows(w http.ResponseWriter, r *http.Request, rows *service.Rows, stream, cursorMode bool) {
 	switch {
 	case cursorMode:
 		h := s.registerCursor(rows)
 		writeJSON(w, map[string]any{"cursor": h.id, "columns": h.columns})
 	case stream:
-		s.streamRows(w, rows)
+		s.streamRows(w, r, rows)
 	default:
-		s.respondMaterialized(w, rows)
+		s.respondMaterialized(w, r, rows)
 	}
 }
 
 // respondMaterialized drains the cursor into the legacy one-shot JSON
 // response shape.
-func (s *server) respondMaterialized(w http.ResponseWriter, rows *service.Rows) {
+func (s *server) respondMaterialized(w http.ResponseWriter, r *http.Request, rows *service.Rows) {
 	res, err := rows.Materialize()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	out := make([][]any, len(res.Rows))
 	for i, t := range res.Rows {
 		out[i] = jsonTuple(t)
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"rows":   out,
 		"report": reportJSON(rows, true), // Materialize closed the cursor
-	})
+	}
+	if p := rows.Profile(); p != nil {
+		resp["plan"] = p
+	}
+	writeJSON(w, resp)
 }
 
 // streamRows writes the NDJSON protocol: a columns header, one row
 // record per tuple flushed once per drained batch, and a terminal record
 // — {"done":true,...} with the report, or {"error":{...}} if the
 // executor failed mid-stream.
-func (s *server) streamRows(w http.ResponseWriter, rows *service.Rows) {
+func (s *server) streamRows(w http.ResponseWriter, r *http.Request, rows *service.Rows) {
 	defer rows.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -333,7 +390,7 @@ func (s *server) streamRows(w http.ResponseWriter, rows *service.Rows) {
 	for {
 		chunk, err := rows.NextChunk()
 		if err != nil {
-			encode(errorBody(err))
+			encode(errorBody(err, obs.RequestID(r.Context())))
 			flush()
 			return
 		}
@@ -346,7 +403,11 @@ func (s *server) streamRows(w http.ResponseWriter, rows *service.Rows) {
 		flush() // once per drained value.Batch
 	}
 	rows.Close()
-	encode(map[string]any{"done": true, "report": reportJSON(rows, true)})
+	terminal := map[string]any{"done": true, "report": reportJSON(rows, true)}
+	if p := rows.Profile(); p != nil {
+		terminal["plan"] = p
+	}
+	encode(terminal)
 	flush()
 }
 
@@ -416,7 +477,7 @@ func (s *server) handleWrite(w http.ResponseWriter, r *http.Request, del bool) {
 		return
 	}
 	if req.Relation == "" || len(req.Rows) == 0 {
-		s.writeError(w, fmt.Errorf("%w: write needs a relation and rows", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: write needs a relation and rows", errBadRequest))
 		return
 	}
 	rows := make([]value.Tuple, len(req.Rows))
@@ -425,7 +486,7 @@ func (s *server) handleWrite(w http.ResponseWriter, r *http.Request, del bool) {
 	}
 	res, err := s.svc.WriteBatch(r.Context(), []service.WriteOp{{Delete: del, Relation: req.Relation, Rows: rows}})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, writeResultJSON(res))
@@ -482,12 +543,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, del bool) 
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			s.writeError(w, fmt.Errorf("%w: ingest line %d: %v", errBadRequest, line+1, err))
+			s.writeError(w, r, fmt.Errorf("%w: ingest line %d: %v", errBadRequest, line+1, err))
 			return
 		}
 		line++
 		if rec.Relation == "" || len(rec.Row) == 0 {
-			s.writeError(w, fmt.Errorf("%w: ingest line %d needs relation and row", errBadRequest, line))
+			s.writeError(w, r, fmt.Errorf("%w: ingest line %d needs relation and row", errBadRequest, line))
 			return
 		}
 		row := jsonRow(rec.Row)
@@ -501,13 +562,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, del bool) 
 		pending++
 		if pending >= ndjsonChunkRows {
 			if err := flush(); err != nil {
-				s.writeError(w, err)
+				s.writeError(w, r, err)
 				return
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	out := writeResultJSON(total)
@@ -615,7 +676,7 @@ func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 	h, ok := s.lookupCursor(req.Cursor)
 	if !ok {
-		s.writeError(w, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
+		s.writeError(w, r, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
 		return
 	}
 	max := req.Max
@@ -636,21 +697,27 @@ func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.dropCursor(h)
 		if len(out) == 0 {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		// Rows already pulled off the cursor (e.g. the page the
 		// MaxResultRows cap fired on) are delivered, with the failure
 		// in-band — mirroring the NDJSON terminal error record.
 		resp := map[string]any{"cursor": h.id, "rows": out, "done": true}
-		resp["error"] = errorBody(err)["error"]
+		resp["error"] = errorBody(err, obs.RequestID(r.Context()))["error"]
 		writeJSON(w, resp)
 		return
 	}
 	if done {
 		s.dropCursor(h)
 	}
-	writeJSON(w, map[string]any{"cursor": h.id, "rows": out, "done": done})
+	resp := map[string]any{"cursor": h.id, "rows": out, "done": done}
+	if done {
+		if p := h.rows.Profile(); p != nil {
+			resp["plan"] = p
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // handleClose releases a server-side handle: a paginated cursor
@@ -670,19 +737,19 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 	case req.Cursor != 0:
 		h, ok := s.lookupCursor(req.Cursor)
 		if !ok {
-			s.writeError(w, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
+			s.writeError(w, r, fmt.Errorf("%w: %d", errUnknownCursor, req.Cursor))
 			return
 		}
 		s.dropCursor(h)
 	case req.Stmt != 0:
 		st, ok := s.svc.Stmt(req.Stmt)
 		if !ok {
-			s.writeError(w, fmt.Errorf("%w: %d", service.ErrUnknownStatement, req.Stmt))
+			s.writeError(w, r, fmt.Errorf("%w: %d", service.ErrUnknownStatement, req.Stmt))
 			return
 		}
 		st.Close()
 	default:
-		s.writeError(w, fmt.Errorf("%w: close takes a cursor or stmt id", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: close takes a cursor or stmt id", errBadRequest))
 		return
 	}
 	writeJSON(w, map[string]any{"closed": true})
@@ -690,22 +757,39 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 
 // --- introspection ---------------------------------------------------------
 
+// statsResponse is the /stats wire shape: the service's consistent
+// snapshot (metrics, per-store counters, breakers, epochs — see
+// service.Stats) plus the front end's own cursor count.
+type statsResponse struct {
+	service.Stats
+	Cursors int `json:"cursors"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.svc.Snapshot()
-	stores := map[string]map[string]int64{}
-	for _, e := range s.svc.System().Stores.All() {
-		c := e.Counters().Snapshot()
-		stores[e.Name()] = map[string]int64{
-			"requests": c.Requests, "scans": c.Scans,
-			"lookups": c.Lookups, "tuples": c.Tuples,
-		}
+	writeJSON(w, statsResponse{Stats: s.svc.Stats(), Cursors: s.cursorCount()})
+}
+
+// handleMetrics serves the Prometheus text exposition (format 0.0.4).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "metrics registry not configured", http.StatusNotFound)
+		return
 	}
-	writeJSON(w, map[string]any{
-		"service":  snap,
-		"stores":   stores,
-		"cursors":  s.cursorCount(),
-		"breakers": s.svc.Breakers(),
-	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("write /metrics: %v", err)
+	}
+}
+
+// handleSlowQueries serves the slow-query ring, newest first: fingerprint,
+// request ID, phase breakdown, and — for profiled queries — the operator
+// tree.
+func (s *server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	q := s.svc.SlowQueries()
+	if q == nil {
+		q = []service.SlowQuery{}
+	}
+	writeJSON(w, map[string]any{"queries": q})
 }
 
 // --- fault administration ---------------------------------------------------
@@ -764,7 +848,7 @@ func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Store == "" {
-		s.writeError(w, fmt.Errorf("%w: fault config needs a store name (or \"*\")", errBadRequest))
+		s.writeError(w, r, fmt.Errorf("%w: fault config needs a store name (or \"*\")", errBadRequest))
 		return
 	}
 	var targets []engine.Engine
@@ -778,7 +862,7 @@ func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if len(targets) == 0 {
-			s.writeError(w, fmt.Errorf("%w: no store %q", errBadRequest, req.Store))
+			s.writeError(w, r, fmt.Errorf("%w: no store %q", errBadRequest, req.Store))
 			return
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/service"
 )
@@ -27,7 +28,10 @@ func testServer(t *testing.T, opts service.Options) *server {
 		t.Fatal(err)
 	}
 	opts.Schema = scenario.LogicalSchema
-	return newServer(service.New(m.Sys, opts))
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	return newServer(service.New(m.Sys, opts), opts.Registry)
 }
 
 // post runs one request through the handler stack and decodes the JSON
@@ -464,7 +468,10 @@ func maintainedServer(t *testing.T, opts service.Options) *server {
 		t.Fatal(err)
 	}
 	opts.Schema = scenario.LogicalSchema
-	return newServer(service.New(m.Sys, opts))
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	return newServer(service.New(m.Sys, opts), opts.Registry)
 }
 
 func TestInsertDeleteEndpoints(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/engines/relstore"
 	"repro/internal/engines/textstore"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
 	"repro/internal/stats"
@@ -430,6 +431,9 @@ type Report struct {
 	PerStore map[string]engine.CounterSnapshot
 	// CacheHit reports whether the plan came from the cache.
 	CacheHit bool
+	// Profile is the per-operator EXPLAIN ANALYZE tree (only when the
+	// query ran under obs.WithProfile; stamped at cursor close).
+	Profile *exec.OpProfile
 }
 
 // Result is a query answer plus its report.
@@ -529,14 +533,23 @@ func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*R
 	// and the cursor drains batch-at-a-time.
 	attr := engine.NewExecCounters()
 	ec := &exec.Ctx{Context: ctx, Counters: attr}
+	var prof *exec.Profile
+	if obs.ProfileEnabled(ctx) {
+		prof = exec.NewProfile()
+		ec.Prof = prof
+	}
 	execStart := time.Now()
 	rs, err := exec.Open(ec, plan.Root)
 	if err != nil {
 		return nil, err
 	}
+	root := plan.Root
 	rs.OnClose(func() {
 		rep.ExecTime = time.Since(execStart)
 		rep.PerStore = attr.Snapshot()
+		if prof != nil {
+			rep.Profile = prof.Tree(root)
+		}
 	})
-	return &Rows{Rows: rs, attr: attr, rep: rep}, nil
+	return &Rows{Rows: rs, attr: attr, rep: rep, prof: prof, root: root}, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engines/engine"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/pivot"
 	"repro/internal/rewrite"
 	"repro/internal/translate"
@@ -175,11 +176,16 @@ func (p *Prepared) ExecRows(ctx context.Context, attr *engine.ExecCounters, args
 		attr = engine.NewExecCounters()
 	}
 	ec := &exec.Ctx{Context: ctx, Counters: attr}
+	var prof *exec.Profile
+	if obs.ProfileEnabled(ctx) {
+		prof = exec.NewProfile()
+		ec.Prof = prof
+	}
 	rs, err := exec.Open(ec, plan.Root)
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Rows: rs, attr: attr}, nil
+	return &Rows{Rows: rs, attr: attr, prof: prof, root: plan.Root}, nil
 }
 
 // bind substitutes the parameter values into the chosen rewriting and

@@ -14,6 +14,10 @@ type Rows struct {
 	*exec.Rows
 	attr *engine.ExecCounters
 	rep  *Report
+	// prof/root carry the opt-in EXPLAIN ANALYZE profiler (set when the
+	// execution was opened under obs.WithProfile).
+	prof *exec.Profile
+	root exec.Node
 }
 
 // PerStore returns the work each store has performed for this execution
@@ -24,3 +28,13 @@ func (r *Rows) PerStore() map[string]engine.CounterSnapshot { return r.attr.Snap
 // Prepared.ExecRows). Planning fields are valid immediately; ExecTime and
 // PerStore are stamped when the cursor closes.
 func (r *Rows) Report() *Report { return r.rep }
+
+// Profile renders the per-operator EXPLAIN ANALYZE tree, or nil when the
+// execution was not profiled. Complete once the cursor is drained or
+// closed; calling it earlier yields the counts so far.
+func (r *Rows) Profile() *exec.OpProfile {
+	if r.prof == nil {
+		return nil
+	}
+	return r.prof.Tree(r.root)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/engines/engine"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -27,6 +28,7 @@ type Store struct {
 	mu       sync.RWMutex
 	colls    map[string]*collection
 	counters engine.Counters
+	hist     obs.Histogram
 	lat      engine.Latency
 	fault    engine.Fault
 }
@@ -62,6 +64,12 @@ func (s *Store) Capabilities() engine.Capability {
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// LatencyHistogram is the store's per-request latency histogram,
+// recorded next to the counters: the translate layer observes one
+// sample per delegated request (issue to stream end) into it, and the
+// service layer exports it at /metrics.
+func (s *Store) LatencyHistogram() *obs.Histogram { return &s.hist }
 
 // Fault implements engine.Engine.
 func (s *Store) Fault() *engine.Fault { return &s.fault }

@@ -78,7 +78,13 @@ func (c *Counters) AddLookup() { atomic.AddInt64(&c.lookups, 1) }
 // AddTuples records n tuples returned to the caller.
 func (c *Counters) AddTuples(n int) { atomic.AddInt64(&c.tuples, int64(n)) }
 
-// Snapshot returns a point-in-time copy.
+// Snapshot returns a point-in-time copy. The four loads are individually
+// atomic but not one transaction: a concurrent writer can land between
+// them, so a snapshot may mix a store's pre- and post-operation counts
+// (e.g. a request counted whose tuples are not yet). Deltas computed via
+// Sub between two snapshots therefore stay non-negative per field but may
+// briefly disagree across fields; consumers (metrics exposition, /stats)
+// tolerate this. See Reset for the only torn-to-zero window.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
 		Requests: atomic.LoadInt64(&c.requests),
@@ -88,7 +94,14 @@ func (c *Counters) Snapshot() CounterSnapshot {
 	}
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters. A Snapshot racing a Reset can observe a mix
+// of zeroed and pre-reset fields, and Prometheus counters derived from
+// these values would go backwards — which scrapers interpret as a process
+// restart. Audit (PR 7): the only Reset caller in the tree is a unit test
+// (engine_test.go); no production path resets live counters, so the
+// torn-to-zero window is documented rather than locked against. Callers
+// adding a production Reset must quiesce readers first or switch the
+// exposition to per-epoch deltas.
 func (c *Counters) Reset() {
 	atomic.StoreInt64(&c.requests, 0)
 	atomic.StoreInt64(&c.scans, 0)
@@ -98,7 +111,10 @@ func (c *Counters) Reset() {
 
 // CounterSnapshot is an immutable view of Counters.
 type CounterSnapshot struct {
-	Requests, Scans, Lookups, Tuples int64
+	Requests int64 `json:"requests"`
+	Scans    int64 `json:"scans"`
+	Lookups  int64 `json:"lookups"`
+	Tuples   int64 `json:"tuples"`
 }
 
 func (s CounterSnapshot) String() string {

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// TimeBatches wraps a store access so the wall time from issue until the
+// stream finishes — first exhaustion, first error, or Close, whichever
+// comes first — is observed into h as one per-request latency sample.
+// The translate layer applies this at its store-access choke points, so
+// every delegated request (leaf scans, bind-join fetches, delegated
+// subqueries) lands in its store's latency histogram. A nil histogram
+// returns the iterator unwrapped.
+func TimeBatches(h *obs.Histogram, it BatchIterator) BatchIterator {
+	if h == nil {
+		return it
+	}
+	return &timedBatchIterator{in: it, h: h, start: time.Now()}
+}
+
+type timedBatchIterator struct {
+	in    BatchIterator
+	h     *obs.Histogram
+	start time.Time
+	done  bool
+}
+
+func (t *timedBatchIterator) NextBatch(dst *value.Batch) (int, error) {
+	n, err := t.in.NextBatch(dst)
+	if err != nil || n == 0 {
+		t.finish()
+	}
+	return n, err
+}
+
+func (t *timedBatchIterator) Close() {
+	t.finish()
+	t.in.Close()
+}
+
+func (t *timedBatchIterator) finish() {
+	if !t.done {
+		t.done = true
+		t.h.Observe(time.Since(t.start))
+	}
+}

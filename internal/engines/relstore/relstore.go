@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engines/engine"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -23,6 +24,7 @@ type Store struct {
 	mu       sync.RWMutex
 	tables   map[string]*Table
 	counters engine.Counters
+	hist     obs.Histogram
 	lat      engine.Latency
 	fault    engine.Fault
 }
@@ -59,6 +61,12 @@ func (s *Store) Capabilities() engine.Capability {
 
 // Counters implements engine.Engine.
 func (s *Store) Counters() *engine.Counters { return &s.counters }
+
+// LatencyHistogram is the store's per-request latency histogram,
+// recorded next to the counters: the translate layer observes one
+// sample per delegated request (issue to stream end) into it, and the
+// service layer exports it at /metrics.
+func (s *Store) LatencyHistogram() *obs.Histogram { return &s.hist }
 
 // Table is one relation with optional secondary indexes.
 type Table struct {

@@ -52,6 +52,9 @@ type Ctx struct {
 	Context context.Context
 	// Counters attributes store work to this execution. Nil = off.
 	Counters *engine.ExecCounters
+	// Prof, when set, wraps every operator with the EXPLAIN ANALYZE
+	// profiler (see Profile). Nil = profiling off, zero overhead.
+	Prof *Profile
 }
 
 // Err reports the cancellation state. Nil-receiver safe.
@@ -190,7 +193,7 @@ func (s *Select) Label() string {
 }
 func (s *Select) Children() []Node { return []Node{s.In} }
 func (s *Select) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := s.In.Open(ec)
+	in, err := openNode(ec, s.In)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +230,7 @@ func (p *Project) Schema() Schema   { return p.out }
 func (p *Project) Label() string    { return "BatchProject" + p.out.String() }
 func (p *Project) Children() []Node { return []Node{p.In} }
 func (p *Project) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := p.In.Open(ec)
+	in, err := openNode(ec, p.In)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +296,7 @@ func (j *HashJoin) Label() string {
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 
 func (j *HashJoin) Open(ec *Ctx) (engine.BatchIterator, error) {
-	lit, err := j.Left.Open(ec)
+	lit, err := openNode(ec, j.Left)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +325,7 @@ type hashJoinIter struct {
 // like any other stream error instead of being lost at Open time.
 func (it *hashJoinIter) build() error {
 	it.built = true
-	rit, err := it.j.Right.Open(it.ec)
+	rit, err := openNode(it.ec, it.j.Right)
 	if err != nil {
 		it.buildErr = err
 		return err
@@ -444,8 +447,12 @@ type BindJoin struct {
 	// SharedRight marks right columns that rejoin left columns (checked as
 	// residual equality); -1 entries are appended to the output.
 	SharedRight []int
-	out         Schema
-	nAppend     int // count of -1 entries in SharedRight
+	// Desc attributes the bound access in plan labels and profiles, e.g.
+	// "redis.fetch(cart)" — set by the planner so EXPLAIN trees name the
+	// store behind the dependent access.
+	Desc    string
+	out     Schema
+	nAppend int // count of -1 entries in SharedRight
 }
 
 // NewBindJoin constructs a bind join. rightOut names the fetched columns;
@@ -476,12 +483,15 @@ func NewBindJoin(left Node, bindVars []string, rightOut Schema, fetch func(*Ctx,
 
 func (b *BindJoin) Schema() Schema { return b.out }
 func (b *BindJoin) Label() string {
+	if b.Desc != "" {
+		return fmt.Sprintf("BatchBindJoin[%d bind cols, dedup] ← %s", len(b.BindCols), b.Desc)
+	}
 	return fmt.Sprintf("BatchBindJoin[%d bind cols, dedup]", len(b.BindCols))
 }
 func (b *BindJoin) Children() []Node { return []Node{b.Left} }
 
 func (b *BindJoin) Open(ec *Ctx) (engine.BatchIterator, error) {
-	lit, err := b.Left.Open(ec)
+	lit, err := openNode(ec, b.Left)
 	if err != nil {
 		return nil, err
 	}

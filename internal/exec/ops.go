@@ -22,7 +22,7 @@ func (d *Distinct) Schema() Schema   { return d.In.Schema() }
 func (d *Distinct) Label() string    { return "BatchDistinct" }
 func (d *Distinct) Children() []Node { return []Node{d.In} }
 func (d *Distinct) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := d.In.Open(ec)
+	in, err := openNode(ec, d.In)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func (l *Limit) Schema() Schema   { return l.In.Schema() }
 func (l *Limit) Label() string    { return fmt.Sprintf("Limit[%d]", l.N) }
 func (l *Limit) Children() []Node { return []Node{l.In} }
 func (l *Limit) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := l.In.Open(ec)
+	in, err := openNode(ec, l.In)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func (s *Sort) Open(ec *Ctx) (engine.BatchIterator, error) {
 		}
 		pos[i] = p
 	}
-	in, err := s.In.Open(ec)
+	in, err := openNode(ec, s.In)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +204,7 @@ func (a *Aggregate) Label() string {
 func (a *Aggregate) Children() []Node { return []Node{a.In} }
 
 func (a *Aggregate) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := a.In.Open(ec)
+	in, err := openNode(ec, a.In)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +308,7 @@ func (n *Nest) Label() string    { return fmt.Sprintf("Nest[by %v]", n.GroupBy) 
 func (n *Nest) Children() []Node { return []Node{n.In} }
 
 func (n *Nest) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := n.In.Open(ec)
+	in, err := openNode(ec, n.In)
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +391,7 @@ func (u *Unnest) Label() string    { return fmt.Sprintf("Unnest[%s]", u.ListCol)
 func (u *Unnest) Children() []Node { return []Node{u.In} }
 
 func (u *Unnest) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := u.In.Open(ec)
+	in, err := openNode(ec, u.In)
 	if err != nil {
 		return nil, err
 	}
@@ -518,7 +518,7 @@ func (it *unionIter) NextBatch(dst *value.Batch) (int, error) {
 			if it.idx >= len(it.u.Inputs) {
 				return 0, nil
 			}
-			in, err := it.u.Inputs[it.idx].Open(it.ec)
+			in, err := openNode(it.ec, it.u.Inputs[it.idx])
 			if err != nil {
 				return 0, err
 			}
@@ -589,7 +589,7 @@ func (e *ExtendConsts) Schema() Schema   { return e.out }
 func (e *ExtendConsts) Label() string    { return fmt.Sprintf("BatchExtendConsts[%d]", len(e.Consts)) }
 func (e *ExtendConsts) Children() []Node { return []Node{e.In} }
 func (e *ExtendConsts) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := e.In.Open(ec)
+	in, err := openNode(ec, e.In)
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +651,7 @@ func (c *ConstructDoc) Label() string    { return fmt.Sprintf("ConstructDoc[%d f
 func (c *ConstructDoc) Children() []Node { return []Node{c.In} }
 
 func (c *ConstructDoc) Open(ec *Ctx) (engine.BatchIterator, error) {
-	in, err := c.In.Open(ec)
+	in, err := openNode(ec, c.In)
 	if err != nil {
 		return nil, err
 	}

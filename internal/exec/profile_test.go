@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestProfileTree(t *testing.T) {
+	left := &Values{Out: Schema{"x", "y"}, Rows: []value.Tuple{
+		{value.Int(1), value.Str("a")},
+		{value.Int(2), value.Str("b")},
+		{value.Int(3), value.Str("c")},
+	}}
+	right := &Values{Out: Schema{"x", "z"}, Rows: []value.Tuple{
+		{value.Int(1), value.Str("p")},
+		{value.Int(2), value.Str("q")},
+	}}
+	join, err := NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProject(join, []string{"y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof := NewProfile()
+	ec := &Ctx{Prof: prof}
+	rows, err := RunWith(ec, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+
+	tree := prof.Tree(proj)
+	if tree == nil {
+		t.Fatal("nil tree")
+	}
+	if !strings.HasPrefix(tree.Op, "BatchProject") {
+		t.Fatalf("root op = %q", tree.Op)
+	}
+	if tree.Rows != 2 || tree.Batches != 1 {
+		t.Fatalf("root rows=%d batches=%d, want 2/1", tree.Rows, tree.Batches)
+	}
+	if len(tree.Children) != 1 {
+		t.Fatalf("root children = %d", len(tree.Children))
+	}
+	j := tree.Children[0]
+	if !strings.HasPrefix(j.Op, "BatchHashJoin") || j.Rows != 2 {
+		t.Fatalf("join node = %+v", j)
+	}
+	if len(j.Children) != 2 {
+		t.Fatalf("join children = %d", len(j.Children))
+	}
+	// Build side (right) is drained inside the join: its stats exist too.
+	if j.Children[0].Rows != 3 {
+		t.Fatalf("left leaf rows = %d, want 3", j.Children[0].Rows)
+	}
+	if j.Children[1].Rows != 2 {
+		t.Fatalf("right leaf rows = %d, want 2", j.Children[1].Rows)
+	}
+	if len(tree.Columns) != 2 || tree.Columns[0] != "y" {
+		t.Fatalf("root columns = %v", tree.Columns)
+	}
+}
+
+func TestProfileNilOff(t *testing.T) {
+	v := &Values{Out: Schema{"x"}, Rows: []value.Tuple{{value.Int(1)}}}
+	// No profile: openNode must hand back the raw iterator untouched.
+	it, err := openNode(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.(*profIter); ok {
+		t.Fatal("nil ctx must not wrap")
+	}
+	it.Close()
+	var p *Profile
+	if p.Tree(v) != nil {
+		t.Fatal("nil profile tree should be nil")
+	}
+}
+
+func TestBindJoinDescLabel(t *testing.T) {
+	b := &BindJoin{Desc: "redis.fetch(cart)"}
+	if got := b.Label(); !strings.Contains(got, "redis.fetch(cart)") {
+		t.Fatalf("label = %q", got)
+	}
+}

@@ -38,7 +38,7 @@ func Open(ec *Ctx, n Node) (*Rows, error) {
 	if err := ec.Err(); err != nil {
 		return nil, err
 	}
-	it, err := n.Open(ec)
+	it, err := openNode(ec, n)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyProfile
+)
+
+// WithRequestID stamps a request correlation ID on the context. The
+// service layer reads it into span and slow-query-log entries; the HTTP
+// layer echoes it in error bodies.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID returns the request correlation ID, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithProfile marks the context as profiled: executions opened under it
+// wrap every plan operator with a profiling iterator and stamp an
+// EXPLAIN ANALYZE tree into their report. Carried on the context so the
+// flag rides through the service and core layers without signature
+// changes.
+func WithProfile(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKeyProfile, true)
+}
+
+// ProfileEnabled reports whether the context requests operator profiling.
+func ProfileEnabled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	on, _ := ctx.Value(ctxKeyProfile).(bool)
+	return on
+}

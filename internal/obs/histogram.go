@@ -1,0 +1,140 @@
+// Package obs is ESTOCADA's dependency-free observability core: lock-free
+// log-bucketed latency histograms, a counter/gauge/histogram registry with
+// Prometheus text-format exposition, a fixed-capacity span recorder, and
+// the context carriers (request ID, profiling flag) the layers above use
+// to thread observability state through a query without changing call
+// signatures. Everything here is stdlib-only and safe for concurrent use;
+// the recording hot paths (Histogram.Observe, Trace.Add, the context
+// reads) are allocation-free so the substrate can sit under the ~56k qps
+// service layer without showing up in profiles.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: 27 power-of-two
+// latency buckets from 2µs up to ~134s, plus a final +Inf bucket. Bucket i
+// (i < NumBuckets-1) counts observations with whole-microsecond value in
+// [2^i, 2^(i+1)), i.e. upper bound 2^(i+1)µs; sub-microsecond observations
+// land in bucket 0.
+const NumBuckets = 28
+
+// Histogram is a lock-free latency histogram with logarithmic (base-2)
+// buckets. The zero value is ready to use; a Histogram must not be copied
+// after first use. Observe is wait-free: one atomic add per bucket, count
+// and sum — no locks, no allocation — so histograms can be embedded
+// directly in store and service hot paths.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket: floor(log2(microseconds)),
+// clamped into [0, NumBuckets-1].
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	i := bits.Len64(us) - 1
+	if i >= NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency sample. Nil-receiver safe (a no-op), so
+// call sites can hold an optional histogram without branching. Negative
+// durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets are
+// per-bucket (non-cumulative) counts; exposition accumulates them.
+type HistogramSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     time.Duration
+}
+
+// Snapshot copies the histogram. Buckets, count and sum are each
+// individually consistent (atomic loads); under concurrent writers the
+// trio may be skewed by in-flight observations, which exposition
+// tolerates by emitting the +Inf bucket as the bucket total.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// BucketBound returns the upper bound of bucket i in seconds
+// (math.Inf(1) conceptually for the last bucket; callers render it
+// as "+Inf" and should not call this for i == NumBuckets-1).
+func BucketBound(i int) float64 {
+	return float64(uint64(1)<<(i+1)) / 1e6
+}
+
+// Quantile estimates the q-quantile (0..1) in seconds from a snapshot by
+// linear interpolation within the winning bucket — the planner-facing
+// read path for "what is this store's p99".
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			if i == NumBuckets-1 {
+				hi = 2 * lo // open-ended bucket: extrapolate one doubling
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return BucketBound(NumBuckets - 2)
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 9},                // 1000µs → floor(log2)=9
+		{time.Second, 19},                    // 1e6µs → floor(log2)=19
+		{10 * time.Minute, NumBuckets - 1},   // past the last bound → +Inf
+		{-5 * time.Millisecond, 0},           // negative clamps to zero
+		{200 * time.Second, NumBuckets - 1},  // 2e8µs
+		{1000 * time.Second, NumBuckets - 1}, // way past
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.bucket && c.d >= 0 {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.bucket)
+		}
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Millisecond) // must not panic
+	if h.Count() != 0 {
+		t.Fatal("nil histogram count")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // all in one bucket
+	}
+	q := h.Snapshot().Quantile(0.5)
+	// bucket 9 spans (512µs, 1024µs]
+	if q < 0.0005 || q > 0.0011 {
+		t.Fatalf("p50 = %g, want ~1ms", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v per call", n)
+	}
+	reg := NewRegistry()
+	vec := reg.NewHistogram("x_seconds", "help", "fp")
+	vec.With("warm")
+	if n := testing.AllocsPerRun(1000, func() { vec.Get1("warm").Observe(time.Millisecond) }); n != 0 {
+		t.Fatalf("Get1+Observe allocates %v per call", n)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("estocada_widgets_total", "Widgets made.", "kind")
+	c.With("round").Add(3)
+	c.With(`we"ird\name`).Inc() // label value needing escapes
+	g := reg.NewGauge("estocada_depth", "Queue depth.")
+	g.With().Set(7)
+	h := reg.NewHistogram("estocada_req_seconds", "Latency.", "store")
+	h.With("pg").Observe(3 * time.Millisecond)
+	h.With("pg").Observe(70 * time.Second)
+	h.With("redis").Observe(10 * time.Microsecond)
+	reg.GaugeFunc("estocada_live", "Collector gauge.", []string{"part"}, func(emit func([]string, float64)) {
+		emit([]string{"a"}, 1)
+		emit([]string{"b"}, 2.5)
+	})
+	reg.CounterFunc("estocada_hits_total", "Collector counter.", nil, func(emit func([]string, float64)) {
+		emit(nil, 42)
+	})
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`estocada_widgets_total{kind="round"} 3`,
+		`estocada_widgets_total{kind="we\"ird\\name"} 1`,
+		"estocada_depth 7",
+		`estocada_req_seconds_bucket{store="pg",le="+Inf"} 2`,
+		`estocada_req_seconds_count{store="pg"} 2`,
+		`estocada_live{part="b"} 2.5`,
+		"estocada_hits_total 42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewHistogram("fp_seconds", "h", "fingerprint")
+	vec.SetMaxSeries(3)
+	for i := 0; i < 10; i++ {
+		vec.Get1(strings.Repeat("q", i+1)).Observe(time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	if !strings.Contains(text, `fingerprint="_other"`) {
+		t.Fatalf("overflow series missing:\n%s", text)
+	}
+	if n := strings.Count(text, "fp_seconds_count"); n != 4 { // 3 capped + overflow
+		t.Fatalf("series count = %d, want 4", n)
+	}
+	// Overflow absorbed the 7 spilled observations.
+	if !strings.Contains(text, `fp_seconds_count{fingerprint="_other"} 7`) {
+		t.Fatalf("overflow count wrong:\n%s", text)
+	}
+}
+
+func TestHistogramAttach(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewHistogram("store_seconds", "h", "store")
+	var own Histogram
+	own.Observe(time.Millisecond)
+	vec.Attach(&own, "kv")
+	own.Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `store_seconds_count{store="kv"} 2`) {
+		t.Fatalf("attached histogram not exported:\n%s", sb.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []string{
+		"no_type_sample 1",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1",
+		"# TYPE c counter\nc -1",
+		"# TYPE g gauge\ng{x=\"unterminated} 1",
+		"# BAD comment",
+	}
+	for _, text := range bad {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("expected rejection of %q", text)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	origin := time.Now()
+	tr.Reset(origin)
+	tr.Add("parse", origin, time.Millisecond)
+	tr.Add("execute", origin.Add(2*time.Millisecond), 5*time.Millisecond)
+	for i := 0; i < MaxSpans+3; i++ {
+		tr.AddDur("overflow", time.Microsecond)
+	}
+	spans := tr.Spans()
+	if len(spans) != MaxSpans {
+		t.Fatalf("spans = %d, want capped at %d", len(spans), MaxSpans)
+	}
+	if spans[0].Name != "parse" || spans[0].Dur != time.Millisecond {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Offset != 2*time.Millisecond {
+		t.Fatalf("span 1 offset = %v", spans[1].Offset)
+	}
+}
+
+func TestContextCarriers(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || ProfileEnabled(ctx) {
+		t.Fatal("zero-value context should carry nothing")
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	ctx = WithProfile(ctx)
+	if RequestID(ctx) != "req-1" || !ProfileEnabled(ctx) {
+		t.Fatal("carriers lost")
+	}
+	if RequestID(nil) != "" || ProfileEnabled(nil) {
+		t.Fatal("nil context must be safe")
+	}
+}

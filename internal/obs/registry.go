@@ -1,0 +1,416 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). Families are either *static* —
+// callers resolve an instrument once (Counter, Gauge, Histogram series)
+// and record into it lock-free on the hot path — or *func-backed*:
+// a collector callback invoked at scrape time, used to export state the
+// system already maintains elsewhere (service atomics, breaker tables,
+// store counters, fault-injector tallies, epochs) without double
+// bookkeeping. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one label-value combination of a family.
+type series struct {
+	labels []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	// collect, when set, makes this a func-backed family: emit is called
+	// once per sample at scrape time and series/order are unused.
+	collect func(emit func(labelValues []string, v float64))
+
+	mu        sync.RWMutex
+	order     []string
+	series    map[string]*series
+	maxSeries int // 0 = unbounded; beyond it new label sets collapse to "_other"
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be non-negative for exposition to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// CounterVec is a static counter family; resolve series with With.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a static gauge family; resolve series with With.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a static histogram family; resolve series with With or
+// Attach.
+type HistogramVec struct{ f *family }
+
+// NewCounter registers (or returns the existing) counter family.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// NewGauge registers (or returns the existing) gauge family.
+func (r *Registry) NewGauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// NewHistogram registers (or returns the existing) histogram family.
+func (r *Registry) NewHistogram(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labelNames, nil)}
+}
+
+// CounterFunc registers a func-backed counter family: fn runs at scrape
+// time and emits one sample per call to emit.
+func (r *Registry) CounterFunc(name, help string, labelNames []string, fn func(emit func(labelValues []string, v float64))) {
+	r.family(name, help, kindCounter, labelNames, fn)
+}
+
+// GaugeFunc registers a func-backed gauge family.
+func (r *Registry) GaugeFunc(name, help string, labelNames []string, fn func(emit func(labelValues []string, v float64))) {
+	r.family(name, help, kindGauge, labelNames, fn)
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string, collect func(func([]string, float64))) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different kind or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labels...),
+		collect: collect,
+		series:  map[string]*series{},
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+const seriesSep = "\xff"
+
+// overflowLabel is the label value unbounded-cardinality series collapse
+// to once a family's maxSeries cap is reached.
+const overflowLabel = "_other"
+
+func seriesKey(values []string) string {
+	if len(values) == 1 {
+		return values[0]
+	}
+	return strings.Join(values, seriesSep)
+}
+
+// get resolves (creating if needed, subject to the cardinality cap) the
+// series for a label-value set.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	if f.maxSeries > 0 && len(f.order) >= f.maxSeries {
+		// Cardinality cap: collapse into the shared overflow series.
+		ov := make([]string, len(f.labels))
+		for i := range ov {
+			ov[i] = overflowLabel
+		}
+		okey := seriesKey(ov)
+		if s := f.series[okey]; s != nil {
+			return s
+		}
+		key, values = okey, ov
+	}
+	s = &series{labels: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{}
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// With resolves the counter for a label-value set (creating it if new).
+// Callers on hot paths resolve once and hold the *Counter.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).c }
+
+// With resolves the gauge for a label-value set.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// With resolves the histogram for a label-value set.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
+// Get1 is the allocation-free hot-path lookup for single-label vecs:
+// a hit performs one map read under RLock and returns the existing
+// series; a miss falls back to the creating path.
+func (v *HistogramVec) Get1(labelValue string) *Histogram {
+	f := v.f
+	f.mu.RLock()
+	s := f.series[labelValue]
+	f.mu.RUnlock()
+	if s != nil {
+		return s.h
+	}
+	return f.get([]string{labelValue}).h
+}
+
+// Attach registers an externally-owned histogram (e.g. one embedded in a
+// store) as a series of this family, so the owner keeps its zero-cost
+// direct access and the registry exposes it at scrape time. Re-attaching
+// the same label set replaces the previous histogram.
+func (v *HistogramVec) Attach(h *Histogram, labelValues ...string) {
+	f := v.f
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := seriesKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		s.h = h
+		return
+	}
+	f.series[key] = &series{labels: append([]string(nil), labelValues...), h: h}
+	f.order = append(f.order, key)
+}
+
+// SetMaxSeries caps the family's series cardinality: once n distinct
+// label sets exist, further sets collapse into an "_other" overflow
+// series. 0 removes the cap.
+func (v *HistogramVec) SetMaxSeries(n int) {
+	v.f.mu.Lock()
+	v.f.maxSeries = n
+	v.f.mu.Unlock()
+}
+
+// leStrings are the precomputed bucket upper-bound label values.
+var leStrings = func() [NumBuckets - 1]string {
+	var a [NumBuckets - 1]string
+	for i := range a {
+		a[i] = strconv.FormatFloat(BucketBound(i), 'g', -1, 64)
+	}
+	return a
+}()
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	b := make([]byte, 0, 4096)
+	for _, f := range fams {
+		b = b[:0]
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind.String()...)
+		b = append(b, '\n')
+		if f.collect != nil {
+			f.collect(func(values []string, v float64) {
+				b = appendSample(b, f.name, "", f.labels, values, "", v, true)
+			})
+		} else {
+			f.mu.RLock()
+			for _, key := range f.order {
+				s := f.series[key]
+				switch f.kind {
+				case kindCounter:
+					b = appendSample(b, f.name, "", f.labels, s.labels, "", float64(s.c.Value()), false)
+				case kindGauge:
+					b = appendSample(b, f.name, "", f.labels, s.labels, "", float64(s.g.Value()), false)
+				case kindHistogram:
+					b = appendHistogram(b, f.name, f.labels, s.labels, s.h.Snapshot())
+				}
+			}
+			f.mu.RUnlock()
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSample renders one sample line; suffix ("_bucket", "_sum", ...)
+// and le extend the base name and label set for histogram components.
+func appendSample(b []byte, name, suffix string, labels, values []string, le string, v float64, float bool) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if len(labels) > 0 || le != "" {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l...)
+			b = append(b, `="`...)
+			b = appendEscapedLabel(b, values[i])
+			b = append(b, '"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `le="`...)
+			b = append(b, le...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	if !float && v == float64(int64(v)) {
+		b = strconv.AppendInt(b, int64(v), 10)
+	} else {
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	return append(b, '\n')
+}
+
+func appendHistogram(b []byte, name string, labels, values []string, s HistogramSnapshot) []byte {
+	var cum uint64
+	for i := 0; i < NumBuckets-1; i++ {
+		cum += s.Buckets[i]
+		b = appendSample(b, name, "_bucket", labels, values, leStrings[i], float64(cum), false)
+	}
+	total := cum + s.Buckets[NumBuckets-1]
+	b = appendSample(b, name, "_bucket", labels, values, "+Inf", float64(total), false)
+	b = appendSample(b, name, "_sum", labels, values, "", s.Sum.Seconds(), true)
+	b = appendSample(b, name, "_count", labels, values, "", float64(total), false)
+	return b
+}
+
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// MaxSpans bounds a Trace; spans beyond the capacity are dropped (the
+// service records six phases, well under it).
+const MaxSpans = 8
+
+// Span is one named timed region of a request, stored by value.
+type Span struct {
+	Name string `json:"name"`
+	// Offset is the span's start relative to the trace origin.
+	Offset time.Duration `json:"offsetUs"`
+	Dur    time.Duration `json:"durUs"`
+}
+
+// MarshalJSON renders durations in microseconds, matching the field
+// names on the wire.
+func (s Span) MarshalJSON() ([]byte, error) {
+	return fmt.Appendf(nil, `{"name":%q,"offsetUs":%d,"durUs":%d}`,
+		s.Name, s.Offset.Microseconds(), s.Dur.Microseconds()), nil
+}
+
+// Trace is a fixed-capacity span recorder for one request: a value type
+// embedded in the request's cursor, recording phase timings with no
+// allocation and no locking (a Trace is single-goroutine, like the
+// cursor that owns it). The zero value is ready after Reset.
+type Trace struct {
+	t0    time.Time
+	n     int
+	spans [MaxSpans]Span
+}
+
+// Reset starts (or restarts) the trace at the given origin.
+func (t *Trace) Reset(origin time.Time) {
+	t.t0 = origin
+	t.n = 0
+}
+
+// Origin returns the trace start time (zero before Reset).
+func (t *Trace) Origin() time.Time { return t.t0 }
+
+// Add records a span that started at start and lasted d. Spans past
+// MaxSpans are dropped.
+func (t *Trace) Add(name string, start time.Time, d time.Duration) {
+	if t.n >= MaxSpans {
+		return
+	}
+	var off time.Duration
+	if !t.t0.IsZero() && start.After(t.t0) {
+		off = start.Sub(t.t0)
+	}
+	t.spans[t.n] = Span{Name: name, Offset: off, Dur: d}
+	t.n++
+}
+
+// AddDur records a span with duration only (offset of the trace so far).
+func (t *Trace) AddDur(name string, d time.Duration) {
+	if t.n >= MaxSpans {
+		return
+	}
+	t.spans[t.n] = Span{Name: name, Dur: d}
+	t.n++
+}
+
+// Spans returns the recorded spans (a view into the trace; valid until
+// the next Reset).
+func (t *Trace) Spans() []Span { return t.spans[:t.n] }
+
+// Len returns the recorded span count.
+func (t *Trace) Len() int { return t.n }

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format payload line by
+// line: comment grammar, metric/label name grammar, label-value quoting,
+// sample value syntax, TYPE-before-sample ordering, histogram component
+// suffixes, cumulative bucket monotonicity, and +Inf/_count agreement.
+// It is the parser-level self-check the /metrics tests (and CI smoke)
+// run against every scrape; returns the first violation found.
+func ValidateExposition(text string) error {
+	types := map[string]string{} // family → kind
+	// histogram bookkeeping keyed by family + label set (minus le)
+	lastBucket := map[string]float64{}
+	infBucket := map[string]float64{}
+	counts := map[string]float64{}
+	sawSum := map[string]bool{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, kind := "", ""
+			switch {
+			case strings.HasPrefix(line, "# HELP "):
+				rest = line[len("# HELP "):]
+			case strings.HasPrefix(line, "# TYPE "):
+				rest, kind = line[len("# TYPE "):], "type"
+			default:
+				return fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", lineNo, line)
+			}
+			name, after, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if kind == "type" {
+				switch after {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid TYPE %q", lineNo, after)
+				}
+				if prev, ok := types[name]; ok && prev != after {
+					return fmt.Errorf("line %d: metric %q re-typed %s → %s", lineNo, name, prev, after)
+				}
+				types[name] = after
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, s
+				break
+			}
+		}
+		kind, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if kind == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %q of histogram family", lineNo, name)
+		}
+		if kind != "histogram" && suffix != "" {
+			return fmt.Errorf("line %d: histogram suffix on %s family %q", lineNo, kind, family)
+		}
+		if kind == "counter" && val < 0 {
+			return fmt.Errorf("line %d: negative counter %q = %g", lineNo, name, val)
+		}
+		if suffix != "" {
+			le, hasLe := labels["le"]
+			if suffix == "_bucket" && !hasLe {
+				return fmt.Errorf("line %d: _bucket sample without le label", lineNo)
+			}
+			if suffix != "_bucket" && hasLe {
+				return fmt.Errorf("line %d: le label on %s sample", lineNo, suffix)
+			}
+			key := family + "\x00" + labelKeyWithoutLe(labels)
+			switch suffix {
+			case "_bucket":
+				if val < lastBucket[key] {
+					return fmt.Errorf("line %d: bucket counts of %q not cumulative (%g < %g)",
+						lineNo, family, val, lastBucket[key])
+				}
+				lastBucket[key] = val
+				if le == "+Inf" {
+					infBucket[key] = val
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+			case "_sum":
+				sawSum[key] = true
+			case "_count":
+				counts[key] = val
+				inf, ok := infBucket[key]
+				if !ok {
+					return fmt.Errorf("line %d: histogram series %q has no +Inf bucket", lineNo, family)
+				}
+				if inf != val {
+					return fmt.Errorf("line %d: histogram %q +Inf bucket %g != count %g", lineNo, family, inf, val)
+				}
+				if !sawSum[key] {
+					return fmt.Errorf("line %d: histogram series %q has no _sum", lineNo, family)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func labelKeyWithoutLe(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k != "le" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	// order-stable key
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j-1] > parts[j]; j-- {
+			parts[j-1], parts[j] = parts[j], parts[j-1]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSample parses `name{l1="v1",...} value` with escape-aware label
+// value scanning.
+func parseSample(line string) (name string, labels map[string]string, val float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	labels = map[string]string{}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			lname := line[i:j]
+			if !validName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("label %q value not quoted", lname)
+			}
+			j += 2
+			var sb strings.Builder
+			for {
+				if j >= len(line) {
+					return "", nil, 0, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch line[j+1] {
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					case 'n':
+						sb.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in label %q", line[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				sb.WriteByte(c)
+				j++
+			}
+			labels[lname] = sb.String()
+			if j < len(line) && line[j] == ',' {
+				j++
+			}
+			i = j
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, 0, fmt.Errorf("missing space before value in %q", line)
+	}
+	rest := strings.Fields(line[i+1:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", nil, 0, fmt.Errorf("bad value/timestamp in %q", line)
+	}
+	val, err = strconv.ParseFloat(rest[0], 64)
+	if err != nil || math.IsNaN(val) && rest[0] != "NaN" {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", rest[0])
+	}
+	return name, labels, val, nil
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/pivot"
+	"repro/internal/scenario"
+)
+
+// cartQuery is a KV-touching shape (Carts lives in the kv store in the
+// materialized variant), so profiled plans show bind-join attribution.
+func cartQuery(uid string) pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QCart", pivot.CStr(uid), v("pid"), v("qty")),
+		pivot.NewAtom("Carts", pivot.CStr(uid), v("pid"), v("qty")))
+}
+
+// TestPhaseHistogramsObserved: a query through a Registry-configured
+// service must land one observation in every phase histogram, the
+// end-to-end histogram, and the per-fingerprint vec — and the exposition
+// must be valid Prometheus text format.
+func TestPhaseHistogramsObserved(t *testing.T) {
+	m := testMarketplace(t)
+	reg := obs.NewRegistry()
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema, Registry: reg})
+
+	if _, err := svc.QueryText(context.Background(), "sql",
+		"SELECT u.name FROM Users u WHERE u.city = 'city03'"); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, phase := range phaseNames {
+		want := `estocada_query_phase_seconds_count{phase="` + phase + `"} 1`
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in exposition", want)
+		}
+	}
+	if !strings.Contains(text, "estocada_query_seconds_count 1") {
+		t.Error("missing end-to-end histogram observation")
+	}
+	if !strings.Contains(text, `estocada_query_fingerprint_seconds_count{fingerprint=`) {
+		t.Error("missing per-fingerprint histogram observation")
+	}
+	// Store latency histograms are attached store-owned instruments; the
+	// SQL query touched at least the relational store.
+	if !strings.Contains(text, `estocada_store_latency_seconds_count{store=`) {
+		t.Error("missing per-store latency histograms")
+	}
+	if !strings.Contains(text, "estocada_queries_total 1") {
+		t.Error("missing service query counter")
+	}
+}
+
+// TestSlowQueryLogRecords: with a zero-ish threshold every query is
+// "slow"; the entry must carry the request ID from the context, the
+// fingerprint, a telescoping phase breakdown, and — when profiled — the
+// operator tree.
+func TestSlowQueryLogRecords(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema, SlowQueryThreshold: time.Nanosecond})
+
+	ctx := obs.WithProfile(obs.WithRequestID(context.Background(), "req-test-42"))
+	if _, err := svc.Query(ctx, cartQuery("u00007")); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := svc.SlowQueries()
+	if len(entries) != 1 {
+		t.Fatalf("slow log entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.RequestID != "req-test-42" {
+		t.Errorf("RequestID = %q", e.RequestID)
+	}
+	if e.Fingerprint == "" || e.Rows == 0 {
+		t.Errorf("entry incomplete: %+v", e)
+	}
+	if len(e.Phases) < numPhases-1 { // parse absent for the CQ value surface
+		t.Errorf("phases = %v", e.Phases)
+	}
+	for i := 1; i < len(e.Phases); i++ {
+		if e.Phases[i].Offset < e.Phases[i-1].Offset {
+			t.Errorf("phase offsets not telescoping: %v", e.Phases)
+		}
+	}
+	if e.Profile == nil {
+		t.Error("profiled query lost its operator tree")
+	}
+	if e.Error != "" {
+		t.Errorf("unexpected error %q", e.Error)
+	}
+}
+
+// TestSlowQueryLogRetainsFailures: failed queries land in the log even
+// under a high threshold, with the error recorded.
+func TestSlowQueryLogRetainsFailures(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema, SlowQueryThreshold: time.Hour, MaxResultRows: 1})
+
+	// Visits scan delivers more than 1 row → ErrResultTruncated at close.
+	_, err := svc.QueryText(context.Background(), "cq", "Q(u, p, d) :- Visits(u, p, d)")
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+	entries := svc.SlowQueries()
+	if len(entries) != 1 || entries[0].Error == "" {
+		t.Fatalf("failure not retained: %+v", entries)
+	}
+}
+
+// TestSlowLogRing: the ring keeps the newest entries and reports them
+// newest first.
+func TestSlowLogRing(t *testing.T) {
+	l := newSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.add(SlowQuery{DurationUs: int64(i)})
+	}
+	got := l.entries()
+	if len(got) != 3 || got[0].DurationUs != 4 || got[2].DurationUs != 2 {
+		t.Fatalf("ring entries = %+v", got)
+	}
+}
+
+// TestStatsSnapshot: the consistent snapshot carries all four planes.
+func TestStatsSnapshot(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema})
+	if _, err := svc.Query(context.Background(), cartQuery("u00007")); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Service.Queries != 1 {
+		t.Errorf("Service.Queries = %d", st.Service.Queries)
+	}
+	if len(st.Stores) == 0 {
+		t.Error("no store counters in snapshot")
+	}
+	var touched bool
+	for _, c := range st.Stores {
+		if c.Requests > 0 {
+			touched = true
+		}
+	}
+	if !touched {
+		t.Error("no store shows work after a query")
+	}
+	if st.CatalogEpoch != m.Sys.CacheEpoch() || st.DataEpoch != m.Sys.DataEpoch() {
+		t.Error("epoch mismatch")
+	}
+	if st.Breakers == nil {
+		t.Error("nil breaker map")
+	}
+}
+
+// flattenProfile collects every operator label of the tree.
+func flattenProfile(p *exec.OpProfile) []string {
+	out := []string{p.Op}
+	for _, c := range p.Children {
+		out = append(out, flattenProfile(c)...)
+	}
+	return out
+}
+
+// TestProfiledServiceQuery: obs.WithProfile on the service surface yields
+// an operator tree on the cursor, with every operator carrying row and
+// batch counts, and store attribution on leaf accesses.
+func TestProfiledServiceQuery(t *testing.T) {
+	m := testMarketplace(t)
+	svc := New(m.Sys, Options{Schema: scenario.LogicalSchema})
+
+	rows, err := svc.QueryRows(obs.WithProfile(context.Background()), cartQuery("u00007"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	rows.Close()
+	p := rows.Profile()
+	if p == nil {
+		t.Fatal("no profile on profiled cursor")
+	}
+	if p.Rows != rows.RowsServed() {
+		t.Errorf("root rows = %d, served %d", p.Rows, rows.RowsServed())
+	}
+	ops := flattenProfile(p)
+	attributed := false
+	for _, label := range ops {
+		if strings.Contains(label, ".access(") || strings.Contains(label, ".fetch(") {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("no store-attributed access in profile ops: %v", ops)
+	}
+
+	// Unprofiled control: no tree.
+	plain, err := svc.QueryRows(context.Background(), cartQuery("u00008"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Close()
+	if plain.Profile() != nil {
+		t.Error("unprofiled cursor has a profile")
+	}
+}

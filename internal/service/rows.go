@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engines/engine"
+	"repro/internal/exec"
 	"repro/internal/value"
 )
 
@@ -34,10 +35,21 @@ type Rows struct {
 	fingerprint string
 	cacheHit    bool
 	coalesced   bool
-	planTime    time.Duration
-	execStart   time.Time
-	execTime    time.Duration
-	perStore    map[string]engine.CounterSnapshot
+
+	// Phase breakdown: parse and canonicalize ran before openRows,
+	// planTime covers the cache/rewrite stage, bindTime the plan bind and
+	// open (retries included), firstRow is execStart → the first row
+	// surfacing (stamped by Next/NextChunk), execTime is execStart →
+	// Close. openedAt anchors the end-to-end total.
+	openedAt  time.Time
+	parseTime time.Duration
+	canonTime time.Duration
+	planTime  time.Duration
+	bindTime  time.Duration
+	firstRow  time.Duration
+	execStart time.Time
+	execTime  time.Duration
+	perStore  map[string]engine.CounterSnapshot
 
 	width    int // canonical head arity (cursor row width)
 	outWidth int // original head arity (delivered row width)
@@ -138,6 +150,9 @@ func (r *Rows) Next() bool {
 		t = t[:r.outWidth]
 	}
 	r.tup = t
+	if r.n == 0 {
+		r.firstRow = time.Since(r.execStart)
+	}
 	r.n++
 	return true
 }
@@ -189,6 +204,9 @@ func (r *Rows) NextChunk() ([]value.Tuple, error) {
 		}
 		chunk = s
 	}
+	if r.n == 0 && len(chunk) > 0 {
+		r.firstRow = time.Since(r.execStart)
+	}
 	r.n += int64(len(chunk))
 	return chunk, nil
 }
@@ -196,6 +214,32 @@ func (r *Rows) NextChunk() ([]value.Tuple, error) {
 // Err returns the first error the cursor encountered (nil after a clean
 // exhaustion).
 func (r *Rows) Err() error { return r.err }
+
+// Profile renders the per-operator EXPLAIN ANALYZE tree, or nil when the
+// query did not run under obs.WithProfile. Complete once the cursor is
+// drained or closed.
+func (r *Rows) Profile() *exec.OpProfile { return r.cur.Profile() }
+
+// splitExec decomposes the post-bind execution time into execute
+// (time-to-first-row) and drain (the remainder). A query that delivered
+// no rows spent everything executing.
+func (r *Rows) splitExec() (execute, drain time.Duration) {
+	tail := r.execTime - r.bindTime
+	if tail < 0 {
+		tail = 0
+	}
+	if r.firstRow == 0 {
+		return tail, 0
+	}
+	execute = r.firstRow - r.bindTime
+	if execute < 0 {
+		execute = 0
+	}
+	if drain = tail - execute; drain < 0 {
+		drain = 0
+	}
+	return execute, drain
+}
 
 // Close releases everything the cursor holds: the execution's iterators
 // and pooled batches, the admission slot, the in-flight gauge, and the
@@ -229,6 +273,14 @@ func (r *Rows) Close() error {
 		if r.sess != nil {
 			r.sess.errors.Add(1)
 		}
+	}
+	total := r.parseTime + r.canonTime + time.Since(r.openedAt)
+	if o := r.svc.obs; o != nil {
+		o.observe(r, total)
+	}
+	if sl := r.svc.slow; sl != nil &&
+		(r.err != nil || (r.svc.opts.SlowQueryThreshold > 0 && total >= r.svc.opts.SlowQueryThreshold)) {
+		sl.record(r, total)
 	}
 	return r.err
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines/engine"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/pivot"
 	"repro/internal/value"
 )
@@ -53,6 +54,19 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker fails fast before
 	// half-opening for a trial query. 0 = 500ms.
 	BreakerCooldown time.Duration
+	// Registry, when set, exports the service's metrics: per-phase and
+	// per-fingerprint latency histograms, service event counters, breaker
+	// gauges, per-store operation counters and latency histograms, fault
+	// tallies, and the catalog/data epochs. Nil disables exposition; the
+	// query path then records nothing.
+	Registry *obs.Registry
+	// SlowQueryThreshold retains queries at least this slow in the
+	// slow-query log (failed queries are always retained). 0 = only
+	// failures are logged.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is the slow-query ring size. 0 = 128; negative
+	// disables the log entirely.
+	SlowQueryLog int
 }
 
 // Service is a concurrent mediator runtime over one core.System. All
@@ -69,6 +83,11 @@ type Service struct {
 
 	// brk is the per-store circuit-breaker table of the degradation layer.
 	brk *breakers
+
+	// obs holds the resolved metric instruments (nil without a Registry);
+	// slow is the slow-query ring (nil when disabled).
+	obs  *svcObs
+	slow *slowLog
 
 	metrics Metrics
 
@@ -101,13 +120,21 @@ type Metrics struct {
 
 // MetricsSnapshot is a point-in-time copy of the service metrics.
 type MetricsSnapshot struct {
-	Queries, CacheHits, Coalesced, CacheMisses int64
-	Errors, Timeouts, InFlight, RowsServed     int64
-	Writes, RowsWritten                        int64
-	Retries, BreakerFastFails                  int64
-	CacheEntries                               int
-	Sessions                                   int
-	Statements                                 int
+	Queries          int64 `json:"queries"`
+	CacheHits        int64 `json:"cacheHits"`
+	Coalesced        int64 `json:"coalesced"`
+	CacheMisses      int64 `json:"cacheMisses"`
+	Errors           int64 `json:"errors"`
+	Timeouts         int64 `json:"timeouts"`
+	InFlight         int64 `json:"inFlight"`
+	RowsServed       int64 `json:"rowsServed"`
+	Writes           int64 `json:"writes"`
+	RowsWritten      int64 `json:"rowsWritten"`
+	Retries          int64 `json:"retries"`
+	BreakerFastFails int64 `json:"breakerFastFails"`
+	CacheEntries     int   `json:"cacheEntries"`
+	Sessions         int   `json:"sessions"`
+	Statements       int   `json:"statements"`
 }
 
 // New builds a service over a deployed system.
@@ -146,6 +173,16 @@ func New(sys *core.System, opts Options) *Service {
 		brk:      newBreakers(opts.BreakerThreshold, opts.BreakerCooldown),
 	}
 	s.prepare = sys.Prepare
+	if opts.SlowQueryLog >= 0 {
+		n := opts.SlowQueryLog
+		if n == 0 {
+			n = 128
+		}
+		s.slow = newSlowLog(n)
+	}
+	if opts.Registry != nil {
+		s.obs = newSvcObs(opts.Registry, s)
+	}
 	return s
 }
 
@@ -216,31 +253,42 @@ func (s *Service) Query(ctx context.Context, q pivot.CQ) (*Result, error) {
 // until Close; nothing materializes the result on the way out.
 func (s *Service) QueryRows(ctx context.Context, q pivot.CQ) (*Rows, error) {
 	s.metrics.queries.Add(1)
+	return s.canonOpen(ctx, nil, q, 0)
+}
+
+// canonOpen canonicalizes (timing the phase) and opens the cursor.
+// parse is the already-spent surface-parse time (0 for the CQ value
+// surface). The caller has counted metrics.queries.
+func (s *Service) canonOpen(ctx context.Context, sess *Session, q pivot.CQ, parse time.Duration) (*Rows, error) {
+	t0 := time.Now()
 	fp, err := Canonicalize(q)
 	if err != nil {
-		s.countFailure(ctx, err, nil)
+		s.countFailure(ctx, err, sess)
 		return nil, err
 	}
-	return s.openRows(ctx, nil, fp, fp.Args)
+	return s.openRows(ctx, sess, fp, fp.Args, parse, time.Since(t0))
 }
 
 // QueryText parses a surface-language query (lang "sql", "flwor" or
 // "cq") against the configured schema and answers it (materialized).
 func (s *Service) QueryText(ctx context.Context, language, text string) (*Result, error) {
-	q, err := s.parseText(language, text)
+	r, err := s.QueryTextRows(ctx, language, text)
 	if err != nil {
 		return nil, err
 	}
-	return s.Query(ctx, q)
+	return r.Materialize()
 }
 
 // QueryTextRows is QueryText's cursor-returning variant.
 func (s *Service) QueryTextRows(ctx context.Context, language, text string) (*Rows, error) {
+	t0 := time.Now()
 	q, err := s.parseText(language, text)
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryRows(ctx, q)
+	parse := time.Since(t0)
+	s.metrics.queries.Add(1)
+	return s.canonOpen(ctx, nil, q, parse)
 }
 
 // parseText parses one of the surface languages into a conjunctive
@@ -305,8 +353,10 @@ func (s *Service) leaderPrepare(ctx context.Context, fp Fingerprint) func() (*co
 // returns the open cursor. The admission slot and the timeout context
 // transfer to the cursor and are released at Close, so the semaphore
 // bounds live executions, not merely the synchronous part of a call.
-// The caller has already counted metrics.queries.
-func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, args []value.Value) (*Rows, error) {
+// The caller has already counted metrics.queries; parse and canon are
+// the durations of the phases that ran before this call (observed, with
+// the phases measured here, when the cursor closes).
+func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, args []value.Value, parse, canon time.Duration) (*Rows, error) {
 	base := ctx
 	var cancel context.CancelFunc
 	if s.opts.QueryTimeout > 0 {
@@ -369,7 +419,11 @@ func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, a
 		fingerprint: fp.Key,
 		cacheHit:    outcome == outcomeHit,
 		coalesced:   outcome == outcomeCoalesced,
+		openedAt:    start,
+		parseTime:   parse,
+		canonTime:   canon,
 		planTime:    planTime,
+		bindTime:    time.Since(execStart),
 		execStart:   execStart,
 		width:       fp.Query.Head.Arity(),
 		outWidth:    fp.OutWidth,

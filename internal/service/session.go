@@ -105,22 +105,22 @@ func (sess *Session) QueryRows(ctx context.Context, q pivot.CQ) (*Rows, error) {
 	sess.queries.Add(1)
 	sess.lastUse.Store(time.Now().UnixNano())
 	sess.svc.metrics.queries.Add(1)
-	fp, err := Canonicalize(q)
-	if err != nil {
-		sess.svc.countFailure(ctx, err, sess)
-		return nil, err
-	}
-	return sess.svc.openRows(ctx, sess, fp, fp.Args)
+	return sess.svc.canonOpen(ctx, sess, q, 0)
 }
 
 // QueryTextRows parses a surface-language query and answers it as a
 // streaming cursor on behalf of this session.
 func (sess *Session) QueryTextRows(ctx context.Context, language, text string) (*Rows, error) {
+	t0 := time.Now()
 	q, err := sess.svc.parseText(language, text)
 	if err != nil {
 		return nil, err
 	}
-	return sess.QueryRows(ctx, q)
+	parse := time.Since(t0)
+	sess.queries.Add(1)
+	sess.lastUse.Store(time.Now().UnixNano())
+	sess.svc.metrics.queries.Add(1)
+	return sess.svc.canonOpen(ctx, sess, q, parse)
 }
 
 func (sess *Session) record(res *Result, err error) (*Result, error) {

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// SlowQuery is one retained slow-query-log entry: everything needed to
+// understand one degraded request after the fact — when it ran, which
+// request it belonged to, the canonical shape, the phase breakdown, and
+// (when the query ran profiled) the per-operator tree.
+type SlowQuery struct {
+	Time        time.Time       `json:"time"`
+	RequestID   string          `json:"requestId,omitempty"`
+	Fingerprint string          `json:"fingerprint"`
+	DurationUs  int64           `json:"durationUs"`
+	Phases      []obs.Span      `json:"phases"`
+	Rows        int64           `json:"rows"`
+	CacheHit    bool            `json:"cacheHit"`
+	Coalesced   bool            `json:"coalesced"`
+	Error       string          `json:"error,omitempty"`
+	Profile     *exec.OpProfile `json:"profile,omitempty"`
+}
+
+// slowLog is a fixed-size ring of the most recent slow (or failed)
+// queries. Recording happens off the hot path — only queries past the
+// threshold (or with an error) ever take the lock.
+type slowLog struct {
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int
+	full bool
+}
+
+func newSlowLog(n int) *slowLog {
+	return &slowLog{buf: make([]SlowQuery, n)}
+}
+
+func (l *slowLog) add(e SlowQuery) {
+	l.mu.Lock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// entries returns the retained entries, newest first.
+func (l *slowLog) entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// SlowQueries returns the retained slow-query-log entries, newest first.
+// A query lands here when its end-to-end latency crossed
+// Options.SlowQueryThreshold, or when it failed (failures are always
+// retained so degraded responses stay diagnosable). Empty when no
+// threshold is configured and nothing failed.
+func (s *Service) SlowQueries() []SlowQuery {
+	if s.slow == nil {
+		return nil
+	}
+	return s.slow.entries()
+}
+
+// record builds and retains the slow-log entry for one closed cursor.
+// Runs only on the slow/failed path; allocation here is fine.
+func (l *slowLog) record(r *Rows, total time.Duration) {
+	e := SlowQuery{
+		Time:        time.Now(),
+		RequestID:   obs.RequestID(r.base),
+		Fingerprint: r.fingerprint,
+		DurationUs:  total.Microseconds(),
+		Rows:        r.n,
+		CacheHit:    r.cacheHit,
+		Coalesced:   r.coalesced,
+		Profile:     r.Profile(),
+	}
+	if r.err != nil {
+		e.Error = r.err.Error()
+	}
+	execute, drain := r.splitExec()
+	phases := [numPhases]time.Duration{
+		r.parseTime, r.canonTime, r.planTime, r.bindTime, execute, drain,
+	}
+	var off time.Duration
+	e.Phases = make([]obs.Span, 0, numPhases)
+	for i, d := range phases {
+		if i == phaseParse && d == 0 {
+			continue // query arrived pre-parsed (CQ value surface)
+		}
+		e.Phases = append(e.Phases, obs.Span{Name: phaseNames[i], Offset: off, Dur: d})
+		off += d
+	}
+	l.add(e)
+}

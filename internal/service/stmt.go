@@ -167,5 +167,5 @@ func (st *Stmt) ExecuteRows(ctx context.Context, args ...value.Value) (*Rows, er
 		st.svc.countFailure(ctx, err, nil)
 		return nil, err
 	}
-	return st.svc.openRows(ctx, nil, st.fp, args)
+	return st.svc.openRows(ctx, nil, st.fp, args, 0, 0)
 }

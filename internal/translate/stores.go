@@ -19,6 +19,7 @@ import (
 	"repro/internal/engines/parstore"
 	"repro/internal/engines/relstore"
 	"repro/internal/engines/textstore"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -103,12 +104,23 @@ func (s *Stores) All() []engine.Engine {
 // planner must agree on this encoding.
 func KVKey(v value.Value) string { return v.Key() }
 
+// timed wraps a successfully opened store access so its wall time (open
+// to stream end) lands in the store's latency histogram — the shared
+// tail of every accessBatch branch.
+func timed(h *obs.Histogram, it engine.BatchIterator, err error) (engine.BatchIterator, error) {
+	if err != nil {
+		return nil, err
+	}
+	return engine.TimeBatches(h, it), nil
+}
+
 // accessBatch issues a single-fragment access with equality filters on
 // view columns, on each store's native batch path. This is the uniform
 // entry point BindJoin fetches and leaf sources go through. ctx bounds
 // the store's simulated service time (and injected stalls); extra, when
 // non-nil, additionally attributes the store's work to the calling
-// execution.
+// execution. Every successful access is timed into the owning store's
+// per-request latency histogram.
 func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filters []engine.EqFilter, extra *engine.Counters) (engine.BatchIterator, error) {
 	switch frag.Layout.Kind {
 	case catalog.LayoutRel:
@@ -116,14 +128,16 @@ func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filter
 		if !ok {
 			return nil, fmt.Errorf("translate: no relational store %q", frag.Store)
 		}
-		return st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
+		it, err := st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
+		return timed(st.LatencyHistogram(), it, err)
 
 	case catalog.LayoutPar:
 		st, ok := s.Par[frag.Store]
 		if !ok {
 			return nil, fmt.Errorf("translate: no parallel store %q", frag.Store)
 		}
-		return st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
+		it, err := st.SelectBatchCounted(ctx, frag.Layout.Collection, filters, nil, extra)
+		return timed(st.LatencyHistogram(), it, err)
 
 	case catalog.LayoutKV:
 		st, ok := s.KV[frag.Store]
@@ -143,7 +157,8 @@ func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filter
 			return nil, fmt.Errorf("translate: key-value fragment %q accessed without its key (column %d)",
 				frag.Name, frag.Layout.KeyCol)
 		}
-		it, err := st.GetBatchCounted(ctx, frag.Layout.Collection, KVKey(key), extra)
+		kit, err := st.GetBatchCounted(ctx, frag.Layout.Collection, KVKey(key), extra)
+		it, err := timed(st.LatencyHistogram(), kit, err)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +179,8 @@ func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filter
 			}
 			pf = append(pf, docstore.PathFilter{Path: frag.Layout.DocPaths[f.Col], Val: f.Val})
 		}
-		return st.FindTuplesBatchCounted(ctx, frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
+		it, err := st.FindTuplesBatchCounted(ctx, frag.Layout.Collection, pf, frag.Layout.DocPaths, extra)
+		return timed(st.LatencyHistogram(), it, err)
 
 	case catalog.LayoutText:
 		st, ok := s.Text[frag.Store]
@@ -179,7 +195,8 @@ func (s *Stores) accessBatch(ctx context.Context, frag *catalog.Fragment, filter
 			q.Fields = append(q.Fields, textstore.FieldFilter{
 				Field: frag.Layout.Columns[f.Col], Val: f.Val})
 		}
-		return st.SearchBatchCounted(ctx, frag.Layout.Collection, q, extra)
+		it, err := st.SearchBatchCounted(ctx, frag.Layout.Collection, q, extra)
+		return timed(st.LatencyHistogram(), it, err)
 
 	default:
 		return nil, fmt.Errorf("translate: unsupported layout %v", frag.Layout.Kind)

@@ -304,7 +304,14 @@ func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragmen
 		}
 		return &engine.BatchProject{In: wrapped, Cols: keep}, nil
 	}
-	return exec.NewBindJoin(left, bindVars, keepNames, fetch)
+	bj, err := exec.NewBindJoin(left, bindVars, keepNames, fetch)
+	if err != nil {
+		return nil, err
+	}
+	// Store attribution for EXPLAIN trees: the dependent access's store
+	// and fragment show up in the bind join's label.
+	bj.Desc = fmt.Sprintf("%s.fetch(%s)", f.Store, f.Name)
+	return bj, nil
 }
 
 // buildDelegatedGroup pushes several same-store atoms as one native
@@ -340,11 +347,13 @@ func (p *Planner) buildDelegatedGroup(r pivot.CQ, frags []*catalog.Fragment, gro
 	var open func(ec *exec.Ctx) (engine.BatchIterator, error)
 	if st, ok := p.Stores.Rel[storeName]; ok {
 		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
-			return st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
+			it, err := st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
+			return timed(st.LatencyHistogram(), it, err)
 		}
 	} else if st, ok := p.Stores.Par[storeName]; ok {
 		open = func(ec *exec.Ctx) (engine.BatchIterator, error) {
-			return st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
+			it, err := st.QueryBatchCounted(ec.Ctx(), dq, ec.StoreCounters(storeName))
+			return timed(st.LatencyHistogram(), it, err)
 		}
 	} else {
 		return nil, fmt.Errorf("translate: store %q cannot take delegated joins", storeName)

@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end observability smoke test: boot estocada-serve on an
+# ephemeral port, push one query through it, and assert that /metrics
+# serves a non-empty Prometheus exposition whose query histograms have
+# actually observed the request. Exercises the full wiring — server →
+# service → stores → registry — that unit tests cover piecewise.
+set -eu
+
+PORT="${PORT:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/estocada-serve"
+
+go build -o "$BIN" ./cmd/estocada-serve
+
+"$BIN" -addr "$ADDR" -users 80 &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 $SRV 2>/dev/null; then
+        echo "metrics-smoke: server died during startup" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+curl -fsS "http://$ADDR/query" \
+    -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''"}' \
+    >/dev/null
+
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+
+fail() {
+    echo "metrics-smoke: $1" >&2
+    echo "$METRICS" | head -40 >&2
+    exit 1
+}
+
+[ -n "$METRICS" ] || fail "/metrics is empty"
+echo "$METRICS" | grep -q '^# TYPE estocada_query_seconds histogram' \
+    || fail "missing estocada_query_seconds histogram"
+echo "$METRICS" | grep -q '^estocada_query_seconds_count 1' \
+    || fail "query histogram did not observe the request"
+echo "$METRICS" | grep -q '^estocada_query_phase_seconds_count{phase="execute"} 1' \
+    || fail "phase histogram did not observe the request"
+echo "$METRICS" | grep -Eq '^estocada_store_latency_seconds_count\{store="[^"]+"\} [1-9]' \
+    || fail "no store latency histogram observed the request"
+echo "$METRICS" | grep -q '^estocada_queries_total 1' \
+    || fail "query counter did not count the request"
+
+echo "metrics-smoke: OK ($(echo "$METRICS" | grep -c '^estocada_') estocada series lines)"
