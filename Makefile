@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke fuzz-smoke chaos metrics-smoke
+.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke bench-compare fuzz-smoke chaos metrics-smoke
 
 all: check
 
@@ -45,6 +45,14 @@ test-race:
 # Quick allocation check of the rewriting hot path.
 bench-smoke:
 	$(GO) test -run xxx -bench 'E3|HomSearch|ChaseSaturation' -benchtime=1x -benchmem
+
+# Diff the two newest committed BENCH_<n>.json snapshots on the key series
+# (ServiceThroughput_Hot*, ExecBatchScanJoin) and fail on >10% regression.
+# Pass OLD/NEW to pick specific snapshots.
+OLD ?= $(word 2, $(shell ls -1 BENCH_*.json | sort -t_ -k2 -n -r))
+NEW ?= $(word 1, $(shell ls -1 BENCH_*.json | sort -t_ -k2 -n -r))
+bench-compare:
+	./scripts/bench_compare.sh $(OLD) $(NEW)
 
 # Short coverage-guided runs of the three parser fuzz targets (the
 # committed corpora under internal/lang/testdata/fuzz always run as part

@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/engines/engine"
@@ -179,6 +180,14 @@ func BenchmarkExecBatchScanJoin(b *testing.B) {
 	}
 	plan = &exec.Distinct{In: plan}
 	want := benchJoinLeft / 7
+	// One untimed run plus a GC fence: this series gates the BENCH_<n>
+	// regression comparison at -benchtime=1x, where first-iteration pool
+	// warmup and garbage left by earlier benchmarks would dominate the
+	// single timed sample.
+	if _, err := exec.Run(plan); err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -361,6 +361,9 @@ func (s *server) respondMaterialized(w http.ResponseWriter, r *http.Request, row
 	}
 	if p := rows.Profile(); p != nil {
 		resp["plan"] = p
+		if pv := rows.Planner(); pv != nil {
+			resp["planner"] = pv
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -406,6 +409,9 @@ func (s *server) streamRows(w http.ResponseWriter, r *http.Request, rows *servic
 	terminal := map[string]any{"done": true, "report": reportJSON(rows, true)}
 	if p := rows.Profile(); p != nil {
 		terminal["plan"] = p
+		if pv := rows.Planner(); pv != nil {
+			terminal["planner"] = pv
+		}
 	}
 	encode(terminal)
 	flush()
@@ -715,6 +721,9 @@ func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	if done {
 		if p := h.rows.Profile(); p != nil {
 			resp["plan"] = p
+			if pv := h.rows.Planner(); pv != nil {
+				resp["planner"] = pv
+			}
 		}
 	}
 	writeJSON(w, resp)

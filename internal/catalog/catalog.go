@@ -293,6 +293,22 @@ func (c *Catalog) StatsFor(pred string) (stats.FragmentStats, bool) {
 	return f.StatsSnapshot(), true
 }
 
+// RowsSnapshot captures the current row-count statistic of each named
+// fragment (unknown names are skipped). Plan caches stamp this alongside a
+// plan so later executions can detect when data drift has invalidated the
+// cardinality estimates the plan was ordered by.
+func (c *Catalog) RowsSnapshot(names []string) map[string]int64 {
+	out := make(map[string]int64, len(names))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range names {
+		if f, ok := c.frags[n]; ok {
+			out[n] = f.StatsSnapshot().Rows
+		}
+	}
+	return out
+}
+
 // SetStats updates a fragment's statistics. Safe to call concurrently
 // with planning: readers snapshot through the fragment's stats lock.
 func (c *Catalog) SetStats(name string, st stats.FragmentStats) error {

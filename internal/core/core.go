@@ -46,6 +46,15 @@ type Options struct {
 	DisablePlanCache bool
 	// DisableDelegation forces all joins into the mediator (ablation).
 	DisableDelegation bool
+	// FixedOrderPlanner disables greedy cost-based clause ordering and
+	// falls back to the first access-pattern-feasible body order with
+	// heuristic operator choices (ablation baseline for the cost model).
+	FixedOrderPlanner bool
+	// ReplanDriftFactor triggers a lazy re-plan of cached/prepared plans
+	// when any touched fragment's row count drifts by more than this
+	// factor (in either direction) from the snapshot the plan was ordered
+	// by. 0 means the default of 2.0; negative disables drift re-planning.
+	ReplanDriftFactor float64
 }
 
 // System is one ESTOCADA instance.
@@ -74,6 +83,13 @@ type System struct {
 	epoch     atomic.Uint64
 	dataEpoch atomic.Uint64
 
+	// replans counts lazy drift-triggered re-plans (cached queries and
+	// prepared statements); planHist records every cost-based plan choice
+	// latency (cold misses, Prepare costing, re-plans). Both are exported
+	// to /metrics by the service layer.
+	replans  atomic.Uint64
+	planHist obs.Histogram
+
 	// dml is the attached write front door (the maintain.Maintainer);
 	// InsertInto/DeleteFrom delegate to it. Guarded by mu.
 	dml DML
@@ -81,19 +97,131 @@ type System struct {
 
 type cacheEntry struct {
 	plan *translate.Plan
+	// rewritings are all candidate rewritings found at miss time; a drift
+	// re-plan re-runs ChooseBest over them without redoing the PACB search.
+	rewritings []pivot.CQ
+	// dataEpoch/planRows stamp the data generation and per-fragment row
+	// counts the plan was ordered by (see maybeReplanLocked).
+	dataEpoch uint64
+	planRows  map[string]int64
 }
 
 // New creates an empty system.
 func New(opts Options) *System {
 	cat := catalog.New()
 	stores := translate.NewStores()
-	return &System{
+	sys := &System{
 		opts:    opts,
 		Catalog: cat,
 		Stores:  stores,
-		planner: &translate.Planner{Catalog: cat, Stores: stores, DisableDelegation: opts.DisableDelegation},
-		cache:   map[string]*cacheEntry{},
+		planner: &translate.Planner{
+			Catalog:           cat,
+			Stores:            stores,
+			DisableDelegation: opts.DisableDelegation,
+			FixedOrder:        opts.FixedOrderPlanner,
+		},
+		cache: map[string]*cacheEntry{},
 	}
+	sys.planner.DataEpoch = sys.DataEpoch
+	return sys
+}
+
+// Replans returns the number of drift-triggered lazy re-plans so far.
+func (s *System) Replans() uint64 { return s.replans.Load() }
+
+// PlanSeconds returns the histogram of cost-based plan-choice latencies.
+func (s *System) PlanSeconds() *obs.Histogram { return &s.planHist }
+
+// driftFactor resolves Options.ReplanDriftFactor (0 → default 2.0;
+// negative → disabled, returned as 0).
+func (s *System) driftFactor() float64 {
+	f := s.opts.ReplanDriftFactor
+	if f == 0 {
+		return 2.0
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// rowsDrifted reports whether any fragment's current row count has moved
+// past the drift factor relative to the plan-time snapshot. Counts are
+// +1-smoothed so empty fragments growing from zero register as drift.
+func (s *System) rowsDrifted(planRows map[string]int64) bool {
+	f := s.driftFactor()
+	if f <= 0 || len(planRows) == 0 {
+		return false
+	}
+	names := make([]string, 0, len(planRows))
+	for n := range planRows {
+		names = append(names, n)
+	}
+	cur := s.Catalog.RowsSnapshot(names)
+	for n, then := range planRows {
+		now, ok := cur[n]
+		if !ok {
+			continue
+		}
+		ratio := float64(now+1) / float64(then+1)
+		if ratio > f || ratio*f < 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// fragmentRowsOf snapshots the row counts of every fragment referenced by
+// the rewritings' bodies (deduplicated).
+func (s *System) fragmentRowsOf(rewritings []pivot.CQ) map[string]int64 {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range rewritings {
+		for _, a := range r.Body {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				names = append(names, a.Pred)
+			}
+		}
+	}
+	return s.Catalog.RowsSnapshot(names)
+}
+
+// chooseBestTimed runs the planner's joint rewriting+order choice and
+// records the plan-choice latency.
+func (s *System) chooseBestTimed(rewritings []pivot.CQ) (*translate.Plan, []*translate.Plan, error) {
+	start := time.Now()
+	best, all, err := s.planner.ChooseBest(rewritings)
+	s.planHist.Observe(time.Since(start))
+	return best, all, err
+}
+
+// maybeReplanLocked returns the entry's plan, lazily re-planning first when
+// the data epoch has moved AND the fragments' row counts have drifted past
+// the threshold. Caller holds s.mu (re-choice over the stored rewritings is
+// microsecond-scale, so holding the lock keeps the re-plan exactly-once
+// without extra machinery). When the epoch moved but cardinalities are
+// still within the threshold, only the entry's epoch stamp is refreshed —
+// planRows keeps the original snapshot so gradual drift accumulates until
+// it crosses the threshold.
+func (s *System) maybeReplanLocked(e *cacheEntry) (*translate.Plan, error) {
+	cur := s.DataEpoch()
+	if cur == e.dataEpoch {
+		return e.plan, nil
+	}
+	if !s.rowsDrifted(e.planRows) {
+		e.dataEpoch = cur
+		return e.plan, nil
+	}
+	best, _, err := s.chooseBestTimed(e.rewritings)
+	if err != nil {
+		return nil, err
+	}
+	s.replans.Add(1)
+	e.plan = best
+	e.dataEpoch = cur
+	e.planRows = s.fragmentRowsOf(e.rewritings)
+	return best, nil
 }
 
 // AddRelStore creates and registers a relational store.
@@ -490,8 +618,10 @@ func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*R
 	if !s.opts.DisablePlanCache {
 		s.mu.Lock()
 		if e, ok := s.cache[key]; ok {
-			plan = e.plan
-			rep.CacheHit = true
+			if p, err := s.maybeReplanLocked(e); err == nil {
+				plan = p
+				rep.CacheHit = true
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -511,14 +641,19 @@ func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*R
 		if len(res.Rewritings) == 0 {
 			return nil, ErrNoPlan
 		}
-		best, _, err := s.planner.ChooseBest(res.Rewritings)
+		best, _, err := s.chooseBestTimed(res.Rewritings)
 		if err != nil {
 			return nil, err
 		}
 		plan = best
 		if !s.opts.DisablePlanCache {
 			s.mu.Lock()
-			s.cache[key] = &cacheEntry{plan: plan}
+			s.cache[key] = &cacheEntry{
+				plan:       plan,
+				rewritings: res.Rewritings,
+				dataEpoch:  s.DataEpoch(),
+				planRows:   s.fragmentRowsOf(res.Rewritings),
+			}
 			s.mu.Unlock()
 		}
 	}
@@ -551,5 +686,5 @@ func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*R
 			rep.Profile = prof.Tree(root)
 		}
 	})
-	return &Rows{Rows: rs, attr: attr, rep: rep, prof: prof, root: root}, nil
+	return &Rows{Rows: rs, attr: attr, rep: rep, prof: prof, root: root, plan: plan}, nil
 }

@@ -25,19 +25,48 @@ type Prepared struct {
 	sys    *System
 	query  pivot.CQ
 	params []pivot.Var // parameter variables, in declaration order
-	// chosen rewriting with parameter variables still symbolic.
-	rewriting pivot.CQ
-	// paramInRewriting maps each parameter to its variable name inside the
-	// rewriting (head positions are preserved by the rewriter).
-	paramInRewriting []pivot.Var
+	// candidates are all rewritings found at Prepare time; a drift
+	// re-plan re-costs them without redoing the PACB search. paramPos
+	// maps each parameter to its head position.
+	candidates []pivot.CQ
+	paramPos   []int
 
-	// planCache maps bound-parameter keys to built plans. Reads vastly
+	// state is the current plan generation, swapped atomically on a drift
+	// re-plan so hot-path Execs never take a lock; replanMu serializes
+	// the (rare) re-plan itself.
+	state    atomic.Pointer[planState]
+	replanMu sync.Mutex
+}
+
+// planState is one plan generation of a Prepared: the rewriting chosen
+// under a specific statistics snapshot plus its bound-plan cache.
+type planState struct {
+	// rewriting is the chosen rewriting with parameters still symbolic;
+	// paramIn maps each parameter to its variable name inside it (head
+	// positions are preserved by the rewriter).
+	rewriting pivot.CQ
+	paramIn   []pivot.Var
+	// order is the clause order chosen for the rewriting at plan-choice
+	// time. Binds reuse it (translate.BuildOrdered) instead of re-running
+	// the order search: every bind has constants in the same positions,
+	// so the cost-optimal order is the same.
+	order []int
+
+	// plans maps bound-parameter keys to built plans. Reads vastly
 	// outnumber writes on the hot path (the service layer funnels every
 	// fingerprint-equal query through one Prepared), so a sync.Map keeps
-	// concurrent Execs from serializing on a mutex; planCacheLen bounds
-	// the entry count approximately.
-	planCache    sync.Map
-	planCacheLen atomic.Int64
+	// concurrent Execs from serializing on a mutex; planLen bounds the
+	// entry count approximately.
+	plans   sync.Map
+	planLen atomic.Int64
+
+	// dataEpoch/planRows stamp the data generation and per-fragment row
+	// counts the rewriting was chosen under (see maybeReplan). dataEpoch
+	// is atomic so a no-drift refresh can advance it in place without
+	// discarding the warm bound-plan cache; planRows is written once at
+	// construction and read-only afterwards.
+	dataEpoch atomic.Uint64
+	planRows  map[string]int64
 }
 
 // maxBoundPlanCache bounds the per-Prepared bound-plan cache.
@@ -79,50 +108,103 @@ func (s *System) Prepare(q pivot.CQ, params ...pivot.Var) (*Prepared, error) {
 	if len(res.Rewritings) == 0 {
 		return nil, ErrNoPlan
 	}
-	// Pick the rewriting whose plan (with placeholder parameter values) is
-	// cheapest; parameters are substituted by a representative constant for
-	// costing only.
+	p := &Prepared{
+		sys:        s,
+		query:      q,
+		params:     params,
+		candidates: res.Rewritings,
+		paramPos:   paramPos,
+	}
+	st, err := p.choosePlanState()
+	if err != nil {
+		return nil, err
+	}
+	p.state.Store(st)
+	return p, nil
+}
+
+// choosePlanState picks the candidate rewriting whose plan (with
+// placeholder parameter values) is cheapest under the current statistics,
+// and wraps it in a fresh plan generation. Parameters are substituted by a
+// representative constant for costing only. The plan-choice latency is
+// recorded in the system's planning histogram.
+func (p *Prepared) choosePlanState() (*planState, error) {
+	s := p.sys
+	start := time.Now()
 	placeholder := pivot.CStr("\x00param")
 	var best pivot.CQ
+	var bestOrder []int
 	bestCost := -1.0
-	for _, r := range res.Rewritings {
+	for _, r := range p.candidates {
 		sub := pivot.NewSubst()
-		for i, pos := range paramPos {
+		for _, pos := range p.paramPos {
 			if v, ok := r.Head.Args[pos].(pivot.Var); ok {
 				sub[v] = placeholder
-			} else {
-				_ = i
 			}
 		}
 		pl, err := s.planner.Build(r.Apply(sub))
 		if err != nil {
 			continue
 		}
-		if bestCost < 0 || pl.Cost < bestCost {
-			best, bestCost = r, pl.Cost
+		if bestCost < 0 || pl.Cost < bestCost ||
+			(pl.Cost == bestCost && r.String() < best.String()) {
+			best, bestOrder, bestCost = r, pl.Order, pl.Cost
 		}
 	}
+	s.planHist.Observe(time.Since(start))
 	if bestCost < 0 {
 		return nil, ErrNoPlan
 	}
-	p := &Prepared{
-		sys:       s,
-		query:     q,
-		params:    params,
+	st := &planState{
 		rewriting: best,
+		order:     bestOrder,
+		planRows:  s.fragmentRowsOf(p.candidates),
 	}
-	for _, pos := range paramPos {
+	st.dataEpoch.Store(s.DataEpoch())
+	for _, pos := range p.paramPos {
 		v, ok := best.Head.Args[pos].(pivot.Var)
 		if !ok {
 			return nil, fmt.Errorf("estocada: rewriting lost parameter at head position %d", pos)
 		}
-		p.paramInRewriting = append(p.paramInRewriting, v)
+		st.paramIn = append(st.paramIn, v)
 	}
-	return p, nil
+	return st, nil
 }
 
-// Rewriting returns the chosen symbolic rewriting.
-func (p *Prepared) Rewriting() pivot.CQ { return p.rewriting }
+// maybeReplan is the slow path of bind when the data epoch has moved: it
+// re-plans iff the fragments' row counts drifted past the threshold since
+// the current generation was chosen, otherwise just refreshes the epoch
+// stamp (keeping the original planRows snapshot so gradual drift
+// accumulates until it crosses the threshold). Serialized by replanMu so a
+// drift event triggers exactly one re-plan regardless of Exec concurrency.
+func (p *Prepared) maybeReplan() *planState {
+	p.replanMu.Lock()
+	defer p.replanMu.Unlock()
+	st := p.state.Load()
+	cur := p.sys.DataEpoch()
+	if st.dataEpoch.Load() == cur {
+		// Another goroutine already handled this epoch.
+		return st
+	}
+	if !p.sys.rowsDrifted(st.planRows) {
+		st.dataEpoch.Store(cur)
+		return st
+	}
+	next, err := p.choosePlanState()
+	if err != nil {
+		// Re-planning failed (e.g. a fragment vanished mid-flight); keep
+		// serving the old generation rather than failing the query, and
+		// stop re-trying until the next epoch move.
+		st.dataEpoch.Store(cur)
+		return st
+	}
+	p.sys.replans.Add(1)
+	p.state.Store(next)
+	return next
+}
+
+// Rewriting returns the currently chosen symbolic rewriting.
+func (p *Prepared) Rewriting() pivot.CQ { return p.state.Load().rewriting }
 
 // Stores lists the deployment names of the stores the chosen rewriting
 // touches (deduplicated, in body order). The degradation layer uses this
@@ -130,7 +212,7 @@ func (p *Prepared) Rewriting() pivot.CQ { return p.rewriting }
 func (p *Prepared) Stores() []string {
 	var out []string
 	seen := map[string]bool{}
-	for _, a := range p.rewriting.Body {
+	for _, a := range p.Rewriting().Body {
 		if f, ok := p.sys.Catalog.Get(a.Pred); ok && !seen[f.Store] {
 			seen[f.Store] = true
 			out = append(out, f.Store)
@@ -185,33 +267,45 @@ func (p *Prepared) ExecRows(ctx context.Context, attr *engine.ExecCounters, args
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Rows: rs, attr: attr, prof: prof, root: plan.Root}, nil
+	return &Rows{Rows: rs, attr: attr, prof: prof, root: plan.Root, plan: plan}, nil
 }
 
 // bind substitutes the parameter values into the chosen rewriting and
-// returns the (cached) physical plan for the bound query.
+// returns the (cached) physical plan for the bound query. When the data
+// epoch moved since the current plan generation was chosen, bind detours
+// through maybeReplan first (lazy drift-triggered re-planning).
 func (p *Prepared) bind(args []value.Value) (*translate.Plan, error) {
 	if len(args) != len(p.params) {
 		return nil, fmt.Errorf("estocada: prepared query takes %d parameters, got %d", len(p.params), len(args))
 	}
+	st := p.state.Load()
+	if st.dataEpoch.Load() != p.sys.DataEpoch() {
+		st = p.maybeReplan()
+	}
 	sub := pivot.NewSubst()
 	key := ""
-	for i, v := range p.paramInRewriting {
+	for i, v := range st.paramIn {
 		c := valueToConst(args[i])
 		sub[v] = c
 		key += "|" + c.Key()
 	}
-	if cached, ok := p.planCache.Load(key); ok {
+	if cached, ok := st.plans.Load(key); ok {
 		return cached.(*translate.Plan), nil
 	}
-	bound := p.rewriting.Apply(sub)
-	plan, err := p.sys.planner.Build(bound)
+	bound := st.rewriting.Apply(sub)
+	plan, err := p.sys.planner.BuildOrdered(bound, st.order)
 	if err != nil {
-		return nil, err
+		// The stored order can go stale in edge cases (e.g. an access
+		// pattern changed under the same fragment name); fall back to a
+		// full order search rather than failing the query.
+		plan, err = p.sys.planner.Build(bound)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if p.planCacheLen.Load() < maxBoundPlanCache {
-		if _, loaded := p.planCache.LoadOrStore(key, plan); !loaded {
-			p.planCacheLen.Add(1)
+	if st.planLen.Load() < maxBoundPlanCache {
+		if _, loaded := st.plans.LoadOrStore(key, plan); !loaded {
+			st.planLen.Add(1)
 		}
 	}
 	return plan, nil

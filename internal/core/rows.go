@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/engines/engine"
 	"repro/internal/exec"
+	"repro/internal/translate"
 )
 
 // Rows is a streaming cursor over one mediated query execution. It embeds
@@ -18,6 +19,9 @@ type Rows struct {
 	// execution was opened under obs.WithProfile).
 	prof *exec.Profile
 	root exec.Node
+	// plan is the physical plan this cursor executes, kept for planner
+	// provenance (clause order, per-clause scores, operator choices).
+	plan *translate.Plan
 }
 
 // PerStore returns the work each store has performed for this execution
@@ -28,6 +32,17 @@ func (r *Rows) PerStore() map[string]engine.CounterSnapshot { return r.attr.Snap
 // Prepared.ExecRows). Planning fields are valid immediately; ExecTime and
 // PerStore are stamped when the cursor closes.
 func (r *Rows) Report() *Report { return r.rep }
+
+// PlanProvenance reports how the planner ordered and operator-assigned the
+// plan this cursor executes: chosen clause order, per-clause scores,
+// bind-vs-hash choices with build sides, and the stats epoch the plan was
+// costed under. Nil when no plan is attached.
+func (r *Rows) PlanProvenance() *translate.Provenance {
+	if r.plan == nil {
+		return nil
+	}
+	return r.plan.Provenance()
+}
 
 // Profile renders the per-operator EXPLAIN ANALYZE tree, or nil when the
 // execution was not profiled. Complete once the cursor is drained or

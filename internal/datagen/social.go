@@ -1,0 +1,138 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// SocialConfig sizes the social-graph dataset: a member base, a Zipf-skewed
+// follow graph, authored posts and post likes. The workload over it is
+// bind-join heavy — every query starts from one member key and walks the
+// graph through key-value and document lookups.
+type SocialConfig struct {
+	Seed    int64
+	Members int
+	// FollowsPerMember is the mean out-degree of the follow graph.
+	FollowsPerMember int
+	// PostsPerMember is the mean number of posts authored per member.
+	PostsPerMember int
+	// LikesPerMember is the mean number of likes issued per member.
+	LikesPerMember int
+	// ZipfS is the popularity skew of followed members and liked posts.
+	ZipfS float64
+}
+
+// DefaultSocial returns a laptop-scale configuration.
+func DefaultSocial() SocialConfig {
+	return SocialConfig{
+		Seed:             21,
+		Members:          1500,
+		FollowsPerMember: 8,
+		PostsPerMember:   6,
+		LikesPerMember:   10,
+		ZipfS:            1.3,
+	}
+}
+
+// Validate reports whether the configuration can generate a dataset.
+func (cfg SocialConfig) Validate() error {
+	if cfg.Members <= 1 {
+		return fmt.Errorf("datagen: social graph needs at least two members, got %d", cfg.Members)
+	}
+	return nil
+}
+
+// Social is the generated dataset; every relation is a tuple slice in the
+// logical-schema column order documented per field.
+type Social struct {
+	Cfg SocialConfig
+	// Members: (uid, name, city)
+	Members []value.Tuple
+	// Follows: (src, dst) — src follows dst.
+	Follows []value.Tuple
+	// Posts: (pid, author, topic)
+	Posts []value.Tuple
+	// Likes: (uid, pid)
+	Likes []value.Tuple
+}
+
+var topics = []string{
+	"cooking", "cycling", "jazz", "films", "travel", "chess",
+	"gardening", "running", "photography", "science",
+}
+
+// PostID renders the i-th post key.
+func PostID(i int) string { return fmt.Sprintf("t%06d", i) }
+
+// NewSocial generates the dataset.
+func NewSocial(cfg SocialConfig) *Social {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error() + " (validate configs from user input with Validate)")
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Social{Cfg: cfg}
+
+	for i := 0; i < cfg.Members; i++ {
+		s.Members = append(s.Members, value.TupleOf(
+			UID(i),
+			fmt.Sprintf("member-%d", i),
+			cities[rng.Intn(len(cities))],
+		))
+	}
+
+	// Follow graph: celebrities (low Zipf ranks) collect most in-edges.
+	memberZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Members-1))
+	for i := 0; i < cfg.Members; i++ {
+		seen := map[int]bool{i: true}
+		for j := 0; j < poissonish(rng, cfg.FollowsPerMember); j++ {
+			dst := int(memberZipf.Uint64())
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			s.Follows = append(s.Follows, value.TupleOf(UID(i), UID(dst)))
+		}
+	}
+
+	pid := 0
+	for i := 0; i < cfg.Members; i++ {
+		for j := 0; j < poissonish(rng, cfg.PostsPerMember); j++ {
+			s.Posts = append(s.Posts, value.TupleOf(
+				PostID(pid), UID(i), topics[rng.Intn(len(topics))]))
+			pid++
+		}
+	}
+
+	postZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(max(pid-1, 1)))
+	for i := 0; i < cfg.Members; i++ {
+		for j := 0; j < poissonish(rng, cfg.LikesPerMember); j++ {
+			s.Likes = append(s.Likes, value.TupleOf(
+				UID(i), PostID(int(postZipf.Uint64()))))
+		}
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ZipfMemberKeys draws n member keys with Zipf-skewed popularity — the
+// active members whose feeds the workload fetches.
+func (s *Social) ZipfMemberKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s.Cfg.ZipfS, 1, uint64(s.Cfg.Members-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = UID(int(z.Uint64()))
+	}
+	return out
+}

@@ -52,6 +52,10 @@ func New(name string) *Store {
 // SetRequestLatency configures the simulated per-request service time.
 func (s *Store) SetRequestLatency(d time.Duration) { s.lat.Set(d) }
 
+// RequestLatency reports the store's configured per-request latency model
+// (the planner reads it to scale per-store access costs).
+func (s *Store) RequestLatency() time.Duration { return s.lat.Get() }
+
 // Name implements engine.Engine.
 func (s *Store) Name() string { return s.name }
 

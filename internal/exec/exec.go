@@ -242,10 +242,15 @@ func (p *Project) Open(ec *Ctx) (engine.BatchIterator, error) {
 // the left streams in batches and probes.
 type HashJoin struct {
 	Left, Right Node
-	out         Schema
-	leftKeys    []int
-	rightKeys   []int
-	rightKeep   []int // right columns appended to output (non-shared)
+	// Desc annotates the planner's build-side choice in plan labels (the
+	// right input is always the materialized side; the planner swaps its
+	// arguments to build on the estimated-smaller input and records the
+	// decision here, e.g. "build=left ~12 rows").
+	Desc      string
+	out       Schema
+	leftKeys  []int
+	rightKeys []int
+	rightKeep []int // right columns appended to output (non-shared)
 }
 
 // NewHashJoin builds a natural hash join on the shared variables.
@@ -288,10 +293,14 @@ func NewHashJoin(left, right Node) (*HashJoin, error) {
 
 func (j *HashJoin) Schema() Schema { return j.out }
 func (j *HashJoin) Label() string {
+	label := fmt.Sprintf("BatchHashJoin[%d keys]", len(j.leftKeys))
 	if len(j.leftKeys) == 0 {
-		return "BatchCrossProduct"
+		label = "BatchCrossProduct"
 	}
-	return fmt.Sprintf("BatchHashJoin[%d keys]", len(j.leftKeys))
+	if j.Desc != "" {
+		label += " " + j.Desc
+	}
+	return label
 }
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 

@@ -180,6 +180,63 @@ func FeasibleBound(atoms []pivot.Atom, patterns map[string]AccessPattern, preBou
 	return order, true
 }
 
+// FeasibleOrders enumerates access-pattern-feasible orderings of atoms by
+// backtracking, returning at most max of them (all when max <= 0). It is
+// exponential in the worst case and intended for small bodies: exhaustive
+// plan-space oracles in tests and offline plan debugging, not the query path
+// (the planner's greedy ordering is the production strategy).
+func FeasibleOrders(atoms []pivot.Atom, patterns map[string]AccessPattern, max int) [][]int {
+	bound := map[pivot.Var]bool{}
+	used := make([]bool, len(atoms))
+	order := make([]int, 0, len(atoms))
+	var out [][]int
+	canPlace := func(a pivot.Atom) bool {
+		p := patterns[a.Pred]
+		for _, pos := range p.BoundPositions() {
+			if pos >= len(a.Args) {
+				return false
+			}
+			t := a.Args[pos]
+			if v, ok := t.(pivot.Var); ok && !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	var walk func()
+	walk = func() {
+		if max > 0 && len(out) >= max {
+			return
+		}
+		if len(order) == len(atoms) {
+			out = append(out, append([]int(nil), order...))
+			return
+		}
+		for i, a := range atoms {
+			if used[i] || !canPlace(a) {
+				continue
+			}
+			newly := make([]pivot.Var, 0, 4)
+			for _, v := range a.Vars() {
+				if !bound[v] {
+					bound[v] = true
+					newly = append(newly, v)
+				}
+			}
+			used[i] = true
+			order = append(order, i)
+			walk()
+			order = order[:len(order)-1]
+			used[i] = false
+			for _, v := range newly {
+				delete(bound, v)
+			}
+		}
+	}
+	walk()
+	return out
+}
+
 // rewritingKey canonically identifies a rewriting by its sorted body atom
 // keys; used for deduplication and subset tests.
 func rewritingKey(body []pivot.Atom) string {

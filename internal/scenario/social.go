@@ -1,0 +1,167 @@
+// Social is a second deployment scenario exercising the cost-based
+// planner: a social-graph feed whose every query is bind-join heavy. The
+// member base is relational, the follow graph and likes live in the
+// key-value store (reachable only through a bound source key), and posts
+// are documents indexed by post id and author. Query bodies deliberately
+// list the large scannable posts relation first, so a planner that takes
+// the first feasible clause order scans every post, while the cost-based
+// planner starts from the parameter-keyed follow/like lookup and reaches
+// posts through an indexed bind join.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/lang"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+// SocialSchema is the social graph's logical relations.
+var SocialSchema = lang.Schema{
+	"Members": {"uid", "name", "city"},
+	"Follows": {"src", "dst"},
+	"Posts":   {"pid", "author", "topic"},
+	"Likes":   {"uid", "pid"},
+}
+
+// Social is a running social-graph deployment.
+type Social struct {
+	Sys  *core.System
+	Data *datagen.Social
+}
+
+// socialIdentityView builds the identity view over a social relation using
+// its schema column names as variables.
+func socialIdentityView(name, over string) rewrite.View {
+	cols := SocialSchema[over]
+	args := make([]pivot.Term, len(cols))
+	for i, c := range cols {
+		args[i] = v(c)
+	}
+	return rewrite.NewView(name, pivot.NewCQ(
+		pivot.NewAtom(name, args...), pivot.NewAtom(over, args...)))
+}
+
+// NewSocial builds and loads a social-graph deployment. fixedOrder selects
+// the first-feasible-order planner baseline instead of the cost-based one
+// (the ablation the planner benchmarks compare against).
+func NewSocial(cfg datagen.SocialConfig, fixedOrder bool) (*Social, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	data := datagen.NewSocial(cfg)
+	sys := core.New(core.Options{FixedOrderPlanner: fixedOrder})
+	sys.AddRelStore("pg").SetRequestLatency(10 * time.Microsecond)
+	sys.AddDocStore("mongo").SetRequestLatency(12 * time.Microsecond)
+	sys.AddKVStore("redis").SetRequestLatency(2 * time.Microsecond)
+
+	s := &Social{Sys: sys, Data: data}
+	frags := []*catalog.Fragment{
+		{
+			Name: "FMembers", Dataset: "social", View: socialIdentityView("FMembers", "Members"),
+			Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "members",
+				Columns: SocialSchema["Members"], IndexCols: []int{0}},
+		},
+		{
+			Name: "FFollows", Dataset: "social", View: socialIdentityView("FFollows", "Follows"),
+			Store:  "redis",
+			Layout: catalog.Layout{Kind: catalog.LayoutKV, Collection: "follows", KeyCol: 0},
+			Access: "bf",
+		},
+		{
+			Name: "FPosts", Dataset: "social", View: socialIdentityView("FPosts", "Posts"),
+			Store: "mongo",
+			Layout: catalog.Layout{Kind: catalog.LayoutDoc, Collection: "posts",
+				DocPaths: []string{"pid", "author", "topic"}, IndexCols: []int{0, 1}},
+		},
+		{
+			Name: "FLikes", Dataset: "social", View: socialIdentityView("FLikes", "Likes"),
+			Store:  "redis",
+			Layout: catalog.Layout{Kind: catalog.LayoutKV, Collection: "likes", KeyCol: 0},
+			Access: "bf",
+		},
+	}
+	loads := map[string][]value.Tuple{
+		"FMembers": data.Members,
+		"FFollows": data.Follows,
+		"FPosts":   data.Posts,
+		"FLikes":   data.Likes,
+	}
+	for _, f := range frags {
+		if err := sys.RegisterFragment(f); err != nil {
+			return nil, err
+		}
+		if err := sys.Materialize(f.Name, loads[f.Name]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// FeedQuery fetches the topics posted by the members a given member
+// follows. The large scannable Posts atom comes first in the body on
+// purpose: a first-feasible-order planner starts with a full post scan,
+// the cost-based planner reorders to follow-lookup → indexed post fetch →
+// member lookup. Parameter: uid (head 0).
+func FeedQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QFeed", v("uid"), v("pid"), v("topic")),
+		pivot.NewAtom("Posts", v("pid"), v("dst"), v("topic")),
+		pivot.NewAtom("Follows", v("uid"), v("dst")),
+		pivot.NewAtom("Members", v("uid"), v("name"), v("city")))
+}
+
+// LikedTopicsQuery fetches the topics of the posts a member liked —
+// a likes-lookup driving an indexed document bind join. Parameter: uid.
+func LikedTopicsQuery() pivot.CQ {
+	return pivot.NewCQ(
+		pivot.NewAtom("QLiked", v("uid"), v("pid"), v("topic")),
+		pivot.NewAtom("Posts", v("pid"), v("author"), v("topic")),
+		pivot.NewAtom("Likes", v("uid"), v("pid")))
+}
+
+// PrepareSocial pre-plans the social workload against this deployment.
+func (s *Social) PrepareSocial() (*SocialWorkload, error) {
+	feed, err := s.Sys.Prepare(FeedQuery(), "uid")
+	if err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	liked, err := s.Sys.Prepare(LikedTopicsQuery(), "uid")
+	if err != nil {
+		return nil, fmt.Errorf("liked topics: %w", err)
+	}
+	return &SocialWorkload{Feed: feed, Liked: liked}, nil
+}
+
+// SocialWorkload bundles the prepared social queries.
+type SocialWorkload struct {
+	Feed  *core.Prepared
+	Liked *core.Prepared
+}
+
+// Run executes the feed-heavy mix (70 % feed fetches, 30 % liked-topics)
+// over the given member keys, returning total result rows as a checksum.
+func (w *SocialWorkload) Run(keys []string) (int, error) {
+	total := 0
+	for i, k := range keys {
+		var rows []value.Tuple
+		var err error
+		if i%10 < 7 {
+			rows, err = w.Feed.Exec(value.Str(k))
+		} else {
+			rows, err = w.Liked.Exec(value.Str(k))
+		}
+		if err != nil {
+			return total, err
+		}
+		total += len(rows)
+	}
+	return total, nil
+}

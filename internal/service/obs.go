@@ -178,6 +178,15 @@ func newSvcObs(reg *obs.Registry, s *Service) *svcObs {
 		}
 	}
 
+	// Planner plane: drift-triggered lazy re-plans and the cost-based
+	// plan-choice latency histogram (owned by core, attached here).
+	reg.CounterFunc("estocada_replans_total",
+		"Lazy re-plans triggered by data-epoch cardinality drift.", nil,
+		func(emit func([]string, float64)) { emit(nil, float64(s.sys.Replans())) })
+	reg.NewHistogram("estocada_plan_seconds",
+		"Cost-based plan choice latency (cold misses, prepares, re-plans).").
+		Attach(s.sys.PlanSeconds())
+
 	// Epochs: catalog generation (plan invalidation) vs data generation.
 	reg.GaugeFunc("estocada_catalog_epoch",
 		"Catalog generation; cached plans older than it re-prepare.", nil,

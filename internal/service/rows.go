@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines/engine"
 	"repro/internal/exec"
+	"repro/internal/translate"
 	"repro/internal/value"
 )
 
@@ -219,6 +220,11 @@ func (r *Rows) Err() error { return r.err }
 // query did not run under obs.WithProfile. Complete once the cursor is
 // drained or closed.
 func (r *Rows) Profile() *exec.OpProfile { return r.cur.Profile() }
+
+// Planner reports the planner's provenance for the executed plan — clause
+// order, per-clause scores, operator choices (bind vs hash, build side),
+// and the stats epoch the plan was costed under. Nil when unavailable.
+func (r *Rows) Planner() *translate.Provenance { return r.cur.PlanProvenance() }
 
 // splitExec decomposes the post-bind execution time into execute
 // (time-to-first-row) and drain (the remainder). A query that delivered

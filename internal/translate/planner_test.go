@@ -1,0 +1,335 @@
+package translate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/relstore"
+	"repro/internal/exec"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// randomPlannerInstance builds a randomized catalog (fragments with random
+// arities, stats, indexes, and access patterns) plus a random conjunctive
+// body over it, all under one seeded rng.
+func randomPlannerInstance(rng *rand.Rand, maxAtoms int) (*Planner, pivot.CQ, []*catalog.Fragment) {
+	cat := catalog.New()
+	stores := NewStores()
+	stores.AddRel(relstore.New("pg"))
+
+	nFrags := 2 + rng.Intn(4)
+	fragNames := make([]string, nFrags)
+	for i := 0; i < nFrags; i++ {
+		arity := 1 + rng.Intn(3)
+		name := fmt.Sprintf("F%d", i)
+		fragNames[i] = name
+		cols := make([]string, arity)
+		for c := range cols {
+			cols[c] = fmt.Sprintf("c%d", c)
+		}
+		var idx []int
+		for c := 0; c < arity; c++ {
+			if rng.Intn(3) == 0 {
+				idx = append(idx, c)
+			}
+		}
+		var access rewrite.AccessPattern
+		if rng.Intn(5) < 2 {
+			adorn := make([]byte, arity)
+			for c := range adorn {
+				if rng.Intn(3) == 0 {
+					adorn[c] = 'b'
+				} else {
+					adorn[c] = 'f'
+				}
+			}
+			access = rewrite.AccessPattern(adorn)
+		}
+		rows := int64(1 + rng.Intn(10000))
+		distinct := make([]int64, arity)
+		for c := range distinct {
+			distinct[c] = 1 + rng.Int63n(rows)
+		}
+		f := &catalog.Fragment{
+			Name: name, Dataset: "d", View: idView(name, "R"+name, arity), Store: "pg",
+			Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: name, Columns: cols, IndexCols: idx},
+			Access: access,
+			Stats:  stats.FragmentStats{Rows: rows, Distinct: distinct},
+		}
+		if err := cat.Register(f); err != nil {
+			panic(err)
+		}
+	}
+
+	nAtoms := 2 + rng.Intn(maxAtoms-1)
+	varPool := make([]pivot.Var, nAtoms+2)
+	for i := range varPool {
+		varPool[i] = pivot.Var(fmt.Sprintf("v%d", i))
+	}
+	body := make([]pivot.Atom, nAtoms)
+	frags := make([]*catalog.Fragment, nAtoms)
+	for i := 0; i < nAtoms; i++ {
+		f, _ := cat.Get(fragNames[rng.Intn(nFrags)])
+		frags[i] = f
+		arity := f.View.Def.Head.Arity()
+		args := make([]pivot.Term, arity)
+		for c := range args {
+			if rng.Intn(5) == 0 {
+				args[c] = pivot.CInt(int64(rng.Intn(10)))
+			} else {
+				args[c] = varPool[rng.Intn(len(varPool))]
+			}
+		}
+		body[i] = pivot.NewAtom(f.Name, args...)
+	}
+	q := pivot.CQ{Head: pivot.NewAtom("Q"), Body: body}
+	p := &Planner{Catalog: cat, Stores: stores}
+	return p, q, frags
+}
+
+// TestGreedyOrderFeasibilityProperty checks, over randomized catalogs and
+// queries, that (a) every order the greedy planner emits satisfies the
+// access-pattern bound-variable closure, and (b) the greedy walk finds an
+// order exactly when the reference first-fit check (rewrite.Feasible) says
+// one exists — greedy never dead-ends on a feasible body.
+func TestGreedyOrderFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		p, q, frags := randomPlannerInstance(rng, 5)
+		patterns := map[string]rewrite.AccessPattern{}
+		for _, f := range frags {
+			patterns[f.Name] = f.Access
+		}
+		_, refOK := rewrite.Feasible(q.Body, patterns)
+
+		cm := p.newCostModel()
+		order, _, _, _, err := cm.orderAtoms(q, frags, false)
+		if (err == nil) != refOK {
+			t.Fatalf("trial %d: greedy feasible=%v, reference feasible=%v\nbody: %v",
+				trial, err == nil, refOK, q.Body)
+		}
+		if err != nil {
+			continue
+		}
+		// Replay the order and check the closure rule at every step.
+		bound := map[pivot.Var]bool{}
+		for step, ai := range order {
+			if !feasibleNow(q.Body[ai], frags[ai], bound) {
+				t.Fatalf("trial %d: step %d places infeasible atom %v (order %v)",
+					trial, step, q.Body[ai], order)
+			}
+			for _, vv := range q.Body[ai].Vars() {
+				bound[vv] = true
+			}
+		}
+		// Fixed mode must agree on feasibility too.
+		if _, _, _, _, err := cm.orderAtoms(q, frags, true); err != nil {
+			t.Fatalf("trial %d: fixed-order mode dead-ended on feasible body %v", trial, q.Body)
+		}
+	}
+}
+
+// TestGreedyOrderOracle compares the greedy order's cost against exhaustive
+// enumeration of all feasible orders (small bodies): the greedy plan must
+// stay within 1.2x of the optimum under the same per-step cost model.
+func TestGreedyOrderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		p, q, frags := randomPlannerInstance(rng, 6)
+		patterns := map[string]rewrite.AccessPattern{}
+		for _, f := range frags {
+			patterns[f.Name] = f.Access
+		}
+		cm := p.newCostModel()
+		order, _, greedyCost, _, err := cm.orderAtoms(q, frags, false)
+		if err != nil {
+			continue
+		}
+		// costOrder must agree with the greedy walk on its own order.
+		if c, err := cm.costOrder(q, frags, order); err != nil || c != greedyCost {
+			t.Fatalf("trial %d: costOrder(%v) = %v, %v; greedy said %v", trial, order, c, err, greedyCost)
+		}
+		best := -1.0
+		for _, cand := range rewrite.FeasibleOrders(q.Body, patterns, 0) {
+			c, err := cm.costOrder(q, frags, cand)
+			if err != nil {
+				t.Fatalf("trial %d: enumerated order %v rejected: %v", trial, cand, err)
+			}
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if best < 0 {
+			t.Fatalf("trial %d: greedy found an order but enumeration found none", trial)
+		}
+		if greedyCost > best*1.2+1e-9 {
+			t.Errorf("trial %d: greedy cost %.3f exceeds 1.2x optimum %.3f\nbody: %v\ngreedy order: %v",
+				trial, greedyCost, best, q.Body, order)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d feasible instances checked; generator too restrictive", checked)
+	}
+}
+
+// TestChooseBestDeterministicTieBreak registers two indistinguishable
+// fragments (same store, layout, stats) so their single-atom rewritings
+// cost identically, and checks ChooseBest picks the same winner regardless
+// of enumeration order.
+func TestChooseBestDeterministicTieBreak(t *testing.T) {
+	p, _, _ := fixture(t)
+	twin := &catalog.Fragment{
+		Name: "FRel2", Dataset: "d", View: idView("FRel2", "R", 2), Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "r", Columns: []string{"k", "x"}, IndexCols: []int{0}},
+		Stats:  stats.FragmentStats{Rows: 1000, Distinct: []int64{1000, 50}},
+	}
+	if err := p.Catalog.Register(twin); err != nil {
+		t.Fatal(err)
+	}
+	r1 := pivot.NewCQ(atom("Q", v("x")), atom("FRel", pivot.CInt(3), v("x")))
+	r2 := pivot.NewCQ(atom("Q", v("x")), atom("FRel2", pivot.CInt(3), v("x")))
+
+	bestA, plansA, err := p.ChooseBest([]pivot.CQ{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestB, _, err := p.ChooseBest([]pivot.CQ{r2, r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plansA[0].Cost != plansA[1].Cost {
+		t.Fatalf("fixture broken: twin rewritings cost %.3f vs %.3f", plansA[0].Cost, plansA[1].Cost)
+	}
+	if bestA.Rewriting.String() != bestB.Rewriting.String() {
+		t.Errorf("tie-break depends on enumeration order: %s vs %s",
+			bestA.Rewriting, bestB.Rewriting)
+	}
+}
+
+// TestHashJoinBuildSideSwap drives a join where the accumulated side is
+// much smaller than the new clause's fetch: the planner must build on the
+// accumulated (left) side, record it in the provenance, and still produce
+// correct rows.
+func TestHashJoinBuildSideSwap(t *testing.T) {
+	p, rs, _ := fixture(t)
+	// Small fragment joining FRel on the unindexed x column: no selective
+	// bind position, so the edge is a hash join. FSmall is placed first
+	// (cheap scan); FRel's fetch (est. 1000 rows) then dwarfs the
+	// accumulated 5 rows, forcing build=left.
+	if _, err := rs.CreateTable("small", "y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		if err := rs.Insert("small", value.TupleOf(100+j, j*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	smallFrag := &catalog.Fragment{
+		Name: "FSmall", Dataset: "d", View: idView("FSmall", "S", 2), Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "small", Columns: []string{"y", "x"}},
+		Stats:  stats.FragmentStats{Rows: 5, Distinct: []int64{5, 5}},
+	}
+	if err := p.Catalog.Register(smallFrag); err != nil {
+		t.Fatal(err)
+	}
+	p.DisableDelegation = true // force the join into the mediator
+
+	r := pivot.NewCQ(atom("Q", v("k"), v("y"), v("x")),
+		atom("FRel", v("k"), v("x")),
+		atom("FSmall", v("y"), v("x")))
+	plan, err := p.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != 2 || plan.Order[0] != 1 {
+		t.Fatalf("expected FSmall placed first, order = %v\n%s", plan.Order, plan.Explain())
+	}
+	var hashClause *ClauseScore
+	for i := range plan.Clauses {
+		if plan.Clauses[i].Op == "hash-join" {
+			hashClause = &plan.Clauses[i]
+		}
+	}
+	if hashClause == nil {
+		t.Fatalf("no hash-join clause:\n%s", plan.Explain())
+	}
+	if hashClause.BuildSide != "left" {
+		t.Errorf("build side = %q, want left\n%s", hashClause.BuildSide, plan.Explain())
+	}
+	if !strings.Contains(plan.Explain(), "build=left") {
+		t.Errorf("explain lacks build-side annotation:\n%s", plan.Explain())
+	}
+	rows, err := exec.Run(plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = j*10 matches FRel rows (j, j*10) for j in 0..4; head is (k, y, x).
+	if len(rows) != 5 {
+		t.Errorf("rows = %d, want 5\n%v", len(rows), rows)
+	}
+	for _, row := range rows {
+		k, x := row[0].(value.Int), row[2].(value.Int)
+		if int64(x) != int64(k)*10 {
+			t.Errorf("join mismatch: %v", row)
+		}
+	}
+}
+
+// TestProvenanceFields spot-checks the JSON provenance surface.
+func TestProvenanceFields(t *testing.T) {
+	p, _, _ := fixture(t)
+	r := pivot.NewCQ(atom("Q", v("k"), v("x"), v("y")),
+		atom("FRel", v("k"), v("x")),
+		atom("FKV", v("k"), v("y")))
+	p.DataEpoch = func() uint64 { return 42 }
+	plan, err := p.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := plan.Provenance()
+	if pv.StatsEpoch != 42 {
+		t.Errorf("stats epoch = %d, want 42", pv.StatsEpoch)
+	}
+	if len(pv.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(pv.Clauses))
+	}
+	var sawBind bool
+	for _, c := range pv.Clauses {
+		if c.Op == "bind-join" {
+			sawBind = true
+			if c.BindKeys <= 0 {
+				t.Errorf("bind-join clause without key estimate: %+v", c)
+			}
+		}
+	}
+	if !sawBind {
+		t.Errorf("expected a bind-join clause (FKV is key-only): %+v", pv.Clauses)
+	}
+	if !strings.Contains(plan.Explain(), "stats epoch 42") {
+		t.Errorf("explain lacks stats epoch:\n%s", plan.Explain())
+	}
+}
+
+// BenchmarkPlanner measures one full Build (order + operators + tree) for
+// a three-way join; the acceptance bar is <=50us per query.
+func BenchmarkPlanner(b *testing.B) {
+	p, _, _ := fixture(b)
+	r := pivot.NewCQ(atom("Q", v("k"), v("x"), v("y")),
+		atom("FRel", v("k"), v("x")),
+		atom("FKV", v("k"), v("y")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Build(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

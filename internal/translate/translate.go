@@ -9,8 +9,6 @@ import (
 	"repro/internal/engines/engine"
 	"repro/internal/exec"
 	"repro/internal/pivot"
-	"repro/internal/rewrite"
-	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -26,6 +24,48 @@ type Planner struct {
 	// fragment is accessed individually and all joins run in the mediator.
 	// Used by the delegation ablation benchmark; production keeps it off.
 	DisableDelegation bool
+	// FixedOrder disables the greedy cost-based clause orderer: the plan
+	// takes the first feasible order in body order with the pre-cost-model
+	// operator heuristics (bind join only when the access pattern forces
+	// it, hash joins always building the new input). Ablation baseline for
+	// the planner benchmarks; production keeps it off.
+	FixedOrder bool
+	// DataEpoch, when set, stamps each plan with the data generation its
+	// statistics snapshot was read under; the drift re-planning loop in
+	// core keys off it.
+	DataEpoch func() uint64
+}
+
+// ClauseScore is the planner's provenance for one placed clause: which
+// operator was chosen, why (estimated rows and step cost), and through
+// which access path.
+type ClauseScore struct {
+	Atom     string `json:"atom"`
+	Fragment string `json:"fragment"`
+	Store    string `json:"store"`
+	// Access is the access path: scan, index, or key.
+	Access string `json:"access"`
+	// Op is the operator: access, hash-join, bind-join, or delegate.
+	Op string `json:"op"`
+	// BuildSide reports which hash-join input is materialized (left =
+	// the accumulated subplan, right = this clause's fetch).
+	BuildSide string `json:"buildSide,omitempty"`
+	// BindKeys is the estimated number of distinct dependent fetches.
+	BindKeys float64 `json:"bindKeys,omitempty"`
+	// EstRows is the estimated intermediate cardinality after this clause.
+	EstRows float64 `json:"estRows"`
+	// StepCost is this clause's share of the plan cost.
+	StepCost float64 `json:"stepCost"`
+}
+
+// Provenance is the JSON-ready planner report surfaced by explain.
+type Provenance struct {
+	Rewriting  string        `json:"rewriting"`
+	Cost       float64       `json:"cost"`
+	EstRows    float64       `json:"estRows"`
+	StatsEpoch uint64        `json:"statsEpoch"`
+	FixedOrder bool          `json:"fixedOrder,omitempty"`
+	Clauses    []ClauseScore `json:"clauses"`
 }
 
 // Plan is an executable physical plan for one rewriting.
@@ -42,19 +82,64 @@ type Plan struct {
 	Order []int
 	// Delegations counts multi-atom subqueries pushed to one store.
 	Delegations int
+	// Clauses records the per-clause scores in evaluation order.
+	Clauses []ClauseScore
+	// StatsEpoch is the data generation the plan's statistics snapshot was
+	// read under (0 when the planner has no epoch source).
+	StatsEpoch uint64
+	// FixedOrder marks plans built by the ablation baseline.
+	FixedOrder bool
 }
 
-// Explain renders the plan.
+// Explain renders the plan: the rewriting, the clause-by-clause planner
+// provenance (order, access path, operator choice, per-step score), and
+// the physical operator tree.
 func (p *Plan) Explain() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "rewriting: %s\n", p.Rewriting)
-	fmt.Fprintf(&sb, "est. cost: %.2f, est. rows: %.1f\n", p.Cost, p.EstRows)
+	fmt.Fprintf(&sb, "est. cost: %.2f, est. rows: %.1f (stats epoch %d)\n", p.Cost, p.EstRows, p.StatsEpoch)
+	for i, c := range p.Clauses {
+		fmt.Fprintf(&sb, "  %d. %s [%s.%s] op=%s", i+1, c.Atom, c.Store, c.Fragment, c.Op)
+		if c.BuildSide != "" {
+			fmt.Fprintf(&sb, " build=%s", c.BuildSide)
+		}
+		if c.BindKeys > 0 {
+			fmt.Fprintf(&sb, " keys~%.0f", c.BindKeys)
+		}
+		fmt.Fprintf(&sb, " access=%s est rows=%.1f cost=%.2f\n", c.Access, c.EstRows, c.StepCost)
+	}
 	sb.WriteString(exec.Explain(p.Root))
 	return sb.String()
 }
 
-// Build translates one rewriting into a plan.
-func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
+// String renders the plan (alias of Explain).
+func (p *Plan) String() string { return p.Explain() }
+
+// Provenance returns the plan's JSON-ready planner report.
+func (p *Plan) Provenance() *Provenance {
+	return &Provenance{
+		Rewriting:  p.Rewriting.String(),
+		Cost:       p.Cost,
+		EstRows:    p.EstRows,
+		StatsEpoch: p.StatsEpoch,
+		FixedOrder: p.FixedOrder,
+		Clauses:    p.Clauses,
+	}
+}
+
+// Build translates one rewriting into a plan: the greedy cost-based
+// orderer picks the clause order and the per-edge operators, then the
+// operator tree is assembled to match its choices.
+func (p *Planner) Build(r pivot.CQ) (*Plan, error) { return p.build(r, nil) }
+
+// BuildOrdered builds a plan reusing a pre-chosen clause order instead of
+// searching. Prepared statements use this on every bind: the order was
+// picked once at prepare time, and since all binds place constants in the
+// same positions, it stays valid — only the per-clause operator choices
+// are re-derived (a linear pass).
+func (p *Planner) BuildOrdered(r pivot.CQ, order []int) (*Plan, error) { return p.build(r, order) }
+
+func (p *Planner) build(r pivot.CQ, orderHint []int) (*Plan, error) {
 	frags := make([]*catalog.Fragment, len(r.Body))
 	for i, a := range r.Body {
 		f, ok := p.Catalog.Get(a.Pred)
@@ -66,30 +151,66 @@ func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
 		}
 		frags[i] = f
 	}
-	order, ok := rewrite.Feasible(r.Body, p.Catalog.AccessPatterns())
-	if !ok {
-		return nil, fmt.Errorf("translate: rewriting %v is infeasible under access patterns", r)
+	cm := p.newCostModel()
+	var (
+		order   []int
+		choices []clauseChoice
+		cost    float64
+		rows    float64
+		err     error
+	)
+	if orderHint != nil {
+		order, choices, cost, rows, err = cm.orderGiven(r, frags, orderHint)
+	} else {
+		order, choices, cost, rows, err = cm.orderAtoms(r, frags, p.FixedOrder)
+	}
+	if err != nil {
+		return nil, err
+	}
+	choiceAt := make(map[int]clauseChoice, len(order))
+	for i, ai := range order {
+		choiceAt[ai] = choices[i]
 	}
 
 	groups := p.groupForDelegation(r, frags, order)
 	var root exec.Node
 	delegations := 0
+	delegated := map[int]bool{}
 	for _, g := range groups {
 		var node exec.Node
 		var err error
 		if len(g) > 1 {
 			node, err = p.buildDelegatedGroup(r, frags, g)
 			delegations++
+			for _, ai := range g {
+				delegated[ai] = true
+			}
 		} else {
 			ai := g[0]
-			if root != nil && p.needsBindJoin(r.Body[ai], frags[ai], root.Schema()) {
-				root, err = p.buildBindJoin(root, r.Body[ai], frags[ai])
+			ch := choiceAt[ai]
+			if root != nil && ch.op == opBind {
+				root, err = p.buildBindJoin(root, r.Body[ai], frags[ai], ch.bindPos)
 				if err != nil {
 					return nil, err
 				}
 				continue
 			}
 			node, err = p.buildAtomLeaf(r.Body[ai], frags[ai])
+			if err == nil && root != nil {
+				// Hash join, build side = the estimated-smaller input (the
+				// right argument is the materialized one).
+				left, right, side := root, node, "right"
+				if ch.op == opHash && ch.buildLeft {
+					left, right, side = node, root, "left"
+				}
+				hj, jerr := exec.NewHashJoin(left, right)
+				if jerr != nil {
+					return nil, jerr
+				}
+				hj.Desc = fmt.Sprintf("build=%s ~%.0f rows", side, ch.buildRows)
+				root = hj
+				continue
+			}
 		}
 		if err != nil {
 			return nil, err
@@ -97,10 +218,11 @@ func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
 		if root == nil {
 			root = node
 		} else {
-			root, err = exec.NewHashJoin(root, node)
+			hj, err := exec.NewHashJoin(root, node)
 			if err != nil {
 				return nil, err
 			}
+			root = hj
 		}
 	}
 	if root == nil {
@@ -111,7 +233,39 @@ func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	cost, rows := p.estimate(r, frags, order, delegations)
+	clauses := make([]ClauseScore, len(order))
+	for i, ai := range order {
+		ch := choices[i]
+		cs := ClauseScore{
+			Atom:     r.Body[ai].String(),
+			Fragment: frags[ai].Name,
+			Store:    frags[ai].Store,
+			Access:   ch.access.String(),
+			EstRows:  ch.outCard,
+			StepCost: ch.stepCost,
+		}
+		switch {
+		case delegated[ai]:
+			cs.Op = "delegate"
+		case ch.op == opLeaf:
+			cs.Op = "access"
+		case ch.op == opBind:
+			cs.Op = "bind-join"
+			cs.BindKeys = ch.bindKeys
+		default:
+			cs.Op = "hash-join"
+			if ch.buildLeft {
+				cs.BuildSide = "left"
+			} else {
+				cs.BuildSide = "right"
+			}
+		}
+		clauses[i] = cs
+	}
+	var epoch uint64
+	if p.DataEpoch != nil {
+		epoch = p.DataEpoch()
+	}
 	// Clamp the dedup-table hint: cardinality estimates are unbounded
 	// products and must not pre-allocate an arbitrarily large map.
 	sizeHint := 0
@@ -129,10 +283,16 @@ func (p *Planner) Build(r pivot.CQ) (*Plan, error) {
 		EstRows:     rows,
 		Order:       order,
 		Delegations: delegations,
+		Clauses:     clauses,
+		StatsEpoch:  epoch,
+		FixedOrder:  p.FixedOrder,
 	}, nil
 }
 
 // ChooseBest builds plans for all rewritings and returns the cheapest.
+// Rewritings and clause orders are costed jointly under the same model;
+// equal-cost plans tie-break on the canonical rewriting string, so the
+// choice is deterministic regardless of enumeration order.
 func (p *Planner) ChooseBest(rewritings []pivot.CQ) (*Plan, []*Plan, error) {
 	var plans []*Plan
 	var firstErr error
@@ -152,7 +312,12 @@ func (p *Planner) ChooseBest(rewritings []pivot.CQ) (*Plan, []*Plan, error) {
 		}
 		return nil, nil, fmt.Errorf("translate: no executable plan")
 	}
-	sort.SliceStable(plans, func(i, j int) bool { return plans[i].Cost < plans[j].Cost })
+	sort.SliceStable(plans, func(i, j int) bool {
+		if plans[i].Cost != plans[j].Cost {
+			return plans[i].Cost < plans[j].Cost
+		}
+		return plans[i].Rewriting.String() < plans[j].Rewriting.String()
+	})
 	return plans[0], plans, nil
 }
 
@@ -248,39 +413,30 @@ func atomAccessSpec(a pivot.Atom) (exec.Schema, []engine.EqFilter, [][2]int, []i
 	return raw, filters, eqCols, keep, nil
 }
 
-// needsBindJoin reports whether the atom's fragment has 'b' positions
-// holding variables (which must then be supplied per left tuple).
-func (p *Planner) needsBindJoin(a pivot.Atom, f *catalog.Fragment, left exec.Schema) bool {
-	for _, pos := range f.Access.BoundPositions() {
-		if pos < len(a.Args) {
-			if v, ok := a.Args[pos].(pivot.Var); ok && left.Pos(string(v)) >= 0 {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// buildBindJoin wires a dependent access: bound positions with variables
-// are fed from the left plan; constants are pushed as filters.
-func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragment) (exec.Node, error) {
+// buildBindJoin wires a dependent access: the given atom positions (the
+// access pattern's variable 'b' positions plus any planner-chosen
+// selective join columns) are fed from the left plan per distinct key;
+// constants are pushed as filters.
+func (p *Planner) buildBindJoin(left exec.Node, a pivot.Atom, f *catalog.Fragment, bindAt []int) (exec.Node, error) {
 	rawSchema, constFilters, eqCols, keep, err := atomAccessSpec(a)
 	if err != nil {
 		return nil, err
 	}
 	var bindVars []string
 	var bindPos []int
-	for _, pos := range f.Access.BoundPositions() {
+	for _, pos := range bindAt {
 		if pos >= len(a.Args) {
-			return nil, fmt.Errorf("translate: pattern position %d outside atom %v", pos, a)
+			return nil, fmt.Errorf("translate: bind position %d outside atom %v", pos, a)
 		}
-		if v, ok := a.Args[pos].(pivot.Var); ok {
-			if left.Schema().Pos(string(v)) < 0 {
-				return nil, fmt.Errorf("translate: bind variable %s of %v not produced upstream", v, a)
-			}
-			bindVars = append(bindVars, string(v))
-			bindPos = append(bindPos, pos)
+		v, ok := a.Args[pos].(pivot.Var)
+		if !ok {
+			return nil, fmt.Errorf("translate: bind position %d of %v is not a variable", pos, a)
 		}
+		if left.Schema().Pos(string(v)) < 0 {
+			return nil, fmt.Errorf("translate: bind variable %s of %v not produced upstream", v, a)
+		}
+		bindVars = append(bindVars, string(v))
+		bindPos = append(bindPos, pos)
 	}
 	keepNames := make(exec.Schema, len(keep))
 	for i, pos := range keep {
@@ -400,86 +556,6 @@ func (p *Planner) buildHead(root exec.Node, head pivot.Atom) (exec.Node, error) 
 }
 
 func constToValue(c pivot.Const) value.Value { return value.Of(c.V) }
-
-// estimate walks the atoms in evaluation order, accumulating access costs
-// and join cardinalities from the fragment statistics.
-func (p *Planner) estimate(r pivot.CQ, frags []*catalog.Fragment, order []int, delegations int) (cost, card float64) {
-	card = 1
-	bound := map[pivot.Var]bool{}
-	for _, ai := range order {
-		a := r.Body[ai]
-		f := frags[ai]
-		eng, _ := p.Stores.Engine(f.Store)
-		kind := "relational"
-		if eng != nil {
-			kind = eng.Kind()
-		}
-		factors := stats.DefaultCostFactors(kind)
-		st := f.StatsSnapshot()
-		rows := float64(st.Rows)
-		if rows < 1 {
-			rows = 1
-		}
-
-		outRows := rows
-		accessKind := stats.AccessScan
-		dependent := false
-		for pos, t := range a.Args {
-			switch tt := t.(type) {
-			case pivot.Const:
-				outRows /= float64(st.DistinctAt(pos))
-				if f.Layout.Kind == catalog.LayoutKV && pos == f.Layout.KeyCol {
-					accessKind = stats.AccessKey
-				} else if hasIndexCol(f, pos) {
-					accessKind = stats.AccessIndex
-				}
-			case pivot.Var:
-				if bound[tt] {
-					outRows /= float64(st.DistinctAt(pos))
-					if f.Layout.Kind == catalog.LayoutKV && pos == f.Layout.KeyCol {
-						accessKind = stats.AccessKey
-						dependent = true
-					} else if hasIndexCol(f, pos) {
-						accessKind = stats.AccessIndex
-						dependent = true
-					} else if f.Access != "" {
-						dependent = true
-					}
-				}
-			}
-		}
-		if outRows < 0.01 {
-			outRows = 0.01
-		}
-		if dependent {
-			// One access per current intermediate tuple.
-			n := card
-			if n < 1 {
-				n = 1
-			}
-			cost += n * stats.AccessCost(accessKind, factors, rows, outRows)
-			card *= outRows
-		} else {
-			cost += stats.AccessCost(accessKind, factors, rows, outRows)
-			newCard := card * outRows
-			// Hash-join selectivity on shared bound vars beyond those
-			// already accounted as index filters: approximate with the
-			// per-variable distinct divide only when not dependent.
-			card = newCard
-		}
-		for _, v := range a.Vars() {
-			bound[v] = true
-		}
-		// Mediator processing per materialized tuple.
-		cost += 0.05 * card
-	}
-	// Delegated groups save round-trips; reward one overhead unit each.
-	cost -= float64(delegations) * 2
-	if cost < 0 {
-		cost = 0
-	}
-	return cost, card
-}
 
 func hasIndexCol(f *catalog.Fragment, pos int) bool {
 	for _, c := range f.Layout.IndexCols {

@@ -29,7 +29,7 @@ func idView(name, over string, arity int) rewrite.View {
 
 // fixture: a relational store with R(k, x) indexed on k, and a KV store
 // with the same data keyed by k.
-func fixture(t *testing.T) (*Planner, *relstore.Store, *kvstore.Store) {
+func fixture(t testing.TB) (*Planner, *relstore.Store, *kvstore.Store) {
 	t.Helper()
 	cat := catalog.New()
 	stores := NewStores()

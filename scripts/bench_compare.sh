@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# bench_compare.sh OLD.json NEW.json — diff two `make bench N=<n>` snapshots
+# (go test -json output) on the key benchmark series and fail if the new
+# snapshot regresses any of them by more than THRESHOLD percent (default 10).
+#
+# Series and their metric:
+#   ServiceThroughput_Hot{1,4,16}  qps    (higher is better)
+#   ExecBatchScanJoin              ns/op  (lower is better)
+set -eu
+
+old=${1:?usage: bench_compare.sh OLD.json NEW.json}
+new=${2:?usage: bench_compare.sh OLD.json NEW.json}
+THRESHOLD=${THRESHOLD:-10}
+
+# extract FILE BENCH UNIT — pull the value reported just before UNIT on the
+# bench's result line ("...\t     34835 qps\t...").
+extract() {
+    grep "\"Test\":\"Benchmark$2\"" "$1" | grep -- "$3" | head -1 |
+        sed -E "s|.*[\\\\t ]([0-9.]+) $3.*|\1|"
+}
+
+fail=0
+for bench in ServiceThroughput_Hot1 ServiceThroughput_Hot4 ServiceThroughput_Hot16 ExecBatchScanJoin; do
+    case $bench in
+    ServiceThroughput*) unit=qps higher=1 ;;
+    *) unit=ns/op higher=0 ;;
+    esac
+    o=$(extract "$old" "$bench" "$unit")
+    n=$(extract "$new" "$bench" "$unit")
+    if [ -z "$o" ] || [ -z "$n" ]; then
+        echo "MISSING  $bench ($unit): old='$o' new='$n'" >&2
+        fail=1
+        continue
+    fi
+    if ! awk -v o="$o" -v n="$n" -v thr="$THRESHOLD" -v hi="$higher" -v b="$bench" -v u="$unit" 'BEGIN {
+        delta = hi ? (o - n) / o * 100 : (n - o) / o * 100
+        printf "%-8s %-28s %-6s old=%s new=%s regression=%.1f%%\n",
+            (delta > thr ? "FAIL" : "ok"), b, u, o, n, delta
+        exit (delta > thr ? 1 : 0)
+    }'; then
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: regression beyond ${THRESHOLD}% (or missing series)" >&2
+    exit 1
+fi
