@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check staticcheck check bench bench-smoke bench-compare fuzz-smoke chaos metrics-smoke
+.PHONY: all build test test-race vet lint fmt-check staticcheck check bench bench-smoke bench-compare fuzz-smoke chaos metrics-smoke
 
 all: check
 
@@ -13,21 +13,42 @@ build:
 test:
 	$(GO) test ./...
 
+# Two passes: the default vet suite, then an explicit run of analyzers we
+# depend on (copylocks: the store mutexes must never be copied; lostcancel:
+# query contexts must be cancelled) so they stay on even if the default set
+# changes. nilness lives in x/tools, which the module deliberately does not
+# depend on — staticcheck covers that ground in CI.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -lostcancel ./...
+
+# The repo's own analyzer suite (internal/lint, cmd/estocada-lint):
+# batch-protocol, counter-attribution, cow-escape, ctx-propagation,
+# hot-path-alloc, ignore-hygiene, sentinel-errors. Zero findings required;
+# see ARCHITECTURE.md "Static analysis".
+lint:
+	$(GO) run ./cmd/estocada-lint
 
 # Fails when any file needs gofmt (CI runs the same gate).
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Lint with staticcheck when it is installed (CI always runs it; local
-# developers without the binary are not blocked).
+# Lint with staticcheck when it is installed, pinned so local runs and CI
+# agree on the rule set (CI installs exactly this version; local developers
+# without the binary are not blocked, but a mismatched version fails).
+STATICCHECK_VERSION ?= 2025.1
 staticcheck:
-	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
-	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v staticcheck >/dev/null; then \
+		v="$$(staticcheck -version | awk '{print $$2}')"; \
+		if [ "$$v" != "$(STATICCHECK_VERSION)" ]; then \
+			echo "staticcheck $$v does not match pinned $(STATICCHECK_VERSION);"; \
+			echo "run: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+			exit 1; fi; \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it pinned at $(STATICCHECK_VERSION))"; fi
 
-check: fmt-check vet build test
+check: fmt-check vet lint build test
 
 # Full benchmark sweep in machine-readable form; BENCH_<n>.json files track
 # the performance trajectory across PRs. Pass N to pick the snapshot

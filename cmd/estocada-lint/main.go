@@ -1,0 +1,79 @@
+// Command estocada-lint runs the repo's custom analyzer suite
+// (internal/lint) over the module. It loads every package once with the
+// stdlib go/types machinery — no external dependencies — and reports
+// findings as "file:line:col: [rule] message", exiting 1 if any rule
+// fired and 2 on load errors.
+//
+// Usage:
+//
+//	estocada-lint [-list] [-rules rule1,rule2] [dir]
+//
+// dir defaults to the current directory; the module root is discovered
+// by walking up to go.mod.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available rules and exit")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "estocada-lint:", err)
+		os.Exit(2)
+	}
+
+	analyzers := lint.All()
+	if *rules != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "estocada-lint: unknown rule %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "estocada-lint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Check(prog.ModulePkgs(), analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "estocada-lint: %d finding(s) across %d rule(s)\n",
+			len(findings), len(analyzers))
+		os.Exit(1)
+	}
+}

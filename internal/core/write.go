@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
-	"repro/internal/engines/engine"
-	"repro/internal/engines/textstore"
 	"repro/internal/stats"
 	"repro/internal/translate"
 	"repro/internal/value"
@@ -339,59 +337,5 @@ func (s *System) FragmentRows(name string) ([]value.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("estocada: no fragment %q", name)
 	}
-	switch f.Layout.Kind {
-	case catalog.LayoutRel:
-		st, ok := s.Stores.Rel[f.Store]
-		if !ok {
-			return nil, fmt.Errorf("estocada: no relational store %q", f.Store)
-		}
-		it, err := st.Scan(f.Layout.Collection)
-		if err != nil {
-			return nil, err
-		}
-		return engine.Drain(it)
-
-	case catalog.LayoutPar:
-		st, ok := s.Stores.Par[f.Store]
-		if !ok {
-			return nil, fmt.Errorf("estocada: no parallel store %q", f.Store)
-		}
-		it, err := st.Select(f.Layout.Collection, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		return engine.Drain(it)
-
-	case catalog.LayoutKV:
-		st, ok := s.Stores.KV[f.Store]
-		if !ok {
-			return nil, fmt.Errorf("estocada: no key-value store %q", f.Store)
-		}
-		return st.Dump(f.Layout.Collection)
-
-	case catalog.LayoutDoc:
-		st, ok := s.Stores.Doc[f.Store]
-		if !ok {
-			return nil, fmt.Errorf("estocada: no document store %q", f.Store)
-		}
-		it, err := st.FindTuples(f.Layout.Collection, nil, f.Layout.DocPaths)
-		if err != nil {
-			return nil, err
-		}
-		return engine.Drain(it)
-
-	case catalog.LayoutText:
-		st, ok := s.Stores.Text[f.Store]
-		if !ok {
-			return nil, fmt.Errorf("estocada: no full-text store %q", f.Store)
-		}
-		it, err := st.Search(f.Layout.Collection, textstore.Query{Project: f.Layout.Columns})
-		if err != nil {
-			return nil, err
-		}
-		return engine.Drain(it)
-
-	default:
-		return nil, fmt.Errorf("estocada: unsupported layout %v", f.Layout.Kind)
-	}
+	return s.fragmentExtent(f)
 }

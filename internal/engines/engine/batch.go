@@ -189,6 +189,8 @@ func DrainBatches(it BatchIterator) ([]value.Tuple, error) {
 // MatchEqCols reports whether a tuple satisfies all column-equality pairs
 // — the single shared implementation of residual repeated-variable checks
 // (used by exec.Select and the planner's dependent-access fetch path).
+//
+//lint:hot
 func MatchEqCols(t value.Tuple, pairs [][2]int) bool {
 	for _, p := range pairs {
 		if p[0] >= len(t) || p[1] >= len(t) || !value.Equal(t[p[0]], t[p[1]]) {

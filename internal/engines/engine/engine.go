@@ -237,6 +237,8 @@ type EqFilter struct {
 }
 
 // MatchAll reports whether a tuple satisfies all filters.
+//
+//lint:hot
 func MatchAll(t value.Tuple, filters []EqFilter) bool {
 	for _, f := range filters {
 		if f.Col < 0 || f.Col >= len(t) || !value.Equal(t[f.Col], f.Val) {

@@ -357,6 +357,8 @@ func (it *hashJoinIter) build() error {
 // bind keys. Probing a table with m[string(colsKey(...))] stays
 // allocation-free (Go elides the string conversion for map lookups); only
 // inserts materialize key strings. Out-of-range columns render as NULL.
+//
+//lint:hot
 func colsKey(dst []byte, scratch *value.Tuple, t value.Tuple, cols []int) []byte {
 	if cap(*scratch) < len(cols) {
 		*scratch = make(value.Tuple, len(cols))

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// batch-protocol encodes the vectorized iteration contract (PR 3):
+//
+//   - NextBatch returns (n, err) and both halves carry protocol state —
+//     n == 0 with nil err is exhaustion, and errors are in-band. A caller
+//     that blanks either result (or drops both) breaks the stream
+//     protocol silently: `n, _ :=` turns a store failure into a clean
+//     EOF, `_, err :=` acts on err without consuming the rows the batch
+//     already holds.
+//   - value.GetBatch hands out a pooled batch; every acquisition must be
+//     released with value.PutBatch on every path, or escape into a
+//     struct field / composite literal whose Close releases it. The
+//     PR 3 review caught an early-return error path leaking a pooled
+//     batch per failed query; this rule makes that class mechanical.
+var batchProtocol = &Analyzer{
+	Name: "batch-protocol",
+	Doc:  "NextBatch results must both be consumed; pooled value.Batch must be released on every path",
+	Run:  runBatchProtocol,
+}
+
+func runBatchProtocol(p *Pkg) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		out = append(out, checkNextBatchUses(p, file)...)
+		for _, u := range funcUnits(file) {
+			out = append(out, checkBatchPooling(p, u)...)
+		}
+	}
+	return out
+}
+
+// isNextBatchCall reports whether call invokes a NextBatch method with
+// the batch-protocol signature func(*value.Batch) (int, error).
+func isNextBatchCall(p *Pkg, call *ast.CallExpr) bool {
+	f := calleeFunc(p.Info, call)
+	if f == nil || f.Name() != "NextBatch" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Batch" {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Int && isErrorType(sig.Results().At(1).Type())
+}
+
+// checkNextBatchUses flags NextBatch calls whose row count or error is
+// discarded.
+func checkNextBatchUses(p *Pkg, file *ast.File) []Finding {
+	var out []Finding
+	// Parent statements give the use context of each call.
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch stmt := c.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isNextBatchCall(p, call) {
+					out = p.findingf(out, "batch-protocol", call,
+						"NextBatch results discarded: the row count and in-band error are the stream protocol")
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok || !isNextBatchCall(p, call) || len(stmt.Lhs) != 2 {
+					return true
+				}
+				if isBlank(stmt.Lhs[0]) {
+					out = p.findingf(out, "batch-protocol", stmt.Lhs[0],
+						"NextBatch row count discarded: n > 0 rows must be consumed before acting on err")
+				}
+				if isBlank(stmt.Lhs[1]) {
+					out = p.findingf(out, "batch-protocol", stmt.Lhs[1],
+						"NextBatch error discarded: stream errors are in-band and must be checked")
+				}
+			case *ast.GoStmt:
+				if isNextBatchCall(p, stmt.Call) {
+					out = p.findingf(out, "batch-protocol", stmt.Call,
+						"NextBatch results discarded (go statement)")
+				}
+			case *ast.DeferStmt:
+				if isNextBatchCall(p, stmt.Call) {
+					out = p.findingf(out, "batch-protocol", stmt.Call,
+						"NextBatch results discarded (defer statement)")
+				}
+			}
+			return true
+		})
+	}
+	visit(file)
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isValueFunc reports whether call invokes the named function of the
+// value package (module-internal, or any package named "value" for
+// fixtures living outside the module).
+func isValueFunc(p *Pkg, call *ast.CallExpr, name string) bool {
+	f := calleeFunc(p.Info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == p.prog.Module+"/internal/value" || f.Pkg().Name() == "value"
+}
+
+// checkBatchPooling enforces GetBatch/PutBatch pairing inside one
+// function unit. An acquisition either escapes into longer-lived storage
+// (struct field assignment or composite-literal value — released by that
+// owner's Close) or must be locally released: a deferred PutBatch covers
+// every path; otherwise any return between the acquisition and the first
+// release leaks the batch on that path.
+func checkBatchPooling(p *Pkg, u funcUnit) []Finding {
+	type acquisition struct {
+		call *ast.CallExpr
+		obj  types.Object // local the batch is bound to; nil if escaped/dropped
+	}
+	var acqs []acquisition
+	type release struct {
+		obj      types.Object
+		deferred bool
+		pos      token.Pos
+	}
+	var rels []release
+	var returns []*ast.ReturnStmt
+
+	// Map each GetBatch call to its binding by walking assignment and
+	// composite-literal contexts; collect PutBatch calls and returns.
+	escaped := map[*ast.CallExpr]bool{}
+	inspectShallow(u.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isValueFunc(p, call, "GetBatch") || i >= len(x.Lhs) {
+					continue
+				}
+				switch lhs := x.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						acqs = append(acqs, acquisition{call: call})
+						continue
+					}
+					obj := p.Info.Defs[lhs]
+					if obj == nil {
+						obj = p.Info.Uses[lhs]
+					}
+					acqs = append(acqs, acquisition{call: call, obj: obj})
+				default:
+					// Field or index assignment: escapes to owner.
+					escaped[call] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if call, ok := v.(*ast.CallExpr); ok && isValueFunc(p, call, "GetBatch") {
+					escaped[call] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if isValueFunc(p, x.Call, "PutBatch") && len(x.Call.Args) == 1 {
+				if id, ok := ast.Unparen(x.Call.Args[0]).(*ast.Ident); ok {
+					rels = append(rels, release{obj: p.Info.Uses[id], deferred: true, pos: x.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if isValueFunc(p, x, "PutBatch") && len(x.Args) == 1 {
+				if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+					rels = append(rels, release{obj: p.Info.Uses[id], pos: x.Pos()})
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, x)
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && isValueFunc(p, call, "GetBatch") {
+				acqs = append(acqs, acquisition{call: call})
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, a := range acqs {
+		if escaped[a.call] {
+			continue
+		}
+		if a.obj == nil {
+			out = p.findingf(out, "batch-protocol", a.call,
+				"pooled batch from value.GetBatch is dropped — it can never be released")
+			continue
+		}
+		var deferredRel bool
+		firstRel := token.Pos(-1)
+		for _, r := range rels {
+			if r.obj != a.obj {
+				continue
+			}
+			if r.deferred {
+				deferredRel = true
+			} else if firstRel < 0 || r.pos < firstRel {
+				firstRel = r.pos
+			}
+		}
+		if deferredRel {
+			continue
+		}
+		if firstRel < 0 {
+			out = p.findingf(out, "batch-protocol", a.call,
+				"pooled batch %q is never released in this function (value.PutBatch, or store it in a field released by Close)", a.obj.Name())
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() > a.call.Pos() && ret.Pos() < firstRel {
+				out = p.findingf(out, "batch-protocol", ret,
+					"return leaks pooled batch %q: no value.PutBatch on this path (defer the release)", a.obj.Name())
+			}
+		}
+	}
+	return out
+}

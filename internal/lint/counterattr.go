@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// counter-attribution encodes the per-execution counter split (PRs 3, 7):
+// every store access issued on behalf of a query must flow through the
+// stores' *Counted / *BatchCounted variants, which take a context (so
+// latency waits and injected stalls respect the query deadline) and fan
+// counter increments out to the execution's own cell as well as the
+// store-global totals. A raw Select/Get/FindTuples/Search/Query/Scan
+// call mis-attributes its work under concurrency and ignores
+// cancellation — exactly the regression class the PR 7 audit hunted by
+// hand. Scope: the runtime layers that act on behalf of a query
+// (exec, translate, core, maintain); tools and tests may use the raw
+// convenience forms.
+var counterAttribution = &Analyzer{
+	Name:  "counter-attribution",
+	Doc:   "query-path store accesses must use the *Counted variants, never raw Select/Get/FindTuples/Search/Query/Scan",
+	Scope: []string{"internal/exec", "internal/translate", "internal/core", "internal/maintain"},
+	Run:   runCounterAttribution,
+}
+
+// rawStoreMethods are the uncounted access methods of the five store
+// substrates. Write methods (Insert, Delete, ...) are exempt: writes are
+// counted inside the maintenance pipeline.
+var rawStoreMethods = map[string]string{
+	"Select":          "SelectBatchCounted",
+	"SelectBatch":     "SelectBatchCounted",
+	"Get":             "GetBatchCounted",
+	"GetBatch":        "GetBatchCounted",
+	"FindTuples":      "FindTuplesBatchCounted",
+	"FindTuplesBatch": "FindTuplesBatchCounted",
+	"Search":          "SearchBatchCounted",
+	"SearchBatch":     "SearchBatchCounted",
+	"Query":           "QueryBatchCounted",
+	"QueryBatch":      "QueryBatchCounted",
+	"Scan":            "SelectBatchCounted (or the store's maintenance Dump)",
+}
+
+func runCounterAttribution(p *Pkg) []Finding {
+	enginesPrefix := p.prog.Module + "/internal/engines/"
+	basePkg := p.prog.Module + "/internal/engines/engine"
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			counted, raw := rawStoreMethods[callee.Name()]
+			if !raw {
+				return true
+			}
+			recv := namedRecv(callee)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			path := recv.Obj().Pkg().Path()
+			if path == basePkg || !strings.HasPrefix(path, enginesPrefix) {
+				return true
+			}
+			out = p.findingf(out, "counter-attribution", call,
+				"raw %s.%s bypasses context and per-execution counters on a query path; call %s",
+				recv.Obj().Name(), callee.Name(), counted)
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cow-escape encodes the copy-on-write snapshot contract of the store
+// substrates (PR 5's regression class: relstore.Scan once returned a
+// slice header read without the lock). Store state lives in mutex-guarded
+// slice/map fields; writers install fresh containers (copy-on-write)
+// precisely so readers can snapshot a header under the lock and iterate
+// it afterwards. Returning or channel-sending such a field while the
+// lock is NOT held escapes un-snapshotted state: the header read races
+// the writer's re-slice and the caller scans storage that a concurrent
+// delete is rebuilding. The rule: inside the store packages, a return or
+// channel send may only mention a guarded slice/map field while a
+// (deferred-release) lock is held, or via a copying builtin
+// (append/len/cap/copy). Snapshot the header into a local under the lock
+// first — that is the documented protocol.
+var cowEscape = &Analyzer{
+	Name: "cow-escape",
+	Doc:  "store methods must not return or channel-send mutex-guarded slice/map fields outside the lock",
+	Scope: []string{
+		"internal/engines/relstore",
+		"internal/engines/kvstore",
+		"internal/engines/docstore",
+		"internal/engines/textstore",
+		"internal/engines/parstore",
+	},
+	Run: runCowEscape,
+}
+
+func runCowEscape(p *Pkg) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkCowFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+// guardedContainerField reports whether sel denotes a slice- or map-typed
+// struct field of a type declared in a store package (the packages this
+// rule scopes to) or, for fixtures, in the package under analysis.
+func guardedContainerField(p *Pkg, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	field := s.Obj()
+	if field.Pkg() == nil {
+		return "", false
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Slice, *types.Map:
+	default:
+		return "", false
+	}
+	path := field.Pkg().Path()
+	if path != p.Path && !strings.HasPrefix(path, p.prog.Module+"/internal/engines/") {
+		return "", false
+	}
+	return field.Name(), true
+}
+
+// checkCowFunc walks one function body in source order, tracking mutex
+// state, and inspects every return and channel send reached with no lock
+// held. The tracking is deliberately syntactic (a Lock anywhere before
+// the statement counts, a non-deferred Unlock releases): store code keeps
+// straight-line lock scopes, and the rule is a tripwire, not a prover.
+// Closures are skipped entirely — they execute later, under whatever
+// lock regime their call site has.
+func checkCowFunc(p *Pkg, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	held := 0
+
+	var inspectEscape func(n ast.Node, what string)
+	inspectEscape = func(n ast.Node, what string) {
+		// Guarded selectors are exempt inside copying builtins.
+		exempt := map[ast.Node]bool{}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, isB := p.Info.Uses[id].(*types.Builtin); isB {
+						switch b.Name() {
+						case "append", "len", "cap", "copy":
+							exempt[call] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		var walk func(c ast.Node) bool
+		walk = func(c ast.Node) bool {
+			if c == nil {
+				return false
+			}
+			if exempt[c] {
+				return false
+			}
+			if _, ok := c.(*ast.FuncLit); ok {
+				return false
+			}
+			if sel, ok := c.(*ast.SelectorExpr); ok {
+				if name, guarded := guardedContainerField(p, sel); guarded {
+					out = p.findingf(out, "cow-escape", sel,
+						"%s escapes guarded container field %q without the lock held — snapshot the header under the lock first (copy-on-write protocol)", what, name)
+				}
+			}
+			return true
+		}
+		ast.Inspect(n, walk)
+	}
+
+	mutexMethod := func(call *ast.CallExpr) string {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return ""
+		}
+		tv, ok := p.Info.Types[sel.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			return ""
+		}
+		switch named.Obj().Name() {
+		case "Mutex", "RWMutex":
+			return name
+		}
+		return ""
+	}
+
+	var walkStmt func(n ast.Node)
+	walkStmt = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// Deferred unlocks keep the lock held through every
+				// return; deferred locks do not lock now.
+				return false
+			case *ast.CallExpr:
+				switch mutexMethod(x) {
+				case "Lock", "RLock":
+					held++
+				case "Unlock", "RUnlock":
+					if held > 0 {
+						held--
+					}
+				}
+			case *ast.ReturnStmt:
+				if held == 0 {
+					for _, res := range x.Results {
+						inspectEscape(res, "return")
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if held == 0 {
+					inspectEscape(x.Value, "channel send")
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walkStmt(fd.Body)
+	return out
+}

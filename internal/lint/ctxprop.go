@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctx-propagation encodes the per-execution attribution contract (PR 7):
+// exec plans are immutable and shared; everything execution-scoped —
+// cancellation, counter attribution, profiling — travels in the *exec.Ctx
+// handed to Node.Open. An Open implementation that opens a child with nil
+// (or a fresh Ctx) silently detaches that subtree: its store accesses
+// stop honoring the query deadline and its work is attributed to nobody,
+// which corrupts the per-store splits EXPLAIN ANALYZE and /stats report.
+// The rule: inside any Open method of an exec.Node implementation, every
+// child Open / openNode call must receive that method's own Ctx
+// parameter, verbatim.
+var ctxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "exec.Node Open implementations must thread their *exec.Ctx into every child Open",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(p *Pkg) []Finding {
+	execPath := p.prog.Module + "/internal/exec"
+	nodeNamed := p.prog.lookupNamed(execPath, "Node")
+	ctxNamed := p.prog.lookupNamed(execPath, "Ctx")
+	if nodeNamed == nil || ctxNamed == nil {
+		return nil
+	}
+	nodeIface, ok := nodeNamed.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+
+	isCtxPtr := func(t types.Type) bool {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		return ok && named.Obj() == ctxNamed.Obj()
+	}
+
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Open" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fobj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := namedRecv(fobj)
+			if recv == nil {
+				continue
+			}
+			if !types.Implements(recv, nodeIface) && !types.Implements(types.NewPointer(recv), nodeIface) {
+				continue
+			}
+			sig := fobj.Type().(*types.Signature)
+			if sig.Params().Len() != 1 || !isCtxPtr(sig.Params().At(0).Type()) {
+				continue
+			}
+			ctxParam := sig.Params().At(0) // may be unnamed
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil || len(call.Args) == 0 {
+					return true
+				}
+				csig, ok := callee.Type().(*types.Signature)
+				if !ok || csig.Params().Len() == 0 || !isCtxPtr(csig.Params().At(0).Type()) {
+					return true
+				}
+				// Child plan-open calls: a Node.Open method, or exec's
+				// openNode profiling wrapper.
+				isChildOpen := callee.Name() == "Open" && csig.Recv() != nil
+				isOpenNode := callee.Name() == "openNode" && csig.Recv() == nil
+				if !isChildOpen && !isOpenNode {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == ctxParam && ctxParam.Name() != "" && ctxParam.Name() != "_" {
+					return true
+				}
+				out = p.findingf(out, "ctx-propagation", call.Args[0],
+					"child %s must receive this Open's *exec.Ctx parameter — anything else detaches the subtree from cancellation and counter attribution", callee.Name())
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Lint directives, written like //go: directives (no space after the
+// slashes, so godoc excludes them):
+//
+//	//lint:ignore <rule> <reason>  — suppress <rule> on this or the next
+//	                                 line; the reason is mandatory.
+//	//lint:hot                     — marks the next function declaration as
+//	                                 a zero-allocation hot path; the
+//	                                 hot-path-alloc rule checks its body.
+type directive struct {
+	kind   string // "ignore", "hot", or the raw verb when unknown
+	rule   string
+	reason string
+	pos    token.Position
+}
+
+// parseDirectives extracts every //lint: directive of a file.
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			d := directive{pos: fset.Position(c.Pos())}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				d.kind = ""
+				out = append(out, d)
+				continue
+			}
+			d.kind = fields[0]
+			if d.kind == "ignore" {
+				if len(fields) > 1 {
+					d.rule = fields[1]
+				}
+				if len(fields) > 2 {
+					d.reason = strings.Join(fields[2:], " ")
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// isHotFunc reports whether a function declaration carries the
+// //lint:hot annotation in its doc comment.
+func isHotFunc(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == "//lint:hot" || strings.HasPrefix(c.Text, "//lint:hot ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreHygiene checks the directives themselves: every ignore must name
+// a known rule and carry a reason; unknown //lint: verbs are flagged so a
+// typo ("//lint:ingore") cannot silently disable nothing.
+var ignoreHygiene = &Analyzer{
+	Name: "ignore-hygiene",
+	Doc:  "//lint:ignore needs a known rule and a reason; unknown //lint: verbs are errors",
+}
+
+// Run is wired in init: the rule consults All() for known rule names, and
+// assigning the closure in the var initializer would cycle with All.
+func init() { ignoreHygiene.Run = runIgnoreHygiene }
+
+func runIgnoreHygiene(p *Pkg) []Finding {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, d := range p.directives {
+		switch d.kind {
+		case "hot":
+			// ok
+		case "ignore":
+			switch {
+			case d.rule == "":
+				out = append(out, Finding{Pos: d.pos, Rule: "ignore-hygiene",
+					Msg: "//lint:ignore without a rule name"})
+			case !known[d.rule]:
+				out = append(out, Finding{Pos: d.pos, Rule: "ignore-hygiene",
+					Msg: "//lint:ignore names unknown rule " + d.rule})
+			case d.reason == "":
+				out = append(out, Finding{Pos: d.pos, Rule: "ignore-hygiene",
+					Msg: "//lint:ignore " + d.rule + " without a reason — bare suppressions are findings"})
+			}
+		default:
+			out = append(out, Finding{Pos: d.pos, Rule: "ignore-hygiene",
+				Msg: "unknown lint directive //lint:" + d.kind})
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hot-path-alloc encodes the zero-allocation budget of the annotated hot
+// paths (PRs 1, 3, 7: interned-term search, the vectorized executor's
+// per-row loops, obs.Histogram.Observe under the ~70k qps service).
+// Functions marked //lint:hot sit inside per-row or per-request loops
+// where one hidden allocation shows up directly in the benchmark gates.
+// Three allocation sources hide well in review and are forbidden here:
+// fmt formatting (always allocates), non-constant string concatenation
+// (allocates per call), and boxing a scalar into an interface argument
+// (escapes to the heap). Cold paths are unaffected — the rule only fires
+// inside annotated functions.
+var hotPathAlloc = &Analyzer{
+	Name: "hot-path-alloc",
+	Doc:  "//lint:hot functions must not call fmt, concatenate non-constant strings, or box scalars into interfaces",
+	Run:  runHotPathAlloc,
+}
+
+// fmtAllocFuncs are the fmt entry points forbidden on hot paths (all of
+// them allocate their result or their argument slice).
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true, "Appendf": true,
+}
+
+func runHotPathAlloc(p *Pkg) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotFunc(fd) {
+				continue
+			}
+			out = append(out, checkHotBody(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkHotBody(p *Pkg, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	stringConcat := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, checkHotCall(p, x)...)
+		case *ast.BinaryExpr:
+			if be := nonConstStringConcat(p, x); be != nil {
+				// Flag only the outermost concat of an a+b+c chain.
+				if l, ok := ast.Unparen(x.X).(*ast.BinaryExpr); ok {
+					stringConcat[l] = true
+				}
+				if r, ok := ast.Unparen(x.Y).(*ast.BinaryExpr); ok {
+					stringConcat[r] = true
+				}
+				if !stringConcat[x] {
+					out = p.findingf(out, "hot-path-alloc", x,
+						"non-constant string concatenation allocates per call in a //lint:hot function; render into a reused []byte")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func nonConstStringConcat(p *Pkg, be *ast.BinaryExpr) *ast.BinaryExpr {
+	if be.Op.String() != "+" {
+		return nil
+	}
+	tv, ok := p.Info.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return nil
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return nil
+	}
+	return be
+}
+
+func checkHotCall(p *Pkg, call *ast.CallExpr) []Finding {
+	var out []Finding
+	// Explicit interface conversion: any(x) / Value(x) of a scalar.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if isScalar(p, call.Args[0]) {
+				out = p.findingf(out, "hot-path-alloc", call,
+					"conversion boxes a scalar into an interface (heap escape) in a //lint:hot function")
+			}
+		}
+		return out
+	}
+	callee := calleeFunc(p.Info, call)
+	if callee == nil {
+		return out
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" && fmtAllocFuncs[callee.Name()] {
+		out = p.findingf(out, "hot-path-alloc", call,
+			"fmt.%s allocates in a //lint:hot function; use strconv.Append* into a reused buffer", callee.Name())
+		return out
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return out
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if isScalar(p, arg) {
+			out = p.findingf(out, "hot-path-alloc", arg,
+				"argument boxes a scalar into an interface parameter (heap escape) in a //lint:hot function")
+		}
+	}
+	return out
+}
+
+// isScalar reports whether the expression's static type is a basic
+// numeric or boolean type (the kinds whose interface boxing allocates;
+// strings convert headers, which the concat rule already covers).
+func isScalar(p *Pkg, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}

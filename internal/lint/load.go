@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Program is a loaded module: every non-test package parsed and
+// type-checked against one shared FileSet, with module-internal imports
+// resolved from the program itself and the standard library type-checked
+// on demand by the stdlib source importer (no export data, no x/tools).
+type Program struct {
+	// Module is the module path from go.mod (e.g. "repro").
+	Module string
+	// Root is the module root directory.
+	Root string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Pkgs maps import path to the loaded package.
+	Pkgs map[string]*Pkg
+
+	std types.ImporterFrom
+}
+
+// LoadModule discovers, parses and type-checks every non-test package
+// under the module root (skipping testdata and dot-directories).
+func LoadModule(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Module: modPath,
+		Root:   root,
+		Fset:   token.NewFileSet(),
+		Pkgs:   map[string]*Pkg{},
+	}
+	prog.std = importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)
+
+	type src struct {
+		path, dir string
+		files     []*ast.File
+		deps      []string
+	}
+	var srcs []*src
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, deps, perr := prog.parseDir(p)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, p)
+		if rerr != nil {
+			return rerr
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		srcs = append(srcs, &src{path: ip, dir: p, files: files, deps: deps})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order (imports before importers).
+	byPath := make(map[string]*src, len(srcs))
+	for _, s := range srcs {
+		byPath[s.path] = s
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].path < srcs[j].path })
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(s *src) error
+	visit = func(s *src) error {
+		switch state[s.path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", s.path)
+		case 2:
+			return nil
+		}
+		state[s.path] = 1
+		for _, dep := range s.deps {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[s.path] = 2
+		_, err := prog.check(s.path, s.dir, s.files)
+		return err
+	}
+	for _, s := range srcs {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// LoadDir parses and type-checks one extra directory (a test fixture)
+// against the already-loaded program, under the given import path.
+func (prog *Program) LoadDir(dir, importPath string) (*Pkg, error) {
+	files, _, err := prog.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no go files in %s", dir)
+	}
+	return prog.check(importPath, dir, files)
+}
+
+// parseDir parses the non-test go files of one directory and collects
+// their module-internal imports.
+func (prog *Program) parseDir(dir string) ([]*ast.File, []string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var deps []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if ip == prog.Module || strings.HasPrefix(ip, prog.Module+"/") {
+				deps = append(deps, ip)
+			}
+		}
+	}
+	return files, deps, nil
+}
+
+// check type-checks one package and registers it.
+func (prog *Program) check(importPath, dir string, files []*ast.File) (*Pkg, error) {
+	conf := types.Config{Importer: (*progImporter)(prog)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(importPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	p := &Pkg{
+		Path:  importPath,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		prog:  prog,
+	}
+	for _, f := range files {
+		p.directives = append(p.directives, parseDirectives(prog.Fset, f)...)
+	}
+	prog.Pkgs[importPath] = p
+	return p, nil
+}
+
+// ModulePkgs returns the module's packages sorted by import path.
+func (prog *Program) ModulePkgs() []*Pkg {
+	var out []*Pkg
+	for _, p := range prog.Pkgs {
+		if p.Module() {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// progImporter resolves module-internal imports from the program and
+// delegates everything else to the stdlib source importer.
+type progImporter Program
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, pi.Root, 0)
+}
+
+func (pi *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := pi.Pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == pi.Module || strings.HasPrefix(path, pi.Module+"/") {
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or missing dir)", path)
+	}
+	return pi.std.ImportFrom(path, dir, mode)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// sentinel-errors encodes the typed-degradation contract (PR 6): the
+// module's sentinel errors (service.ErrParse, core.ErrNoDML,
+// service.ErrStoreUnavailable, ...) cross layers wrapped in StoreError /
+// BatchError / fmt.Errorf chains, so identity tests must use errors.Is —
+// a direct == comparison silently stops matching the moment anyone wraps
+// the error — and wrapping that carries a sentinel must use %w, or the
+// wrap strips the typed identity the HTTP error mapper and the breaker's
+// failure taxonomy dispatch on.
+var sentinelErrors = &Analyzer{
+	Name: "sentinel-errors",
+	Doc:  "compare module sentinels with errors.Is, wrap them with %w",
+	Run:  runSentinelErrors,
+}
+
+// isSentinel reports whether an expression names a package-level error
+// variable of this module (or of the package under analysis, for
+// fixtures) following the Err*/err* naming convention.
+func isSentinel(p *Pkg, e ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[x.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	name := v.Name()
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok {
+		rest, ok = strings.CutPrefix(name, "err")
+	}
+	if !ok || rest == "" {
+		return false
+	}
+	if r, _ := utf8.DecodeRuneInString(rest); !unicode.IsUpper(r) {
+		return false
+	}
+	if !isErrorType(v.Type()) {
+		return false
+	}
+	path := v.Pkg().Path()
+	return path == p.Path || path == p.prog.Module || strings.HasPrefix(path, p.prog.Module+"/")
+}
+
+func runSentinelErrors(p *Pkg) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(p, x.X) || isNilIdent(p, x.Y) {
+					return true
+				}
+				if isSentinel(p, x.X) || isSentinel(p, x.Y) {
+					out = p.findingf(out, "sentinel-errors", x,
+						"direct %s comparison against a typed sentinel breaks once the error is wrapped; use errors.Is", x.Op)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				tv, ok := p.Info.Types[x.Tag]
+				if !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if isSentinel(p, v) {
+							out = p.findingf(out, "sentinel-errors", v,
+								"switch-case on a typed sentinel compares with ==; use switch { case errors.Is(...) }")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, checkErrorfWrap(p, x)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isNilIdent(p *Pkg, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a module sentinel
+// under any verb but %w.
+func checkErrorfWrap(p *Pkg, call *ast.CallExpr) []Finding {
+	callee := calleeFunc(p.Info, call)
+	if callee == nil || callee.Name() != "Errorf" || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil // non-constant format: out of reach
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	var out []Finding
+	for i, arg := range call.Args[1:] {
+		if !isSentinel(p, arg) {
+			continue
+		}
+		verb := byte('v')
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			out = p.findingf(out, "sentinel-errors", arg,
+				"sentinel wrapped with %%%c loses its identity for errors.Is; use %%w", verb)
+		}
+	}
+	return out
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a Printf-style format string ('*' width/precision arguments included
+// as '*').
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.123456789[]", c) >= 0 {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

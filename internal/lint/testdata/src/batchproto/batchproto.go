@@ -1,0 +1,80 @@
+// Package batchproto seeds violations of the batch-protocol rule:
+// NextBatch result handling and pooled value.Batch release pairing.
+package batchproto
+
+import (
+	"errors"
+
+	"repro/internal/value"
+)
+
+type iter struct{ done bool }
+
+func (it *iter) NextBatch(dst *value.Batch) (int, error) { return 0, nil }
+func (it *iter) Close()                                  {}
+
+func discardBoth(it *iter, b *value.Batch) {
+	it.NextBatch(b) // want `NextBatch results discarded`
+}
+
+func blankCount(it *iter, b *value.Batch) error {
+	_, err := it.NextBatch(b) // want `row count discarded`
+	return err
+}
+
+func blankErr(it *iter, b *value.Batch) int {
+	n, _ := it.NextBatch(b) // want `error discarded`
+	return n
+}
+
+func goodLoop(it *iter, b *value.Batch) ([]value.Tuple, error) {
+	var out []value.Tuple
+	for {
+		n, err := it.NextBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, b.Rows()...)
+	}
+}
+
+func neverReleased() int {
+	b := value.GetBatch() // want `never released`
+	return b.Cap()
+}
+
+func dropped() {
+	value.GetBatch() // want `dropped`
+}
+
+func leakOnErrorPath(fail bool) error {
+	b := value.GetBatch()
+	if fail {
+		return errors.New("boom") // want `return leaks pooled batch`
+	}
+	value.PutBatch(b)
+	return nil
+}
+
+func goodDefer() int {
+	b := value.GetBatch()
+	defer value.PutBatch(b)
+	return b.Cap()
+}
+
+type owner struct{ b *value.Batch }
+
+// goodEscape hands the batch to a longer-lived owner whose Close releases
+// it — the iterator-struct pattern the executor uses.
+func goodEscape() *owner {
+	return &owner{b: value.GetBatch()}
+}
+
+func (o *owner) Close() { value.PutBatch(o.b) }
+
+func goodFieldAssign(o *owner) {
+	o.b = value.GetBatch()
+}

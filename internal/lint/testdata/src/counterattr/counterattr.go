@@ -1,0 +1,37 @@
+// Package counterattr seeds violations of the counter-attribution rule:
+// raw store accessors on what the rule treats as a query path.
+package counterattr
+
+import (
+	"context"
+
+	"repro/internal/engines/engine"
+	"repro/internal/engines/relstore"
+)
+
+func rawSelect(st *relstore.Store) error {
+	it, err := st.Select("t", nil, nil) // want `raw Store.Select bypasses`
+	if err != nil {
+		return err
+	}
+	it.Close()
+	return nil
+}
+
+func rawScan(st *relstore.Store) error {
+	it, err := st.Scan("t") // want `raw Store.Scan bypasses`
+	if err != nil {
+		return err
+	}
+	it.Close()
+	return nil
+}
+
+func goodCounted(ctx context.Context, st *relstore.Store, extra *engine.Counters) error {
+	it, err := st.SelectBatchCounted(ctx, "t", nil, nil, extra)
+	if err != nil {
+		return err
+	}
+	it.Close()
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package cowescape seeds violations of the cow-escape rule: returning or
+// channel-sending mutex-guarded slice/map fields without the lock held.
+package cowescape
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	rows []int
+	idx  map[string]int
+}
+
+func (s *store) badReturn() []int {
+	return s.rows // want `return escapes guarded container field "rows"`
+}
+
+func (s *store) badMapReturn() map[string]int {
+	return s.idx // want `return escapes guarded container field "idx"`
+}
+
+func (s *store) badSend(ch chan []int) {
+	ch <- s.rows // want `channel send escapes guarded container field "rows"`
+}
+
+func (s *store) badAfterUnlock() []int {
+	s.mu.RLock()
+	n := len(s.rows)
+	s.mu.RUnlock()
+	if n == 0 {
+		return nil
+	}
+	return s.rows // want `return escapes guarded container field "rows"`
+}
+
+// goodSnapshot is the documented copy-on-write protocol: the header is
+// read under the lock, the iteration happens after.
+func (s *store) goodSnapshot() []int {
+	s.mu.RLock()
+	rows := s.rows
+	s.mu.RUnlock()
+	return rows
+}
+
+func (s *store) goodDeferred() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows
+}
+
+func (s *store) goodCopy() []int {
+	return append([]int(nil), s.rows...)
+}
+
+func (s *store) goodLen() int {
+	return len(s.rows)
+}

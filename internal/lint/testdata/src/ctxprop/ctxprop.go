@@ -1,0 +1,45 @@
+// Package ctxprop seeds violations of the ctx-propagation rule: exec.Node
+// Open implementations that fail to thread their *exec.Ctx into children.
+package ctxprop
+
+import (
+	"repro/internal/engines/engine"
+	"repro/internal/exec"
+)
+
+type leaf struct{}
+
+func (l *leaf) Schema() exec.Schema                             { return nil }
+func (l *leaf) Open(ec *exec.Ctx) (engine.BatchIterator, error) { return nil, nil }
+func (l *leaf) Label() string                                   { return "leaf" }
+func (l *leaf) Children() []exec.Node                           { return nil }
+
+type dropsCtx struct{ in exec.Node }
+
+func (d *dropsCtx) Schema() exec.Schema   { return d.in.Schema() }
+func (d *dropsCtx) Label() string         { return "drops" }
+func (d *dropsCtx) Children() []exec.Node { return []exec.Node{d.in} }
+
+func (d *dropsCtx) Open(ec *exec.Ctx) (engine.BatchIterator, error) {
+	return d.in.Open(nil) // want `child Open must receive this Open's \*exec\.Ctx`
+}
+
+type freshCtx struct{ in exec.Node }
+
+func (f *freshCtx) Schema() exec.Schema   { return f.in.Schema() }
+func (f *freshCtx) Label() string         { return "fresh" }
+func (f *freshCtx) Children() []exec.Node { return []exec.Node{f.in} }
+
+func (f *freshCtx) Open(ec *exec.Ctx) (engine.BatchIterator, error) {
+	return f.in.Open(&exec.Ctx{}) // want `child Open must receive this Open's \*exec\.Ctx`
+}
+
+type threads struct{ in exec.Node }
+
+func (t *threads) Schema() exec.Schema   { return t.in.Schema() }
+func (t *threads) Label() string         { return "threads" }
+func (t *threads) Children() []exec.Node { return []exec.Node{t.in} }
+
+func (t *threads) Open(ec *exec.Ctx) (engine.BatchIterator, error) {
+	return t.in.Open(ec)
+}

@@ -1,0 +1,48 @@
+// Package hotpath seeds violations of the hot-path-alloc rule inside
+// //lint:hot functions; the same constructs in cold functions must pass.
+package hotpath
+
+import "fmt"
+
+//lint:hot
+func badSprintf(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf allocates`
+}
+
+//lint:hot
+func badConcat(a, b string) string {
+	return a + b // want `non-constant string concatenation`
+}
+
+//lint:hot
+func badBoxArg(x int) {
+	sink(x) // want `boxes a scalar into an interface parameter`
+}
+
+//lint:hot
+func badBoxConv(x float64) any {
+	return any(x) // want `conversion boxes a scalar into an interface`
+}
+
+//lint:hot
+func goodConstConcat() string {
+	const pre = "a"
+	return pre + "b"
+}
+
+//lint:hot
+func goodAppend(dst []byte, x int64) []byte {
+	dst = append(dst, 'x')
+	return dst
+}
+
+//lint:hot
+func goodStringArg(s string) {
+	sink(s)
+}
+
+func coldSprintf(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+func sink(v any) { _ = v }

@@ -1,0 +1,28 @@
+// Package ignorehygiene seeds malformed //lint: directives (the
+// ignore-hygiene rule) and one well-formed suppression that must silence
+// its finding.
+package ignorehygiene
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+// want `//lint:ignore without a rule name`
+//lint:ignore
+
+// want `names unknown rule no-such-rule`
+//lint:ignore no-such-rule the rule name has a typo
+
+// want `without a reason — bare suppressions are findings`
+//lint:ignore sentinel-errors
+
+// want `unknown lint directive //lint:ingore`
+//lint:ingore sentinel-errors typoed verb
+
+// suppressedCompare carries a reasoned suppression: the sentinel-errors
+// finding on the comparison must not surface, and the directive itself is
+// clean.
+func suppressedCompare(err error) bool {
+	//lint:ignore sentinel-errors fixture demonstrates a reasoned suppression
+	return err == ErrX
+}

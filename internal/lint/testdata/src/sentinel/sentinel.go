@@ -1,0 +1,50 @@
+// Package sentinel seeds violations of the sentinel-errors rule: direct
+// comparisons against typed sentinels and wrapping without %w.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBoom = errors.New("boom")
+
+func badCompare(err error) bool {
+	return err == ErrBoom // want `direct == comparison against a typed sentinel`
+}
+
+func badNotEqual(err error) bool {
+	return err != ErrBoom // want `direct != comparison against a typed sentinel`
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrBoom: // want `switch-case on a typed sentinel`
+		return 1
+	}
+	return 0
+}
+
+func badWrap() error {
+	return fmt.Errorf("context: %v", ErrBoom) // want `sentinel wrapped with %v`
+}
+
+func badWrapS() error {
+	return fmt.Errorf("context: %s", ErrBoom) // want `sentinel wrapped with %s`
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+func goodWrap() error {
+	return fmt.Errorf("context: %w", ErrBoom)
+}
+
+func goodNilCheck(err error) bool {
+	return err != nil
+}
+
+func goodMixedFormat(n int) error {
+	return fmt.Errorf("row %d: %w", n, ErrBoom)
+}

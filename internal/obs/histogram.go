@@ -35,6 +35,8 @@ type Histogram struct {
 
 // bucketIndex maps a duration to its bucket: floor(log2(microseconds)),
 // clamped into [0, NumBuckets-1].
+//
+//lint:hot
 func bucketIndex(d time.Duration) int {
 	us := uint64(d / time.Microsecond)
 	if us == 0 {
@@ -50,6 +52,8 @@ func bucketIndex(d time.Duration) int {
 // Observe records one latency sample. Nil-receiver safe (a no-op), so
 // call sites can hold an optional histogram without branching. Negative
 // durations clamp to zero.
+//
+//lint:hot
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

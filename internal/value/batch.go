@@ -79,6 +79,8 @@ func (b *Batch) Reset() {
 // it to the rows — used by in-place operators that overwrite existing row
 // headers. One arena allocation serves a whole batch, replacing a per-row
 // make.
+//
+//lint:hot
 func (b *Batch) Carve(width int) Tuple {
 	if width <= 0 {
 		return Tuple{}
@@ -104,6 +106,8 @@ func (b *Batch) Carve(width int) Tuple {
 
 // Alloc carves a zeroed width-tuple from the batch arena and appends it to
 // the batch, returning it for the caller to fill.
+//
+//lint:hot
 func (b *Batch) Alloc(width int) Tuple {
 	t := b.Carve(width)
 	b.rows = append(b.rows, t)

@@ -160,6 +160,8 @@ func (l List) String() string {
 // distinct and bind-key operators probe their hash tables via
 // map[string(buf)] lookups, which Go evaluates allocation-free, and only
 // materialize a string when inserting a new entry.
+//
+//lint:hot
 func AppendKey(dst []byte, v Value) []byte {
 	switch x := v.(type) {
 	case nil:
@@ -250,6 +252,8 @@ func TupleOf(vs ...any) Tuple {
 // across each other (Int(3) ≠ Float(3)), floats distinguish -0 from +0
 // and treat NaN as equal to NaN, and lists keep their order-insensitive
 // bag semantics.
+//
+//lint:hot
 func Equal(a, b Value) bool {
 	switch x := a.(type) {
 	case Str:
