@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint fmt-check staticcheck check bench bench-smoke bench-compare fuzz-smoke chaos metrics-smoke
+.PHONY: all build test test-race vet lint fmt-check staticcheck check bench bench-smoke bench-compare fuzz-smoke chaos metrics-smoke workload-smoke
 
 all: check
 
@@ -95,3 +95,10 @@ chaos:
 # observed query histograms. CI runs this same script.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# End-to-end workload-observatory smoke: per-fingerprint accounting at
+# /debug/workload, a retained request trace resolvable by its
+# traceparent-echoed ID, and the workload + process Prometheus families.
+# CI runs this same script.
+workload-smoke:
+	./scripts/workload_smoke.sh

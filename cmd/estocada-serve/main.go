@@ -34,18 +34,33 @@
 //	                         gauges, fault-injection counters, epochs
 //	GET  /debug/queries      slow-query log (ring buffer, newest first);
 //	                         queries slower than -slow-query, plus all
-//	                         failed queries
+//	                         failed queries; entries carry the traceId of
+//	                         their request trace
+//	GET  /debug/workload     workload observatory snapshot: per-fingerprint
+//	                         traffic (EWMA qps, phase latency digests,
+//	                         fragment accesses, attributed store cost) and
+//	                         per-fragment benefit scores, sorted hottest
+//	                         first
+//	GET  /debug/traces       tail-sampled request traces, newest first
+//	                         (errors and slow requests always kept);
+//	                         ?ndjson=1 streams one trace per line
+//	GET  /debug/traces/<id>  one trace by its 32-hex trace ID
 //	GET  /debug/pprof/       net/http/pprof profiles
 //	GET  /fragments          the catalog's storage descriptors
 //	GET  /healthz            liveness probe
 //
 // Observability: every request gets an X-Request-ID (the client's, or a
 // generated one), echoed on the response, recorded in slow-query-log
-// entries and error bodies. "explain":true (or ?explain=1, alias
-// profile) on /query and /execute runs the query with per-operator
-// profiling and attaches the EXPLAIN ANALYZE tree — operator, columns,
-// rows, batches, cumulative time, children, with bind-join store
-// attribution — to the response as "plan".
+// entries and error bodies. Query-serving requests also get a
+// hierarchical trace — service phases, executor operator opens, bind-join
+// store fetches, maintenance DML applies — joined to the caller's trace
+// when a W3C traceparent header is sent (and echoed back with this
+// server's root span), and retained in the tail-sampled /debug/traces
+// ring (-trace-ring, -trace-sample, -trace-spans). "explain":true (or
+// ?explain=1, alias profile) on /query and /execute runs the query with
+// per-operator profiling and attaches the EXPLAIN ANALYZE tree —
+// operator, columns, rows, batches, cumulative time, children, with
+// bind-join store attribution — to the response as "plan".
 //
 // Writes ride the maintenance layer (internal/maintain): every insert or
 // delete against a logical base relation incrementally updates each
@@ -82,8 +97,14 @@
 //	  '{"relation":"Visits","row":["u00004","p00002",55]}' \
 //	  | curl -s localhost:8080/insert -H 'Content-Type: application/x-ndjson' --data-binary @-
 //	curl -s localhost:8080/metrics | grep estocada_query_phase
+//	curl -s localhost:8080/metrics | grep -E 'estocada_(workload_queries_total|fragment_benefit|build_info|uptime)'
 //	curl -s localhost:8080/query -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''","explain":true}' | python3 -m json.tool
 //	curl -s 'localhost:8080/query?explain=1' -H 'X-Request-ID: my-trace-7' -d '{"lang":"cq","query":"Q(pid, qty) :- Carts('\''u00007'\'', pid, qty)"}'
+//	curl -si localhost:8080/query -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' -d '{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)"}' | grep -i traceparent
+//	curl -s localhost:8080/debug/workload | python3 -m json.tool
+//	curl -s localhost:8080/debug/traces | python3 -m json.tool
+//	curl -s 'localhost:8080/debug/traces?ndjson=1' > traces.ndjson
+//	curl -s localhost:8080/debug/traces/4bf92f3577b34da6a3ce929d0e0e4736 | python3 -m json.tool
 //	curl -s localhost:8080/debug/queries | python3 -m json.tool
 //	curl -s localhost:8080/stats | python3 -m json.tool
 package main
@@ -115,9 +136,14 @@ func main() {
 	stmtTTL := flag.Duration("stmt-ttl", time.Hour, "idle prepared statements are unregistered after this (0 = never)")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "queries at least this slow land in the /debug/queries log; failures always do (0 = failures only)")
 	slowLogSize := flag.Int("slow-log", 128, "slow-query ring-buffer size (negative disables the log)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRingSize, "retained request traces at /debug/traces")
+	traceSample := flag.Int("trace-sample", obs.DefaultKeepEvery, "keep 1 in N fast successful traces (1 = all); errors and slow requests are always kept")
+	traceSpans := flag.Int("trace-spans", obs.DefaultMaxSpans, "span capacity per trace; excess spans are dropped and counted")
 	flag.Parse()
 
+	start := time.Now()
 	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg, start)
 	svc, err := deploy(*scenarioFlag, *variantFlag, *users, service.Options{
 		MaxInFlight:        *maxInFlight,
 		QueryTimeout:       *timeout,
@@ -131,6 +157,10 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := newServer(svc, reg)
+	// Slow requests share the slow-query threshold: anything worth a
+	// slow-log entry is worth its full trace too.
+	srv.traces = obs.NewTraceRing(*traceRing, *traceSample, *slowQuery)
+	srv.traceSpans = *traceSpans
 
 	startReaper(*sessionTTL, "idle sessions", svc.ReapSessions)
 	startReaper(*cursorTTL, "abandoned cursors", srv.reapCursors)

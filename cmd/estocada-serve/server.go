@@ -33,6 +33,12 @@ type server struct {
 	mux       *http.ServeMux
 	fetchRows int // default rows per /fetch when the client names none
 
+	// traces retains a tail-sampled ring of finished request traces
+	// (browsed at /debug/traces); traceSpans caps spans per trace
+	// (0 = obs.DefaultMaxSpans). Both are fixed before serving starts.
+	traces     *obs.TraceRing
+	traceSpans int
+
 	reqSeq atomic.Uint64 // generated X-Request-ID suffix
 
 	curMu   sync.Mutex
@@ -59,6 +65,7 @@ func newServer(svc *service.Service, reg *obs.Registry) *server {
 		reg:       reg,
 		mux:       http.NewServeMux(),
 		fetchRows: value.BatchCap,
+		traces:    obs.NewTraceRing(0, 0, 0),
 		cursors:   map[uint64]*cursorHandle{},
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +84,9 @@ func newServer(svc *service.Service, reg *obs.Registry) *server {
 	s.mux.HandleFunc("/fault", s.handleFault)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/queries", s.handleSlowQueries)
+	s.mux.HandleFunc("/debug/workload", s.handleWorkload)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -90,13 +100,48 @@ func newServer(svc *service.Service, reg *obs.Registry) *server {
 // on the response, carried in the request context (so spans, slow-log
 // entries and store-layer errors correlate), and stamped into error
 // bodies.
+//
+// Query-serving requests additionally get a hierarchical trace: the
+// client's W3C traceparent header is ingested when well-formed (the
+// request joins the caller's trace; a response traceparent echoes this
+// server's root span), spans from the service, executor and store layers
+// record into it, and the finished trace is offered to the tail-sampled
+// ring behind /debug/traces. Liveness and observability endpoints stay
+// untraced so scraping never floods the ring.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Request-ID")
 	if id == "" {
 		id = fmt.Sprintf("req-%x-%x", time.Now().UnixNano()&0xffffffff, s.reqSeq.Add(1))
 	}
 	w.Header().Set("X-Request-ID", id)
-	s.mux.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	ctx := obs.WithRequestID(r.Context(), id)
+	if !traced(r.URL.Path) {
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+		return
+	}
+	start := time.Now()
+	var traceID obs.TraceID
+	var remote obs.SpanID
+	if tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		traceID, remote = tc.TraceID, tc.SpanID
+	}
+	tr := obs.NewTrace(r.Method+" "+r.URL.Path, traceID, start, s.traceSpans)
+	if !remote.IsZero() {
+		tr.SetRemoteParent(remote)
+	}
+	tr.SetRequestID(id)
+	w.Header().Set("traceparent",
+		obs.TraceContext{TraceID: tr.ID(), SpanID: tr.Root(), Sampled: true}.String())
+	s.mux.ServeHTTP(w, r.WithContext(obs.WithTrace(ctx, tr)))
+	tr.Finish(time.Since(start))
+	s.traces.Offer(tr)
+}
+
+// traced reports whether a path gets a request trace. Probes and
+// observability reads are excluded — tracing the trace browser would
+// fill the ring with its own requests.
+func traced(path string) bool {
+	return path != "/healthz" && path != "/metrics" && !strings.HasPrefix(path, "/debug/")
 }
 
 // --- error mapping ---------------------------------------------------------
@@ -107,6 +152,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 var (
 	errUnknownSession = errors.New("unknown session")
 	errUnknownCursor  = errors.New("unknown or expired cursor")
+	errUnknownTrace   = errors.New("unknown or unsampled trace")
 	errBadRequest     = errors.New("bad request")
 )
 
@@ -138,6 +184,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusNotFound, "unknown_session"
 	case errors.Is(err, errUnknownCursor):
 		return http.StatusNotFound, "unknown_cursor"
+	case errors.Is(err, errUnknownTrace):
+		return http.StatusNotFound, "unknown_trace"
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, service.ErrResultTruncated):
@@ -170,6 +218,9 @@ func errorBody(err error, requestID string) map[string]any {
 }
 
 func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	// A failed request is always worth retaining: mark the trace so the
+	// tail sampler keeps it.
+	obs.TraceFrom(r.Context()).SetError(err.Error())
 	status, _ := statusFor(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -250,11 +301,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// A paginated cursor outlives this request, so it cannot run under
 	// r.Context(); the registry (TTL reaper) and the service's own
-	// QueryTimeout bound its lifetime instead. The request ID transfers to
-	// the detached context so the cursor's queries stay correlatable.
+	// QueryTimeout bound its lifetime instead. The request ID and trace
+	// transfer to the detached context so the cursor's queries stay
+	// correlatable and later /fetch pages keep recording spans into the
+	// originating request's trace.
 	ctx := r.Context()
 	if cursorMode {
-		ctx = obs.WithRequestID(context.Background(), obs.RequestID(r.Context()))
+		ctx = obs.WithTrace(
+			obs.WithRequestID(context.Background(), obs.RequestID(r.Context())),
+			obs.TraceFrom(r.Context()))
 	}
 	if explain {
 		ctx = obs.WithProfile(ctx)
@@ -311,7 +366,10 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	explain := req.Explain || req.Profile || boolParam(r, "explain") || boolParam(r, "profile")
 	ctx := r.Context()
 	if cursorMode {
-		ctx = obs.WithRequestID(context.Background(), obs.RequestID(r.Context()))
+		// Same detached-context transfer as /query: request ID + trace.
+		ctx = obs.WithTrace(
+			obs.WithRequestID(context.Background(), obs.RequestID(r.Context())),
+			obs.TraceFrom(r.Context()))
 	}
 	if explain {
 		ctx = obs.WithProfile(ctx)
@@ -799,6 +857,51 @@ func (s *server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
 		q = []service.SlowQuery{}
 	}
 	writeJSON(w, map[string]any{"queries": q})
+}
+
+// handleWorkload serves the workload accountant's consistent snapshot:
+// per-fingerprint traffic (EWMA rate, phase digests, fragment accesses,
+// attributed store cost) sorted by attributed cost, plus per-fragment
+// totals with benefit scores — the same numbers the self-tuning advisor
+// consumes through advisor.FromWorkload.
+func (s *server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.svc.Workload().Snapshot())
+}
+
+// handleTraces lists the retained request traces, newest first. ?ndjson=1
+// streams one TraceSnapshot per line instead (export-friendly: pipe
+// straight into files or trace tooling without holding the list in one
+// JSON document).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.traces.Traces()
+	if boolParam(r, "ndjson") {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, t := range traces {
+			if err := enc.Encode(t.Snapshot()); err != nil {
+				log.Printf("encode trace export: %v", err)
+				return
+			}
+		}
+		return
+	}
+	out := make([]obs.TraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Snapshot())
+	}
+	writeJSON(w, map[string]any{"traces": out})
+}
+
+// handleTraceByID serves one retained trace by its 32-hex-digit trace ID
+// (the traceId clients see in the echoed traceparent header).
+func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	t := s.traces.Get(id)
+	if t == nil {
+		s.writeError(w, r, fmt.Errorf("%w: %s", errUnknownTrace, id))
+		return
+	}
+	writeJSON(w, t.Snapshot())
 }
 
 // --- fault administration ---------------------------------------------------

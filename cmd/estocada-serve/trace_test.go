@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// tracedTestServer keeps every offered trace so assertions are
+// deterministic (the default ring tail-samples fast successes).
+func tracedTestServer(t *testing.T, opts service.Options) *server {
+	t.Helper()
+	srv := testServer(t, opts)
+	srv.traces = obs.NewTraceRing(16, 1, 0)
+	return srv
+}
+
+// do runs one request with extra headers and returns the recorder.
+func do(t *testing.T, srv *server, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+const sampleTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestTraceparentIngestAndEcho(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	w := do(t, srv, http.MethodPost, "/query", visitsScan,
+		map[string]string{"traceparent": sampleTraceparent})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	echo := w.Header().Get("traceparent")
+	tc, ok := obs.ParseTraceparent(echo)
+	if !ok {
+		t.Fatalf("response traceparent %q malformed", echo)
+	}
+	// The request joined the caller's trace: same trace ID, and the echoed
+	// parent is this server's root span, not the caller's span.
+	if got := tc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("echoed trace ID = %s, want the ingested one", got)
+	}
+	if tc.SpanID.String() == "00f067aa0ba902b7" {
+		t.Fatal("echoed span ID must be the server's root span, not the caller's")
+	}
+
+	tr := srv.traces.Get(tc.TraceID.String())
+	if tr == nil {
+		t.Fatal("trace not retained by the ring")
+	}
+	snap := tr.Snapshot()
+	if snap.Spans[0].Parent.String() != "00f067aa0ba902b7" {
+		t.Fatalf("root span parent = %v, want the ingested caller span", snap.Spans[0].Parent)
+	}
+	var names []string
+	for _, sp := range snap.Spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"POST /query", "service.query", "execute", "open "} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace spans missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestMalformedTraceparentStartsFreshTrace(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	w := do(t, srv, http.MethodPost, "/query", visitsScan,
+		map[string]string{"traceparent": "00-zzz-bad-01"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	tc, ok := obs.ParseTraceparent(w.Header().Get("traceparent"))
+	if !ok || tc.TraceID.IsZero() {
+		t.Fatalf("response must carry a fresh valid traceparent, got %q",
+			w.Header().Get("traceparent"))
+	}
+}
+
+// TestTracePropagationIntoDetachedCursor is the satellite guard: a
+// paginated cursor runs on a context detached from the HTTP request, and
+// both the X-Request-ID and the trace must survive the detachment — spans
+// recorded while /fetch pages drain (after the originating request
+// finished) land in the originating trace.
+func TestTracePropagationIntoDetachedCursor(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	w := do(t, srv, http.MethodPost, "/query",
+		`{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)","cursor":true}`,
+		map[string]string{"X-Request-ID": "cursor-trace-1"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("cursor open: status = %d, body %s", w.Code, w.Body.String())
+	}
+	tc, ok := obs.ParseTraceparent(w.Header().Get("traceparent"))
+	if !ok {
+		t.Fatal("cursor open carried no traceparent")
+	}
+
+	// Drain the cursor page by page; the originating request is long done.
+	for i := 0; i < 100; i++ {
+		code, resp := post(t, srv, "/fetch", `{"cursor":1,"max":64}`)
+		if code != http.StatusOK {
+			t.Fatalf("fetch: status = %d, body %v", code, resp)
+		}
+		if done, _ := resp["done"].(bool); done {
+			break
+		}
+	}
+
+	tr := srv.traces.Get(tc.TraceID.String())
+	if tr == nil {
+		t.Fatal("originating trace not retained")
+	}
+	snap := tr.Snapshot()
+	if snap.RequestID != "cursor-trace-1" {
+		t.Fatalf("trace request ID = %q, want the client's", snap.RequestID)
+	}
+	// service.query (with its phase children) is recorded when the cursor
+	// closes — i.e. during the final /fetch, not the original /query.
+	var haveQuery, haveDrain bool
+	for _, sp := range snap.Spans {
+		switch sp.Name {
+		case "service.query":
+			haveQuery = true
+		case "drain":
+			haveDrain = true
+		}
+	}
+	if !haveQuery || !haveDrain {
+		t.Fatalf("detached cursor spans missing (service.query=%v drain=%v): %+v",
+			haveQuery, haveDrain, snap.Spans)
+	}
+}
+
+// TestSlowLogCarriesTraceID: a slow-query-log entry links back to its
+// request trace so an operator can jump from the log to the span tree.
+func TestSlowLogCarriesTraceID(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{
+		SlowQueryThreshold: time.Nanosecond, // everything is "slow"
+		SlowQueryLog:       8,
+	})
+	w := do(t, srv, http.MethodPost, "/query", visitsScan, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	tc, _ := obs.ParseTraceparent(w.Header().Get("traceparent"))
+	sq := srv.svc.SlowQueries()
+	if len(sq) == 0 {
+		t.Fatal("no slow-query entries")
+	}
+	if sq[0].TraceID != tc.TraceID.String() {
+		t.Fatalf("slow-log traceId = %q, want %q", sq[0].TraceID, tc.TraceID.String())
+	}
+	if srv.traces.Get(sq[0].TraceID) == nil {
+		t.Fatal("slow-log trace ID does not resolve in the trace ring")
+	}
+}
+
+func TestErroredRequestAlwaysRetained(t *testing.T) {
+	srv := testServer(t, service.Options{})
+	// keepEvery very high: only the error criterion can retain this trace.
+	srv.traces = obs.NewTraceRing(16, 1<<30, 0)
+	w := do(t, srv, http.MethodPost, "/query",
+		`{"lang":"cq","query":"Q(x) :- Nothing(x)"}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", w.Code)
+	}
+	tc, _ := obs.ParseTraceparent(w.Header().Get("traceparent"))
+	tr := srv.traces.Get(tc.TraceID.String())
+	if tr == nil {
+		t.Fatal("errored trace must always be retained")
+	}
+	if tr.Error() == "" {
+		t.Fatal("retained trace carries no error")
+	}
+}
+
+func TestUntracedEndpoints(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	for _, path := range []string{"/healthz", "/stats", "/debug/queries"} {
+		w := do(t, srv, http.MethodGet, path, "", nil)
+		if path == "/healthz" || strings.HasPrefix(path, "/debug/") {
+			if got := w.Header().Get("traceparent"); got != "" {
+				t.Errorf("%s: unexpected traceparent %q", path, got)
+			}
+		}
+	}
+	if n := len(srv.traces.Traces()); n != 1 {
+		// /stats is traced; probes and /debug reads are not.
+		t.Fatalf("retained traces = %d, want 1 (only /stats)", n)
+	}
+}
+
+func TestDebugTracesEndpoints(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	w := do(t, srv, http.MethodPost, "/query", visitsScan, nil)
+	tc, _ := obs.ParseTraceparent(w.Header().Get("traceparent"))
+
+	code, resp := getJSON(t, srv, "/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces: status = %d", code)
+	}
+	list, ok := resp["traces"].([]any)
+	if !ok || len(list) != 1 {
+		t.Fatalf("trace list = %v, want 1 entry", resp["traces"])
+	}
+
+	code, one := getJSON(t, srv, "/debug/traces/"+tc.TraceID.String())
+	if code != http.StatusOK || one["traceId"] != tc.TraceID.String() {
+		t.Fatalf("/debug/traces/<id>: status %d body %v", code, one)
+	}
+	spans, ok := one["spans"].([]any)
+	if !ok || len(spans) < 2 {
+		t.Fatalf("trace spans = %v, want root + children", one["spans"])
+	}
+
+	code, miss := getJSON(t, srv, "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if code != http.StatusNotFound || errCode(t, miss) != "unknown_trace" {
+		t.Fatalf("unknown trace: status %d body %v", code, miss)
+	}
+
+	// NDJSON export: one trace snapshot per line.
+	wnd := do(t, srv, http.MethodGet, "/debug/traces?ndjson=1", "", nil)
+	lines := strings.Split(strings.TrimSpace(wnd.Body.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], tc.TraceID.String()) {
+		t.Fatalf("ndjson export = %q", wnd.Body.String())
+	}
+}
+
+func TestDebugWorkloadEndpoint(t *testing.T) {
+	srv := tracedTestServer(t, service.Options{})
+	for i := 0; i < 3; i++ {
+		if code, resp := post(t, srv, "/query", visitsScan); code != http.StatusOK {
+			t.Fatalf("query: status = %d, body %v", code, resp)
+		}
+	}
+	code, resp := getJSON(t, srv, "/debug/workload")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/workload: status = %d", code)
+	}
+	queries, ok := resp["queries"].([]any)
+	if !ok || len(queries) != 1 {
+		t.Fatalf("workload queries = %v, want 1 fingerprint", resp["queries"])
+	}
+	q := queries[0].(map[string]any)
+	if q["queries"] != float64(3) {
+		t.Fatalf("fingerprint query count = %v, want 3", q["queries"])
+	}
+	if q["fingerprint"] == "" || q["ratePerSec"] == nil {
+		t.Fatalf("workload entry incomplete: %v", q)
+	}
+	if _, ok := resp["fragments"].([]any); !ok {
+		t.Fatalf("workload snapshot missing fragment totals: %v", resp)
+	}
+}
+
+// getJSON runs one GET through the handler stack and decodes the response.
+func getJSON(t *testing.T, srv *server, path string) (int, map[string]any) {
+	t.Helper()
+	w := do(t, srv, http.MethodGet, path, "", nil)
+	var out map[string]any
+	if len(w.Body.Bytes()) > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s: bad JSON response %q: %v", path, w.Body.String(), err)
+		}
+	}
+	return w.Code, out
+}

@@ -1,0 +1,23 @@
+package advisor
+
+import "repro/internal/workload"
+
+// FromWorkload converts a live workload-accountant snapshot into the
+// advisor's workload input, so Recommend runs off observed traffic
+// instead of hand-built synthetic workloads. Entries without a canonical
+// query shape — the accountant's "_other" overflow bucket — carry
+// nothing the what-if costing can re-plan and are skipped.
+func FromWorkload(s workload.Snapshot) []QueryFreq {
+	out := make([]QueryFreq, 0, len(s.Queries))
+	for _, q := range s.Queries {
+		if len(q.CQ.Body) == 0 || q.Queries <= 0 {
+			continue
+		}
+		out = append(out, QueryFreq{
+			Q:                  q.CQ,
+			BoundHeadPositions: q.BoundHeadPositions,
+			Freq:               int(q.Queries),
+		})
+	}
+	return out
+}

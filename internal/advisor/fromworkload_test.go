@@ -1,0 +1,87 @@
+package advisor
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pivot"
+	"repro/internal/service"
+)
+
+// TestFromWorkloadMatchesHandBuilt is the self-tuning loop's guard: the
+// advisor fed from a LIVE workload snapshot (queries actually run through
+// the service, observed by the workload accountant) must reproduce the
+// recommendations of the equivalent hand-built workload.
+func TestFromWorkloadMatchesHandBuilt(t *testing.T) {
+	sys := advisorSystem(t)
+	svc := service.New(sys, service.Options{})
+
+	// Run the canonical "key lookup on Prefs" shape many times with
+	// rotating constants; every run canonicalizes to one fingerprint with
+	// the uid as a bound head parameter.
+	const freq = 40
+	ctx := context.Background()
+	for i := 0; i < freq; i++ {
+		uid := pivot.CStr(string(rune('a'+i%26)) + "u")
+		q := pivot.NewCQ(atom("Q", uid, v("k"), v("val")),
+			atom("Prefs", uid, v("k"), v("val")))
+		if _, err := svc.Query(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	live := FromWorkload(svc.Workload().Snapshot())
+	if len(live) != 1 {
+		t.Fatalf("live workload = %d entries, want 1: %+v", len(live), live)
+	}
+	if live[0].Freq != freq {
+		t.Fatalf("live freq = %d, want %d", live[0].Freq, freq)
+	}
+
+	// The hand-built equivalent: the same canonical shape and binding,
+	// stated directly.
+	uid := pivot.CStr("au")
+	fp, err := service.Canonicalize(pivot.NewCQ(
+		atom("Q", uid, v("k"), v("val")), atom("Prefs", uid, v("k"), v("val"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[pivot.Var]bool{}
+	for _, p := range fp.Params {
+		params[p] = true
+	}
+	var bound []int
+	for i, term := range fp.Query.Head.Args {
+		if vv, ok := term.(pivot.Var); ok && params[vv] {
+			bound = append(bound, i)
+		}
+	}
+	hand := []QueryFreq{{Q: fp.Query, BoundHeadPositions: bound, Freq: freq}}
+
+	if live[0].Q.String() != hand[0].Q.String() {
+		t.Fatalf("live canonical query %s != hand-built %s", live[0].Q, hand[0].Q)
+	}
+
+	a := &Advisor{Sys: sys, KVStore: "redis", ParStore: "spark"}
+	liveRecs, err := a.Recommend(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handRecs, err := a.Recommend(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveRecs) == 0 {
+		t.Fatal("live workload produced no recommendations")
+	}
+	if len(liveRecs) != len(handRecs) {
+		t.Fatalf("live recs = %d, hand-built recs = %d\nlive: %v\nhand: %v",
+			len(liveRecs), len(handRecs), liveRecs, handRecs)
+	}
+	for i := range liveRecs {
+		l, h := liveRecs[i], handRecs[i]
+		if l.Action != h.Action || l.Fragment.Name != h.Fragment.Name || l.Benefit != h.Benefit {
+			t.Errorf("rec %d differs: live %v vs hand-built %v", i, l, h)
+		}
+	}
+}

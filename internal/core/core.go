@@ -673,6 +673,9 @@ func (s *System) queryRows(ctx context.Context, q pivot.CQ, boundHead []int) (*R
 		prof = exec.NewProfile()
 		ec.Prof = prof
 	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		ec.Trace, ec.Span = tr, tr.Root()
+	}
 	execStart := time.Now()
 	rs, err := exec.Open(ec, plan.Root)
 	if err != nil {

@@ -263,6 +263,9 @@ func (p *Prepared) ExecRows(ctx context.Context, attr *engine.ExecCounters, args
 		prof = exec.NewProfile()
 		ec.Prof = prof
 	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		ec.Trace, ec.Span = tr, tr.Root()
+	}
 	rs, err := exec.Open(ec, plan.Root)
 	if err != nil {
 		return nil, err

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/engines/engine"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -55,6 +57,13 @@ type Ctx struct {
 	// Prof, when set, wraps every operator with the EXPLAIN ANALYZE
 	// profiler (see Profile). Nil = profiling off, zero overhead.
 	Prof *Profile
+	// Trace, when set, records operator opens and bind-join store
+	// fetches as spans of the request trace, parented under Span.
+	// Nil = tracing off, zero overhead.
+	Trace *obs.Trace
+	// Span is the parent span exec-emitted spans attach under
+	// (typically the request trace's root).
+	Span obs.SpanID
 }
 
 // Err reports the cancellation state. Nil-receiver safe.
@@ -560,12 +569,8 @@ func (it *bindJoinIter) prefetch() error {
 			for bi, c := range it.b.BindCols {
 				bind[bi] = l[c]
 			}
-			rit, err := it.b.Fetch(it.ec, bind)
-			if err != nil {
-				return err
-			}
-			rows, err = engine.DrainBatches(rit)
-			if err != nil {
+			var err error
+			if rows, err = it.fetch(bind); err != nil {
 				return err
 			}
 			it.fetched[string(k)] = rows
@@ -573,6 +578,42 @@ func (it *bindJoinIter) prefetch() error {
 		it.rights[i] = rows
 	}
 	return nil
+}
+
+// fetch performs one dependent store access and drains it. Traced
+// executions time the access and record it as a span named by the
+// binding's Desc (the "<store>.fetch(<fragment>)" attribution); the
+// untraced path adds nothing.
+func (it *bindJoinIter) fetch(bind value.Tuple) ([]value.Tuple, error) {
+	tr := traceOf(it.ec)
+	if tr == nil {
+		rit, err := it.b.Fetch(it.ec, bind)
+		if err != nil {
+			return nil, err
+		}
+		return engine.DrainBatches(rit)
+	}
+	name := it.b.Desc
+	if name == "" {
+		name = "fetch"
+	}
+	t0 := time.Now()
+	rit, err := it.b.Fetch(it.ec, bind)
+	if err != nil {
+		tr.Add(name, it.ec.Span, t0, time.Since(t0))
+		return nil, err
+	}
+	rows, err := engine.DrainBatches(rit)
+	tr.Add(name, it.ec.Span, t0, time.Since(t0))
+	return rows, err
+}
+
+// traceOf is the nil-safe trace accessor for an execution.
+func traceOf(ec *Ctx) *obs.Trace {
+	if ec == nil {
+		return nil
+	}
+	return ec.Trace
 }
 
 func (it *bindJoinIter) NextBatch(dst *value.Batch) (int, error) {

@@ -86,21 +86,27 @@ func (p *Profile) tree(n Node) *OpProfile {
 	return op
 }
 
-// openNode opens a plan node through the profiling hook: the shared
-// child-open path every operator (and the root open in exec.Open) goes
-// through. Unprofiled executions take the first branch — a plain
-// dynamic call, nothing else.
+// openNode opens a plan node through the profiling/tracing hook: the
+// shared child-open path every operator (and the root open in exec.Open)
+// goes through. Plain executions take the first branch — a single
+// dynamic call, nothing else; traced executions record each operator
+// open as a span; profiled executions additionally wrap the iterator.
 func openNode(ec *Ctx, n Node) (engine.BatchIterator, error) {
-	if ec == nil || ec.Prof == nil {
+	if ec == nil || (ec.Prof == nil && ec.Trace == nil) {
 		return n.Open(ec)
 	}
-	st := ec.Prof.stats(n)
 	t0 := time.Now()
 	it, err := n.Open(ec)
-	st.Time += time.Since(t0)
+	d := time.Since(t0)
+	ec.Trace.Add("open "+n.Label(), ec.Span, t0, d)
 	if err != nil {
 		return nil, err
 	}
+	if ec.Prof == nil {
+		return it, nil
+	}
+	st := ec.Prof.stats(n)
+	st.Time += d
 	return &profIter{in: it, st: st}, nil
 }
 

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engines/engine"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// tracedPlan builds a bind-join plan: Values(x) ⋈bind redis-like fetch.
+func tracedPlan(t *testing.T) *BindJoin {
+	t.Helper()
+	left := &Values{Out: Schema{"x"}, Rows: []value.Tuple{
+		{value.Int(1)}, {value.Int(2)}, {value.Int(1)}, // dup key: one fetch
+	}}
+	fetch := func(ec *Ctx, bind value.Tuple) (engine.BatchIterator, error) {
+		return engine.NewSliceBatchIterator([]value.Tuple{{bind[0], value.Str("v")}}), nil
+	}
+	bj, err := NewBindJoin(left, []string{"x"}, Schema{"x", "y"}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj.Desc = "redis.fetch(cart)"
+	return bj
+}
+
+func TestTraceSpansFromExec(t *testing.T) {
+	bj := tracedPlan(t)
+	tr := obs.NewTrace("q", obs.TraceID{}, time.Now(), 0)
+	ec := &Ctx{Trace: tr, Span: tr.Root()}
+	rows, err := RunWith(ec, bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	snap := tr.Snapshot()
+	var opens, fetches int
+	for _, s := range snap.Spans {
+		switch {
+		case strings.HasPrefix(s.Name, "open "):
+			opens++
+			if s.Parent != tr.Root() {
+				t.Fatalf("open span %q parented at %v, want root", s.Name, s.Parent)
+			}
+		case s.Name == "redis.fetch(cart)":
+			fetches++
+		}
+	}
+	// Root open (BindJoin) plus its Values child.
+	if opens != 2 {
+		t.Fatalf("open spans = %d, want 2 in %+v", opens, snap.Spans)
+	}
+	// Two distinct bind keys → two store fetch spans (the duplicate key
+	// shares a round-trip, so it must NOT add a third).
+	if fetches != 2 {
+		t.Fatalf("fetch spans = %d, want 2 in %+v", fetches, snap.Spans)
+	}
+}
+
+func TestTraceOffAddsNothing(t *testing.T) {
+	bj := tracedPlan(t)
+	// No trace on the context: openNode must hand back raw iterators and
+	// the fetch path must not time anything.
+	it, err := openNode(&Ctx{}, bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.(*profIter); ok {
+		t.Fatal("untraced, unprofiled open must not wrap")
+	}
+	it.Close()
+	rows, err := RunWith(nil, bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestTraceAndProfileCompose(t *testing.T) {
+	bj := tracedPlan(t)
+	tr := obs.NewTrace("q", obs.TraceID{}, time.Now(), 0)
+	prof := NewProfile()
+	ec := &Ctx{Trace: tr, Span: tr.Root(), Prof: prof}
+	if _, err := RunWith(ec, bj); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no spans under combined trace+profile")
+	}
+	tree := prof.Tree(bj)
+	if tree == nil || tree.Rows != 3 {
+		t.Fatalf("profile tree = %+v", tree)
+	}
+}

@@ -7,6 +7,7 @@ type ctxKey int
 const (
 	ctxKeyRequestID ctxKey = iota
 	ctxKeyProfile
+	ctxKeyTrace
 )
 
 // WithRequestID stamps a request correlation ID on the context. The
@@ -44,4 +45,24 @@ func ProfileEnabled(ctx context.Context) bool {
 	}
 	on, _ := ctx.Value(ctxKeyProfile).(bool)
 	return on
+}
+
+// WithTrace attaches a request trace to the context so the service, core
+// and exec layers record spans into it without signature changes. A nil
+// trace leaves the context unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTrace, t)
+}
+
+// TraceFrom returns the context's request trace, or nil when the request
+// is untraced (the common, zero-cost case).
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKeyTrace).(*Trace)
+	return t
 }

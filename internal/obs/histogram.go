@@ -1,12 +1,14 @@
 // Package obs is ESTOCADA's dependency-free observability core: lock-free
 // log-bucketed latency histograms, a counter/gauge/histogram registry with
-// Prometheus text-format exposition, a fixed-capacity span recorder, and
-// the context carriers (request ID, profiling flag) the layers above use
-// to thread observability state through a query without changing call
+// Prometheus text-format exposition, hierarchical bounded request traces
+// (trace/span IDs, W3C traceparent, a tail-sampled trace ring), and the
+// context carriers (request ID, profiling flag, trace) the layers above
+// use to thread observability state through a query without changing call
 // signatures. Everything here is stdlib-only and safe for concurrent use;
-// the recording hot paths (Histogram.Observe, Trace.Add, the context
-// reads) are allocation-free so the substrate can sit under the ~56k qps
-// service layer without showing up in profiles.
+// the recording hot paths (Histogram.Observe, the context reads) are
+// allocation-free so the substrate can sit under the ~56k qps service
+// layer without showing up in profiles; span recording costs nothing
+// unless the request carries a trace.
 package obs
 
 import (

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterProcessMetrics registers the process-level families on the
+// registry, all func-backed so scrape time reads live state:
+//
+//	estocada_build_info{go_version,version}  — constant 1
+//	estocada_uptime_seconds                  — seconds since start
+//	estocada_goroutines                      — live goroutine count
+//	estocada_trace_spans_dropped_total       — spans dropped at trace capacity
+//
+// start is the process (or server) start time used for uptime.
+func RegisterProcessMetrics(r *Registry, start time.Time) {
+	goVersion := runtime.Version()
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.GaugeFunc("estocada_build_info",
+		"Build metadata; constant 1 with the build carried in labels.",
+		[]string{"go_version", "version"},
+		func(emit func([]string, float64)) {
+			emit([]string{goVersion, version}, 1)
+		})
+	r.GaugeFunc("estocada_uptime_seconds",
+		"Seconds since the process started.", nil,
+		func(emit func([]string, float64)) {
+			emit(nil, time.Since(start).Seconds())
+		})
+	r.GaugeFunc("estocada_goroutines",
+		"Live goroutine count.", nil,
+		func(emit func([]string, float64)) {
+			emit(nil, float64(runtime.NumGoroutine()))
+		})
+	r.CounterFunc("estocada_trace_spans_dropped_total",
+		"Spans dropped because their request trace was at capacity.", nil,
+		func(emit func([]string, float64)) {
+			emit(nil, float64(SpansDropped()))
+		})
+}

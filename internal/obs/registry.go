@@ -242,6 +242,29 @@ func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValu
 // With resolves the histogram for a label-value set.
 func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
 
+// Get1 is the allocation-free hot-path lookup for single-label counter
+// vecs: a hit performs one map read under RLock and returns the existing
+// series; a miss falls back to the creating path.
+func (v *CounterVec) Get1(labelValue string) *Counter {
+	f := v.f
+	f.mu.RLock()
+	s := f.series[labelValue]
+	f.mu.RUnlock()
+	if s != nil {
+		return s.c
+	}
+	return f.get([]string{labelValue}).c
+}
+
+// SetMaxSeries caps the family's series cardinality: once n distinct
+// label sets exist, further sets collapse into an "_other" overflow
+// series. 0 removes the cap.
+func (v *CounterVec) SetMaxSeries(n int) {
+	v.f.mu.Lock()
+	v.f.maxSeries = n
+	v.f.mu.Unlock()
+}
+
 // Get1 is the allocation-free hot-path lookup for single-label vecs:
 // a hit performs one map read under RLock and returns the existing
 // series; a miss falls back to the creating path.

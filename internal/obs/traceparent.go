@@ -1,0 +1,56 @@
+package obs
+
+import "encoding/hex"
+
+// TraceContext is a parsed W3C trace-context `traceparent` header:
+// version 00, `00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>`.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts exactly
+// version 00 of the grammar and rejects all-zero trace or span IDs, per
+// the spec. Returns ok=false on any malformation — callers then start a
+// fresh trace instead of propagating garbage.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	var tc TraceContext
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return tc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return tc, false
+	}
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return tc, false
+	}
+	tc.Sampled = flags[0]&0x01 != 0
+	return tc, true
+}
+
+// String renders the context as a version-00 traceparent header value.
+func (tc TraceContext) String() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, tc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, tc.SpanID[:])
+	if tc.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}

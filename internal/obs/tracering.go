@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRing is a bounded buffer of finished request traces with
+// tail-based sampling: a trace is kept when it errored, when it ran
+// longer than the slow threshold, or — for the ordinary fast successes —
+// on a deterministic 1-in-keepEvery cadence. The ring holds *Trace
+// pointers, so spans recorded after Offer (detached cursors draining
+// /fetch pages) still show up when the trace is browsed.
+type TraceRing struct {
+	slow      time.Duration
+	keepEvery int
+	seq       atomic.Uint64
+
+	mu     sync.Mutex
+	buf    []*Trace
+	next   int
+	filled bool
+}
+
+// DefaultTraceRingSize is the retained-trace capacity when the owner
+// names none.
+const DefaultTraceRingSize = 64
+
+// DefaultKeepEvery is the probabilistic-keep cadence for fast successful
+// traces when the owner names none: 1 in 16.
+const DefaultKeepEvery = 16
+
+// NewTraceRing builds a ring retaining up to size traces. keepEvery <= 0
+// defaults to DefaultKeepEvery; keepEvery == 1 keeps every offered trace.
+// slow <= 0 disables the latency criterion.
+func NewTraceRing(size, keepEvery int, slow time.Duration) *TraceRing {
+	if size <= 0 {
+		size = DefaultTraceRingSize
+	}
+	if keepEvery <= 0 {
+		keepEvery = DefaultKeepEvery
+	}
+	return &TraceRing{slow: slow, keepEvery: keepEvery, buf: make([]*Trace, size)}
+}
+
+// Offer submits a finished trace for retention and reports whether it was
+// kept. Errors and slow traces always survive; the rest sample at
+// 1-in-keepEvery. Nil-receiver and nil-trace safe.
+func (r *TraceRing) Offer(t *Trace) bool {
+	if r == nil || t == nil {
+		return false
+	}
+	keep := t.Error() != "" || (r.slow > 0 && t.Duration() >= r.slow)
+	if !keep {
+		keep = r.seq.Add(1)%uint64(r.keepEvery) == 0
+	}
+	if !keep {
+		return false
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// Traces returns the retained traces, newest first.
+func (r *TraceRing) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := r.next - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		if r.buf[idx] != nil {
+			out = append(out, r.buf[idx])
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given hex trace ID, or nil.
+func (r *TraceRing) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.buf {
+		if t != nil && t.ID().String() == id {
+			return t
+		}
+	}
+	return nil
+}

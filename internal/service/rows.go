@@ -8,8 +8,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/engines/engine"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/translate"
 	"repro/internal/value"
+	"repro/internal/workload"
 )
 
 // Rows is the streaming result of one service query: a cursor over the
@@ -33,6 +35,9 @@ type Rows struct {
 	base   context.Context
 	cancel context.CancelFunc
 
+	// fp is the full canonical fingerprint (shape + params), recorded
+	// into the workload accountant at Close; fingerprint is its key.
+	fp          Fingerprint
 	fingerprint string
 	cacheHit    bool
 	coalesced   bool
@@ -284,11 +289,60 @@ func (r *Rows) Close() error {
 	if o := r.svc.obs; o != nil {
 		o.observe(r, total)
 	}
+	r.recordWorkload(total)
+	r.traceSpans(total)
 	if sl := r.svc.slow; sl != nil &&
 		(r.err != nil || (r.svc.opts.SlowQueryThreshold > 0 && total >= r.svc.opts.SlowQueryThreshold)) {
 		sl.record(r, total)
 	}
 	return r.err
+}
+
+// recordWorkload folds the finished query into the always-on workload
+// accountant: counts, phase latencies, per-store work, and the executed
+// plan's per-fragment cost attribution.
+func (r *Rows) recordWorkload(total time.Duration) {
+	execute, drain := r.splitExec()
+	r.svc.workload.Record(workload.Sample{
+		Fingerprint: r.fingerprint,
+		Query:       r.fp.Query,
+		Params:      r.fp.Params,
+		Err:         r.err != nil,
+		Rows:        r.n,
+		Total:       total,
+		Phases: [workload.NumPhases]time.Duration{
+			r.parseTime, r.canonTime, r.planTime, r.bindTime, execute, drain,
+		},
+		PerStore: r.perStore,
+		Prov:     r.cur.PlanProvenance(),
+	})
+}
+
+// traceSpans emits the query's phase breakdown into the request trace
+// (no-op for untraced requests): a service.query span under the request
+// root with one child per pipeline phase, plus the trace-level error.
+func (r *Rows) traceSpans(total time.Duration) {
+	tr := obs.TraceFrom(r.base)
+	if tr == nil {
+		return
+	}
+	start := r.openedAt.Add(-(r.parseTime + r.canonTime))
+	parent := tr.Add("service.query", tr.Root(), start, total)
+	execute, drain := r.splitExec()
+	phases := [numPhases]time.Duration{
+		r.parseTime, r.canonTime, r.planTime, r.bindTime, execute, drain,
+	}
+	at := start
+	for i, d := range phases {
+		if i == phaseParse && d == 0 {
+			continue // query arrived pre-parsed (CQ value surface)
+		}
+		tr.Add(phaseNames[i], parent, at, d)
+		at = at.Add(d)
+	}
+	if r.err != nil {
+		tr.SetError(r.err.Error())
+	}
 }
 
 // Materialize drains the cursor into the legacy slice-backed Result and

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pivot"
 	"repro/internal/value"
+	"repro/internal/workload"
 )
 
 // Options tunes the mediator service.
@@ -88,6 +89,10 @@ type Service struct {
 	// slow is the slow-query ring (nil when disabled).
 	obs  *svcObs
 	slow *slowLog
+
+	// workload is the always-on per-fingerprint accounting layer feeding
+	// the self-tuning loop (advisor.FromWorkload, /debug/workload).
+	workload *workload.Accountant
 
 	metrics Metrics
 
@@ -183,11 +188,22 @@ func New(sys *core.System, opts Options) *Service {
 	if opts.Registry != nil {
 		s.obs = newSvcObs(opts.Registry, s)
 	}
+	s.workload = workload.New(workload.Options{
+		MaxFingerprints: fingerprintSeriesCap,
+		Catalog:         sys.Catalog,
+		Stores:          sys.Stores,
+		Schema:          sys.SchemaConstraints,
+		Registry:        opts.Registry,
+	})
 	return s
 }
 
 // System returns the underlying mediator core.
 func (s *Service) System() *core.System { return s.sys }
+
+// Workload returns the always-on workload accountant (never nil): the
+// per-fingerprint observations the advisor's FromWorkload consumes.
+func (s *Service) Workload() *workload.Accountant { return s.workload }
 
 // Snapshot reads the service metrics.
 func (s *Service) Snapshot() MetricsSnapshot {
@@ -416,6 +432,7 @@ func (s *Service) openRows(ctx context.Context, sess *Session, fp Fingerprint, a
 		cur:         cur,
 		base:        base,
 		cancel:      cancel,
+		fp:          fp,
 		fingerprint: fp.Key,
 		cacheHit:    outcome == outcomeHit,
 		coalesced:   outcome == outcomeCoalesced,

@@ -13,8 +13,11 @@ import (
 // request it belonged to, the canonical shape, the phase breakdown, and
 // (when the query ran profiled) the per-operator tree.
 type SlowQuery struct {
-	Time        time.Time       `json:"time"`
-	RequestID   string          `json:"requestId,omitempty"`
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"requestId,omitempty"`
+	// TraceID links the entry to its retained request trace
+	// (/debug/traces/<id>) when the request was traced.
+	TraceID     string          `json:"traceId,omitempty"`
 	Fingerprint string          `json:"fingerprint"`
 	DurationUs  int64           `json:"durationUs"`
 	Phases      []obs.Span      `json:"phases"`
@@ -88,6 +91,9 @@ func (l *slowLog) record(r *Rows, total time.Duration) {
 		CacheHit:    r.cacheHit,
 		Coalesced:   r.coalesced,
 		Profile:     r.Profile(),
+	}
+	if tr := obs.TraceFrom(r.base); tr != nil {
+		e.TraceID = tr.ID().String()
 	}
 	if r.err != nil {
 		e.Error = r.err.Error()

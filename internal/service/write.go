@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -97,10 +98,21 @@ func (s *Service) WriteBatch(ctx context.Context, ops []WriteOp) (*WriteResult, 
 		}
 		var rep *core.DMLReport
 		var err error
+		opStart := time.Now()
 		if op.Delete {
 			rep, err = s.sys.DeleteFrom(op.Relation, op.Rows...)
 		} else {
 			rep, err = s.sys.InsertInto(op.Relation, op.Rows...)
+		}
+		if tr := obs.TraceFrom(base); tr != nil {
+			name := "dml.insert(" + op.Relation + ")"
+			if op.Delete {
+				name = "dml.delete(" + op.Relation + ")"
+			}
+			tr.Add(name, tr.Root(), opStart, time.Since(opStart))
+			if err != nil {
+				tr.SetError(err.Error())
+			}
 		}
 		if err != nil {
 			// Classify store-attributed failures into the typed sentinels

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/translate"
+)
+
+// altCostCeiling clamps the "without this fragment" cost when the
+// workload query becomes unanswerable or unplannable — a large but
+// finite stand-in so one irreplaceable fragment does not drown every
+// other score.
+const altCostCeiling = 1e9
+
+// benefitScores returns the cached per-fragment benefit map, recomputing
+// it when stale (older than BenefitInterval) or when force is set. The
+// map must not be mutated by callers.
+func (a *Accountant) benefitScores(force bool) map[string]float64 {
+	if a == nil || a.opts.Catalog == nil || a.opts.Stores == nil || a.opts.Schema == nil {
+		return nil
+	}
+	a.benefitMu.Lock()
+	defer a.benefitMu.Unlock()
+	if !force && a.benefits != nil && a.now().Sub(a.benefitAt) < a.opts.BenefitInterval {
+		return a.benefits
+	}
+	a.benefits = a.computeBenefits()
+	a.benefitAt = a.now()
+	return a.benefits
+}
+
+// RecomputeBenefits forces an immediate benefit recomputation (test and
+// admin hook; scrapes and snapshots use the cached cadence).
+func (a *Accountant) RecomputeBenefits() map[string]float64 {
+	return a.benefitScores(true)
+}
+
+// hotEntry pairs an entry with the state benefit scoring needs.
+type hotEntry struct {
+	q       pivot.CQ
+	bound   []int
+	queries int64
+	base    float64
+	frags   []string
+}
+
+// computeBenefits scores each fragment used by the hottest fingerprints:
+// the planner's best cost for the query *without* the fragment minus its
+// observed best cost with it, weighted by the observed query count. A
+// positive score means dropping the fragment would make the workload
+// that much more expensive — the advisor's signal that it earns its
+// keep; a zero score means the planner has an equally good alternative.
+func (a *Accountant) computeBenefits() map[string]float64 {
+	var hot []hotEntry
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			e.mu.Lock()
+			if e.hasQuery && e.lastCost > 0 && len(e.frags) > 0 {
+				h := hotEntry{q: e.q, bound: e.bound, queries: e.queries.Load(), base: e.lastCost}
+				for name := range e.frags {
+					h.frags = append(h.frags, name)
+				}
+				sort.Strings(h.frags)
+				hot = append(hot, h)
+			}
+			e.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].queries > hot[j].queries })
+	if len(hot) > a.opts.BenefitTopK {
+		hot = hot[:a.opts.BenefitTopK]
+	}
+	benefits := map[string]float64{}
+	for _, h := range hot {
+		for _, frag := range h.frags {
+			if _, ok := benefits[frag]; !ok {
+				benefits[frag] = 0
+			}
+			alt := a.costWithout(h.q, h.bound, frag)
+			if d := alt - h.base; d > 0 {
+				benefits[frag] += d * float64(h.queries)
+			}
+		}
+	}
+	return benefits
+}
+
+// costWithout is the planner's best cost for q against a hypothetical
+// catalog missing the named fragment (altCostCeiling when unanswerable).
+func (a *Accountant) costWithout(q pivot.CQ, bound []int, frag string) float64 {
+	hyp := cloneCatalogWithout(a.opts.Catalog, frag)
+	res, err := rewrite.Rewrite(q, hyp.Views(""), rewrite.Options{
+		Schema:             a.opts.Schema(),
+		AccessPatterns:     hyp.AccessPatterns(),
+		BoundHeadPositions: bound,
+	})
+	if err != nil || len(res.Rewritings) == 0 {
+		return altCostCeiling
+	}
+	rewritings := make([]pivot.CQ, 0, len(res.Rewritings))
+	for _, r := range res.Rewritings {
+		rewritings = append(rewritings, bindPlaceholders(r, bound))
+	}
+	planner := &translate.Planner{Catalog: hyp, Stores: a.opts.Stores}
+	best, _, err := planner.ChooseBest(rewritings)
+	if err != nil {
+		return altCostCeiling
+	}
+	if best.Cost > altCostCeiling {
+		return altCostCeiling
+	}
+	return best.Cost
+}
+
+// bindPlaceholders substitutes an out-of-band constant for each
+// parameterized head variable so hypothetical plans build (the advisor
+// uses the same trick for its what-if costing).
+func bindPlaceholders(r pivot.CQ, boundPos []int) pivot.CQ {
+	if len(boundPos) == 0 {
+		return r
+	}
+	sub := pivot.NewSubst()
+	for _, pos := range boundPos {
+		if pos >= 0 && pos < len(r.Head.Args) {
+			if v, ok := r.Head.Args[pos].(pivot.Var); ok {
+				sub[v] = pivot.CStr("\x00wl")
+			}
+		}
+	}
+	return r.Apply(sub)
+}
+
+// cloneCatalogWithout is a field-wise catalog clone (a *Fragment value
+// copy would copy the stats lock; statistics snapshot through instead)
+// skipping the named fragment.
+func cloneCatalogWithout(c *catalog.Catalog, skip string) *catalog.Catalog {
+	out := catalog.New()
+	for _, f := range c.All() {
+		if f.Name == skip {
+			continue
+		}
+		cp := &catalog.Fragment{
+			Name: f.Name, Dataset: f.Dataset, View: f.View, Store: f.Store,
+			Layout: f.Layout, Access: f.Access, Credentials: f.Credentials,
+			Stats: f.StatsSnapshot(),
+		}
+		// Source fragments are valid by construction.
+		_ = out.Register(cp)
+	}
+	return out
+}

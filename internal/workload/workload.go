@@ -1,0 +1,492 @@
+// Package workload is ESTOCADA's workload observatory: an always-on,
+// lock-cheap accounting layer that aggregates, per canonical query
+// fingerprint, arrival rates (EWMA), per-phase latency digests,
+// per-fragment access counts with attributed planner cost, and per-store
+// work — the live observations the self-tuning loop (the advisor) runs
+// on instead of hand-built synthetic workloads. Recording happens on
+// every query Close: a shard-striped map lookup, a handful of atomic
+// adds, lock-free histogram observes, and one short per-entry critical
+// section, so the accountant sits under the service hot path at full
+// throughput. Snapshots are JSON-ready (served at /debug/workload) and
+// feed advisor.FromWorkload; per-fingerprint query counts and
+// per-fragment benefit scores export as Prometheus families, both
+// cardinality-capped.
+package workload
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engines/engine"
+	"repro/internal/obs"
+	"repro/internal/pivot"
+	"repro/internal/translate"
+)
+
+// NumPhases is the service pipeline phase count; Phases in a Sample
+// follow PhaseNames order. Kept in lockstep with the service layer's
+// phase breakdown (parse … drain).
+const NumPhases = 6
+
+// PhaseNames names the service pipeline phases in Sample order.
+var PhaseNames = [NumPhases]string{"parse", "canonicalize", "rewrite", "bind", "execute", "drain"}
+
+// OverflowFingerprint is the shared bucket distinct fingerprints collapse
+// into once MaxFingerprints is reached (mirroring the registry's
+// "_other" series overflow). The bucket aggregates counts and latency
+// but carries no query shape, so it is excluded from benefit scoring and
+// advisor input.
+const OverflowFingerprint = "_other"
+
+// Options configures an Accountant. Catalog, Stores and Schema wire the
+// planner's cost model in for fragment benefit scoring; all are optional
+// (benefits stay zero without them). Registry is optional too — without
+// it the accountant keeps its in-process state but exports no metrics.
+type Options struct {
+	// MaxFingerprints caps tracked fingerprints (and the Prometheus
+	// estocada_workload_queries_total cardinality); beyond it new
+	// fingerprints collapse into OverflowFingerprint. Default 512.
+	MaxFingerprints int
+	// RateTau is the EWMA time constant for per-fingerprint arrival
+	// rates. Default 60s.
+	RateTau time.Duration
+	// BenefitInterval rate-limits fragment benefit recomputation (each
+	// recompute re-plans hot queries against hypothetical catalogs).
+	// Default 30s.
+	BenefitInterval time.Duration
+	// BenefitTopK bounds how many of the hottest fingerprints benefit
+	// scoring re-plans. Default 32.
+	BenefitTopK int
+	// BenefitSeriesCap bounds the estocada_fragment_benefit label
+	// cardinality; lower-scoring fragments aggregate into "_other".
+	// Default 64.
+	BenefitSeriesCap int
+
+	Catalog *catalog.Catalog
+	Stores  *translate.Stores
+	// Schema supplies the current schema constraints for hypothetical
+	// re-planning (fragments come and go, so it is a callback).
+	Schema   func() pivot.Constraints
+	Registry *obs.Registry
+}
+
+// Sample is one finished query observation, recorded at cursor Close.
+type Sample struct {
+	Fingerprint string
+	// Query and Params describe the canonical shape (used for benefit
+	// re-planning and advisor input); zero-valued for untracked callers.
+	Query  pivot.CQ
+	Params []pivot.Var
+	Err    bool
+	Rows   int64
+	Total  time.Duration
+	Phases [NumPhases]time.Duration
+	// PerStore is the execution's exact per-store work attribution.
+	PerStore map[string]engine.CounterSnapshot
+	// Prov is the executed plan's provenance: per-clause fragment, store
+	// and cost share. Nil when the plan carried none.
+	Prov *translate.Provenance
+}
+
+// fragUse accumulates one fingerprint's use of one fragment.
+type fragUse struct {
+	Store    string  `json:"store"`
+	Accesses int64   `json:"accesses"`
+	Cost     float64 `json:"costUnits"`
+}
+
+// entry is the always-on accumulator for one fingerprint. Counters and
+// histograms are lock-free; the rest is guarded by a short mutex.
+type entry struct {
+	fp string
+
+	queries atomic.Int64
+	errors  atomic.Int64
+	rows    atomic.Int64
+
+	total  obs.Histogram
+	phases [NumPhases]obs.Histogram
+
+	mu       sync.Mutex
+	q        pivot.CQ
+	bound    []int // parameterized head positions, derived once
+	hasQuery bool
+	rate     float64 // EWMA arrivals per second
+	last     time.Time
+	lastCost float64 // planner cost of the most recent plan
+	frags    map[string]*fragUse
+	stores   map[string]engine.CounterSnapshot
+}
+
+const numShards = 16
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Accountant is the always-on workload accounting layer. Safe for
+// concurrent use; a nil *Accountant records nothing.
+type Accountant struct {
+	opts    Options
+	shards  [numShards]shard
+	tracked atomic.Int64
+	now     func() time.Time
+
+	queriesVec *obs.CounterVec
+
+	benefitMu sync.Mutex
+	benefitAt time.Time
+	benefits  map[string]float64
+}
+
+// New builds an Accountant and, when opts.Registry is set, registers its
+// Prometheus families.
+func New(opts Options) *Accountant {
+	if opts.MaxFingerprints <= 0 {
+		opts.MaxFingerprints = 512
+	}
+	if opts.RateTau <= 0 {
+		opts.RateTau = 60 * time.Second
+	}
+	if opts.BenefitInterval <= 0 {
+		opts.BenefitInterval = 30 * time.Second
+	}
+	if opts.BenefitTopK <= 0 {
+		opts.BenefitTopK = 32
+	}
+	if opts.BenefitSeriesCap <= 0 {
+		opts.BenefitSeriesCap = 64
+	}
+	a := &Accountant{opts: opts, now: time.Now}
+	for i := range a.shards {
+		a.shards[i].entries = map[string]*entry{}
+	}
+	if reg := opts.Registry; reg != nil {
+		a.queriesVec = reg.NewCounter("estocada_workload_queries_total",
+			"Queries observed per canonical fingerprint.", "fingerprint")
+		a.queriesVec.SetMaxSeries(opts.MaxFingerprints)
+		reg.GaugeFunc("estocada_fragment_benefit",
+			"Estimated workload cost the fragment saves vs. the planner's best alternative without it (work units x observed queries).",
+			[]string{"fragment"}, a.emitBenefits)
+	}
+	return a
+}
+
+// fnv-1a; fingerprints are short canonical strings.
+func shardOf(fp string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint32(fp[i])
+		h *= 16777619
+	}
+	return int(h % numShards)
+}
+
+func (a *Accountant) entryFor(s *Sample) *entry {
+	fp := s.Fingerprint
+	if fp == "" {
+		fp = OverflowFingerprint
+	}
+	sh := &a.shards[shardOf(fp)]
+	sh.mu.RLock()
+	e := sh.entries[fp]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	if fp != OverflowFingerprint && int(a.tracked.Load()) >= a.opts.MaxFingerprints {
+		// Cardinality cap: collapse into the shared overflow bucket.
+		return a.entryFor(&Sample{Fingerprint: OverflowFingerprint})
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[fp]; e != nil {
+		return e
+	}
+	e = &entry{fp: fp, frags: map[string]*fragUse{}, stores: map[string]engine.CounterSnapshot{}}
+	if fp != OverflowFingerprint && len(s.Query.Body) > 0 {
+		e.q = s.Query
+		e.hasQuery = true
+		e.bound = boundHeadPositions(s.Query, s.Params)
+	}
+	sh.entries[fp] = e
+	a.tracked.Add(1)
+	return e
+}
+
+// boundHeadPositions derives the parameterized head positions: head
+// arguments that are one of the canonical parameter variables.
+func boundHeadPositions(q pivot.CQ, params []pivot.Var) []int {
+	if len(params) == 0 {
+		return nil
+	}
+	set := make(map[pivot.Var]bool, len(params))
+	for _, p := range params {
+		set[p] = true
+	}
+	var out []int
+	for i, t := range q.Head.Args {
+		if v, ok := t.(pivot.Var); ok && set[v] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Record folds one finished query into the accounting. Nil-receiver safe.
+func (a *Accountant) Record(s Sample) {
+	if a == nil {
+		return
+	}
+	e := a.entryFor(&s)
+	e.queries.Add(1)
+	if s.Err {
+		e.errors.Add(1)
+	}
+	e.rows.Add(s.Rows)
+	e.total.Observe(s.Total)
+	for i, d := range s.Phases {
+		if d > 0 {
+			e.phases[i].Observe(d)
+		}
+	}
+	now := a.now()
+	e.mu.Lock()
+	if !e.last.IsZero() {
+		if dt := now.Sub(e.last).Seconds(); dt > 0 {
+			w := math.Exp(-dt / a.opts.RateTau.Seconds())
+			e.rate = w*e.rate + (1-w)/dt
+		}
+	}
+	e.last = now
+	if s.Prov != nil {
+		e.lastCost = s.Prov.Cost
+		for _, c := range s.Prov.Clauses {
+			if c.Fragment == "" {
+				continue
+			}
+			fu := e.frags[c.Fragment]
+			if fu == nil {
+				fu = &fragUse{Store: c.Store}
+				e.frags[c.Fragment] = fu
+			}
+			fu.Accesses++
+			fu.Cost += c.StepCost
+		}
+	}
+	for store, cs := range s.PerStore {
+		acc := e.stores[store]
+		acc.Requests += cs.Requests
+		acc.Scans += cs.Scans
+		acc.Lookups += cs.Lookups
+		acc.Tuples += cs.Tuples
+		e.stores[store] = acc
+	}
+	e.mu.Unlock()
+	if a.queriesVec != nil {
+		a.queriesVec.Get1(e.fp).Inc()
+	}
+}
+
+// PhaseDigest summarizes one pipeline phase's latency for a fingerprint.
+type PhaseDigest struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50Us float64 `json:"p50Us"`
+	P99Us float64 `json:"p99Us"`
+}
+
+// QueryStats is one fingerprint's aggregated observations.
+type QueryStats struct {
+	Fingerprint string `json:"fingerprint"`
+	// Query is the canonical conjunctive-query text ("" for the overflow
+	// bucket).
+	Query              string                            `json:"query,omitempty"`
+	BoundHeadPositions []int                             `json:"boundHeadPositions,omitempty"`
+	Queries            int64                             `json:"queries"`
+	Errors             int64                             `json:"errors,omitempty"`
+	Rows               int64                             `json:"rows"`
+	RatePerSec         float64                           `json:"ratePerSec"`
+	P50Us              float64                           `json:"p50Us"`
+	P99Us              float64                           `json:"p99Us"`
+	Phases             []PhaseDigest                     `json:"phases,omitempty"`
+	LastPlanCost       float64                           `json:"lastPlanCost,omitempty"`
+	AttributedCost     float64                           `json:"attributedCost"`
+	Fragments          map[string]fragUse                `json:"fragments,omitempty"`
+	PerStore           map[string]engine.CounterSnapshot `json:"perStore,omitempty"`
+
+	// CQ is the canonical shape for programmatic consumers
+	// (advisor.FromWorkload); zero-valued for the overflow bucket.
+	CQ pivot.CQ `json:"-"`
+}
+
+// FragmentStats aggregates one fragment's role in the observed workload.
+type FragmentStats struct {
+	Fragment string `json:"fragment"`
+	Store    string `json:"store,omitempty"`
+	// Accesses counts plan clauses that read the fragment.
+	Accesses int64 `json:"accesses"`
+	// AttributedCost is the summed planner step cost of those clauses.
+	AttributedCost float64 `json:"attributedCost"`
+	// Benefit is the estimated workload cost the fragment saves vs. the
+	// best plans without it (see benefit.go); 0 until scored.
+	Benefit float64 `json:"benefit"`
+}
+
+// Snapshot is a point-in-time view of the observed workload.
+type Snapshot struct {
+	Taken time.Time `json:"taken"`
+	// Queries is sorted by attributed cost, descending — the tuner's
+	// heavy hitters first.
+	Queries   []QueryStats    `json:"queries"`
+	Fragments []FragmentStats `json:"fragments"`
+}
+
+// Snapshot captures the current workload, refreshing fragment benefit
+// scores if they are stale. Nil-receiver safe (returns a zero snapshot).
+func (a *Accountant) Snapshot() Snapshot {
+	if a == nil {
+		return Snapshot{}
+	}
+	benefits := a.benefitScores(false)
+	snap := Snapshot{Taken: a.now()}
+	fragTotals := map[string]*FragmentStats{}
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		entries := make([]*entry, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			entries = append(entries, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range entries {
+			qs := e.stats()
+			for name, fu := range qs.Fragments {
+				ft := fragTotals[name]
+				if ft == nil {
+					ft = &FragmentStats{Fragment: name, Store: fu.Store}
+					fragTotals[name] = ft
+				}
+				ft.Accesses += fu.Accesses
+				ft.AttributedCost += fu.Cost
+			}
+			snap.Queries = append(snap.Queries, qs)
+		}
+	}
+	sort.Slice(snap.Queries, func(i, j int) bool {
+		if snap.Queries[i].AttributedCost != snap.Queries[j].AttributedCost {
+			return snap.Queries[i].AttributedCost > snap.Queries[j].AttributedCost
+		}
+		return snap.Queries[i].Fingerprint < snap.Queries[j].Fingerprint
+	})
+	for name, b := range benefits {
+		ft := fragTotals[name]
+		if ft == nil {
+			ft = &FragmentStats{Fragment: name}
+			fragTotals[name] = ft
+		}
+		ft.Benefit = b
+	}
+	for _, ft := range fragTotals {
+		snap.Fragments = append(snap.Fragments, *ft)
+	}
+	sort.Slice(snap.Fragments, func(i, j int) bool {
+		if snap.Fragments[i].Benefit != snap.Fragments[j].Benefit {
+			return snap.Fragments[i].Benefit > snap.Fragments[j].Benefit
+		}
+		if snap.Fragments[i].AttributedCost != snap.Fragments[j].AttributedCost {
+			return snap.Fragments[i].AttributedCost > snap.Fragments[j].AttributedCost
+		}
+		return snap.Fragments[i].Fragment < snap.Fragments[j].Fragment
+	})
+	return snap
+}
+
+// stats snapshots one entry.
+func (e *entry) stats() QueryStats {
+	total := e.total.Snapshot()
+	qs := QueryStats{
+		Fingerprint: e.fp,
+		Queries:     e.queries.Load(),
+		Errors:      e.errors.Load(),
+		Rows:        e.rows.Load(),
+		P50Us:       total.Quantile(0.50) * 1e6,
+		P99Us:       total.Quantile(0.99) * 1e6,
+	}
+	for i := range e.phases {
+		s := e.phases[i].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		qs.Phases = append(qs.Phases, PhaseDigest{
+			Name:  PhaseNames[i],
+			Count: s.Count,
+			P50Us: s.Quantile(0.50) * 1e6,
+			P99Us: s.Quantile(0.99) * 1e6,
+		})
+	}
+	e.mu.Lock()
+	qs.RatePerSec = e.rate
+	qs.LastPlanCost = e.lastCost
+	if e.hasQuery {
+		qs.Query = e.q.String()
+		qs.CQ = e.q
+		qs.BoundHeadPositions = append([]int(nil), e.bound...)
+	}
+	if len(e.frags) > 0 {
+		qs.Fragments = make(map[string]fragUse, len(e.frags))
+		for name, fu := range e.frags {
+			qs.Fragments[name] = *fu
+			qs.AttributedCost += fu.Cost
+		}
+	}
+	if len(e.stores) > 0 {
+		qs.PerStore = make(map[string]engine.CounterSnapshot, len(e.stores))
+		for s, cs := range e.stores {
+			qs.PerStore[s] = cs
+		}
+	}
+	e.mu.Unlock()
+	return qs
+}
+
+// emitBenefits is the estocada_fragment_benefit scrape callback: cached
+// scores, top BenefitSeriesCap by value, the rest aggregated into
+// "_other".
+func (a *Accountant) emitBenefits(emit func(labelValues []string, v float64)) {
+	benefits := a.benefitScores(false)
+	if len(benefits) == 0 {
+		return
+	}
+	type fb struct {
+		name string
+		v    float64
+	}
+	all := make([]fb, 0, len(benefits))
+	for name, v := range benefits {
+		all = append(all, fb{name, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].name < all[j].name
+	})
+	capN := a.opts.BenefitSeriesCap
+	var other float64
+	for i, x := range all {
+		if i < capN {
+			emit([]string{x.name}, x.v)
+		} else {
+			other += x.v
+		}
+	}
+	if len(all) > capN {
+		emit([]string{"_other"}, other)
+	}
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engines/engine"
+	"repro/internal/obs"
+	"repro/internal/pivot"
+	"repro/internal/rewrite"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+func atom(pred string, args ...pivot.Term) pivot.Atom { return pivot.NewAtom(pred, args...) }
+func v(name string) pivot.Var                         { return pivot.Var(name) }
+
+func lookupSample(fp string, total time.Duration, cost float64) Sample {
+	return Sample{
+		Fingerprint: fp,
+		Query: pivot.NewCQ(atom("Q", v("V0"), v("V1"), v("P0")),
+			atom("Prefs", v("P0"), v("V0"), v("V1"))),
+		Params: []pivot.Var{v("P0")},
+		Rows:   3,
+		Total:  total,
+		Phases: [NumPhases]time.Duration{0, time.Microsecond, 10 * time.Microsecond,
+			5 * time.Microsecond, total / 2, total / 4},
+		PerStore: map[string]engine.CounterSnapshot{"pg": {Requests: 1, Lookups: 2, Tuples: 3}},
+		Prov: &translate.Provenance{
+			Cost: cost,
+			Clauses: []translate.ClauseScore{
+				{Atom: "Prefs", Fragment: "FPrefs", Store: "pg", StepCost: cost},
+			},
+		},
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	a := New(Options{})
+	for i := 0; i < 5; i++ {
+		a.Record(lookupSample("fp1", time.Millisecond, 40))
+	}
+	s := lookupSample("fp1", 2*time.Millisecond, 40)
+	s.Err = true
+	a.Record(s)
+	a.Record(lookupSample("fp2", time.Millisecond, 10))
+
+	snap := a.Snapshot()
+	if len(snap.Queries) != 2 {
+		t.Fatalf("queries = %d, want 2", len(snap.Queries))
+	}
+	// Sorted by attributed cost descending: fp1 (6×40) before fp2 (10).
+	q := snap.Queries[0]
+	if q.Fingerprint != "fp1" || q.Queries != 6 || q.Errors != 1 || q.Rows != 18 {
+		t.Fatalf("fp1 stats = %+v", q)
+	}
+	if q.AttributedCost != 240 {
+		t.Fatalf("fp1 attributed cost = %v, want 240", q.AttributedCost)
+	}
+	if len(q.BoundHeadPositions) != 1 || q.BoundHeadPositions[0] != 2 {
+		t.Fatalf("bound head positions = %v, want [2]", q.BoundHeadPositions)
+	}
+	if q.Query == "" || len(q.CQ.Body) == 0 {
+		t.Fatal("canonical query shape missing from snapshot")
+	}
+	if q.PerStore["pg"].Tuples != 18 {
+		t.Fatalf("per-store tuples = %d, want 18", q.PerStore["pg"].Tuples)
+	}
+	fu, ok := q.Fragments["FPrefs"]
+	if !ok || fu.Accesses != 6 || fu.Store != "pg" {
+		t.Fatalf("fragment use = %+v", q.Fragments)
+	}
+	// Phase digests skip the empty parse phase.
+	for _, ph := range q.Phases {
+		if ph.Name == "parse" {
+			t.Fatal("zero parse phase should be omitted")
+		}
+	}
+	if len(snap.Fragments) != 1 || snap.Fragments[0].Fragment != "FPrefs" ||
+		snap.Fragments[0].Accesses != 7 {
+		t.Fatalf("fragment totals = %+v", snap.Fragments)
+	}
+}
+
+func TestOverflowCollapse(t *testing.T) {
+	a := New(Options{MaxFingerprints: 2})
+	a.Record(lookupSample("fp1", time.Millisecond, 1))
+	a.Record(lookupSample("fp2", time.Millisecond, 1))
+	a.Record(lookupSample("fp3", time.Millisecond, 1))
+	a.Record(lookupSample("fp4", time.Millisecond, 1))
+	snap := a.Snapshot()
+	if len(snap.Queries) != 3 {
+		t.Fatalf("queries = %d, want 2 tracked + overflow", len(snap.Queries))
+	}
+	var other *QueryStats
+	for i := range snap.Queries {
+		if snap.Queries[i].Fingerprint == OverflowFingerprint {
+			other = &snap.Queries[i]
+		}
+	}
+	if other == nil || other.Queries != 2 {
+		t.Fatalf("overflow bucket = %+v", other)
+	}
+	if other.Query != "" || len(other.CQ.Body) != 0 {
+		t.Fatal("overflow bucket must carry no query shape")
+	}
+}
+
+func TestEWMARate(t *testing.T) {
+	a := New(Options{RateTau: time.Minute})
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+	for i := 0; i < 10; i++ {
+		a.Record(lookupSample("fp1", time.Millisecond, 1))
+		now = now.Add(100 * time.Millisecond) // steady 10 qps
+	}
+	snap := a.Snapshot()
+	rate := snap.Queries[0].RatePerSec
+	if rate < 0.1 || rate > 10.5 {
+		t.Fatalf("EWMA rate = %v, want within (0.1, 10.5] approaching 10", rate)
+	}
+	// More arrivals at the same cadence converge toward 10/s.
+	for i := 0; i < 500; i++ {
+		a.Record(lookupSample("fp1", time.Millisecond, 1))
+		now = now.Add(100 * time.Millisecond)
+	}
+	rate = a.Snapshot().Queries[0].RatePerSec
+	if rate < 5 || rate > 10.5 {
+		t.Fatalf("converged EWMA rate = %v, want ~10", rate)
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{MaxFingerprints: 2, Registry: reg})
+	a.Record(lookupSample("fpa", time.Millisecond, 1))
+	a.Record(lookupSample("fpb", time.Millisecond, 1))
+	a.Record(lookupSample("fpc", time.Millisecond, 1)) // collapses to _other
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`estocada_workload_queries_total{fingerprint="fpa"} 1`,
+		`estocada_workload_queries_total{fingerprint="fpb"} 1`,
+		`estocada_workload_queries_total{fingerprint="_other"} 1`,
+		"# TYPE estocada_fragment_benefit gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// benefitSystem deploys Prefs behind a single identity fragment so that
+// dropping it makes the lookup unanswerable (benefit = ceiling - base).
+func benefitSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.New(core.Options{})
+	s.AddRelStore("pg")
+	args := []pivot.Term{v("a"), v("b"), v("c")}
+	view := rewrite.NewView("FPrefs", pivot.NewCQ(
+		pivot.NewAtom("FPrefs", args...), pivot.NewAtom("Prefs", args...)))
+	f := &catalog.Fragment{
+		Name: "FPrefs", Dataset: "mkt", View: view, Store: "pg",
+		Layout: catalog.Layout{Kind: catalog.LayoutRel, Collection: "prefs",
+			Columns: []string{"uid", "k", "val"}},
+	}
+	if err := s.RegisterFragment(f); err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Tuple
+	for i := 0; i < 50; i++ {
+		rows = append(rows, value.Tuple{value.Int(i), value.Str("theme"), value.Str("dark")})
+	}
+	if err := s.Materialize("FPrefs", rows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBenefitScores(t *testing.T) {
+	sys := benefitSystem(t)
+	a := New(Options{
+		Catalog: sys.Catalog,
+		Stores:  sys.Stores,
+		Schema:  sys.SchemaConstraints,
+	})
+	s := Sample{
+		Fingerprint: "fp1",
+		Query:       pivot.NewCQ(atom("Q", v("u"), v("k"), v("val")), atom("Prefs", v("u"), v("k"), v("val"))),
+		Total:       time.Millisecond,
+		Prov: &translate.Provenance{
+			Cost: 50,
+			Clauses: []translate.ClauseScore{
+				{Atom: "Prefs", Fragment: "FPrefs", Store: "pg", StepCost: 50},
+			},
+		},
+	}
+	for i := 0; i < 10; i++ {
+		a.Record(s)
+	}
+	benefits := a.RecomputeBenefits()
+	b, ok := benefits["FPrefs"]
+	if !ok {
+		t.Fatalf("no benefit score for FPrefs: %v", benefits)
+	}
+	// Without FPrefs the query is unanswerable: the score is the clamped
+	// alternative minus the observed cost, times 10 observed queries.
+	want := (altCostCeiling - 50) * 10
+	if b != want {
+		t.Fatalf("benefit = %v, want %v", b, want)
+	}
+	snap := a.Snapshot()
+	if len(snap.Fragments) == 0 || snap.Fragments[0].Benefit != want {
+		t.Fatalf("snapshot fragment benefit = %+v", snap.Fragments)
+	}
+}
+
+func TestNilAccountant(t *testing.T) {
+	var a *Accountant
+	a.Record(Sample{Fingerprint: "x"})
+	if snap := a.Snapshot(); len(snap.Queries) != 0 {
+		t.Fatal("nil accountant must be inert")
+	}
+}

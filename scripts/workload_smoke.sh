@@ -1,0 +1,85 @@
+#!/bin/sh
+# End-to-end workload-observatory smoke test: boot estocada-serve on an
+# ephemeral port with keep-every-trace sampling, push queries through it,
+# and assert the full observability loop — per-fingerprint workload
+# accounting at /debug/workload, a retained request trace at
+# /debug/traces (retrievable by the traceparent-echoed ID), and the
+# workload + process Prometheus families on /metrics. Exercises the
+# wiring — server → service → workload accountant → registry / trace
+# ring — that unit tests cover piecewise.
+set -eu
+
+PORT="${PORT:-18081}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/estocada-serve"
+
+go build -o "$BIN" ./cmd/estocada-serve
+
+# -trace-sample 1: keep every finished trace so the assertions below are
+# deterministic.
+"$BIN" -addr "$ADDR" -users 80 -trace-sample 1 &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 $SRV 2>/dev/null; then
+        echo "workload-smoke: server died during startup" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+fail() {
+    echo "workload-smoke: $1" >&2
+    exit 1
+}
+
+# Three runs of one query shape: the workload accountant must fold them
+# into a single fingerprint with queries=3.
+for i in 1 2 3; do
+    curl -fsS "http://$ADDR/query" \
+        -d '{"lang":"sql","query":"SELECT u.name FROM Users u WHERE u.city = '\''city03'\''"}' \
+        >/dev/null
+done
+
+WORKLOAD=$(curl -fsS "http://$ADDR/debug/workload")
+echo "$WORKLOAD" | grep -q '"fingerprint"' \
+    || fail "/debug/workload has no fingerprint entries"
+echo "$WORKLOAD" | grep -q '"queries": 3' \
+    || fail "workload snapshot did not count 3 queries for the fingerprint"
+echo "$WORKLOAD" | grep -q '"ratePerSec"' \
+    || fail "workload snapshot carries no arrival rate"
+echo "$WORKLOAD" | grep -q '"fragments"' \
+    || fail "workload snapshot carries no fragment accounting"
+
+# A traced query: the response echoes a traceparent whose trace ID must
+# resolve in the sampled-trace ring, with the service phase spans inside.
+TP=$(curl -fsS -D - -o /dev/null "http://$ADDR/query" \
+    -d '{"lang":"cq","query":"Q(u, p, d) :- Visits(u, p, d)"}' \
+    | tr -d '\r' | awk 'tolower($1) == "traceparent:" {print $2}')
+[ -n "$TP" ] || fail "query response carried no traceparent header"
+TRACE_ID=$(echo "$TP" | cut -d- -f2)
+TRACE=$(curl -fsS "http://$ADDR/debug/traces/$TRACE_ID") \
+    || fail "trace $TRACE_ID not retrievable from /debug/traces"
+echo "$TRACE" | grep -q '"service.query"' \
+    || fail "retained trace has no service.query span"
+curl -fsS "http://$ADDR/debug/traces?ndjson=1" | grep -q "$TRACE_ID" \
+    || fail "NDJSON trace export missing the trace"
+
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^estocada_workload_queries_total{fingerprint=' \
+    || fail "missing estocada_workload_queries_total series"
+echo "$METRICS" | grep -q '^# TYPE estocada_fragment_benefit gauge' \
+    || fail "missing estocada_fragment_benefit family"
+echo "$METRICS" | grep -q '^estocada_build_info{' \
+    || fail "missing estocada_build_info"
+echo "$METRICS" | grep -Eq '^estocada_uptime_seconds [0-9]' \
+    || fail "missing estocada_uptime_seconds"
+echo "$METRICS" | grep -Eq '^estocada_goroutines [1-9]' \
+    || fail "missing estocada_goroutines"
+
+echo "workload-smoke: OK (trace $TRACE_ID retained, $(echo "$WORKLOAD" | grep -c '"fingerprint"') workload entries)"
